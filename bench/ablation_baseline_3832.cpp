@@ -1,0 +1,64 @@
+// Baseline comparison against the prior-art SFQ ECC encoder of Peng et al.
+// [14]: a (38,32) linear block code with a reported cost of 84 XOR gates and
+// 135 DFFs. We run the same code through our synthesis pipeline and compare
+// the resulting circuit against the paper's lightweight 4-bit encoders —
+// quantifying the motivation of the paper: a 32-bit-interface encoder is far
+// beyond the pin/power budget of a small cryogenic link.
+#include <cstdio>
+#include <iostream>
+
+#include "sfqecc.hpp"
+
+using namespace sfqecc;
+
+int main() {
+  const auto& library = circuit::coldflux_library();
+
+  std::cout << "=====================================================================\n"
+               "Baseline: (38,32) encoder of Peng et al. [14] vs the paper's encoders\n"
+               "=====================================================================\n\n";
+
+  const code::LinearCode baseline = code::code3832();
+  const circuit::BuiltEncoder built = circuit::build_encoder(baseline, library);
+  const circuit::NetlistStats stats =
+      circuit::compute_stats(built.netlist, library, built.clock_input);
+
+  std::printf("(38,32) shortened-Hamming baseline, synthesized by this library:\n"
+              "  %s\n"
+              "  %zu JJs, %.1f uW static, %.3f mm^2, logic depth %zu\n",
+              stats.inventory().c_str(), stats.jj_count, stats.static_power_uw,
+              stats.area_mm2, built.logic_depth);
+  std::printf("  [14] reports %zu XOR gates and %zu DFFs for its (38,32) encoder\n"
+              "  (no public column order; shapes agree within the same order of\n"
+              "  magnitude — our low-weight-first columns give a leaner encoder).\n\n",
+              core::paper::kPeng3832XorGates, core::paper::kPeng3832Dffs);
+
+  util::TextTable table({"Encoder", "message bits", "XOR", "DFF", "SPL", "SFQ-DC",
+                         "JJs", "Power (uW)", "JJ / message bit"});
+  auto add_row = [&](const std::string& name, const code::LinearCode& c) {
+    const circuit::BuiltEncoder enc = circuit::build_encoder(c, library);
+    const circuit::NetlistStats s =
+        circuit::compute_stats(enc.netlist, library, enc.clock_input);
+    table.add_row({name, std::to_string(c.k()),
+                   std::to_string(s.count(circuit::CellType::kXor)),
+                   std::to_string(s.count(circuit::CellType::kDff)),
+                   std::to_string(s.count(circuit::CellType::kSplitter)),
+                   std::to_string(s.count(circuit::CellType::kSfqToDc)),
+                   std::to_string(s.jj_count), util::fixed(s.static_power_uw, 1),
+                   util::fixed(static_cast<double>(s.jj_count) /
+                                   static_cast<double>(c.k()),
+                               1)});
+  };
+  add_row("Hamming(7,4)", code::paper_hamming74());
+  add_row("Hamming(8,4)", code::paper_hamming84());
+  add_row("RM(1,3)", code::paper_rm13());
+  add_row("(38,32) [14]", baseline);
+  std::cout << table.to_string() << '\n';
+
+  std::cout <<
+      "Interpretation: the (38,32) baseline needs a 38-channel interface and an\n"
+      "order of magnitude more JJs — infeasible under the ~40-pin budget of a\n"
+      "5x5 mm^2 SFQ chip, which is exactly why the paper restricts the design\n"
+      "space to 8 output channels and 4-bit messages.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Scaling studies beyond the paper's 4-bit operating point:
+//
+//  1. RM(1,m) family — circuit cost of first-order Reed-Muller encoders as
+//     the interface widens (the "recursive nature enables scalable hardware"
+//     claim of Section II-B, priced in JJs).
+//  2. Hamming(2^r-1) family and their extended variants.
+//  3. The 8-bit-message design point the paper's introduction motivates
+//     (8-bit SFQ processors): Hamming(12,8), extended Hamming(13,8), RM(1,4)
+//     with 8 of 16 data rows is not defined — instead we report the natural
+//     candidates and their costs under the same 8-channel-per-chip reasoning.
+//  4. BCH vs Hamming at short length (Section II's complexity claim):
+//     encoder cost of BCH(15,11,3) (Hamming-equivalent), BCH(15,7,5) and
+//     BCH(15,5,7) under the same pipeline.
+#include <cstdio>
+#include <iostream>
+
+#include "code/hsiao.hpp"
+#include "sfqecc.hpp"
+
+using namespace sfqecc;
+
+namespace {
+
+void add_code_row(util::TextTable& table, const code::LinearCode& c,
+                  std::size_t dmin_hint = 0) {
+  const auto& library = circuit::coldflux_library();
+  const circuit::BuiltEncoder built = circuit::build_encoder(c, library);
+  const circuit::NetlistStats stats =
+      circuit::compute_stats(built.netlist, library, built.clock_input);
+  const std::size_t d = dmin_hint != 0 ? dmin_hint : c.dmin();
+  table.add_row({c.name(), std::to_string(c.n()), std::to_string(c.k()),
+                 std::to_string(d), std::to_string(built.logic_depth),
+                 std::to_string(stats.count(circuit::CellType::kXor)),
+                 std::to_string(stats.count(circuit::CellType::kDff)),
+                 std::to_string(stats.count(circuit::CellType::kSplitter)),
+                 std::to_string(stats.jj_count),
+                 util::fixed(stats.static_power_uw, 1),
+                 util::fixed(stats.area_mm2, 3)});
+}
+
+util::TextTable make_table() {
+  return util::TextTable({"code", "n", "k", "dmin", "depth", "XOR", "DFF", "SPL",
+                          "JJs", "uW", "mm^2"});
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "==============================================\n"
+               "Scaling 1 — first-order Reed-Muller RM(1,m)\n"
+               "==============================================\n";
+  {
+    util::TextTable table = make_table();
+    for (std::size_t m = 2; m <= 6; ++m) add_code_row(table, code::reed_muller(1, m));
+    std::cout << table.to_string() << '\n';
+  }
+
+  std::cout << "==============================================\n"
+               "Scaling 2 — Hamming family and extensions\n"
+               "==============================================\n";
+  {
+    util::TextTable table = make_table();
+    for (std::size_t r = 2; r <= 5; ++r) {
+      const code::LinearCode h = code::hamming_code(r);
+      add_code_row(table, h);
+      add_code_row(table, code::extend_with_overall_parity(h));
+    }
+    std::cout << table.to_string() << '\n';
+  }
+
+  std::cout << "=========================================================\n"
+               "Scaling 3 — encoders for the 8-bit SFQ processors of [15-18]\n"
+               "=========================================================\n";
+  {
+    util::TextTable table = make_table();
+    // Hamming(12,8): shortened Hamming(15,11) keeping 8 data columns.
+    const code::LinearCode h15 = code::hamming_code(4);
+    code::Gf2Matrix g12(8, 12);
+    for (std::size_t i = 0; i < 8; ++i) {
+      g12.set(i, i, true);
+      for (std::size_t p = 0; p < 4; ++p) g12.set(i, 8 + p, h15.generator().get(i, 11 + p));
+    }
+    const code::LinearCode h128("Hamming(12,8)", g12, 3);
+    add_code_row(table, h128);
+    add_code_row(table, code::extend_with_overall_parity(h128));
+    add_code_row(table, code::hsiao_13_8());
+    std::cout << table.to_string() << '\n';
+    std::cout << "A 13-channel interface already exceeds the paper's 8-channel\n"
+                 "budget: SEC-DED on bytes costs 5 extra cryogenic cables. The\n"
+                 "Hsiao odd-weight-column construction is the cheaper SEC-DED\n"
+                 "encoder at the same (13,8) design point.\n\n";
+  }
+
+  std::cout << "==============================================\n"
+               "Scaling 4 — BCH vs Hamming at length 15 (Sec. II)\n"
+               "==============================================\n";
+  {
+    util::TextTable table = make_table();
+    add_code_row(table, code::hamming_code(4));
+    add_code_row(table, code::BchCode(4, 3).to_linear_code());
+    add_code_row(table, code::BchCode(4, 5).to_linear_code());
+    add_code_row(table, code::BchCode(4, 7).to_linear_code());
+    std::cout << table.to_string() << '\n';
+    std::cout <<
+        "BCH(15,11,3) is Hamming-equivalent but its cyclic-systematic generator\n"
+        "densifies the parity columns, costing more XORs after CSE — the\n"
+        "Section II observation that BCH brings no benefit at short lengths.\n"
+        "Higher-distance BCH codes (t = 2, 3) scale the encoder superlinearly\n"
+        "and their Berlekamp-Massey decoders dwarf syndrome lookup.\n";
+  }
+  return 0;
+}

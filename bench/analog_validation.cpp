@@ -1,0 +1,102 @@
+// Microscopic validation of the behavioural SFQ model against the RCSJ
+// (JoSIM-lite) substrate:
+//
+//   * SFQ pulse shape: ~mV peak, ~2 ps width, exactly one Phi0 of flux —
+//     the paper's "amplitude of the voltage pulse is around 1 mV with 2 ps
+//     duration".
+//   * JTL propagation delay per stage vs the cell library's JTL delay.
+//   * Bias operating margins of a JTL vs the paper's "+/-20 to +/-30 %"
+//     design margins — grounding the ppv:: margin model microscopically.
+//   * Transmission yield vs critical-current spread: the junction-level
+//     analogue of Fig. 5's chip-level failure statistics.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "sfqecc.hpp"
+#include "josim/rcsj.hpp"
+
+using namespace sfqecc;
+
+int main() {
+  josim::JunctionParams junction;
+  junction.c_pf = josim::JunctionParams::capacitance_for_beta_c(
+      junction.ic_ma, junction.r_ohm, 1.0);
+
+  std::cout << "=================================================================\n"
+               "RCSJ substrate validation (Ic = 0.1 mA, R = 5 Ohm, beta_c = 1)\n"
+               "=================================================================\n\n";
+
+  // ---- single SFQ pulse ------------------------------------------------------
+  auto drive = [&](double t) {
+    double i = 0.07;
+    if (t >= 20.0 && t <= 25.0)
+      i += 0.12 * 0.5 * (1.0 - std::cos(2 * M_PI * (t - 20.0) / 5.0));
+    return i;
+  };
+  const josim::JunctionTrace pulse = josim::simulate_junction(junction, drive, 60.0);
+  double peak = 0.0;
+  std::size_t above_half = 0;
+  for (double v : pulse.voltage_mv) peak = std::max(peak, v);
+  for (double v : pulse.voltage_mv)
+    if (v > peak / 2) ++above_half;
+  std::printf("SFQ pulse: peak %.2f mV, FWHM %.2f ps, area %.3f Phi0 "
+              "(paper: ~1 mV, ~2 ps, 1 Phi0)\n",
+              peak, static_cast<double>(above_half) * 0.01, pulse.flux_quanta());
+
+  // ASCII pulse shape around the slip.
+  std::vector<double> vt;
+  for (std::size_t i = 0; i < pulse.time_ps.size(); i += 25)
+    vt.push_back(pulse.voltage_mv[i]);
+  util::Series shape{"V(t) [mV]", {}, {}};
+  for (std::size_t i = 0; i < vt.size(); ++i) {
+    shape.x.push_back(static_cast<double>(i) * 0.25);
+    shape.y.push_back(vt[i]);
+  }
+  util::PlotOptions popt;
+  popt.width = 72;
+  popt.height = 12;
+  popt.x_label = "time (ps)";
+  popt.y_label = "junction voltage (mV)";
+  std::cout << util::plot_xy({shape}, popt) << '\n';
+
+  // ---- JTL propagation -------------------------------------------------------
+  josim::JtlParams jtl;
+  jtl.junction = junction;
+  const josim::JtlTrace trace = josim::simulate_jtl(jtl, josim::PulseStimulus{});
+  const auto& lib = circuit::coldflux_library();
+  std::printf("JTL (%zu stages): clean single-pulse = %s, %.2f ps/stage "
+              "(behavioural JTL cell: %.1f ps)\n",
+              jtl.stages, trace.clean_single_pulse() ? "yes" : "NO",
+              trace.stage_delay_ps(), lib.spec(circuit::CellType::kJtl).delay_ps);
+
+  // ---- bias margins -----------------------------------------------------------
+  const josim::BiasMargins margins = josim::find_bias_margins(jtl);
+  std::printf("JTL bias margins: operating window [%.2f, %.2f] x Ic, "
+              "+/-%.0f %% around nominal %.2f (paper: +/-20 to +/-30 %%)\n\n",
+              margins.low, margins.high,
+              100.0 * margins.relative_margin(jtl.bias_fraction), jtl.bias_fraction);
+
+  // ---- yield vs Ic spread ------------------------------------------------------
+  std::cout << "Clean-transmission yield vs critical-current spread "
+               "(60 sampled lines each):\n";
+  util::TextTable table({"spread", "yield", "note"});
+  util::Rng rng(2025);
+  for (double spread : {0.05, 0.10, 0.20, 0.30, 0.40, 0.50}) {
+    int ok = 0;
+    const int chips = 60;
+    for (int c = 0; c < chips; ++c) {
+      josim::JtlParams sample = jtl;
+      sample.ic_scale.resize(sample.stages);
+      for (double& s : sample.ic_scale) s = 1.0 + rng.uniform(-spread, spread);
+      if (josim::jtl_transmits(sample)) ++ok;
+    }
+    table.add_row({util::fixed(spread * 100, 0) + " %",
+                   std::to_string(ok) + "/" + std::to_string(chips),
+                   spread <= 0.20 ? "inside design margins" : "beyond margins"});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nThe junction-level yield knee beyond ~20-30 % spread is the\n"
+               "microscopic mechanism the ppv:: cell-margin model abstracts.\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Systematic single-cell fault-injection campaign.
+//
+// For every cell of every encoder, kill that cell (dead mode), run all 16
+// messages through the pulse-level link, and classify the outcome under the
+// scheme's operating decoder:
+//   harmless     — every message still delivered correctly,
+//   corrected    — bit errors occurred but the decoder fixed all of them,
+//   flagged      — uncorrectable but always detected (error flag raised),
+//   silent-wrong — at least one message accepted with the wrong content.
+//
+// This explains Fig. 5 structurally: output-adjacent cells are correctable,
+// shared cells in an even-weight code (Hamming(8,4)) always produce
+// even-weight — hence detectable — errors, while RM(1,3)'s shared XORs can
+// reproduce codeword patterns and deliver silently wrong messages.
+#include <cstdio>
+#include <iostream>
+
+#include "sfqecc.hpp"
+
+using namespace sfqecc;
+
+namespace {
+
+struct Classification {
+  std::size_t harmless = 0;
+  std::size_t corrected = 0;
+  std::size_t flagged = 0;
+  std::size_t silent_wrong = 0;
+};
+
+Classification run_campaign(const core::PaperScheme& scheme,
+                            const circuit::CellLibrary& library) {
+  Classification result;
+  link::DataLinkConfig config;
+  config.sim.record_pulses = false;
+  link::DataLink dlink(*scheme.encoder, library, scheme.code.get(),
+                       scheme.decoder.get(), config);
+  util::Rng rng(1);
+
+  const std::size_t cells = scheme.encoder->netlist.cell_count();
+  for (circuit::CellId victim = 0; victim < cells; ++victim) {
+    ppv::ChipSample chip;
+    chip.faults.assign(cells, sim::CellFault{});
+    chip.health_ratios.assign(cells, 0.0);
+    chip.faults[victim] = sim::CellFault{sim::FaultMode::kDead, 0.0};
+    dlink.install_chip(chip);
+
+    bool any_error_bits = false, any_flag = false, any_wrong = false;
+    for (std::uint64_t m = 0; m < 16; ++m) {
+      const link::FrameResult frame =
+          dlink.send(code::BitVec::from_u64(4, m), rng);
+      any_error_bits = any_error_bits || frame.encoder_bit_errors > 0;
+      any_flag = any_flag || frame.flagged;
+      any_wrong = any_wrong || frame.message_error;
+    }
+    if (any_wrong)
+      ++result.silent_wrong;
+    else if (any_flag)
+      ++result.flagged;
+    else if (any_error_bits)
+      ++result.corrected;
+    else
+      ++result.harmless;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const auto& library = circuit::coldflux_library();
+  std::cout
+      << "==================================================================\n"
+         "Single-cell kill campaign: outcome of each possible dead cell\n"
+         "(16 messages per fault, pulse-level simulation, operating decoders)\n"
+         "==================================================================\n\n";
+
+  util::TextTable table({"Scheme", "cells", "harmless", "corrected", "flagged",
+                         "silent-wrong", "silent-wrong %"});
+  for (auto id : {core::SchemeId::kNoEncoder, core::SchemeId::kRm13,
+                  core::SchemeId::kHamming74, core::SchemeId::kHamming84}) {
+    const core::PaperScheme scheme = core::make_scheme(id, library);
+    const Classification c = run_campaign(scheme, library);
+    const std::size_t cells = scheme.encoder->netlist.cell_count();
+    table.add_row({scheme.name, std::to_string(cells), std::to_string(c.harmless),
+                   std::to_string(c.corrected), std::to_string(c.flagged),
+                   std::to_string(c.silent_wrong),
+                   util::percent(static_cast<double>(c.silent_wrong) /
+                                     static_cast<double>(cells),
+                                 1)});
+  }
+  std::cout << table.to_string() << '\n';
+
+  std::cout <<
+      "Reading the table:\n"
+      "  * Hamming(8,4): every internal data-path fault flips an even number\n"
+      "    of codeword bits (even-weight code), which SEC-DED detects — its\n"
+      "    only silent-wrong cells are the four message-input splitters\n"
+      "    (the bit is erased BEFORE encoding, invisible to any code) and the\n"
+      "    odd-coverage clock subtrees.\n"
+      "  * Hamming(7,4) additionally miscorrects the two-bit patterns of its\n"
+      "    shared data XORs and input-chain DFF taps.\n"
+      "  * RM(1,3)'s high-fanout shared XORs reproduce codeword patterns\n"
+      "    (e.g. the x1 generator row), so faults can be invisible outright.\n"
+      "  * The no-encoder link converts every converter fault into errors.\n"
+      "This is the circuit-structure mechanism behind the Fig. 5 ordering:\n"
+      "multiply each class by the per-cell-type failure probabilities of the\n"
+      "margin model and the paper's P(N=0) ordering follows.\n";
+  return 0;
+}

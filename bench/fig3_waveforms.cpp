@@ -1,0 +1,114 @@
+// Reproduces Fig. 3 of the paper: pulse-level simulation of the Hamming(8,4)
+// encoder at 5 GHz with thermal noise at 4.2 K. The message '1011' is applied
+// at ~0.1 ns and the codeword '01100110' appears two clock cycles later at
+// ~0.4 ns on the SFQ-to-DC outputs.
+//
+// Output: an ASCII rendering of the 13 traces (m1..m4, clk, c1..c8) over the
+// paper's 2.5 ns window plus a CSV dump (fig3_waveforms.csv) with the
+// rasterized analog waveforms (600 uV input pulses, 400 uV output levels,
+// additive thermal noise) for external plotting.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "sfqecc.hpp"
+
+using namespace sfqecc;
+
+int main() {
+  const auto& library = circuit::coldflux_library();
+  const code::LinearCode h84 = code::paper_hamming84();
+  const circuit::BuiltEncoder built = circuit::build_encoder(h84, library);
+
+  constexpr double kPeriodPs = 200.0;  // 5 GHz
+  constexpr double kWindowPs = 2500.0;
+
+  sim::SimConfig config;
+  config.jitter_sigma_ps = 0.8;  // thermal noise at 4.2 K
+  config.noise_seed = 42;
+  sim::EventSimulator simulator(built.netlist, library, config);
+
+  // The paper applies message 1011 at ~0.1 ns. We run repeating frames every
+  // 3 cycles to fill the 2.5 ns window with activity like Fig. 3: each frame
+  // applies a fresh message between clock edges.
+  const char* frame_messages[] = {"1011", "0110", "1101", "0011"};
+  const std::size_t frames = 4;
+  for (std::size_t f = 0; f < frames; ++f) {
+    const code::BitVec m = code::BitVec::from_string(frame_messages[f]);
+    const double t = 100.0 + static_cast<double>(f) * 3.0 * kPeriodPs;
+    for (std::size_t b = 0; b < 4; ++b)
+      if (m.get(b)) simulator.inject_pulse(built.message_inputs[b], t);
+  }
+  simulator.inject_clock(built.clock_input, kPeriodPs, kPeriodPs, kWindowPs);
+  simulator.run_until(kWindowPs);
+
+  // ---- verify the paper's headline timing ----------------------------------
+  code::BitVec word_at_04ns(8);
+  {
+    // Fresh single-frame run to read levels exactly at 0.45 ns.
+    sim::EventSimulator single(built.netlist, library, config);
+    const code::BitVec m = code::BitVec::from_string("1011");
+    for (std::size_t b = 0; b < 4; ++b)
+      if (m.get(b)) single.inject_pulse(built.message_inputs[b], 100.0);
+    single.inject_clock(built.clock_input, kPeriodPs, kPeriodPs, 400.5);
+    single.run_until(450.0);
+    for (std::size_t j = 0; j < 8; ++j)
+      word_at_04ns.set(j, single.dc_level(built.codeword_outputs[j]));
+  }
+  std::printf("message %s applied at %.1f ns -> codeword %s at ~%.1f ns "
+              "(paper: %s -> %s at %.1f ns)\n\n",
+              core::paper::kFig3Message, core::paper::kFig3MessageTimeNs,
+              word_at_04ns.to_string().c_str(), core::paper::kFig3CodewordTimeNs,
+              core::paper::kFig3Message, core::paper::kFig3Codeword,
+              core::paper::kFig3CodewordTimeNs);
+
+  // ---- ASCII pulse strips ---------------------------------------------------
+  std::cout << "Pulse activity over " << kWindowPs / 1000.0 << " ns ('|' = SFQ pulse"
+            << " / DC toggle), 5 GHz clock:\n\n";
+  std::vector<std::pair<std::string, std::vector<double>>> strips;
+  for (std::size_t i = 0; i < 4; ++i)
+    strips.emplace_back("m" + std::to_string(i + 1),
+                        simulator.pulses(built.message_inputs[i]));
+  strips.emplace_back("clk", simulator.pulses(built.clock_input));
+  for (std::size_t j = 0; j < 8; ++j)
+    strips.emplace_back("c" + std::to_string(j + 1),
+                        simulator.dc_transitions(built.codeword_outputs[j]));
+  for (const auto& [label, pulses] : strips)
+    std::printf("%-4s %s\n", label.c_str(),
+                util::pulse_strip(pulses, 0.0, kWindowPs, 100).c_str());
+
+  // ---- analog CSV -----------------------------------------------------------
+  sim::RasterOptions raster;
+  raster.t1_ps = kWindowPs;
+  raster.noise_sigma_uv = 15.0;  // thermal noise floor on the rendered traces
+  std::vector<sim::AnalogTrace> traces;
+  for (std::size_t i = 0; i < 4; ++i) {
+    sim::RasterOptions in = raster;
+    in.pulse_amplitude_uv = 600.0;  // Fig. 3 input axis: 0..600 uV
+    in.noise_seed = 100 + i;
+    traces.push_back(sim::rasterize_pulses("m" + std::to_string(i + 1),
+                                           simulator.pulses(built.message_inputs[i]), in));
+  }
+  {
+    sim::RasterOptions ck = raster;
+    ck.pulse_amplitude_uv = 600.0;
+    ck.noise_seed = 104;
+    traces.push_back(sim::rasterize_pulses("clk", simulator.pulses(built.clock_input), ck));
+  }
+  for (std::size_t j = 0; j < 8; ++j) {
+    sim::RasterOptions out = raster;
+    out.noise_seed = 105 + j;
+    traces.push_back(sim::rasterize_dc("c" + std::to_string(j + 1),
+                                       simulator.dc_transitions(built.codeword_outputs[j]),
+                                       400.0, out));  // Fig. 3 output axis: 0..400 uV
+  }
+  const std::string csv = sim::traces_to_csv(traces);
+  std::ofstream("fig3_waveforms.csv") << csv;
+  std::printf("\nwrote fig3_waveforms.csv (%zu samples x %zu traces)\n",
+              traces.front().samples_uv.size(), traces.size());
+
+  const bool ok = word_at_04ns.to_string() == core::paper::kFig3Codeword;
+  std::cout << (ok ? "\nRESULT: Fig. 3 timing and codeword reproduced.\n"
+                   : "\nRESULT: MISMATCH vs Fig. 3.\n");
+  return ok ? 0 : 1;
+}

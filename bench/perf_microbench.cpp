@@ -1,0 +1,172 @@
+// google-benchmark microbenchmarks: throughput of the hot paths used by the
+// Monte-Carlo harness (encode, decode, synthesis, pulse simulation, chip
+// sampling, full frames).
+#include <benchmark/benchmark.h>
+
+#include "sfqecc.hpp"
+
+using namespace sfqecc;
+
+namespace {
+
+const circuit::CellLibrary& lib() { return circuit::coldflux_library(); }
+
+void BM_EncodeH84(benchmark::State& state) {
+  const code::LinearCode c = code::paper_hamming84();
+  util::Rng rng(1);
+  for (auto _ : state) {
+    const code::BitVec m = code::BitVec::from_u64(4, rng.below(16));
+    benchmark::DoNotOptimize(c.encode(m));
+  }
+}
+BENCHMARK(BM_EncodeH84);
+
+void BM_DecodeSyndromeH74(benchmark::State& state) {
+  const code::LinearCode c = code::paper_hamming74();
+  const code::SyndromeDecoder dec(c);
+  util::Rng rng(2);
+  for (auto _ : state) {
+    code::BitVec rx = c.encode(code::BitVec::from_u64(4, rng.below(16)));
+    rx.flip(rng.below(7));
+    benchmark::DoNotOptimize(dec.decode(rx));
+  }
+}
+BENCHMARK(BM_DecodeSyndromeH74);
+
+void BM_DecodeSecDedH84(benchmark::State& state) {
+  const code::LinearCode ext = code::paper_hamming84();
+  const code::LinearCode base = code::paper_hamming74();
+  const code::ExtendedHammingDecoder dec(ext, base);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    code::BitVec rx = ext.encode(code::BitVec::from_u64(4, rng.below(16)));
+    rx.flip(rng.below(8));
+    benchmark::DoNotOptimize(dec.decode(rx));
+  }
+}
+BENCHMARK(BM_DecodeSecDedH84);
+
+void BM_DecodeFhtRm13(benchmark::State& state) {
+  const code::LinearCode rm = code::paper_rm13();
+  const code::RmFhtDecoder dec(rm, false);
+  util::Rng rng(4);
+  for (auto _ : state) {
+    code::BitVec rx = rm.encode(code::BitVec::from_u64(4, rng.below(16)));
+    rx.flip(rng.below(8));
+    benchmark::DoNotOptimize(dec.decode(rx));
+  }
+}
+BENCHMARK(BM_DecodeFhtRm13);
+
+void BM_DecodeFhtRm1m(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const code::LinearCode rm = code::reed_muller(1, m);
+  const code::RmFhtDecoder dec(rm);
+  util::Rng rng(5);
+  for (auto _ : state) {
+    code::BitVec rx = rm.encode(code::BitVec::from_u64(m + 1, rng.below(1ULL << (m + 1))));
+    rx.flip(rng.below(rm.n()));
+    benchmark::DoNotOptimize(dec.decode(rx));
+  }
+}
+BENCHMARK(BM_DecodeFhtRm1m)->Arg(3)->Arg(5)->Arg(8)->Arg(10);
+
+void BM_DecodeBch157(benchmark::State& state) {
+  const code::BchCode bch(4, 5);
+  util::Rng rng(6);
+  for (auto _ : state) {
+    code::BitVec rx = bch.encode(code::BitVec::from_u64(7, rng.below(128)));
+    rx.flip(rng.below(15));
+    rx.flip(rng.below(15));
+    benchmark::DoNotOptimize(bch.decode(rx));
+  }
+}
+BENCHMARK(BM_DecodeBch157);
+
+void BM_SynthesizePaarH84(benchmark::State& state) {
+  const code::Gf2Matrix g = code::paper_hamming84().generator();
+  for (auto _ : state) benchmark::DoNotOptimize(circuit::synthesize_paar(g));
+}
+BENCHMARK(BM_SynthesizePaarH84);
+
+void BM_SynthesizePaar3832(benchmark::State& state) {
+  const code::Gf2Matrix g = code::code3832().generator();
+  for (auto _ : state) benchmark::DoNotOptimize(circuit::synthesize_paar(g));
+}
+BENCHMARK(BM_SynthesizePaar3832);
+
+void BM_BuildEncoderH84(benchmark::State& state) {
+  const code::LinearCode c = code::paper_hamming84();
+  for (auto _ : state) benchmark::DoNotOptimize(circuit::build_encoder(c, lib()));
+}
+BENCHMARK(BM_BuildEncoderH84);
+
+void BM_PulseSimFrameH84(benchmark::State& state) {
+  const code::LinearCode c = code::paper_hamming84();
+  const circuit::BuiltEncoder built = circuit::build_encoder(c, lib());
+  sim::SimConfig config;
+  config.record_pulses = false;
+  sim::EventSimulator simulator(built.netlist, lib(), config);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    simulator.reset();
+    const code::BitVec m = code::BitVec::from_u64(4, rng.below(16));
+    for (std::size_t b = 0; b < 4; ++b)
+      if (m.get(b)) simulator.inject_pulse(built.message_inputs[b], 100.0);
+    simulator.inject_clock(built.clock_input, 200.0, 200.0, 400.5);
+    simulator.run_until(460.0);
+    benchmark::DoNotOptimize(simulator.dc_level(built.codeword_outputs[0]));
+  }
+}
+BENCHMARK(BM_PulseSimFrameH84);
+
+void BM_ChipSample(benchmark::State& state) {
+  const circuit::BuiltEncoder built =
+      circuit::build_encoder(code::paper_rm13(), lib());
+  ppv::SpreadSpec spread;
+  util::Rng rng(8);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ppv::sample_chip(built.netlist, lib(), spread, rng));
+}
+BENCHMARK(BM_ChipSample);
+
+void BM_FullLinkFrame(benchmark::State& state) {
+  const core::PaperScheme scheme = core::make_scheme(core::SchemeId::kHamming84, lib());
+  link::DataLinkConfig config;
+  config.sim.record_pulses = false;
+  link::DataLink dlink(*scheme.encoder, lib(), scheme.code.get(), scheme.decoder.get(),
+                       config);
+  util::Rng rng(9);
+  for (auto _ : state) {
+    const code::BitVec m = code::BitVec::from_u64(4, rng.below(16));
+    benchmark::DoNotOptimize(dlink.send(m, rng));
+  }
+}
+BENCHMARK(BM_FullLinkFrame);
+
+void BM_MonteCarloChip(benchmark::State& state) {
+  // One full Fig. 5 chip: PPV sample + 100 messages through the H84 link.
+  const core::PaperScheme scheme = core::make_scheme(core::SchemeId::kHamming84, lib());
+  link::DataLinkConfig config;
+  config.sim.record_pulses = false;
+  link::DataLink dlink(*scheme.encoder, lib(), scheme.code.get(), scheme.decoder.get(),
+                       config);
+  ppv::SpreadSpec spread;
+  util::Rng rng(10);
+  for (auto _ : state) {
+    const ppv::ChipSample chip =
+        ppv::sample_chip(scheme.encoder->netlist, lib(), spread, rng);
+    dlink.install_chip(chip);
+    std::size_t errors = 0;
+    for (int m = 0; m < 100; ++m) {
+      const code::BitVec msg = code::BitVec::from_u64(4, rng.below(16));
+      if (dlink.send(msg, rng).message_error) ++errors;
+    }
+    benchmark::DoNotOptimize(errors);
+  }
+}
+BENCHMARK(BM_MonteCarloChip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

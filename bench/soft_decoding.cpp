@@ -1,0 +1,74 @@
+// Extension study: soft-decision vs hard-decision decoding of RM(1,3) on the
+// cryogenic link's analog channel.
+//
+// The paper's receiver slices each cable's DC level to a bit before decoding.
+// Feeding the analog levels into the FHT instead (Be'ery & Snyders [34], the
+// paper's reference for soft RM decoding) buys roughly 2 dB: at receiver
+// noise levels where hard decoding starts losing words, soft decoding is
+// still clean. Sweep the receiver noise and print both word-error rates.
+#include <cstdio>
+#include <iostream>
+
+#include "code/soft_decoder.hpp"
+#include "sfqecc.hpp"
+
+using namespace sfqecc;
+
+int main() {
+  const code::LinearCode rm = code::paper_rm13();
+  const code::RmFhtDecoder hard(rm, /*flag_ties=*/false);
+  const code::RmSoftDecoder soft(rm);
+
+  constexpr std::size_t kWords = 20000;
+  std::cout << "RM(1,3) over the DC link channel (swing 1.0, threshold 0.5): "
+            << kWords << " words per point\n\n";
+
+  util::TextTable table({"noise sigma", "channel BER", "hard WER", "soft WER",
+                         "soft gain"});
+  util::Series hard_series{"hard-decision", {}, {}};
+  util::Series soft_series{"soft-decision", {}, {}};
+
+  for (double sigma : {0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45}) {
+    link::ChannelModel channel;
+    channel.noise_sigma_mv = sigma;
+    util::Rng rng(static_cast<std::uint64_t>(sigma * 1000));
+
+    std::size_t hard_errors = 0, soft_errors = 0;
+    for (std::size_t w = 0; w < kWords; ++w) {
+      const code::BitVec message = code::BitVec::from_u64(4, rng.below(16));
+      const code::BitVec cw = rm.encode(message);
+      // Analog receive: level + noise per cable.
+      std::vector<double> analog(8);
+      code::BitVec sliced(8);
+      for (std::size_t j = 0; j < 8; ++j) {
+        const double level = (cw.get(j) ? channel.swing_mv : 0.0) +
+                             rng.gaussian(0.0, channel.noise_sigma_mv);
+        analog[j] = 1.0 - 2.0 * level / channel.swing_mv;  // bipolar
+        sliced.set(j, level > channel.threshold_mv);
+      }
+      if (hard.decode(sliced).message != message) ++hard_errors;
+      if (soft.decode(analog).message != message) ++soft_errors;
+    }
+    const double hard_wer = static_cast<double>(hard_errors) / kWords;
+    const double soft_wer = static_cast<double>(soft_errors) / kWords;
+    table.add_row({util::fixed(sigma, 2), util::fixed(channel.bit_error_probability(), 4),
+                   util::fixed(hard_wer, 4), util::fixed(soft_wer, 4),
+                   soft_wer > 0 ? util::fixed(hard_wer / soft_wer, 1) + "x" : ">"});
+    hard_series.x.push_back(sigma);
+    hard_series.y.push_back(hard_wer);
+    soft_series.x.push_back(sigma);
+    soft_series.y.push_back(soft_wer);
+  }
+  std::cout << table.to_string() << '\n';
+
+  util::PlotOptions plot;
+  plot.width = 70;
+  plot.height = 16;
+  plot.x_label = "receiver noise sigma (fraction of swing)";
+  plot.y_label = "word error rate";
+  std::cout << util::plot_xy({hard_series, soft_series}, plot);
+  std::cout << "\nSoft decoding would let the same RM(1,3) encoder tolerate a\n"
+               "noisier (longer / thinner, i.e. lower heat-load) cryogenic cable\n"
+               "— an extension point beyond the paper's hard-decision receiver.\n";
+  return 0;
+}

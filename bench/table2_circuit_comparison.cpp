@@ -1,0 +1,95 @@
+// Reproduces Table II of the paper: circuit-level comparison of the three
+// error-correction code encoders — standard-cell inventory, JJ count, static
+// power and layout area — regenerated from scratch by the synthesis pipeline
+// (Paar CSE -> shared-chain path balancing -> SFQ-to-DC insertion -> clock
+// attachment -> splitter-tree fan-out legalization).
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "sfqecc.hpp"
+
+using namespace sfqecc;
+
+int main() {
+  const auto& library = circuit::coldflux_library();
+
+  std::cout << "=================================================================\n"
+               "Table II — circuit-level comparison of ECC encoders\n"
+               "(synthesized with: " << library.name() << ")\n"
+               "=================================================================\n\n";
+
+  util::TextTable table({"Encoder", "XOR", "DFF", "SPL (data+clk)", "SFQ-DC", "JJs",
+                         "Power (uW)", "Area (mm^2)", "depth"});
+
+  struct Row {
+    core::SchemeId id;
+    core::paper::TableIIRow paper;
+  };
+  // Paper's row order: RM(1,3), Hamming(7,4), Hamming(8,4).
+  const Row rows[] = {
+      {core::SchemeId::kRm13, core::paper::kTableII[0]},
+      {core::SchemeId::kHamming74, core::paper::kTableII[1]},
+      {core::SchemeId::kHamming84, core::paper::kTableII[2]},
+  };
+
+  bool all_match = true;
+  for (const Row& row : rows) {
+    const core::PaperScheme scheme = core::make_scheme(row.id, library);
+    const circuit::NetlistStats stats = circuit::compute_stats(
+        scheme.encoder->netlist, library, scheme.encoder->clock_input);
+
+    char spl[48];
+    std::snprintf(spl, sizeof spl, "%zu (%zu+%zu)",
+                  stats.count(circuit::CellType::kSplitter), stats.data_splitters,
+                  stats.clock_splitters);
+    table.add_row({scheme.name, std::to_string(stats.count(circuit::CellType::kXor)),
+                   std::to_string(stats.count(circuit::CellType::kDff)), spl,
+                   std::to_string(stats.count(circuit::CellType::kSfqToDc)),
+                   std::to_string(stats.jj_count), util::fixed(stats.static_power_uw, 1),
+                   util::fixed(stats.area_mm2, 3),
+                   std::to_string(scheme.encoder->logic_depth)});
+    table.add_row({"  (paper)", std::to_string(row.paper.xor_gates),
+                   std::to_string(row.paper.dffs), std::to_string(row.paper.splitters),
+                   std::to_string(row.paper.sfq_to_dc), std::to_string(row.paper.jj_count),
+                   util::fixed(row.paper.power_uw, 1), util::fixed(row.paper.area_mm2, 3),
+                   "2"});
+    table.add_rule();
+
+    all_match = all_match &&
+                stats.count(circuit::CellType::kXor) == row.paper.xor_gates &&
+                stats.count(circuit::CellType::kDff) == row.paper.dffs &&
+                stats.count(circuit::CellType::kSplitter) == row.paper.splitters &&
+                stats.count(circuit::CellType::kSfqToDc) == row.paper.sfq_to_dc &&
+                stats.jj_count == row.paper.jj_count;
+  }
+  std::cout << table.to_string() << '\n';
+
+  // The Section III remark about Hamming(8,4)'s splitters: 10 in the data
+  // path (Fig. 2) plus 13 for the clock network.
+  {
+    const core::PaperScheme h84 = core::make_scheme(core::SchemeId::kHamming84, library);
+    const circuit::NetlistStats stats = circuit::compute_stats(
+        h84.encoder->netlist, library, h84.encoder->clock_input);
+    std::printf("Hamming(8,4) splitter breakdown: %zu data + %zu clock "
+                "(paper: %zu + %zu)\n",
+                stats.data_splitters, stats.clock_splitters,
+                core::paper::kH84DataSplitters, core::paper::kH84ClockSplitters);
+  }
+
+  // The no-encoder reference link for completeness.
+  {
+    const auto link = circuit::build_no_encoder_link(4, library);
+    const circuit::NetlistStats stats =
+        circuit::compute_stats(link.netlist, library, link.clock_input);
+    std::printf("No-encoder 4-bit link: %s, %zu JJs, %.1f uW, %.3f mm^2\n",
+                stats.inventory().c_str(), stats.jj_count, stats.static_power_uw,
+                stats.area_mm2);
+  }
+
+  std::cout << (all_match
+                    ? "\nRESULT: all synthesized cell inventories and JJ counts match "
+                      "Table II exactly.\n"
+                    : "\nRESULT: MISMATCH against Table II — see rows above.\n");
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+// Example: design your own SFQ encoder.
+//
+// Takes a generator matrix (rows of 0/1 strings), runs the full synthesis
+// pipeline (Paar CSE -> path balancing -> SFQ-to-DC -> clock tree -> fan-out
+// legalization), verifies the netlist functionally at pulse level against
+// the code, and prints the circuit report a designer would need: cell
+// inventory, JJ/power/area budget, latency and the per-weight error behaviour
+// of the code under syndrome decoding.
+//
+//   $ ./chip_designer                 # the paper's Hamming(8,4)
+//   $ ./chip_designer 1110010 0110101 1010110   # custom rows (equal length)
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sfqecc.hpp"
+
+using namespace sfqecc;
+
+int main(int argc, char** argv) {
+  std::vector<std::string> rows;
+  for (int i = 1; i < argc; ++i) rows.emplace_back(argv[i]);
+  if (rows.empty())
+    rows = {"11100001", "10011001", "01010101", "11010010"};  // paper Eq. (1)
+
+  code::Gf2Matrix g = code::Gf2Matrix::from_strings(rows);
+  const code::LinearCode code("custom(" + std::to_string(g.cols()) + "," +
+                                  std::to_string(g.rows()) + ")",
+                              std::move(g));
+  const auto& library = circuit::coldflux_library();
+
+  std::cout << "Code: " << code.name() << ", rate " << util::fixed(code.rate(), 3)
+            << ", dmin " << code.dmin() << "\nGenerator:\n"
+            << code.generator().to_string() << '\n';
+
+  // ---- synthesis -----------------------------------------------------------
+  const circuit::BuiltEncoder built = circuit::build_encoder(code, library);
+  const circuit::NetlistStats stats =
+      circuit::compute_stats(built.netlist, library, built.clock_input);
+  std::printf("Synthesized SFQ encoder:\n  %s\n", stats.inventory().c_str());
+  std::printf("  data splitters %zu, clock splitters %zu\n", stats.data_splitters,
+              stats.clock_splitters);
+  std::printf("  %zu JJs, %.1f uW static at 4.2 K, %.3f mm^2, %zu-clock latency\n\n",
+              stats.jj_count, stats.static_power_uw, stats.area_mm2,
+              built.logic_depth);
+
+  // ---- pulse-level functional sign-off --------------------------------------
+  std::size_t verified = 0;
+  const std::uint64_t total = std::uint64_t{1} << code.k();
+  for (std::uint64_t m = 0; m < total; ++m) {
+    const code::BitVec message = code::BitVec::from_u64(code.k(), m);
+    sim::SimConfig config;
+    config.record_pulses = false;
+    sim::EventSimulator simulator(built.netlist, library, config);
+    for (std::size_t b = 0; b < code.k(); ++b)
+      if (message.get(b)) simulator.inject_pulse(built.message_inputs[b], 100.0);
+    const double last = 200.0 * static_cast<double>(built.logic_depth);
+    if (built.logic_depth > 0)
+      simulator.inject_clock(built.clock_input, 200.0, 200.0, last + 0.5);
+    simulator.run_until(std::max(last, 100.0) + 60.0);
+    code::BitVec word(code.n());
+    for (std::size_t j = 0; j < code.n(); ++j)
+      word.set(j, simulator.dc_level(built.codeword_outputs[j]));
+    if (word == code.encode(message)) ++verified;
+  }
+  std::printf("Pulse-level sign-off: %zu/%llu messages encode correctly\n\n", verified,
+              static_cast<unsigned long long>(total));
+
+  // ---- code quality under syndrome decoding ---------------------------------
+  const code::SyndromeDecoder decoder(code);
+  const auto analysis = code::analyze_error_patterns(decoder);
+  util::TextTable table({"error weight", "patterns", "corrected", "detected",
+                         "miscorrected", "invisible"});
+  for (const auto& w : analysis.by_weight)
+    table.add_row({std::to_string(w.weight), std::to_string(w.patterns),
+                   std::to_string(w.corrected), std::to_string(w.detected),
+                   std::to_string(w.miscorrected), std::to_string(w.undetected)});
+  std::cout << "Error behaviour under " << decoder.name() << ":\n"
+            << table.to_string();
+  std::printf("guaranteed correction up to %zu error(s); pin budget: %zu output "
+              "channels + clock + %zu message lines\n",
+              analysis.guaranteed_correct, code.n(), code.k());
+  return verified == total ? 0 : 1;
+}

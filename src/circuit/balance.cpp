@@ -1,0 +1,57 @@
+#include "circuit/balance.hpp"
+
+#include <map>
+#include <set>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::circuit {
+namespace {
+
+std::size_t signal_index(const XorProgram& program, const SignalRef& ref) {
+  return ref.is_op ? program.num_inputs() + ref.index : ref.index;
+}
+
+}  // namespace
+
+std::vector<SignalTaps> balancing_taps(const XorProgram& program,
+                                       std::size_t target_depth) {
+  expects(target_depth >= program.depth(), "target depth below circuit depth");
+
+  std::map<std::size_t, std::set<std::size_t>> taps;  // signal -> required depths
+  auto require = [&](const SignalRef& ref, std::size_t at_depth) {
+    const std::size_t native = program.signal_depth(ref);
+    expects(at_depth >= native, "consumer earlier than producer");
+    if (at_depth > native) taps[signal_index(program, ref)].insert(at_depth);
+  };
+
+  for (std::size_t i = 0; i < program.ops().size(); ++i) {
+    const XorOp& op = program.ops()[i];
+    const std::size_t d = program.signal_depth(SignalRef{true, i});
+    require(op.a, d - 1);
+    require(op.b, d - 1);
+  }
+  for (const SignalRef& out : program.outputs()) require(out, target_depth);
+
+  std::vector<SignalTaps> result;
+  for (const auto& [signal, depths] : taps) {
+    SignalTaps st;
+    st.signal = signal;
+    st.native_depth =
+        signal < program.num_inputs()
+            ? 0
+            : program.signal_depth(SignalRef{true, signal - program.num_inputs()});
+    st.taps.assign(depths.begin(), depths.end());
+    result.push_back(std::move(st));
+  }
+  return result;
+}
+
+std::size_t balancing_dff_count(const XorProgram& program, std::size_t target_depth) {
+  std::size_t count = 0;
+  for (const SignalTaps& st : balancing_taps(program, target_depth))
+    count += st.taps.back() - st.native_depth;  // chain reaches the deepest tap
+  return count;
+}
+
+}  // namespace sfqecc::circuit

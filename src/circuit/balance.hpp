@@ -1,0 +1,39 @@
+// Path balancing for clocked SFQ logic.
+//
+// Every SFQ gate is clocked, so both arms of a depth-d XOR must arrive exactly
+// at depth d-1 and every primary output must exit at the common circuit depth
+// D; otherwise pulses from different messages mix between pipeline stages.
+// Balancing inserts D-flip-flop (DFF) chains. Chains are shared: one chain per
+// signal, tapped at every required depth — this is what lets the paper's
+// encoders reach the published DFF counts (8/8/7), e.g. the first DFF of the
+// c3 = m1 output chain doubles as the delayed m1 arm of the c2 XOR.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/xor_synth.hpp"
+
+namespace sfqecc::circuit {
+
+/// Balancing requirements of one signal of an XorProgram.
+struct SignalTaps {
+  std::size_t signal = 0;        ///< 0..k-1 inputs, then k+i for op i
+  std::size_t native_depth = 0;  ///< depth at which the signal is produced
+  std::vector<std::size_t> taps; ///< ascending depths > native_depth at which a delayed copy is consumed
+};
+
+/// Computes, for every signal, the set of delayed copies required to balance
+/// the program at depth `target_depth` (pass program.depth(), or more for
+/// extra pipeline stages). Signals with no required taps are omitted.
+///
+/// Consumers needing the signal at its native depth use the raw signal; an op
+/// at depth d consumes its arms at depth d-1; outputs are consumed at
+/// target_depth.
+std::vector<SignalTaps> balancing_taps(const XorProgram& program, std::size_t target_depth);
+
+/// Total DFF count implied by the chains: one DFF per chain stage from
+/// native_depth+1 to the deepest tap of each signal.
+std::size_t balancing_dff_count(const XorProgram& program, std::size_t target_depth);
+
+}  // namespace sfqecc::circuit

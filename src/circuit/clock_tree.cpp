@@ -1,0 +1,41 @@
+#include "circuit/clock_tree.hpp"
+
+namespace sfqecc::circuit {
+namespace {
+
+bool is_clocked_type(CellType type) noexcept {
+  switch (type) {
+    case CellType::kXor:
+    case CellType::kAnd:
+    case CellType::kOr:
+    case CellType::kNot:
+    case CellType::kDff:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::size_t attach_clock(Netlist& netlist, NetId clock_net) {
+  std::size_t attached = 0;
+  const std::size_t cells = netlist.cell_count();
+  for (CellId id = 0; id < cells; ++id) {
+    const Cell& c = netlist.cell(id);
+    if (is_clocked_type(c.type) && c.clock == kInvalidId) {
+      netlist.connect_clock(id, clock_net);
+      ++attached;
+    }
+  }
+  return attached;
+}
+
+std::size_t clocked_cell_count(const Netlist& netlist) noexcept {
+  std::size_t n = 0;
+  for (const Cell& c : netlist.cells())
+    if (is_clocked_type(c.type)) ++n;
+  return n;
+}
+
+}  // namespace sfqecc::circuit

@@ -1,0 +1,22 @@
+// Clock distribution.
+//
+// Every clocked cell (XOR, DFF, ...) is attached to the primary clock input;
+// the subsequent fan-out legalization pass materializes the clock splitter
+// tree (n sinks -> n-1 splitters), exactly the "13 more splitters ... to form
+// a clock distribution network" the paper describes for Hamming(8,4).
+#pragma once
+
+#include <cstddef>
+
+#include "circuit/netlist.hpp"
+
+namespace sfqecc::circuit {
+
+/// Connects the clock port of every clocked cell without a clock to
+/// `clock_net`, in cell-id order. Returns the number of connections made.
+std::size_t attach_clock(Netlist& netlist, NetId clock_net);
+
+/// Number of clocked cells in the netlist.
+std::size_t clocked_cell_count(const Netlist& netlist) noexcept;
+
+}  // namespace sfqecc::circuit

@@ -1,0 +1,153 @@
+#include "circuit/encoder_builder.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/balance.hpp"
+#include "circuit/clock_tree.hpp"
+#include "circuit/fanout.hpp"
+#include "util/expect.hpp"
+
+namespace sfqecc::circuit {
+namespace {
+
+XorProgram run_synthesis(const code::Gf2Matrix& generator, SynthesisAlgorithm algorithm) {
+  switch (algorithm) {
+    case SynthesisAlgorithm::kPaar: return synthesize_paar(generator);
+    case SynthesisAlgorithm::kPaarUnbounded: return synthesize_paar_unbounded(generator);
+    case SynthesisAlgorithm::kTree: return synthesize_tree(generator);
+    case SynthesisAlgorithm::kChain: return synthesize_chain(generator);
+  }
+  throw ContractViolation("unknown synthesis algorithm");
+}
+
+}  // namespace
+
+BuiltEncoder build_encoder(const code::LinearCode& code, const CellLibrary& library,
+                           const EncoderBuildOptions& options) {
+  expects(library.has(CellType::kXor) && library.has(CellType::kDff) &&
+              library.has(CellType::kSplitter) && library.has(CellType::kSfqToDc),
+          "library lacks required cell types");
+
+  XorProgram program = run_synthesis(code.generator(), options.algorithm);
+  const std::size_t k = program.num_inputs();
+  const std::size_t depth = program.depth();
+
+  BuiltEncoder built(Netlist(code.name() + "-encoder"), program);
+  Netlist& nl = built.netlist;
+  built.logic_depth = depth;
+
+  // net_at[signal][d] = net carrying the signal delayed to depth d.
+  std::vector<std::map<std::size_t, NetId>> net_at(k + program.ops().size());
+
+  for (std::size_t i = 0; i < k; ++i) {
+    const NetId net = nl.add_primary_input("m" + std::to_string(i + 1));
+    built.message_inputs.push_back(net);
+    net_at[i][0] = net;
+  }
+
+  // Tap requirements (only when balancing).
+  std::vector<std::vector<std::size_t>> taps(k + program.ops().size());
+  if (options.balance_paths) {
+    for (const SignalTaps& st : balancing_taps(program, depth)) taps[st.signal] = st.taps;
+  }
+
+  auto signal_name = [&](std::size_t signal) {
+    return signal < k ? "m" + std::to_string(signal + 1)
+                      : "x" + std::to_string(signal - k + 1);
+  };
+
+  // Builds the DFF chain of `signal` from its native depth to its deepest tap.
+  auto build_chain = [&](std::size_t signal, std::size_t native_depth) {
+    if (taps[signal].empty()) return;
+    const std::size_t deepest = taps[signal].back();
+    NetId prev = net_at[signal].at(native_depth);
+    for (std::size_t d = native_depth + 1; d <= deepest; ++d) {
+      const std::string stage = signal_name(signal) + "_d" + std::to_string(d);
+      const CellId dff = nl.add_cell(CellType::kDff, "dff_" + stage, {prev}, {stage});
+      prev = nl.cell(dff).outputs[0];
+      net_at[signal][d] = prev;
+    }
+  };
+
+  auto resolve = [&](const SignalRef& ref, std::size_t at_depth) {
+    const std::size_t signal = ref.is_op ? k + ref.index : ref.index;
+    const auto it = net_at[signal].find(at_depth);
+    expects(it != net_at[signal].end(), "signal not available at required depth");
+    return it->second;
+  };
+
+  // Input chains first (ops may consume their taps).
+  for (std::size_t i = 0; i < k; ++i) build_chain(i, 0);
+
+  // XOR cells in program order (topological), then each op's own chain.
+  for (std::size_t i = 0; i < program.ops().size(); ++i) {
+    const XorOp& op = program.ops()[i];
+    const std::size_t d = program.signal_depth(SignalRef{true, i});
+    const std::size_t arm_depth = options.balance_paths ? d - 1 : std::size_t{0};
+    const NetId a = options.balance_paths
+                        ? resolve(op.a, std::max(arm_depth, program.signal_depth(op.a)))
+                        : net_at[op.a.is_op ? k + op.a.index : op.a.index].begin()->second;
+    const NetId b = options.balance_paths
+                        ? resolve(op.b, std::max(arm_depth, program.signal_depth(op.b)))
+                        : net_at[op.b.is_op ? k + op.b.index : op.b.index].begin()->second;
+    const std::string out_name = "x" + std::to_string(i + 1);
+    const CellId cell = nl.add_cell(CellType::kXor, "xor_" + out_name, {a, b}, {out_name});
+    net_at[k + i][d] = nl.cell(cell).outputs[0];
+    if (options.balance_paths) build_chain(k + i, d);
+  }
+
+  // Outputs: balanced to the circuit depth, then converted to DC.
+  for (std::size_t j = 0; j < program.outputs().size(); ++j) {
+    const SignalRef& out = program.outputs()[j];
+    const std::size_t at =
+        options.balance_paths ? depth : program.signal_depth(out);
+    const NetId net = resolve(out, at);
+    if (options.add_output_converters) {
+      const CellId conv = nl.add_cell(CellType::kSfqToDc, "sfqdc_c" + std::to_string(j + 1),
+                                      {net}, {"c" + std::to_string(j + 1)});
+      const NetId dc = nl.cell(conv).outputs[0];
+      nl.mark_primary_output(dc);
+      built.codeword_outputs.push_back(dc);
+    } else {
+      nl.mark_primary_output(net);
+      built.codeword_outputs.push_back(net);
+    }
+  }
+
+  if (options.build_clock_tree && clocked_cell_count(nl) > 0) {
+    built.clock_input = nl.add_primary_input("clk");
+    attach_clock(nl, built.clock_input);
+  }
+  legalize_fanout(nl);
+  nl.validate(/*require_clocks=*/options.build_clock_tree);
+  return built;
+}
+
+BuiltEncoder build_no_encoder_link(std::size_t bits, const CellLibrary& library) {
+  expects(bits > 0, "link needs at least one bit");
+  expects(library.has(CellType::kSfqToDc), "library lacks SFQ-to-DC");
+
+  // Identity "code": pass-through program with no ops.
+  code::Gf2Matrix identity = code::Gf2Matrix::identity(bits);
+  std::vector<SignalRef> outs;
+  for (std::size_t i = 0; i < bits; ++i) outs.push_back(SignalRef{false, i});
+  XorProgram program(bits, {}, outs);
+
+  BuiltEncoder built(Netlist("no-encoder-link"), program);
+  Netlist& nl = built.netlist;
+  for (std::size_t i = 0; i < bits; ++i) {
+    const NetId in = nl.add_primary_input("m" + std::to_string(i + 1));
+    built.message_inputs.push_back(in);
+    const CellId conv = nl.add_cell(CellType::kSfqToDc, "sfqdc_c" + std::to_string(i + 1),
+                                    {in}, {"c" + std::to_string(i + 1)});
+    const NetId dc = nl.cell(conv).outputs[0];
+    nl.mark_primary_output(dc);
+    built.codeword_outputs.push_back(dc);
+  }
+  nl.validate(/*require_clocks=*/false);
+  return built;
+}
+
+}  // namespace sfqecc::circuit

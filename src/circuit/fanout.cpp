@@ -1,0 +1,57 @@
+#include "circuit/fanout.hpp"
+
+#include <string>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::circuit {
+namespace {
+
+/// Attaches `sinks` to `source` through a balanced binary splitter tree.
+std::size_t build_splitter_tree(Netlist& netlist, NetId source,
+                                const std::vector<Sink>& sinks, std::size_t& counter) {
+  if (sinks.size() == 1) {
+    // The sink is already attached to `source` by the caller.
+    return 0;
+  }
+  // Detach all sinks, insert one splitter, recurse on the two halves.
+  const std::string base = netlist.net(source).name;
+  const CellId spl = netlist.add_cell(
+      CellType::kSplitter, "spl" + std::to_string(counter), {source},
+      {base + "_s" + std::to_string(counter) + "a",
+       base + "_s" + std::to_string(counter) + "b"});
+  ++counter;
+  const NetId out_a = netlist.cell(spl).outputs[0];
+  const NetId out_b = netlist.cell(spl).outputs[1];
+
+  const std::size_t half = (sinks.size() + 1) / 2;
+  std::vector<Sink> first(sinks.begin(), sinks.begin() + static_cast<std::ptrdiff_t>(half));
+  std::vector<Sink> second(sinks.begin() + static_cast<std::ptrdiff_t>(half), sinks.end());
+  for (const Sink& s : first) netlist.move_sink(source, out_a, s);
+  for (const Sink& s : second) netlist.move_sink(source, out_b, s);
+
+  std::size_t inserted = 1;
+  inserted += build_splitter_tree(netlist, out_a, first, counter);
+  inserted += build_splitter_tree(netlist, out_b, second, counter);
+  return inserted;
+}
+
+}  // namespace
+
+std::size_t legalize_fanout(Netlist& netlist) {
+  std::size_t counter = 0;
+  std::size_t inserted = 0;
+  // Iterate over the nets that exist now; splitter outputs created during the
+  // pass are single-sink by construction.
+  const std::size_t original_nets = netlist.net_count();
+  for (NetId id = 0; id < original_nets; ++id) {
+    const std::vector<Sink> sinks = netlist.net(id).sinks;  // copy: pass mutates
+    if (sinks.size() < 2) continue;
+    inserted += build_splitter_tree(netlist, id, sinks, counter);
+  }
+  ensures(netlist.obeys_fanout_discipline(), "fan-out legalization incomplete");
+  return inserted;
+}
+
+}  // namespace sfqecc::circuit

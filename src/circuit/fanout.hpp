@@ -1,0 +1,20 @@
+// Fan-out legalization.
+//
+// SFQ cells drive exactly one sink, so every net with f > 1 consumers must be
+// materialized as a binary tree of f-1 splitter cells. The same pass realizes
+// the clock distribution network: the clock net simply has every clocked cell
+// as a sink before legalization.
+#pragma once
+
+#include "circuit/cell_library.hpp"
+#include "circuit/netlist.hpp"
+
+namespace sfqecc::circuit {
+
+/// Replaces every multi-sink net with a balanced binary splitter tree.
+/// Deterministic: sinks are split in recorded order. After this pass
+/// `netlist.obeys_fanout_discipline()` holds.
+/// Returns the number of splitters inserted.
+std::size_t legalize_fanout(Netlist& netlist);
+
+}  // namespace sfqecc::circuit

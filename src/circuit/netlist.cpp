@@ -1,0 +1,203 @@
+#include "circuit/netlist.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::circuit {
+namespace {
+
+std::size_t expected_outputs(CellType type) {
+  return type == CellType::kSplitter ? 2 : 1;
+}
+
+std::size_t expected_inputs(CellType type) {
+  switch (type) {
+    case CellType::kXor:
+    case CellType::kAnd:
+    case CellType::kOr:
+    case CellType::kMerger:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+bool is_clocked(CellType type) {
+  switch (type) {
+    case CellType::kXor:
+    case CellType::kAnd:
+    case CellType::kOr:
+    case CellType::kNot:
+    case CellType::kDff:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Netlist::Netlist(std::string name) : name_(std::move(name)) {}
+
+NetId Netlist::add_net(std::string name) {
+  Net n;
+  n.id = nets_.size();
+  n.name = std::move(name);
+  nets_.push_back(std::move(n));
+  return nets_.back().id;
+}
+
+NetId Netlist::add_primary_input(std::string name) {
+  const NetId id = add_net(std::move(name));
+  nets_[id].primary_input = true;
+  primary_inputs_.push_back(id);
+  return id;
+}
+
+void Netlist::mark_primary_output(NetId net) {
+  expects(net < nets_.size(), "unknown net");
+  expects(!nets_[net].primary_output, "net already a primary output");
+  nets_[net].primary_output = true;
+  primary_outputs_.push_back(net);
+}
+
+CellId Netlist::add_cell(CellType type, std::string name,
+                         const std::vector<NetId>& inputs,
+                         const std::vector<std::string>& output_names) {
+  expects(inputs.size() == expected_inputs(type), "wrong input count for cell type");
+  expects(output_names.size() == expected_outputs(type), "wrong output count for cell type");
+
+  Cell c;
+  c.id = cells_.size();
+  c.type = type;
+  c.name = std::move(name);
+  c.inputs = inputs;
+  cells_.push_back(std::move(c));
+  Cell& cell = cells_.back();
+
+  for (std::size_t port = 0; port < inputs.size(); ++port) {
+    expects(inputs[port] < nets_.size(), "unknown input net");
+    nets_[inputs[port]].sinks.push_back(Sink{cell.id, port});
+  }
+  for (std::size_t port = 0; port < output_names.size(); ++port) {
+    const NetId out = add_net(output_names[port]);
+    nets_[out].driver_cell = cell.id;
+    nets_[out].driver_port = port;
+    cells_[cell.id].outputs.push_back(out);
+  }
+  return cell.id;
+}
+
+void Netlist::connect_clock(CellId cell_id, NetId clock_net) {
+  expects(cell_id < cells_.size(), "unknown cell");
+  expects(clock_net < nets_.size(), "unknown clock net");
+  Cell& c = cells_[cell_id];
+  expects(is_clocked(c.type), "cell type has no clock port");
+  expects(c.clock == kInvalidId, "clock already connected");
+  c.clock = clock_net;
+  nets_[clock_net].sinks.push_back(Sink{cell_id, kClockPort});
+}
+
+void Netlist::move_sink(NetId from, NetId to, const Sink& sink) {
+  expects(from < nets_.size() && to < nets_.size(), "unknown net");
+  auto& sinks = nets_[from].sinks;
+  auto it = std::find(sinks.begin(), sinks.end(), sink);
+  expects(it != sinks.end(), "sink not found on source net");
+  sinks.erase(it);
+  nets_[to].sinks.push_back(sink);
+  if (sink.port == kClockPort) {
+    cells_[sink.cell].clock = to;
+  } else {
+    cells_[sink.cell].inputs[sink.port] = to;
+  }
+}
+
+const Cell& Netlist::cell(CellId id) const {
+  expects(id < cells_.size(), "unknown cell");
+  return cells_[id];
+}
+
+const Net& Netlist::net(NetId id) const {
+  expects(id < nets_.size(), "unknown net");
+  return nets_[id];
+}
+
+std::size_t Netlist::count_cells(CellType type) const noexcept {
+  std::size_t n = 0;
+  for (const Cell& c : cells_)
+    if (c.type == type) ++n;
+  return n;
+}
+
+std::vector<CellId> Netlist::topological_order() const {
+  std::vector<std::size_t> pending(cells_.size(), 0);
+  for (const Cell& c : cells_)
+    for (NetId in : c.inputs)
+      if (nets_[in].driver_cell != kInvalidId) ++pending[c.id];
+  // Clock edges also order cells (the clock tree feeds clocked cells).
+  for (const Cell& c : cells_)
+    if (c.clock != kInvalidId && nets_[c.clock].driver_cell != kInvalidId) ++pending[c.id];
+
+  std::queue<CellId> ready;
+  for (const Cell& c : cells_)
+    if (pending[c.id] == 0) ready.push(c.id);
+
+  std::vector<CellId> order;
+  order.reserve(cells_.size());
+  while (!ready.empty()) {
+    const CellId id = ready.front();
+    ready.pop();
+    order.push_back(id);
+    for (NetId out : cells_[id].outputs) {
+      for (const Sink& s : nets_[out].sinks) {
+        if (--pending[s.cell] == 0) ready.push(s.cell);
+      }
+    }
+  }
+  expects(order.size() == cells_.size(), "netlist contains a cycle");
+  return order;
+}
+
+void Netlist::validate(bool require_clocks) const {
+  for (const Net& n : nets_) {
+    if (n.primary_input) {
+      expects(n.driver_cell == kInvalidId, "primary input must not have a cell driver");
+    }
+    for (const Sink& s : n.sinks) {
+      expects(s.cell < cells_.size(), "sink references unknown cell");
+      const Cell& c = cells_[s.cell];
+      if (s.port == kClockPort) {
+        expects(c.clock == n.id, "clock sink inconsistent");
+      } else {
+        expects(s.port < c.inputs.size(), "sink port out of range");
+        expects(c.inputs[s.port] == n.id, "sink back-reference inconsistent");
+      }
+    }
+  }
+  for (const Cell& c : cells_) {
+    expects(c.inputs.size() == expected_inputs(c.type), "input arity mismatch");
+    expects(c.outputs.size() == expected_outputs(c.type), "output arity mismatch");
+    for (NetId out : c.outputs) {
+      expects(out < nets_.size(), "unknown output net");
+      expects(nets_[out].driver_cell == c.id, "driver back-reference inconsistent");
+    }
+    if (require_clocks && is_clocked(c.type)) {
+      expects(c.clock != kInvalidId, "clocked cell without clock");
+    }
+  }
+  (void)topological_order();  // throws on cycles
+}
+
+bool Netlist::obeys_fanout_discipline() const noexcept {
+  return max_fanout() <= 1;
+}
+
+std::size_t Netlist::max_fanout() const noexcept {
+  std::size_t worst = 0;
+  for (const Net& n : nets_) worst = std::max(worst, n.sinks.size());
+  return worst;
+}
+
+}  // namespace sfqecc::circuit

@@ -1,0 +1,112 @@
+// Gate-level SFQ netlist.
+//
+// A Netlist is a DAG of cells connected by nets. SFQ discipline: every net
+// has exactly one driver (a cell output or a primary input) and — after
+// fan-out legalization — at most one sink, because SFQ gates have a fan-out
+// of one. Clocked cells reference a clock net that is itself driven through
+// the (real, simulated) clock splitter tree.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/cell_library.hpp"
+
+namespace sfqecc::circuit {
+
+using CellId = std::size_t;
+using NetId = std::size_t;
+
+inline constexpr std::size_t kInvalidId = std::numeric_limits<std::size_t>::max();
+
+/// A connection endpoint: (cell, input port index). Port kClockPort denotes
+/// the clock input of a clocked cell.
+struct Sink {
+  CellId cell = kInvalidId;
+  std::size_t port = 0;
+  bool operator==(const Sink&) const = default;
+};
+
+inline constexpr std::size_t kClockPort = std::numeric_limits<std::size_t>::max();
+
+struct Net {
+  NetId id = kInvalidId;
+  std::string name;
+  CellId driver_cell = kInvalidId;   ///< kInvalidId when driven by a primary input
+  std::size_t driver_port = 0;
+  std::vector<Sink> sinks;
+  bool primary_input = false;
+  bool primary_output = false;
+};
+
+struct Cell {
+  CellId id = kInvalidId;
+  CellType type = CellType::kJtl;
+  std::string name;
+  std::vector<NetId> inputs;    ///< data inputs, in port order
+  std::vector<NetId> outputs;   ///< outputs, in port order (splitter has two)
+  NetId clock = kInvalidId;     ///< clock net for clocked cells
+};
+
+/// Mutable gate-level netlist with construction-time invariant checking.
+class Netlist {
+ public:
+  explicit Netlist(std::string name);
+
+  const std::string& name() const noexcept { return name_; }
+
+  // ---- construction -------------------------------------------------------
+  NetId add_net(std::string name);
+  NetId add_primary_input(std::string name);
+  void mark_primary_output(NetId net);
+
+  /// Adds a cell. `inputs` are connected as data sinks in port order;
+  /// `output_names` create one new net per output port. Returns the cell id.
+  CellId add_cell(CellType type, std::string name, const std::vector<NetId>& inputs,
+                  const std::vector<std::string>& output_names);
+
+  /// Connects a clocked cell's clock port to `clock_net`.
+  void connect_clock(CellId cell, NetId clock_net);
+
+  /// Moves a data sink from one net to another (used by legalization passes).
+  void move_sink(NetId from, NetId to, const Sink& sink);
+
+  // ---- access --------------------------------------------------------------
+  std::size_t cell_count() const noexcept { return cells_.size(); }
+  std::size_t net_count() const noexcept { return nets_.size(); }
+  const Cell& cell(CellId id) const;
+  const Net& net(NetId id) const;
+  const std::vector<Cell>& cells() const noexcept { return cells_; }
+  const std::vector<Net>& nets() const noexcept { return nets_; }
+  const std::vector<NetId>& primary_inputs() const noexcept { return primary_inputs_; }
+  const std::vector<NetId>& primary_outputs() const noexcept { return primary_outputs_; }
+
+  std::size_t count_cells(CellType type) const noexcept;
+
+  /// Cells in topological order over data edges (primary inputs first).
+  /// Throws on combinational cycles.
+  std::vector<CellId> topological_order() const;
+
+  // ---- invariants ----------------------------------------------------------
+  /// Structural validation: single driver per net, ports consistent, clocked
+  /// cells have clocks when `require_clocks`. Throws on violation.
+  void validate(bool require_clocks = true) const;
+
+  /// True when every net has at most one sink (SFQ fan-out discipline).
+  bool obeys_fanout_discipline() const noexcept;
+
+  /// Largest number of sinks on any net.
+  std::size_t max_fanout() const noexcept;
+
+ private:
+  std::string name_;
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+  std::vector<NetId> primary_inputs_;
+  std::vector<NetId> primary_outputs_;
+};
+
+}  // namespace sfqecc::circuit

@@ -1,0 +1,23 @@
+// Netlist exporters.
+//
+// * JoSIM-style hierarchical SPICE netlist: each cell becomes a subcircuit
+//   instance (X...), nets become nodes, primary inputs become sources —
+//   the hand-off format a designer would feed to the real JoSIM after
+//   replacing the behavioural .subckt stubs with the ColdFlux cells.
+// * Graphviz DOT: the circuit as a DAG for visual inspection (data edges
+//   solid, clock edges dashed).
+#pragma once
+
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace sfqecc::circuit {
+
+/// Serializes the netlist as a JoSIM/SPICE-style deck. Deterministic.
+std::string to_spice(const Netlist& netlist);
+
+/// Serializes the netlist as a Graphviz digraph. Deterministic.
+std::string to_dot(const Netlist& netlist);
+
+}  // namespace sfqecc::circuit

@@ -1,0 +1,60 @@
+#include "circuit/netlist_stats.hpp"
+
+#include <queue>
+#include <sstream>
+#include <vector>
+
+namespace sfqecc::circuit {
+
+std::string NetlistStats::inventory() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [type, count] : cell_counts) {
+    if (count == 0) continue;
+    if (!first) out << ", ";
+    out << count << ' ' << cell_type_name(type);
+    first = false;
+  }
+  return out.str();
+}
+
+NetlistStats compute_stats(const Netlist& netlist, const CellLibrary& library,
+                           NetId clock_net) {
+  NetlistStats stats;
+  for (const Cell& c : netlist.cells()) {
+    ++stats.cell_counts[c.type];
+    const CellSpec& spec = library.spec(c.type);
+    stats.jj_count += spec.jj_count;
+    stats.static_power_uw += spec.static_power_uw;
+    stats.area_mm2 += spec.area_mm2;
+  }
+
+  // Classify splitters by walking the clock cone: every cell fed (directly or
+  // through other splitters) by the clock primary input.
+  std::vector<bool> in_clock_cone(netlist.cell_count(), false);
+  if (clock_net != kInvalidId) {
+    std::queue<NetId> frontier;
+    frontier.push(clock_net);
+    while (!frontier.empty()) {
+      const NetId net = frontier.front();
+      frontier.pop();
+      for (const Sink& s : netlist.net(net).sinks) {
+        const Cell& c = netlist.cell(s.cell);
+        if (c.type == CellType::kSplitter && !in_clock_cone[c.id]) {
+          in_clock_cone[c.id] = true;
+          for (NetId out : c.outputs) frontier.push(out);
+        }
+      }
+    }
+  }
+  for (const Cell& c : netlist.cells()) {
+    if (c.type != CellType::kSplitter) continue;
+    if (in_clock_cone[c.id])
+      ++stats.clock_splitters;
+    else
+      ++stats.data_splitters;
+  }
+  return stats;
+}
+
+}  // namespace sfqecc::circuit

@@ -1,0 +1,38 @@
+// Aggregated circuit statistics — the quantities reported in the paper's
+// Table II: standard-cell inventory (with data/clock splitter breakdown),
+// total JJ count, static power dissipation and layout area.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "circuit/cell_library.hpp"
+#include "circuit/netlist.hpp"
+
+namespace sfqecc::circuit {
+
+struct NetlistStats {
+  std::map<CellType, std::size_t> cell_counts;
+  std::size_t data_splitters = 0;   ///< splitters in the data cone
+  std::size_t clock_splitters = 0;  ///< splitters in the clock distribution cone
+  std::size_t jj_count = 0;
+  double static_power_uw = 0.0;
+  double area_mm2 = 0.0;
+
+  std::size_t count(CellType type) const noexcept {
+    auto it = cell_counts.find(type);
+    return it == cell_counts.end() ? 0 : it->second;
+  }
+
+  /// One-line inventory, e.g. "6 XOR, 8 DFF, 23 SPL, 8 SFQDC".
+  std::string inventory() const;
+};
+
+/// Computes stats using the given cell library. `clock_net` (when valid)
+/// identifies the primary clock input; splitters reachable from it are
+/// classified as clock splitters.
+NetlistStats compute_stats(const Netlist& netlist, const CellLibrary& library,
+                           NetId clock_net = kInvalidId);
+
+}  // namespace sfqecc::circuit

@@ -1,0 +1,339 @@
+#include "circuit/xor_synth.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::circuit {
+
+using code::BitVec;
+using code::Gf2Matrix;
+
+XorProgram::XorProgram(std::size_t num_inputs, std::vector<XorOp> ops,
+                       std::vector<SignalRef> outputs)
+    : num_inputs_(num_inputs), ops_(std::move(ops)), outputs_(std::move(outputs)) {
+  op_depth_.reserve(ops_.size());
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const XorOp& op = ops_[i];
+    auto arm_depth = [&](const SignalRef& r) -> std::size_t {
+      if (!r.is_op) {
+        sfqecc::expects(r.index < num_inputs_, "op references unknown input");
+        return 0;
+      }
+      sfqecc::expects(r.index < i, "op references a later op");
+      return op_depth_[r.index];
+    };
+    op_depth_.push_back(1 + std::max(arm_depth(op.a), arm_depth(op.b)));
+  }
+  for (const SignalRef& out : outputs_) {
+    sfqecc::expects(out.is_op ? out.index < ops_.size() : out.index < num_inputs_,
+                    "output references unknown signal");
+  }
+}
+
+std::size_t XorProgram::signal_depth(const SignalRef& ref) const {
+  if (!ref.is_op) return 0;
+  sfqecc::expects(ref.index < ops_.size(), "unknown op");
+  return op_depth_[ref.index];
+}
+
+std::size_t XorProgram::depth() const {
+  std::size_t d = 0;
+  for (std::size_t v : op_depth_) d = std::max(d, v);
+  return d;
+}
+
+BitVec XorProgram::evaluate(const BitVec& inputs) const {
+  sfqecc::expects(inputs.size() == num_inputs_, "input length mismatch");
+  std::vector<bool> values(ops_.size());
+  auto value_of = [&](const SignalRef& r) {
+    return r.is_op ? values[r.index] : inputs.get(r.index);
+  };
+  for (std::size_t i = 0; i < ops_.size(); ++i)
+    values[i] = value_of(ops_[i].a) != value_of(ops_[i].b);
+  BitVec out(outputs_.size());
+  for (std::size_t j = 0; j < outputs_.size(); ++j) out.set(j, value_of(outputs_[j]));
+  return out;
+}
+
+BitVec XorProgram::signal_support(const SignalRef& ref) const {
+  if (!ref.is_op) {
+    BitVec v(num_inputs_);
+    v.set(ref.index, true);
+    return v;
+  }
+  sfqecc::expects(ref.index < ops_.size(), "unknown op");
+  // Supports are small; recompute front-to-back.
+  std::vector<BitVec> sup;
+  sup.reserve(ops_.size());
+  auto support_of = [&](const SignalRef& r) {
+    if (!r.is_op) {
+      BitVec v(num_inputs_);
+      v.set(r.index, true);
+      return v;
+    }
+    return sup[r.index];
+  };
+  for (std::size_t i = 0; i <= ref.index; ++i)
+    sup.push_back(support_of(ops_[i].a) ^ support_of(ops_[i].b));
+  return sup[ref.index];
+}
+
+namespace {
+
+/// Minimum achievable tree depth when merging signals of the given depths
+/// with two-input XORs: repeatedly combine the two shallowest.
+std::size_t min_completion_depth(std::vector<std::size_t> depths) {
+  sfqecc::expects(!depths.empty(), "empty merge");
+  std::sort(depths.begin(), depths.end());
+  while (depths.size() > 1) {
+    const std::size_t merged = std::max(depths[0], depths[1]) + 1;
+    depths.erase(depths.begin(), depths.begin() + 2);
+    depths.insert(std::lower_bound(depths.begin(), depths.end(), merged), merged);
+  }
+  return depths[0];
+}
+
+std::size_t ceil_log2(std::size_t v) {
+  std::size_t d = 0;
+  while ((std::size_t{1} << d) < v) ++d;
+  return d;
+}
+
+/// Column state during synthesis: the set of signal indices whose XOR equals
+/// the target output.
+using Column = std::set<std::size_t>;
+
+std::vector<Column> initial_columns(const Gf2Matrix& g) {
+  std::vector<Column> columns(g.cols());
+  for (std::size_t j = 0; j < g.cols(); ++j) {
+    for (std::size_t i = 0; i < g.rows(); ++i)
+      if (g.get(i, j)) columns[j].insert(i);
+    sfqecc::expects(!columns[j].empty(),
+                    "generator has a zero column (constant output)");
+  }
+  return columns;
+}
+
+}  // namespace
+
+namespace {
+
+XorProgram paar_impl(const Gf2Matrix& g, std::size_t depth_bound);
+
+}  // namespace
+
+XorProgram synthesize_paar(const Gf2Matrix& g) {
+  // Depth bound: the minimum achievable circuit depth (all inputs at depth 0).
+  std::size_t depth_bound = 0;
+  for (const Column& c : initial_columns(g))
+    depth_bound = std::max(depth_bound, ceil_log2(c.size()));
+  return paar_impl(g, depth_bound);
+}
+
+XorProgram synthesize_paar_unbounded(const Gf2Matrix& g) {
+  // A column of weight w can never need depth beyond w-1 (a chain), so this
+  // bound never constrains the greedy choice.
+  std::size_t loose = 1;
+  for (const Column& c : initial_columns(g)) loose = std::max(loose, c.size());
+  return paar_impl(g, g.rows() + loose);
+}
+
+namespace {
+
+XorProgram paar_impl(const Gf2Matrix& g, std::size_t depth_bound) {
+  const std::size_t k = g.rows();
+  std::vector<Column> columns = initial_columns(g);
+
+  std::vector<std::size_t> depth(k, 0);  // depth per signal
+  std::vector<XorOp> ops;
+
+  auto column_feasible_after = [&](const Column& col, std::size_t a, std::size_t b,
+                                   std::size_t new_depth) {
+    // Depths of the column's signals after replacing {a, b} by the new signal.
+    std::vector<std::size_t> ds;
+    ds.reserve(col.size() - 1);
+    for (std::size_t s : col)
+      if (s != a && s != b) ds.push_back(depth[s]);
+    ds.push_back(new_depth);
+    return min_completion_depth(std::move(ds)) <= depth_bound;
+  };
+
+  auto remaining = [&]() {
+    std::size_t r = 0;
+    for (const Column& c : columns) r += c.size() - 1;
+    return r;
+  };
+
+  while (remaining() > 0) {
+    // Count, for each signal pair, the columns where substitution is feasible.
+    std::map<std::pair<std::size_t, std::size_t>, std::size_t> counts;
+    for (const Column& col : columns) {
+      if (col.size() < 2) continue;
+      for (auto ia = col.begin(); ia != col.end(); ++ia) {
+        for (auto ib = std::next(ia); ib != col.end(); ++ib) {
+          const std::size_t a = *ia, b = *ib;
+          const std::size_t nd = std::max(depth[a], depth[b]) + 1;
+          if (nd > depth_bound) continue;
+          if (!column_feasible_after(col, a, b, nd)) continue;
+          ++counts[{a, b}];
+        }
+      }
+    }
+    sfqecc::ensures(!counts.empty(), "no feasible pair; depth bound unreachable");
+
+    // Greedy choice: maximum feasible count; std::map iteration order gives
+    // the lexicographically smallest pair on ties.
+    std::pair<std::size_t, std::size_t> best{};
+    std::size_t best_count = 0;
+    for (const auto& [pair, count] : counts) {
+      if (count > best_count) {
+        best = pair;
+        best_count = count;
+      }
+    }
+
+    const auto [a, b] = best;
+    const std::size_t new_index = k + ops.size();
+    const std::size_t new_depth = std::max(depth[a], depth[b]) + 1;
+    ops.push_back(XorOp{
+        SignalRef{a >= k, a >= k ? a - k : a},
+        SignalRef{b >= k, b >= k ? b - k : b},
+    });
+    depth.push_back(new_depth);
+
+    for (Column& col : columns) {
+      if (col.size() < 2 || !col.count(a) || !col.count(b)) continue;
+      if (!column_feasible_after(col, a, b, new_depth)) continue;
+      col.erase(a);
+      col.erase(b);
+      col.insert(new_index);
+    }
+  }
+
+  std::vector<SignalRef> outputs;
+  outputs.reserve(columns.size());
+  for (const Column& col : columns) {
+    const std::size_t s = *col.begin();
+    outputs.push_back(SignalRef{s >= k, s >= k ? s - k : s});
+  }
+  return XorProgram(k, std::move(ops), std::move(outputs));
+}
+
+}  // namespace
+
+XorProgram synthesize_tree(const Gf2Matrix& g) {
+  const std::size_t k = g.rows();
+  std::vector<XorOp> ops;
+  std::vector<SignalRef> outputs;
+  for (std::size_t j = 0; j < g.cols(); ++j) {
+    std::vector<SignalRef> level;
+    for (std::size_t i = 0; i < k; ++i)
+      if (g.get(i, j)) level.push_back(SignalRef{false, i});
+    sfqecc::expects(!level.empty(), "generator has a zero column");
+    while (level.size() > 1) {
+      std::vector<SignalRef> next;
+      for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+        ops.push_back(XorOp{level[i], level[i + 1]});
+        next.push_back(SignalRef{true, ops.size() - 1});
+      }
+      if (level.size() % 2 == 1) next.push_back(level.back());
+      level = std::move(next);
+    }
+    outputs.push_back(level[0]);
+  }
+  return XorProgram(k, std::move(ops), std::move(outputs));
+}
+
+XorProgram synthesize_chain(const Gf2Matrix& g) {
+  const std::size_t k = g.rows();
+  std::vector<XorOp> ops;
+  std::vector<SignalRef> outputs;
+  for (std::size_t j = 0; j < g.cols(); ++j) {
+    SignalRef acc{};
+    bool first = true;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!g.get(i, j)) continue;
+      if (first) {
+        acc = SignalRef{false, i};
+        first = false;
+      } else {
+        ops.push_back(XorOp{acc, SignalRef{false, i}});
+        acc = SignalRef{true, ops.size() - 1};
+      }
+    }
+    sfqecc::expects(!first, "generator has a zero column");
+    outputs.push_back(acc);
+  }
+  return XorProgram(k, std::move(ops), std::move(outputs));
+}
+
+namespace {
+
+/// Depth-first search for a program reaching all targets within `budget`
+/// additional ops. `signals` holds the support mask of every available signal.
+bool optimal_dfs(std::vector<std::uint64_t>& signals, const std::set<std::uint64_t>& targets,
+                 std::size_t budget, std::vector<XorOp>& ops, std::size_t num_inputs) {
+  std::size_t missing = 0;
+  for (std::uint64_t t : targets)
+    if (std::find(signals.begin(), signals.end(), t) == signals.end()) ++missing;
+  if (missing == 0) return true;
+  if (missing > budget) return false;
+
+  for (std::size_t a = 0; a < signals.size(); ++a) {
+    for (std::size_t b = a + 1; b < signals.size(); ++b) {
+      const std::uint64_t merged = signals[a] ^ signals[b];
+      if (merged == 0) continue;
+      if (std::find(signals.begin(), signals.end(), merged) != signals.end()) continue;
+      signals.push_back(merged);
+      ops.push_back(XorOp{SignalRef{a >= num_inputs, a >= num_inputs ? a - num_inputs : a},
+                          SignalRef{b >= num_inputs, b >= num_inputs ? b - num_inputs : b}});
+      if (optimal_dfs(signals, targets, budget - 1, ops, num_inputs)) return true;
+      signals.pop_back();
+      ops.pop_back();
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+XorProgram synthesize_optimal(const Gf2Matrix& g, std::size_t max_ops_bound) {
+  const std::size_t k = g.rows();
+  sfqecc::expects(k <= 6, "optimal search is exponential; k <= 6 only");
+
+  std::set<std::uint64_t> targets;
+  std::vector<std::uint64_t> target_per_column(g.cols());
+  for (std::size_t j = 0; j < g.cols(); ++j) {
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < k; ++i)
+      if (g.get(i, j)) mask |= std::uint64_t{1} << i;
+    sfqecc::expects(mask != 0, "generator has a zero column");
+    target_per_column[j] = mask;
+    if (std::popcount(mask) > 1) targets.insert(mask);
+  }
+
+  for (std::size_t budget = 0; budget <= max_ops_bound; ++budget) {
+    std::vector<std::uint64_t> signals;
+    for (std::size_t i = 0; i < k; ++i) signals.push_back(std::uint64_t{1} << i);
+    std::vector<XorOp> ops;
+    if (optimal_dfs(signals, targets, budget, ops, k)) {
+      // Map each column to the signal computing it.
+      std::vector<SignalRef> outputs;
+      for (std::uint64_t mask : target_per_column) {
+        const auto it = std::find(signals.begin(), signals.end(), mask);
+        sfqecc::ensures(it != signals.end(), "target not produced");
+        const auto idx = static_cast<std::size_t>(it - signals.begin());
+        outputs.push_back(SignalRef{idx >= k, idx >= k ? idx - k : idx});
+      }
+      return XorProgram(k, std::move(ops), std::move(outputs));
+    }
+  }
+  throw ContractViolation("optimal synthesis exceeded the op bound");
+}
+
+}  // namespace sfqecc::circuit

@@ -1,0 +1,94 @@
+// Synthesis of XOR networks (linear straight-line programs) from a generator
+// matrix: codeword bit j is the XOR of the message bits selected by column j.
+//
+// Three strategies:
+//  * Paar's greedy cancellation-free common-subexpression elimination — the
+//    production algorithm. Deterministic (lexicographic tie-breaking); on the
+//    paper's codes it recovers exactly the published gate counts: 6 XORs for
+//    Hamming(8,4), 5 for Hamming(7,4), 8 for RM(1,3), all at logic depth 2.
+//  * Naive left-to-right chains (no sharing) — ablation baseline; depth equals
+//    the column weight minus one.
+//  * Exhaustive optimal search for tiny instances — verifies Paar's optimality
+//    on the paper's codes in the tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "code/bitvec.hpp"
+#include "code/gf2_matrix.hpp"
+
+namespace sfqecc::circuit {
+
+/// Reference to a signal in an XOR program: either primary input `index`
+/// (is_op == false) or the output of op `index` (is_op == true).
+struct SignalRef {
+  bool is_op = false;
+  std::size_t index = 0;
+  bool operator==(const SignalRef&) const = default;
+};
+
+/// One two-input XOR operation.
+struct XorOp {
+  SignalRef a;
+  SignalRef b;
+};
+
+/// A straight-line program computing `outputs.size()` XOR combinations of
+/// `num_inputs` inputs using two-input XOR ops.
+class XorProgram {
+ public:
+  XorProgram(std::size_t num_inputs, std::vector<XorOp> ops,
+             std::vector<SignalRef> outputs);
+
+  std::size_t num_inputs() const noexcept { return num_inputs_; }
+  const std::vector<XorOp>& ops() const noexcept { return ops_; }
+  const std::vector<SignalRef>& outputs() const noexcept { return outputs_; }
+  std::size_t xor_count() const noexcept { return ops_.size(); }
+
+  /// Logic depth of a signal: inputs have depth 0; an op has depth
+  /// 1 + max(depth(a), depth(b)).
+  std::size_t signal_depth(const SignalRef& ref) const;
+
+  /// Circuit depth: maximum signal depth over ops (passthrough outputs have
+  /// depth 0 and do not lower this).
+  std::size_t depth() const;
+
+  /// Evaluates the program on a message (length num_inputs), returning the
+  /// outputs in order.
+  code::BitVec evaluate(const code::BitVec& inputs) const;
+
+  /// The GF(2) column each signal computes, as a mask over the inputs.
+  code::BitVec signal_support(const SignalRef& ref) const;
+
+ private:
+  std::size_t num_inputs_;
+  std::vector<XorOp> ops_;
+  std::vector<SignalRef> outputs_;
+  std::vector<std::size_t> op_depth_;  // memoized depths
+};
+
+/// Paar greedy CSE, depth-bounded to the minimum achievable circuit depth
+/// (ceil(log2(max column weight))). Column weights must be >= 1 (a zero
+/// column would make the output constant, which SFQ pulse logic cannot emit
+/// without a clock source).
+XorProgram synthesize_paar(const code::Gf2Matrix& generator);
+
+/// Pure Paar greedy CSE without the depth bound: minimizes XOR count alone.
+/// On RM(1,3) this finds 7 XORs (one fewer than the paper) at depth 3 — and
+/// the deeper pipeline then needs so many extra balancing DFFs that the total
+/// JJ count is far worse; the ablation bench quantifies this trade-off.
+XorProgram synthesize_paar_unbounded(const code::Gf2Matrix& generator);
+
+/// No sharing: each output of weight w gets a balanced tree of w-1 fresh XORs.
+XorProgram synthesize_tree(const code::Gf2Matrix& generator);
+
+/// No sharing, left-to-right chain per output (worst depth). Ablation only.
+XorProgram synthesize_chain(const code::Gf2Matrix& generator);
+
+/// Exhaustive search for a minimum-XOR cancellation-free program; exponential,
+/// intended for k <= 5, n <= 10 (test-time verification of Paar optimality).
+XorProgram synthesize_optimal(const code::Gf2Matrix& generator,
+                              std::size_t max_ops_bound = 12);
+
+}  // namespace sfqecc::circuit

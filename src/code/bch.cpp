@@ -1,0 +1,175 @@
+#include "code/bch.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::code {
+
+BchCode::BchCode(unsigned m, std::size_t designed_distance)
+    : field_(m),
+      n_((std::size_t{1} << m) - 1),
+      delta_(designed_distance) {
+  expects(designed_distance >= 3 && designed_distance % 2 == 1,
+          "designed distance must be odd and >= 3");
+  expects(designed_distance <= n_, "designed distance exceeds length");
+
+  // g(x) = lcm of the minimal polynomials of alpha^1 .. alpha^(delta-1).
+  // Conjugate exponents share a minimal polynomial; collect distinct classes.
+  std::set<std::uint32_t> class_reps;
+  Gf2Poly g{1};
+  for (std::size_t e = 1; e < delta_; ++e) {
+    // Representative: smallest exponent in the conjugacy class of e.
+    std::uint32_t cur = static_cast<std::uint32_t>(e % field_.order());
+    std::uint32_t rep = cur;
+    for (;;) {
+      cur = static_cast<std::uint32_t>((2ULL * cur) % field_.order());
+      if (cur == e % field_.order()) break;
+      rep = std::min(rep, cur);
+    }
+    if (!class_reps.insert(rep).second) continue;
+    g = poly_mul(g, minimal_polynomial(field_, rep));
+  }
+  gen_ = g;
+  const std::size_t deg = poly_degree(gen_);
+  expects(deg < n_, "generator polynomial too large");
+  k_ = n_ - deg;
+}
+
+BitVec BchCode::parity_of(const BitVec& message) const {
+  // parity(x) = x^(n-k) * m(x) mod g(x), with message bit i the coefficient
+  // of x^i (so the codeword is (message | parity) in ascending positions).
+  const std::size_t deg = n_ - k_;
+  Gf2Poly shifted(deg + k_, 0);
+  for (std::size_t i = 0; i < k_; ++i)
+    if (message.get(i)) shifted[deg + i] = 1;
+  const Gf2Poly rem = poly_mod(shifted, gen_);
+  BitVec parity(deg);
+  for (std::size_t i = 0; i < deg && i < rem.size(); ++i)
+    if (rem[i]) parity.set(i, true);
+  return parity;
+}
+
+BitVec BchCode::encode(const BitVec& message) const {
+  expects(message.size() == k_, "message length mismatch");
+  return message.concat(parity_of(message));
+}
+
+LinearCode BchCode::to_linear_code() const {
+  Gf2Matrix g(k_, n_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    BitVec unit(k_);
+    unit.set(i, true);
+    const BitVec cw = encode(unit);
+    for (std::size_t c = 0; c < n_; ++c) g.set(i, c, cw.get(c));
+  }
+  return LinearCode("BCH(" + std::to_string(n_) + "," + std::to_string(k_) + ")",
+                    std::move(g),
+                    k_ <= 24 ? std::optional<std::size_t>{} : std::optional<std::size_t>{delta_});
+}
+
+DecodeResult BchCode::decode(const BitVec& received) const {
+  expects(received.size() == n_, "received length mismatch");
+
+  // Codeword positions map to polynomial coefficients directly, but note the
+  // systematic layout: position i (message area) is the coefficient of
+  // x^(n-k+i)... To keep evaluation simple we evaluate the received word with
+  // position j as the coefficient of x^perm(j), where perm matches encode():
+  // encode() produced (message | parity) with message bit i at x^(deg+i) and
+  // parity bit p at x^p. Build the coefficient view first.
+  const std::size_t deg = n_ - k_;
+  std::vector<std::uint8_t> coeff(n_, 0);
+  for (std::size_t i = 0; i < k_; ++i) coeff[deg + i] = received.get(i) ? 1 : 0;
+  for (std::size_t p = 0; p < deg; ++p) coeff[p] = received.get(k_ + p) ? 1 : 0;
+
+  // Syndromes S_j = r(alpha^j), j = 1 .. delta-1.
+  const std::size_t ns = delta_ - 1;
+  std::vector<std::uint32_t> syn(ns, 0);
+  bool all_zero = true;
+  for (std::size_t j = 1; j <= ns; ++j) {
+    std::uint32_t s = 0;
+    for (std::size_t i = 0; i < n_; ++i)
+      if (coeff[i]) s ^= field_.alpha_pow(static_cast<long long>(i * j));
+    syn[j - 1] = s;
+    all_zero = all_zero && s == 0;
+  }
+
+  DecodeResult result;
+  if (all_zero) {
+    result.status = DecodeStatus::kNoError;
+    result.codeword = received;
+    result.message = received.slice(0, k_);
+    return result;
+  }
+
+  // Berlekamp-Massey: find the error-locator polynomial Lambda.
+  std::vector<std::uint32_t> lambda{1}, b{1};
+  std::size_t l = 0;
+  std::uint32_t bcoef = 1;
+  std::size_t shift = 1;
+  for (std::size_t r = 0; r < ns; ++r) {
+    std::uint32_t delta_r = syn[r];
+    for (std::size_t i = 1; i <= l && i < lambda.size(); ++i)
+      if (lambda[i] != 0 && r >= i)
+        delta_r ^= field_.mul(lambda[i], syn[r - i]);
+    if (delta_r == 0) {
+      ++shift;
+    } else if (2 * l <= r) {
+      std::vector<std::uint32_t> t = lambda;
+      const std::uint32_t scale = field_.div(delta_r, bcoef);
+      if (lambda.size() < b.size() + shift) lambda.resize(b.size() + shift, 0);
+      for (std::size_t i = 0; i < b.size(); ++i)
+        lambda[i + shift] ^= field_.mul(scale, b[i]);
+      l = r + 1 - l;
+      b = std::move(t);
+      bcoef = delta_r;
+      shift = 1;
+    } else {
+      const std::uint32_t scale = field_.div(delta_r, bcoef);
+      if (lambda.size() < b.size() + shift) lambda.resize(b.size() + shift, 0);
+      for (std::size_t i = 0; i < b.size(); ++i)
+        lambda[i + shift] ^= field_.mul(scale, b[i]);
+      ++shift;
+    }
+  }
+  while (!lambda.empty() && lambda.back() == 0) lambda.pop_back();
+  const std::size_t num_errors = lambda.size() - 1;
+
+  result.codeword = received;
+  if (num_errors == 0 || num_errors > t()) {
+    result.status = DecodeStatus::kDetected;
+    result.message = received.slice(0, k_);
+    return result;
+  }
+
+  // Chien search: roots alpha^(-i) of Lambda mark error positions i (in the
+  // coefficient view).
+  std::vector<std::size_t> error_positions;
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::uint32_t v = 0;
+    for (std::size_t d = 0; d < lambda.size(); ++d)
+      if (lambda[d] != 0)
+        v ^= field_.mul(lambda[d],
+                        field_.alpha_pow(-static_cast<long long>(i * d)));
+    if (v == 0) error_positions.push_back(i);
+  }
+  if (error_positions.size() != num_errors) {
+    result.status = DecodeStatus::kDetected;
+    result.message = received.slice(0, k_);
+    return result;
+  }
+
+  // Map coefficient positions back to codeword bit positions and correct.
+  for (std::size_t pos : error_positions) {
+    const std::size_t bit = pos >= deg ? pos - deg : k_ + pos;
+    result.codeword.flip(bit);
+  }
+  result.bits_flipped = error_positions.size();
+  result.status = DecodeStatus::kCorrected;
+  result.message = result.codeword.slice(0, k_);
+  return result;
+}
+
+}  // namespace sfqecc::code

@@ -1,0 +1,55 @@
+// Narrow-sense binary BCH codes of length 2^m - 1.
+//
+// The paper (Section II) notes that BCH codes are algebraically equivalent to
+// Hamming codes at short lengths but carry higher encoding/decoding
+// complexity; this module lets the benches quantify that claim with the same
+// synthesis pipeline used for the paper's encoders.
+//
+// Encoding is systematic-cyclic (message bits first). Decoding is classic
+// Berlekamp-Massey + Chien search.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "code/decoder.hpp"
+#include "code/gf2m.hpp"
+#include "code/linear_code.hpp"
+
+namespace sfqecc::code {
+
+/// A narrow-sense binary BCH code with designed distance `designed_distance`
+/// (odd, >= 3) and length 2^m - 1.
+class BchCode {
+ public:
+  BchCode(unsigned m, std::size_t designed_distance);
+
+  std::size_t n() const noexcept { return n_; }
+  std::size_t k() const noexcept { return k_; }
+  std::size_t designed_distance() const noexcept { return delta_; }
+  std::size_t t() const noexcept { return (delta_ - 1) / 2; }
+  const Gf2Poly& generator_polynomial() const noexcept { return gen_; }
+  const Gf2mField& field() const noexcept { return field_; }
+
+  /// Systematic encoding: codeword = (message | parity).
+  BitVec encode(const BitVec& message) const;
+
+  /// Berlekamp-Massey decoding; corrects up to t() errors, flags kDetected
+  /// when the error locator is inconsistent with the received word.
+  DecodeResult decode(const BitVec& received) const;
+
+  /// Generator matrix (systematic) for use with the LinearCode machinery and
+  /// the circuit synthesis pipeline.
+  LinearCode to_linear_code() const;
+
+ private:
+  Gf2mField field_;
+  std::size_t n_;
+  std::size_t k_;
+  std::size_t delta_;
+  Gf2Poly gen_;
+
+  BitVec parity_of(const BitVec& message) const;
+};
+
+}  // namespace sfqecc::code

@@ -1,0 +1,93 @@
+// Word-packed GF(2) vector.
+//
+// BitVec is the value type for messages, codewords, syndromes and error
+// patterns throughout the library. It is a fixed-length bit string with XOR /
+// AND algebra, Hamming-weight queries and integer/string conversions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sfqecc::code {
+
+/// Fixed-length vector over GF(2), little-endian within 64-bit words
+/// (bit index 0 is the least significant bit of word 0).
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// Zero vector of the given length.
+  explicit BitVec(std::size_t size);
+
+  /// Builds a BitVec of length `size` from the low bits of `value`
+  /// (bit i of `value` becomes element i). Requires size <= 64.
+  static BitVec from_u64(std::size_t size, std::uint64_t value);
+
+  /// Parses a string of '0'/'1' characters; element i is s[i].
+  static BitVec from_string(const std::string& s);
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  bool get(std::size_t i) const;
+  void set(std::size_t i, bool value);
+  void flip(std::size_t i);
+
+  /// Number of ones.
+  std::size_t weight() const noexcept;
+
+  /// True when every element is zero.
+  bool is_zero() const noexcept;
+
+  /// Parity (XOR) of all elements.
+  bool parity() const noexcept;
+
+  /// In-place XOR with `other`. Sizes must match.
+  BitVec& operator^=(const BitVec& other);
+
+  /// In-place AND with `other`. Sizes must match.
+  BitVec& operator&=(const BitVec& other);
+
+  friend BitVec operator^(BitVec a, const BitVec& b) { return a ^= b; }
+  friend BitVec operator&(BitVec a, const BitVec& b) { return a &= b; }
+
+  bool operator==(const BitVec& other) const noexcept = default;
+
+  /// Inner product over GF(2): parity of (this AND other). Sizes must match.
+  bool dot(const BitVec& other) const;
+
+  /// Concatenation: this followed by `other`.
+  BitVec concat(const BitVec& other) const;
+
+  /// Sub-vector [begin, begin+count).
+  BitVec slice(std::size_t begin, std::size_t count) const;
+
+  /// The low 64 elements as an integer (element i -> bit i). Requires size <= 64.
+  std::uint64_t to_u64() const;
+
+  /// String of '0'/'1' characters, element 0 first.
+  std::string to_string() const;
+
+  /// Positions of the ones, ascending.
+  std::vector<std::size_t> support() const;
+
+  /// FNV-style hash for use in unordered containers.
+  std::size_t hash() const noexcept;
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+
+  void check_index(std::size_t i) const;
+  void clear_padding() noexcept;
+};
+
+/// std::hash adapter.
+struct BitVecHash {
+  std::size_t operator()(const BitVec& v) const noexcept { return v.hash(); }
+};
+
+}  // namespace sfqecc::code

@@ -1,0 +1,34 @@
+#include "code/code3832.hpp"
+
+#include <bit>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::code {
+
+LinearCode code3832() {
+  constexpr std::size_t r = 6;
+  constexpr std::size_t k = 32;
+  constexpr std::size_t n = 38;
+
+  // Data columns: nonzero non-unit 6-bit values, ascending weight then value.
+  std::vector<std::size_t> data_columns;
+  for (std::size_t w = 2; w <= r && data_columns.size() < k; ++w)
+    for (std::size_t v = 1; v < (std::size_t{1} << r) && data_columns.size() < k; ++v)
+      if (std::popcount(v) == static_cast<int>(w)) data_columns.push_back(v);
+  ensures(data_columns.size() == k, "not enough parity-check columns");
+
+  Gf2Matrix g(k, n);
+  for (std::size_t i = 0; i < k; ++i) {
+    g.set(i, i, true);
+    for (std::size_t j = 0; j < r; ++j)
+      if ((data_columns[i] >> j) & 1) g.set(i, k + j, true);
+  }
+  // dmin = 3: all 38 parity-check columns are distinct and nonzero (>= 3), and
+  // e.g. columns 0b000011, 0b000101, 0b000110 sum to zero (== 3); verified by
+  // the unit tests since k = 32 is too large to enumerate.
+  return LinearCode("(38,32)", std::move(g), 3);
+}
+
+}  // namespace sfqecc::code

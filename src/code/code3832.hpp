@@ -1,0 +1,18 @@
+// The (38,32) linear block code of Peng et al. [14] — the prior-art SFQ ECC
+// encoder the paper compares against. A 32-bit message with six parity bits,
+// realized here as a shortened Hamming(63,57) code: the parity-check columns
+// are 38 distinct nonzero 6-bit values, so dmin = 3 (single-error correction;
+// double errors are detectable when correction is not attempted).
+#pragma once
+
+#include "code/linear_code.hpp"
+
+namespace sfqecc::code {
+
+/// The (38,32) baseline code. Systematic: bits 0..31 are the message, bits
+/// 32..37 the parity. Data columns are chosen low-weight-first (all fifteen
+/// weight-2 values then seventeen weight-3 values in ascending order) to keep
+/// the encoder small, mirroring the lightweight-encoder goal of [14].
+LinearCode code3832();
+
+}  // namespace sfqecc::code

@@ -1,0 +1,91 @@
+#include "code/code_analysis.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::code {
+namespace {
+
+/// Calls `fn` with every length-n pattern of the given weight, in
+/// lexicographic order of support.
+template <typename Fn>
+void for_each_pattern(std::size_t n, std::size_t weight, Fn&& fn) {
+  std::vector<std::size_t> idx(weight);
+  for (std::size_t i = 0; i < weight; ++i) idx[i] = i;
+  if (weight > n) return;
+  while (true) {
+    BitVec e(n);
+    for (std::size_t i : idx) e.set(i, true);
+    fn(e);
+    std::size_t pos = weight;
+    while (pos > 0 && idx[pos - 1] == n - weight + pos - 1) --pos;
+    if (pos == 0) break;
+    ++idx[pos - 1];
+    for (std::size_t i = pos; i < weight; ++i) idx[i] = idx[i - 1] + 1;
+  }
+}
+
+}  // namespace
+
+ErrorPatternAnalysis analyze_error_patterns(const Decoder& decoder, std::size_t max_weight) {
+  const LinearCode& code = decoder.base_code();
+  const std::size_t n = code.n();
+  if (max_weight == 0) max_weight = std::min(n, code.dmin() + 1);
+  expects(max_weight <= n, "max_weight exceeds block length");
+
+  ErrorPatternAnalysis out;
+  out.decoder_name = decoder.name();
+  out.dmin = code.dmin();
+
+  const BitVec zero_message(code.k());
+  for (std::size_t w = 1; w <= max_weight; ++w) {
+    WeightClassStats stats;
+    stats.weight = w;
+    for_each_pattern(n, w, [&](const BitVec& e) {
+      ++stats.patterns;
+      if (code.is_codeword(e)) {
+        // The channel maps one codeword onto another: no decoder can react.
+        ++stats.undetected;
+        return;
+      }
+      const DecodeResult r = decoder.decode(e);
+      if (r.status == DecodeStatus::kDetected)
+        ++stats.detected;
+      else if (r.message == zero_message)
+        ++stats.corrected;
+      else
+        ++stats.miscorrected;
+    });
+    out.by_weight.push_back(stats);
+  }
+
+  bool all_corrected = true, all_safe = true;
+  for (const WeightClassStats& s : out.by_weight) {
+    all_corrected = all_corrected && s.corrected == s.patterns;
+    all_safe = all_safe && s.miscorrected == 0 && s.undetected == 0;
+    if (all_corrected) out.guaranteed_correct = s.weight;
+    if (all_safe) out.guaranteed_safe = s.weight;
+    if (s.corrected > 0) out.best_correct = s.weight;
+    if (s.corrected + s.detected > 0) out.best_safe = s.weight;
+  }
+  return out;
+}
+
+std::vector<DetectionCoverage> detection_coverage(const LinearCode& code,
+                                                  std::size_t max_weight) {
+  expects(max_weight <= code.n(), "max_weight exceeds block length");
+  std::vector<DetectionCoverage> out;
+  for (std::size_t w = 1; w <= max_weight; ++w) {
+    DetectionCoverage cov;
+    cov.weight = w;
+    for_each_pattern(code.n(), w, [&](const BitVec& e) {
+      ++cov.patterns;
+      if (!code.is_codeword(e)) ++cov.detected;
+    });
+    out.push_back(cov);
+  }
+  return out;
+}
+
+}  // namespace sfqecc::code

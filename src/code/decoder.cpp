@@ -1,0 +1,255 @@
+#include "code/decoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::code {
+
+// ---------------------------------------------------------------- Syndrome --
+
+SyndromeDecoder::SyndromeDecoder(const LinearCode& code,
+                                 std::optional<std::size_t> max_correct_weight)
+    : code_(code), max_correct_weight_(max_correct_weight) {
+  (void)code_.coset_leaders();  // build the table eagerly
+}
+
+std::string SyndromeDecoder::name() const {
+  std::string n = "syndrome(" + code_.name() + ")";
+  if (max_correct_weight_) n += "<=w" + std::to_string(*max_correct_weight_);
+  return n;
+}
+
+DecodeResult SyndromeDecoder::decode(const BitVec& received) const {
+  expects(received.size() == code_.n(), "received length mismatch");
+  DecodeResult result;
+  const BitVec s = code_.syndrome(received);
+  if (s.is_zero()) {
+    result.status = DecodeStatus::kNoError;
+    result.codeword = received;
+  } else {
+    const BitVec& leader = code_.coset_leaders()[s.to_u64()];
+    result.codeword = received ^ leader;
+    result.bits_flipped = leader.weight();
+    result.status = (max_correct_weight_ && leader.weight() > *max_correct_weight_)
+                        ? DecodeStatus::kDetected
+                        : DecodeStatus::kCorrected;
+  }
+  result.message = code_.extract_message(result.codeword);
+  return result;
+}
+
+// ------------------------------------------------------------- DetectOnly --
+
+DecodeResult DetectOnlyDecoder::decode(const BitVec& received) const {
+  expects(received.size() == code_.n(), "received length mismatch");
+  DecodeResult result;
+  const BitVec s = code_.syndrome(received);
+  if (s.is_zero()) {
+    result.status = DecodeStatus::kNoError;
+    result.codeword = received;
+  } else {
+    result.status = DecodeStatus::kDetected;
+    const BitVec& leader = code_.coset_leaders()[s.to_u64()];
+    result.codeword = received ^ leader;  // best guess only
+    result.bits_flipped = leader.weight();
+  }
+  result.message = code_.extract_message(result.codeword);
+  return result;
+}
+
+// -------------------------------------------------------- ExtendedHamming --
+
+ExtendedHammingDecoder::ExtendedHammingDecoder(const LinearCode& extended,
+                                               const LinearCode& base)
+    : extended_(extended), base_(base) {
+  expects(extended_.n() == base_.n() + 1, "extended code must add one bit");
+  expects(extended_.k() == base_.k(), "extended code must keep the dimension");
+  (void)base_.coset_leaders();
+}
+
+DecodeResult ExtendedHammingDecoder::decode(const BitVec& received) const {
+  expects(received.size() == extended_.n(), "received length mismatch");
+  const std::size_t n = extended_.n();
+  const BitVec inner = received.slice(0, n - 1);
+  const bool parity_odd = received.parity();
+  const BitVec s = base_.syndrome(inner);
+
+  DecodeResult result;
+  result.codeword = received;
+  if (s.is_zero()) {
+    if (!parity_odd) {
+      result.status = DecodeStatus::kNoError;
+    } else {
+      // Inner word is consistent; the overall parity bit itself is in error.
+      result.status = DecodeStatus::kCorrected;
+      result.codeword.flip(n - 1);
+      result.bits_flipped = 1;
+    }
+  } else if (parity_odd) {
+    // Odd number of errors with a nonzero inner syndrome: assume one error in
+    // the inner bits and correct it via the base code's coset leader.
+    const BitVec& leader = base_.coset_leaders()[s.to_u64()];
+    for (std::size_t i : leader.support()) result.codeword.flip(i);
+    result.bits_flipped = leader.weight();
+    result.status = DecodeStatus::kCorrected;
+  } else {
+    // Nonzero syndrome but even parity: an even (>= 2) number of errors.
+    result.status = DecodeStatus::kDetected;
+    const BitVec& leader = base_.coset_leaders()[s.to_u64()];
+    for (std::size_t i : leader.support()) result.codeword.flip(i);
+    result.bits_flipped = leader.weight();
+  }
+  // The corrected word can fail to be a valid extended codeword only in the
+  // detected branch (best guess); fall back to flipping the parity bit there.
+  if (!extended_.is_codeword(result.codeword)) result.codeword.flip(n - 1);
+  result.message = extended_.extract_message(result.codeword);
+  return result;
+}
+
+// ------------------------------------------------------------------ RM FHT --
+
+namespace {
+
+std::size_t log2_exact(std::size_t n) {
+  std::size_t m = 0;
+  while ((std::size_t{1} << m) < n) ++m;
+  expects((std::size_t{1} << m) == n, "length must be a power of two");
+  return m;
+}
+
+void check_rm1(const LinearCode& code) {
+  const std::size_t m = log2_exact(code.n());
+  expects(code.k() == m + 1, "code is not RM(1,m)");
+  // Row 0 must be all-ones and row i+1 must be the evaluation of x_i.
+  for (std::size_t j = 0; j < code.n(); ++j) {
+    expects(code.generator().get(0, j), "RM(1,m) row 0 must be all-ones");
+    for (std::size_t i = 0; i < m; ++i)
+      expects(code.generator().get(i + 1, j) == (((j >> i) & 1) != 0),
+              "RM(1,m) rows must be (1, x1..xm)");
+  }
+}
+
+}  // namespace
+
+RmFhtDecoder::RmFhtDecoder(const LinearCode& code, bool flag_ties)
+    : code_(code), m_(log2_exact(code.n())), flag_ties_(flag_ties) {
+  check_rm1(code_);
+}
+
+DecodeResult RmFhtDecoder::decode(const BitVec& received) const {
+  expects(received.size() == code_.n(), "received length mismatch");
+  const std::size_t n = code_.n();
+
+  // Bipolar map 0 -> +1, 1 -> -1, then the fast Hadamard transform; F_a is the
+  // correlation of the received word with the linear form <a, j>.
+  std::vector<int> f(n);
+  for (std::size_t j = 0; j < n; ++j) f[j] = received.get(j) ? -1 : 1;
+  for (std::size_t len = 1; len < n; len <<= 1) {
+    for (std::size_t blk = 0; blk < n; blk += len << 1) {
+      for (std::size_t j = blk; j < blk + len; ++j) {
+        const int a = f[j];
+        const int b = f[j + len];
+        f[j] = a + b;
+        f[j + len] = a - b;
+      }
+    }
+  }
+
+  std::size_t best = 0;
+  int best_abs = std::abs(f[0]);
+  bool tie = false;
+  for (std::size_t a = 1; a < n; ++a) {
+    const int v = std::abs(f[a]);
+    if (v > best_abs) {
+      best = a;
+      best_abs = v;
+      tie = false;
+    } else if (v == best_abs) {
+      tie = true;
+    }
+  }
+
+  BitVec message(m_ + 1);
+  message.set(0, f[best] < 0);  // constant term from the sign
+  for (std::size_t i = 0; i < m_; ++i) message.set(i + 1, ((best >> i) & 1) != 0);
+
+  DecodeResult result;
+  if ((tie || best_abs == 0) && !flag_ties_) {
+    // Deterministic, translation-invariant tie resolution: fall back to
+    // standard-array decoding with the code's fixed coset leaders. This is
+    // what corrects the "certain 2-bit error patterns" of the paper's
+    // Section II-B (7 of the 28 doubles for RM(1,3)).
+    const BitVec s = code_.syndrome(received);
+    const BitVec& leader = code_.coset_leaders()[s.to_u64()];
+    result.codeword = received ^ leader;
+    result.message = code_.extract_message(result.codeword);
+    result.bits_flipped = leader.weight();
+    result.status =
+        result.bits_flipped == 0 ? DecodeStatus::kNoError : DecodeStatus::kCorrected;
+    return result;
+  }
+  result.message = message;
+  result.codeword = code_.encode(message);
+  result.bits_flipped = (result.codeword ^ received).weight();
+  if (result.bits_flipped == 0)
+    result.status = DecodeStatus::kNoError;
+  else if (flag_ties_ && (tie || best_abs == 0))
+    result.status = DecodeStatus::kDetected;
+  else
+    result.status = DecodeStatus::kCorrected;
+  return result;
+}
+
+// ------------------------------------------------------------- RM majority --
+
+RmMajorityDecoder::RmMajorityDecoder(const LinearCode& code)
+    : code_(code), m_(log2_exact(code.n())) {
+  check_rm1(code_);
+}
+
+DecodeResult RmMajorityDecoder::decode(const BitVec& received) const {
+  expects(received.size() == code_.n(), "received length mismatch");
+  const std::size_t n = code_.n();
+  const std::size_t half = n / 2;
+
+  BitVec message(m_ + 1);
+  bool tie = false;
+  // Coefficient of x_i: majority over the 2^(m-1) disjoint pairs (j, j ^ e_i)
+  // of the discrete derivative r_j ^ r_{j ^ e_i}.
+  for (std::size_t i = 0; i < m_; ++i) {
+    std::size_t votes = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if ((j >> i) & 1) continue;  // count each pair once
+      if (received.get(j) != received.get(j | (std::size_t{1} << i))) ++votes;
+    }
+    if (votes * 2 == half) tie = true;
+    message.set(i + 1, votes * 2 > half);
+  }
+  // Constant term: majority of the residual after removing the linear part.
+  std::size_t ones = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    bool linear = false;
+    for (std::size_t i = 0; i < m_; ++i)
+      if (message.get(i + 1) && ((j >> i) & 1)) linear = !linear;
+    if (received.get(j) != linear) ++ones;
+  }
+  if (ones * 2 == n) tie = true;
+  message.set(0, ones * 2 > n);
+
+  DecodeResult result;
+  result.message = message;
+  result.codeword = code_.encode(message);
+  result.bits_flipped = (result.codeword ^ received).weight();
+  if (result.bits_flipped == 0)
+    result.status = DecodeStatus::kNoError;
+  else if (tie)
+    result.status = DecodeStatus::kDetected;
+  else
+    result.status = DecodeStatus::kCorrected;
+  return result;
+}
+
+}  // namespace sfqecc::code

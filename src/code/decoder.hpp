@@ -1,0 +1,141 @@
+// Decoders for the lightweight codes.
+//
+// All decoders consume a hard-decision received word of length n and return a
+// DecodeResult carrying the estimated message and a status:
+//  * kNoError   — received word was a valid codeword,
+//  * kCorrected — errors were found and corrected; estimate accepted,
+//  * kDetected  — an uncorrectable error was detected; the estimate is a best
+//                 guess and the link-level error flag (paper Fig. 1) is raised.
+//
+// Provided decoders:
+//  * SyndromeDecoder        — fixed coset-leader table lookup (any linear code);
+//                             optionally refuses to correct beyond a weight bound.
+//  * DetectOnlyDecoder      — raises kDetected for every nonzero syndrome.
+//  * ExtendedHammingDecoder — correct-1 / detect-2 using the overall parity bit
+//                             (the paper's Hamming(8,4) operating mode).
+//  * RmFhtDecoder           — maximum-likelihood decoding of RM(1,m) via the
+//                             fast Hadamard transform; ties raise kDetected.
+//  * RmMajorityDecoder      — Reed's majority-logic decoder for RM(1,m).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "code/linear_code.hpp"
+
+namespace sfqecc::code {
+
+enum class DecodeStatus {
+  kNoError,
+  kCorrected,
+  kDetected,
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kNoError;
+  BitVec codeword;   ///< the decoder's codeword estimate
+  BitVec message;    ///< message extracted from `codeword`
+  std::size_t bits_flipped = 0;  ///< Hamming distance between received and estimate
+
+  /// True when the decoder accepted the estimate (no flag raised).
+  bool accepted() const noexcept { return status != DecodeStatus::kDetected; }
+};
+
+/// Abstract hard-decision decoder bound to a code.
+class Decoder {
+ public:
+  virtual ~Decoder() = default;
+  virtual DecodeResult decode(const BitVec& received) const = 0;
+  virtual const LinearCode& base_code() const noexcept = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Standard-array (coset leader) decoding. Always produces a codeword
+/// estimate; when `max_correct_weight` is set, leaders heavier than the bound
+/// yield kDetected instead of kCorrected.
+class SyndromeDecoder final : public Decoder {
+ public:
+  explicit SyndromeDecoder(const LinearCode& code,
+                           std::optional<std::size_t> max_correct_weight = std::nullopt);
+  DecodeResult decode(const BitVec& received) const override;
+  const LinearCode& base_code() const noexcept override { return code_; }
+  std::string name() const override;
+
+ private:
+  const LinearCode& code_;
+  std::optional<std::size_t> max_correct_weight_;
+};
+
+/// Error-detection-only operation: any nonzero syndrome raises kDetected and
+/// the received word is returned unmodified (message is the best guess from
+/// the closest coset leader).
+class DetectOnlyDecoder final : public Decoder {
+ public:
+  explicit DetectOnlyDecoder(const LinearCode& code) : code_(code) {}
+  DecodeResult decode(const BitVec& received) const override;
+  const LinearCode& base_code() const noexcept override { return code_; }
+  std::string name() const override { return "detect-only(" + code_.name() + ")"; }
+
+ private:
+  const LinearCode& code_;
+};
+
+/// Correct-1/detect-2 decoding for a code built as `base Hamming + overall
+/// parity appended as the last bit` (the paper's Hamming(8,4)).
+///  syndrome == 0, parity even -> no error
+///  syndrome == 0, parity odd  -> error in the parity bit, corrected
+///  syndrome != 0, parity odd  -> single error, corrected via the base code
+///  syndrome != 0, parity even -> double error, detected
+class ExtendedHammingDecoder final : public Decoder {
+ public:
+  /// `extended` must be `base` plus a trailing overall parity bit.
+  ExtendedHammingDecoder(const LinearCode& extended, const LinearCode& base);
+  DecodeResult decode(const BitVec& received) const override;
+  const LinearCode& base_code() const noexcept override { return extended_; }
+  std::string name() const override { return "sec-ded(" + extended_.name() + ")"; }
+
+ private:
+  const LinearCode& extended_;
+  const LinearCode& base_;
+};
+
+/// Maximum-likelihood decoding of RM(1,m) with the fast Hadamard transform.
+/// The codeword estimate maximizes the correlation |F_k|. When the maximum is
+/// not unique the behaviour depends on `flag_ties`:
+///  * true (default): the error is flagged as kDetected (erasure semantics,
+///    used as the operating decoder on the link);
+///  * false: the first maximizer wins deterministically — this is standard-
+///    array decoding and corrects "certain 2-bit error patterns" (Table I's
+///    best case for RM(1,3)).
+class RmFhtDecoder final : public Decoder {
+ public:
+  /// `code` must be RM(1,m) with rows ordered (1, x1, ..., xm).
+  explicit RmFhtDecoder(const LinearCode& code, bool flag_ties = true);
+  DecodeResult decode(const BitVec& received) const override;
+  const LinearCode& base_code() const noexcept override { return code_; }
+  std::string name() const override {
+    return (flag_ties_ ? "fht-ml(" : "fht-ml-tiebreak(") + code_.name() + ")";
+  }
+
+ private:
+  const LinearCode& code_;
+  std::size_t m_;
+  bool flag_ties_;
+};
+
+/// Reed's majority-logic decoder for RM(1,m): each first-order coefficient is
+/// the majority vote of 2^(m-1) derivative pairs; the constant term is the
+/// majority of the residual. Vote ties raise kDetected.
+class RmMajorityDecoder final : public Decoder {
+ public:
+  explicit RmMajorityDecoder(const LinearCode& code);
+  DecodeResult decode(const BitVec& received) const override;
+  const LinearCode& base_code() const noexcept override { return code_; }
+  std::string name() const override { return "majority(" + code_.name() + ")"; }
+
+ private:
+  const LinearCode& code_;
+  std::size_t m_;
+};
+
+}  // namespace sfqecc::code

@@ -1,0 +1,257 @@
+#include "code/gf2_matrix.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::code {
+
+Gf2Matrix::Gf2Matrix(std::size_t rows, std::size_t cols)
+    : cols_(cols), rows_(rows, BitVec(cols)) {}
+
+Gf2Matrix Gf2Matrix::from_rows(std::initializer_list<std::initializer_list<int>> rows) {
+  Gf2Matrix m;
+  std::size_t r = 0;
+  for (const auto& row : rows) {
+    if (r == 0) {
+      m = Gf2Matrix(rows.size(), row.size());
+    } else {
+      expects(row.size() == m.cols_, "ragged initializer for Gf2Matrix");
+    }
+    std::size_t c = 0;
+    for (int v : row) {
+      expects(v == 0 || v == 1, "Gf2Matrix entries must be 0 or 1");
+      m.set(r, c++, v == 1);
+    }
+    ++r;
+  }
+  return m;
+}
+
+Gf2Matrix Gf2Matrix::from_strings(const std::vector<std::string>& rows) {
+  expects(!rows.empty(), "from_strings needs at least one row");
+  Gf2Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    expects(rows[r].size() == m.cols_, "ragged string rows for Gf2Matrix");
+    m.rows_[r] = BitVec::from_string(rows[r]);
+  }
+  return m;
+}
+
+Gf2Matrix Gf2Matrix::identity(std::size_t n) {
+  Gf2Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.set(i, i, true);
+  return m;
+}
+
+bool Gf2Matrix::get(std::size_t r, std::size_t c) const {
+  expects(r < rows_.size(), "Gf2Matrix row out of range");
+  return rows_[r].get(c);
+}
+
+void Gf2Matrix::set(std::size_t r, std::size_t c, bool value) {
+  expects(r < rows_.size(), "Gf2Matrix row out of range");
+  rows_[r].set(c, value);
+}
+
+const BitVec& Gf2Matrix::row(std::size_t r) const {
+  expects(r < rows_.size(), "Gf2Matrix row out of range");
+  return rows_[r];
+}
+
+BitVec& Gf2Matrix::row(std::size_t r) {
+  expects(r < rows_.size(), "Gf2Matrix row out of range");
+  return rows_[r];
+}
+
+BitVec Gf2Matrix::column(std::size_t c) const {
+  BitVec out(rows());
+  for (std::size_t r = 0; r < rows(); ++r) out.set(r, get(r, c));
+  return out;
+}
+
+BitVec Gf2Matrix::mul_left(const BitVec& v) const {
+  expects(v.size() == rows(), "mul_left dimension mismatch");
+  BitVec out(cols_);
+  for (std::size_t r = 0; r < rows(); ++r)
+    if (v.get(r)) out ^= rows_[r];
+  return out;
+}
+
+BitVec Gf2Matrix::mul_right(const BitVec& v) const {
+  expects(v.size() == cols_, "mul_right dimension mismatch");
+  BitVec out(rows());
+  for (std::size_t r = 0; r < rows(); ++r) out.set(r, rows_[r].dot(v));
+  return out;
+}
+
+Gf2Matrix Gf2Matrix::transpose() const {
+  Gf2Matrix t(cols_, rows());
+  for (std::size_t r = 0; r < rows(); ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      if (get(r, c)) t.set(c, r, true);
+  return t;
+}
+
+Gf2Matrix Gf2Matrix::multiply(const Gf2Matrix& other) const {
+  expects(cols_ == other.rows(), "matrix product dimension mismatch");
+  Gf2Matrix out(rows(), other.cols());
+  for (std::size_t r = 0; r < rows(); ++r) out.rows_[r] = other.mul_left(rows_[r]);
+  return out;
+}
+
+Gf2Matrix Gf2Matrix::hconcat(const Gf2Matrix& other) const {
+  expects(rows() == other.rows(), "hconcat row count mismatch");
+  Gf2Matrix out(rows(), cols_ + other.cols_);
+  for (std::size_t r = 0; r < rows(); ++r) out.rows_[r] = rows_[r].concat(other.rows_[r]);
+  return out;
+}
+
+namespace {
+
+/// Gaussian elimination to (reduced) row echelon form; returns pivot columns.
+std::vector<std::size_t> eliminate(std::vector<BitVec>& rows, std::size_t cols) {
+  std::vector<std::size_t> pivots;
+  std::size_t lead = 0;
+  for (std::size_t c = 0; c < cols && lead < rows.size(); ++c) {
+    std::size_t pivot = lead;
+    while (pivot < rows.size() && !rows[pivot].get(c)) ++pivot;
+    if (pivot == rows.size()) continue;
+    std::swap(rows[lead], rows[pivot]);
+    for (std::size_t r = 0; r < rows.size(); ++r)
+      if (r != lead && rows[r].get(c)) rows[r] ^= rows[lead];
+    pivots.push_back(c);
+    ++lead;
+  }
+  return pivots;
+}
+
+}  // namespace
+
+std::size_t Gf2Matrix::rank() const {
+  std::vector<BitVec> work = rows_;
+  return eliminate(work, cols_).size();
+}
+
+Gf2Matrix Gf2Matrix::rref() const {
+  Gf2Matrix out = *this;
+  eliminate(out.rows_, cols_);
+  return out;
+}
+
+Gf2Matrix Gf2Matrix::inverse() const {
+  expects(rows() == cols_, "inverse of non-square matrix");
+  const std::size_t n = rows();
+  // Augment [M | I] and reduce; the right half becomes M^-1.
+  std::vector<BitVec> work;
+  work.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    BitVec id(n);
+    id.set(r, true);
+    work.push_back(rows_[r].concat(id));
+  }
+  const std::vector<std::size_t> pivots = eliminate(work, cols_);
+  expects(pivots.size() == n, "matrix is singular");
+  Gf2Matrix inv(n, n);
+  for (std::size_t r = 0; r < n; ++r) inv.rows_[r] = work[r].slice(n, n);
+  return inv;
+}
+
+Gf2Matrix Gf2Matrix::select_columns(const std::vector<std::size_t>& columns) const {
+  Gf2Matrix out(rows(), columns.size());
+  for (std::size_t r = 0; r < rows(); ++r)
+    for (std::size_t c = 0; c < columns.size(); ++c) out.set(r, c, get(r, columns[c]));
+  return out;
+}
+
+Gf2Matrix Gf2Matrix::null_space() const {
+  std::vector<BitVec> work = rows_;
+  const std::vector<std::size_t> pivots = eliminate(work, cols_);
+  std::vector<bool> is_pivot(cols_, false);
+  for (std::size_t c : pivots) is_pivot[c] = true;
+
+  std::vector<BitVec> basis;
+  for (std::size_t free_col = 0; free_col < cols_; ++free_col) {
+    if (is_pivot[free_col]) continue;
+    BitVec v(cols_);
+    v.set(free_col, true);
+    // Back-substitute: pivot row r has its pivot at pivots[r].
+    for (std::size_t r = 0; r < pivots.size(); ++r)
+      if (work[r].get(free_col)) v.set(pivots[r], true);
+    basis.push_back(v);
+  }
+  Gf2Matrix out(basis.size(), cols_);
+  for (std::size_t r = 0; r < basis.size(); ++r) out.rows_[r] = basis[r];
+  return out;
+}
+
+SystematicForm Gf2Matrix::to_systematic() const {
+  const std::size_t k = rows();
+  SystematicForm result;
+  result.column_order.resize(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) result.column_order[c] = c;
+
+  std::vector<BitVec> work = rows_;
+  const std::vector<std::size_t> pivots = eliminate(work, cols_);
+  expects(pivots.size() == k, "to_systematic requires full row rank");
+
+  Gf2Matrix rrefm(k, cols_);
+  for (std::size_t r = 0; r < k; ++r) rrefm.rows_[r] = work[r];
+
+  // Move pivot columns to the front, preserving relative order of the rest.
+  for (std::size_t r = 0; r < k; ++r) {
+    if (pivots[r] == r) continue;
+    result.permuted = true;
+  }
+  std::vector<std::size_t> order;
+  order.reserve(cols_);
+  std::vector<bool> is_pivot(cols_, false);
+  for (std::size_t c : pivots) {
+    order.push_back(c);
+    is_pivot[c] = true;
+  }
+  for (std::size_t c = 0; c < cols_; ++c)
+    if (!is_pivot[c]) order.push_back(c);
+
+  Gf2Matrix sys(k, cols_);
+  for (std::size_t newc = 0; newc < cols_; ++newc) {
+    const std::size_t oldc = order[newc];
+    for (std::size_t r = 0; r < k; ++r) sys.set(r, newc, rrefm.get(r, oldc));
+  }
+  result.generator = sys;
+  result.column_order = order;
+  return result;
+}
+
+std::string Gf2Matrix::to_string() const {
+  std::string out;
+  for (std::size_t r = 0; r < rows(); ++r) {
+    out += rows_[r].to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+Gf2Matrix parity_check_from_systematic(const Gf2Matrix& g) {
+  const std::size_t k = g.rows();
+  const std::size_t n = g.cols();
+  expects(n > k, "systematic generator must have n > k");
+  // Verify the left block is the identity.
+  for (std::size_t r = 0; r < k; ++r)
+    for (std::size_t c = 0; c < k; ++c)
+      expects(g.get(r, c) == (r == c), "generator is not in systematic form");
+
+  Gf2Matrix p(k, n - k);
+  for (std::size_t r = 0; r < k; ++r)
+    for (std::size_t c = 0; c < n - k; ++c) p.set(r, c, g.get(r, k + c));
+
+  Gf2Matrix h(n - k, n);
+  const Gf2Matrix pt = p.transpose();
+  for (std::size_t r = 0; r < n - k; ++r) {
+    for (std::size_t c = 0; c < k; ++c) h.set(r, c, pt.get(r, c));
+    h.set(r, k + r, true);
+  }
+  return h;
+}
+
+}  // namespace sfqecc::code

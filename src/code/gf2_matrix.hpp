@@ -1,0 +1,95 @@
+// Dense matrix over GF(2) with the linear algebra needed for block codes:
+// row-reduction, rank, systematic form and null-space (parity-check) capture.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "code/bitvec.hpp"
+
+namespace sfqecc::code {
+
+/// Dense GF(2) matrix stored as one BitVec per row.
+class Gf2Matrix {
+ public:
+  Gf2Matrix() = default;
+
+  /// Zero matrix with the given shape.
+  Gf2Matrix(std::size_t rows, std::size_t cols);
+
+  /// Builds a matrix from 0/1 integer literals, e.g.
+  ///   Gf2Matrix::from_rows({{1,1,0},{0,1,1}}).
+  static Gf2Matrix from_rows(std::initializer_list<std::initializer_list<int>> rows);
+
+  /// Builds a matrix from '0'/'1' strings, one per row.
+  static Gf2Matrix from_strings(const std::vector<std::string>& rows);
+
+  static Gf2Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t cols() const noexcept { return cols_; }
+
+  bool get(std::size_t r, std::size_t c) const;
+  void set(std::size_t r, std::size_t c, bool value);
+
+  const BitVec& row(std::size_t r) const;
+  BitVec& row(std::size_t r);
+  BitVec column(std::size_t c) const;
+
+  bool operator==(const Gf2Matrix& other) const noexcept = default;
+
+  /// Row-vector times matrix: v (1 x rows) * M (rows x cols) -> (1 x cols).
+  BitVec mul_left(const BitVec& v) const;
+
+  /// Matrix times column vector: M (rows x cols) * v (cols x 1) -> (rows x 1).
+  BitVec mul_right(const BitVec& v) const;
+
+  Gf2Matrix transpose() const;
+
+  /// Matrix product over GF(2). this->cols() must equal other.rows().
+  Gf2Matrix multiply(const Gf2Matrix& other) const;
+
+  /// Horizontal concatenation [this | other]. Row counts must match.
+  Gf2Matrix hconcat(const Gf2Matrix& other) const;
+
+  std::size_t rank() const;
+
+  /// Reduced row-echelon form.
+  Gf2Matrix rref() const;
+
+  /// Inverse of a square, full-rank matrix. Throws when singular.
+  Gf2Matrix inverse() const;
+
+  /// Sub-matrix keeping only the given columns, in the given order.
+  Gf2Matrix select_columns(const std::vector<std::size_t>& columns) const;
+
+  /// Basis of the null space {x : M x = 0} as rows of the returned matrix
+  /// (each row has cols() entries). Empty matrix when the kernel is trivial.
+  Gf2Matrix null_space() const;
+
+  /// Systematic form of a full-row-rank matrix (see SystematicForm below).
+  /// Throws if rows() > rank().
+  struct SystematicForm to_systematic() const;
+
+  std::string to_string() const;
+
+ private:
+  std::size_t cols_ = 0;
+  std::vector<BitVec> rows_;
+};
+
+/// Result of bringing a generator matrix to systematic form by row
+/// operations and (when unavoidable) column permutation.
+struct SystematicForm {
+  Gf2Matrix generator;                    ///< [I_k | P], k = rank
+  std::vector<std::size_t> column_order;  ///< column i of `generator` is column_order[i] of the original
+  bool permuted = false;                  ///< true when a column swap was required
+};
+
+/// Parity-check matrix H (size (n-k) x n) from a systematic generator
+/// G = [I_k | P] (size k x n): H = [P^T | I_{n-k}].
+Gf2Matrix parity_check_from_systematic(const Gf2Matrix& systematic_generator);
+
+}  // namespace sfqecc::code

@@ -1,0 +1,140 @@
+#include "code/gf2m.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::code {
+namespace {
+
+/// Standard primitive polynomials, indexed by m (x^m + ... + 1), as bit masks
+/// including the x^m term. Values from Lin & Costello, Appendix B.
+constexpr std::uint32_t kPrimitivePoly[17] = {
+    0, 0,
+    0x7,      // m=2:  x^2+x+1
+    0xB,      // m=3:  x^3+x+1
+    0x13,     // m=4:  x^4+x+1
+    0x25,     // m=5:  x^5+x^2+1
+    0x43,     // m=6:  x^6+x+1
+    0x89,     // m=7:  x^7+x^3+1
+    0x11D,    // m=8:  x^8+x^4+x^3+x^2+1
+    0x211,    // m=9:  x^9+x^4+1
+    0x409,    // m=10: x^10+x^3+1
+    0x805,    // m=11: x^11+x^2+1
+    0x1053,   // m=12: x^12+x^6+x^4+x+1
+    0x201B,   // m=13: x^13+x^4+x^3+x+1
+    0x4443,   // m=14: x^14+x^10+x^6+x+1
+    0x8003,   // m=15: x^15+x+1
+    0x1100B,  // m=16: x^16+x^12+x^3+x+1
+};
+
+}  // namespace
+
+Gf2mField::Gf2mField(unsigned m) : m_(m) {
+  expects(m >= 2 && m <= 16, "GF(2^m) supports 2 <= m <= 16");
+  order_ = (std::uint32_t{1} << m) - 1;
+  poly_ = kPrimitivePoly[m];
+  exp_.resize(2 * order_);
+  log_.assign(order_ + 1, 0);
+  std::uint32_t x = 1;
+  for (std::uint32_t i = 0; i < order_; ++i) {
+    exp_[i] = x;
+    log_[x] = i;
+    x <<= 1;
+    if (x & (std::uint32_t{1} << m)) x ^= poly_;
+  }
+  ensures(x == 1, "polynomial is not primitive");
+  for (std::uint32_t i = 0; i < order_; ++i) exp_[order_ + i] = exp_[i];
+}
+
+std::uint32_t Gf2mField::mul(std::uint32_t a, std::uint32_t b) const {
+  expects(a <= order_ && b <= order_, "element out of field");
+  if (a == 0 || b == 0) return 0;
+  return exp_[log_[a] + log_[b]];
+}
+
+std::uint32_t Gf2mField::inv(std::uint32_t a) const {
+  expects(a != 0, "zero has no inverse");
+  expects(a <= order_, "element out of field");
+  return exp_[order_ - log_[a]];
+}
+
+std::uint32_t Gf2mField::alpha_pow(long long e) const noexcept {
+  long long r = e % static_cast<long long>(order_);
+  if (r < 0) r += order_;
+  return exp_[static_cast<std::size_t>(r)];
+}
+
+std::uint32_t Gf2mField::log(std::uint32_t a) const {
+  expects(a != 0 && a <= order_, "log of zero or out-of-field element");
+  return log_[a];
+}
+
+std::uint32_t Gf2mField::pow(std::uint32_t a, unsigned long long e) const {
+  if (a == 0) return e == 0 ? 1 : 0;
+  const unsigned long long le = (static_cast<unsigned long long>(log(a)) * (e % order_)) % order_;
+  return exp_[static_cast<std::size_t>(le)];
+}
+
+std::size_t poly_degree(const Gf2Poly& p) noexcept {
+  for (std::size_t i = p.size(); i-- > 0;)
+    if (p[i]) return i;
+  return static_cast<std::size_t>(-1);
+}
+
+Gf2Poly poly_mul(const Gf2Poly& a, const Gf2Poly& b) {
+  if (a.empty() || b.empty()) return {};
+  Gf2Poly out(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!a[i]) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) out[i + j] ^= b[j];
+  }
+  return out;
+}
+
+Gf2Poly poly_mod(const Gf2Poly& a, const Gf2Poly& b) {
+  const std::size_t db = poly_degree(b);
+  expects(db != static_cast<std::size_t>(-1), "modulo by zero polynomial");
+  Gf2Poly r = a;
+  std::size_t dr = poly_degree(r);
+  while (dr != static_cast<std::size_t>(-1) && dr >= db) {
+    const std::size_t shift = dr - db;
+    for (std::size_t i = 0; i <= db; ++i) r[i + shift] ^= b[i];
+    dr = poly_degree(r);
+  }
+  r.resize(db);  // remainder has degree < db
+  if (r.empty()) r.push_back(0);
+  return r;
+}
+
+Gf2Poly minimal_polynomial(const Gf2mField& field, std::uint32_t e) {
+  // Conjugacy class of alpha^e under Frobenius: exponents e, 2e, 4e, ...
+  std::set<std::uint32_t> exponents;
+  std::uint32_t cur = e % field.order();
+  while (exponents.insert(cur).second)
+    cur = static_cast<std::uint32_t>((2ULL * cur) % field.order());
+  std::set<std::uint32_t> roots;
+  for (std::uint32_t ex : exponents) roots.insert(field.alpha_pow(ex));
+
+  // Product of (x - root) over the class, with coefficients in GF(2^m); the
+  // result has coefficients in GF(2).
+  std::vector<std::uint32_t> poly{1};  // leading coefficient, ascending degree below
+  std::vector<std::uint32_t> acc{1};
+  for (std::uint32_t root : roots) {
+    std::vector<std::uint32_t> next(acc.size() + 1, 0);
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      next[i + 1] ^= acc[i];                  // x * acc
+      next[i] ^= field.mul(acc[i], root);     // root * acc
+    }
+    acc = std::move(next);
+  }
+  Gf2Poly out(acc.size(), 0);
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    expects(acc[i] <= 1, "minimal polynomial has non-binary coefficient");
+    out[i] = static_cast<std::uint8_t>(acc[i]);
+  }
+  return out;
+}
+
+}  // namespace sfqecc::code

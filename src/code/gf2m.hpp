@@ -1,0 +1,60 @@
+// Finite-field arithmetic over GF(2^m), 2 <= m <= 16, with log/antilog
+// tables. Substrate for the BCH codes used in the paper's Section II
+// complexity comparison against Hamming codes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sfqecc::code {
+
+/// GF(2^m) with a fixed primitive polynomial. Elements are represented as
+/// polynomial bit masks (0 .. 2^m - 1); `alpha` (= 2) is primitive.
+class Gf2mField {
+ public:
+  /// Uses a standard primitive polynomial for the given m.
+  explicit Gf2mField(unsigned m);
+
+  unsigned m() const noexcept { return m_; }
+  std::uint32_t size() const noexcept { return order_ + 1; }     ///< field size 2^m
+  std::uint32_t order() const noexcept { return order_; }        ///< multiplicative order 2^m - 1
+  std::uint32_t primitive_poly() const noexcept { return poly_; }
+
+  std::uint32_t add(std::uint32_t a, std::uint32_t b) const noexcept { return a ^ b; }
+  std::uint32_t mul(std::uint32_t a, std::uint32_t b) const;
+  std::uint32_t inv(std::uint32_t a) const;
+  std::uint32_t div(std::uint32_t a, std::uint32_t b) const { return mul(a, inv(b)); }
+
+  /// alpha^e for any integer exponent (reduced mod 2^m - 1).
+  std::uint32_t alpha_pow(long long e) const noexcept;
+
+  /// Discrete log base alpha; `a` must be nonzero.
+  std::uint32_t log(std::uint32_t a) const;
+
+  std::uint32_t pow(std::uint32_t a, unsigned long long e) const;
+
+ private:
+  unsigned m_;
+  std::uint32_t order_;
+  std::uint32_t poly_;
+  std::vector<std::uint32_t> exp_;  // exp_[i] = alpha^i, doubled for wraparound
+  std::vector<std::uint32_t> log_;  // log_[a] = i with alpha^i = a
+};
+
+/// Polynomial over GF(2) stored as coefficient bit mask in a vector<bool>-free
+/// form: coeffs[i] is the coefficient of x^i (0 or 1), highest degree last.
+using Gf2Poly = std::vector<std::uint8_t>;
+
+/// Degree of a polynomial; degree of the zero polynomial is SIZE_MAX.
+std::size_t poly_degree(const Gf2Poly& p) noexcept;
+
+/// Product of two GF(2) polynomials.
+Gf2Poly poly_mul(const Gf2Poly& a, const Gf2Poly& b);
+
+/// Remainder of a mod b (b nonzero).
+Gf2Poly poly_mod(const Gf2Poly& a, const Gf2Poly& b);
+
+/// Minimal polynomial over GF(2) of alpha^e in the given field.
+Gf2Poly minimal_polynomial(const Gf2mField& field, std::uint32_t e);
+
+}  // namespace sfqecc::code

@@ -1,0 +1,77 @@
+#include "code/hamming.hpp"
+
+#include <bit>
+#include <string>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::code {
+
+LinearCode hamming_code(std::size_t r) {
+  expects(r >= 2, "Hamming code needs r >= 2");
+  expects(r <= 16, "Hamming code r too large to be practical");
+  const std::size_t n = (std::size_t{1} << r) - 1;
+  const std::size_t k = n - r;
+
+  // Column values: data columns are the non-power-of-two values ascending,
+  // parity columns are 1, 2, 4, ... so that H = [A | I_r].
+  std::vector<std::size_t> data_columns;
+  for (std::size_t v = 1; v <= n; ++v)
+    if (std::popcount(v) > 1) data_columns.push_back(v);
+  ensures(data_columns.size() == k, "unexpected data column count");
+
+  // Systematic generator G = [I_k | P] with P(i, j) = bit j of data column i:
+  // parity j covers exactly the data bits whose column value has bit j set.
+  Gf2Matrix g(k, n);
+  for (std::size_t i = 0; i < k; ++i) {
+    g.set(i, i, true);
+    for (std::size_t j = 0; j < r; ++j)
+      if ((data_columns[i] >> j) & 1) g.set(i, k + j, true);
+  }
+  return LinearCode("Hamming(" + std::to_string(n) + "," + std::to_string(k) + ")",
+                    std::move(g), 3);
+}
+
+LinearCode extend_with_overall_parity(const LinearCode& base) {
+  const std::size_t k = base.k();
+  const std::size_t n = base.n();
+  Gf2Matrix g(k, n + 1);
+  for (std::size_t i = 0; i < k; ++i) {
+    const BitVec& row = base.generator().row(i);
+    for (std::size_t c = 0; c < n; ++c) g.set(i, c, row.get(c));
+    g.set(i, n, row.parity());
+  }
+  // Every extended row (hence every codeword) has even weight; if the base
+  // dmin was odd it increases by exactly one.
+  std::optional<std::size_t> d;
+  if (base.known_dmin() || base.k() <= 24) {
+    const std::size_t base_d = base.dmin();
+    d = base_d % 2 == 1 ? base_d + 1 : base_d;
+  }
+  return LinearCode("extended-" + base.name(), std::move(g), d);
+}
+
+LinearCode paper_hamming74() {
+  // Rows are codewords of the unit messages m1..m4 under Eq. (3) minus c8.
+  Gf2Matrix g = Gf2Matrix::from_rows({
+      {1, 1, 1, 0, 0, 0, 0},   // m1 -> c1, c2, c3
+      {1, 0, 0, 1, 1, 0, 0},   // m2 -> c1, c4, c5
+      {0, 1, 0, 1, 0, 1, 0},   // m3 -> c2, c4, c6
+      {1, 1, 0, 1, 0, 0, 1},   // m4 -> c1, c2, c4, c7
+  });
+  return LinearCode("Hamming(7,4)", std::move(g), 3);
+}
+
+LinearCode paper_hamming84() {
+  // Eq. (1) of the paper.
+  Gf2Matrix g = Gf2Matrix::from_rows({
+      {1, 1, 1, 0, 0, 0, 0, 1},
+      {1, 0, 0, 1, 1, 0, 0, 1},
+      {0, 1, 0, 1, 0, 1, 0, 1},
+      {1, 1, 0, 1, 0, 0, 1, 0},
+  });
+  return LinearCode("Hamming(8,4)", std::move(g), 4);
+}
+
+}  // namespace sfqecc::code

@@ -1,0 +1,35 @@
+// Hamming codes.
+//
+// Provides the general Hamming(2^r-1, 2^r-1-r) family, the overall-parity
+// extension that turns any code into an even-weight code (dmin 3 -> 4 for
+// Hamming), and the exact generator layouts used in the paper:
+//  * paper_hamming74(): Eq. (3) without c8 — codeword (c1..c7), message (m1..m4)
+//  * paper_hamming84(): Eq. (1) — the extended Hamming(8,4) with c8 = overall parity
+#pragma once
+
+#include <cstddef>
+
+#include "code/linear_code.hpp"
+
+namespace sfqecc::code {
+
+/// General Hamming code with r >= 2 parity bits: [2^r-1, 2^r-1-r, 3].
+/// Systematic layout: data bits first, parity bits last; parity-check columns
+/// are the nonzero r-bit values with non-unit columns (data) in ascending
+/// integer order followed by unit columns (parity).
+LinearCode hamming_code(std::size_t r);
+
+/// Extends `base` by one overall parity bit (appended as the last position),
+/// making every codeword even-weight. For a code with odd dmin this raises
+/// dmin by one.
+LinearCode extend_with_overall_parity(const LinearCode& base);
+
+/// The paper's Hamming(7,4): c1=m1^m2^m4, c2=m1^m3^m4, c3=m1, c4=m2^m3^m4,
+/// c5=m2, c6=m3, c7=m4 (bit i of the codeword is c_{i+1}).
+LinearCode paper_hamming74();
+
+/// The paper's Hamming(8,4) (Eq. (1)); c8 = m1^m2^m3 equals the overall
+/// parity of c1..c7, so this is the extended Hamming code with dmin 4.
+LinearCode paper_hamming84();
+
+}  // namespace sfqecc::code

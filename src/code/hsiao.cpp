@@ -1,0 +1,38 @@
+#include "code/hsiao.hpp"
+
+#include <bit>
+#include <string>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::code {
+
+LinearCode hsiao_code(std::size_t k, std::size_t r) {
+  expects(r >= 3 && r <= 16, "Hsiao code needs 3 <= r <= 16");
+  // Unit columns (weight 1) serve the parity bits; data columns use odd
+  // weights >= 3. Available non-unit odd columns: 2^(r-1) - r.
+  expects(k <= (std::size_t{1} << (r - 1)) - r, "k too large for r parity bits");
+
+  std::vector<std::size_t> data_columns;
+  for (std::size_t w = 3; w <= r && data_columns.size() < k; w += 2)
+    for (std::size_t v = 1; v < (std::size_t{1} << r) && data_columns.size() < k; ++v)
+      if (static_cast<std::size_t>(std::popcount(v)) == w) data_columns.push_back(v);
+  ensures(data_columns.size() == k, "failed to build Hsiao column set");
+
+  Gf2Matrix g(k, k + r);
+  for (std::size_t i = 0; i < k; ++i) {
+    g.set(i, i, true);
+    for (std::size_t j = 0; j < r; ++j)
+      if ((data_columns[i] >> j) & 1) g.set(i, k + j, true);
+  }
+  // All columns odd and distinct -> dmin = 4 (odd+odd+odd is odd, so no
+  // weight-3 codeword; three data columns cannot sum to zero, and a weight-4
+  // codeword exists whenever two data columns share a two-column complement).
+  return LinearCode("Hsiao(" + std::to_string(k + r) + "," + std::to_string(k) + ")",
+                    std::move(g), 4);
+}
+
+LinearCode hsiao_13_8() { return hsiao_code(8, 5); }
+
+}  // namespace sfqecc::code

@@ -1,0 +1,27 @@
+// Hsiao SEC-DED codes: single-error-correcting, double-error-detecting codes
+// whose parity-check columns all have odd weight. Compared to the extended
+// Hamming construction, the odd-weight-column property yields faster/simpler
+// double-error detection (the syndrome's overall parity distinguishes 1 vs 2
+// errors directly) and minimum total column weight — i.e. the fewest encoder
+// XOR terms. The industry-standard choice for memory interfaces; included
+// here as the natural competitor for the byte-wide (8-bit processor) design
+// point the paper's introduction motivates.
+#pragma once
+
+#include <cstddef>
+
+#include "code/linear_code.hpp"
+
+namespace sfqecc::code {
+
+/// Hsiao code with k data bits and r parity bits; requires that the number of
+/// odd-weight r-bit columns (2^(r-1)) can accommodate k + r columns.
+/// Systematic layout: data bits first, parity last. dmin = 4.
+/// Data columns are chosen minimum-weight-first (weight 3, then 5, ...)
+/// in ascending value order, which minimizes the encoder's XOR-term count.
+LinearCode hsiao_code(std::size_t k, std::size_t r);
+
+/// The byte-wide Hsiao(13,8) SEC-DED code.
+LinearCode hsiao_13_8();
+
+}  // namespace sfqecc::code

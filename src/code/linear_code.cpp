@@ -1,0 +1,186 @@
+#include "code/linear_code.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::code {
+namespace {
+
+constexpr std::size_t kMaxEnumerableK = 24;       // 16M codewords
+constexpr std::size_t kMaxSyndromeBits = 28;      // 256M-entry table cap
+
+}  // namespace
+
+LinearCode::LinearCode(std::string name, Gf2Matrix generator,
+                       std::optional<std::size_t> known_dmin)
+    : name_(std::move(name)), generator_(std::move(generator)), dmin_(known_dmin) {
+  expects(generator_.rows() > 0 && generator_.cols() > 0, "empty generator matrix");
+  expects(generator_.rows() <= generator_.cols(), "generator must have k <= n");
+  expects(generator_.rank() == generator_.rows(), "generator must have full row rank");
+}
+
+const Gf2Matrix& LinearCode::parity_check() const {
+  if (!parity_check_) {
+    // Rows of H are a basis of the dual code: the null space of the map
+    // x -> G x (vectors orthogonal to every generator row).
+    parity_check_ = generator_.null_space();
+    ensures(parity_check_->rows() == parity_bits(), "parity check rank mismatch");
+  }
+  return *parity_check_;
+}
+
+BitVec LinearCode::encode(const BitVec& message) const {
+  expects(message.size() == k(), "message length mismatch");
+  return generator_.mul_left(message);
+}
+
+BitVec LinearCode::syndrome(const BitVec& received) const {
+  expects(received.size() == n(), "received word length mismatch");
+  return parity_check().mul_right(received);
+}
+
+bool LinearCode::is_codeword(const BitVec& word) const {
+  return syndrome(word).is_zero();
+}
+
+void LinearCode::build_message_recovery() const {
+  if (decode_matrix_) return;
+  // Pivot columns of G form an information set; the k x k submatrix there is
+  // invertible and m = c[pivots] * inv(G[:, pivots]).
+  const Gf2Matrix r = generator_.rref();
+  pivot_columns_.clear();
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < generator_.cols() && row < k(); ++c) {
+    if (r.get(row, c)) {
+      bool is_pivot = true;
+      for (std::size_t rr = 0; rr < k(); ++rr)
+        if (r.get(rr, c) != (rr == row)) {
+          is_pivot = false;
+          break;
+        }
+      if (is_pivot) {
+        pivot_columns_.push_back(c);
+        ++row;
+      }
+    }
+  }
+  ensures(pivot_columns_.size() == k(), "failed to find information set");
+  decode_matrix_ = generator_.select_columns(pivot_columns_).inverse();
+}
+
+BitVec LinearCode::extract_message(const BitVec& codeword) const {
+  expects(codeword.size() == n(), "codeword length mismatch");
+  expects(is_codeword(codeword), "extract_message requires a valid codeword");
+  build_message_recovery();
+  BitVec restricted(k());
+  for (std::size_t i = 0; i < k(); ++i) restricted.set(i, codeword.get(pivot_columns_[i]));
+  return decode_matrix_->mul_left(restricted);
+}
+
+std::size_t LinearCode::dmin() const {
+  if (dmin_) return *dmin_;
+  const auto& dist = weight_distribution();
+  for (std::size_t w = 1; w < dist.size(); ++w) {
+    if (dist[w] > 0) {
+      dmin_ = w;
+      return w;
+    }
+  }
+  throw ContractViolation("code has no nonzero codeword");
+}
+
+const std::vector<std::size_t>& LinearCode::weight_distribution() const {
+  if (!weight_distribution_) {
+    expects(k() <= kMaxEnumerableK, "weight distribution needs k <= 24");
+    std::vector<std::size_t> dist(n() + 1, 0);
+    // Gray-code enumeration: flip one generator row per step.
+    BitVec current(n());
+    ++dist[0];
+    const std::uint64_t total = 1ULL << k();
+    std::uint64_t prev_gray = 0;
+    for (std::uint64_t i = 1; i < total; ++i) {
+      const std::uint64_t gray = i ^ (i >> 1);
+      const std::uint64_t changed = gray ^ prev_gray;
+      prev_gray = gray;
+      std::size_t row = 0;
+      std::uint64_t bit = changed;
+      while ((bit & 1) == 0) {
+        bit >>= 1;
+        ++row;
+      }
+      current ^= generator_.row(row);
+      ++dist[current.weight()];
+    }
+    weight_distribution_ = std::move(dist);
+  }
+  return *weight_distribution_;
+}
+
+const std::vector<BitVec>& LinearCode::coset_leaders() const {
+  if (!coset_leaders_) {
+    const std::size_t sbits = parity_bits();
+    expects(sbits <= kMaxSyndromeBits, "syndrome table too large");
+    const std::size_t table_size = std::size_t{1} << sbits;
+    std::vector<BitVec> leaders(table_size);
+    std::vector<bool> found(table_size, false);
+    std::size_t remaining = table_size;
+
+    // Zero syndrome -> zero leader.
+    leaders[0] = BitVec(n());
+    found[0] = true;
+    --remaining;
+
+    // Precompute the syndrome of each single-bit error; pattern syndromes are
+    // XORs of these. Enumerate patterns by increasing weight so the first
+    // pattern seen for a syndrome is a minimum-weight leader; iterating
+    // support positions in ascending lexicographic order makes the choice
+    // deterministic.
+    std::vector<std::uint64_t> column_syndromes(n());
+    for (std::size_t i = 0; i < n(); ++i) {
+      BitVec e(n());
+      e.set(i, true);
+      column_syndromes[i] = syndrome(e).to_u64();
+    }
+
+    std::vector<std::size_t> idx;
+    for (std::size_t weight = 1; weight <= n() && remaining > 0; ++weight) {
+      idx.resize(weight);
+      for (std::size_t i = 0; i < weight; ++i) idx[i] = i;
+      while (true) {
+        std::uint64_t s = 0;
+        for (std::size_t i : idx) s ^= column_syndromes[i];
+        if (!found[s]) {
+          BitVec e(n());
+          for (std::size_t i : idx) e.set(i, true);
+          leaders[s] = e;
+          found[s] = true;
+          --remaining;
+          if (remaining == 0) break;
+        }
+        // Next combination.
+        std::size_t pos = weight;
+        while (pos > 0 && idx[pos - 1] == n() - weight + pos - 1) --pos;
+        if (pos == 0) break;
+        ++idx[pos - 1];
+        for (std::size_t i = pos; i < weight; ++i) idx[i] = idx[i - 1] + 1;
+      }
+    }
+    ensures(remaining == 0, "failed to cover all syndromes");
+    coset_leaders_ = std::move(leaders);
+  }
+  return *coset_leaders_;
+}
+
+std::vector<BitVec> LinearCode::all_codewords() const {
+  expects(k() <= kMaxEnumerableK, "codeword enumeration needs k <= 24");
+  const std::uint64_t total = 1ULL << k();
+  std::vector<BitVec> out;
+  out.reserve(total);
+  for (std::uint64_t m = 0; m < total; ++m)
+    out.push_back(encode(BitVec::from_u64(k(), m)));
+  return out;
+}
+
+}  // namespace sfqecc::code

@@ -1,0 +1,93 @@
+// Binary linear block code [n, k, d].
+//
+// A LinearCode owns its generator matrix and lazily derives the structures
+// decoders and analyses need: parity-check matrix, minimum distance, weight
+// distribution, syndrome/coset-leader table and a message-recovery map.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "code/bitvec.hpp"
+#include "code/gf2_matrix.hpp"
+
+namespace sfqecc::code {
+
+/// Binary linear [n, k] block code defined by a full-row-rank k x n generator.
+class LinearCode {
+ public:
+  /// `known_dmin` can be supplied when the construction guarantees it (e.g.
+  /// extended Hamming has d = 4); otherwise dmin() computes it.
+  LinearCode(std::string name, Gf2Matrix generator,
+             std::optional<std::size_t> known_dmin = std::nullopt);
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t n() const noexcept { return generator_.cols(); }
+  std::size_t k() const noexcept { return generator_.rows(); }
+  std::size_t parity_bits() const noexcept { return n() - k(); }
+
+  /// Code rate k / n.
+  double rate() const noexcept {
+    return static_cast<double>(k()) / static_cast<double>(n());
+  }
+
+  const Gf2Matrix& generator() const noexcept { return generator_; }
+
+  /// Parity-check matrix H ((n-k) x n) with H c^T = 0 for every codeword c.
+  const Gf2Matrix& parity_check() const;
+
+  /// codeword = message x G. `message` must have k elements.
+  BitVec encode(const BitVec& message) const;
+
+  /// Syndrome H r^T of a received word (length n-k).
+  BitVec syndrome(const BitVec& received) const;
+
+  bool is_codeword(const BitVec& word) const;
+
+  /// Recovers the message from a *valid* codeword (inverts the injective
+  /// encoding map). The caller must pass a codeword; contract-checked.
+  BitVec extract_message(const BitVec& codeword) const;
+
+  /// Minimum Hamming distance. Computed by codeword enumeration (k <= 24)
+  /// unless supplied at construction.
+  std::size_t dmin() const;
+
+  /// dmin if already known (supplied or previously computed), without
+  /// triggering enumeration.
+  std::optional<std::size_t> known_dmin() const noexcept { return dmin_; }
+
+  /// Weight distribution A_0..A_n (requires k <= 24).
+  const std::vector<std::size_t>& weight_distribution() const;
+
+  /// Number of errors guaranteed correctable: floor((d-1)/2).
+  std::size_t t_correct() const { return (dmin() - 1) / 2; }
+
+  /// Number of errors guaranteed detectable in detect-only operation: d - 1.
+  std::size_t t_detect() const { return dmin() - 1; }
+
+  /// Minimum-weight coset leader for every syndrome, indexed by the syndrome
+  /// value as an integer (requires n-k <= 28). Used by syndrome decoding.
+  /// Leaders are chosen deterministically: lowest weight, then lexicographically
+  /// smallest support.
+  const std::vector<BitVec>& coset_leaders() const;
+
+  /// Convenience: all 2^k codewords (requires k <= 24), indexed by message value.
+  std::vector<BitVec> all_codewords() const;
+
+ private:
+  std::string name_;
+  Gf2Matrix generator_;
+  mutable std::optional<Gf2Matrix> parity_check_;
+  mutable std::optional<std::size_t> dmin_;
+  mutable std::optional<std::vector<std::size_t>> weight_distribution_;
+  mutable std::optional<std::vector<BitVec>> coset_leaders_;
+  // Message recovery: m = c[pivot_columns] * decode_matrix_.
+  mutable std::optional<Gf2Matrix> decode_matrix_;
+  mutable std::vector<std::size_t> pivot_columns_;
+
+  void build_message_recovery() const;
+};
+
+}  // namespace sfqecc::code

@@ -1,0 +1,56 @@
+#include "code/macwilliams.hpp"
+
+#include "util/expect.hpp"
+
+namespace sfqecc::code {
+namespace {
+
+/// Binomial coefficient as int64; n <= 60 stays comfortably in range for the
+/// block lengths this library handles.
+std::int64_t binom(std::size_t n, std::size_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::int64_t r = 1;
+  for (std::size_t i = 0; i < k; ++i)
+    r = r * static_cast<std::int64_t>(n - i) / static_cast<std::int64_t>(i + 1);
+  return r;
+}
+
+}  // namespace
+
+std::int64_t krawtchouk(std::size_t n, std::size_t j, std::size_t i) {
+  std::int64_t sum = 0;
+  for (std::size_t l = 0; l <= j; ++l) {
+    const std::int64_t term = binom(i, l) * binom(n - i, j - l);
+    sum += (l % 2 == 0) ? term : -term;
+  }
+  return sum;
+}
+
+std::vector<std::size_t> macwilliams_transform(
+    const std::vector<std::size_t>& weight_distribution, std::size_t n, std::size_t k) {
+  expects(weight_distribution.size() == n + 1, "weight distribution size mismatch");
+  expects(n <= 48, "MacWilliams transform limited to n <= 48 (int64 safety)");
+  std::size_t total = 0;
+  for (std::size_t a : weight_distribution) total += a;
+  expects(total == (std::size_t{1} << k), "weight distribution must sum to 2^k");
+
+  std::vector<std::size_t> dual(n + 1, 0);
+  for (std::size_t j = 0; j <= n; ++j) {
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (weight_distribution[i] == 0) continue;
+      sum += static_cast<std::int64_t>(weight_distribution[i]) * krawtchouk(n, j, i);
+    }
+    const std::int64_t denom = std::int64_t{1} << k;
+    ensures(sum >= 0 && sum % denom == 0, "MacWilliams sum must divide by 2^k");
+    dual[j] = static_cast<std::size_t>(sum / denom);
+  }
+  return dual;
+}
+
+std::vector<std::size_t> dual_weight_distribution(const LinearCode& code) {
+  return macwilliams_transform(code.weight_distribution(), code.n(), code.k());
+}
+
+}  // namespace sfqecc::code

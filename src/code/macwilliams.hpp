@@ -1,0 +1,31 @@
+// MacWilliams identity: the weight distribution of the dual code from the
+// weight distribution of the code, via Krawtchouk polynomials:
+//
+//   B_j = 2^{-k} * sum_i A_i * K_j(i),   K_j(i) = sum_l (-1)^l C(i,l) C(n-i, j-l)
+//
+// Used to obtain dual weight spectra without enumerating the (possibly much
+// larger) dual codebook, and as a strong cross-check on the enumerative
+// machinery in LinearCode (property-tested both ways).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "code/linear_code.hpp"
+
+namespace sfqecc::code {
+
+/// Krawtchouk polynomial K_j(i) for the binary Hamming scheme of length n.
+std::int64_t krawtchouk(std::size_t n, std::size_t j, std::size_t i);
+
+/// Dual weight distribution B_0..B_n from A_0..A_n of an [n, k] code.
+/// `weight_distribution` must have n+1 entries summing to 2^k.
+std::vector<std::size_t> macwilliams_transform(
+    const std::vector<std::size_t>& weight_distribution, std::size_t n, std::size_t k);
+
+/// Convenience: dual weight distribution of a code (requires k <= 24 to
+/// enumerate the primal distribution; the dual dimension is unrestricted).
+std::vector<std::size_t> dual_weight_distribution(const LinearCode& code);
+
+}  // namespace sfqecc::code

@@ -1,0 +1,97 @@
+#include "code/reed_muller.hpp"
+
+#include <string>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::code {
+namespace {
+
+/// Appends to `rows` the evaluation vectors of all degree-`deg` monomials,
+/// iterating variable subsets in lexicographic order.
+void append_monomials(std::vector<BitVec>& rows, std::size_t deg, std::size_t m) {
+  const std::size_t n = std::size_t{1} << m;
+  if (deg == 0) {
+    BitVec ones(n);
+    for (std::size_t j = 0; j < n; ++j) ones.set(j, true);
+    rows.push_back(ones);
+    return;
+  }
+  // Enumerate variable subsets of size `deg` as sorted index vectors.
+  std::vector<std::size_t> vars(deg);
+  for (std::size_t i = 0; i < deg; ++i) vars[i] = i;
+  while (true) {
+    BitVec row(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      bool all = true;
+      for (std::size_t v : vars)
+        if (((j >> v) & 1) == 0) {
+          all = false;
+          break;
+        }
+      row.set(j, all);
+    }
+    rows.push_back(row);
+
+    std::size_t pos = deg;
+    while (pos > 0 && vars[pos - 1] == m - deg + pos - 1) --pos;
+    if (pos == 0) break;
+    ++vars[pos - 1];
+    for (std::size_t i = pos; i < deg; ++i) vars[i] = vars[i - 1] + 1;
+  }
+}
+
+}  // namespace
+
+std::size_t reed_muller_k(std::size_t r, std::size_t m) {
+  std::size_t k = 0;
+  std::size_t binom = 1;  // C(m, 0)
+  for (std::size_t i = 0; i <= r; ++i) {
+    k += binom;
+    binom = binom * (m - i) / (i + 1);
+  }
+  return k;
+}
+
+LinearCode reed_muller(std::size_t r, std::size_t m) {
+  expects(m >= 1 && m <= 16, "RM(r,m) needs 1 <= m <= 16");
+  expects(r <= m, "RM(r,m) needs r <= m");
+  std::vector<BitVec> rows;
+  for (std::size_t deg = 0; deg <= r; ++deg) append_monomials(rows, deg, m);
+  ensures(rows.size() == reed_muller_k(r, m), "RM dimension mismatch");
+
+  Gf2Matrix g(rows.size(), std::size_t{1} << m);
+  for (std::size_t i = 0; i < rows.size(); ++i) g.row(i) = rows[i];
+  const std::size_t d = std::size_t{1} << (m - r);
+  return LinearCode("RM(" + std::to_string(r) + "," + std::to_string(m) + ")",
+                    std::move(g), d);
+}
+
+LinearCode paper_rm13() {
+  LinearCode rm = reed_muller(1, 3);
+  // The generic construction already orders rows (1, x1, x2, x3), matching the
+  // paper mapping m1 -> constant, m2..m4 -> x1..x3. Rename for presentation.
+  return LinearCode("RM(1,3)", rm.generator(), 4);
+}
+
+LinearCode plotkin_combine(const LinearCode& a, const LinearCode& b) {
+  expects(a.n() == b.n(), "Plotkin combination needs equal lengths");
+  const std::size_t n = a.n();
+  Gf2Matrix g(a.k() + b.k(), 2 * n);
+  // Rows from A appear as (u | u); rows from B as (0 | v).
+  for (std::size_t i = 0; i < a.k(); ++i) {
+    const BitVec& u = a.generator().row(i);
+    for (std::size_t c = 0; c < n; ++c) {
+      g.set(i, c, u.get(c));
+      g.set(i, n + c, u.get(c));
+    }
+  }
+  for (std::size_t i = 0; i < b.k(); ++i) {
+    const BitVec& v = b.generator().row(i);
+    for (std::size_t c = 0; c < n; ++c) g.set(a.k() + i, n + c, v.get(c));
+  }
+  return LinearCode("plotkin(" + a.name() + "," + b.name() + ")", std::move(g));
+}
+
+}  // namespace sfqecc::code

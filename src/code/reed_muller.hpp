@@ -1,0 +1,33 @@
+// Reed-Muller codes RM(r, m) of length 2^m.
+//
+// Construction: generator rows are the evaluation vectors of all monomials of
+// degree <= r in m boolean variables, evaluated over the points j = 0..2^m-1
+// (variable x_i of point j is bit i of j). Rows are ordered by degree, then
+// lexicographically by variable set. dmin(RM(r,m)) = 2^(m-r).
+//
+// paper_rm13() is RM(1,3) with the message mapping used in the paper's Fig. 4
+// reconstruction: m1 -> constant, m2 -> x1, m3 -> x2, m4 -> x3, i.e.
+// c_j = m1 ^ (m2 & j0) ^ (m3 & j1) ^ (m4 & j2) for bit index j = 0..7.
+#pragma once
+
+#include <cstddef>
+
+#include "code/linear_code.hpp"
+
+namespace sfqecc::code {
+
+/// Reed-Muller code RM(r, m), 0 <= r <= m, m <= 16.
+LinearCode reed_muller(std::size_t r, std::size_t m);
+
+/// Dimension of RM(r, m): sum_{i<=r} C(m, i).
+std::size_t reed_muller_k(std::size_t r, std::size_t m);
+
+/// The paper's RM(1,3) code (k = 4, n = 8, dmin = 4).
+LinearCode paper_rm13();
+
+/// Plotkin (u | u+v) combination: builds the length-2n code
+/// { (u, u+v) : u in A, v in B } for codes A, B of equal length n.
+/// RM(r, m+1) = Plotkin(RM(r, m), RM(r-1, m)); used for tests and scaling.
+LinearCode plotkin_combine(const LinearCode& a, const LinearCode& b);
+
+}  // namespace sfqecc::code

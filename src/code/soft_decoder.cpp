@@ -1,0 +1,82 @@
+#include "code/soft_decoder.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::code {
+namespace {
+
+std::size_t log2_exact(std::size_t n) {
+  std::size_t m = 0;
+  while ((std::size_t{1} << m) < n) ++m;
+  expects((std::size_t{1} << m) == n, "length must be a power of two");
+  return m;
+}
+
+}  // namespace
+
+RmSoftDecoder::RmSoftDecoder(const LinearCode& code)
+    : code_(code), m_(log2_exact(code.n())) {
+  expects(code_.k() == m_ + 1, "code is not RM(1,m)");
+  for (std::size_t j = 0; j < code_.n(); ++j) {
+    expects(code_.generator().get(0, j), "RM(1,m) row 0 must be all-ones");
+    for (std::size_t i = 0; i < m_; ++i)
+      expects(code_.generator().get(i + 1, j) == (((j >> i) & 1) != 0),
+              "RM(1,m) rows must be (1, x1..xm)");
+  }
+}
+
+DecodeResult RmSoftDecoder::decode(const std::vector<double>& bipolar) const {
+  expects(bipolar.size() == code_.n(), "observation length mismatch");
+  const std::size_t n = code_.n();
+
+  // Real-valued fast Hadamard transform of the observations; F_a is the
+  // correlation with the bipolar image of message (0, a).
+  std::vector<double> f = bipolar;
+  for (std::size_t len = 1; len < n; len <<= 1) {
+    for (std::size_t blk = 0; blk < n; blk += len << 1) {
+      for (std::size_t j = blk; j < blk + len; ++j) {
+        const double a = f[j];
+        const double b = f[j + len];
+        f[j] = a + b;
+        f[j + len] = a - b;
+      }
+    }
+  }
+
+  std::size_t best = 0;
+  double best_abs = std::abs(f[0]);
+  for (std::size_t a = 1; a < n; ++a) {
+    if (std::abs(f[a]) > best_abs) {
+      best = a;
+      best_abs = std::abs(f[a]);
+    }
+  }
+
+  BitVec message(m_ + 1);
+  message.set(0, f[best] < 0.0);
+  for (std::size_t i = 0; i < m_; ++i) message.set(i + 1, ((best >> i) & 1) != 0);
+
+  DecodeResult result;
+  result.message = message;
+  result.codeword = code_.encode(message);
+  // Hard distance against the sign pattern, for reporting only.
+  std::size_t flips = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const bool hard = bipolar[j] < 0.0;
+    if (hard != result.codeword.get(j)) ++flips;
+  }
+  result.bits_flipped = flips;
+  result.status = flips == 0 ? DecodeStatus::kNoError : DecodeStatus::kCorrected;
+  return result;
+}
+
+DecodeResult RmSoftDecoder::decode_bits(const BitVec& received) const {
+  std::vector<double> bipolar(received.size());
+  for (std::size_t j = 0; j < received.size(); ++j)
+    bipolar[j] = received.get(j) ? -1.0 : 1.0;
+  return decode(bipolar);
+}
+
+}  // namespace sfqecc::code

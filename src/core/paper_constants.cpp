@@ -1,0 +1,4 @@
+#include "core/paper_constants.hpp"
+
+// Constants only; this translation unit anchors the component.
+namespace sfqecc::core::paper {}

@@ -1,0 +1,77 @@
+// Values the paper reports, kept in one place so benches and EXPERIMENTS.md
+// can print paper-vs-measured side by side.
+#pragma once
+
+#include <cstddef>
+
+namespace sfqecc::core::paper {
+
+// ---- Table I (detected / corrected errors) ---------------------------------
+struct TableIRow {
+  const char* code;
+  std::size_t dmin;
+  std::size_t worst_detected;
+  std::size_t worst_corrected;
+  std::size_t best_detected;
+  std::size_t best_corrected;
+};
+inline constexpr TableIRow kTableI[] = {
+    {"Hamming(7,4)", 3, 1, 1, 3, 1},
+    {"Hamming(8,4)", 4, 3, 1, 3, 1},
+    {"RM(1,3)", 4, 3, 1, 3, 2},
+};
+
+/// Section II-C: Hamming(7,4) "can correctly identify 28 out of the 35
+/// possible 3-bit error patterns, an 80 % detection rate".
+inline constexpr std::size_t kH74ThreeBitDetected = 28;
+inline constexpr std::size_t kH74ThreeBitPatterns = 35;
+
+// ---- Table II (circuit-level comparison) ------------------------------------
+struct TableIIRow {
+  const char* encoder;
+  std::size_t xor_gates;
+  std::size_t dffs;
+  std::size_t splitters;
+  std::size_t sfq_to_dc;
+  std::size_t jj_count;
+  double power_uw;
+  double area_mm2;
+};
+inline constexpr TableIIRow kTableII[] = {
+    {"RM(1,3)", 8, 7, 26, 8, 305, 101.5, 0.193},
+    {"Hamming(7,4)", 5, 8, 20, 7, 247, 81.7, 0.158},
+    {"Hamming(8,4)", 6, 8, 23, 8, 278, 92.3, 0.177},
+};
+
+/// Section III: 10 data splitters + 13 clock splitters for Hamming(8,4).
+inline constexpr std::size_t kH84DataSplitters = 10;
+inline constexpr std::size_t kH84ClockSplitters = 13;
+
+// ---- Fig. 3 ------------------------------------------------------------------
+inline constexpr double kFig3ClockGhz = 5.0;
+inline constexpr const char* kFig3Message = "1011";
+inline constexpr const char* kFig3Codeword = "01100110";
+inline constexpr double kFig3MessageTimeNs = 0.1;
+inline constexpr double kFig3CodewordTimeNs = 0.4;
+inline constexpr std::size_t kFig3LogicDepth = 2;
+
+// ---- Fig. 5 ------------------------------------------------------------------
+inline constexpr std::size_t kFig5Chips = 1000;
+inline constexpr std::size_t kFig5MessagesPerChip = 100;
+inline constexpr double kFig5Spread = 0.20;
+struct Fig5PZero {
+  const char* scheme;
+  double p_zero;  ///< probability of zero errors in 100 decoded messages
+};
+inline constexpr Fig5PZero kFig5PZeros[] = {
+    {"No encoder", 0.800},
+    {"RM(1,3)", 0.867},
+    {"Hamming(7,4)", 0.898},
+    {"Hamming(8,4)", 0.927},
+};
+
+// ---- Baseline [14] -----------------------------------------------------------
+inline constexpr std::size_t kPeng3832XorGates = 84;
+inline constexpr std::size_t kPeng3832Dffs = 135;
+
+}  // namespace sfqecc::core::paper

@@ -1,0 +1,65 @@
+#include "core/paper_encoders.hpp"
+
+#include "code/hamming.hpp"
+#include "code/reed_muller.hpp"
+#include "util/expect.hpp"
+
+namespace sfqecc::core {
+
+const char* scheme_name(SchemeId id) noexcept {
+  switch (id) {
+    case SchemeId::kNoEncoder: return "No encoder";
+    case SchemeId::kRm13: return "RM(1,3)";
+    case SchemeId::kHamming74: return "Hamming(7,4)";
+    case SchemeId::kHamming84: return "Hamming(8,4)";
+  }
+  return "?";
+}
+
+PaperScheme make_scheme(SchemeId id, const circuit::CellLibrary& library) {
+  PaperScheme scheme;
+  scheme.name = scheme_name(id);
+  switch (id) {
+    case SchemeId::kNoEncoder: {
+      scheme.encoder = std::make_unique<circuit::BuiltEncoder>(
+          circuit::build_no_encoder_link(4, library));
+      return scheme;
+    }
+    case SchemeId::kRm13: {
+      scheme.code = std::make_unique<code::LinearCode>(code::paper_rm13());
+      // Standard FHT argmax decoding with deterministic tie-breaking — the
+      // paper's "standard decoding techniques" (its Table I credits RM(1,3)
+      // with correcting certain 2-bit patterns, which requires tie-breaking
+      // rather than erasure output).
+      scheme.decoder =
+          std::make_unique<code::RmFhtDecoder>(*scheme.code, /*flag_ties=*/false);
+      break;
+    }
+    case SchemeId::kHamming74: {
+      scheme.code = std::make_unique<code::LinearCode>(code::paper_hamming74());
+      scheme.decoder = std::make_unique<code::SyndromeDecoder>(*scheme.code);
+      break;
+    }
+    case SchemeId::kHamming84: {
+      scheme.code = std::make_unique<code::LinearCode>(code::paper_hamming84());
+      scheme.base_code = std::make_unique<code::LinearCode>(code::paper_hamming74());
+      scheme.decoder = std::make_unique<code::ExtendedHammingDecoder>(*scheme.code,
+                                                                      *scheme.base_code);
+      break;
+    }
+  }
+  scheme.encoder = std::make_unique<circuit::BuiltEncoder>(
+      circuit::build_encoder(*scheme.code, library));
+  return scheme;
+}
+
+std::vector<PaperScheme> make_all_schemes(const circuit::CellLibrary& library) {
+  std::vector<PaperScheme> schemes;
+  schemes.push_back(make_scheme(SchemeId::kNoEncoder, library));
+  schemes.push_back(make_scheme(SchemeId::kRm13, library));
+  schemes.push_back(make_scheme(SchemeId::kHamming74, library));
+  schemes.push_back(make_scheme(SchemeId::kHamming84, library));
+  return schemes;
+}
+
+}  // namespace sfqecc::core

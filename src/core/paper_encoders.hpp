@@ -1,0 +1,42 @@
+// The paper's concrete artifacts, assembled: the three lightweight encoders
+// (and the no-encoder reference link) with their codes, synthesized SFQ
+// netlists and operating decoders — everything the benches and examples need
+// to reproduce Tables I-II and Figures 3 & 5.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/encoder_builder.hpp"
+#include "code/decoder.hpp"
+#include "code/linear_code.hpp"
+
+namespace sfqecc::core {
+
+/// One fully assembled transmission scheme.
+struct PaperScheme {
+  std::string name;
+  std::unique_ptr<code::LinearCode> code;       ///< null for the no-encoder link
+  std::unique_ptr<code::LinearCode> base_code;  ///< inner code (extended Hamming only)
+  std::unique_ptr<code::Decoder> decoder;       ///< the operating decoder; null for raw
+  std::unique_ptr<circuit::BuiltEncoder> encoder;
+
+  bool has_code() const noexcept { return code != nullptr; }
+};
+
+/// Identifier for the four schemes of Fig. 5, in the paper's order.
+enum class SchemeId { kNoEncoder, kRm13, kHamming74, kHamming84 };
+
+const char* scheme_name(SchemeId id) noexcept;
+
+/// Builds one scheme against the given library.
+/// Decoders: Hamming(7,4) -> syndrome (always-correct, perfect code);
+/// Hamming(8,4) -> correct-1/detect-2 (drives the link error flags);
+/// RM(1,3) -> FHT maximum likelihood with deterministic tie-breaking.
+PaperScheme make_scheme(SchemeId id, const circuit::CellLibrary& library);
+
+/// All four schemes in the paper's Fig. 5 order.
+std::vector<PaperScheme> make_all_schemes(const circuit::CellLibrary& library);
+
+}  // namespace sfqecc::core

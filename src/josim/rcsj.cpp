@@ -1,0 +1,224 @@
+#include "josim/rcsj.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::josim {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+}  // namespace
+
+double JunctionParams::beta_c() const noexcept {
+  return kTwoPi * ic_ma * r_ohm * r_ohm * c_pf / kPhi0;
+}
+
+double JunctionParams::capacitance_for_beta_c(double ic_ma, double r_ohm,
+                                              double beta_c) {
+  expects(ic_ma > 0 && r_ohm > 0 && beta_c > 0, "junction parameters must be positive");
+  return beta_c * kPhi0 / (kTwoPi * ic_ma * r_ohm * r_ohm);
+}
+
+double JunctionTrace::flux_quanta() const noexcept {
+  if (time_ps.size() < 2) return 0.0;
+  double integral = 0.0;
+  for (std::size_t i = 1; i < time_ps.size(); ++i)
+    integral += 0.5 * (voltage_mv[i] + voltage_mv[i - 1]) * (time_ps[i] - time_ps[i - 1]);
+  return integral / kPhi0;
+}
+
+JunctionTrace simulate_junction(const JunctionParams& junction,
+                                const std::function<double(double)>& current_ma,
+                                double t_end_ps, double dt_ps) {
+  expects(t_end_ps > 0 && dt_ps > 0, "simulation window must be positive");
+  JunctionTrace trace;
+
+  // State y = (phi, V). RK4 with fixed step.
+  double phi = 0.0, v = 0.0;
+  double next_slip = kTwoPi;
+  auto dphi = [](double vv) { return kTwoPi * vv / kPhi0; };
+  auto dv = [&](double t, double ph, double vv) {
+    return (current_ma(t) - junction.ic_ma * std::sin(ph) - vv / junction.r_ohm) /
+           junction.c_pf;
+  };
+
+  const auto steps = static_cast<std::size_t>(t_end_ps / dt_ps);
+  trace.time_ps.reserve(steps + 1);
+  trace.voltage_mv.reserve(steps + 1);
+  trace.phase_rad.reserve(steps + 1);
+  for (std::size_t i = 0; i <= steps; ++i) {
+    const double t = static_cast<double>(i) * dt_ps;
+    trace.time_ps.push_back(t);
+    trace.voltage_mv.push_back(v);
+    trace.phase_rad.push_back(phi);
+    while (phi >= next_slip) {
+      trace.slip_times_ps.push_back(t);
+      next_slip += kTwoPi;
+    }
+
+    const double k1p = dphi(v), k1v = dv(t, phi, v);
+    const double k2p = dphi(v + 0.5 * dt_ps * k1v),
+                 k2v = dv(t + 0.5 * dt_ps, phi + 0.5 * dt_ps * k1p, v + 0.5 * dt_ps * k1v);
+    const double k3p = dphi(v + 0.5 * dt_ps * k2v),
+                 k3v = dv(t + 0.5 * dt_ps, phi + 0.5 * dt_ps * k2p, v + 0.5 * dt_ps * k2v);
+    const double k4p = dphi(v + dt_ps * k3v),
+                 k4v = dv(t + dt_ps, phi + dt_ps * k3p, v + dt_ps * k3v);
+    phi += dt_ps / 6.0 * (k1p + 2 * k2p + 2 * k3p + k4p);
+    v += dt_ps / 6.0 * (k1v + 2 * k2v + 2 * k3v + k4v);
+  }
+  return trace;
+}
+
+namespace {
+
+/// JTL state: per junction (phi_j, V_j), plus inter-node inductor currents.
+struct JtlState {
+  std::vector<double> phi;
+  std::vector<double> v;
+  std::vector<double> il;  // il[j]: current node j -> j+1
+};
+
+JtlState derivative(const JtlParams& jtl, const JtlState& s, double input_ma) {
+  const std::size_t n = jtl.stages;
+  JtlState d;
+  d.phi.resize(n);
+  d.v.resize(n);
+  d.il.resize(n > 0 ? n - 1 : 0);
+  const double bias = jtl.bias_fraction * jtl.junction.ic_ma;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double ic =
+        jtl.junction.ic_ma * (j < jtl.ic_scale.size() ? jtl.ic_scale[j] : 1.0);
+    double node_current = bias;
+    if (j == 0) node_current += input_ma;
+    if (j > 0) node_current += s.il[j - 1];
+    if (j + 1 < n) node_current -= s.il[j];
+    d.phi[j] = kTwoPi * s.v[j] / kPhi0;
+    d.v[j] = (node_current - ic * std::sin(s.phi[j]) - s.v[j] / jtl.junction.r_ohm) /
+             jtl.junction.c_pf;
+  }
+  for (std::size_t j = 0; j + 1 < n; ++j) d.il[j] = (s.v[j] - s.v[j + 1]) / jtl.l_ph;
+  return d;
+}
+
+JtlState axpy(const JtlState& a, double h, const JtlState& b) {
+  JtlState out = a;
+  for (std::size_t j = 0; j < a.phi.size(); ++j) {
+    out.phi[j] += h * b.phi[j];
+    out.v[j] += h * b.v[j];
+  }
+  for (std::size_t j = 0; j < a.il.size(); ++j) out.il[j] += h * b.il[j];
+  return out;
+}
+
+}  // namespace
+
+JtlTrace simulate_jtl(const JtlParams& jtl, const PulseStimulus& stimulus,
+                      double t_end_ps, double dt_ps) {
+  expects(jtl.stages >= 1, "JTL needs at least one stage");
+  expects(jtl.ic_scale.empty() || jtl.ic_scale.size() == jtl.stages,
+          "ic_scale must match the stage count");
+
+  auto input = [&](double t) {
+    const double x = (t - stimulus.t0_ps) / stimulus.width_ps;
+    if (x < 0.0 || x > 1.0) return 0.0;
+    return stimulus.amplitude_ma * 0.5 * (1.0 - std::cos(kTwoPi * x));
+  };
+
+  JtlTrace trace;
+  trace.dt_ps = dt_ps;
+  trace.slip_times_ps.resize(jtl.stages);
+  std::vector<double> next_slip(jtl.stages, kTwoPi);
+
+  JtlState s;
+  s.phi.assign(jtl.stages, 0.0);
+  s.v.assign(jtl.stages, 0.0);
+  s.il.assign(jtl.stages > 0 ? jtl.stages - 1 : 0, 0.0);
+
+  // Settle the DC bias operating point first (bias ramps phases to
+  // arcsin(bias/ic) with transients dying out over a few ps).
+  const auto settle_steps = static_cast<std::size_t>(10.0 / dt_ps);
+  const auto steps = static_cast<std::size_t>(t_end_ps / dt_ps);
+  const std::size_t mid = jtl.stages / 2;
+
+  for (std::size_t i = 0; i < settle_steps + steps; ++i) {
+    const bool settling = i < settle_steps;
+    const double t = settling ? -1.0 : static_cast<double>(i - settle_steps) * dt_ps;
+    const double in = settling ? 0.0 : input(t);
+
+    if (!settling) {
+      trace.time_ps.push_back(t);
+      trace.mid_voltage_mv.push_back(s.v[mid]);
+      for (std::size_t j = 0; j < jtl.stages; ++j) {
+        while (s.phi[j] >= next_slip[j]) {
+          trace.slip_times_ps[j].push_back(t);
+          next_slip[j] += kTwoPi;
+        }
+      }
+    }
+
+    const JtlState k1 = derivative(jtl, s, in);
+    const JtlState k2 = derivative(jtl, axpy(s, 0.5 * dt_ps, k1), in);
+    const JtlState k3 = derivative(jtl, axpy(s, 0.5 * dt_ps, k2), in);
+    const JtlState k4 = derivative(jtl, axpy(s, dt_ps, k3), in);
+    for (std::size_t j = 0; j < jtl.stages; ++j) {
+      s.phi[j] += dt_ps / 6.0 * (k1.phi[j] + 2 * k2.phi[j] + 2 * k3.phi[j] + k4.phi[j]);
+      s.v[j] += dt_ps / 6.0 * (k1.v[j] + 2 * k2.v[j] + 2 * k3.v[j] + k4.v[j]);
+    }
+    for (std::size_t j = 0; j < s.il.size(); ++j)
+      s.il[j] += dt_ps / 6.0 * (k1.il[j] + 2 * k2.il[j] + 2 * k3.il[j] + k4.il[j]);
+  }
+  return trace;
+}
+
+bool JtlTrace::clean_single_pulse() const noexcept {
+  for (const auto& slips : slip_times_ps)
+    if (slips.size() != 1) return false;
+  return true;
+}
+
+double JtlTrace::stage_delay_ps() const noexcept {
+  if (!clean_single_pulse() || slip_times_ps.size() < 2) return 0.0;
+  return (slip_times_ps.back()[0] - slip_times_ps.front()[0]) /
+         static_cast<double>(slip_times_ps.size() - 1);
+}
+
+bool jtl_transmits(const JtlParams& jtl, const PulseStimulus& stimulus) {
+  return simulate_jtl(jtl, stimulus).clean_single_pulse();
+}
+
+double BiasMargins::relative_margin(double nominal) const noexcept {
+  if (nominal <= 0.0) return 0.0;
+  return std::min(nominal - low, high - nominal) / nominal;
+}
+
+BiasMargins find_bias_margins(JtlParams jtl, const PulseStimulus& stimulus) {
+  expects(jtl_transmits(jtl, stimulus), "nominal bias point must work");
+  const double nominal = jtl.bias_fraction;
+
+  auto works = [&](double bias) {
+    jtl.bias_fraction = bias;
+    return jtl_transmits(jtl, stimulus);
+  };
+  auto bisect = [&](double good, double bad) {
+    for (int iter = 0; iter < 24; ++iter) {
+      const double mid = 0.5 * (good + bad);
+      (works(mid) ? good : bad) = mid;
+    }
+    return good;
+  };
+
+  // Find failing brackets.
+  double low_bad = 0.0;
+  double high_bad = nominal;
+  while (works(high_bad) && high_bad < 4.0) high_bad += 0.1;
+
+  BiasMargins margins;
+  margins.low = works(low_bad) ? low_bad : bisect(nominal, low_bad);
+  margins.high = high_bad >= 4.0 ? 4.0 : bisect(nominal, high_bad);
+  return margins;
+}
+
+}  // namespace sfqecc::josim

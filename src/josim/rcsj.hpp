@@ -1,0 +1,114 @@
+// RCSJ (resistively-and-capacitively-shunted junction) analog substrate —
+// the library's miniature JoSIM.
+//
+// The paper simulates its encoders in JoSIM, a SPICE-level solver of
+// Josephson-junction circuit dynamics. The gate-level simulator in sim/ is
+// calibrated behaviour; this module provides the microscopic grounding: it
+// integrates the RCSJ equations
+//
+//   C dV/dt + V/R + Ic sin(phi) = I_ext,   dphi/dt = 2*pi*V / Phi0
+//
+// for single junctions and Josephson transmission lines (JTLs), reproducing
+// the physics the behavioural model abstracts: ~2 ps SFQ pulses carrying
+// exactly one flux quantum (integral V dt = Phi0), a few picoseconds of
+// propagation delay per stage, and bias/parameter operating margins of the
+// order the PPV layer assumes.
+//
+// Unit system (chosen so all constants are O(1)): time ps, voltage mV,
+// current mA, resistance Ohm, inductance pH, capacitance pF. In these units
+// Phi0 = 2.067833848 mV*ps.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace sfqecc::josim {
+
+/// Magnetic flux quantum in mV*ps.
+inline constexpr double kPhi0 = 2.067833848;
+
+/// One Josephson junction with resistive and capacitive shunts.
+struct JunctionParams {
+  double ic_ma = 0.10;  ///< critical current (typical 10 kA/cm^2 SFQ5ee cell JJ)
+  double r_ohm = 5.0;   ///< shunt resistance
+  double c_pf = 0.13;   ///< junction + shunt capacitance
+
+  /// Stewart-McCumber damping parameter beta_c = 2*pi*Ic*R^2*C / Phi0.
+  double beta_c() const noexcept;
+
+  /// Capacitance for critical damping target beta_c.
+  static double capacitance_for_beta_c(double ic_ma, double r_ohm, double beta_c);
+};
+
+/// Time course of one junction driven by an external current waveform.
+struct JunctionTrace {
+  std::vector<double> time_ps;
+  std::vector<double> voltage_mv;
+  std::vector<double> phase_rad;
+  std::vector<double> slip_times_ps;  ///< 2*pi phase-slip instants (SFQ emissions)
+
+  /// Integral of V dt over the whole trace, in units of Phi0.
+  double flux_quanta() const noexcept;
+};
+
+/// Integrates a single junction under drive `current_ma(t)` with RK4 at the
+/// given step. The drive includes any DC bias.
+JunctionTrace simulate_junction(const JunctionParams& junction,
+                                const std::function<double(double)>& current_ma,
+                                double t_end_ps, double dt_ps = 0.01);
+
+/// A Josephson transmission line: `stages` junctions to ground, inductors
+/// between adjacent nodes, a DC bias into every node and a pulse input at
+/// node 0.
+struct JtlParams {
+  std::size_t stages = 6;
+  JunctionParams junction;
+  double l_ph = 8.0;            ///< inter-stage inductance
+  double bias_fraction = 0.75;  ///< DC bias per node, fraction of Ic (margin-window center)
+
+  /// Per-junction critical-current scale factors (PPV); empty = all 1.0.
+  std::vector<double> ic_scale;
+};
+
+/// Input stimulus: a raised-cosine current pulse.
+struct PulseStimulus {
+  double t0_ps = 10.0;
+  double width_ps = 5.0;
+  double amplitude_ma = 0.16;  ///< ~1.6 Ic peak on top of the DC bias: one clean slip
+};
+
+/// Result of a JTL transient run.
+struct JtlTrace {
+  std::vector<std::vector<double>> slip_times_ps;  ///< per junction
+  std::vector<double> mid_voltage_mv;              ///< V(t) at the middle junction
+  std::vector<double> time_ps;
+  double dt_ps = 0.0;
+
+  /// True when exactly one flux quantum traversed every stage.
+  bool clean_single_pulse() const noexcept;
+
+  /// Mean per-stage propagation delay (first-slip time differences); returns
+  /// 0 when the pulse did not traverse.
+  double stage_delay_ps() const noexcept;
+};
+
+/// Integrates the JTL with RK4.
+JtlTrace simulate_jtl(const JtlParams& jtl, const PulseStimulus& stimulus,
+                      double t_end_ps = 100.0, double dt_ps = 0.01);
+
+/// True when the JTL transmits exactly one pulse cleanly under the stimulus.
+bool jtl_transmits(const JtlParams& jtl, const PulseStimulus& stimulus = {});
+
+/// Operating bias range [low, high] (fractions of Ic) for clean single-pulse
+/// transmission, found by bisection against `jtl_transmits`.
+struct BiasMargins {
+  double low = 0.0;
+  double high = 0.0;
+  double center() const noexcept { return 0.5 * (low + high); }
+  /// Symmetric margin around the nominal bias, as a fraction of it.
+  double relative_margin(double nominal) const noexcept;
+};
+BiasMargins find_bias_margins(JtlParams jtl, const PulseStimulus& stimulus = {});
+
+}  // namespace sfqecc::josim

@@ -1,0 +1,43 @@
+#include "link/arq.hpp"
+
+#include "util/expect.hpp"
+
+namespace sfqecc::link {
+
+ArqResult send_with_arq(DataLink& link, const code::BitVec& message, util::Rng& rng,
+                        const ArqConfig& config) {
+  expects(config.max_attempts >= 1, "ARQ needs at least one attempt");
+  ArqResult result;
+  for (std::size_t attempt = 0; attempt < config.max_attempts; ++attempt) {
+    ++result.attempts;
+    const FrameResult frame = link.send(message, rng);
+    if (frame.flagged) continue;  // detected-uncorrectable: retransmit
+    result.delivered = frame.delivered_message;
+    result.residual_error = frame.message_error;
+    return result;
+  }
+  result.surrendered = true;
+  return result;
+}
+
+ArqStats run_arq_session(DataLink& link, std::size_t count, util::Rng& message_rng,
+                         util::Rng& channel_rng, const ArqConfig& config) {
+  ArqStats stats;
+  const std::size_t k = link.encoder().message_inputs.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    const code::BitVec message =
+        code::BitVec::from_u64(k, message_rng.below(std::uint64_t{1} << k));
+    const ArqResult result = send_with_arq(link, message, channel_rng, config);
+    ++stats.messages;
+    stats.total_frames += result.attempts;
+    if (result.surrendered)
+      ++stats.surrendered;
+    else if (result.residual_error)
+      ++stats.residual_errors;
+    else
+      ++stats.delivered_ok;
+  }
+  return stats;
+}
+
+}  // namespace sfqecc::link

@@ -1,0 +1,61 @@
+// Stop-and-wait ARQ over the cryogenic data link.
+//
+// The paper's Fig. 1 gives the decoder "error flags" toward the receiver's
+// system side; the natural protocol built on them is retransmission: a
+// flagged (detected-uncorrectable) frame is discarded and the message is sent
+// again. This module implements stop-and-wait ARQ and the metrics that make
+// the schemes comparable at system level:
+//   * residual error rate — wrong messages that were *accepted*,
+//   * average attempts per delivered message (goodput cost),
+//   * surrender rate — messages dropped after max_attempts flags.
+// Under ARQ, detection capability (Hamming(8,4)'s extra parity) converts
+// directly into delivered-message integrity, which is the quantitative basis
+// for the erasure accounting used in the Fig. 5 reproduction (DESIGN.md §6).
+#pragma once
+
+#include <cstddef>
+
+#include "link/datalink.hpp"
+
+namespace sfqecc::link {
+
+struct ArqConfig {
+  std::size_t max_attempts = 4;  ///< total tries per message (1 = no retransmission)
+};
+
+/// Outcome of delivering one message through ARQ.
+struct ArqResult {
+  code::BitVec delivered;       ///< accepted message (empty when surrendered)
+  std::size_t attempts = 0;     ///< frames transmitted
+  bool surrendered = false;     ///< every attempt was flagged
+  bool residual_error = false;  ///< accepted but wrong
+};
+
+/// Sends `message` with retransmission on flagged frames.
+ArqResult send_with_arq(DataLink& link, const code::BitVec& message, util::Rng& rng,
+                        const ArqConfig& config = {});
+
+/// Aggregate ARQ statistics over many messages on one chip.
+struct ArqStats {
+  std::size_t messages = 0;
+  std::size_t delivered_ok = 0;
+  std::size_t residual_errors = 0;
+  std::size_t surrendered = 0;
+  std::size_t total_frames = 0;
+
+  double residual_error_rate() const noexcept {
+    return messages ? static_cast<double>(residual_errors) /
+                          static_cast<double>(messages)
+                    : 0.0;
+  }
+  double mean_attempts() const noexcept {
+    return messages ? static_cast<double>(total_frames) / static_cast<double>(messages)
+                    : 0.0;
+  }
+};
+
+/// Runs `count` random messages through ARQ on the link's installed chip.
+ArqStats run_arq_session(DataLink& link, std::size_t count, util::Rng& message_rng,
+                         util::Rng& channel_rng, const ArqConfig& config = {});
+
+}  // namespace sfqecc::link

@@ -1,0 +1,34 @@
+#include "link/channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::link {
+namespace {
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace
+
+double ChannelModel::bit_error_probability() const {
+  if (noise_sigma_mv <= 0.0) return 0.0;
+  const double high = swing_mv * attenuation;
+  const double margin0 = threshold_mv;          // distance of level 0 from threshold
+  const double margin1 = high - threshold_mv;   // distance of level 1 from threshold
+  const double p0 = 1.0 - normal_cdf(margin0 / noise_sigma_mv);
+  const double p1 = 1.0 - normal_cdf(margin1 / noise_sigma_mv);
+  return 0.5 * (p0 + p1);
+}
+
+bool transmit_level(const ChannelModel& channel, bool level, util::Rng& rng) {
+  expects(channel.attenuation > 0.0 && channel.attenuation <= 1.0,
+          "attenuation must be in (0, 1]");
+  const double sent = level ? channel.swing_mv * channel.attenuation : 0.0;
+  const double noise =
+      channel.noise_sigma_mv > 0.0 ? rng.gaussian(0.0, channel.noise_sigma_mv) : 0.0;
+  return sent + noise > channel.threshold_mv;
+}
+
+}  // namespace sfqecc::link

@@ -1,0 +1,27 @@
+// Cryogenic cable channel (4.2 K -> 50-300 K stage).
+//
+// Each SFQ-to-DC output drives one cable. The receiver is a threshold
+// comparator (CMOS amplifier input): the transmitted DC level is attenuated,
+// picks up additive Gaussian noise, and is sliced against a threshold. This
+// is the binary channel the decoder sees.
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace sfqecc::link {
+
+struct ChannelModel {
+  double swing_mv = 1.0;         ///< transmitted DC swing (paper: up to 1 V after amplification; normalized here)
+  double attenuation = 1.0;      ///< multiplicative amplitude loss over the cable (0..1]
+  double noise_sigma_mv = 0.0;   ///< additive Gaussian noise at the receiver input
+  double threshold_mv = 0.5;     ///< receiver slicing threshold
+
+  /// Analytic bit-error probability of the channel alone (equal for 0/1 when
+  /// the threshold sits at the midpoint).
+  double bit_error_probability() const;
+};
+
+/// Transmits one DC level over the cable; returns the received bit.
+bool transmit_level(const ChannelModel& channel, bool level, util::Rng& rng);
+
+}  // namespace sfqecc::link

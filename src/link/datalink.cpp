@@ -1,0 +1,89 @@
+#include "link/datalink.hpp"
+
+#include "util/expect.hpp"
+
+namespace sfqecc::link {
+
+using code::BitVec;
+
+DataLink::DataLink(const circuit::BuiltEncoder& encoder, const circuit::CellLibrary& library,
+                   const code::LinearCode* reference, const code::Decoder* decoder,
+                   const DataLinkConfig& config)
+    : encoder_(encoder),
+      reference_(reference),
+      decoder_(decoder),
+      config_(config),
+      simulator_(encoder.netlist, library, config.sim),
+      frame_cycles_(encoder.logic_depth) {
+  if (reference_ != nullptr) {
+    expects(reference_->k() == encoder_.message_inputs.size(),
+            "reference code dimension mismatch");
+    expects(reference_->n() == encoder_.codeword_outputs.size(),
+            "reference code length mismatch");
+  }
+  if (frame_cycles_ > 0) {
+    expects(encoder_.clock_input != circuit::kInvalidId,
+            "clocked encoder needs a clock input");
+  }
+}
+
+void DataLink::install_chip(const ppv::ChipSample& chip) {
+  expects(chip.faults.size() == encoder_.netlist.cell_count(),
+          "chip sample does not match the netlist");
+  simulator_.reset();
+  for (std::size_t id = 0; id < chip.faults.size(); ++id)
+    simulator_.set_fault(id, chip.faults[id]);
+}
+
+FrameResult DataLink::send(const BitVec& message, util::Rng& rng) {
+  const std::size_t k = encoder_.message_inputs.size();
+  const std::size_t n = encoder_.codeword_outputs.size();
+  expects(message.size() == k, "message length mismatch");
+
+  FrameResult frame;
+  frame.sent_message = message;
+  frame.reference_codeword = reference_ != nullptr ? reference_->encode(message) : message;
+
+  simulator_.reset();
+  for (std::size_t i = 0; i < k; ++i)
+    if (message.get(i))
+      simulator_.inject_pulse(encoder_.message_inputs[i], config_.input_phase_ps);
+  const double last_clock =
+      config_.clock_period_ps * static_cast<double>(frame_cycles_);
+  if (frame_cycles_ > 0) {
+    simulator_.inject_clock(encoder_.clock_input, config_.clock_period_ps,
+                            config_.clock_period_ps, last_clock + 0.5);
+  }
+  // For a combinational link (no clock) the frame still has to outlast the
+  // input pulses.
+  simulator_.run_until(std::max(last_clock, config_.input_phase_ps) +
+                       config_.settle_margin_ps);
+
+  // Sample the DC levels (differential read: reset() cleared the levels, so
+  // the level itself is the frame's bit).
+  frame.transmitted_word = BitVec(n);
+  for (std::size_t j = 0; j < n; ++j)
+    frame.transmitted_word.set(j, simulator_.dc_level(encoder_.codeword_outputs[j]));
+  frame.encoder_bit_errors =
+      (frame.transmitted_word ^ frame.reference_codeword).weight();
+
+  frame.received_word = BitVec(n);
+  for (std::size_t j = 0; j < n; ++j)
+    frame.received_word.set(
+        j, transmit_level(config_.channel, frame.transmitted_word.get(j), rng));
+  frame.channel_bit_errors = (frame.received_word ^ frame.transmitted_word).weight();
+
+  if (decoder_ != nullptr) {
+    const code::DecodeResult decoded = decoder_->decode(frame.received_word);
+    frame.delivered_message = decoded.message;
+    frame.flagged = !decoded.accepted();
+    frame.message_error = decoded.accepted() && decoded.message != message;
+  } else {
+    frame.delivered_message = frame.received_word;
+    frame.flagged = false;
+    frame.message_error = frame.received_word != message;
+  }
+  return frame;
+}
+
+}  // namespace sfqecc::link

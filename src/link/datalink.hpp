@@ -1,0 +1,79 @@
+// End-to-end cryogenic digital output data link (the paper's Fig. 1):
+//
+//   SFQ controller -> ECC encoder (simulated netlist) -> SFQ-to-DC drivers
+//   -> cryo cables -> threshold receiver -> ECC decoder -> message + flags.
+//
+// One frame transmits one k-bit message: message pulses are applied between
+// clock edges, the clock runs for logic_depth cycles, the DC levels are
+// sampled, sent over the channel, and decoded. The receiver reads each bit
+// differentially (level at frame end XOR level at frame start) so that the
+// toggling SFQ-to-DC drivers need no reset between frames.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "circuit/encoder_builder.hpp"
+#include "code/decoder.hpp"
+#include "link/channel.hpp"
+#include "ppv/chip.hpp"
+#include "sim/event_sim.hpp"
+
+namespace sfqecc::link {
+
+struct DataLinkConfig {
+  double clock_period_ps = 200.0;  ///< 5 GHz, as in the paper's Fig. 3
+  double input_phase_ps = 100.0;   ///< message pulses applied at 0.1 ns into the frame
+  double settle_margin_ps = 60.0;  ///< extra time after the last clock before sampling
+  ChannelModel channel;
+  sim::SimConfig sim;
+};
+
+/// Outcome of one frame.
+struct FrameResult {
+  code::BitVec sent_message;
+  code::BitVec reference_codeword;  ///< what a perfect encoder would transmit
+  code::BitVec transmitted_word;    ///< DC levels actually produced by the circuit
+  code::BitVec received_word;       ///< after cable + receiver
+  code::BitVec delivered_message;   ///< decoder output (or raw bits without decoder)
+  bool flagged = false;             ///< decoder raised the error flag
+  bool message_error = false;       ///< delivered (and accepted) message != sent
+  std::size_t channel_bit_errors = 0;  ///< received_word vs transmitted_word
+  std::size_t encoder_bit_errors = 0;  ///< transmitted_word vs reference_codeword
+};
+
+/// A live data link instance: owns the circuit simulator; the decoder and
+/// reference code are borrowed and must outlive the link.
+class DataLink {
+ public:
+  /// `decoder` may be null: bits are delivered raw (the "no encoder" scheme).
+  /// `reference` is the code used to compute the expected codeword; for the
+  /// no-encoder scheme pass nullptr (reference = message itself).
+  DataLink(const circuit::BuiltEncoder& encoder, const circuit::CellLibrary& library,
+           const code::LinearCode* reference, const code::Decoder* decoder,
+           const DataLinkConfig& config);
+
+  /// Installs a fabricated chip's fault states (clears previous ones).
+  void install_chip(const ppv::ChipSample& chip);
+
+  /// Reseeds the simulator's jitter/fault noise stream; call per chip for
+  /// thread-count-independent Monte Carlo.
+  void reseed_noise(std::uint64_t seed) { simulator_.reseed_noise(seed); }
+
+  /// Sends one message through the full pipeline. `rng` drives the channel
+  /// noise (simulator noise uses the SimConfig seed stream).
+  FrameResult send(const code::BitVec& message, util::Rng& rng);
+
+  std::size_t frame_cycles() const noexcept { return frame_cycles_; }
+  const circuit::BuiltEncoder& encoder() const noexcept { return encoder_; }
+
+ private:
+  const circuit::BuiltEncoder& encoder_;
+  const code::LinearCode* reference_;
+  const code::Decoder* decoder_;
+  DataLinkConfig config_;
+  sim::EventSimulator simulator_;
+  std::size_t frame_cycles_;
+};
+
+}  // namespace sfqecc::link

@@ -1,0 +1,57 @@
+// Monte-Carlo engine for the paper's Fig. 5 experiment.
+//
+// For each scheme (no encoder, Hamming(7,4), Hamming(8,4), RM(1,3)):
+//   repeat for `chips` fabricated chips (independent PPV samples):
+//     transmit `messages_per_chip` random messages through the full
+//     circuit-level data link and count erroneous messages N;
+// then report the empirical CDF of N and P(N = 0).
+//
+// Deterministic: every (scheme, chip) pair draws from its own RNG substreams,
+// so results are identical for any thread count.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "link/datalink.hpp"
+#include "util/cdf.hpp"
+
+namespace sfqecc::link {
+
+/// One transmission scheme under test. Pointers are borrowed; for the
+/// no-encoder scheme `reference` and `decoder` are null.
+struct SchemeSpec {
+  std::string name;
+  const circuit::BuiltEncoder* encoder = nullptr;
+  const code::LinearCode* reference = nullptr;
+  const code::Decoder* decoder = nullptr;
+};
+
+struct MonteCarloConfig {
+  std::size_t chips = 1000;
+  std::size_t messages_per_chip = 100;
+  ppv::SpreadSpec spread;               ///< default +/-20 % uniform
+  std::uint64_t seed = 20250831;
+  std::size_t threads = 0;              ///< 0 = hardware concurrency
+  bool count_flagged_as_error = false;  ///< accounting choice, DESIGN.md §6
+  DataLinkConfig link;
+};
+
+struct SchemeOutcome {
+  std::string name;
+  std::vector<std::size_t> errors_per_chip;   ///< N per chip (per the accounting)
+  std::vector<std::size_t> flagged_per_chip;  ///< detected-uncorrectable frames per chip
+  util::EmpiricalCdf cdf;                     ///< CDF of errors_per_chip
+  double p_zero = 0.0;                        ///< P(N = 0)
+  double mean_errors = 0.0;
+  double mean_flagged = 0.0;
+};
+
+/// Runs the experiment for every scheme. The library must be the one the
+/// encoders were built with.
+std::vector<SchemeOutcome> run_monte_carlo(const std::vector<SchemeSpec>& schemes,
+                                           const circuit::CellLibrary& library,
+                                           const MonteCarloConfig& config);
+
+}  // namespace sfqecc::link

@@ -1,0 +1,34 @@
+// Calibration constants of the PPV failure model (DESIGN.md §7).
+//
+// The paper derives cell failure behaviour from JoSIM margin analysis of the
+// MIT-LL SFQ5ee process; those margins are not public, so this model is
+// calibrated to reproduce the paper's anchor point — P(zero erroneous
+// messages out of 100) = 80 % for the no-encoder 4-bit link at +/-20 %
+// spread — and the per-cell-type ordering of RSFQ margins reported in the
+// SFQ literature (output drivers tightest, splitters widest). The encoder
+// curves of Fig. 5 are then *emergent*: they follow from circuit structure,
+// not from further tuning.
+#pragma once
+
+#include <cstddef>
+
+namespace sfqecc::ppv {
+
+/// Number of spread-affected circuit parameters per cell (junction critical
+/// currents, inductances, bias resistors). Only the count matters: the health
+/// statistic is their sensitivity-weighted sum (approximately Gaussian).
+inline constexpr std::size_t kParamsPerCell = 8;
+
+/// Health ratio h = |H| / threshold at which a cell starts misbehaving.
+/// Below the onset the cell is fully operational (inside its margin box).
+inline constexpr double kSoftOnset = 0.90;
+
+/// Per-operation error probability at the margin boundary (h = 1); the
+/// probability ramps quadratically from 0 at kSoftOnset to this value.
+inline constexpr double kSoftMaxErrorProb = 0.30;
+
+/// Fraction of hard failures (h >= 1) that are "dead" (pulse-dropping, e.g.
+/// flux trapping); the rest sputter (emit on every clock).
+inline constexpr double kDeadFraction = 0.70;
+
+}  // namespace sfqecc::ppv

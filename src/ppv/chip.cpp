@@ -1,0 +1,45 @@
+#include "ppv/chip.hpp"
+
+#include "util/expect.hpp"
+
+namespace sfqecc::ppv {
+
+std::size_t ChipSample::flaky_cells() const noexcept {
+  std::size_t n = 0;
+  for (const sim::CellFault& f : faults)
+    if (f.mode == sim::FaultMode::kFlaky) ++n;
+  return n;
+}
+
+std::size_t ChipSample::hard_failed_cells() const noexcept {
+  std::size_t n = 0;
+  for (const sim::CellFault& f : faults)
+    if (f.mode == sim::FaultMode::kDead || f.mode == sim::FaultMode::kSputter) ++n;
+  return n;
+}
+
+bool ChipSample::fully_healthy() const noexcept {
+  for (const sim::CellFault& f : faults)
+    if (f.mode != sim::FaultMode::kHealthy) return false;
+  return true;
+}
+
+ChipSample sample_chip(const circuit::Netlist& netlist, const circuit::CellLibrary& library,
+                       const SpreadSpec& spread, util::Rng& rng) {
+  ChipSample chip;
+  chip.health_ratios.reserve(netlist.cell_count());
+  chip.faults.reserve(netlist.cell_count());
+  for (const circuit::Cell& cell : netlist.cells()) {
+    const CellHealth health = sample_cell_health(library.spec(cell.type), spread, rng);
+    chip.health_ratios.push_back(health.ratio);
+    chip.faults.push_back(health.fault);
+  }
+  return chip;
+}
+
+void apply_chip(const ChipSample& chip, sim::EventSimulator& simulator) {
+  for (std::size_t id = 0; id < chip.faults.size(); ++id)
+    simulator.set_fault(id, chip.faults[id]);
+}
+
+}  // namespace sfqecc::ppv

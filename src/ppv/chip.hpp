@@ -1,0 +1,35 @@
+// A "chip" is one fabricated instance of a netlist: every cell carries its
+// own sampled parameter deviations and the resulting fault state. The paper
+// treats each Monte-Carlo iteration as a distinct fabricated chip.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/cell_library.hpp"
+#include "circuit/netlist.hpp"
+#include "ppv/margin_model.hpp"
+#include "ppv/spread.hpp"
+#include "sim/event_sim.hpp"
+
+namespace sfqecc::ppv {
+
+/// Per-cell PPV outcome for one fabricated chip.
+struct ChipSample {
+  std::vector<double> health_ratios;       ///< h per cell (netlist cell id order)
+  std::vector<sim::CellFault> faults;      ///< fault state per cell
+
+  std::size_t flaky_cells() const noexcept;
+  std::size_t hard_failed_cells() const noexcept;  ///< dead + sputtering
+  bool fully_healthy() const noexcept;
+};
+
+/// Samples one chip. Deterministic for a given rng state: cells are visited
+/// in id order.
+ChipSample sample_chip(const circuit::Netlist& netlist, const circuit::CellLibrary& library,
+                       const SpreadSpec& spread, util::Rng& rng);
+
+/// Applies a chip's fault states to a simulator instance.
+void apply_chip(const ChipSample& chip, sim::EventSimulator& simulator);
+
+}  // namespace sfqecc::ppv

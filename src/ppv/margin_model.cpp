@@ -1,0 +1,60 @@
+#include "ppv/margin_model.hpp"
+
+#include <cmath>
+
+#include "ppv/calibration.hpp"
+#include "util/expect.hpp"
+
+namespace sfqecc::ppv {
+
+double health_statistic(const std::vector<double>& deviations, double sensitivity) {
+  expects(deviations.size() == kParamsPerCell, "deviation vector size mismatch");
+  double sum = 0.0;
+  for (double d : deviations) sum += d;
+  // Normalized so that sigma_H = spread * sensitivity under uniform spread.
+  return sensitivity * std::sqrt(3.0 / static_cast<double>(kParamsPerCell)) * sum;
+}
+
+double health_ratio(double health, const circuit::CellSpec& spec) {
+  expects(spec.ppv_threshold > 0.0, "cell threshold must be positive");
+  return std::abs(health) / spec.ppv_threshold;
+}
+
+sim::CellFault fault_from_health_ratio(double h, util::Rng& rng) {
+  sim::CellFault fault;
+  if (h < kSoftOnset) return fault;  // healthy
+  if (h < 1.0) {
+    const double ramp = (h - kSoftOnset) / (1.0 - kSoftOnset);
+    fault.mode = sim::FaultMode::kFlaky;
+    fault.error_prob = kSoftMaxErrorProb * ramp * ramp;
+    return fault;
+  }
+  fault.mode = rng.bernoulli(kDeadFraction) ? sim::FaultMode::kDead
+                                            : sim::FaultMode::kSputter;
+  return fault;
+}
+
+CellHealth sample_cell_health(const circuit::CellSpec& spec, const SpreadSpec& spread,
+                              util::Rng& rng) {
+  const std::vector<double> deviations = sample_deviations(spread, kParamsPerCell, rng);
+  const double h = health_ratio(health_statistic(deviations, spec.ppv_sensitivity), spec);
+  return CellHealth{h, fault_from_health_ratio(h, rng)};
+}
+
+namespace {
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace
+
+double trouble_probability(const circuit::CellSpec& spec, const SpreadSpec& spread) {
+  // H is approximately N(0, sigma_H); per health_statistic() the per-parameter
+  // sigma combines to sigma_H = deviation_sigma * sqrt(3) * sensitivity, which
+  // is fraction * sensitivity for the uniform spread. The cell is in trouble
+  // when |H| >= kSoftOnset * threshold.
+  const double sigma_h = deviation_sigma(spread) * std::sqrt(3.0) * spec.ppv_sensitivity;
+  const double z = kSoftOnset * spec.ppv_threshold / sigma_h;
+  return 2.0 * normal_cdf(-z);
+}
+
+}  // namespace sfqecc::ppv

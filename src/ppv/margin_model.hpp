@@ -1,0 +1,45 @@
+// Sensitivity-weighted margin model: maps a cell's sampled parameter
+// deviations to a health statistic and a fault state.
+//
+// The health statistic H is the sensitivity-weighted sum of the cell's
+// parameter deviations, normalized so that sigma_H = spread * sensitivity
+// under the uniform JoSIM spread (CLT over kParamsPerCell parameters). The
+// cell operates correctly while |H| stays below its margin threshold; the
+// fault mapping is:
+//   h = |H| / threshold < kSoftOnset          -> healthy
+//   kSoftOnset <= h < 1                        -> flaky, p ramps to kSoftMaxErrorProb
+//   h >= 1                                     -> dead (kDeadFraction) or sputtering
+#pragma once
+
+#include "circuit/cell_library.hpp"
+#include "ppv/spread.hpp"
+#include "sim/cell_behavior.hpp"
+#include "util/rng.hpp"
+
+namespace sfqecc::ppv {
+
+/// Health statistic of one cell from its deviation vector. `deviations` must
+/// have kParamsPerCell entries.
+double health_statistic(const std::vector<double>& deviations, double sensitivity);
+
+/// Health ratio h = |H| / threshold for a cell spec.
+double health_ratio(double health, const circuit::CellSpec& spec);
+
+/// Fault state from a health ratio. `rng` decides the dead-vs-sputter split
+/// for hard failures (per-chip, not per-operation).
+sim::CellFault fault_from_health_ratio(double h, util::Rng& rng);
+
+/// Convenience: sample deviations, compute h, map to a fault.
+struct CellHealth {
+  double ratio = 0.0;       ///< h
+  sim::CellFault fault;
+};
+CellHealth sample_cell_health(const circuit::CellSpec& spec, const SpreadSpec& spread,
+                              util::Rng& rng);
+
+/// Analytic probability that a cell of this spec is NOT fully healthy
+/// (h >= kSoftOnset) under the spread — used by tests and the calibration
+/// bench to cross-check the Monte Carlo.
+double trouble_probability(const circuit::CellSpec& spec, const SpreadSpec& spread);
+
+}  // namespace sfqecc::ppv

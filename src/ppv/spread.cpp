@@ -1,0 +1,41 @@
+#include "ppv/spread.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::ppv {
+
+double sample_deviation(const SpreadSpec& spec, util::Rng& rng) {
+  expects(spec.fraction >= 0.0 && spec.fraction < 1.0, "spread fraction out of range");
+  switch (spec.distribution) {
+    case SpreadDistribution::kUniform:
+      return rng.uniform(-spec.fraction, spec.fraction);
+    case SpreadDistribution::kGaussian: {
+      const double sigma = spec.fraction / 2.0;
+      return std::clamp(rng.gaussian(0.0, sigma), -2.0 * spec.fraction,
+                        2.0 * spec.fraction);
+    }
+  }
+  throw ContractViolation("unknown spread distribution");
+}
+
+std::vector<double> sample_deviations(const SpreadSpec& spec, std::size_t count,
+                                      util::Rng& rng) {
+  std::vector<double> out(count);
+  for (double& d : out) d = sample_deviation(spec, rng);
+  return out;
+}
+
+double deviation_sigma(const SpreadSpec& spec) noexcept {
+  switch (spec.distribution) {
+    case SpreadDistribution::kUniform:
+      return spec.fraction / std::sqrt(3.0);
+    case SpreadDistribution::kGaussian:
+      return spec.fraction / 2.0;
+  }
+  return 0.0;
+}
+
+}  // namespace sfqecc::ppv

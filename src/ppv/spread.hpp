@@ -1,0 +1,36 @@
+// JoSIM-style process-parameter spread.
+//
+// JoSIM's `spread` function assigns every circuit parameter a deviation from
+// its nominal value; the paper uses a uniform +/-20 % spread. A SpreadSpec
+// describes the distribution; sample_deviations draws one deviation vector
+// per cell.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sfqecc::ppv {
+
+enum class SpreadDistribution {
+  kUniform,   ///< deviation uniform in [-fraction, +fraction] (JoSIM default)
+  kGaussian,  ///< deviation ~ N(0, fraction/2), truncated at +/-2 sigma equivalents
+};
+
+struct SpreadSpec {
+  double fraction = 0.20;  ///< the paper's +/-20 % setting
+  SpreadDistribution distribution = SpreadDistribution::kUniform;
+};
+
+/// One parameter deviation (relative, e.g. +0.13 = +13 %).
+double sample_deviation(const SpreadSpec& spec, util::Rng& rng);
+
+/// Deviation vector for a cell with `count` spread-affected parameters.
+std::vector<double> sample_deviations(const SpreadSpec& spec, std::size_t count,
+                                      util::Rng& rng);
+
+/// Standard deviation of a single parameter deviation under `spec`.
+double deviation_sigma(const SpreadSpec& spec) noexcept;
+
+}  // namespace sfqecc::ppv

@@ -1,0 +1,62 @@
+// Umbrella header for the sfqecc library.
+//
+// sfqecc reproduces "Lightweight Error-Correction Code Encoders in
+// Superconducting Electronic Systems" (SOCC 2025): lightweight block codes
+// (Hamming(7,4), Hamming(8,4), RM(1,3) and friends), SFQ circuit synthesis
+// for their encoders, a pulse-level simulator with process-parameter
+// variation modelling, and the cryogenic data-link Monte Carlo.
+//
+// Component headers (include individually for faster builds):
+//   code/     coding theory: bitvec, gf2_matrix, linear_code, hamming,
+//             reed_muller, bch, code3832, decoder, code_analysis
+//   circuit/  cell_library, netlist, xor_synth, balance, fanout, clock_tree,
+//             netlist_stats, encoder_builder
+//   sim/      event_sim, cell_behavior, waveform
+//   ppv/      spread, margin_model, chip, calibration
+//   link/     channel, datalink, monte_carlo
+//   core/     paper_encoders, paper_constants
+//   util/     rng, stats, cdf, table, ascii_plot, expect
+#pragma once
+
+#include "circuit/balance.hpp"
+#include "circuit/cell_library.hpp"
+#include "circuit/clock_tree.hpp"
+#include "circuit/encoder_builder.hpp"
+#include "circuit/fanout.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/netlist_export.hpp"
+#include "circuit/netlist_stats.hpp"
+#include "circuit/xor_synth.hpp"
+#include "code/bch.hpp"
+#include "code/bitvec.hpp"
+#include "code/code3832.hpp"
+#include "code/code_analysis.hpp"
+#include "code/decoder.hpp"
+#include "code/soft_decoder.hpp"
+#include "code/gf2_matrix.hpp"
+#include "code/gf2m.hpp"
+#include "code/hamming.hpp"
+#include "code/hsiao.hpp"
+#include "code/linear_code.hpp"
+#include "code/macwilliams.hpp"
+#include "code/reed_muller.hpp"
+#include "core/paper_constants.hpp"
+#include "core/paper_encoders.hpp"
+#include "link/arq.hpp"
+#include "link/channel.hpp"
+#include "link/datalink.hpp"
+#include "link/monte_carlo.hpp"
+#include "ppv/calibration.hpp"
+#include "ppv/chip.hpp"
+#include "ppv/margin_model.hpp"
+#include "ppv/spread.hpp"
+#include "sim/behavioral_eval.hpp"
+#include "sim/cell_behavior.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/waveform.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/cdf.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"

@@ -1,0 +1,171 @@
+#include "sim/behavioral_eval.hpp"
+
+#include <queue>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::sim {
+
+using circuit::Cell;
+using circuit::CellId;
+using circuit::CellType;
+using circuit::kClockPort;
+using circuit::kInvalidId;
+using circuit::NetId;
+
+namespace {
+
+/// Nets and splitter cells reachable from `root` through the clock network.
+/// Returns (clock_nets, clock_splitters) flags; `feeds_clock_port` reports
+/// whether the cone reaches any clock port.
+void walk_clock_cone(const circuit::Netlist& netlist, NetId root,
+                     std::vector<bool>& clock_net, std::vector<bool>& clock_cell,
+                     bool& feeds_clock_port) {
+  std::queue<NetId> frontier;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const NetId net = frontier.front();
+    frontier.pop();
+    if (clock_net[net]) continue;
+    clock_net[net] = true;
+    for (const circuit::Sink& sink : netlist.net(net).sinks) {
+      if (sink.port == kClockPort) {
+        feeds_clock_port = true;
+        continue;
+      }
+      const Cell& cell = netlist.cell(sink.cell);
+      if (cell.type == CellType::kSplitter && !clock_cell[cell.id]) {
+        clock_cell[cell.id] = true;
+        for (NetId out : cell.outputs) frontier.push(out);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+BehavioralEvaluator::BehavioralEvaluator(const circuit::Netlist& netlist,
+                                         const circuit::CellLibrary& library,
+                                         std::size_t logic_depth)
+    : netlist_(netlist),
+      library_(library),
+      logic_depth_(logic_depth),
+      faults_(netlist.cell_count()),
+      topo_order_(netlist.topological_order()) {
+  // Identify the clock primary input: the one whose cone reaches clock ports.
+  for (NetId in : netlist_.primary_inputs()) {
+    std::vector<bool> cone_net(netlist_.net_count(), false);
+    std::vector<bool> cone_cell(netlist_.cell_count(), false);
+    bool feeds = false;
+    walk_clock_cone(netlist_, in, cone_net, cone_cell, feeds);
+    if (!feeds) data_inputs_.push_back(in);
+  }
+}
+
+void BehavioralEvaluator::set_fault(CellId cell, const CellFault& fault) {
+  expects(cell < faults_.size(), "unknown cell");
+  faults_[cell] = fault;
+}
+
+void BehavioralEvaluator::clear_faults() {
+  for (CellFault& f : faults_) f = CellFault{};
+}
+
+code::BitVec BehavioralEvaluator::evaluate(const code::BitVec& message,
+                                           util::Rng& rng) const {
+  expects(message.size() == data_inputs_.size(), "message length mismatch");
+
+  // Clock-cone classification (with fault-aware aliveness per clocked cell).
+  std::vector<bool> clock_net(netlist_.net_count(), false);
+  std::vector<bool> clock_cell(netlist_.cell_count(), false);
+  for (NetId in : netlist_.primary_inputs()) {
+    bool feeds = false;
+    std::vector<bool> cone_net(netlist_.net_count(), false);
+    std::vector<bool> cone_cell(netlist_.cell_count(), false);
+    walk_clock_cone(netlist_, in, cone_net, cone_cell, feeds);
+    if (feeds) {
+      for (std::size_t i = 0; i < cone_net.size(); ++i)
+        if (cone_net[i]) clock_net[i] = true;
+      for (std::size_t i = 0; i < cone_cell.size(); ++i)
+        if (cone_cell[i]) clock_cell[i] = true;
+    }
+  }
+
+  // Clock aliveness: walk up the clock path of a clocked cell; every dead
+  // splitter kills it, every flaky splitter drops the frame's clocks with
+  // its per-operation probability (approximation documented in the header).
+  auto clock_alive = [&](const Cell& cell) {
+    NetId net = cell.clock;
+    while (net != kInvalidId) {
+      const CellId driver = netlist_.net(net).driver_cell;
+      if (driver == kInvalidId) return true;  // reached the primary clock
+      const CellFault& fault = faults_[driver];
+      if (fault.mode == FaultMode::kDead) return false;
+      if (fault.mode == FaultMode::kFlaky && rng.bernoulli(fault.error_prob))
+        return false;
+      net = netlist_.cell(driver).inputs[0];
+    }
+    return true;
+  };
+
+  std::vector<bool> value(netlist_.net_count(), false);
+  for (std::size_t i = 0; i < data_inputs_.size(); ++i)
+    value[data_inputs_[i]] = message.get(i);
+
+  for (CellId id : topo_order_) {
+    const Cell& cell = netlist_.cell(id);
+    if (clock_cell[id]) continue;  // clock-tree splitters handled via aliveness
+    expects(cell.type != CellType::kTff, "behavioural evaluation does not model TFF");
+
+    const CellFault& fault = faults_[id];
+    auto in = [&](std::size_t port) { return value[cell.inputs[port]]; };
+
+    bool out = false;
+    switch (cell.type) {
+      case CellType::kXor: out = in(0) != in(1); break;
+      case CellType::kAnd: out = in(0) && in(1); break;
+      case CellType::kOr: out = in(0) || in(1); break;
+      case CellType::kNot: out = !in(0); break;
+      case CellType::kDff: out = in(0); break;
+      case CellType::kSplitter:
+      case CellType::kJtl:
+      case CellType::kDcToSfq:
+      case CellType::kSfqToDc: out = in(0); break;
+      case CellType::kMerger: out = in(0) != in(1); break;  // pulse parity
+      case CellType::kTff: break;                           // unreachable
+    }
+
+    const bool clocked = library_.spec(cell.type).clocked;
+    if (clocked && !clock_alive(cell)) {
+      out = false;
+    } else {
+      switch (fault.mode) {
+        case FaultMode::kHealthy:
+          break;
+        case FaultMode::kDead:
+          out = false;
+          break;
+        case FaultMode::kFlaky:
+          if (out && rng.bernoulli(fault.error_prob))
+            out = false;  // dropped emission
+          else if (!out && clocked && rng.bernoulli(fault.error_prob))
+            out = true;  // spurious emission
+          break;
+        case FaultMode::kSputter:
+          if (clocked)
+            out = logic_depth_ % 2 == 1;  // fires every cycle; parity reaches the DC
+          else if (rng.bernoulli(0.5))
+            out = false;
+          break;
+      }
+    }
+    for (NetId o : cell.outputs) value[o] = out;
+  }
+
+  code::BitVec result(netlist_.primary_outputs().size());
+  for (std::size_t j = 0; j < result.size(); ++j)
+    result.set(j, value[netlist_.primary_outputs()[j]]);
+  return result;
+}
+
+}  // namespace sfqecc::sim

@@ -1,0 +1,5 @@
+#include "sim/cell_behavior.hpp"
+
+// State is plain data; behaviour lives in the event simulator. This
+// translation unit anchors the component.
+namespace sfqecc::sim {}

@@ -1,0 +1,46 @@
+// Dynamic state and fault model of SFQ cells under simulation.
+//
+// Clocked gates use destructive readout: input pulses set internal flux
+// ("arm") states; the clock pulse evaluates the gate, emits at clock-to-Q
+// delay when the logic function holds, and resets the arms. Unclocked cells
+// (splitter, JTL, merger, TFF, SFQ-to-DC) propagate or accumulate pulses
+// directly.
+//
+// Faults model what process-parameter variations do to a marginal cell:
+//  * kHealthy — nominal behaviour.
+//  * kFlaky   — each emission is dropped with probability `error_prob`, and a
+//               clocked cell emits spuriously with the same probability on
+//               clocks where it should stay silent (operating point near the
+//               margin boundary).
+//  * kDead    — the cell never emits (flux trapping / bias far out of margin).
+//  * kSputter — a clocked cell emits on every clock regardless of inputs; an
+//               unclocked cell behaves as kFlaky with probability 0.5.
+#pragma once
+
+#include <cstddef>
+
+namespace sfqecc::sim {
+
+enum class FaultMode { kHealthy, kFlaky, kDead, kSputter };
+
+struct CellFault {
+  FaultMode mode = FaultMode::kHealthy;
+  double error_prob = 0.0;  ///< per-operation error probability for kFlaky
+
+  bool healthy() const noexcept { return mode == FaultMode::kHealthy; }
+};
+
+/// Mutable per-cell simulation state.
+struct CellState {
+  bool arm_a = false;      ///< first data arm (clocked cells, TFF internal state)
+  bool arm_b = false;      ///< second data arm
+  bool dc_level = false;   ///< SFQ-to-DC output level
+  std::size_t emissions = 0;  ///< total output pulses emitted (diagnostics)
+
+  void reset_arms() noexcept {
+    arm_a = false;
+    arm_b = false;
+  }
+};
+
+}  // namespace sfqecc::sim

@@ -1,0 +1,196 @@
+#include "sim/event_sim.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::sim {
+
+using circuit::Cell;
+using circuit::CellId;
+using circuit::CellType;
+using circuit::kClockPort;
+using circuit::kInvalidId;
+using circuit::NetId;
+
+EventSimulator::EventSimulator(const circuit::Netlist& netlist,
+                               const circuit::CellLibrary& library,
+                               const SimConfig& config)
+    : netlist_(netlist),
+      library_(library),
+      config_(config),
+      rng_(config.noise_seed),
+      cell_state_(netlist.cell_count()),
+      cell_fault_(netlist.cell_count()),
+      net_pulses_(netlist.net_count()),
+      dc_transition_times_(netlist.cell_count()) {}
+
+void EventSimulator::set_fault(CellId cell, const CellFault& fault) {
+  expects(cell < cell_fault_.size(), "unknown cell");
+  cell_fault_[cell] = fault;
+}
+
+void EventSimulator::inject_pulse(NetId net, double time_ps) {
+  expects(net < netlist_.net_count(), "unknown net");
+  expects(time_ps >= now_ps_, "cannot schedule in the past");
+  queue_.push(Event{time_ps, net, next_seq_++});
+}
+
+void EventSimulator::inject_clock(NetId clock_net, double period_ps, double phase_ps,
+                                  double until_ps) {
+  expects(period_ps > 0.0, "clock period must be positive");
+  for (double t = phase_ps; t <= until_ps; t += period_ps) inject_pulse(clock_net, t);
+}
+
+void EventSimulator::run_until(double until_ps) {
+  while (!queue_.empty() && queue_.top().time <= until_ps) {
+    const Event event = queue_.top();
+    queue_.pop();
+    now_ps_ = std::max(now_ps_, event.time);
+    ++events_processed_;
+    deliver(event);
+  }
+  now_ps_ = std::max(now_ps_, until_ps);
+}
+
+void EventSimulator::reseed_noise(std::uint64_t seed) { rng_ = util::Rng(seed); }
+
+void EventSimulator::reset() {
+  queue_ = {};
+  now_ps_ = 0.0;
+  next_seq_ = 0;
+  for (CellState& s : cell_state_) s = CellState{};
+  for (auto& v : net_pulses_) v.clear();
+  for (auto& v : dc_transition_times_) v.clear();
+}
+
+const std::vector<double>& EventSimulator::pulses(NetId net) const {
+  expects(net < net_pulses_.size(), "unknown net");
+  expects(config_.record_pulses, "pulse recording disabled");
+  return net_pulses_[net];
+}
+
+const Cell& EventSimulator::converter_of(NetId output_net) const {
+  const circuit::Net& net = netlist_.net(output_net);
+  expects(net.driver_cell != kInvalidId, "net has no driver");
+  const Cell& cell = netlist_.cell(net.driver_cell);
+  expects(cell.type == CellType::kSfqToDc, "net is not an SFQ-to-DC output");
+  return cell;
+}
+
+bool EventSimulator::dc_level(NetId converter_output) const {
+  return cell_state_[converter_of(converter_output).id].dc_level;
+}
+
+const std::vector<double>& EventSimulator::dc_transitions(NetId converter_output) const {
+  return dc_transition_times_[converter_of(converter_output).id];
+}
+
+double EventSimulator::jitter(double time) {
+  if (config_.jitter_sigma_ps <= 0.0) return time;
+  return time + rng_.gaussian(0.0, config_.jitter_sigma_ps);
+}
+
+void EventSimulator::deliver(const Event& event) {
+  if (config_.record_pulses) net_pulses_[event.net].push_back(event.time);
+  for (const circuit::Sink& sink : netlist_.net(event.net).sinks) {
+    const Cell& cell = netlist_.cell(sink.cell);
+    if (sink.port == kClockPort)
+      on_clock(cell, event.time);
+    else
+      on_pulse(cell, sink.port, event.time);
+  }
+}
+
+void EventSimulator::on_pulse(const Cell& cell, std::size_t port, double time) {
+  CellState& state = cell_state_[cell.id];
+  const CellFault& fault = cell_fault_[cell.id];
+  const double delay = library_.spec(cell.type).delay_ps;
+
+  switch (cell.type) {
+    case CellType::kXor:
+    case CellType::kAnd:
+    case CellType::kOr:
+      // Store the arm; the clock evaluates and resets.
+      (port == 0 ? state.arm_a : state.arm_b) = true;
+      return;
+    case CellType::kNot:
+    case CellType::kDff:
+      state.arm_a = true;
+      return;
+    case CellType::kSplitter:
+      emit(cell, 0, time + delay);
+      emit(cell, 1, time + delay);
+      return;
+    case CellType::kJtl:
+    case CellType::kMerger:
+    case CellType::kDcToSfq:
+      emit(cell, 0, time + delay);
+      return;
+    case CellType::kTff:
+      // Divide-by-two: emit on every second input pulse.
+      state.arm_a = !state.arm_a;
+      if (!state.arm_a) emit(cell, 0, time + delay);
+      return;
+    case CellType::kSfqToDc: {
+      // Toggling output driver. Fault handling is inline because the
+      // "emission" is a level transition, not a pulse.
+      if (fault.mode == FaultMode::kDead) return;
+      if (fault.mode == FaultMode::kFlaky && rng_.bernoulli(fault.error_prob)) return;
+      if (fault.mode == FaultMode::kSputter && rng_.bernoulli(0.5)) return;
+      state.dc_level = !state.dc_level;
+      ++state.emissions;
+      dc_transition_times_[cell.id].push_back(time + delay);
+      return;
+    }
+  }
+}
+
+void EventSimulator::on_clock(const Cell& cell, double time) {
+  CellState& state = cell_state_[cell.id];
+  const CellFault& fault = cell_fault_[cell.id];
+  const double delay = library_.spec(cell.type).delay_ps;
+
+  bool fire = false;
+  switch (cell.type) {
+    case CellType::kXor: fire = state.arm_a != state.arm_b; break;
+    case CellType::kAnd: fire = state.arm_a && state.arm_b; break;
+    case CellType::kOr: fire = state.arm_a || state.arm_b; break;
+    case CellType::kNot: fire = !state.arm_a; break;
+    case CellType::kDff: fire = state.arm_a; break;
+    default:
+      throw ContractViolation("clock pulse delivered to unclocked cell");
+  }
+  state.reset_arms();
+
+  if (fault.mode == FaultMode::kSputter) {
+    emit(cell, 0, time + delay);  // emits regardless of inputs
+    return;
+  }
+  if (!fire && fault.mode == FaultMode::kFlaky && rng_.bernoulli(fault.error_prob)) {
+    emit(cell, 0, time + delay);  // spurious emission
+    return;
+  }
+  if (fire) emit(cell, 0, time + delay);
+}
+
+void EventSimulator::emit(const Cell& cell, std::size_t port, double time) {
+  const CellFault& fault = cell_fault_[cell.id];
+  switch (fault.mode) {
+    case FaultMode::kDead:
+      return;
+    case FaultMode::kFlaky:
+      if (rng_.bernoulli(fault.error_prob)) return;
+      break;
+    case FaultMode::kSputter:
+      if (!library_.spec(cell.type).clocked && rng_.bernoulli(0.5)) return;
+      break;
+    case FaultMode::kHealthy:
+      break;
+  }
+  ++cell_state_[cell.id].emissions;
+  const double when = std::max(jitter(time), now_ps_);
+  queue_.push(Event{when, cell.outputs[port], next_seq_++});
+}
+
+}  // namespace sfqecc::sim

@@ -1,0 +1,105 @@
+// Event-driven pulse-level simulator for SFQ netlists — the library's JoSIM
+// substitute (DESIGN.md §2).
+//
+// Pulses are discrete events on nets. Cells react to pulses per the clocked /
+// unclocked semantics described in sim/cell_behavior.hpp, with per-cell
+// propagation delays from the cell library, optional Gaussian thermal timing
+// jitter, and per-cell fault injection driven by the PPV layer.
+//
+// The clock is not special-cased: the testbench injects a pulse train into
+// the clock primary input and the pulses propagate through the real clock
+// splitter tree, so clock skew emerges from the netlist as it does in JoSIM.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "circuit/cell_library.hpp"
+#include "circuit/netlist.hpp"
+#include "sim/cell_behavior.hpp"
+#include "util/rng.hpp"
+
+namespace sfqecc::sim {
+
+struct SimConfig {
+  double jitter_sigma_ps = 0.0;   ///< thermal timing jitter per emission (4.2 K ~ 0.8 ps)
+  std::uint64_t noise_seed = 1;   ///< seed for jitter and flaky-fault draws
+  bool record_pulses = true;      ///< keep per-net pulse history (waveforms)
+};
+
+/// Simulates one netlist instance. Construct, optionally set faults, inject
+/// pulses, then run. The simulator may be reused across frames; `reset()`
+/// clears dynamic state but keeps faults.
+class EventSimulator {
+ public:
+  EventSimulator(const circuit::Netlist& netlist, const circuit::CellLibrary& library,
+                 const SimConfig& config);
+
+  /// Sets the fault state of a cell (default healthy).
+  void set_fault(circuit::CellId cell, const CellFault& fault);
+
+  /// Schedules a pulse on a net (typically a primary input) at `time_ps`.
+  void inject_pulse(circuit::NetId net, double time_ps);
+
+  /// Injects a clock train: pulses at phase, phase+period, ... up to `until_ps`.
+  void inject_clock(circuit::NetId clock_net, double period_ps, double phase_ps,
+                    double until_ps);
+
+  /// Processes all events up to and including `until_ps`.
+  void run_until(double until_ps);
+
+  /// Clears pulses, arms, DC levels and pending events; faults are kept.
+  void reset();
+
+  /// Reseeds the jitter/fault noise stream (per-chip determinism in Monte
+  /// Carlo regardless of thread partitioning).
+  void reseed_noise(std::uint64_t seed);
+
+  /// Recorded pulse times on a net (requires record_pulses).
+  const std::vector<double>& pulses(circuit::NetId net) const;
+
+  /// Current DC level of an SFQ-to-DC converter's output net.
+  bool dc_level(circuit::NetId converter_output) const;
+
+  /// Level-transition times of an SFQ-to-DC converter's output net.
+  const std::vector<double>& dc_transitions(circuit::NetId converter_output) const;
+
+  double now() const noexcept { return now_ps_; }
+  std::size_t events_processed() const noexcept { return events_processed_; }
+
+ private:
+  struct Event {
+    double time;
+    circuit::NetId net;
+    std::uint64_t seq;
+    bool operator>(const Event& other) const noexcept {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+
+  const circuit::Netlist& netlist_;
+  const circuit::CellLibrary& library_;
+  SimConfig config_;
+  util::Rng rng_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::uint64_t next_seq_ = 0;
+  double now_ps_ = 0.0;
+  std::size_t events_processed_ = 0;
+
+  std::vector<CellState> cell_state_;
+  std::vector<CellFault> cell_fault_;
+  std::vector<std::vector<double>> net_pulses_;
+  std::vector<std::vector<double>> dc_transition_times_;  // indexed by cell id
+
+  void deliver(const Event& event);
+  void on_pulse(const circuit::Cell& cell, std::size_t port, double time);
+  void on_clock(const circuit::Cell& cell, double time);
+  /// Emission with fault/jitter handling; schedules the pulse on the output net.
+  void emit(const circuit::Cell& cell, std::size_t port, double time);
+  double jitter(double time);
+  const circuit::Cell& converter_of(circuit::NetId output_net) const;
+};
+
+}  // namespace sfqecc::sim

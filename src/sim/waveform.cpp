@@ -1,0 +1,120 @@
+#include "sim/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::sim {
+namespace {
+
+std::size_t sample_count(const RasterOptions& o) {
+  expects(o.t1_ps > o.t0_ps && o.dt_ps > 0.0, "invalid raster window");
+  return static_cast<std::size_t>((o.t1_ps - o.t0_ps) / o.dt_ps) + 1;
+}
+
+void add_noise(std::vector<double>& samples, const RasterOptions& o) {
+  if (o.noise_sigma_uv <= 0.0) return;
+  util::Rng rng(o.noise_seed);
+  for (double& s : samples) s += rng.gaussian(0.0, o.noise_sigma_uv);
+}
+
+}  // namespace
+
+AnalogTrace rasterize_pulses(const std::string& label, const std::vector<double>& pulse_times,
+                             const RasterOptions& options) {
+  AnalogTrace trace;
+  trace.label = label;
+  trace.t0_ps = options.t0_ps;
+  trace.dt_ps = options.dt_ps;
+  trace.samples_uv.assign(sample_count(options), 0.0);
+
+  const double sigma = options.pulse_sigma_ps;
+  for (double t : pulse_times) {
+    // A pulse only influences +/- 4 sigma around its center.
+    const double lo = t - 4.0 * sigma, hi = t + 4.0 * sigma;
+    const auto first = static_cast<long>(std::floor((lo - options.t0_ps) / options.dt_ps));
+    const auto last = static_cast<long>(std::ceil((hi - options.t0_ps) / options.dt_ps));
+    for (long i = std::max(0L, first);
+         i <= last && i < static_cast<long>(trace.samples_uv.size()); ++i) {
+      const double ts = options.t0_ps + static_cast<double>(i) * options.dt_ps;
+      const double x = (ts - t) / sigma;
+      trace.samples_uv[static_cast<std::size_t>(i)] +=
+          options.pulse_amplitude_uv * std::exp(-0.5 * x * x);
+    }
+  }
+  add_noise(trace.samples_uv, options);
+  return trace;
+}
+
+AnalogTrace rasterize_dc(const std::string& label, const std::vector<double>& transitions,
+                         double high_uv, const RasterOptions& options) {
+  AnalogTrace trace;
+  trace.label = label;
+  trace.t0_ps = options.t0_ps;
+  trace.dt_ps = options.dt_ps;
+  const std::size_t count = sample_count(options);
+  trace.samples_uv.assign(count, 0.0);
+
+  bool level = false;
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double ts = options.t0_ps + static_cast<double>(i) * options.dt_ps;
+    while (next < transitions.size() && transitions[next] <= ts) {
+      level = !level;
+      ++next;
+    }
+    trace.samples_uv[i] = level ? high_uv : 0.0;
+  }
+  add_noise(trace.samples_uv, options);
+  return trace;
+}
+
+std::string traces_to_csv(const std::vector<AnalogTrace>& traces) {
+  expects(!traces.empty(), "no traces");
+  const std::size_t count = traces.front().samples_uv.size();
+  for (const AnalogTrace& t : traces)
+    expects(t.samples_uv.size() == count && t.t0_ps == traces.front().t0_ps &&
+                t.dt_ps == traces.front().dt_ps,
+            "traces must share the sampling grid");
+
+  std::ostringstream out;
+  out << "time_ps";
+  for (const AnalogTrace& t : traces) out << ',' << t.label << "_uV";
+  out << '\n';
+  for (std::size_t i = 0; i < count; ++i) {
+    out << traces.front().t0_ps + static_cast<double>(i) * traces.front().dt_ps;
+    for (const AnalogTrace& t : traces) out << ',' << t.samples_uv[i];
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string traces_to_ascii(const std::vector<AnalogTrace>& traces, std::size_t width) {
+  expects(width >= 10, "width too small");
+  std::size_t label_width = 0;
+  for (const AnalogTrace& t : traces) label_width = std::max(label_width, t.label.size());
+
+  std::ostringstream out;
+  for (const AnalogTrace& t : traces) {
+    double peak = 0.0;
+    for (double s : t.samples_uv) peak = std::max(peak, std::abs(s));
+    const double threshold = peak * 0.5;
+    std::string strip(width, '_');
+    if (peak > 0.0) {
+      const std::size_t n = t.samples_uv.size();
+      for (std::size_t c = 0; c < width; ++c) {
+        const std::size_t lo = c * n / width;
+        const std::size_t hi = std::max(lo + 1, (c + 1) * n / width);
+        double m = 0.0;
+        for (std::size_t i = lo; i < hi && i < n; ++i) m = std::max(m, t.samples_uv[i]);
+        if (m >= threshold) strip[c] = '|';
+      }
+    }
+    out << t.label << std::string(label_width - t.label.size(), ' ') << " " << strip << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace sfqecc::sim

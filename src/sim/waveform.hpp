@@ -1,0 +1,47 @@
+// Waveform rendering: turns recorded pulse/level events into sampled analog
+// traces (SFQ pulses as ~2 ps Gaussian bumps, DC levels as steps) with
+// additive thermal noise — the presentation format of the paper's Fig. 3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sfqecc::sim {
+
+/// One labelled analog trace sampled on a uniform grid.
+struct AnalogTrace {
+  std::string label;
+  double t0_ps = 0.0;
+  double dt_ps = 1.0;
+  std::vector<double> samples_uv;  ///< microvolts
+};
+
+struct RasterOptions {
+  double t0_ps = 0.0;
+  double t1_ps = 2500.0;      ///< Fig. 3 spans 2.5 ns
+  double dt_ps = 1.0;
+  double pulse_amplitude_uv = 400.0;  ///< SFQ pulse height (~2 Phi0/2ps)
+  double pulse_sigma_ps = 1.0;        ///< Gaussian pulse width (2 ps FWHM-ish)
+  double noise_sigma_uv = 0.0;        ///< additive thermal noise
+  std::uint64_t noise_seed = 7;
+};
+
+/// Renders a pulse train as a sum of Gaussian bumps plus noise.
+AnalogTrace rasterize_pulses(const std::string& label, const std::vector<double>& pulse_times,
+                             const RasterOptions& options);
+
+/// Renders a DC level sequence (transition times, starting low) as a step
+/// waveform with `high_uv` amplitude plus noise.
+AnalogTrace rasterize_dc(const std::string& label, const std::vector<double>& transitions,
+                         double high_uv, const RasterOptions& options);
+
+/// Writes traces as a CSV file: time_ps, then one column per trace.
+/// All traces must share t0/dt/sample count.
+std::string traces_to_csv(const std::vector<AnalogTrace>& traces);
+
+/// Compact terminal rendering: one row per trace with pulse ticks.
+std::string traces_to_ascii(const std::vector<AnalogTrace>& traces, std::size_t width = 100);
+
+}  // namespace sfqecc::sim

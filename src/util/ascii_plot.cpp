@@ -1,0 +1,111 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/expect.hpp"
+#include "util/table.hpp"
+
+namespace sfqecc::util {
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+
+}  // namespace
+
+std::string plot_xy(const std::vector<Series>& series, const PlotOptions& options) {
+  expects(options.width >= 8 && options.height >= 4, "plot area too small");
+
+  double xmin = 0, xmax = 1, ymin = 0, ymax = 1;
+  bool any = false;
+  for (const Series& s : series) {
+    expects(s.x.size() == s.y.size(), "series x/y size mismatch");
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (!any) {
+        xmin = xmax = s.x[i];
+        ymin = ymax = s.y[i];
+        any = true;
+      } else {
+        xmin = std::min(xmin, s.x[i]);
+        xmax = std::max(xmax, s.x[i]);
+        ymin = std::min(ymin, s.y[i]);
+        ymax = std::max(ymax, s.y[i]);
+      }
+    }
+  }
+  if (!any) return "(empty plot)\n";
+  if (xmax == xmin) xmax = xmin + 1;
+  if (ymax == ymin) ymax = ymin + 1;
+
+  const std::size_t w = options.width;
+  const std::size_t h = options.height;
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  auto to_col = [&](double x) {
+    double f = (x - xmin) / (xmax - xmin);
+    auto c = static_cast<long>(std::lround(f * static_cast<double>(w - 1)));
+    return static_cast<std::size_t>(std::clamp<long>(c, 0, static_cast<long>(w - 1)));
+  };
+  auto to_row = [&](double y) {
+    double f = (y - ymin) / (ymax - ymin);
+    auto r = static_cast<long>(std::lround((1.0 - f) * static_cast<double>(h - 1)));
+    return static_cast<std::size_t>(std::clamp<long>(r, 0, static_cast<long>(h - 1)));
+  };
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof kGlyphs];
+    const Series& s = series[si];
+    // Draw segments with simple linear interpolation so curves look connected.
+    for (std::size_t i = 0; i + 1 < s.x.size(); ++i) {
+      const std::size_t c0 = to_col(s.x[i]), c1 = to_col(s.x[i + 1]);
+      const std::size_t steps = std::max<std::size_t>(std::max(c0, c1) - std::min(c0, c1), 1);
+      for (std::size_t k = 0; k <= steps; ++k) {
+        const double t = static_cast<double>(k) / static_cast<double>(steps);
+        const double x = s.x[i] + t * (s.x[i + 1] - s.x[i]);
+        const double y = s.y[i] + t * (s.y[i + 1] - s.y[i]);
+        grid[to_row(y)][to_col(x)] = glyph;
+      }
+    }
+    if (s.x.size() == 1) grid[to_row(s.y[0])][to_col(s.x[0])] = glyph;
+  }
+
+  std::ostringstream out;
+  const std::string ymax_s = fixed(ymax, 3), ymin_s = fixed(ymin, 3);
+  const std::size_t margin = std::max(ymax_s.size(), ymin_s.size());
+  for (std::size_t r = 0; r < h; ++r) {
+    std::string label(margin, ' ');
+    if (r == 0) label = std::string(margin - ymax_s.size(), ' ') + ymax_s;
+    if (r == h - 1) label = std::string(margin - ymin_s.size(), ' ') + ymin_s;
+    out << label << " |" << grid[r] << '\n';
+  }
+  out << std::string(margin + 1, ' ') << '+' << std::string(w, '-') << '\n';
+  const std::string xmin_s = fixed(xmin, 1), xmax_s = fixed(xmax, 1);
+  out << std::string(margin + 2, ' ') << xmin_s
+      << std::string(w > xmin_s.size() + xmax_s.size() ? w - xmin_s.size() - xmax_s.size() : 1, ' ')
+      << xmax_s << '\n';
+  if (!options.x_label.empty())
+    out << std::string(margin + 2, ' ') << "x: " << options.x_label << '\n';
+  if (!options.y_label.empty())
+    out << std::string(margin + 2, ' ') << "y: " << options.y_label << '\n';
+  for (std::size_t si = 0; si < series.size(); ++si)
+    out << std::string(margin + 2, ' ') << kGlyphs[si % sizeof kGlyphs] << " = "
+        << series[si].label << '\n';
+  return out.str();
+}
+
+std::string pulse_strip(const std::vector<double>& pulse_times, double t0, double t1,
+                        std::size_t width) {
+  expects(t1 > t0, "pulse_strip needs t1 > t0");
+  expects(width >= 2, "pulse_strip needs width >= 2");
+  std::string strip(width, '_');
+  for (double t : pulse_times) {
+    if (t < t0 || t >= t1) continue;
+    const double f = (t - t0) / (t1 - t0);
+    auto c = static_cast<std::size_t>(f * static_cast<double>(width));
+    strip[std::min(c, width - 1)] = '|';
+  }
+  return strip;
+}
+
+}  // namespace sfqecc::util

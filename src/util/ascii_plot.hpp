@@ -1,0 +1,35 @@
+// Terminal plotting for bench output: XY line plots (Fig. 5 CDF curves) and
+// pulse-train strips (Fig. 3 waveforms).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sfqecc::util {
+
+/// One labelled series of an XY plot.
+struct Series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct PlotOptions {
+  std::size_t width = 72;   ///< plot area width in characters
+  std::size_t height = 20;  ///< plot area height in characters
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Renders the series into a character-cell XY plot with axes and a legend.
+/// Each series is drawn with its own glyph; later series overwrite earlier
+/// ones where they collide.
+std::string plot_xy(const std::vector<Series>& series, const PlotOptions& options);
+
+/// Renders a pulse train as a one-line strip over [t0, t1): pulses are drawn
+/// as '|' at their quantized position, the baseline as '_'.
+std::string pulse_strip(const std::vector<double>& pulse_times, double t0, double t1,
+                        std::size_t width);
+
+}  // namespace sfqecc::util

@@ -1,0 +1,40 @@
+#include "util/cdf.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::util {
+
+EmpiricalCdf::EmpiricalCdf(const std::vector<std::size_t>& samples) {
+  count_ = samples.size();
+  if (samples.empty()) return;
+  const std::size_t maxv = *std::max_element(samples.begin(), samples.end());
+  counts_.assign(maxv + 1, 0);
+  for (std::size_t v : samples) ++counts_[v];
+}
+
+double EmpiricalCdf::at(std::size_t n) const noexcept {
+  if (count_ == 0) return 0.0;
+  std::size_t cum = 0;
+  const std::size_t upto = std::min(n, counts_.size() - 1);
+  for (std::size_t v = 0; v <= upto; ++v) cum += counts_[v];
+  return static_cast<double>(cum) / static_cast<double>(count_);
+}
+
+std::size_t EmpiricalCdf::inverse(double q) const {
+  expects(count_ > 0, "inverse of empty CDF");
+  expects(q > 0.0 && q <= 1.0, "CDF level must be in (0,1]");
+  std::size_t cum = 0;
+  for (std::size_t v = 0; v < counts_.size(); ++v) {
+    cum += counts_[v];
+    if (static_cast<double>(cum) / static_cast<double>(count_) >= q) return v;
+  }
+  return counts_.size() - 1;
+}
+
+std::size_t EmpiricalCdf::count_at(std::size_t n) const noexcept {
+  return n < counts_.size() ? counts_[n] : 0;
+}
+
+}  // namespace sfqecc::util

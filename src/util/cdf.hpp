@@ -1,0 +1,34 @@
+// Empirical cumulative distribution functions over integer-valued samples,
+// matching the presentation of the paper's Fig. 5 (probability of receiving at
+// most N erroneous messages out of 100 transmissions).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sfqecc::util {
+
+/// Empirical CDF of a sample of non-negative integer observations.
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(const std::vector<std::size_t>& samples);
+
+  /// P(X <= n). Returns 0 for an empty sample.
+  double at(std::size_t n) const noexcept;
+
+  /// Smallest n with P(X <= n) >= q (q in (0, 1]); sample must be non-empty.
+  std::size_t inverse(double q) const;
+
+  std::size_t sample_count() const noexcept { return count_; }
+  std::size_t max_value() const noexcept { return counts_.empty() ? 0 : counts_.size() - 1; }
+
+  /// Number of observations exactly equal to n.
+  std::size_t count_at(std::size_t n) const noexcept;
+
+ private:
+  std::vector<std::size_t> counts_;  ///< histogram: counts_[v] = #samples == v
+  std::size_t count_ = 0;
+};
+
+}  // namespace sfqecc::util

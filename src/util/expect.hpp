@@ -1,0 +1,30 @@
+// Lightweight contract checking (C++ Core Guidelines I.6 / E.12 style).
+//
+// `expects` guards preconditions, `ensures` guards postconditions; both throw
+// sfqecc::ContractViolation (a std::logic_error) so that misuse of the library
+// API is reported deterministically instead of corrupting state.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sfqecc {
+
+/// Thrown when a precondition or postcondition of a library function is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+/// Precondition check: throws ContractViolation with `msg` when `cond` is false.
+inline void expects(bool cond, const char* msg) {
+  if (!cond) throw ContractViolation(std::string("precondition violated: ") + msg);
+}
+
+/// Postcondition check: throws ContractViolation with `msg` when `cond` is false.
+inline void ensures(bool cond, const char* msg) {
+  if (!cond) throw ContractViolation(std::string("postcondition violated: ") + msg);
+}
+
+}  // namespace sfqecc

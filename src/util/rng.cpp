@@ -1,0 +1,6 @@
+#include "util/rng.hpp"
+
+// All members are defined inline in the header; this translation unit exists so
+// the target has a stable object for the component and to hold future
+// out-of-line additions.
+namespace sfqecc::util {}

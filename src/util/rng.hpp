@@ -1,0 +1,86 @@
+// Deterministic random-number utilities.
+//
+// Monte-Carlo experiments must be reproducible regardless of thread count, so
+// every independent unit of work (a "chip", a message, a noise process) draws
+// from its own generator seeded through SplitMix64 substreams derived from a
+// single experiment seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace sfqecc::util {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer. Used to derive independent
+/// seeds for substreams; passes BigCrush when used as a generator.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Derives the seed of substream `index` from a master `seed`.
+/// Distinct (seed, index) pairs give statistically independent streams.
+constexpr std::uint64_t substream_seed(std::uint64_t seed, std::uint64_t index) noexcept {
+  SplitMix64 mixer(seed ^ (0xd1b54a32d192ed03ULL * (index + 1)));
+  std::uint64_t s = mixer.next();
+  return s != 0 ? s : 0x9e3779b97f4a7c15ULL;  // mt19937_64 accepts 0, but avoid it anyway
+}
+
+/// A seeded engine for one unit of work. Wraps std::mt19937_64 and offers the
+/// handful of draw shapes the library needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Substream constructor: independent stream `index` of master `seed`.
+  Rng(std::uint64_t seed, std::uint64_t index) : engine_(substream_seed(seed, index)) {}
+
+  std::uint64_t next_u64() { return engine_(); }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal draw.
+  double gaussian() { return std::normal_distribution<double>(0.0, 1.0)(engine_); }
+
+  /// Normal draw with the given standard deviation.
+  double gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Uniform integer in [0, bound).
+  std::uint64_t below(std::uint64_t bound) {
+    return std::uniform_int_distribution<std::uint64_t>(0, bound - 1)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sfqecc::util

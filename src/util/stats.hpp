@@ -1,0 +1,57 @@
+// Small statistics toolkit used by the Monte-Carlo harness and benches:
+// summary statistics, quantiles and Wilson confidence intervals for the
+// binomial proportions reported in the paper's Fig. 5.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sfqecc::util {
+
+/// Summary of a sample: count, mean, (sample) variance/stddev, min and max.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< unbiased sample variance (n-1 denominator)
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes summary statistics of `xs`. Empty input yields a zero Summary.
+Summary summarize(const std::vector<double>& xs);
+
+/// Empirical quantile with linear interpolation (type-7, the numpy default).
+/// `q` must lie in [0, 1]; `xs` must be non-empty.
+double quantile(std::vector<double> xs, double q);
+
+/// Wilson score interval for a binomial proportion.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Wilson score interval for `successes` out of `trials` at confidence z
+/// (z = 1.96 for 95 %). `trials` must be > 0.
+Interval wilson_interval(std::size_t successes, std::size_t trials, double z = 1.96);
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const noexcept { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace sfqecc::util

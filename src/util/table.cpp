@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sfqecc::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void TextTable::add_rule() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::to_string() const {
+  std::size_t columns = header_.size();
+  for (const Row& r : rows_) columns = std::max(columns, r.cells.size());
+
+  std::vector<std::size_t> widths(columns, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      widths[c] = std::max(widths[c], cells[c].size());
+  };
+  widen(header_);
+  for (const Row& r : rows_)
+    if (!r.rule) widen(r.cells);
+
+  auto print_row = [&](std::ostringstream& out, const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t c = 0; c < columns; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+  auto print_rule = [&](std::ostringstream& out) {
+    out << "+";
+    for (std::size_t c = 0; c < columns; ++c) out << std::string(widths[c] + 2, '-') << '+';
+    out << '\n';
+  };
+
+  std::ostringstream out;
+  print_rule(out);
+  print_row(out, header_);
+  print_rule(out);
+  for (const Row& r : rows_) {
+    if (r.rule)
+      print_rule(out);
+    else
+      print_row(out, r.cells);
+  }
+  print_rule(out);
+  return out.str();
+}
+
+std::string fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string percent(double p, int digits) {
+  return fixed(p * 100.0, digits) + " %";
+}
+
+}  // namespace sfqecc::util

@@ -1,0 +1,42 @@
+// Plain-text table formatter used by the bench binaries to print paper-style
+// tables (Table I, Table II, the Fig. 5 CDF grid) with aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sfqecc::util {
+
+/// Column-aligned ASCII table. Rows are added as vectors of pre-formatted
+/// strings; `to_string` pads every column to its widest entry.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one row. Short rows are padded with empty cells; long rows extend
+  /// the column set.
+  void add_row(std::vector<std::string> row);
+
+  /// Adds a horizontal separator row.
+  void add_rule();
+
+  std::string to_string() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string fixed(double value, int digits);
+
+/// Formats a probability as a percentage with one decimal, e.g. "92.7 %".
+std::string percent(double p, int digits = 1);
+
+}  // namespace sfqecc::util

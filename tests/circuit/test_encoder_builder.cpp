@@ -1,0 +1,142 @@
+// End-to-end synthesis tests: the built netlists must match the paper's
+// Table II cell-for-cell and remain structurally legal.
+#include <gtest/gtest.h>
+
+#include "circuit/encoder_builder.hpp"
+#include "circuit/netlist_stats.hpp"
+#include "code/code3832.hpp"
+#include "code/hamming.hpp"
+#include "code/reed_muller.hpp"
+#include "core/paper_constants.hpp"
+
+namespace sfqecc::circuit {
+namespace {
+
+struct TableIICase {
+  const char* name;
+  std::size_t xors, dffs, splitters, converters, jjs;
+  double power_uw, area_mm2;
+};
+
+class TableIIExact : public ::testing::TestWithParam<TableIICase> {};
+
+TEST_P(TableIIExact, SynthesisReproducesPaperRow) {
+  const TableIICase& expected = GetParam();
+  const CellLibrary& lib = coldflux_library();
+
+  code::LinearCode code = [&] {
+    if (std::string(expected.name) == "RM(1,3)") return code::paper_rm13();
+    if (std::string(expected.name) == "Hamming(7,4)") return code::paper_hamming74();
+    return code::paper_hamming84();
+  }();
+
+  const BuiltEncoder built = build_encoder(code, lib);
+  built.netlist.validate(true);
+  EXPECT_TRUE(built.netlist.obeys_fanout_discipline());
+  EXPECT_EQ(built.logic_depth, 2u);
+
+  const NetlistStats stats = compute_stats(built.netlist, lib, built.clock_input);
+  EXPECT_EQ(stats.count(CellType::kXor), expected.xors);
+  EXPECT_EQ(stats.count(CellType::kDff), expected.dffs);
+  EXPECT_EQ(stats.count(CellType::kSplitter), expected.splitters);
+  EXPECT_EQ(stats.count(CellType::kSfqToDc), expected.converters);
+  EXPECT_EQ(stats.jj_count, expected.jjs);
+  EXPECT_NEAR(stats.static_power_uw, expected.power_uw, 0.05);
+  EXPECT_NEAR(stats.area_mm2, expected.area_mm2, 0.0005);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, TableIIExact,
+    ::testing::Values(TableIICase{"RM(1,3)", 8, 7, 26, 8, 305, 101.5, 0.193},
+                      TableIICase{"Hamming(7,4)", 5, 8, 20, 7, 247, 81.7, 0.158},
+                      TableIICase{"Hamming(8,4)", 6, 8, 23, 8, 278, 92.3, 0.177}),
+    [](const auto& info) {
+      std::string n = info.param.name;
+      for (char& c : n)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return n;
+    });
+
+TEST(EncoderBuilder, Hamming84SplitterBreakdown) {
+  // Section III: 10 data splitters (Fig. 2) + 13 clock splitters.
+  const CellLibrary& lib = coldflux_library();
+  const code::LinearCode h84 = code::paper_hamming84();
+  const BuiltEncoder built = build_encoder(h84, lib);
+  const NetlistStats stats = compute_stats(built.netlist, lib, built.clock_input);
+  EXPECT_EQ(stats.data_splitters, core::paper::kH84DataSplitters);
+  EXPECT_EQ(stats.clock_splitters, core::paper::kH84ClockSplitters);
+}
+
+TEST(EncoderBuilder, ClockSinksMatchClockedCells) {
+  // A binary splitter tree over n sinks has n-1 splitters: clock splitter
+  // count must equal (XOR + DFF) - 1 for every paper encoder.
+  const CellLibrary& lib = coldflux_library();
+  for (auto make : {code::paper_hamming74, code::paper_hamming84, code::paper_rm13}) {
+    const code::LinearCode code = make();
+    const BuiltEncoder built = build_encoder(code, lib);
+    const NetlistStats stats = compute_stats(built.netlist, lib, built.clock_input);
+    EXPECT_EQ(stats.clock_splitters,
+              stats.count(CellType::kXor) + stats.count(CellType::kDff) - 1);
+  }
+}
+
+TEST(EncoderBuilder, NoEncoderLink) {
+  const CellLibrary& lib = coldflux_library();
+  const BuiltEncoder link = build_no_encoder_link(4, lib);
+  link.netlist.validate(false);
+  EXPECT_EQ(link.logic_depth, 0u);
+  EXPECT_EQ(link.clock_input, kInvalidId);
+  EXPECT_EQ(link.netlist.count_cells(CellType::kSfqToDc), 4u);
+  EXPECT_EQ(link.netlist.cell_count(), 4u);  // nothing but converters
+}
+
+TEST(EncoderBuilder, UnbalancedVariantDropsDffs) {
+  const CellLibrary& lib = coldflux_library();
+  const code::LinearCode h84 = code::paper_hamming84();
+  EncoderBuildOptions options;
+  options.balance_paths = false;
+  const BuiltEncoder built = build_encoder(h84, lib, options);
+  built.netlist.validate(true);
+  EXPECT_EQ(built.netlist.count_cells(CellType::kDff), 0u);
+  EXPECT_EQ(built.netlist.count_cells(CellType::kXor), 6u);
+}
+
+TEST(EncoderBuilder, TreeSynthesisOptionRespected) {
+  const CellLibrary& lib = coldflux_library();
+  const code::LinearCode h84 = code::paper_hamming84();
+  EncoderBuildOptions options;
+  options.algorithm = SynthesisAlgorithm::kTree;
+  const BuiltEncoder built = build_encoder(h84, lib, options);
+  EXPECT_EQ(built.netlist.count_cells(CellType::kXor), 8u);  // no sharing
+}
+
+TEST(EncoderBuilder, BaselineCode3832Synthesizes) {
+  // The (38,32) baseline of [14] runs through the same pipeline; its scale
+  // (84 XOR / 135 DFF in the original) is reproduced in shape by our
+  // synthesis — exact counts depend on the unpublished column order.
+  const CellLibrary& lib = coldflux_library();
+  const code::LinearCode baseline = code::code3832();
+  const BuiltEncoder built = build_encoder(baseline, lib);
+  built.netlist.validate(true);
+  EXPECT_TRUE(built.netlist.obeys_fanout_discipline());
+  const NetlistStats stats = compute_stats(built.netlist, lib, built.clock_input);
+  EXPECT_GT(stats.count(CellType::kXor), 30u);
+  EXPECT_GT(stats.count(CellType::kDff), 20u);
+  EXPECT_EQ(stats.count(CellType::kSfqToDc), 38u);
+}
+
+TEST(EncoderBuilder, MessageAndOutputPortsOrdered) {
+  const CellLibrary& lib = coldflux_library();
+  const BuiltEncoder built = build_encoder(code::paper_hamming84(), lib);
+  ASSERT_EQ(built.message_inputs.size(), 4u);
+  ASSERT_EQ(built.codeword_outputs.size(), 8u);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(built.netlist.net(built.message_inputs[i]).name,
+              "m" + std::to_string(i + 1));
+  for (std::size_t j = 0; j < 8; ++j)
+    EXPECT_EQ(built.netlist.net(built.codeword_outputs[j]).name,
+              "c" + std::to_string(j + 1));
+}
+
+}  // namespace
+}  // namespace sfqecc::circuit

@@ -1,0 +1,151 @@
+#include "circuit/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/cell_library.hpp"
+#include "circuit/netlist_stats.hpp"
+#include "util/expect.hpp"
+
+namespace sfqecc::circuit {
+namespace {
+
+TEST(Netlist, EmptyIsValid) {
+  Netlist nl("empty");
+  nl.validate();
+  EXPECT_EQ(nl.cell_count(), 0u);
+  EXPECT_EQ(nl.net_count(), 0u);
+}
+
+TEST(Netlist, AddCellWiresPortsBothWays) {
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const CellId jtl = nl.add_cell(CellType::kJtl, "jtl0", {a}, {"a_d"});
+  const Cell& cell = nl.cell(jtl);
+  EXPECT_EQ(cell.inputs[0], a);
+  EXPECT_EQ(nl.net(a).sinks.size(), 1u);
+  EXPECT_EQ(nl.net(a).sinks[0].cell, jtl);
+  EXPECT_EQ(nl.net(cell.outputs[0]).driver_cell, jtl);
+  nl.validate(false);
+}
+
+TEST(Netlist, ArityEnforced) {
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  EXPECT_THROW(nl.add_cell(CellType::kXor, "x", {a}, {"o"}), ContractViolation);
+  EXPECT_THROW(nl.add_cell(CellType::kSplitter, "s", {a}, {"o"}), ContractViolation);
+  EXPECT_THROW(nl.add_cell(CellType::kJtl, "j", {a}, {"o1", "o2"}), ContractViolation);
+}
+
+TEST(Netlist, ClockConnection) {
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const NetId clk = nl.add_primary_input("clk");
+  const CellId dff = nl.add_cell(CellType::kDff, "dff0", {a}, {"q"});
+  EXPECT_THROW(nl.validate(true), ContractViolation);  // clock missing
+  nl.connect_clock(dff, clk);
+  nl.validate(true);
+  EXPECT_EQ(nl.cell(dff).clock, clk);
+  // Double connection rejected; unclocked cells have no clock port.
+  EXPECT_THROW(nl.connect_clock(dff, clk), ContractViolation);
+  const CellId jtl = nl.add_cell(CellType::kJtl, "jtl0", {a}, {"a_d"});
+  EXPECT_THROW(nl.connect_clock(jtl, clk), ContractViolation);
+}
+
+TEST(Netlist, MoveSinkRewires) {
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const NetId b = nl.add_net("b");
+  const CellId jtl = nl.add_cell(CellType::kJtl, "jtl0", {a}, {"o"});
+  nl.move_sink(a, b, Sink{jtl, 0});
+  EXPECT_EQ(nl.cell(jtl).inputs[0], b);
+  EXPECT_TRUE(nl.net(a).sinks.empty());
+  ASSERT_EQ(nl.net(b).sinks.size(), 1u);
+  EXPECT_THROW(nl.move_sink(a, b, Sink{jtl, 0}), ContractViolation);  // gone
+}
+
+TEST(Netlist, FanoutQueries) {
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  nl.add_cell(CellType::kJtl, "j1", {a}, {"o1"});
+  EXPECT_TRUE(nl.obeys_fanout_discipline());
+  nl.add_cell(CellType::kJtl, "j2", {a}, {"o2"});
+  EXPECT_FALSE(nl.obeys_fanout_discipline());
+  EXPECT_EQ(nl.max_fanout(), 2u);
+}
+
+TEST(Netlist, TopologicalOrderRespectsEdges) {
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const CellId c1 = nl.add_cell(CellType::kJtl, "j1", {a}, {"o1"});
+  const CellId c2 = nl.add_cell(CellType::kJtl, "j2", {nl.cell(c1).outputs[0]}, {"o2"});
+  const CellId c3 = nl.add_cell(CellType::kJtl, "j3", {nl.cell(c2).outputs[0]}, {"o3"});
+  const auto order = nl.topological_order();
+  ASSERT_EQ(order.size(), 3u);
+  auto pos = [&](CellId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(c1), pos(c2));
+  EXPECT_LT(pos(c2), pos(c3));
+}
+
+TEST(Netlist, CountCells) {
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const CellId s = nl.add_cell(CellType::kSplitter, "s", {a}, {"o1", "o2"});
+  nl.add_cell(CellType::kJtl, "j", {nl.cell(s).outputs[0]}, {"o3"});
+  EXPECT_EQ(nl.count_cells(CellType::kSplitter), 1u);
+  EXPECT_EQ(nl.count_cells(CellType::kJtl), 1u);
+  EXPECT_EQ(nl.count_cells(CellType::kXor), 0u);
+}
+
+TEST(Netlist, PrimaryOutputs) {
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const CellId j = nl.add_cell(CellType::kJtl, "j", {a}, {"o"});
+  nl.mark_primary_output(nl.cell(j).outputs[0]);
+  ASSERT_EQ(nl.primary_outputs().size(), 1u);
+  EXPECT_THROW(nl.mark_primary_output(nl.cell(j).outputs[0]), ContractViolation);
+}
+
+TEST(CellLibrary, ColdfluxHasAllTypes) {
+  const CellLibrary& lib = coldflux_library();
+  for (CellType t : {CellType::kXor, CellType::kDff, CellType::kSplitter,
+                     CellType::kSfqToDc, CellType::kJtl, CellType::kMerger,
+                     CellType::kTff, CellType::kDcToSfq, CellType::kAnd,
+                     CellType::kOr, CellType::kNot}) {
+    ASSERT_TRUE(lib.has(t));
+    const CellSpec& spec = lib.spec(t);
+    EXPECT_GT(spec.jj_count, 0u);
+    EXPECT_GT(spec.static_power_uw, 0.0);
+    EXPECT_GT(spec.area_mm2, 0.0);
+    EXPECT_GT(spec.delay_ps, 0.0);
+    EXPECT_GT(spec.ppv_threshold, 0.0);
+  }
+}
+
+TEST(CellLibrary, TableIICalibration) {
+  // The per-cell JJ counts are the exact solution of Table II (DESIGN.md §3).
+  const CellLibrary& lib = coldflux_library();
+  EXPECT_EQ(lib.spec(CellType::kXor).jj_count, 11u);
+  EXPECT_EQ(lib.spec(CellType::kDff).jj_count, 7u);
+  EXPECT_EQ(lib.spec(CellType::kSplitter).jj_count, 4u);
+  EXPECT_EQ(lib.spec(CellType::kSfqToDc).jj_count, 8u);
+}
+
+TEST(NetlistStats, AggregatesOverCells) {
+  const CellLibrary& lib = coldflux_library();
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const CellId s = nl.add_cell(CellType::kSplitter, "s", {a}, {"o1", "o2"});
+  nl.add_cell(CellType::kSfqToDc, "c1", {nl.cell(s).outputs[0]}, {"d1"});
+  nl.add_cell(CellType::kSfqToDc, "c2", {nl.cell(s).outputs[1]}, {"d2"});
+  const NetlistStats stats = compute_stats(nl, lib);
+  EXPECT_EQ(stats.count(CellType::kSplitter), 1u);
+  EXPECT_EQ(stats.count(CellType::kSfqToDc), 2u);
+  EXPECT_EQ(stats.jj_count, 4u + 2 * 8u);
+  EXPECT_NEAR(stats.static_power_uw, 1.4 + 2 * 2.9071428571428571, 1e-9);
+  EXPECT_EQ(stats.data_splitters + stats.clock_splitters, 1u);
+}
+
+}  // namespace
+}  // namespace sfqecc::circuit

@@ -1,0 +1,90 @@
+#include "circuit/netlist_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/encoder_builder.hpp"
+#include "code/hamming.hpp"
+
+namespace sfqecc::circuit {
+namespace {
+
+BuiltEncoder h84() {
+  return build_encoder(code::paper_hamming84(), coldflux_library());
+}
+
+TEST(NetlistExport, SpiceListsEveryCell) {
+  const BuiltEncoder built = h84();
+  const std::string spice = to_spice(built.netlist);
+  // One X line per cell.
+  std::size_t instances = 0;
+  for (std::size_t pos = 0; (pos = spice.find("\nX", pos)) != std::string::npos; ++pos)
+    ++instances;
+  EXPECT_EQ(instances, built.netlist.cell_count());
+  EXPECT_NE(spice.find("LSMITLL_XORT"), std::string::npos);
+  EXPECT_NE(spice.find("LSMITLL_DFFT"), std::string::npos);
+  EXPECT_NE(spice.find("LSMITLL_SPLITT"), std::string::npos);
+  EXPECT_NE(spice.find("LSMITLL_SFQDC"), std::string::npos);
+  EXPECT_NE(spice.find(".end"), std::string::npos);
+}
+
+TEST(NetlistExport, SpiceDeclaresPorts) {
+  const std::string spice = to_spice(h84().netlist);
+  for (const char* port : {"m1", "m2", "m3", "m4", "clk"})
+    EXPECT_NE(spice.find(std::string(".input ") + port), std::string::npos) << port;
+  for (int j = 1; j <= 8; ++j)
+    EXPECT_NE(spice.find(".output c" + std::to_string(j)), std::string::npos);
+}
+
+TEST(NetlistExport, SpiceClockedCellsReferenceClockNode) {
+  const BuiltEncoder built = h84();
+  const std::string spice = to_spice(built.netlist);
+  // Every XOR instance line must have 4 node refs (a, b, clk-tree node, out).
+  std::istringstream in(spice);
+  std::string line;
+  std::size_t xor_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("Xxor_", 0) != 0) continue;
+    ++xor_lines;
+    std::istringstream fields(line);
+    std::string tok;
+    std::size_t count = 0;
+    while (fields >> tok) ++count;
+    EXPECT_EQ(count, 6u) << line;  // name, subckt, a, b, clk, out
+  }
+  EXPECT_EQ(xor_lines, 6u);
+}
+
+TEST(NetlistExport, SpiceIsDeterministic) {
+  EXPECT_EQ(to_spice(h84().netlist), to_spice(h84().netlist));
+}
+
+TEST(NetlistExport, DotHasNodesAndEdges) {
+  const BuiltEncoder built = h84();
+  const std::string dot = to_dot(built.netlist);
+  EXPECT_EQ(dot.rfind("digraph", 0), 0u);
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+  EXPECT_NE(dot.find("shape=triangle"), std::string::npos);     // inputs
+  EXPECT_NE(dot.find("shape=invtriangle"), std::string::npos);  // outputs
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);       // clock edges
+  // Edge count >= number of sinks.
+  std::size_t edges = 0;
+  for (std::size_t pos = 0; (pos = dot.find("->", pos)) != std::string::npos; ++pos)
+    ++edges;
+  std::size_t sinks = 0;
+  for (const Net& net : built.netlist.nets()) sinks += net.sinks.size();
+  EXPECT_GE(edges, sinks);
+}
+
+TEST(NetlistExport, DotSanitizesNames) {
+  Netlist nl("weird name!");
+  const NetId a = nl.add_primary_input("a net");
+  nl.add_cell(CellType::kJtl, "j/0", {a}, {"out-1"});
+  const std::string dot = to_dot(nl);
+  EXPECT_EQ(dot.find("a net"), std::string::npos);
+  EXPECT_NE(dot.find("a_net"), std::string::npos);
+  const std::string spice = to_spice(nl);
+  EXPECT_NE(spice.find("Xj_0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfqecc::circuit

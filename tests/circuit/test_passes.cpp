@@ -1,0 +1,170 @@
+// Tests for the balancing, fan-out legalization and clock-tree passes.
+#include <gtest/gtest.h>
+
+#include "circuit/balance.hpp"
+#include "circuit/clock_tree.hpp"
+#include "circuit/fanout.hpp"
+#include "circuit/xor_synth.hpp"
+#include "code/hamming.hpp"
+#include "code/reed_muller.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace sfqecc::circuit {
+namespace {
+
+// ----------------------------------------------------------------- balance --
+
+TEST(Balance, Hamming84NeedsEightDffs) {
+  const XorProgram p = synthesize_paar(code::paper_hamming84().generator());
+  EXPECT_EQ(balancing_dff_count(p, p.depth()), 8u);  // Table II
+}
+
+TEST(Balance, Hamming74NeedsEightDffs) {
+  const XorProgram p = synthesize_paar(code::paper_hamming74().generator());
+  EXPECT_EQ(balancing_dff_count(p, p.depth()), 8u);
+}
+
+TEST(Balance, Rm13NeedsSevenDffs) {
+  const XorProgram p = synthesize_paar(code::paper_rm13().generator());
+  EXPECT_EQ(balancing_dff_count(p, p.depth()), 7u);
+}
+
+TEST(Balance, ChainsAreSharedAcrossConsumers) {
+  // In Hamming(8,4) every message bit needs both a depth-1 copy (XOR arm) and
+  // a depth-2 copy (pass-through output): one chain of two DFFs each, taps at
+  // both depths — not three DFFs.
+  const XorProgram p = synthesize_paar(code::paper_hamming84().generator());
+  const auto taps = balancing_taps(p, p.depth());
+  std::size_t input_chains = 0;
+  for (const SignalTaps& st : taps) {
+    if (st.signal < 4) {
+      ++input_chains;
+      EXPECT_EQ(st.native_depth, 0u);
+      EXPECT_EQ(st.taps, (std::vector<std::size_t>{1, 2}));
+    }
+  }
+  EXPECT_EQ(input_chains, 4u);
+}
+
+TEST(Balance, ExtraPipelineStagesAddDffs) {
+  const XorProgram p = synthesize_paar(code::paper_hamming84().generator());
+  const std::size_t base = balancing_dff_count(p, p.depth());
+  // One extra stage adds one DFF per codeword output.
+  EXPECT_EQ(balancing_dff_count(p, p.depth() + 1), base + 8u);
+}
+
+TEST(Balance, TargetBelowDepthRejected) {
+  const XorProgram p = synthesize_paar(code::paper_hamming84().generator());
+  EXPECT_THROW(balancing_taps(p, p.depth() - 1), ContractViolation);
+}
+
+TEST(Balance, IdentityProgramNeedsNoDffs) {
+  std::vector<SignalRef> outs;
+  for (std::size_t i = 0; i < 4; ++i) outs.push_back(SignalRef{false, i});
+  const XorProgram p(4, {}, outs);
+  EXPECT_EQ(balancing_dff_count(p, 0), 0u);
+}
+
+// ------------------------------------------------------------------ fanout --
+
+TEST(Fanout, SplitterTreeCounts) {
+  // f sinks need f-1 splitters, any f.
+  for (std::size_t f = 2; f <= 9; ++f) {
+    Netlist nl("t");
+    const NetId a = nl.add_primary_input("a");
+    for (std::size_t i = 0; i < f; ++i)
+      nl.add_cell(CellType::kJtl, "j" + std::to_string(i), {a}, {"o" + std::to_string(i)});
+    const std::size_t inserted = legalize_fanout(nl);
+    EXPECT_EQ(inserted, f - 1);
+    EXPECT_TRUE(nl.obeys_fanout_discipline());
+    nl.validate(false);
+    EXPECT_EQ(nl.count_cells(CellType::kSplitter), f - 1);
+  }
+}
+
+TEST(Fanout, SingleSinkUntouched) {
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  nl.add_cell(CellType::kJtl, "j", {a}, {"o"});
+  EXPECT_EQ(legalize_fanout(nl), 0u);
+  EXPECT_EQ(nl.count_cells(CellType::kSplitter), 0u);
+}
+
+TEST(Fanout, TreeDepthIsLogarithmic) {
+  // 8 sinks: balanced tree of depth 3, not a chain of depth 7.
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  std::vector<CellId> sinks;
+  for (std::size_t i = 0; i < 8; ++i)
+    sinks.push_back(
+        nl.add_cell(CellType::kJtl, "j" + std::to_string(i), {a}, {"o" + std::to_string(i)}));
+  legalize_fanout(nl);
+  // Depth of each sink = number of splitters between it and `a`.
+  for (CellId sink : sinks) {
+    std::size_t depth = 0;
+    NetId net = nl.cell(sink).inputs[0];
+    while (nl.net(net).driver_cell != kInvalidId) {
+      ++depth;
+      net = nl.cell(nl.net(net).driver_cell).inputs[0];
+    }
+    EXPECT_EQ(depth, 3u);
+  }
+}
+
+TEST(Fanout, PreservesConnectivitySemantics) {
+  // After legalization every original sink is still reachable from the
+  // original driver through splitters only.
+  util::Rng rng(31);
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const std::size_t f = 5;
+  std::vector<CellId> consumers;
+  for (std::size_t i = 0; i < f; ++i)
+    consumers.push_back(
+        nl.add_cell(CellType::kJtl, "j" + std::to_string(i), {a}, {"o" + std::to_string(i)}));
+  legalize_fanout(nl);
+  for (CellId consumer : consumers) {
+    NetId net = nl.cell(consumer).inputs[0];
+    while (nl.net(net).driver_cell != kInvalidId) {
+      const Cell& driver = nl.cell(nl.net(net).driver_cell);
+      EXPECT_EQ(driver.type, CellType::kSplitter);
+      net = driver.inputs[0];
+    }
+    EXPECT_EQ(net, a);
+  }
+}
+
+// -------------------------------------------------------------- clock tree --
+
+TEST(ClockTree, AttachesAllClockedCells) {
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const NetId b = nl.add_primary_input("b");
+  nl.add_cell(CellType::kXor, "x", {a, b}, {"o1"});
+  nl.add_cell(CellType::kDff, "d", {a}, {"o2"});
+  nl.add_cell(CellType::kJtl, "j", {b}, {"o3"});  // unclocked
+  const NetId clk = nl.add_primary_input("clk");
+  EXPECT_EQ(clocked_cell_count(nl), 2u);
+  EXPECT_EQ(attach_clock(nl, clk), 2u);
+  nl.validate(true);
+  // Re-attaching is a no-op.
+  EXPECT_EQ(attach_clock(nl, clk), 0u);
+}
+
+TEST(ClockTree, FanoutLegalizationBuildsClockSplitters) {
+  // n clocked cells -> n-1 clock splitters after legalization.
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  for (std::size_t i = 0; i < 14; ++i)
+    nl.add_cell(CellType::kDff, "d" + std::to_string(i), {a}, {"q" + std::to_string(i)});
+  const NetId clk = nl.add_primary_input("clk");
+  attach_clock(nl, clk);
+  legalize_fanout(nl);
+  nl.validate(true);
+  // 13 splitters for 14 clock sinks plus 13 for the 14 data sinks on `a`.
+  EXPECT_EQ(nl.count_cells(CellType::kSplitter), 26u);
+}
+
+}  // namespace
+}  // namespace sfqecc::circuit

@@ -1,0 +1,174 @@
+#include "circuit/xor_synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "code/code3832.hpp"
+#include "code/hamming.hpp"
+#include "code/reed_muller.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace sfqecc::circuit {
+namespace {
+
+using code::BitVec;
+using code::Gf2Matrix;
+
+/// Evaluation of every program must equal plain matrix multiplication.
+void expect_program_matches_matrix(const XorProgram& program, const Gf2Matrix& g) {
+  for (std::uint64_t m = 0; m < (1ULL << g.rows()); ++m) {
+    const BitVec msg = BitVec::from_u64(g.rows(), m);
+    EXPECT_EQ(program.evaluate(msg), g.mul_left(msg)) << "message " << m;
+  }
+}
+
+TEST(XorSynth, PaarHamming84CountsAndDepth) {
+  const auto g = code::paper_hamming84().generator();
+  const XorProgram p = synthesize_paar(g);
+  EXPECT_EQ(p.xor_count(), 6u);  // Table II
+  EXPECT_EQ(p.depth(), 2u);      // "logic depth is equal to two"
+  expect_program_matches_matrix(p, g);
+}
+
+TEST(XorSynth, PaarHamming74CountsAndDepth) {
+  const auto g = code::paper_hamming74().generator();
+  const XorProgram p = synthesize_paar(g);
+  EXPECT_EQ(p.xor_count(), 5u);
+  EXPECT_EQ(p.depth(), 2u);
+  expect_program_matches_matrix(p, g);
+}
+
+TEST(XorSynth, PaarRm13CountsAndDepth) {
+  const auto g = code::paper_rm13().generator();
+  const XorProgram p = synthesize_paar(g);
+  EXPECT_EQ(p.xor_count(), 8u);
+  EXPECT_EQ(p.depth(), 2u);
+  expect_program_matches_matrix(p, g);
+}
+
+TEST(XorSynth, PaarIsDeterministic) {
+  const auto g = code::paper_rm13().generator();
+  const XorProgram a = synthesize_paar(g);
+  const XorProgram b = synthesize_paar(g);
+  ASSERT_EQ(a.xor_count(), b.xor_count());
+  for (std::size_t i = 0; i < a.ops().size(); ++i) {
+    EXPECT_EQ(a.ops()[i].a, b.ops()[i].a);
+    EXPECT_EQ(a.ops()[i].b, b.ops()[i].b);
+  }
+}
+
+TEST(XorSynth, TreeNoSharingCounts) {
+  // Without sharing: sum over columns of (weight - 1).
+  const auto g = code::paper_hamming84().generator();
+  const XorProgram p = synthesize_tree(g);
+  // Column weights: c1..c8 = 3,3,1,3,1,1,1,3 -> XORs = 2+2+0+2+0+0+0+2 = 8.
+  EXPECT_EQ(p.xor_count(), 8u);
+  EXPECT_EQ(p.depth(), 2u);  // balanced trees of 3 leaves have depth 2
+  expect_program_matches_matrix(p, g);
+}
+
+TEST(XorSynth, ChainDepthEqualsWeightMinusOne) {
+  const auto g = code::paper_rm13().generator();
+  const XorProgram p = synthesize_chain(g);
+  EXPECT_EQ(p.depth(), 3u);  // c8 has weight 4
+  expect_program_matches_matrix(p, g);
+}
+
+TEST(XorSynth, PaarNeverWorseThanTree) {
+  util::Rng rng(21);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t k = 3 + rng.below(4);
+    const std::size_t n = k + 1 + rng.below(6);
+    Gf2Matrix g(k, n);
+    for (std::size_t c = 0; c < n; ++c) {
+      // Ensure nonzero columns.
+      bool any = false;
+      for (std::size_t r = 0; r < k; ++r) {
+        const bool bit = rng.bernoulli(0.5);
+        g.set(r, c, bit);
+        any = any || bit;
+      }
+      if (!any) g.set(rng.below(k), c, true);
+    }
+    const XorProgram paar = synthesize_paar(g);
+    const XorProgram tree = synthesize_tree(g);
+    EXPECT_LE(paar.xor_count(), tree.xor_count());
+    EXPECT_EQ(paar.depth(), tree.depth()) << "Paar is depth-bounded to the minimum";
+    expect_program_matches_matrix(paar, g);
+    expect_program_matches_matrix(tree, g);
+    expect_program_matches_matrix(synthesize_chain(g), g);
+  }
+}
+
+TEST(XorSynth, OptimalMatchesPaarOnPaperCodes) {
+  // Exhaustive search confirms Paar's gate counts are optimal (even allowing
+  // cancellation) for the two Hamming encoders.
+  const XorProgram h74 = synthesize_optimal(code::paper_hamming74().generator(), 5);
+  EXPECT_EQ(h74.xor_count(), 5u);
+  expect_program_matches_matrix(h74, code::paper_hamming74().generator());
+
+  const XorProgram h84 = synthesize_optimal(code::paper_hamming84().generator(), 6);
+  EXPECT_EQ(h84.xor_count(), 6u);
+  expect_program_matches_matrix(h84, code::paper_hamming84().generator());
+}
+
+TEST(XorSynth, OptimalNeverWorseThanPaarRandomized) {
+  util::Rng rng(22);
+  for (int trial = 0; trial < 10; ++trial) {
+    Gf2Matrix g(4, 5);
+    for (std::size_t c = 0; c < 5; ++c) {
+      bool any = false;
+      for (std::size_t r = 0; r < 4; ++r) {
+        const bool bit = rng.bernoulli(0.5);
+        g.set(r, c, bit);
+        any = any || bit;
+      }
+      if (!any) g.set(rng.below(4), c, true);
+    }
+    const XorProgram paar = synthesize_paar(g);
+    const XorProgram opt = synthesize_optimal(g, paar.xor_count());
+    EXPECT_LE(opt.xor_count(), paar.xor_count());
+    expect_program_matches_matrix(opt, g);
+  }
+}
+
+TEST(XorSynth, ZeroColumnRejected) {
+  Gf2Matrix g(2, 2);
+  g.set(0, 0, true);  // column 1 is zero
+  EXPECT_THROW(synthesize_paar(g), ContractViolation);
+  EXPECT_THROW(synthesize_tree(g), ContractViolation);
+  EXPECT_THROW(synthesize_chain(g), ContractViolation);
+}
+
+TEST(XorSynth, SignalSupportTracksColumns) {
+  const auto g = code::paper_hamming84().generator();
+  const XorProgram p = synthesize_paar(g);
+  for (std::size_t j = 0; j < p.outputs().size(); ++j) {
+    const BitVec support = p.signal_support(p.outputs()[j]);
+    EXPECT_EQ(support, g.column(j)) << "output " << j;
+  }
+}
+
+TEST(XorSynth, LargeBaselineCodeSynthesizes) {
+  // The (38,32) baseline of [14]: synthesis must stay cancellation-free
+  // correct. Check via 100 random messages (2^32 is too many to enumerate).
+  const auto g = code::code3832().generator();
+  const XorProgram p = synthesize_paar(g);
+  EXPECT_GT(p.xor_count(), 0u);
+  util::Rng rng(23);
+  for (int trial = 0; trial < 100; ++trial) {
+    BitVec msg(32);
+    for (std::size_t i = 0; i < 32; ++i) msg.set(i, rng.bernoulli(0.5));
+    EXPECT_EQ(p.evaluate(msg), g.mul_left(msg));
+  }
+}
+
+TEST(XorSynth, DepthZeroForIdentity) {
+  const Gf2Matrix id = Gf2Matrix::identity(4);
+  const XorProgram p = synthesize_paar(id);
+  EXPECT_EQ(p.xor_count(), 0u);
+  EXPECT_EQ(p.depth(), 0u);
+}
+
+}  // namespace
+}  // namespace sfqecc::circuit

@@ -1,0 +1,198 @@
+// GF(2^m) arithmetic and BCH encode/decode tests.
+#include "code/bch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "code/gf2m.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace sfqecc::code {
+namespace {
+
+// ---------------------------------------------------------------- GF(2^m) --
+
+TEST(Gf2m, FieldAxiomsGf16) {
+  const Gf2mField f(4);
+  EXPECT_EQ(f.order(), 15u);
+  for (std::uint32_t a = 1; a <= f.order(); ++a) {
+    EXPECT_EQ(f.mul(a, f.inv(a)), 1u) << "a=" << a;
+    EXPECT_EQ(f.mul(a, 1), a);
+    EXPECT_EQ(f.add(a, a), 0u);  // characteristic 2
+  }
+}
+
+TEST(Gf2m, MultiplicationCommutesAndAssociates) {
+  const Gf2mField f(5);
+  util::Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<std::uint32_t>(rng.below(f.order() + 1));
+    const auto b = static_cast<std::uint32_t>(rng.below(f.order() + 1));
+    const auto c = static_cast<std::uint32_t>(rng.below(f.order() + 1));
+    EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+    EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+    // Distributivity.
+    EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+  }
+}
+
+TEST(Gf2m, AlphaGeneratesTheField) {
+  for (unsigned m = 2; m <= 10; ++m) {
+    const Gf2mField f(m);
+    std::vector<bool> seen(f.order() + 1, false);
+    for (std::uint32_t e = 0; e < f.order(); ++e) {
+      const std::uint32_t v = f.alpha_pow(e);
+      EXPECT_FALSE(seen[v]) << "m=" << m;
+      seen[v] = true;
+    }
+  }
+}
+
+TEST(Gf2m, LogExpRoundTrip) {
+  const Gf2mField f(6);
+  for (std::uint32_t a = 1; a <= f.order(); ++a)
+    EXPECT_EQ(f.alpha_pow(f.log(a)), a);
+}
+
+TEST(Gf2m, PowMatchesRepeatedMul) {
+  const Gf2mField f(4);
+  for (std::uint32_t a = 1; a <= f.order(); ++a) {
+    std::uint32_t acc = 1;
+    for (unsigned e = 0; e < 6; ++e) {
+      EXPECT_EQ(f.pow(a, e), acc);
+      acc = f.mul(acc, a);
+    }
+  }
+}
+
+TEST(Gf2m, MinimalPolynomialOfAlphaIsPrimitive) {
+  const Gf2mField f(4);
+  const Gf2Poly mp = minimal_polynomial(f, 1);
+  // x^4 + x + 1 -> coefficients (1,1,0,0,1).
+  const Gf2Poly expected{1, 1, 0, 0, 1};
+  EXPECT_EQ(mp, expected);
+}
+
+TEST(Gf2m, MinimalPolynomialsHaveConjugateDegree) {
+  const Gf2mField f(4);
+  EXPECT_EQ(poly_degree(minimal_polynomial(f, 3)), 4u);
+  EXPECT_EQ(poly_degree(minimal_polynomial(f, 5)), 2u);  // alpha^5 has order 3
+  EXPECT_EQ(poly_degree(minimal_polynomial(f, 7)), 4u);
+}
+
+TEST(Gf2m, PolyMulMod) {
+  // (x+1)(x^2+x+1) = x^3+1 over GF(2).
+  const Gf2Poly a{1, 1};
+  const Gf2Poly b{1, 1, 1};
+  const Gf2Poly p = poly_mul(a, b);
+  const Gf2Poly expected{1, 0, 0, 1};
+  EXPECT_EQ(p, expected);
+  // (x^3+1) mod (x^2+x+1) = (x+1)(x^2+x+1) mod ... = 0? No: x^3+1 = (x+1)(x^2+x+1), so remainder 0.
+  const Gf2Poly r = poly_mod(p, b);
+  EXPECT_EQ(poly_degree(r), static_cast<std::size_t>(-1));
+}
+
+// -------------------------------------------------------------------- BCH --
+
+TEST(Bch, Bch15ShapeFamily) {
+  // Classic narrow-sense BCH codes of length 15.
+  EXPECT_EQ(BchCode(4, 3).k(), 11u);   // BCH(15,11,3) == Hamming
+  EXPECT_EQ(BchCode(4, 5).k(), 7u);    // BCH(15,7,5)
+  EXPECT_EQ(BchCode(4, 7).k(), 5u);    // BCH(15,5,7)
+}
+
+TEST(Bch, Bch31Shapes) {
+  EXPECT_EQ(BchCode(5, 3).k(), 26u);
+  EXPECT_EQ(BchCode(5, 5).k(), 21u);
+  EXPECT_EQ(BchCode(5, 7).k(), 16u);
+}
+
+TEST(Bch, EncodeIsSystematic) {
+  const BchCode bch(4, 5);
+  util::Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const BitVec m = BitVec::from_u64(7, rng.below(128));
+    const BitVec cw = bch.encode(m);
+    EXPECT_EQ(cw.slice(0, 7), m);
+  }
+}
+
+TEST(Bch, LinearCodeBridgeAgrees) {
+  const BchCode bch(4, 5);
+  const LinearCode lc = bch.to_linear_code();
+  EXPECT_EQ(lc.n(), 15u);
+  EXPECT_EQ(lc.k(), 7u);
+  EXPECT_EQ(lc.dmin(), 5u);  // designed distance met exactly for BCH(15,7)
+  for (std::uint64_t m = 0; m < 128; ++m) {
+    const BitVec msg = BitVec::from_u64(7, m);
+    EXPECT_EQ(lc.encode(msg), bch.encode(msg));
+  }
+}
+
+TEST(Bch, DecodesUpToTErrors) {
+  const BchCode bch(4, 5);  // t = 2
+  util::Rng rng(3);
+  for (int trial = 0; trial < 300; ++trial) {
+    const BitVec m = BitVec::from_u64(7, rng.below(128));
+    BitVec rx = bch.encode(m);
+    const std::size_t nerr = rng.below(3);  // 0..2
+    std::set<std::size_t> positions;
+    while (positions.size() < nerr) positions.insert(rng.below(15));
+    for (std::size_t p : positions) rx.flip(p);
+    const DecodeResult r = bch.decode(rx);
+    EXPECT_EQ(r.message, m) << "errors at " << nerr;
+    EXPECT_NE(r.status, DecodeStatus::kDetected);
+    EXPECT_EQ(r.bits_flipped, nerr);
+  }
+}
+
+TEST(Bch, TripleErrorNotSilentlyAccepted) {
+  // t = 2: three errors either get flagged or miscorrect to a valid codeword;
+  // decoded output must always be a codeword when accepted.
+  const BchCode bch(4, 5);
+  const LinearCode lc = bch.to_linear_code();
+  util::Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    const BitVec m = BitVec::from_u64(7, rng.below(128));
+    BitVec rx = bch.encode(m);
+    std::set<std::size_t> positions;
+    while (positions.size() < 3) positions.insert(rng.below(15));
+    for (std::size_t p : positions) rx.flip(p);
+    const DecodeResult r = bch.decode(rx);
+    if (r.status == DecodeStatus::kCorrected) EXPECT_TRUE(lc.is_codeword(r.codeword));
+  }
+}
+
+TEST(Bch, HigherTCorrection) {
+  const BchCode bch(5, 7);  // BCH(31,16,7), t = 3
+  util::Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    BitVec m(16);
+    for (std::size_t i = 0; i < 16; ++i) m.set(i, rng.bernoulli(0.5));
+    BitVec rx = bch.encode(m);
+    std::set<std::size_t> positions;
+    while (positions.size() < 3) positions.insert(rng.below(31));
+    for (std::size_t p : positions) rx.flip(p);
+    EXPECT_EQ(bch.decode(rx).message, m);
+  }
+}
+
+TEST(Bch, RejectsBadParameters) {
+  EXPECT_THROW(BchCode(4, 4), ContractViolation);   // even distance
+  EXPECT_THROW(BchCode(4, 1), ContractViolation);   // too small
+  EXPECT_THROW(BchCode(4, 17), ContractViolation);  // exceeds length
+}
+
+TEST(Bch, Bch15_11IsHammingEquivalent) {
+  // BCH with delta = 3 is the Hamming code up to coordinate labelling: same
+  // (n, k, dmin).
+  const LinearCode bch = BchCode(4, 3).to_linear_code();
+  EXPECT_EQ(bch.n(), 15u);
+  EXPECT_EQ(bch.k(), 11u);
+  EXPECT_EQ(bch.dmin(), 3u);
+}
+
+}  // namespace
+}  // namespace sfqecc::code

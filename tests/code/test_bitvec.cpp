@@ -1,0 +1,185 @@
+#include "code/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace sfqecc::code {
+namespace {
+
+TEST(BitVec, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.is_zero());
+}
+
+TEST(BitVec, ConstructedZeroed) {
+  BitVec v(130);  // spans three words
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_TRUE(v.is_zero());
+  EXPECT_EQ(v.weight(), 0u);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVec, SetGetFlip) {
+  BitVec v(100);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(99, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(99));
+  EXPECT_EQ(v.weight(), 4u);
+  v.flip(63);
+  EXPECT_FALSE(v.get(63));
+  EXPECT_EQ(v.weight(), 3u);
+  v.set(0, false);
+  EXPECT_EQ(v.weight(), 2u);
+}
+
+TEST(BitVec, OutOfRangeThrows) {
+  BitVec v(8);
+  EXPECT_THROW(v.get(8), ContractViolation);
+  EXPECT_THROW(v.set(100, true), ContractViolation);
+  EXPECT_THROW(v.flip(8), ContractViolation);
+}
+
+TEST(BitVec, FromU64RoundTrip) {
+  const BitVec v = BitVec::from_u64(8, 0b10110100);
+  EXPECT_EQ(v.to_u64(), 0b10110100u);
+  EXPECT_FALSE(v.get(0));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_TRUE(v.get(2));
+  EXPECT_EQ(v.weight(), 4u);
+}
+
+TEST(BitVec, FromU64MasksHighBits) {
+  const BitVec v = BitVec::from_u64(4, 0xFF);
+  EXPECT_EQ(v.to_u64(), 0xFu);
+  EXPECT_EQ(v.weight(), 4u);
+}
+
+TEST(BitVec, FromU64SixtyFourBits) {
+  const BitVec v = BitVec::from_u64(64, ~0ULL);
+  EXPECT_EQ(v.weight(), 64u);
+  EXPECT_EQ(v.to_u64(), ~0ULL);
+}
+
+TEST(BitVec, StringRoundTrip) {
+  const std::string s = "0110100010";
+  const BitVec v = BitVec::from_string(s);
+  EXPECT_EQ(v.to_string(), s);
+  EXPECT_EQ(v.size(), s.size());
+  EXPECT_EQ(v.weight(), 4u);
+}
+
+TEST(BitVec, FromStringRejectsGarbage) {
+  EXPECT_THROW(BitVec::from_string("01x1"), ContractViolation);
+}
+
+TEST(BitVec, XorAlgebra) {
+  const BitVec a = BitVec::from_string("1100");
+  const BitVec b = BitVec::from_string("1010");
+  EXPECT_EQ((a ^ b).to_string(), "0110");
+  EXPECT_EQ((a ^ a).weight(), 0u);  // self-inverse
+  BitVec c = a;
+  c ^= b;
+  c ^= b;
+  EXPECT_EQ(c, a);  // involution
+}
+
+TEST(BitVec, XorSizeMismatchThrows) {
+  BitVec a(4), b(5);
+  EXPECT_THROW(a ^= b, ContractViolation);
+}
+
+TEST(BitVec, AndAndDot) {
+  const BitVec a = BitVec::from_string("1101");
+  const BitVec b = BitVec::from_string("1011");
+  EXPECT_EQ((a & b).to_string(), "1001");
+  EXPECT_FALSE(a.dot(b));  // two common ones -> even parity
+  const BitVec c = BitVec::from_string("1000");
+  EXPECT_TRUE(a.dot(c));
+}
+
+TEST(BitVec, Parity) {
+  EXPECT_TRUE(BitVec::from_string("10101").parity());
+  EXPECT_FALSE(BitVec::from_string("1001").parity());
+  EXPECT_FALSE(BitVec(7).parity());
+}
+
+TEST(BitVec, ConcatAndSlice) {
+  const BitVec a = BitVec::from_string("101");
+  const BitVec b = BitVec::from_string("0110");
+  const BitVec c = a.concat(b);
+  EXPECT_EQ(c.to_string(), "1010110");
+  EXPECT_EQ(c.slice(0, 3), a);
+  EXPECT_EQ(c.slice(3, 4), b);
+  EXPECT_THROW(c.slice(4, 4), ContractViolation);
+}
+
+TEST(BitVec, SliceAcrossWordBoundary) {
+  BitVec v(100);
+  v.set(60, true);
+  v.set(70, true);
+  const BitVec s = v.slice(58, 20);
+  EXPECT_EQ(s.weight(), 2u);
+  EXPECT_TRUE(s.get(2));
+  EXPECT_TRUE(s.get(12));
+}
+
+TEST(BitVec, Support) {
+  const BitVec v = BitVec::from_string("0101001");
+  const std::vector<std::size_t> expected{1, 3, 6};
+  EXPECT_EQ(v.support(), expected);
+}
+
+TEST(BitVec, EqualityIncludesSize) {
+  EXPECT_NE(BitVec(4), BitVec(5));
+  EXPECT_EQ(BitVec::from_string("0101"), BitVec::from_u64(4, 0b1010));
+}
+
+TEST(BitVec, HashDistinguishesContent) {
+  const BitVec a = BitVec::from_string("0101");
+  const BitVec b = BitVec::from_string("0111");
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), BitVec::from_string("0101").hash());
+}
+
+TEST(BitVec, WeightMatchesPopcountRandomized) {
+  util::Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t size = 1 + rng.below(200);
+    BitVec v(size);
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+      if (rng.bernoulli(0.4)) {
+        if (!v.get(i)) ++expected;
+        v.set(i, true);
+      }
+    }
+    EXPECT_EQ(v.weight(), expected);
+  }
+}
+
+TEST(BitVec, DotIsBilinearRandomized) {
+  util::Rng rng(43);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t size = 1 + rng.below(120);
+    auto random_vec = [&] {
+      BitVec v(size);
+      for (std::size_t i = 0; i < size; ++i) v.set(i, rng.bernoulli(0.5));
+      return v;
+    };
+    const BitVec a = random_vec(), b = random_vec(), c = random_vec();
+    // <a ^ b, c> == <a, c> ^ <b, c>
+    EXPECT_EQ((a ^ b).dot(c), a.dot(c) != b.dot(c));
+  }
+}
+
+}  // namespace
+}  // namespace sfqecc::code

@@ -1,0 +1,108 @@
+// Tests for the (38,32) baseline code of Peng et al. [14].
+#include "code/code3832.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "code/decoder.hpp"
+#include "util/rng.hpp"
+
+namespace sfqecc::code {
+namespace {
+
+TEST(Code3832, Shape) {
+  const LinearCode c = code3832();
+  EXPECT_EQ(c.n(), 38u);
+  EXPECT_EQ(c.k(), 32u);
+  EXPECT_EQ(c.parity_bits(), 6u);
+  EXPECT_EQ(c.dmin(), 3u);
+}
+
+TEST(Code3832, SystematicLayout) {
+  const LinearCode c = code3832();
+  util::Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitVec m(32);
+    for (std::size_t i = 0; i < 32; ++i) m.set(i, rng.bernoulli(0.5));
+    const BitVec cw = c.encode(m);
+    EXPECT_EQ(cw.slice(0, 32), m);
+  }
+}
+
+TEST(Code3832, DminLowerBoundColumnsDistinct) {
+  // dmin >= 3 iff all parity-check columns are nonzero and pairwise distinct.
+  const LinearCode c = code3832();
+  const Gf2Matrix h = c.parity_check();
+  std::set<std::uint64_t> seen;
+  for (std::size_t col = 0; col < 38; ++col) {
+    const BitVec v = h.column(col);
+    EXPECT_FALSE(v.is_zero()) << "column " << col;
+    EXPECT_TRUE(seen.insert(v.to_u64()).second) << "duplicate column " << col;
+  }
+}
+
+TEST(Code3832, DminUpperBoundExplicitWeight3Codeword) {
+  // Message flipping data bits whose columns are 0b000011, 0b000101, 0b000110
+  // (data columns 0, 1, 2 in our low-weight-first order) encodes to weight 3:
+  // the parities cancel pairwise.
+  const LinearCode c = code3832();
+  BitVec m(32);
+  m.set(0, true);
+  m.set(1, true);
+  m.set(2, true);
+  const BitVec cw = c.encode(m);
+  EXPECT_EQ(cw.weight(), 3u);
+}
+
+TEST(Code3832, CorrectsAllSingleErrors) {
+  const LinearCode c = code3832();
+  const SyndromeDecoder dec(c);
+  util::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    BitVec m(32);
+    for (std::size_t i = 0; i < 32; ++i) m.set(i, rng.bernoulli(0.5));
+    const BitVec cw = c.encode(m);
+    for (std::size_t pos = 0; pos < 38; ++pos) {
+      BitVec rx = cw;
+      rx.flip(pos);
+      const DecodeResult r = dec.decode(rx);
+      EXPECT_EQ(r.message, m) << "position " << pos;
+      EXPECT_EQ(r.status, DecodeStatus::kCorrected);
+    }
+  }
+}
+
+TEST(Code3832, DetectsAllDoubleErrorsInDetectMode) {
+  // [14] claims 2-bit detection; with dmin = 3 this holds in detect-only
+  // operation (no weight-2 codewords).
+  const LinearCode c = code3832();
+  util::Rng rng(3);
+  BitVec m(32);
+  for (std::size_t i = 0; i < 32; ++i) m.set(i, rng.bernoulli(0.5));
+  const BitVec cw = c.encode(m);
+  for (std::size_t i = 0; i < 38; ++i)
+    for (std::size_t j = i + 1; j < 38; ++j) {
+      BitVec rx = cw;
+      rx.flip(i);
+      rx.flip(j);
+      EXPECT_FALSE(c.is_codeword(rx)) << i << "," << j;
+    }
+}
+
+TEST(Code3832, SyndromeTableComplete) {
+  const LinearCode c = code3832();
+  const auto& leaders = c.coset_leaders();
+  ASSERT_EQ(leaders.size(), 64u);
+  // 38 single-bit cosets + zero coset; the remaining 25 have weight-2 leaders.
+  std::size_t w1 = 0, w2 = 0;
+  for (const BitVec& l : leaders) {
+    if (l.weight() == 1) ++w1;
+    if (l.weight() == 2) ++w2;
+  }
+  EXPECT_EQ(w1, 38u);
+  EXPECT_EQ(w2, 25u);
+}
+
+}  // namespace
+}  // namespace sfqecc::code

@@ -1,0 +1,153 @@
+// Exhaustive error-pattern analysis: these tests pin down the numbers behind
+// the paper's Table I and Section II claims.
+#include "code/code_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "code/hamming.hpp"
+#include "code/reed_muller.hpp"
+#include "util/rng.hpp"
+
+namespace sfqecc::code {
+namespace {
+
+std::size_t binom(std::size_t n, std::size_t k) {
+  std::size_t r = 1;
+  for (std::size_t i = 0; i < k; ++i) r = r * (n - i) / (i + 1);
+  return r;
+}
+
+TEST(CodeAnalysis, H74SyndromePerWeight) {
+  const LinearCode h74 = paper_hamming74();
+  const SyndromeDecoder dec(h74);
+  const auto a = analyze_error_patterns(dec, 3);
+  ASSERT_EQ(a.by_weight.size(), 3u);
+  // Weight 1: all 7 corrected.
+  EXPECT_EQ(a.by_weight[0].corrected, 7u);
+  // Weight 2: all 21 miscorrected (perfect code).
+  EXPECT_EQ(a.by_weight[1].miscorrected, 21u);
+  // Weight 3: 7 are codewords (invisible), 28 miscorrect.
+  EXPECT_EQ(a.by_weight[2].undetected, 7u);
+  EXPECT_EQ(a.by_weight[2].miscorrected, 28u);
+  EXPECT_EQ(a.guaranteed_correct, 1u);
+  EXPECT_EQ(a.guaranteed_safe, 1u);
+}
+
+TEST(CodeAnalysis, H84SecDedPerWeight) {
+  const LinearCode h84 = paper_hamming84();
+  const LinearCode h74 = paper_hamming74();
+  const ExtendedHammingDecoder dec(h84, h74);
+  const auto a = analyze_error_patterns(dec, 4);
+  EXPECT_EQ(a.by_weight[0].corrected, 8u);    // all singles
+  EXPECT_EQ(a.by_weight[1].detected, 28u);    // all doubles
+  EXPECT_EQ(a.by_weight[2].miscorrected, 56u);// all triples alias to singles
+  EXPECT_EQ(a.by_weight[3].undetected, 14u);  // A4 = 14 codewords
+  EXPECT_EQ(a.guaranteed_correct, 1u);
+  EXPECT_EQ(a.guaranteed_safe, 2u);
+}
+
+TEST(CodeAnalysis, Rm13MlTieFlaggingPerWeight) {
+  const LinearCode rm = paper_rm13();
+  const RmFhtDecoder dec(rm);
+  const auto a = analyze_error_patterns(dec, 2);
+  EXPECT_EQ(a.by_weight[0].corrected, 8u);
+  EXPECT_EQ(a.by_weight[1].detected, 28u);  // every double ties
+  EXPECT_EQ(a.guaranteed_correct, 1u);
+  EXPECT_EQ(a.guaranteed_safe, 2u);
+}
+
+TEST(CodeAnalysis, Rm13StandardArrayCorrectsSevenDoubles) {
+  // Section II-B: the recursive structure "provides the ability to correct
+  // certain 2-bit error patterns" — exactly the 7 coset leaders of weight 2.
+  const LinearCode rm = paper_rm13();
+  const SyndromeDecoder dec(rm);
+  const auto a = analyze_error_patterns(dec, 2);
+  EXPECT_EQ(a.by_weight[1].corrected, 7u);
+  EXPECT_EQ(a.by_weight[1].patterns, 28u);
+  EXPECT_EQ(a.best_correct, 2u);
+}
+
+TEST(CodeAnalysis, Rm13TiebreakFhtAlsoCorrectsDoubles) {
+  const LinearCode rm = paper_rm13();
+  const RmFhtDecoder dec(rm, /*flag_ties=*/false);
+  const auto a = analyze_error_patterns(dec, 2);
+  EXPECT_EQ(a.by_weight[1].corrected + a.by_weight[1].miscorrected, 28u);
+  EXPECT_EQ(a.by_weight[1].corrected, 7u) << "deterministic tie-break corrects "
+                                             "one pattern per weight-2 coset";
+  EXPECT_EQ(a.best_correct, 2u);
+}
+
+TEST(CodeAnalysis, DetectionCoverageH74) {
+  // Section II-C: 28 of 35 3-bit patterns detected (80 %).
+  const LinearCode h74 = paper_hamming74();
+  const auto cov = detection_coverage(h74, 3);
+  ASSERT_EQ(cov.size(), 3u);
+  EXPECT_EQ(cov[0].detected, 7u);
+  EXPECT_EQ(cov[0].patterns, 7u);
+  EXPECT_EQ(cov[1].detected, 21u);
+  EXPECT_EQ(cov[2].detected, 28u);
+  EXPECT_EQ(cov[2].patterns, 35u);
+}
+
+TEST(CodeAnalysis, DetectionCoverageCountsBinomials) {
+  const LinearCode h84 = paper_hamming84();
+  const auto cov = detection_coverage(h84, 4);
+  for (std::size_t w = 1; w <= 4; ++w)
+    EXPECT_EQ(cov[w - 1].patterns, binom(8, w));
+  // All weights < dmin fully detected.
+  EXPECT_EQ(cov[0].detected, cov[0].patterns);
+  EXPECT_EQ(cov[1].detected, cov[1].patterns);
+  EXPECT_EQ(cov[2].detected, cov[2].patterns);
+  // Weight 4: 14 codewords invisible.
+  EXPECT_EQ(cov[3].detected, cov[3].patterns - 14);
+}
+
+TEST(CodeAnalysis, TotalsAreConserved) {
+  const LinearCode h84 = paper_hamming84();
+  const LinearCode h74 = paper_hamming74();
+  const ExtendedHammingDecoder dec(h84, h74);
+  for (const auto& w : analyze_error_patterns(dec, 8).by_weight) {
+    EXPECT_EQ(w.corrected + w.detected + w.miscorrected + w.undetected, w.patterns)
+        << "weight " << w.weight;
+    EXPECT_EQ(w.patterns, binom(8, w.weight));
+  }
+}
+
+TEST(CodeAnalysis, TranslationInvarianceJustification) {
+  // analyze_error_patterns() classifies patterns against the zero codeword;
+  // verify on random codewords that every decoder used in the benches is
+  // translation invariant.
+  const LinearCode h84 = paper_hamming84();
+  const LinearCode h74 = paper_hamming74();
+  const LinearCode rm = paper_rm13();
+  const SyndromeDecoder d74(h74);
+  const ExtendedHammingDecoder d84(h84, h74);
+  const RmFhtDecoder drm(rm, false);
+  util::Rng rng(1234);
+  for (int trial = 0; trial < 300; ++trial) {
+    const BitVec m = BitVec::from_u64(4, rng.below(16));
+    // Same random error pattern against zero and against a codeword.
+    auto check = [&](const Decoder& dec, const LinearCode& c) {
+      BitVec e(c.n());
+      for (std::size_t i = 0; i < c.n(); ++i) e.set(i, rng.bernoulli(0.3));
+      const BitVec cw = c.encode(m);
+      const DecodeResult r0 = dec.decode(e);
+      const DecodeResult rc = dec.decode(cw ^ e);
+      EXPECT_EQ(r0.status, rc.status);
+      const BitVec zero_k(c.k());
+      EXPECT_EQ(r0.message == zero_k, rc.message == m);
+    };
+    check(d74, h74);
+    check(d84, h84);
+    check(drm, rm);
+  }
+}
+
+TEST(CodeAnalysis, DefaultMaxWeightIsDminPlusOne) {
+  const LinearCode h74 = paper_hamming74();
+  const SyndromeDecoder dec(h74);
+  EXPECT_EQ(analyze_error_patterns(dec).by_weight.size(), 4u);  // dmin + 1 = 4
+}
+
+}  // namespace
+}  // namespace sfqecc::code

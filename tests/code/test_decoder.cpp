@@ -1,0 +1,292 @@
+#include "code/decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "code/hamming.hpp"
+#include "code/reed_muller.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace sfqecc::code {
+namespace {
+
+// ---------------------------------------------------------------- syndrome --
+
+TEST(SyndromeDecoder, CleanWordPassesThrough) {
+  const LinearCode c = paper_hamming74();
+  const SyndromeDecoder dec(c);
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    const BitVec msg = BitVec::from_u64(4, m);
+    const DecodeResult r = dec.decode(c.encode(msg));
+    EXPECT_EQ(r.status, DecodeStatus::kNoError);
+    EXPECT_EQ(r.message, msg);
+    EXPECT_EQ(r.bits_flipped, 0u);
+  }
+}
+
+TEST(SyndromeDecoder, CorrectsEverySingleError) {
+  const LinearCode c = paper_hamming74();
+  const SyndromeDecoder dec(c);
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    const BitVec msg = BitVec::from_u64(4, m);
+    const BitVec cw = c.encode(msg);
+    for (std::size_t i = 0; i < 7; ++i) {
+      BitVec rx = cw;
+      rx.flip(i);
+      const DecodeResult r = dec.decode(rx);
+      EXPECT_EQ(r.status, DecodeStatus::kCorrected);
+      EXPECT_EQ(r.message, msg) << "m=" << m << " flip=" << i;
+      EXPECT_EQ(r.bits_flipped, 1u);
+    }
+  }
+}
+
+TEST(SyndromeDecoder, DoubleErrorsMiscorrectOnPerfectCode) {
+  // A perfect code has no spare syndromes: every 2-bit error lands in a
+  // weight-1 coset and is silently miscorrected.
+  const LinearCode c = paper_hamming74();
+  const SyndromeDecoder dec(c);
+  const BitVec msg = BitVec::from_string("1010");
+  const BitVec cw = c.encode(msg);
+  std::size_t miscorrected = 0;
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = i + 1; j < 7; ++j) {
+      BitVec rx = cw;
+      rx.flip(i);
+      rx.flip(j);
+      const DecodeResult r = dec.decode(rx);
+      EXPECT_EQ(r.status, DecodeStatus::kCorrected);
+      if (r.message != msg) ++miscorrected;
+    }
+  }
+  EXPECT_EQ(miscorrected, 21u) << "all C(7,2) double errors must miscorrect";
+}
+
+TEST(SyndromeDecoder, WeightBoundTurnsMiscorrectionIntoDetection) {
+  const LinearCode c = paper_hamming84();
+  const SyndromeDecoder bounded(c, 1);
+  const BitVec cw = c.encode(BitVec::from_string("1100"));
+  BitVec rx = cw;
+  rx.flip(0);
+  rx.flip(3);
+  const DecodeResult r = bounded.decode(rx);
+  EXPECT_EQ(r.status, DecodeStatus::kDetected);  // weight-2 leader refused
+}
+
+TEST(SyndromeDecoder, TranslationInvariance) {
+  const LinearCode c = paper_hamming84();
+  const SyndromeDecoder dec(c);
+  util::Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    BitVec e(8);
+    for (std::size_t i = 0; i < 8; ++i) e.set(i, rng.bernoulli(0.25));
+    const BitVec msg = BitVec::from_u64(4, rng.below(16));
+    const BitVec cw = c.encode(msg);
+    const DecodeResult r_zero = dec.decode(e);
+    const DecodeResult r_cw = dec.decode(cw ^ e);
+    EXPECT_EQ(r_zero.status, r_cw.status);
+    // Error estimate (received ^ decoded codeword) must coincide.
+    EXPECT_EQ(e ^ r_zero.codeword, (cw ^ e) ^ r_cw.codeword);
+  }
+}
+
+// -------------------------------------------------------------- detect only --
+
+TEST(DetectOnlyDecoder, FlagsEveryNonCodeword) {
+  const LinearCode c = paper_hamming74();
+  const DetectOnlyDecoder dec(c);
+  for (std::uint64_t w = 0; w < 128; ++w) {
+    const BitVec rx = BitVec::from_u64(7, w);
+    const DecodeResult r = dec.decode(rx);
+    if (c.is_codeword(rx))
+      EXPECT_EQ(r.status, DecodeStatus::kNoError);
+    else
+      EXPECT_EQ(r.status, DecodeStatus::kDetected);
+  }
+}
+
+// --------------------------------------------------------- extended Hamming --
+
+TEST(ExtendedHammingDecoder, CleanWord) {
+  const LinearCode ext = paper_hamming84();
+  const LinearCode base = paper_hamming74();
+  const ExtendedHammingDecoder dec(ext, base);
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    const BitVec msg = BitVec::from_u64(4, m);
+    const DecodeResult r = dec.decode(ext.encode(msg));
+    EXPECT_EQ(r.status, DecodeStatus::kNoError);
+    EXPECT_EQ(r.message, msg);
+  }
+}
+
+TEST(ExtendedHammingDecoder, CorrectsEverySingleErrorIncludingParityBit) {
+  const LinearCode ext = paper_hamming84();
+  const LinearCode base = paper_hamming74();
+  const ExtendedHammingDecoder dec(ext, base);
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    const BitVec msg = BitVec::from_u64(4, m);
+    const BitVec cw = ext.encode(msg);
+    for (std::size_t i = 0; i < 8; ++i) {
+      BitVec rx = cw;
+      rx.flip(i);
+      const DecodeResult r = dec.decode(rx);
+      EXPECT_EQ(r.status, DecodeStatus::kCorrected) << "i=" << i;
+      EXPECT_EQ(r.message, msg) << "i=" << i;
+    }
+  }
+}
+
+TEST(ExtendedHammingDecoder, DetectsEveryDoubleError) {
+  const LinearCode ext = paper_hamming84();
+  const LinearCode base = paper_hamming74();
+  const ExtendedHammingDecoder dec(ext, base);
+  const BitVec msg = BitVec::from_string("0111");
+  const BitVec cw = ext.encode(msg);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = i + 1; j < 8; ++j) {
+      BitVec rx = cw;
+      rx.flip(i);
+      rx.flip(j);
+      const DecodeResult r = dec.decode(rx);
+      EXPECT_EQ(r.status, DecodeStatus::kDetected) << i << "," << j;
+    }
+  }
+}
+
+TEST(ExtendedHammingDecoder, TripleErrorsMiscorrect) {
+  // Odd error count looks like a single error: the decoder corrects to a
+  // wrong codeword. This is the known SEC-DED limitation the analysis bench
+  // quantifies against the paper's loose "detects 3" claim.
+  const LinearCode ext = paper_hamming84();
+  const LinearCode base = paper_hamming74();
+  const ExtendedHammingDecoder dec(ext, base);
+  const BitVec msg = BitVec::from_string("1001");
+  const BitVec cw = ext.encode(msg);
+  std::size_t wrong = 0, total = 0;
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = i + 1; j < 8; ++j)
+      for (std::size_t l = j + 1; l < 8; ++l) {
+        BitVec rx = cw;
+        rx.flip(i);
+        rx.flip(j);
+        rx.flip(l);
+        const DecodeResult r = dec.decode(rx);
+        ++total;
+        if (r.status != DecodeStatus::kDetected && r.message != msg) ++wrong;
+      }
+  EXPECT_EQ(total, 56u);
+  EXPECT_EQ(wrong, 56u);
+}
+
+// ----------------------------------------------------------------- RM FHT --
+
+TEST(RmFhtDecoder, CleanWord) {
+  const LinearCode rm = paper_rm13();
+  const RmFhtDecoder dec(rm);
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    const BitVec msg = BitVec::from_u64(4, m);
+    const DecodeResult r = dec.decode(rm.encode(msg));
+    EXPECT_EQ(r.status, DecodeStatus::kNoError);
+    EXPECT_EQ(r.message, msg);
+  }
+}
+
+TEST(RmFhtDecoder, CorrectsEverySingleError) {
+  const LinearCode rm = paper_rm13();
+  const RmFhtDecoder dec(rm);
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    const BitVec msg = BitVec::from_u64(4, m);
+    const BitVec cw = rm.encode(msg);
+    for (std::size_t i = 0; i < 8; ++i) {
+      BitVec rx = cw;
+      rx.flip(i);
+      const DecodeResult r = dec.decode(rx);
+      EXPECT_EQ(r.status, DecodeStatus::kCorrected);
+      EXPECT_EQ(r.message, msg);
+    }
+  }
+}
+
+TEST(RmFhtDecoder, DoubleErrorsNeverSilentlyWrong) {
+  // dmin = 4: a 2-bit error is at distance 2 from the sent codeword and at
+  // least 2 from every other, so ML either returns the sent codeword or ties.
+  const LinearCode rm = paper_rm13();
+  const RmFhtDecoder dec(rm);
+  const BitVec msg = BitVec::from_string("0101");
+  const BitVec cw = rm.encode(msg);
+  std::size_t detected = 0, corrected = 0;
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = i + 1; j < 8; ++j) {
+      BitVec rx = cw;
+      rx.flip(i);
+      rx.flip(j);
+      const DecodeResult r = dec.decode(rx);
+      if (r.status == DecodeStatus::kDetected)
+        ++detected;
+      else if (r.message == msg)
+        ++corrected;
+      else
+        FAIL() << "silent miscorrection of a double error at " << i << "," << j;
+    }
+  EXPECT_EQ(detected + corrected, 28u);
+  EXPECT_EQ(detected, 28u) << "every double error is equidistant to >= 2 codewords";
+}
+
+TEST(RmFhtDecoder, WorksForLongerRm1m) {
+  const LinearCode rm14 = reed_muller(1, 4);
+  const RmFhtDecoder dec(rm14);
+  util::Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const BitVec msg = BitVec::from_u64(5, rng.below(32));
+    BitVec rx = rm14.encode(msg);
+    // Up to 3 errors are guaranteed-correctable for dmin = 8.
+    std::size_t nerr = rng.below(4);
+    for (std::size_t e = 0; e < nerr; ++e) rx.flip(rng.below(16));
+    const DecodeResult r = dec.decode(rx);
+    // Distinct positions not guaranteed above; only check when it was <= 3.
+    if ((rx ^ rm14.encode(msg)).weight() <= 3) {
+      EXPECT_EQ(r.message, msg);
+      EXPECT_NE(r.status, DecodeStatus::kDetected);
+    }
+  }
+}
+
+TEST(RmFhtDecoder, RejectsNonRm1Codes) {
+  const LinearCode h84 = paper_hamming84();
+  EXPECT_THROW(RmFhtDecoder{h84}, ContractViolation);
+}
+
+// ------------------------------------------------------------- RM majority --
+
+TEST(RmMajorityDecoder, CleanAndSingleError) {
+  const LinearCode rm = paper_rm13();
+  const RmMajorityDecoder dec(rm);
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    const BitVec msg = BitVec::from_u64(4, m);
+    const BitVec cw = rm.encode(msg);
+    EXPECT_EQ(dec.decode(cw).message, msg);
+    EXPECT_EQ(dec.decode(cw).status, DecodeStatus::kNoError);
+    for (std::size_t i = 0; i < 8; ++i) {
+      BitVec rx = cw;
+      rx.flip(i);
+      const DecodeResult r = dec.decode(rx);
+      EXPECT_EQ(r.message, msg) << "m=" << m << " i=" << i;
+    }
+  }
+}
+
+TEST(RmMajorityDecoder, AgreesWithFhtOnSingleErrors) {
+  const LinearCode rm = reed_muller(1, 4);
+  const RmMajorityDecoder maj(rm);
+  const RmFhtDecoder fht(rm);
+  util::Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    const BitVec msg = BitVec::from_u64(5, rng.below(32));
+    BitVec rx = rm.encode(msg);
+    rx.flip(rng.below(16));
+    EXPECT_EQ(maj.decode(rx).message, fht.decode(rx).message);
+  }
+}
+
+}  // namespace
+}  // namespace sfqecc::code

@@ -1,0 +1,199 @@
+#include "code/gf2_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace sfqecc::code {
+namespace {
+
+Gf2Matrix random_matrix(std::size_t rows, std::size_t cols, util::Rng& rng,
+                        double density = 0.5) {
+  Gf2Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m.set(r, c, rng.bernoulli(density));
+  return m;
+}
+
+TEST(Gf2Matrix, FromRowsAndAccess) {
+  const Gf2Matrix m = Gf2Matrix::from_rows({{1, 0, 1}, {0, 1, 1}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_TRUE(m.get(0, 0));
+  EXPECT_FALSE(m.get(0, 1));
+  EXPECT_TRUE(m.get(1, 2));
+}
+
+TEST(Gf2Matrix, FromStringsMatchesFromRows) {
+  EXPECT_EQ(Gf2Matrix::from_strings({"101", "011"}),
+            Gf2Matrix::from_rows({{1, 0, 1}, {0, 1, 1}}));
+}
+
+TEST(Gf2Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW(Gf2Matrix::from_rows({{1, 0}, {1}}), ContractViolation);
+  EXPECT_THROW(Gf2Matrix::from_strings({"10", "1"}), ContractViolation);
+}
+
+TEST(Gf2Matrix, IdentityProperties) {
+  const Gf2Matrix id = Gf2Matrix::identity(5);
+  EXPECT_EQ(id.rank(), 5u);
+  EXPECT_EQ(id.multiply(id), id);
+  EXPECT_EQ(id.transpose(), id);
+}
+
+TEST(Gf2Matrix, MulLeftSelectsRowCombinations) {
+  const Gf2Matrix m = Gf2Matrix::from_strings({"1100", "0110", "0011"});
+  EXPECT_EQ(m.mul_left(BitVec::from_string("100")), BitVec::from_string("1100"));
+  EXPECT_EQ(m.mul_left(BitVec::from_string("110")), BitVec::from_string("1010"));
+  EXPECT_EQ(m.mul_left(BitVec::from_string("111")), BitVec::from_string("1001"));
+}
+
+TEST(Gf2Matrix, MulRightIsTransposeOfMulLeft) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t rows = 1 + rng.below(8), cols = 1 + rng.below(8);
+    const Gf2Matrix m = random_matrix(rows, cols, rng);
+    BitVec v(cols);
+    for (std::size_t c = 0; c < cols; ++c) v.set(c, rng.bernoulli(0.5));
+    EXPECT_EQ(m.mul_right(v), m.transpose().mul_left(v));
+  }
+}
+
+TEST(Gf2Matrix, TransposeInvolution) {
+  util::Rng rng(8);
+  const Gf2Matrix m = random_matrix(6, 9, rng);
+  EXPECT_EQ(m.transpose().transpose(), m);
+}
+
+TEST(Gf2Matrix, MultiplyAssociativeRandomized) {
+  util::Rng rng(9);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Gf2Matrix a = random_matrix(4, 5, rng);
+    const Gf2Matrix b = random_matrix(5, 6, rng);
+    const Gf2Matrix c = random_matrix(6, 3, rng);
+    EXPECT_EQ(a.multiply(b).multiply(c), a.multiply(b.multiply(c)));
+  }
+}
+
+TEST(Gf2Matrix, RankBounds) {
+  util::Rng rng(10);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t rows = 1 + rng.below(10), cols = 1 + rng.below(10);
+    const Gf2Matrix m = random_matrix(rows, cols, rng);
+    EXPECT_LE(m.rank(), std::min(rows, cols));
+    EXPECT_EQ(m.rank(), m.transpose().rank());
+  }
+}
+
+TEST(Gf2Matrix, RankOfDuplicatedRows) {
+  const Gf2Matrix m = Gf2Matrix::from_strings({"1010", "1010", "0101"});
+  EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(Gf2Matrix, RrefIsIdempotent) {
+  util::Rng rng(11);
+  const Gf2Matrix m = random_matrix(5, 8, rng);
+  EXPECT_EQ(m.rref().rref(), m.rref());
+}
+
+TEST(Gf2Matrix, NullSpaceOrthogonality) {
+  util::Rng rng(12);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t rows = 1 + rng.below(6), cols = rows + 1 + rng.below(6);
+    const Gf2Matrix m = random_matrix(rows, cols, rng);
+    const Gf2Matrix ns = m.null_space();
+    EXPECT_EQ(ns.rows(), cols - m.rank());
+    for (std::size_t i = 0; i < ns.rows(); ++i) {
+      EXPECT_TRUE(m.mul_right(ns.row(i)).is_zero())
+          << "null-space vector not in kernel";
+    }
+    // Null-space basis must itself be independent.
+    if (ns.rows() > 0) {
+      EXPECT_EQ(ns.rank(), ns.rows());
+    }
+  }
+}
+
+TEST(Gf2Matrix, InverseRoundTrip) {
+  util::Rng rng(13);
+  int found = 0;
+  while (found < 20) {
+    const Gf2Matrix m = random_matrix(5, 5, rng);
+    if (m.rank() != 5) continue;
+    ++found;
+    const Gf2Matrix inv = m.inverse();
+    EXPECT_EQ(m.multiply(inv), Gf2Matrix::identity(5));
+    EXPECT_EQ(inv.multiply(m), Gf2Matrix::identity(5));
+  }
+}
+
+TEST(Gf2Matrix, InverseOfSingularThrows) {
+  const Gf2Matrix m = Gf2Matrix::from_strings({"11", "11"});
+  EXPECT_THROW(m.inverse(), ContractViolation);
+}
+
+TEST(Gf2Matrix, SelectColumns) {
+  const Gf2Matrix m = Gf2Matrix::from_strings({"1010", "0110"});
+  const Gf2Matrix s = m.select_columns({2, 0});
+  EXPECT_EQ(s, Gf2Matrix::from_strings({"11", "10"}));
+}
+
+TEST(Gf2Matrix, HconcatShapes) {
+  const Gf2Matrix a = Gf2Matrix::identity(3);
+  const Gf2Matrix b = Gf2Matrix::from_strings({"11", "01", "10"});
+  const Gf2Matrix c = a.hconcat(b);
+  EXPECT_EQ(c.cols(), 5u);
+  EXPECT_EQ(c.row(1).to_string(), "01001");
+}
+
+TEST(Gf2Matrix, ToSystematicAlreadySystematic) {
+  const Gf2Matrix g = Gf2Matrix::from_strings({"10011", "01010", "00111"});
+  const auto sys = g.to_systematic();
+  EXPECT_FALSE(sys.permuted);
+  EXPECT_EQ(sys.generator.rows(), 3u);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(sys.generator.get(r, c), r == c);
+}
+
+TEST(Gf2Matrix, ToSystematicSpansSameCode) {
+  util::Rng rng(14);
+  int found = 0;
+  while (found < 20) {
+    Gf2Matrix g = random_matrix(3, 7, rng);
+    if (g.rank() != 3) continue;
+    ++found;
+    const auto sys = g.to_systematic();
+    // The permuted systematic generator must span the column-permuted code:
+    // check every systematic codeword, un-permuted, lies in the original code.
+    const Gf2Matrix h = g.null_space();  // parity check of original code
+    for (std::uint64_t m = 0; m < 8; ++m) {
+      const BitVec msg = BitVec::from_u64(3, m);
+      const BitVec cw_sys = sys.generator.mul_left(msg);
+      BitVec cw(7);
+      for (std::size_t c = 0; c < 7; ++c) cw.set(sys.column_order[c], cw_sys.get(c));
+      for (std::size_t r = 0; r < h.rows(); ++r) EXPECT_FALSE(h.row(r).dot(cw));
+    }
+  }
+}
+
+TEST(Gf2Matrix, ParityCheckFromSystematic) {
+  // Hamming(7,4) style [I | P].
+  const Gf2Matrix g = Gf2Matrix::from_strings(
+      {"1000110", "0100101", "0010011", "0001111"});
+  const Gf2Matrix h = parity_check_from_systematic(g);
+  EXPECT_EQ(h.rows(), 3u);
+  EXPECT_EQ(h.cols(), 7u);
+  // G H^T = 0.
+  const Gf2Matrix product = g.multiply(h.transpose());
+  for (std::size_t r = 0; r < product.rows(); ++r)
+    EXPECT_TRUE(product.row(r).is_zero());
+}
+
+TEST(Gf2Matrix, ParityCheckRejectsNonSystematic) {
+  const Gf2Matrix g = Gf2Matrix::from_strings({"0111", "1011"});
+  EXPECT_THROW(parity_check_from_systematic(g), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sfqecc::code

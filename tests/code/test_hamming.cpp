@@ -1,0 +1,133 @@
+#include "code/hamming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace sfqecc::code {
+namespace {
+
+TEST(Hamming, PaperH74MatchesEquationThree) {
+  const LinearCode c = paper_hamming74();
+  // Spot-check Eq. (3): message (m1..m4), codeword (c1..c7).
+  util::Rng rng(1);
+  for (int trial = 0; trial < 16; ++trial) {
+    const BitVec m = BitVec::from_u64(4, static_cast<std::uint64_t>(trial));
+    const bool m1 = m.get(0), m2 = m.get(1), m3 = m.get(2), m4 = m.get(3);
+    const BitVec cw = c.encode(m);
+    EXPECT_EQ(cw.get(0), (m1 != m2) != m4);  // c1 = m1^m2^m4
+    EXPECT_EQ(cw.get(1), (m1 != m3) != m4);
+    EXPECT_EQ(cw.get(2), m1);
+    EXPECT_EQ(cw.get(3), (m2 != m3) != m4);
+    EXPECT_EQ(cw.get(4), m2);
+    EXPECT_EQ(cw.get(5), m3);
+    EXPECT_EQ(cw.get(6), m4);
+  }
+}
+
+TEST(Hamming, PaperH84MatchesEquationOne) {
+  const LinearCode c = paper_hamming84();
+  for (std::uint64_t mi = 0; mi < 16; ++mi) {
+    const BitVec m = BitVec::from_u64(4, mi);
+    const bool m1 = m.get(0), m2 = m.get(1), m3 = m.get(2);
+    const BitVec cw = c.encode(m);
+    // First seven bits agree with Hamming(7,4); c8 = m1^m2^m3.
+    EXPECT_EQ(cw.slice(0, 7), paper_hamming74().encode(m));
+    EXPECT_EQ(cw.get(7), (m1 != m2) != m3);
+  }
+}
+
+TEST(Hamming, PaperFig3Vector) {
+  // Fig. 3 of the paper: message 1011 -> codeword 01100110.
+  const LinearCode c = paper_hamming84();
+  EXPECT_EQ(c.encode(BitVec::from_string("1011")).to_string(), "01100110");
+}
+
+TEST(Hamming, H84LastBitIsOverallParity) {
+  const LinearCode c = paper_hamming84();
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    const BitVec cw = c.encode(BitVec::from_u64(4, m));
+    EXPECT_FALSE(cw.parity()) << "extended Hamming codewords must be even weight";
+  }
+}
+
+TEST(Hamming, DminValues) {
+  EXPECT_EQ(paper_hamming74().dmin(), 3u);
+  EXPECT_EQ(paper_hamming84().dmin(), 4u);
+}
+
+TEST(Hamming, H74WeightDistribution) {
+  // Known: A0=1, A3=7, A4=7, A7=1.
+  const LinearCode c = paper_hamming74();
+  const auto& dist = c.weight_distribution();
+  ASSERT_EQ(dist.size(), 8u);
+  EXPECT_EQ(dist[0], 1u);
+  EXPECT_EQ(dist[3], 7u);
+  EXPECT_EQ(dist[4], 7u);
+  EXPECT_EQ(dist[7], 1u);
+  EXPECT_EQ(dist[1] + dist[2] + dist[5] + dist[6], 0u);
+}
+
+TEST(Hamming, H84WeightDistribution) {
+  // Known: A0=1, A4=14, A8=1.
+  const LinearCode c = paper_hamming84();
+  const auto& dist = c.weight_distribution();
+  ASSERT_EQ(dist.size(), 9u);
+  EXPECT_EQ(dist[0], 1u);
+  EXPECT_EQ(dist[4], 14u);
+  EXPECT_EQ(dist[8], 1u);
+}
+
+TEST(Hamming, GeneralFamilyShapes) {
+  for (std::size_t r = 2; r <= 6; ++r) {
+    const LinearCode c = hamming_code(r);
+    const std::size_t n = (std::size_t{1} << r) - 1;
+    EXPECT_EQ(c.n(), n);
+    EXPECT_EQ(c.k(), n - r);
+    if (c.k() <= 24) {
+      EXPECT_EQ(c.dmin(), 3u);
+    }
+  }
+}
+
+TEST(Hamming, GeneralFamilyIsPerfect) {
+  // Perfect single-error-correcting: every nonzero syndrome is a weight-1 leader.
+  for (std::size_t r = 3; r <= 5; ++r) {
+    const LinearCode c = hamming_code(r);
+    const auto& leaders = c.coset_leaders();
+    for (std::size_t s = 1; s < leaders.size(); ++s)
+      EXPECT_EQ(leaders[s].weight(), 1u) << "r=" << r << " syndrome=" << s;
+  }
+}
+
+TEST(Hamming, ExtendGeneric) {
+  const LinearCode base = hamming_code(3);
+  const LinearCode ext = extend_with_overall_parity(base);
+  EXPECT_EQ(ext.n(), base.n() + 1);
+  EXPECT_EQ(ext.k(), base.k());
+  EXPECT_EQ(ext.dmin(), 4u);
+  for (std::uint64_t m = 0; m < (1ULL << ext.k()); ++m) {
+    const BitVec cw = ext.encode(BitVec::from_u64(ext.k(), m));
+    EXPECT_FALSE(cw.parity());
+  }
+}
+
+TEST(Hamming, ExtendEvenDminCodeKeepsDmin) {
+  // Extending an even-dmin code does not raise dmin.
+  const LinearCode ext = extend_with_overall_parity(paper_hamming84());
+  EXPECT_EQ(ext.dmin(), 4u);
+}
+
+TEST(Hamming, PaperH84EqualsGenericExtension) {
+  // The paper's (8,4) code must be *equivalent* to extending the paper's
+  // (7,4): identical codeword sets.
+  const LinearCode ext = extend_with_overall_parity(paper_hamming74());
+  const LinearCode paper = paper_hamming84();
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    const BitVec cw = ext.encode(BitVec::from_u64(4, m));
+    EXPECT_TRUE(paper.is_codeword(cw));
+  }
+}
+
+}  // namespace
+}  // namespace sfqecc::code

@@ -1,0 +1,118 @@
+#include "code/hsiao.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "code/decoder.hpp"
+#include "code/hamming.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace sfqecc::code {
+namespace {
+
+TEST(Hsiao, ShapeAndDistance) {
+  const LinearCode c = hsiao_13_8();
+  EXPECT_EQ(c.n(), 13u);
+  EXPECT_EQ(c.k(), 8u);
+  // Verify dmin = 4 by enumeration rather than trusting the constructor.
+  const LinearCode enumerated("check", c.generator());
+  EXPECT_EQ(enumerated.dmin(), 4u);
+}
+
+TEST(Hsiao, AllParityCheckColumnsOdd) {
+  const LinearCode c = hsiao_13_8();
+  const Gf2Matrix h = c.parity_check();
+  for (std::size_t col = 0; col < c.n(); ++col)
+    EXPECT_EQ(h.column(col).weight() % 2, 1u) << "column " << col;
+}
+
+TEST(Hsiao, ColumnsDistinct) {
+  const LinearCode c = hsiao_13_8();
+  const Gf2Matrix h = c.parity_check();
+  std::set<std::uint64_t> seen;
+  for (std::size_t col = 0; col < c.n(); ++col)
+    EXPECT_TRUE(seen.insert(h.column(col).to_u64()).second);
+}
+
+TEST(Hsiao, SyndromeParityDistinguishesSingleFromDouble) {
+  // The Hsiao property: odd-weight syndrome <=> odd number of errors.
+  const LinearCode c = hsiao_13_8();
+  util::Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    BitVec m(8);
+    for (std::size_t i = 0; i < 8; ++i) m.set(i, rng.bernoulli(0.5));
+    BitVec rx = c.encode(m);
+    const std::size_t nerr = 1 + rng.below(2);
+    std::set<std::size_t> pos;
+    while (pos.size() < nerr) pos.insert(rng.below(13));
+    for (std::size_t p : pos) rx.flip(p);
+    EXPECT_EQ(c.syndrome(rx).weight() % 2, nerr % 2) << "errors " << nerr;
+  }
+}
+
+TEST(Hsiao, CorrectsSinglesDetectsDoubles) {
+  const LinearCode c = hsiao_13_8();
+  const SyndromeDecoder dec(c, /*max_correct_weight=*/1);
+  util::Rng rng(2);
+  BitVec m(8);
+  for (std::size_t i = 0; i < 8; ++i) m.set(i, rng.bernoulli(0.5));
+  const BitVec cw = c.encode(m);
+  for (std::size_t i = 0; i < 13; ++i) {
+    BitVec rx = cw;
+    rx.flip(i);
+    const DecodeResult r = dec.decode(rx);
+    EXPECT_EQ(r.status, DecodeStatus::kCorrected);
+    EXPECT_EQ(r.message, m);
+  }
+  for (std::size_t i = 0; i < 13; ++i)
+    for (std::size_t j = i + 1; j < 13; ++j) {
+      BitVec rx = cw;
+      rx.flip(i);
+      rx.flip(j);
+      EXPECT_EQ(dec.decode(rx).status, DecodeStatus::kDetected) << i << "," << j;
+    }
+}
+
+TEST(Hsiao, LighterThanExtendedHammingColumns) {
+  // Minimum-weight odd columns: Hsiao's total parity-check weight must not
+  // exceed the extended Hamming construction at the same (n, k) — fewer XOR
+  // terms in the encoder.
+  const LinearCode hsiao = hsiao_13_8();
+  // Extended Hamming(13,8): shorten Hamming(15,11) to 8 data columns, extend.
+  const LinearCode h15 = hamming_code(4);
+  Gf2Matrix g12(8, 12);
+  for (std::size_t i = 0; i < 8; ++i) {
+    g12.set(i, i, true);
+    for (std::size_t p = 0; p < 4; ++p) g12.set(i, 8 + p, h15.generator().get(i, 11 + p));
+  }
+  const LinearCode ext = extend_with_overall_parity(LinearCode("h128", g12, 3));
+
+  auto generator_weight = [](const LinearCode& c) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < c.k(); ++r) w += c.generator().row(r).weight();
+    return w;
+  };
+  EXPECT_LE(generator_weight(hsiao), generator_weight(ext));
+}
+
+TEST(Hsiao, GeneralSizes) {
+  for (auto [k, r] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {4, 4}, {8, 5}, {16, 6}, {32, 7}}) {
+    const LinearCode c = hsiao_code(k, r);
+    EXPECT_EQ(c.n(), k + r);
+    EXPECT_EQ(c.k(), k);
+    if (k <= 16) {
+      const LinearCode enumerated("check", c.generator());
+      EXPECT_EQ(enumerated.dmin(), 4u) << "k=" << k;
+    }
+  }
+}
+
+TEST(Hsiao, RejectsOverfullColumnSpace) {
+  EXPECT_THROW(hsiao_code(13, 5), ContractViolation);  // 2^4 - 5 = 11 < 13
+}
+
+}  // namespace
+}  // namespace sfqecc::code

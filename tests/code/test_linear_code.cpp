@@ -1,0 +1,214 @@
+#include "code/linear_code.hpp"
+
+#include <gtest/gtest.h>
+
+#include "code/hamming.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace sfqecc::code {
+namespace {
+
+LinearCode simple_parity_code() {
+  // [4,3] single parity check code, dmin 2.
+  return LinearCode("parity(4,3)",
+                    Gf2Matrix::from_strings({"1001", "0101", "0011"}));
+}
+
+TEST(LinearCode, BasicShape) {
+  const LinearCode c = simple_parity_code();
+  EXPECT_EQ(c.n(), 4u);
+  EXPECT_EQ(c.k(), 3u);
+  EXPECT_EQ(c.parity_bits(), 1u);
+  EXPECT_DOUBLE_EQ(c.rate(), 0.75);
+}
+
+TEST(LinearCode, RejectsRankDeficientGenerator) {
+  EXPECT_THROW(
+      LinearCode("bad", Gf2Matrix::from_strings({"1010", "1010"})),
+      ContractViolation);
+}
+
+TEST(LinearCode, RejectsWideGenerator) {
+  EXPECT_THROW(LinearCode("bad", Gf2Matrix::from_strings({"10", "01", "11"})),
+               ContractViolation);
+}
+
+TEST(LinearCode, EncodeLinearity) {
+  const LinearCode c = paper_hamming74();
+  util::Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const BitVec a = BitVec::from_u64(4, rng.below(16));
+    const BitVec b = BitVec::from_u64(4, rng.below(16));
+    EXPECT_EQ(c.encode(a ^ b), c.encode(a) ^ c.encode(b));
+  }
+}
+
+TEST(LinearCode, ParityCheckAnnihilatesCodewords) {
+  const LinearCode c = paper_hamming74();
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    const BitVec cw = c.encode(BitVec::from_u64(4, m));
+    EXPECT_TRUE(c.syndrome(cw).is_zero());
+    EXPECT_TRUE(c.is_codeword(cw));
+  }
+}
+
+TEST(LinearCode, SyndromeDetectsNonCodewords) {
+  const LinearCode c = paper_hamming74();
+  const BitVec cw = c.encode(BitVec::from_u64(4, 9));
+  for (std::size_t i = 0; i < 7; ++i) {
+    BitVec corrupted = cw;
+    corrupted.flip(i);
+    EXPECT_FALSE(c.syndrome(corrupted).is_zero());
+  }
+}
+
+TEST(LinearCode, SyndromeIsLinearInError) {
+  const LinearCode c = paper_hamming74();
+  util::Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    const BitVec cw = c.encode(BitVec::from_u64(4, rng.below(16)));
+    BitVec e(7);
+    for (std::size_t i = 0; i < 7; ++i) e.set(i, rng.bernoulli(0.3));
+    EXPECT_EQ(c.syndrome(cw ^ e), c.syndrome(e));
+  }
+}
+
+TEST(LinearCode, ExtractMessageInvertsEncode) {
+  const LinearCode c = paper_hamming74();
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    const BitVec msg = BitVec::from_u64(4, m);
+    EXPECT_EQ(c.extract_message(c.encode(msg)), msg);
+  }
+}
+
+TEST(LinearCode, ExtractMessageRejectsNonCodeword) {
+  const LinearCode c = paper_hamming74();
+  BitVec w = c.encode(BitVec::from_u64(4, 3));
+  w.flip(0);
+  EXPECT_THROW(c.extract_message(w), ContractViolation);
+}
+
+TEST(LinearCode, ExtractMessageWorksForNonSystematicGenerator) {
+  // The paper's Hamming(7,4) generator is not systematic (message bits are
+  // scattered at c3, c5, c6, c7); extraction still has to invert it.
+  const LinearCode c = paper_hamming74();
+  const BitVec msg = BitVec::from_string("1011");
+  const BitVec cw = c.encode(msg);
+  EXPECT_EQ(c.extract_message(cw), msg);
+}
+
+TEST(LinearCode, DminOfParityCode) {
+  EXPECT_EQ(simple_parity_code().dmin(), 2u);
+}
+
+TEST(LinearCode, WeightDistributionParityCode) {
+  const LinearCode c = simple_parity_code();
+  const auto& dist = c.weight_distribution();
+  // [4,3,2] even-weight code: A0=1, A2=6, A4=1 (sum = 8 codewords).
+  ASSERT_EQ(dist.size(), 5u);
+  EXPECT_EQ(dist[0], 1u);
+  EXPECT_EQ(dist[1], 0u);
+  EXPECT_EQ(dist[2], 6u);
+  EXPECT_EQ(dist[3], 0u);
+  EXPECT_EQ(dist[4], 1u);
+}
+
+TEST(LinearCode, WeightDistributionSumsToCodebook) {
+  const LinearCode c = paper_hamming74();
+  const auto& dist = c.weight_distribution();
+  std::size_t total = 0;
+  for (std::size_t a : dist) total += a;
+  EXPECT_EQ(total, 16u);
+}
+
+TEST(LinearCode, CosetLeadersCoverAllSyndromes) {
+  const LinearCode c = paper_hamming74();
+  const auto& leaders = c.coset_leaders();
+  ASSERT_EQ(leaders.size(), 8u);
+  EXPECT_TRUE(leaders[0].is_zero());
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(c.syndrome(leaders[s]).to_u64(), s) << "leader maps to wrong syndrome";
+  }
+}
+
+TEST(LinearCode, CosetLeadersAreMinimumWeight) {
+  // Perfect Hamming code: every nonzero syndrome has a weight-1 leader.
+  const LinearCode c = paper_hamming74();
+  const auto& leaders = c.coset_leaders();
+  for (std::size_t s = 1; s < 8; ++s) EXPECT_EQ(leaders[s].weight(), 1u);
+}
+
+TEST(LinearCode, CosetLeaderWeightsForExtendedCode) {
+  // Hamming(8,4): 16 cosets; weights 0 (1), 1 (8), 2 (7).
+  const LinearCode c = paper_hamming84();
+  const auto& leaders = c.coset_leaders();
+  ASSERT_EQ(leaders.size(), 16u);
+  std::size_t w0 = 0, w1 = 0, w2 = 0;
+  for (const BitVec& l : leaders) {
+    if (l.weight() == 0) ++w0;
+    if (l.weight() == 1) ++w1;
+    if (l.weight() == 2) ++w2;
+  }
+  EXPECT_EQ(w0, 1u);
+  EXPECT_EQ(w1, 8u);
+  EXPECT_EQ(w2, 7u);
+}
+
+TEST(LinearCode, AllCodewordsDistinct) {
+  const LinearCode c = paper_hamming84();
+  const auto codewords = c.all_codewords();
+  ASSERT_EQ(codewords.size(), 16u);
+  for (std::size_t i = 0; i < codewords.size(); ++i)
+    for (std::size_t j = i + 1; j < codewords.size(); ++j)
+      EXPECT_NE(codewords[i], codewords[j]);
+}
+
+TEST(LinearCode, DminMatchesPairwiseDistance) {
+  const LinearCode c = paper_hamming84();
+  const auto codewords = c.all_codewords();
+  std::size_t best = c.n();
+  for (std::size_t i = 0; i < codewords.size(); ++i)
+    for (std::size_t j = i + 1; j < codewords.size(); ++j)
+      best = std::min(best, (codewords[i] ^ codewords[j]).weight());
+  EXPECT_EQ(best, c.dmin());
+}
+
+class RandomCodeProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomCodeProperties, InvariantsHoldOnRandomCodes) {
+  util::Rng rng(GetParam());
+  // Random full-rank generator, k in [2,6], n in [k+1, k+6].
+  const std::size_t k = 2 + rng.below(5);
+  const std::size_t n = k + 1 + rng.below(6);
+  Gf2Matrix g(k, n);
+  do {
+    for (std::size_t r = 0; r < k; ++r)
+      for (std::size_t c = 0; c < n; ++c) g.set(r, c, rng.bernoulli(0.5));
+  } while (g.rank() != k);
+
+  const LinearCode code("random", g);
+  // Encode/extract round trip.
+  for (std::uint64_t m = 0; m < (1ULL << k); ++m) {
+    const BitVec msg = BitVec::from_u64(k, m);
+    const BitVec cw = code.encode(msg);
+    EXPECT_TRUE(code.is_codeword(cw));
+    EXPECT_EQ(code.extract_message(cw), msg);
+  }
+  // Weight distribution counts 2^k codewords and locates dmin.
+  const auto& dist = code.weight_distribution();
+  std::size_t total = 0;
+  for (std::size_t a : dist) total += a;
+  EXPECT_EQ(total, 1ULL << k);
+  // Coset leaders: correct syndrome, minimal weight within sampled coset.
+  const auto& leaders = code.coset_leaders();
+  EXPECT_EQ(leaders.size(), 1ULL << (n - k));
+  for (std::size_t s = 0; s < leaders.size(); ++s)
+    EXPECT_EQ(code.syndrome(leaders[s]).to_u64(), s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCodeProperties,
+                         ::testing::Range<std::uint64_t>(100, 120));
+
+}  // namespace
+}  // namespace sfqecc::code

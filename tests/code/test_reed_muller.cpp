@@ -1,0 +1,129 @@
+#include "code/reed_muller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "code/hamming.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace sfqecc::code {
+namespace {
+
+TEST(ReedMuller, DimensionFormula) {
+  EXPECT_EQ(reed_muller_k(0, 3), 1u);
+  EXPECT_EQ(reed_muller_k(1, 3), 4u);
+  EXPECT_EQ(reed_muller_k(2, 3), 7u);
+  EXPECT_EQ(reed_muller_k(3, 3), 8u);
+  EXPECT_EQ(reed_muller_k(1, 4), 5u);
+  EXPECT_EQ(reed_muller_k(2, 5), 16u);
+}
+
+TEST(ReedMuller, ShapesAndDistance) {
+  for (std::size_t m = 1; m <= 5; ++m) {
+    for (std::size_t r = 0; r <= m; ++r) {
+      const LinearCode c = reed_muller(r, m);
+      EXPECT_EQ(c.n(), std::size_t{1} << m);
+      EXPECT_EQ(c.k(), reed_muller_k(r, m));
+      EXPECT_EQ(c.dmin(), std::size_t{1} << (m - r));
+    }
+  }
+}
+
+TEST(ReedMuller, DminVerifiedByEnumeration) {
+  // The constructor supplies dmin analytically; confirm against enumeration.
+  for (std::size_t m = 2; m <= 4; ++m) {
+    for (std::size_t r = 0; r <= m; ++r) {
+      const LinearCode c = reed_muller(r, m);
+      LinearCode enumerated("check", c.generator());
+      EXPECT_EQ(enumerated.dmin(), std::size_t{1} << (m - r)) << "RM(" << r << "," << m << ")";
+    }
+  }
+}
+
+TEST(ReedMuller, Rm03IsRepetition) {
+  const LinearCode c = reed_muller(0, 3);
+  EXPECT_EQ(c.encode(BitVec::from_string("1")).weight(), 8u);
+  EXPECT_EQ(c.encode(BitVec::from_string("0")).weight(), 0u);
+}
+
+TEST(ReedMuller, RmMMIsFullSpace) {
+  const LinearCode c = reed_muller(2, 2);
+  EXPECT_EQ(c.k(), 4u);
+  EXPECT_EQ(c.dmin(), 1u);
+}
+
+TEST(ReedMuller, PaperRm13Mapping) {
+  // c_j = m1 ^ (m2 & j0) ^ (m3 & j1) ^ (m4 & j2), j = bit index 0..7.
+  const LinearCode c = paper_rm13();
+  for (std::uint64_t mi = 0; mi < 16; ++mi) {
+    const BitVec m = BitVec::from_u64(4, mi);
+    const BitVec cw = c.encode(m);
+    for (std::size_t j = 0; j < 8; ++j) {
+      bool expected = m.get(0);
+      if (j & 1) expected = expected != m.get(1);
+      if (j & 2) expected = expected != m.get(2);
+      if (j & 4) expected = expected != m.get(3);
+      EXPECT_EQ(cw.get(j), expected) << "m=" << mi << " j=" << j;
+    }
+  }
+}
+
+TEST(ReedMuller, Rm13WeightDistribution) {
+  // RM(1,3): A0=1, A4=14, A8=1 (first-order RM of length 8 is self-dual-like:
+  // all non-constant codewords have weight 4).
+  const LinearCode c = paper_rm13();
+  const auto& dist = c.weight_distribution();
+  ASSERT_EQ(dist.size(), 9u);
+  EXPECT_EQ(dist[0], 1u);
+  EXPECT_EQ(dist[4], 14u);
+  EXPECT_EQ(dist[8], 1u);
+}
+
+TEST(ReedMuller, Rm13EquivalentToExtendedHammingAsSet) {
+  // RM(1,3) and the extended Hamming(8,4) are both the unique (8,4,4) code up
+  // to coordinate permutation; with the paper's layouts they even share the
+  // codeword *set* property of being even-weight self-complementary.
+  const LinearCode rm = paper_rm13();
+  for (std::uint64_t mi = 0; mi < 16; ++mi) {
+    const BitVec cw = rm.encode(BitVec::from_u64(4, mi));
+    EXPECT_FALSE(cw.parity());
+    // Self-complementary: complement of a codeword is a codeword.
+    BitVec comp = cw;
+    for (std::size_t j = 0; j < 8; ++j) comp.flip(j);
+    EXPECT_TRUE(rm.is_codeword(comp));
+  }
+}
+
+TEST(ReedMuller, PlotkinRecursion) {
+  // RM(r, m+1) == Plotkin(RM(r, m), RM(r-1, m)) as a codeword set.
+  for (std::size_t m = 2; m <= 3; ++m) {
+    for (std::size_t r = 1; r <= m; ++r) {
+      const LinearCode big = reed_muller(r, m + 1);
+      const LinearCode combined =
+          plotkin_combine(reed_muller(r, m), reed_muller(r - 1, m));
+      ASSERT_EQ(big.k(), combined.k());
+      for (std::uint64_t mi = 0; mi < (1ULL << combined.k()); ++mi) {
+        const BitVec cw = combined.encode(BitVec::from_u64(combined.k(), mi));
+        EXPECT_TRUE(big.is_codeword(cw))
+            << "RM(" << r << "," << m + 1 << ") missing a Plotkin codeword";
+      }
+    }
+  }
+}
+
+TEST(ReedMuller, PlotkinDistanceProperty) {
+  // d(Plotkin(A,B)) = min(2 d(A), d(B)).
+  const LinearCode a = reed_muller(1, 2);
+  const LinearCode b = reed_muller(0, 2);
+  const LinearCode p = plotkin_combine(a, b);
+  LinearCode enumerated("check", p.generator());
+  EXPECT_EQ(enumerated.dmin(), std::min(2 * a.dmin(), b.dmin()));
+}
+
+TEST(ReedMuller, RejectsBadParameters) {
+  EXPECT_THROW(reed_muller(3, 2), ContractViolation);
+  EXPECT_THROW(reed_muller(1, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sfqecc::code

@@ -1,0 +1,127 @@
+#include "code/soft_decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "code/hamming.hpp"
+#include "code/reed_muller.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace sfqecc::code {
+namespace {
+
+TEST(SoftDecoder, HardInputMatchesHardDecoder) {
+  const LinearCode rm = paper_rm13();
+  const RmSoftDecoder soft(rm);
+  const RmFhtDecoder hard(rm, /*flag_ties=*/false);
+  util::Rng rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    BitVec rx(8);
+    for (std::size_t j = 0; j < 8; ++j) rx.set(j, rng.bernoulli(0.5));
+    const DecodeResult hs = soft.decode_bits(rx);
+    const DecodeResult hh = hard.decode(rx);
+    // On +/-1 inputs the soft FHT equals the hard FHT, but soft ties resolve
+    // by index while the hard decoder uses coset leaders; compare distance.
+    EXPECT_EQ((hs.codeword ^ rx).weight() <= 2, (hh.codeword ^ rx).weight() <= 2);
+    if (hh.status != DecodeStatus::kDetected &&
+        (hh.codeword ^ rx).weight() <= 1) {
+      EXPECT_EQ(hs.message, hh.message);
+    }
+  }
+}
+
+TEST(SoftDecoder, CleanWordsAllMessages) {
+  const LinearCode rm = paper_rm13();
+  const RmSoftDecoder soft(rm);
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    const BitVec msg = BitVec::from_u64(4, m);
+    const DecodeResult r = soft.decode_bits(rm.encode(msg));
+    EXPECT_EQ(r.message, msg);
+    EXPECT_EQ(r.status, DecodeStatus::kNoError);
+  }
+}
+
+TEST(SoftDecoder, ReliabilityBreaksTies) {
+  // A double error is a tie for the hard decoder, but if the two flipped
+  // bits are *unreliable* (small magnitude), soft decoding recovers.
+  const LinearCode rm = paper_rm13();
+  const RmSoftDecoder soft(rm);
+  util::Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    const BitVec msg = BitVec::from_u64(4, rng.below(16));
+    const BitVec cw = rm.encode(msg);
+    std::vector<double> y(8);
+    for (std::size_t j = 0; j < 8; ++j) y[j] = cw.get(j) ? -1.0 : 1.0;
+    // Flip two positions but with low reliability.
+    const std::size_t i = rng.below(8);
+    std::size_t j = rng.below(8);
+    while (j == i) j = rng.below(8);
+    y[i] *= -0.2;
+    y[j] *= -0.2;
+    EXPECT_EQ(soft.decode(y).message, msg) << "trial " << trial;
+  }
+}
+
+TEST(SoftDecoder, OneStrongErrorCorrected) {
+  const LinearCode rm = paper_rm13();
+  const RmSoftDecoder soft(rm);
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    const BitVec msg = BitVec::from_u64(4, m);
+    const BitVec cw = rm.encode(msg);
+    for (std::size_t flip = 0; flip < 8; ++flip) {
+      std::vector<double> y(8);
+      for (std::size_t j = 0; j < 8; ++j) y[j] = cw.get(j) ? -1.0 : 1.0;
+      y[flip] = -y[flip];
+      EXPECT_EQ(soft.decode(y).message, msg);
+    }
+  }
+}
+
+TEST(SoftDecoder, BeatsHardOnGaussianChannel) {
+  const LinearCode rm = paper_rm13();
+  const RmSoftDecoder soft(rm);
+  const RmFhtDecoder hard(rm, false);
+  util::Rng rng(3);
+  const double sigma = 0.6;  // on bipolar +/-1 signalling
+  std::size_t soft_errors = 0, hard_errors = 0;
+  const int words = 4000;
+  for (int w = 0; w < words; ++w) {
+    const BitVec msg = BitVec::from_u64(4, rng.below(16));
+    const BitVec cw = rm.encode(msg);
+    std::vector<double> y(8);
+    BitVec sliced(8);
+    for (std::size_t j = 0; j < 8; ++j) {
+      y[j] = (cw.get(j) ? -1.0 : 1.0) + rng.gaussian(0.0, sigma);
+      sliced.set(j, y[j] < 0.0);
+    }
+    if (soft.decode(y).message != msg) ++soft_errors;
+    if (hard.decode(sliced).message != msg) ++hard_errors;
+  }
+  EXPECT_LT(soft_errors * 2, hard_errors)
+      << "soft=" << soft_errors << " hard=" << hard_errors;
+}
+
+TEST(SoftDecoder, WorksForLongerCodes) {
+  const LinearCode rm = reed_muller(1, 5);
+  const RmSoftDecoder soft(rm);
+  util::Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    const BitVec msg = BitVec::from_u64(6, rng.below(64));
+    const BitVec cw = rm.encode(msg);
+    std::vector<double> y(32);
+    for (std::size_t j = 0; j < 32; ++j)
+      y[j] = (cw.get(j) ? -1.0 : 1.0) + rng.gaussian(0.0, 0.5);
+    EXPECT_EQ(soft.decode(y).message, msg);
+  }
+}
+
+TEST(SoftDecoder, RejectsNonRm1) {
+  const LinearCode h84 = paper_hamming84();
+  EXPECT_THROW(RmSoftDecoder{h84}, ContractViolation);
+  const LinearCode rm = paper_rm13();
+  const RmSoftDecoder soft(rm);
+  EXPECT_THROW(soft.decode({1.0, -1.0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sfqecc::code

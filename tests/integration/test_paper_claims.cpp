@@ -1,0 +1,143 @@
+// Integration tests: the paper's headline claims, asserted end-to-end.
+//
+// Table I  — code-level detection/correction structure.
+// Table II — synthesized circuit inventories, JJ count, power, area (exact).
+// Fig. 3   — pulse-level timing: message 1011 at 0.1 ns -> codeword 01100110
+//            two clock cycles later at 5 GHz with thermal jitter.
+// Fig. 5   — Monte-Carlo ordering under +/-20 % PPV: every encoder beats the
+//            raw link, Hamming(8,4) is best, and the biggest circuit (RM)
+//            trails Hamming(8,4) despite equal code distance.
+#include <gtest/gtest.h>
+
+#include "sfqecc.hpp"
+
+namespace sfqecc {
+namespace {
+
+TEST(PaperClaims, TableI) {
+  const code::LinearCode h74 = code::paper_hamming74();
+  const code::LinearCode h84 = code::paper_hamming84();
+  const code::LinearCode rm13 = code::paper_rm13();
+
+  // dmin column.
+  EXPECT_EQ(h74.dmin(), 3u);
+  EXPECT_EQ(h84.dmin(), 4u);
+  EXPECT_EQ(rm13.dmin(), 4u);
+
+  // Guaranteed ("worst case") correction: one error each.
+  const code::SyndromeDecoder d74(h74);
+  const code::ExtendedHammingDecoder d84(h84, h74);
+  const code::RmFhtDecoder drm(rm13);
+  EXPECT_EQ(code::analyze_error_patterns(d74).guaranteed_correct, 1u);
+  EXPECT_EQ(code::analyze_error_patterns(d84).guaranteed_correct, 1u);
+  EXPECT_EQ(code::analyze_error_patterns(drm).guaranteed_correct, 1u);
+
+  // "Best case" correction: RM corrects certain 2-bit patterns, Hamming not.
+  const code::SyndromeDecoder rm_array(rm13);
+  EXPECT_EQ(code::analyze_error_patterns(rm_array, 2).best_correct, 2u);
+  EXPECT_EQ(code::analyze_error_patterns(d84, 2).best_correct, 1u);
+
+  // Section II-C: 28 of 35 weight-3 patterns detectable for Hamming(7,4).
+  const auto cov = code::detection_coverage(h74, 3);
+  EXPECT_EQ(cov[2].detected, core::paper::kH74ThreeBitDetected);
+  EXPECT_EQ(cov[2].patterns, core::paper::kH74ThreeBitPatterns);
+}
+
+TEST(PaperClaims, TableII) {
+  const auto& library = circuit::coldflux_library();
+  struct Expected {
+    core::SchemeId id;
+    const core::paper::TableIIRow& row;
+  };
+  const Expected expected[] = {
+      {core::SchemeId::kRm13, core::paper::kTableII[0]},
+      {core::SchemeId::kHamming74, core::paper::kTableII[1]},
+      {core::SchemeId::kHamming84, core::paper::kTableII[2]},
+  };
+  for (const Expected& e : expected) {
+    const core::PaperScheme scheme = core::make_scheme(e.id, library);
+    const circuit::NetlistStats stats = circuit::compute_stats(
+        scheme.encoder->netlist, library, scheme.encoder->clock_input);
+    EXPECT_EQ(stats.count(circuit::CellType::kXor), e.row.xor_gates) << e.row.encoder;
+    EXPECT_EQ(stats.count(circuit::CellType::kDff), e.row.dffs) << e.row.encoder;
+    EXPECT_EQ(stats.count(circuit::CellType::kSplitter), e.row.splitters)
+        << e.row.encoder;
+    EXPECT_EQ(stats.count(circuit::CellType::kSfqToDc), e.row.sfq_to_dc)
+        << e.row.encoder;
+    EXPECT_EQ(stats.jj_count, e.row.jj_count) << e.row.encoder;
+    EXPECT_NEAR(stats.static_power_uw, e.row.power_uw, 0.05) << e.row.encoder;
+    EXPECT_NEAR(stats.area_mm2, e.row.area_mm2, 0.0005) << e.row.encoder;
+  }
+}
+
+TEST(PaperClaims, Fig3) {
+  const auto& library = circuit::coldflux_library();
+  const core::PaperScheme scheme =
+      core::make_scheme(core::SchemeId::kHamming84, library);
+  EXPECT_EQ(scheme.encoder->logic_depth, core::paper::kFig3LogicDepth);
+
+  sim::SimConfig config;
+  config.jitter_sigma_ps = 0.8;  // thermal noise at 4.2 K
+  config.noise_seed = 7;
+  sim::EventSimulator simulator(scheme.encoder->netlist, library, config);
+  const code::BitVec message = code::BitVec::from_string(core::paper::kFig3Message);
+  for (std::size_t b = 0; b < 4; ++b)
+    if (message.get(b))
+      simulator.inject_pulse(scheme.encoder->message_inputs[b], 100.0);
+  simulator.inject_clock(scheme.encoder->clock_input, 200.0, 200.0, 400.5);
+  simulator.run_until(450.0);  // just past 0.4 ns + settling
+
+  code::BitVec word(8);
+  for (std::size_t j = 0; j < 8; ++j)
+    word.set(j, simulator.dc_level(scheme.encoder->codeword_outputs[j]));
+  EXPECT_EQ(word.to_string(), core::paper::kFig3Codeword);
+}
+
+TEST(PaperClaims, Fig5OrderingAndAnchors) {
+  const auto& library = circuit::coldflux_library();
+  const auto schemes = core::make_all_schemes(library);
+  std::vector<link::SchemeSpec> specs;
+  for (const auto& s : schemes)
+    specs.push_back(
+        link::SchemeSpec{s.name, s.encoder.get(), s.code.get(), s.decoder.get()});
+
+  link::MonteCarloConfig config;
+  config.chips = 300;  // enough for the ordering at test-time cost
+  config.messages_per_chip = 100;
+  config.seed = 20250831;
+  config.link.sim.record_pulses = false;
+  config.link.sim.jitter_sigma_ps = 0.8;
+  const auto outcomes = link::run_monte_carlo(specs, library, config);
+
+  // Paper's ordering: no encoder < RM(1,3) < Hamming(7,4) < Hamming(8,4).
+  EXPECT_LT(outcomes[0].p_zero, outcomes[1].p_zero);
+  EXPECT_LT(outcomes[1].p_zero, outcomes[2].p_zero);
+  EXPECT_LT(outcomes[2].p_zero, outcomes[3].p_zero);
+
+  // Anchor: the raw link sits near the paper's 80 % (within MC tolerance).
+  EXPECT_NEAR(outcomes[0].p_zero, 0.80, 0.06);
+  // Every CDF must reach ~1 near the right edge like Fig. 5.
+  for (const auto& o : outcomes) EXPECT_GT(o.cdf.at(95), 0.99);
+}
+
+TEST(PaperClaims, TradeoffStrongestCodeIsNotBestCircuit) {
+  // The paper's central observation: RM(1,3) has the best code-level error
+  // correction (corrects some doubles) but the largest circuit, and loses to
+  // Hamming(8,4) under PPV. Assert both halves.
+  const auto& library = circuit::coldflux_library();
+  const core::PaperScheme rm = core::make_scheme(core::SchemeId::kRm13, library);
+  const core::PaperScheme h84 = core::make_scheme(core::SchemeId::kHamming84, library);
+
+  const auto rm_stats =
+      circuit::compute_stats(rm.encoder->netlist, library, rm.encoder->clock_input);
+  const auto h84_stats =
+      circuit::compute_stats(h84.encoder->netlist, library, h84.encoder->clock_input);
+  EXPECT_GT(rm_stats.jj_count, h84_stats.jj_count);
+
+  const code::SyndromeDecoder rm_array(*rm.code);
+  const code::SyndromeDecoder h84_array(*h84.code);
+  EXPECT_GT(code::analyze_error_patterns(rm_array, 2).by_weight[1].corrected, 0u);
+}
+
+}  // namespace
+}  // namespace sfqecc

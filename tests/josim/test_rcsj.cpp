@@ -1,0 +1,205 @@
+// Junction-level physics tests: the RCSJ substrate must reproduce the
+// textbook SFQ phenomenology the behavioural simulator assumes.
+#include "josim/rcsj.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace sfqecc::josim {
+namespace {
+
+JunctionParams nominal_junction() {
+  JunctionParams j;
+  j.ic_ma = 0.10;
+  j.r_ohm = 5.0;
+  j.c_pf = JunctionParams::capacitance_for_beta_c(0.10, 5.0, 1.0);
+  return j;
+}
+
+TEST(Rcsj, BetaCRoundTrip) {
+  const JunctionParams j = nominal_junction();
+  EXPECT_NEAR(j.beta_c(), 1.0, 1e-12);
+}
+
+TEST(Rcsj, SubcriticalJunctionStaysSuperconducting) {
+  const JunctionParams j = nominal_junction();
+  const auto trace =
+      simulate_junction(j, [](double) { return 0.08; }, 200.0);  // 0.8 Ic
+  EXPECT_TRUE(trace.slip_times_ps.empty());
+  // Phase settles to arcsin(I/Ic), voltage decays to zero.
+  EXPECT_NEAR(trace.phase_rad.back(), std::asin(0.8), 1e-3);
+  EXPECT_NEAR(trace.voltage_mv.back(), 0.0, 1e-4);
+  EXPECT_NEAR(trace.flux_quanta(), std::asin(0.8) / (2 * M_PI), 0.01);
+}
+
+TEST(Rcsj, SupercriticalJunctionRunsAtJosephsonFrequency) {
+  const JunctionParams j = nominal_junction();
+  const double drive = 0.20;  // 2 Ic -> voltage state
+  const auto trace = simulate_junction(j, [=](double) { return drive; }, 200.0);
+  EXPECT_GT(trace.slip_times_ps.size(), 10u);
+  // Average voltage ~ R * sqrt(I^2 - Ic^2) (overdamped estimate); Josephson
+  // relation: slip rate = <V>/Phi0.
+  const double expected_v = j.r_ohm * std::sqrt(drive * drive - j.ic_ma * j.ic_ma);
+  const double window = trace.time_ps.back() - trace.slip_times_ps.front();
+  const double rate =
+      static_cast<double>(trace.slip_times_ps.size() - 1) / window;
+  EXPECT_NEAR(rate * kPhi0, expected_v, 0.15 * expected_v);
+}
+
+TEST(Rcsj, PulseDriveEmitsSingleFluxQuantum) {
+  const JunctionParams j = nominal_junction();
+  // DC bias 0.7 Ic plus a short overdrive pulse.
+  auto drive = [&](double t) {
+    double i = 0.07;
+    if (t >= 20.0 && t <= 25.0)
+      i += 0.12 * 0.5 * (1.0 - std::cos(2 * M_PI * (t - 20.0) / 5.0));
+    return i;
+  };
+  const auto trace = simulate_junction(j, drive, 100.0);
+  ASSERT_EQ(trace.slip_times_ps.size(), 1u);
+  EXPECT_GT(trace.slip_times_ps[0], 20.0);
+  EXPECT_LT(trace.slip_times_ps[0], 30.0);
+  // The emitted pulse carries one flux quantum (plus the small static
+  // arcsin() phase ramp).
+  EXPECT_NEAR(trace.flux_quanta(), 1.0, 0.15);
+}
+
+TEST(Rcsj, SfqPulseIsPicosecondMillivoltScale) {
+  const JunctionParams j = nominal_junction();
+  auto drive = [&](double t) {
+    double i = 0.07;
+    if (t >= 20.0 && t <= 25.0)
+      i += 0.12 * 0.5 * (1.0 - std::cos(2 * M_PI * (t - 20.0) / 5.0));
+    return i;
+  };
+  const auto trace = simulate_junction(j, drive, 100.0);
+  double peak = 0.0;
+  for (double v : trace.voltage_mv) peak = std::max(peak, v);
+  // The paper: "amplitude of the voltage pulse is around 1 mV with 2 ps
+  // duration". RCSJ gives a few hundred uV to ~1 mV peak for these params.
+  EXPECT_GT(peak, 0.2);
+  EXPECT_LT(peak, 2.0);
+  // FWHM of the pulse: count samples above half peak.
+  std::size_t above = 0;
+  for (double v : trace.voltage_mv)
+    if (v > peak / 2) ++above;
+  const double fwhm = static_cast<double>(above) * 0.01;
+  EXPECT_GT(fwhm, 0.5);
+  EXPECT_LT(fwhm, 6.0);
+}
+
+TEST(Rcsj, JtlPropagatesSinglePulse) {
+  JtlParams jtl;
+  jtl.junction = nominal_junction();
+  const JtlTrace trace = simulate_jtl(jtl, PulseStimulus{});
+  EXPECT_TRUE(trace.clean_single_pulse());
+  // Slips happen in order along the line.
+  for (std::size_t j = 1; j < jtl.stages; ++j)
+    EXPECT_GT(trace.slip_times_ps[j][0], trace.slip_times_ps[j - 1][0]);
+}
+
+TEST(Rcsj, JtlStageDelayIsPicoseconds) {
+  JtlParams jtl;
+  jtl.junction = nominal_junction();
+  const JtlTrace trace = simulate_jtl(jtl, PulseStimulus{});
+  const double delay = trace.stage_delay_ps();
+  // The behavioural JTL cell uses 4 ps; the microscopic line gives the same
+  // order of magnitude.
+  EXPECT_GT(delay, 0.5);
+  EXPECT_LT(delay, 12.0);
+}
+
+TEST(Rcsj, JtlQuietWithoutStimulus) {
+  JtlParams jtl;
+  jtl.junction = nominal_junction();
+  PulseStimulus none;
+  none.amplitude_ma = 0.0;
+  const JtlTrace trace = simulate_jtl(jtl, none);
+  for (const auto& slips : trace.slip_times_ps) EXPECT_TRUE(slips.empty());
+}
+
+TEST(Rcsj, OverbiasedJtlFreeRuns) {
+  JtlParams jtl;
+  jtl.junction = nominal_junction();
+  jtl.bias_fraction = 1.3;  // beyond critical: junctions oscillate on their own
+  PulseStimulus none;
+  none.amplitude_ma = 0.0;
+  const JtlTrace trace = simulate_jtl(jtl, none);
+  EXPECT_GT(trace.slip_times_ps[0].size(), 3u);
+}
+
+TEST(Rcsj, BiasMarginsAreWideAtNominal) {
+  JtlParams jtl;
+  jtl.junction = nominal_junction();
+  const BiasMargins margins = find_bias_margins(jtl);
+  // SFQ circuits are designed for +/-20-30 % parameter margins (paper,
+  // Section I); the microscopic JTL shows margins at least that wide.
+  EXPECT_LT(margins.low, 0.56);   // >= 20 % below nominal 0.7
+  EXPECT_GT(margins.high, 0.84);  // >= 20 % above
+  EXPECT_GE(margins.relative_margin(0.70), 0.20);
+}
+
+TEST(Rcsj, CriticalCurrentSpreadDegradesTransmission) {
+  // Microscopic version of the PPV story: apply a uniform +/-spread to every
+  // junction's Ic and measure the clean-transmission yield. Yield must be
+  // ~100 % at 10 % spread and visibly degraded at 60 %.
+  util::Rng rng(7);
+  auto yield_at = [&](double spread) {
+    int ok = 0;
+    const int chips = 40;
+    for (int c = 0; c < chips; ++c) {
+      JtlParams jtl;
+      jtl.junction = nominal_junction();
+      jtl.ic_scale.resize(jtl.stages);
+      for (double& s : jtl.ic_scale) s = 1.0 + rng.uniform(-spread, spread);
+      if (jtl_transmits(jtl)) ++ok;
+    }
+    return ok;
+  };
+  const int y10 = yield_at(0.10);
+  const int y60 = yield_at(0.60);
+  EXPECT_GE(y10, 38);
+  EXPECT_LT(y60, y10);
+}
+
+TEST(Rcsj, DeterministicIntegration) {
+  JtlParams jtl;
+  jtl.junction = nominal_junction();
+  const JtlTrace a = simulate_jtl(jtl, PulseStimulus{});
+  const JtlTrace b = simulate_jtl(jtl, PulseStimulus{});
+  ASSERT_EQ(a.slip_times_ps.size(), b.slip_times_ps.size());
+  for (std::size_t j = 0; j < a.slip_times_ps.size(); ++j)
+    EXPECT_EQ(a.slip_times_ps[j], b.slip_times_ps[j]);
+}
+
+TEST(Rcsj, StepSizeConvergence) {
+  // Halving dt must not change the slip count and should move slip times by
+  // less than the step size.
+  JtlParams jtl;
+  jtl.junction = nominal_junction();
+  const JtlTrace coarse = simulate_jtl(jtl, PulseStimulus{}, 100.0, 0.02);
+  const JtlTrace fine = simulate_jtl(jtl, PulseStimulus{}, 100.0, 0.01);
+  ASSERT_TRUE(coarse.clean_single_pulse());
+  ASSERT_TRUE(fine.clean_single_pulse());
+  for (std::size_t j = 0; j < jtl.stages; ++j)
+    EXPECT_NEAR(coarse.slip_times_ps[j][0], fine.slip_times_ps[j][0], 0.05);
+}
+
+TEST(Rcsj, ContractChecks) {
+  JunctionParams j = nominal_junction();
+  EXPECT_THROW(simulate_junction(j, [](double) { return 0.0; }, -1.0),
+               ContractViolation);
+  EXPECT_THROW(JunctionParams::capacitance_for_beta_c(0.0, 5.0, 1.0),
+               ContractViolation);
+  JtlParams jtl;
+  jtl.junction = j;
+  jtl.ic_scale = {1.0};  // wrong size
+  EXPECT_THROW(simulate_jtl(jtl, PulseStimulus{}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sfqecc::josim

@@ -1,0 +1,250 @@
+// End-to-end data-link tests: channel model, frame pipeline, Monte Carlo.
+#include <gtest/gtest.h>
+
+#include "core/paper_encoders.hpp"
+#include "link/monte_carlo.hpp"
+#include "util/expect.hpp"
+
+namespace sfqecc::link {
+namespace {
+
+using code::BitVec;
+
+// ------------------------------------------------------------------ channel --
+
+TEST(Channel, NoiselessIsPerfect) {
+  ChannelModel ch;
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(transmit_level(ch, true, rng));
+    EXPECT_FALSE(transmit_level(ch, false, rng));
+  }
+  EXPECT_DOUBLE_EQ(ch.bit_error_probability(), 0.0);
+}
+
+TEST(Channel, AnalyticBerMatchesMonteCarlo) {
+  ChannelModel ch;
+  ch.noise_sigma_mv = 0.25;  // strong noise for a measurable BER
+  util::Rng rng(2);
+  int errors = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const bool bit = (i % 2) == 0;
+    if (transmit_level(ch, bit, rng) != bit) ++errors;
+  }
+  EXPECT_NEAR(static_cast<double>(errors) / n, ch.bit_error_probability(), 0.003);
+}
+
+TEST(Channel, AttenuationRaisesOneErrors) {
+  ChannelModel ch;
+  ch.noise_sigma_mv = 0.15;
+  ch.attenuation = 0.7;  // high level closer to the threshold
+  util::Rng rng(3);
+  int err1 = 0, err0 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (!transmit_level(ch, true, rng)) ++err1;
+    if (transmit_level(ch, false, rng)) ++err0;
+  }
+  EXPECT_GT(err1, err0 * 2);
+}
+
+TEST(Channel, InvalidAttenuationRejected) {
+  ChannelModel ch;
+  ch.attenuation = 0.0;
+  util::Rng rng(4);
+  EXPECT_THROW(transmit_level(ch, true, rng), ContractViolation);
+}
+
+// ----------------------------------------------------------------- datalink --
+
+class PaperLinks : public ::testing::Test {
+ protected:
+  const circuit::CellLibrary& lib_ = circuit::coldflux_library();
+  std::vector<core::PaperScheme> schemes_ = core::make_all_schemes(lib_);
+};
+
+TEST_F(PaperLinks, CleanChipsDeliverEveryMessage) {
+  DataLinkConfig config;
+  util::Rng rng(5);
+  for (const core::PaperScheme& scheme : schemes_) {
+    DataLink dlink(*scheme.encoder, lib_, scheme.code.get(), scheme.decoder.get(),
+                   config);
+    for (std::uint64_t m = 0; m < 16; ++m) {
+      const BitVec message = BitVec::from_u64(4, m);
+      const FrameResult frame = dlink.send(message, rng);
+      EXPECT_FALSE(frame.message_error) << scheme.name << " m=" << m;
+      EXPECT_FALSE(frame.flagged);
+      EXPECT_EQ(frame.delivered_message, message);
+      EXPECT_EQ(frame.encoder_bit_errors, 0u);
+      EXPECT_EQ(frame.channel_bit_errors, 0u);
+      EXPECT_EQ(frame.transmitted_word, frame.reference_codeword);
+    }
+  }
+}
+
+TEST_F(PaperLinks, DeadConverterIsCorrectedByEncoders) {
+  DataLinkConfig config;
+  util::Rng rng(6);
+  for (const core::PaperScheme& scheme : schemes_) {
+    if (!scheme.has_code()) continue;  // skip the raw link
+    // Kill the first SFQ-to-DC converter.
+    ppv::ChipSample chip;
+    chip.faults.assign(scheme.encoder->netlist.cell_count(), sim::CellFault{});
+    chip.health_ratios.assign(scheme.encoder->netlist.cell_count(), 0.0);
+    const auto& net = scheme.encoder->netlist.net(scheme.encoder->codeword_outputs[0]);
+    chip.faults[net.driver_cell] = sim::CellFault{sim::FaultMode::kDead, 0.0};
+
+    DataLink dlink(*scheme.encoder, lib_, scheme.code.get(), scheme.decoder.get(),
+                   config);
+    dlink.install_chip(chip);
+    for (std::uint64_t m = 0; m < 16; ++m) {
+      const BitVec message = BitVec::from_u64(4, m);
+      const FrameResult frame = dlink.send(message, rng);
+      EXPECT_FALSE(frame.message_error) << scheme.name << " m=" << m;
+      EXPECT_EQ(frame.delivered_message, message) << scheme.name;
+      EXPECT_LE(frame.encoder_bit_errors, 1u);
+    }
+  }
+}
+
+TEST_F(PaperLinks, DeadConverterBreaksRawLink) {
+  DataLinkConfig config;
+  util::Rng rng(7);
+  const core::PaperScheme& raw = schemes_[0];
+  ASSERT_FALSE(raw.has_code());
+  ppv::ChipSample chip;
+  chip.faults.assign(raw.encoder->netlist.cell_count(), sim::CellFault{});
+  chip.health_ratios.assign(raw.encoder->netlist.cell_count(), 0.0);
+  chip.faults[0] = sim::CellFault{sim::FaultMode::kDead, 0.0};
+  DataLink dlink(*raw.encoder, lib_, nullptr, nullptr, config);
+  dlink.install_chip(chip);
+  const FrameResult frame = dlink.send(BitVec::from_string("1111"), rng);
+  EXPECT_TRUE(frame.message_error);
+}
+
+TEST_F(PaperLinks, NoisyChannelErrorsAreCorrected) {
+  // Strong receiver noise: the raw link suffers, the coded links correct
+  // single-bit channel errors.
+  DataLinkConfig config;
+  config.channel.noise_sigma_mv = 0.25;  // per-bit BER ~ 2.3 %
+  const core::PaperScheme& h84 = schemes_[3];
+  DataLink coded(*h84.encoder, lib_, h84.code.get(), h84.decoder.get(), config);
+  DataLink raw(*schemes_[0].encoder, lib_, nullptr, nullptr, config);
+
+  util::Rng rng_coded(8), rng_raw(8);
+  int raw_errors = 0, coded_errors = 0;
+  const int frames = 400;
+  for (int i = 0; i < frames; ++i) {
+    const BitVec message = BitVec::from_u64(4, static_cast<std::uint64_t>(i) % 16);
+    if (raw.send(message, rng_raw).message_error) ++raw_errors;
+    const FrameResult f = coded.send(message, rng_coded);
+    if (f.message_error) ++coded_errors;
+  }
+  EXPECT_GT(raw_errors, 15);
+  EXPECT_LT(coded_errors, raw_errors / 2);
+}
+
+TEST_F(PaperLinks, FlagRaisedOnDoubleChannelError) {
+  // Kill two converters on the Hamming(8,4) link: SEC-DED must flag, not
+  // deliver silently wrong messages.
+  const core::PaperScheme& h84 = schemes_[3];
+  ppv::ChipSample chip;
+  chip.faults.assign(h84.encoder->netlist.cell_count(), sim::CellFault{});
+  chip.health_ratios.assign(h84.encoder->netlist.cell_count(), 0.0);
+  for (int j : {0, 1}) {
+    const auto& net = h84.encoder->netlist.net(h84.encoder->codeword_outputs[j]);
+    chip.faults[net.driver_cell] = sim::CellFault{sim::FaultMode::kDead, 0.0};
+  }
+  DataLinkConfig config;
+  DataLink dlink(*h84.encoder, lib_, h84.code.get(), h84.decoder.get(), config);
+  dlink.install_chip(chip);
+  util::Rng rng(9);
+  int flagged = 0, silent_wrong = 0;
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    const FrameResult f = dlink.send(BitVec::from_u64(4, m), rng);
+    if (f.flagged) ++flagged;
+    if (f.message_error) ++silent_wrong;
+  }
+  EXPECT_EQ(silent_wrong, 0);
+  EXPECT_GT(flagged, 0);
+}
+
+// -------------------------------------------------------------- Monte Carlo --
+
+TEST(MonteCarlo, DeterministicAcrossThreadCounts) {
+  const auto& lib = circuit::coldflux_library();
+  const auto schemes = core::make_all_schemes(lib);
+  std::vector<SchemeSpec> specs;
+  for (const auto& s : schemes)
+    specs.push_back(SchemeSpec{s.name, s.encoder.get(), s.code.get(), s.decoder.get()});
+
+  MonteCarloConfig config;
+  config.chips = 24;
+  config.messages_per_chip = 20;
+  config.seed = 777;
+  config.link.sim.record_pulses = false;
+
+  config.threads = 1;
+  const auto seq = run_monte_carlo(specs, lib, config);
+  config.threads = 4;
+  const auto par = run_monte_carlo(specs, lib, config);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t s = 0; s < seq.size(); ++s) {
+    EXPECT_EQ(seq[s].errors_per_chip, par[s].errors_per_chip) << seq[s].name;
+    EXPECT_EQ(seq[s].flagged_per_chip, par[s].flagged_per_chip);
+  }
+}
+
+TEST(MonteCarlo, ZeroSpreadGivesZeroErrors) {
+  const auto& lib = circuit::coldflux_library();
+  const auto schemes = core::make_all_schemes(lib);
+  std::vector<SchemeSpec> specs;
+  for (const auto& s : schemes)
+    specs.push_back(SchemeSpec{s.name, s.encoder.get(), s.code.get(), s.decoder.get()});
+  MonteCarloConfig config;
+  config.chips = 10;
+  config.messages_per_chip = 30;
+  config.spread.fraction = 0.0;
+  config.link.sim.record_pulses = false;
+  for (const auto& outcome : run_monte_carlo(specs, lib, config)) {
+    EXPECT_DOUBLE_EQ(outcome.p_zero, 1.0) << outcome.name;
+    EXPECT_DOUBLE_EQ(outcome.mean_errors, 0.0);
+  }
+}
+
+TEST(MonteCarlo, EncodersBeatRawLinkUnderSpread) {
+  const auto& lib = circuit::coldflux_library();
+  const auto schemes = core::make_all_schemes(lib);
+  std::vector<SchemeSpec> specs;
+  for (const auto& s : schemes)
+    specs.push_back(SchemeSpec{s.name, s.encoder.get(), s.code.get(), s.decoder.get()});
+  MonteCarloConfig config;
+  config.chips = 150;
+  config.messages_per_chip = 50;
+  config.seed = 99;
+  config.link.sim.record_pulses = false;
+  const auto outcomes = run_monte_carlo(specs, lib, config);
+  // The paper's qualitative result: every encoder beats the raw link.
+  for (std::size_t s = 1; s < outcomes.size(); ++s)
+    EXPECT_GT(outcomes[s].p_zero, outcomes[0].p_zero) << outcomes[s].name;
+}
+
+TEST(MonteCarlo, FlaggedAccountingOnlyLowersPZero) {
+  const auto& lib = circuit::coldflux_library();
+  const auto schemes = core::make_all_schemes(lib);
+  std::vector<SchemeSpec> specs{
+      SchemeSpec{schemes[3].name, schemes[3].encoder.get(), schemes[3].code.get(),
+                 schemes[3].decoder.get()}};
+  MonteCarloConfig config;
+  config.chips = 120;
+  config.messages_per_chip = 40;
+  config.link.sim.record_pulses = false;
+  const auto base = run_monte_carlo(specs, lib, config);
+  config.count_flagged_as_error = true;
+  const auto strict = run_monte_carlo(specs, lib, config);
+  EXPECT_LE(strict[0].p_zero, base[0].p_zero);
+}
+
+}  // namespace
+}  // namespace sfqecc::link

@@ -1,0 +1,218 @@
+// Tests for the process-parameter-variation layer: spread sampling, the
+// sensitivity/margin health model and chip sampling.
+#include <gtest/gtest.h>
+
+#include "circuit/encoder_builder.hpp"
+#include "code/hamming.hpp"
+#include "code/reed_muller.hpp"
+#include "ppv/calibration.hpp"
+#include "ppv/chip.hpp"
+#include "ppv/margin_model.hpp"
+#include "ppv/spread.hpp"
+#include "util/expect.hpp"
+
+namespace sfqecc::ppv {
+namespace {
+
+TEST(Spread, UniformStaysInRange) {
+  SpreadSpec spec;
+  spec.fraction = 0.20;
+  util::Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const double d = sample_deviation(spec, rng);
+    EXPECT_GE(d, -0.20);
+    EXPECT_LE(d, 0.20);
+  }
+}
+
+TEST(Spread, UniformMomentsMatch) {
+  SpreadSpec spec;
+  spec.fraction = 0.20;
+  util::Rng rng(2);
+  double sum = 0, sum2 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double d = sample_deviation(spec, rng);
+    sum += d;
+    sum2 += d * d;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.002);
+  EXPECT_NEAR(std::sqrt(sum2 / n), deviation_sigma(spec), 0.002);
+}
+
+TEST(Spread, GaussianTruncated) {
+  SpreadSpec spec;
+  spec.fraction = 0.20;
+  spec.distribution = SpreadDistribution::kGaussian;
+  util::Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const double d = sample_deviation(spec, rng);
+    EXPECT_GE(d, -0.40);
+    EXPECT_LE(d, 0.40);
+  }
+  EXPECT_DOUBLE_EQ(deviation_sigma(spec), 0.10);
+}
+
+TEST(Spread, VectorHasRequestedCount) {
+  SpreadSpec spec;
+  util::Rng rng(4);
+  EXPECT_EQ(sample_deviations(spec, kParamsPerCell, rng).size(), kParamsPerCell);
+}
+
+TEST(Spread, InvalidFractionRejected) {
+  SpreadSpec spec;
+  spec.fraction = 1.5;
+  util::Rng rng(5);
+  EXPECT_THROW(sample_deviation(spec, rng), ContractViolation);
+}
+
+TEST(MarginModel, HealthStatisticNormalization) {
+  // sigma_H must equal spread * sensitivity: check by Monte Carlo.
+  SpreadSpec spec;
+  spec.fraction = 0.20;
+  util::Rng rng(6);
+  double sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto d = sample_deviations(spec, kParamsPerCell, rng);
+    const double h = health_statistic(d, 1.0);
+    sum2 += h * h;
+  }
+  EXPECT_NEAR(std::sqrt(sum2 / n), 0.20, 0.005);
+}
+
+TEST(MarginModel, HealthStatisticScalesWithSensitivity) {
+  const std::vector<double> d(kParamsPerCell, 0.1);
+  EXPECT_NEAR(health_statistic(d, 2.0), 2.0 * health_statistic(d, 1.0), 1e-12);
+}
+
+TEST(MarginModel, WrongVectorSizeRejected) {
+  EXPECT_THROW(health_statistic({0.1, 0.2}, 1.0), ContractViolation);
+}
+
+TEST(MarginModel, FaultMappingRegions) {
+  util::Rng rng(7);
+  EXPECT_TRUE(fault_from_health_ratio(0.0, rng).healthy());
+  EXPECT_TRUE(fault_from_health_ratio(kSoftOnset - 0.01, rng).healthy());
+  const sim::CellFault soft = fault_from_health_ratio(0.95, rng);
+  EXPECT_EQ(soft.mode, sim::FaultMode::kFlaky);
+  EXPECT_GT(soft.error_prob, 0.0);
+  EXPECT_LT(soft.error_prob, kSoftMaxErrorProb);
+  const sim::CellFault hard = fault_from_health_ratio(1.5, rng);
+  EXPECT_TRUE(hard.mode == sim::FaultMode::kDead ||
+              hard.mode == sim::FaultMode::kSputter);
+}
+
+TEST(MarginModel, FlakyProbabilityRampsQuadratically) {
+  util::Rng rng(8);
+  const double h1 = kSoftOnset + 0.25 * (1.0 - kSoftOnset);
+  const double h2 = kSoftOnset + 0.50 * (1.0 - kSoftOnset);
+  const double p1 = fault_from_health_ratio(h1, rng).error_prob;
+  const double p2 = fault_from_health_ratio(h2, rng).error_prob;
+  EXPECT_NEAR(p2 / p1, 4.0, 1e-9);
+}
+
+TEST(MarginModel, DeadSputterSplitMatchesCalibration) {
+  util::Rng rng(9);
+  int dead = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (fault_from_health_ratio(1.2, rng).mode == sim::FaultMode::kDead) ++dead;
+  EXPECT_NEAR(static_cast<double>(dead) / n, kDeadFraction, 0.02);
+}
+
+TEST(MarginModel, TroubleProbabilityMatchesMonteCarlo) {
+  // The analytic Gaussian approximation must agree with sampling within MC
+  // error for every cell type used by the paper's encoders.
+  SpreadSpec spec;
+  spec.fraction = 0.20;
+  const auto& lib = circuit::coldflux_library();
+  for (auto type : {circuit::CellType::kXor, circuit::CellType::kDff,
+                    circuit::CellType::kSplitter, circuit::CellType::kSfqToDc}) {
+    const auto& cs = lib.spec(type);
+    util::Rng rng(100 + static_cast<int>(type));
+    int trouble = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+      if (!sample_cell_health(cs, spec, rng).fault.healthy()) ++trouble;
+    const double analytic = trouble_probability(cs, spec);
+    EXPECT_NEAR(static_cast<double>(trouble) / n, analytic, 0.15 * analytic + 0.002)
+        << circuit::cell_type_name(type);
+  }
+}
+
+TEST(Chip, SamplesEveryCell) {
+  const auto& lib = circuit::coldflux_library();
+  const auto built = circuit::build_encoder(code::paper_hamming84(), lib);
+  SpreadSpec spec;
+  util::Rng rng(10);
+  const ChipSample chip = sample_chip(built.netlist, lib, spec, rng);
+  EXPECT_EQ(chip.faults.size(), built.netlist.cell_count());
+  EXPECT_EQ(chip.health_ratios.size(), built.netlist.cell_count());
+  EXPECT_EQ(chip.flaky_cells() + chip.hard_failed_cells() <= chip.faults.size(), true);
+}
+
+TEST(Chip, ZeroSpreadIsAlwaysHealthy) {
+  const auto& lib = circuit::coldflux_library();
+  const auto built = circuit::build_encoder(code::paper_hamming84(), lib);
+  SpreadSpec spec;
+  spec.fraction = 0.0;
+  util::Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    const ChipSample chip = sample_chip(built.netlist, lib, spec, rng);
+    EXPECT_TRUE(chip.fully_healthy());
+  }
+}
+
+TEST(Chip, FailureRateGrowsWithSpread) {
+  const auto& lib = circuit::coldflux_library();
+  const auto built = circuit::build_encoder(code::paper_rm13(), lib);
+  auto unhealthy_chips = [&](double fraction) {
+    SpreadSpec spec;
+    spec.fraction = fraction;
+    util::Rng rng(12);
+    int bad = 0;
+    for (int i = 0; i < 400; ++i)
+      if (!sample_chip(built.netlist, lib, spec, rng).fully_healthy()) ++bad;
+    return bad;
+  };
+  const int at10 = unhealthy_chips(0.10);
+  const int at20 = unhealthy_chips(0.20);
+  const int at30 = unhealthy_chips(0.30);
+  EXPECT_LT(at10, at20);
+  EXPECT_LT(at20, at30);
+}
+
+TEST(Chip, DeterministicForSameRngState) {
+  const auto& lib = circuit::coldflux_library();
+  const auto built = circuit::build_encoder(code::paper_hamming74(), lib);
+  SpreadSpec spec;
+  util::Rng a(13), b(13);
+  const ChipSample ca = sample_chip(built.netlist, lib, spec, a);
+  const ChipSample cb = sample_chip(built.netlist, lib, spec, b);
+  EXPECT_EQ(ca.health_ratios, cb.health_ratios);
+  for (std::size_t i = 0; i < ca.faults.size(); ++i) {
+    EXPECT_EQ(ca.faults[i].mode, cb.faults[i].mode);
+    EXPECT_EQ(ca.faults[i].error_prob, cb.faults[i].error_prob);
+  }
+}
+
+TEST(Chip, ApplyChipInstallsFaults) {
+  const auto& lib = circuit::coldflux_library();
+  const auto built = circuit::build_no_encoder_link(4, lib);
+  sim::SimConfig config;
+  sim::EventSimulator simulator(built.netlist, lib, config);
+  ChipSample chip;
+  chip.faults.assign(built.netlist.cell_count(), sim::CellFault{});
+  chip.health_ratios.assign(built.netlist.cell_count(), 0.0);
+  chip.faults[0] = sim::CellFault{sim::FaultMode::kDead, 0.0};
+  apply_chip(chip, simulator);
+  simulator.inject_pulse(built.message_inputs[0], 10.0);
+  simulator.inject_pulse(built.message_inputs[1], 10.0);
+  simulator.run_until(100.0);
+  EXPECT_FALSE(simulator.dc_level(built.codeword_outputs[0]));  // dead converter
+  EXPECT_TRUE(simulator.dc_level(built.codeword_outputs[1]));
+}
+
+}  // namespace
+}  // namespace sfqecc::ppv

@@ -1,0 +1,126 @@
+// Cross-validation of the fast behavioural evaluator against the reference
+// pulse-level simulator: frame-equivalent for healthy and dead-fault chips on
+// balanced netlists — including exhaustive per-cell kill agreement.
+#include "sim/behavioral_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/encoder_builder.hpp"
+#include "code/hamming.hpp"
+#include "code/reed_muller.hpp"
+#include "sim/event_sim.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace sfqecc::sim {
+namespace {
+
+using circuit::BuiltEncoder;
+using circuit::coldflux_library;
+using code::BitVec;
+
+BitVec pulse_frame(const BuiltEncoder& built, const BitVec& message,
+                   const std::vector<CellFault>& faults) {
+  SimConfig config;
+  config.record_pulses = false;
+  EventSimulator simulator(built.netlist, coldflux_library(), config);
+  for (std::size_t id = 0; id < faults.size(); ++id) simulator.set_fault(id, faults[id]);
+  for (std::size_t b = 0; b < message.size(); ++b)
+    if (message.get(b)) simulator.inject_pulse(built.message_inputs[b], 100.0);
+  const double last = 200.0 * static_cast<double>(built.logic_depth);
+  if (built.logic_depth > 0)
+    simulator.inject_clock(built.clock_input, 200.0, 200.0, last + 0.5);
+  simulator.run_until(std::max(last, 100.0) + 60.0);
+  BitVec word(built.codeword_outputs.size());
+  for (std::size_t j = 0; j < word.size(); ++j)
+    word.set(j, simulator.dc_level(built.codeword_outputs[j]));
+  return word;
+}
+
+class EnginesAgree : public ::testing::TestWithParam<const char*> {
+ protected:
+  static code::LinearCode make_code(const std::string& name) {
+    if (name == "H74") return code::paper_hamming74();
+    if (name == "RM13") return code::paper_rm13();
+    return code::paper_hamming84();
+  }
+};
+
+TEST_P(EnginesAgree, HealthyChipsAllMessages) {
+  const code::LinearCode code = make_code(GetParam());
+  const BuiltEncoder built = circuit::build_encoder(code, coldflux_library());
+  BehavioralEvaluator eval(built.netlist, coldflux_library(), built.logic_depth);
+  util::Rng rng(1);
+  const std::vector<CellFault> healthy(built.netlist.cell_count());
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    const BitVec message = BitVec::from_u64(4, m);
+    EXPECT_EQ(eval.evaluate(message, rng), pulse_frame(built, message, healthy))
+        << GetParam() << " m=" << m;
+  }
+}
+
+TEST_P(EnginesAgree, ExhaustiveSingleDeadCellAgreement) {
+  // For EVERY cell, kill it and compare both engines on every message. This
+  // pins the behavioural fault semantics to the reference simulator.
+  const code::LinearCode code = make_code(GetParam());
+  const BuiltEncoder built = circuit::build_encoder(code, coldflux_library());
+  BehavioralEvaluator eval(built.netlist, coldflux_library(), built.logic_depth);
+  util::Rng rng(2);
+  for (circuit::CellId victim = 0; victim < built.netlist.cell_count(); ++victim) {
+    std::vector<CellFault> faults(built.netlist.cell_count());
+    faults[victim] = CellFault{FaultMode::kDead, 0.0};
+    eval.clear_faults();
+    eval.set_fault(victim, faults[victim]);
+    for (std::uint64_t m = 0; m < 16; ++m) {
+      const BitVec message = BitVec::from_u64(4, m);
+      EXPECT_EQ(eval.evaluate(message, rng), pulse_frame(built, message, faults))
+          << GetParam() << " dead cell " << built.netlist.cell(victim).name
+          << " m=" << m;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperEncoders, EnginesAgree,
+                         ::testing::Values("H74", "H84", "RM13"));
+
+TEST(BehavioralEval, NoEncoderLink) {
+  const BuiltEncoder link = circuit::build_no_encoder_link(4, coldflux_library());
+  BehavioralEvaluator eval(link.netlist, coldflux_library(), 0);
+  util::Rng rng(3);
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    const BitVec message = BitVec::from_u64(4, m);
+    EXPECT_EQ(eval.evaluate(message, rng), message);
+  }
+}
+
+TEST(BehavioralEval, MessageLengthContract) {
+  const BuiltEncoder built =
+      circuit::build_encoder(code::paper_hamming84(), coldflux_library());
+  BehavioralEvaluator eval(built.netlist, coldflux_library(), built.logic_depth);
+  util::Rng rng(4);
+  EXPECT_THROW(eval.evaluate(BitVec(5), rng), ContractViolation);
+}
+
+TEST(BehavioralEval, FlakyFaultsProduceErrorsStatistically) {
+  const BuiltEncoder built =
+      circuit::build_encoder(code::paper_hamming84(), coldflux_library());
+  const code::LinearCode code = code::paper_hamming84();
+  BehavioralEvaluator eval(built.netlist, coldflux_library(), built.logic_depth);
+  // Make one output-adjacent DFF flaky at p = 0.5.
+  circuit::CellId victim = circuit::kInvalidId;
+  for (const circuit::Cell& cell : built.netlist.cells())
+    if (cell.type == circuit::CellType::kDff) victim = cell.id;
+  ASSERT_NE(victim, circuit::kInvalidId);
+  eval.set_fault(victim, CellFault{FaultMode::kFlaky, 0.5});
+  util::Rng rng(5);
+  int errors = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const BitVec message = BitVec::from_u64(4, rng.below(16));
+    if (eval.evaluate(message, rng) != code.encode(message)) ++errors;
+  }
+  EXPECT_GT(errors, 50);
+  EXPECT_LT(errors, 350);
+}
+
+}  // namespace
+}  // namespace sfqecc::sim

@@ -1,0 +1,289 @@
+// Cell-semantics tests for the pulse-level simulator.
+#include "sim/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::sim {
+namespace {
+
+using circuit::CellId;
+using circuit::CellLibrary;
+using circuit::CellType;
+using circuit::coldflux_library;
+using circuit::Netlist;
+using circuit::NetId;
+
+SimConfig quiet() {
+  SimConfig c;
+  c.jitter_sigma_ps = 0.0;
+  return c;
+}
+
+TEST(EventSim, SplitterDuplicatesPulse) {
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const CellId s = nl.add_cell(CellType::kSplitter, "s", {a}, {"o1", "o2"});
+  EventSimulator sim(nl, coldflux_library(), quiet());
+  sim.inject_pulse(a, 10.0);
+  sim.run_until(100.0);
+  const double d = coldflux_library().spec(CellType::kSplitter).delay_ps;
+  ASSERT_EQ(sim.pulses(nl.cell(s).outputs[0]).size(), 1u);
+  ASSERT_EQ(sim.pulses(nl.cell(s).outputs[1]).size(), 1u);
+  EXPECT_DOUBLE_EQ(sim.pulses(nl.cell(s).outputs[0])[0], 10.0 + d);
+}
+
+TEST(EventSim, JtlDelaysPulse) {
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const CellId j = nl.add_cell(CellType::kJtl, "j", {a}, {"o"});
+  EventSimulator sim(nl, coldflux_library(), quiet());
+  sim.inject_pulse(a, 5.0);
+  sim.run_until(50.0);
+  const double d = coldflux_library().spec(CellType::kJtl).delay_ps;
+  ASSERT_EQ(sim.pulses(nl.cell(j).outputs[0]).size(), 1u);
+  EXPECT_DOUBLE_EQ(sim.pulses(nl.cell(j).outputs[0])[0], 5.0 + d);
+}
+
+TEST(EventSim, DffStoresUntilClock) {
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const NetId clk = nl.add_primary_input("clk");
+  const CellId dff = nl.add_cell(CellType::kDff, "d", {a}, {"q"});
+  nl.connect_clock(dff, clk);
+  EventSimulator sim(nl, coldflux_library(), quiet());
+  sim.inject_pulse(a, 10.0);
+  sim.inject_pulse(clk, 100.0);
+  sim.inject_pulse(clk, 200.0);  // second clock: storage already drained
+  sim.run_until(300.0);
+  const auto& q = sim.pulses(nl.cell(dff).outputs[0]);
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_DOUBLE_EQ(q[0], 100.0 + coldflux_library().spec(CellType::kDff).delay_ps);
+}
+
+TEST(EventSim, DffWithoutDataStaysSilent) {
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const NetId clk = nl.add_primary_input("clk");
+  const CellId dff = nl.add_cell(CellType::kDff, "d", {a}, {"q"});
+  nl.connect_clock(dff, clk);
+  EventSimulator sim(nl, coldflux_library(), quiet());
+  sim.inject_pulse(clk, 100.0);
+  sim.run_until(200.0);
+  EXPECT_TRUE(sim.pulses(nl.cell(dff).outputs[0]).empty());
+}
+
+struct GateCase {
+  CellType type;
+  bool a, b, expected;
+};
+
+class ClockedGateTruth : public ::testing::TestWithParam<GateCase> {};
+
+TEST_P(ClockedGateTruth, EvaluatesOnClock) {
+  const GateCase& gc = GetParam();
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const NetId b = nl.add_primary_input("b");
+  const NetId clk = nl.add_primary_input("clk");
+  const CellId g = nl.add_cell(gc.type, "g", {a, b}, {"o"});
+  nl.connect_clock(g, clk);
+  EventSimulator sim(nl, coldflux_library(), quiet());
+  if (gc.a) sim.inject_pulse(a, 10.0);
+  if (gc.b) sim.inject_pulse(b, 12.0);
+  sim.inject_pulse(clk, 100.0);
+  sim.run_until(200.0);
+  EXPECT_EQ(sim.pulses(nl.cell(g).outputs[0]).size(), gc.expected ? 1u : 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TruthTables, ClockedGateTruth,
+    ::testing::Values(GateCase{CellType::kXor, false, false, false},
+                      GateCase{CellType::kXor, true, false, true},
+                      GateCase{CellType::kXor, false, true, true},
+                      GateCase{CellType::kXor, true, true, false},
+                      GateCase{CellType::kAnd, false, false, false},
+                      GateCase{CellType::kAnd, true, false, false},
+                      GateCase{CellType::kAnd, false, true, false},
+                      GateCase{CellType::kAnd, true, true, true},
+                      GateCase{CellType::kOr, false, false, false},
+                      GateCase{CellType::kOr, true, false, true},
+                      GateCase{CellType::kOr, false, true, true},
+                      GateCase{CellType::kOr, true, true, true}),
+    [](const auto& info) {
+      const GateCase& gc = info.param;
+      std::string name = cell_type_name(gc.type);
+      name += gc.a ? "1" : "0";
+      name += gc.b ? "1" : "0";
+      return name;
+    });
+
+TEST(EventSim, ClockedGateResetsAfterClock) {
+  // Destructive readout: arms cleared at each clock.
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const NetId b = nl.add_primary_input("b");
+  const NetId clk = nl.add_primary_input("clk");
+  const CellId g = nl.add_cell(CellType::kXor, "g", {a, b}, {"o"});
+  nl.connect_clock(g, clk);
+  EventSimulator sim(nl, coldflux_library(), quiet());
+  sim.inject_pulse(a, 10.0);
+  sim.inject_pulse(clk, 100.0);  // fires
+  sim.inject_pulse(b, 110.0);
+  sim.inject_pulse(clk, 200.0);  // fires again (only b set now)
+  sim.inject_pulse(clk, 300.0);  // silent
+  sim.run_until(400.0);
+  EXPECT_EQ(sim.pulses(nl.cell(g).outputs[0]).size(), 2u);
+}
+
+TEST(EventSim, NotGateEmitsOnEmptyClock) {
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const NetId clk = nl.add_primary_input("clk");
+  const CellId g = nl.add_cell(CellType::kNot, "g", {a}, {"o"});
+  nl.connect_clock(g, clk);
+  EventSimulator sim(nl, coldflux_library(), quiet());
+  sim.inject_pulse(clk, 100.0);  // no input -> emits
+  sim.inject_pulse(a, 150.0);
+  sim.inject_pulse(clk, 200.0);  // input seen -> silent
+  sim.run_until(300.0);
+  EXPECT_EQ(sim.pulses(nl.cell(g).outputs[0]).size(), 1u);
+}
+
+TEST(EventSim, TffDividesByTwo) {
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const CellId t = nl.add_cell(CellType::kTff, "t", {a}, {"o"});
+  EventSimulator sim(nl, coldflux_library(), quiet());
+  for (int i = 0; i < 8; ++i) sim.inject_pulse(a, 10.0 * (i + 1));
+  sim.run_until(200.0);
+  EXPECT_EQ(sim.pulses(nl.cell(t).outputs[0]).size(), 4u);
+}
+
+TEST(EventSim, SfqToDcToggles) {
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const CellId c = nl.add_cell(CellType::kSfqToDc, "c", {a}, {"dc"});
+  const NetId out = nl.cell(c).outputs[0];
+  EventSimulator sim(nl, coldflux_library(), quiet());
+  EXPECT_FALSE(sim.dc_level(out));
+  sim.inject_pulse(a, 10.0);
+  sim.run_until(50.0);
+  EXPECT_TRUE(sim.dc_level(out));
+  sim.inject_pulse(a, 60.0);
+  sim.run_until(100.0);
+  EXPECT_FALSE(sim.dc_level(out));
+  EXPECT_EQ(sim.dc_transitions(out).size(), 2u);
+}
+
+TEST(EventSim, MergerForwardsBothInputs) {
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const NetId b = nl.add_primary_input("b");
+  const CellId m = nl.add_cell(CellType::kMerger, "m", {a, b}, {"o"});
+  EventSimulator sim(nl, coldflux_library(), quiet());
+  sim.inject_pulse(a, 10.0);
+  sim.inject_pulse(b, 20.0);
+  sim.run_until(100.0);
+  EXPECT_EQ(sim.pulses(nl.cell(m).outputs[0]).size(), 2u);
+}
+
+TEST(EventSim, ResetClearsStateKeepsFaults) {
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const CellId c = nl.add_cell(CellType::kSfqToDc, "c", {a}, {"dc"});
+  const NetId out = nl.cell(c).outputs[0];
+  EventSimulator sim(nl, coldflux_library(), quiet());
+  sim.set_fault(c, CellFault{FaultMode::kDead, 0.0});
+  sim.inject_pulse(a, 10.0);
+  sim.run_until(50.0);
+  EXPECT_FALSE(sim.dc_level(out));  // dead converter never toggles
+  sim.reset();
+  sim.inject_pulse(a, 10.0);
+  sim.run_until(50.0);
+  EXPECT_FALSE(sim.dc_level(out)) << "fault must survive reset()";
+}
+
+TEST(EventSim, DeadCellDropsPulses) {
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const CellId j = nl.add_cell(CellType::kJtl, "j", {a}, {"o"});
+  EventSimulator sim(nl, coldflux_library(), quiet());
+  sim.set_fault(j, CellFault{FaultMode::kDead, 0.0});
+  sim.inject_pulse(a, 10.0);
+  sim.run_until(50.0);
+  EXPECT_TRUE(sim.pulses(nl.cell(j).outputs[0]).empty());
+}
+
+TEST(EventSim, SputteringGateFiresEveryClock) {
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const NetId clk = nl.add_primary_input("clk");
+  const CellId d = nl.add_cell(CellType::kDff, "d", {a}, {"q"});
+  nl.connect_clock(d, clk);
+  EventSimulator sim(nl, coldflux_library(), quiet());
+  sim.set_fault(d, CellFault{FaultMode::kSputter, 0.0});
+  for (int i = 1; i <= 5; ++i) sim.inject_pulse(clk, 100.0 * i);
+  sim.run_until(600.0);
+  EXPECT_EQ(sim.pulses(nl.cell(d).outputs[0]).size(), 5u);
+}
+
+TEST(EventSim, FlakyCellDropsSomePulses) {
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const CellId j = nl.add_cell(CellType::kJtl, "j", {a}, {"o"});
+  SimConfig config = quiet();
+  config.noise_seed = 99;
+  EventSimulator sim(nl, coldflux_library(), config);
+  sim.set_fault(j, CellFault{FaultMode::kFlaky, 0.5});
+  for (int i = 0; i < 200; ++i) sim.inject_pulse(a, 10.0 * (i + 1));
+  sim.run_until(3000.0);
+  const std::size_t passed = sim.pulses(nl.cell(j).outputs[0]).size();
+  EXPECT_GT(passed, 50u);
+  EXPECT_LT(passed, 150u);
+}
+
+TEST(EventSim, JitterShiftsButKeepsPulses) {
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const CellId j = nl.add_cell(CellType::kJtl, "j", {a}, {"o"});
+  SimConfig config;
+  config.jitter_sigma_ps = 0.8;
+  config.noise_seed = 5;
+  EventSimulator sim(nl, coldflux_library(), config);
+  sim.inject_pulse(a, 100.0);
+  sim.run_until(200.0);
+  const auto& out = sim.pulses(nl.cell(j).outputs[0]);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0], 104.0, 5.0);
+  EXPECT_NE(out[0], 104.0);  // jitter actually applied
+}
+
+TEST(EventSim, DeterministicForFixedSeed) {
+  Netlist nl("t");
+  const NetId a = nl.add_primary_input("a");
+  const CellId j = nl.add_cell(CellType::kJtl, "j", {a}, {"o"});
+  SimConfig config;
+  config.jitter_sigma_ps = 1.0;
+  config.noise_seed = 12345;
+  auto run = [&] {
+    EventSimulator sim(nl, coldflux_library(), config);
+    for (int i = 0; i < 50; ++i) sim.inject_pulse(a, 10.0 * (i + 1));
+    sim.run_until(1000.0);
+    return sim.pulses(nl.cell(j).outputs[0]);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(EventSim, RunUntilAdvancesTime) {
+  Netlist nl("t");
+  nl.add_primary_input("a");
+  EventSimulator sim(nl, coldflux_library(), quiet());
+  sim.run_until(123.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 123.0);
+  EXPECT_THROW(sim.inject_pulse(0, 50.0), ContractViolation);  // in the past
+}
+
+}  // namespace
+}  // namespace sfqecc::sim

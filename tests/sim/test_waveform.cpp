@@ -1,0 +1,103 @@
+#include "sim/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::sim {
+namespace {
+
+TEST(Waveform, PulseRasterPeaksAtPulseTimes) {
+  RasterOptions opt;
+  opt.t1_ps = 100.0;
+  opt.pulse_amplitude_uv = 400.0;
+  const AnalogTrace t = rasterize_pulses("x", {50.0}, opt);
+  ASSERT_EQ(t.samples_uv.size(), 101u);
+  EXPECT_NEAR(t.samples_uv[50], 400.0, 1.0);
+  EXPECT_NEAR(t.samples_uv[10], 0.0, 1e-6);
+  // Symmetric falloff.
+  EXPECT_NEAR(t.samples_uv[49], t.samples_uv[51], 1e-9);
+}
+
+TEST(Waveform, OverlappingPulsesSuperpose) {
+  RasterOptions opt;
+  opt.t1_ps = 100.0;
+  const AnalogTrace one = rasterize_pulses("x", {50.0}, opt);
+  const AnalogTrace two = rasterize_pulses("x", {50.0, 50.0}, opt);
+  EXPECT_NEAR(two.samples_uv[50], 2.0 * one.samples_uv[50], 1e-9);
+}
+
+TEST(Waveform, PulsesOutsideWindowIgnored) {
+  RasterOptions opt;
+  opt.t1_ps = 100.0;
+  const AnalogTrace t = rasterize_pulses("x", {-500.0, 900.0}, opt);
+  for (double s : t.samples_uv) EXPECT_NEAR(s, 0.0, 1e-9);
+}
+
+TEST(Waveform, DcRasterSteps) {
+  RasterOptions opt;
+  opt.t1_ps = 100.0;
+  const AnalogTrace t = rasterize_dc("c", {20.0, 60.0}, 400.0, opt);
+  EXPECT_DOUBLE_EQ(t.samples_uv[10], 0.0);
+  EXPECT_DOUBLE_EQ(t.samples_uv[40], 400.0);
+  EXPECT_DOUBLE_EQ(t.samples_uv[80], 0.0);
+}
+
+TEST(Waveform, NoiseIsReproducible) {
+  RasterOptions opt;
+  opt.t1_ps = 50.0;
+  opt.noise_sigma_uv = 20.0;
+  opt.noise_seed = 11;
+  const AnalogTrace a = rasterize_pulses("x", {25.0}, opt);
+  const AnalogTrace b = rasterize_pulses("x", {25.0}, opt);
+  EXPECT_EQ(a.samples_uv, b.samples_uv);
+  opt.noise_seed = 12;
+  const AnalogTrace c = rasterize_pulses("x", {25.0}, opt);
+  EXPECT_NE(a.samples_uv, c.samples_uv);
+}
+
+TEST(Waveform, CsvHasHeaderAndRows) {
+  RasterOptions opt;
+  opt.t1_ps = 10.0;
+  const AnalogTrace a = rasterize_pulses("m1", {5.0}, opt);
+  const AnalogTrace b = rasterize_dc("c1", {3.0}, 400.0, opt);
+  const std::string csv = traces_to_csv({a, b});
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "time_ps,m1_uV,c1_uV");
+  std::size_t lines = 0;
+  for (char ch : csv)
+    if (ch == '\n') ++lines;
+  EXPECT_EQ(lines, 12u);  // header + 11 samples
+}
+
+TEST(Waveform, CsvRejectsMismatchedGrids) {
+  RasterOptions a_opt;
+  a_opt.t1_ps = 10.0;
+  RasterOptions b_opt;
+  b_opt.t1_ps = 20.0;
+  const AnalogTrace a = rasterize_pulses("a", {}, a_opt);
+  const AnalogTrace b = rasterize_pulses("b", {}, b_opt);
+  EXPECT_THROW(traces_to_csv({a, b}), ContractViolation);
+}
+
+TEST(Waveform, AsciiShowsPulsesAndLabels) {
+  RasterOptions opt;
+  opt.t1_ps = 100.0;
+  const AnalogTrace t = rasterize_pulses("m1", {50.0}, opt);
+  const std::string art = traces_to_ascii({t}, 50);
+  EXPECT_NE(art.find("m1"), std::string::npos);
+  EXPECT_NE(art.find('|'), std::string::npos);
+  EXPECT_NE(art.find('_'), std::string::npos);
+}
+
+TEST(Waveform, AsciiFlatTraceIsBaseline) {
+  RasterOptions opt;
+  opt.t1_ps = 100.0;
+  const AnalogTrace t = rasterize_pulses("quiet", {}, opt);
+  const std::string art = traces_to_ascii({t}, 40);
+  EXPECT_EQ(art.find('|'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfqecc::sim

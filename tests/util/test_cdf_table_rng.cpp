@@ -1,0 +1,187 @@
+// Tests for the empirical CDF, the table/plot formatters and the RNG streams.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/ascii_plot.hpp"
+#include "util/cdf.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace sfqecc::util {
+namespace {
+
+// ---------------------------------------------------------------------- CDF --
+
+TEST(EmpiricalCdf, EmptyBehaves) {
+  EmpiricalCdf cdf;
+  EXPECT_EQ(cdf.sample_count(), 0u);
+  EXPECT_DOUBLE_EQ(cdf.at(5), 0.0);
+  EXPECT_THROW(cdf.inverse(0.5), ContractViolation);
+}
+
+TEST(EmpiricalCdf, BasicSteps) {
+  const EmpiricalCdf cdf(std::vector<std::size_t>{0, 0, 1, 3});
+  EXPECT_DOUBLE_EQ(cdf.at(0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(1), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at(2), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at(3), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100), 1.0);
+  EXPECT_EQ(cdf.count_at(0), 2u);
+  EXPECT_EQ(cdf.count_at(2), 0u);
+  EXPECT_EQ(cdf.max_value(), 3u);
+}
+
+TEST(EmpiricalCdf, MonotoneNonDecreasing) {
+  Rng rng(5);
+  std::vector<std::size_t> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.below(50));
+  const EmpiricalCdf cdf(xs);
+  double prev = 0.0;
+  for (std::size_t n = 0; n <= 50; ++n) {
+    EXPECT_GE(cdf.at(n), prev);
+    prev = cdf.at(n);
+  }
+  EXPECT_DOUBLE_EQ(cdf.at(50), 1.0);
+}
+
+TEST(EmpiricalCdf, InverseIsGeneralizedInverse) {
+  const EmpiricalCdf cdf(std::vector<std::size_t>{1, 2, 2, 9});
+  EXPECT_EQ(cdf.inverse(0.25), 1u);
+  EXPECT_EQ(cdf.inverse(0.5), 2u);
+  EXPECT_EQ(cdf.inverse(0.75), 2u);
+  EXPECT_EQ(cdf.inverse(1.0), 9u);
+}
+
+// -------------------------------------------------------------------- table --
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"a", "long-header"});
+  t.add_row({"xx", "1"});
+  t.add_row({"y", "22"});
+  const std::string s = t.to_string();
+  // Every line has the same width.
+  std::size_t width = 0;
+  std::size_t lines = 0;
+  for (std::size_t pos = 0; pos < s.size();) {
+    const std::size_t nl = s.find('\n', pos);
+    const std::size_t len = nl - pos;
+    if (width == 0) width = len;
+    EXPECT_EQ(len, width);
+    pos = nl + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 6u);  // rule, header, rule, 2 rows, rule
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NE(t.to_string().find("| 1 |"), std::string::npos);
+}
+
+TEST(TextTable, FixedAndPercent) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(-1.0, 0), "-1");
+  EXPECT_EQ(percent(0.927, 1), "92.7 %");
+  EXPECT_EQ(percent(1.0, 0), "100 %");
+}
+
+// --------------------------------------------------------------------- plot --
+
+TEST(AsciiPlot, RendersSeriesGlyphs) {
+  Series s1{"up", {0, 1, 2}, {0, 1, 2}};
+  Series s2{"down", {0, 1, 2}, {2, 1, 0}};
+  PlotOptions opt;
+  opt.width = 40;
+  opt.height = 10;
+  const std::string plot = plot_xy({s1, s2}, opt);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find('o'), std::string::npos);
+  EXPECT_NE(plot.find("up"), std::string::npos);
+  EXPECT_NE(plot.find("down"), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptyPlotHandled) {
+  EXPECT_EQ(plot_xy({}, PlotOptions{}), "(empty plot)\n");
+}
+
+TEST(AsciiPlot, MismatchedSeriesRejected) {
+  Series bad{"bad", {0, 1}, {0}};
+  EXPECT_THROW(plot_xy({bad}, PlotOptions{}), ContractViolation);
+}
+
+TEST(AsciiPlot, PulseStripPlacesTicks) {
+  const std::string strip = pulse_strip({0.0, 50.0, 99.0}, 0.0, 100.0, 10);
+  EXPECT_EQ(strip.size(), 10u);
+  EXPECT_EQ(strip[0], '|');
+  EXPECT_EQ(strip[5], '|');
+  EXPECT_EQ(strip[9], '|');
+  EXPECT_EQ(strip[2], '_');
+}
+
+TEST(AsciiPlot, PulseStripIgnoresOutOfWindow) {
+  const std::string strip = pulse_strip({-5.0, 200.0}, 0.0, 100.0, 10);
+  EXPECT_EQ(strip, "__________");
+}
+
+// ---------------------------------------------------------------------- rng --
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SubstreamsAreIndependentlySeeded) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) seeds.insert(substream_seed(7, i));
+  EXPECT_EQ(seeds.size(), 1000u);  // no collisions among the first 1000 streams
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-0.2, 0.2);
+    EXPECT_GE(u, -0.2);
+    EXPECT_LT(u, 0.2);
+  }
+}
+
+TEST(Rng, BelowIsUniformish) {
+  Rng rng(10);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.below(8)];
+  for (int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(11);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.bernoulli(0.25)) ++heads;
+  EXPECT_NEAR(heads / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(12);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian(1.0, 2.0);
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.06);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+}  // namespace
+}  // namespace sfqecc::util

@@ -1,0 +1,136 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace sfqecc::util {
+namespace {
+
+TEST(Stats, SummaryOfEmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SummaryBasics) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.variance, 5.0 / 3.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Stats, SingleSampleHasZeroVariance) {
+  const Summary s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+}
+
+TEST(Stats, AccumulatorMatchesBatchOnRandomData) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> xs;
+    Accumulator acc;
+    const std::size_t n = 2 + rng.below(500);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = rng.gaussian(3.0, 2.0);
+      xs.push_back(x);
+      acc.add(x);
+    }
+    const Summary s = summarize(xs);
+    EXPECT_NEAR(acc.mean(), s.mean, 1e-9);
+    EXPECT_NEAR(acc.variance(), s.variance, 1e-9);
+    EXPECT_DOUBLE_EQ(acc.min(), s.min);
+    EXPECT_DOUBLE_EQ(acc.max(), s.max);
+  }
+}
+
+TEST(Stats, WelfordIsStableForLargeOffsets) {
+  // Classic catastrophic-cancellation case: large mean, small variance.
+  Accumulator acc;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) acc.add(1e9 + (i % 2 == 0 ? 0.5 : -0.5));
+  // Unbiased estimator of the alternating +/-0.5 sequence: 0.25 * n/(n-1).
+  EXPECT_NEAR(acc.variance(), 0.25 * n / (n - 1.0), 1e-9);
+}
+
+TEST(Stats, QuantileEndpointsAndMedian) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.35), 3.5);
+}
+
+TEST(Stats, QuantileContractChecks) {
+  EXPECT_THROW(quantile({}, 0.5), ContractViolation);
+  EXPECT_THROW(quantile({1.0}, 1.5), ContractViolation);
+}
+
+TEST(Stats, WilsonIntervalContainsPointEstimate) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 10 + rng.below(1000);
+    const std::size_t k = rng.below(n + 1);
+    const Interval ci = wilson_interval(k, n);
+    const double p = static_cast<double>(k) / static_cast<double>(n);
+    EXPECT_LE(ci.lo, p + 1e-12);
+    EXPECT_GE(ci.hi, p - 1e-12);
+    EXPECT_GE(ci.lo, 0.0);
+    EXPECT_LE(ci.hi, 1.0);
+  }
+}
+
+TEST(Stats, WilsonIntervalShrinksWithN) {
+  const Interval small = wilson_interval(8, 10);
+  const Interval large = wilson_interval(800, 1000);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(Stats, WilsonIntervalKnownValue) {
+  // 950/1000 at z = 1.96: standard Wilson interval ~ [0.9346, 0.9626].
+  const Interval ci = wilson_interval(950, 1000);
+  EXPECT_NEAR(ci.lo, 0.9346, 0.001);
+  EXPECT_NEAR(ci.hi, 0.9626, 0.001);
+}
+
+TEST(Stats, WilsonIntervalEdgeCases) {
+  const Interval zero = wilson_interval(0, 100);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  const Interval all = wilson_interval(100, 100);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  EXPECT_LT(all.lo, 1.0);
+  EXPECT_THROW(wilson_interval(5, 0), ContractViolation);
+  EXPECT_THROW(wilson_interval(5, 4), ContractViolation);
+}
+
+TEST(Stats, WilsonCoverageMonteCarlo) {
+  // The 95 % interval must cover the true p in roughly 95 % of experiments.
+  Rng rng(3);
+  const double p = 0.3;
+  int covered = 0;
+  const int experiments = 400;
+  for (int e = 0; e < experiments; ++e) {
+    std::size_t k = 0;
+    const std::size_t n = 200;
+    for (std::size_t i = 0; i < n; ++i)
+      if (rng.bernoulli(p)) ++k;
+    const Interval ci = wilson_interval(k, n);
+    if (ci.lo <= p && p <= ci.hi) ++covered;
+  }
+  EXPECT_GT(covered, experiments * 90 / 100);
+}
+
+}  // namespace
+}  // namespace sfqecc::util

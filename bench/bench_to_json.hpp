@@ -1,0 +1,58 @@
+// Normalizes google-benchmark results into a machine-readable BENCH_*.json
+// perf record at the repo root, so successive PRs can diff the performance
+// trajectory of the hot paths without parsing console output.
+//
+// Usage inside a benchmark binary:
+//
+//   int main(int argc, char** argv) {
+//     benchmark::Initialize(&argc, argv);
+//     sfqecc::bench::JsonRecorder recorder("BENCH_fig5.json");
+//     benchmark::RunSpecifiedBenchmarks(&recorder);  // console output intact
+//     recorder.write();
+//   }
+//
+// The emitted schema is intentionally flat and stable:
+//   { "schema": 1, "benchmarks": [ { "name": ..., "real_time_ns": ...,
+//     "cpu_time_ns": ..., "iterations": ... }, ... ] }
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+namespace sfqecc::bench {
+
+/// One normalized benchmark measurement (times in nanoseconds).
+struct BenchRecord {
+  std::string name;
+  double real_time_ns = 0.0;
+  double cpu_time_ns = 0.0;
+  std::int64_t iterations = 0;
+};
+
+/// A benchmark::BenchmarkReporter that tees measurements into BenchRecords
+/// while delegating display to the standard console reporter.
+class JsonRecorder : public benchmark::ConsoleReporter {
+ public:
+  /// `out_path` is where write() puts the JSON (conventionally the repo root).
+  explicit JsonRecorder(std::string out_path);
+
+  bool ReportContext(const Context& context) override;
+  void ReportRuns(const std::vector<Run>& runs) override;
+
+  const std::vector<BenchRecord>& records() const noexcept { return records_; }
+
+  /// Serializes the collected records to `out_path`. Returns false (and
+  /// prints to stderr) when the file cannot be written.
+  bool write() const;
+
+ private:
+  std::string out_path_;
+  std::vector<BenchRecord> records_;
+};
+
+/// Serializes records to `path` in the stable schema above.
+bool write_bench_json(const std::string& path, const std::vector<BenchRecord>& records);
+
+}  // namespace sfqecc::bench

@@ -1,8 +1,16 @@
 // google-benchmark microbenchmarks: throughput of the hot paths used by the
 // Monte-Carlo harness (encode, decode, synthesis, pulse simulation, chip
 // sampling, full frames).
+//
+// Besides the normal console output, results are normalized into
+// BENCH_fig5.json (override with --bench_json_out=PATH) so PRs can diff the
+// perf trajectory; see bench/bench_to_json.hpp for the schema.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+
+#include "bench_to_json.hpp"
 #include "sfqecc.hpp"
 
 using namespace sfqecc;
@@ -124,9 +132,12 @@ void BM_ChipSample(benchmark::State& state) {
   const circuit::BuiltEncoder built =
       circuit::build_encoder(code::paper_rm13(), lib());
   ppv::SpreadSpec spread;
+  ppv::ChipSample chip;
   util::Rng rng(8);
-  for (auto _ : state)
-    benchmark::DoNotOptimize(ppv::sample_chip(built.netlist, lib(), spread, rng));
+  for (auto _ : state) {
+    ppv::sample_chip_into(chip, built.netlist, lib(), spread, rng);
+    benchmark::DoNotOptimize(chip);
+  }
 }
 BENCHMARK(BM_ChipSample);
 
@@ -152,10 +163,10 @@ void BM_MonteCarloChip(benchmark::State& state) {
   link::DataLink dlink(*scheme.encoder, lib(), scheme.code.get(), scheme.decoder.get(),
                        config);
   ppv::SpreadSpec spread;
+  ppv::ChipSample chip;
   util::Rng rng(10);
   for (auto _ : state) {
-    const ppv::ChipSample chip =
-        ppv::sample_chip(scheme.encoder->netlist, lib(), spread, rng);
+    ppv::sample_chip_into(chip, scheme.encoder->netlist, lib(), spread, rng);
     dlink.install_chip(chip);
     std::size_t errors = 0;
     for (int m = 0; m < 100; ++m) {
@@ -169,4 +180,22 @@ BENCHMARK(BM_MonteCarloChip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_out = "BENCH_fig5.json";
+  // Strip our flag before benchmark::Initialize sees (and rejects) it.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char* kFlag = "--bench_json_out=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0)
+      json_out = argv[i] + std::strlen(kFlag);
+    else
+      argv[kept++] = argv[i];
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  sfqecc::bench::JsonRecorder recorder(json_out);
+  benchmark::RunSpecifiedBenchmarks(&recorder);
+  benchmark::Shutdown();
+  return recorder.write() ? 0 : 1;
+}

@@ -1,27 +1,15 @@
 #include "code/bitvec.hpp"
 
-#include <bit>
-
 #include "util/expect.hpp"
 
 namespace sfqecc::code {
-namespace {
-
-constexpr std::size_t kWordBits = 64;
-
-std::size_t words_for(std::size_t bits) { return (bits + kWordBits - 1) / kWordBits; }
-
-}  // namespace
-
-BitVec::BitVec(std::size_t size) : size_(size), words_(words_for(size), 0) {}
 
 BitVec BitVec::from_u64(std::size_t size, std::uint64_t value) {
   expects(size <= kWordBits, "from_u64 supports at most 64 bits");
   BitVec v(size);
   if (size > 0) {
-    const std::uint64_t mask =
-        size == kWordBits ? ~0ULL : ((1ULL << size) - 1);
-    v.words_[0] = value & mask;
+    const std::uint64_t mask = size == kWordBits ? ~0ULL : ((1ULL << size) - 1);
+    v.word0_ = value & mask;
   }
   return v;
 }
@@ -39,81 +27,51 @@ void BitVec::check_index(std::size_t i) const {
   expects(i < size_, "BitVec index out of range");
 }
 
-bool BitVec::get(std::size_t i) const {
-  check_index(i);
-  return (words_[i / kWordBits] >> (i % kWordBits)) & 1ULL;
-}
-
-void BitVec::set(std::size_t i, bool value) {
-  check_index(i);
-  const std::uint64_t mask = 1ULL << (i % kWordBits);
-  if (value)
-    words_[i / kWordBits] |= mask;
-  else
-    words_[i / kWordBits] &= ~mask;
-}
-
-void BitVec::flip(std::size_t i) {
-  check_index(i);
-  words_[i / kWordBits] ^= 1ULL << (i % kWordBits);
-}
-
-std::size_t BitVec::weight() const noexcept {
-  std::size_t w = 0;
-  for (std::uint64_t word : words_) w += static_cast<std::size_t>(std::popcount(word));
-  return w;
-}
-
-bool BitVec::is_zero() const noexcept {
-  for (std::uint64_t word : words_)
-    if (word != 0) return false;
-  return true;
-}
-
-bool BitVec::parity() const noexcept { return weight() % 2 != 0; }
-
-void BitVec::clear_padding() noexcept {
-  const std::size_t rem = size_ % kWordBits;
-  if (rem != 0 && !words_.empty()) words_.back() &= (1ULL << rem) - 1;
-}
-
-BitVec& BitVec::operator^=(const BitVec& other) {
-  expects(size_ == other.size_, "BitVec XOR size mismatch");
-  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= other.words_[w];
-  return *this;
-}
-
-BitVec& BitVec::operator&=(const BitVec& other) {
-  expects(size_ == other.size_, "BitVec AND size mismatch");
-  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
-  return *this;
-}
-
-bool BitVec::dot(const BitVec& other) const {
-  expects(size_ == other.size_, "BitVec dot size mismatch");
-  std::uint64_t acc = 0;
-  for (std::size_t w = 0; w < words_.size(); ++w)
-    acc ^= words_[w] & other.words_[w];
-  return std::popcount(acc) % 2 != 0;
+void BitVec::check_same_size(const BitVec& other) const {
+  expects(size_ == other.size_, "BitVec size mismatch");
 }
 
 BitVec BitVec::concat(const BitVec& other) const {
   BitVec out(size_ + other.size_);
-  for (std::size_t i = 0; i < size_; ++i) out.set(i, get(i));
-  for (std::size_t i = 0; i < other.size_; ++i) out.set(size_ + i, other.get(i));
+  std::uint64_t* dst = out.words();
+  const std::uint64_t* a = words();
+  for (std::size_t w = 0, count = word_count(); w < count; ++w) dst[w] = a[w];
+  // OR `other`'s words in, shifted to start at bit offset size_.
+  const std::uint64_t* b = other.words();
+  const std::size_t word_off = size_ / kWordBits;
+  const std::size_t bit_off = size_ % kWordBits;
+  const std::size_t out_words = out.word_count();
+  for (std::size_t w = 0, count = other.word_count(); w < count; ++w) {
+    dst[word_off + w] |= b[w] << bit_off;
+    if (bit_off != 0 && word_off + w + 1 < out_words)
+      dst[word_off + w + 1] |= b[w] >> (kWordBits - bit_off);
+  }
+  out.clear_padding();
   return out;
 }
 
 BitVec BitVec::slice(std::size_t begin, std::size_t count) const {
   expects(begin + count <= size_, "BitVec slice out of range");
   BitVec out(count);
-  for (std::size_t i = 0; i < count; ++i) out.set(i, get(begin + i));
+  if (count == 0) return out;
+  std::uint64_t* dst = out.words();
+  const std::uint64_t* src = words();
+  const std::size_t word_off = begin / kWordBits;
+  const std::size_t bit_off = begin % kWordBits;
+  const std::size_t src_words = word_count();
+  for (std::size_t w = 0, out_words = out.word_count(); w < out_words; ++w) {
+    std::uint64_t v = src[word_off + w] >> bit_off;
+    if (bit_off != 0 && word_off + w + 1 < src_words)
+      v |= src[word_off + w + 1] << (kWordBits - bit_off);
+    dst[w] = v;
+  }
+  out.clear_padding();
   return out;
 }
 
 std::uint64_t BitVec::to_u64() const {
   expects(size_ <= kWordBits, "to_u64 supports at most 64 bits");
-  return words_.empty() ? 0 : words_[0];
+  return word0_;
 }
 
 std::string BitVec::to_string() const {
@@ -125,18 +83,15 @@ std::string BitVec::to_string() const {
 
 std::vector<std::size_t> BitVec::support() const {
   std::vector<std::size_t> out;
-  for (std::size_t i = 0; i < size_; ++i)
-    if (get(i)) out.push_back(i);
-  return out;
-}
-
-std::size_t BitVec::hash() const noexcept {
-  std::uint64_t h = 0xcbf29ce484222325ULL ^ size_;
-  for (std::uint64_t word : words_) {
-    h ^= word;
-    h *= 0x100000001b3ULL;
+  const std::uint64_t* w = words();
+  for (std::size_t i = 0, count = word_count(); i < count; ++i) {
+    std::uint64_t word = w[i];
+    while (word != 0) {
+      out.push_back(i * kWordBits + static_cast<std::size_t>(std::countr_zero(word)));
+      word &= word - 1;
+    }
   }
-  return static_cast<std::size_t>(h);
+  return out;
 }
 
 }  // namespace sfqecc::code

@@ -3,8 +3,19 @@
 // BitVec is the value type for messages, codewords, syndromes and error
 // patterns throughout the library. It is a fixed-length bit string with XOR /
 // AND algebra, Hamming-weight queries and integer/string conversions.
+//
+// Storage invariants (the hot-path contract the sim and link layers rely on):
+//  * size <= 64: the bits live in an inline word — construction, copy, XOR,
+//    weight, parity, dot and to_u64/from_u64 never touch the heap. Every code
+//    in the paper has n <= 38, so the whole frame path is allocation-free.
+//  * size > 64: bits spill to a heap word array (the general case used by
+//    long Reed-Muller codes and analysis tools).
+//  * Padding bits above `size` are always zero, in both representations, so
+//    word-parallel operations (weight/parity/dot/equality/hash) need no
+//    per-bit masking.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -17,10 +28,15 @@ namespace sfqecc::code {
 /// (bit index 0 is the least significant bit of word 0).
 class BitVec {
  public:
+  /// Sizes up to this many bits are stored inline (no heap allocation).
+  static constexpr std::size_t kInlineBits = 64;
+
   BitVec() = default;
 
   /// Zero vector of the given length.
-  explicit BitVec(std::size_t size);
+  explicit BitVec(std::size_t size) : size_(size) {
+    if (size > kInlineBits) heap_.assign(word_count(), 0);
+  }
 
   /// Builds a BitVec of length `size` from the low bits of `value`
   /// (bit i of `value` becomes element i). Requires size <= 64.
@@ -32,32 +48,88 @@ class BitVec {
   std::size_t size() const noexcept { return size_; }
   bool empty() const noexcept { return size_ == 0; }
 
-  bool get(std::size_t i) const;
-  void set(std::size_t i, bool value);
-  void flip(std::size_t i);
+  bool get(std::size_t i) const {
+    check_index(i);
+    return (words()[i / kWordBits] >> (i % kWordBits)) & 1ULL;
+  }
 
-  /// Number of ones.
-  std::size_t weight() const noexcept;
+  void set(std::size_t i, bool value) {
+    check_index(i);
+    const std::uint64_t mask = 1ULL << (i % kWordBits);
+    if (value)
+      words()[i / kWordBits] |= mask;
+    else
+      words()[i / kWordBits] &= ~mask;
+  }
+
+  void flip(std::size_t i) {
+    check_index(i);
+    words()[i / kWordBits] ^= 1ULL << (i % kWordBits);
+  }
+
+  /// Number of ones. Word-parallel (one popcount per word).
+  std::size_t weight() const noexcept {
+    if (size_ <= kInlineBits) return static_cast<std::size_t>(std::popcount(word0_));
+    std::size_t w = 0;
+    for (std::uint64_t word : heap_) w += static_cast<std::size_t>(std::popcount(word));
+    return w;
+  }
 
   /// True when every element is zero.
-  bool is_zero() const noexcept;
+  bool is_zero() const noexcept {
+    if (size_ <= kInlineBits) return word0_ == 0;
+    for (std::uint64_t word : heap_)
+      if (word != 0) return false;
+    return true;
+  }
 
-  /// Parity (XOR) of all elements.
-  bool parity() const noexcept;
+  /// Parity (XOR) of all elements. Word-parallel.
+  bool parity() const noexcept {
+    if (size_ <= kInlineBits) return (std::popcount(word0_) & 1) != 0;
+    std::uint64_t acc = 0;
+    for (std::uint64_t word : heap_) acc ^= word;
+    return (std::popcount(acc) & 1) != 0;
+  }
 
   /// In-place XOR with `other`. Sizes must match.
-  BitVec& operator^=(const BitVec& other);
+  BitVec& operator^=(const BitVec& other) {
+    check_same_size(other);
+    if (size_ <= kInlineBits) {
+      word0_ ^= other.word0_;
+    } else {
+      for (std::size_t w = 0; w < heap_.size(); ++w) heap_[w] ^= other.heap_[w];
+    }
+    return *this;
+  }
 
   /// In-place AND with `other`. Sizes must match.
-  BitVec& operator&=(const BitVec& other);
+  BitVec& operator&=(const BitVec& other) {
+    check_same_size(other);
+    if (size_ <= kInlineBits) {
+      word0_ &= other.word0_;
+    } else {
+      for (std::size_t w = 0; w < heap_.size(); ++w) heap_[w] &= other.heap_[w];
+    }
+    return *this;
+  }
 
   friend BitVec operator^(BitVec a, const BitVec& b) { return a ^= b; }
   friend BitVec operator&(BitVec a, const BitVec& b) { return a &= b; }
 
-  bool operator==(const BitVec& other) const noexcept = default;
+  bool operator==(const BitVec& other) const noexcept {
+    if (size_ != other.size_) return false;
+    if (size_ <= kInlineBits) return word0_ == other.word0_;
+    return heap_ == other.heap_;
+  }
 
   /// Inner product over GF(2): parity of (this AND other). Sizes must match.
-  bool dot(const BitVec& other) const;
+  bool dot(const BitVec& other) const {
+    check_same_size(other);
+    if (size_ <= kInlineBits) return (std::popcount(word0_ & other.word0_) & 1) != 0;
+    std::uint64_t acc = 0;
+    for (std::size_t w = 0; w < heap_.size(); ++w) acc ^= heap_[w] & other.heap_[w];
+    return (std::popcount(acc) & 1) != 0;
+  }
 
   /// Concatenation: this followed by `other`.
   BitVec concat(const BitVec& other) const;
@@ -75,14 +147,35 @@ class BitVec {
   std::vector<std::size_t> support() const;
 
   /// FNV-style hash for use in unordered containers.
-  std::size_t hash() const noexcept;
+  std::size_t hash() const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL ^ size_;
+    const std::uint64_t* w = words();
+    for (std::size_t i = 0, count = word_count(); i < count; ++i) {
+      h ^= w[i];
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
 
  private:
+  static constexpr std::size_t kWordBits = 64;
+
   std::size_t size_ = 0;
-  std::vector<std::uint64_t> words_;
+  std::uint64_t word0_ = 0;          // inline storage when size_ <= kInlineBits
+  std::vector<std::uint64_t> heap_;  // spill storage when size_ > kInlineBits
+
+  std::size_t word_count() const noexcept { return (size_ + kWordBits - 1) / kWordBits; }
+  std::uint64_t* words() noexcept { return size_ <= kInlineBits ? &word0_ : heap_.data(); }
+  const std::uint64_t* words() const noexcept {
+    return size_ <= kInlineBits ? &word0_ : heap_.data();
+  }
 
   void check_index(std::size_t i) const;
-  void clear_padding() noexcept;
+  void check_same_size(const BitVec& other) const;
+  void clear_padding() noexcept {
+    const std::size_t rem = size_ % kWordBits;
+    if (rem != 0) words()[word_count() - 1] &= (1ULL << rem) - 1;
+  }
 };
 
 /// std::hash adapter.

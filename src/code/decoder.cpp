@@ -1,6 +1,7 @@
 #include "code/decoder.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <vector>
 
@@ -25,6 +26,28 @@ std::string SyndromeDecoder::name() const {
 DecodeResult SyndromeDecoder::decode(const BitVec& received) const {
   expects(received.size() == code_.n(), "received length mismatch");
   DecodeResult result;
+  if (code_.has_fast_path()) {
+    // Allocation-free path: received word, syndrome, leader and message all
+    // stay in single words.
+    const std::uint64_t r = received.to_u64();
+    const std::uint64_t s = code_.syndrome_u64(r);
+    std::uint64_t cw = r;
+    if (s == 0) {
+      result.status = DecodeStatus::kNoError;
+      result.codeword = received;
+    } else {
+      const std::uint64_t leader = code_.coset_leader_words()[s];
+      cw ^= leader;
+      result.codeword = BitVec::from_u64(code_.n(), cw);
+      result.bits_flipped = static_cast<std::size_t>(std::popcount(leader));
+      result.status =
+          (max_correct_weight_ && result.bits_flipped > *max_correct_weight_)
+              ? DecodeStatus::kDetected
+              : DecodeStatus::kCorrected;
+    }
+    result.message = BitVec::from_u64(code_.k(), code_.extract_message_u64(cw));
+    return result;
+  }
   const BitVec s = code_.syndrome(received);
   if (s.is_zero()) {
     result.status = DecodeStatus::kNoError;
@@ -73,6 +96,36 @@ ExtendedHammingDecoder::ExtendedHammingDecoder(const LinearCode& extended,
 DecodeResult ExtendedHammingDecoder::decode(const BitVec& received) const {
   expects(received.size() == extended_.n(), "received length mismatch");
   const std::size_t n = extended_.n();
+  if (extended_.has_fast_path()) {
+    // Allocation-free path, semantically identical to the BitVec branch
+    // below: inner word = low n-1 bits, leaders XOR directly into the word.
+    const std::uint64_t r = received.to_u64();
+    const bool parity_odd = (std::popcount(r) & 1) != 0;
+    const std::uint64_t parity_bit = std::uint64_t{1} << (n - 1);
+    const std::uint64_t s = base_.syndrome_u64(r & (parity_bit - 1));
+
+    DecodeResult result;
+    std::uint64_t cw = r;
+    if (s == 0) {
+      if (!parity_odd) {
+        result.status = DecodeStatus::kNoError;
+      } else {
+        result.status = DecodeStatus::kCorrected;
+        cw ^= parity_bit;
+        result.bits_flipped = 1;
+      }
+    } else {
+      const std::uint64_t leader = base_.coset_leader_words()[s];
+      cw ^= leader;
+      result.bits_flipped = static_cast<std::size_t>(std::popcount(leader));
+      result.status = parity_odd ? DecodeStatus::kCorrected : DecodeStatus::kDetected;
+    }
+    if (extended_.syndrome_u64(cw) != 0) cw ^= parity_bit;
+    result.codeword = BitVec::from_u64(n, cw);
+    result.message =
+        BitVec::from_u64(extended_.k(), extended_.extract_message_u64(cw));
+    return result;
+  }
   const BitVec inner = received.slice(0, n - 1);
   const bool parity_odd = received.parity();
   const BitVec s = base_.syndrome(inner);
@@ -144,8 +197,15 @@ DecodeResult RmFhtDecoder::decode(const BitVec& received) const {
   const std::size_t n = code_.n();
 
   // Bipolar map 0 -> +1, 1 -> -1, then the fast Hadamard transform; F_a is the
-  // correlation of the received word with the linear form <a, j>.
-  std::vector<int> f(n);
+  // correlation of the received word with the linear form <a, j>. Short codes
+  // (every paper code) use a stack buffer so decoding never allocates.
+  int stack_f[64];
+  std::vector<int> heap_f;
+  int* f = stack_f;
+  if (n > 64) {
+    heap_f.resize(n);
+    f = heap_f.data();
+  }
   for (std::size_t j = 0; j < n; ++j) f[j] = received.get(j) ? -1 : 1;
   for (std::size_t len = 1; len < n; len <<= 1) {
     for (std::size_t blk = 0; blk < n; blk += len << 1) {

@@ -1,6 +1,7 @@
 #include "code/linear_code.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
 #include "util/expect.hpp"
@@ -19,6 +20,7 @@ LinearCode::LinearCode(std::string name, Gf2Matrix generator,
   expects(generator_.rows() > 0 && generator_.cols() > 0, "empty generator matrix");
   expects(generator_.rows() <= generator_.cols(), "generator must have k <= n");
   expects(generator_.rank() == generator_.rows(), "generator must have full row rank");
+  build_fast_tables();
 }
 
 const Gf2Matrix& LinearCode::parity_check() const {
@@ -31,17 +33,55 @@ const Gf2Matrix& LinearCode::parity_check() const {
   return *parity_check_;
 }
 
+void LinearCode::build_fast_tables() {
+  if (!has_fast_path()) return;
+  gen_row_masks_.resize(k());
+  for (std::size_t i = 0; i < k(); ++i) gen_row_masks_[i] = generator_.row(i).to_u64();
+
+  const Gf2Matrix& h = parity_check();
+  h_row_masks_.resize(parity_bits());
+  for (std::size_t i = 0; i < parity_bits(); ++i) h_row_masks_[i] = h.row(i).to_u64();
+
+  // m_i = XOR_j c[pivot_j] * D[j][i]  ==>  parity(c & extract_masks_[i]).
+  build_message_recovery();
+  extract_masks_.assign(k(), 0);
+  for (std::size_t j = 0; j < k(); ++j)
+    for (std::size_t i = 0; i < k(); ++i)
+      if (decode_matrix_->get(j, i))
+        extract_masks_[i] |= std::uint64_t{1} << pivot_columns_[j];
+
+  if (k() <= kCodewordLutMaxK) {
+    // Gray-code enumeration: one row XOR per table entry.
+    codeword_lut_.assign(std::size_t{1} << k(), 0);
+    std::uint64_t current = 0;
+    std::uint64_t prev_gray = 0;
+    const std::uint64_t total = std::uint64_t{1} << k();
+    for (std::uint64_t i = 1; i < total; ++i) {
+      const std::uint64_t gray = i ^ (i >> 1);
+      current ^= gen_row_masks_[static_cast<std::size_t>(
+          std::countr_zero(gray ^ prev_gray))];
+      prev_gray = gray;
+      codeword_lut_[gray] = current;
+    }
+  }
+}
+
 BitVec LinearCode::encode(const BitVec& message) const {
   expects(message.size() == k(), "message length mismatch");
+  if (has_fast_path()) return BitVec::from_u64(n(), encode_u64(message.to_u64()));
   return generator_.mul_left(message);
 }
 
 BitVec LinearCode::syndrome(const BitVec& received) const {
   expects(received.size() == n(), "received word length mismatch");
+  if (has_fast_path())
+    return BitVec::from_u64(parity_bits(), syndrome_u64(received.to_u64()));
   return parity_check().mul_right(received);
 }
 
 bool LinearCode::is_codeword(const BitVec& word) const {
+  expects(word.size() == n(), "received word length mismatch");
+  if (has_fast_path()) return syndrome_u64(word.to_u64()) == 0;
   return syndrome(word).is_zero();
 }
 
@@ -73,6 +113,8 @@ void LinearCode::build_message_recovery() const {
 BitVec LinearCode::extract_message(const BitVec& codeword) const {
   expects(codeword.size() == n(), "codeword length mismatch");
   expects(is_codeword(codeword), "extract_message requires a valid codeword");
+  if (has_fast_path())
+    return BitVec::from_u64(k(), extract_message_u64(codeword.to_u64()));
   build_message_recovery();
   BitVec restricted(k());
   for (std::size_t i = 0; i < k(); ++i) restricted.set(i, codeword.get(pivot_columns_[i]));
@@ -169,17 +211,37 @@ const std::vector<BitVec>& LinearCode::coset_leaders() const {
     }
     ensures(remaining == 0, "failed to cover all syndromes");
     coset_leaders_ = std::move(leaders);
+    if (has_fast_path()) {
+      coset_leader_words_.resize(table_size);
+      for (std::size_t s = 0; s < table_size; ++s)
+        coset_leader_words_[s] = (*coset_leaders_)[s].to_u64();
+    }
   }
   return *coset_leaders_;
+}
+
+const std::vector<std::uint64_t>& LinearCode::coset_leader_words() const {
+  expects(has_fast_path(), "coset_leader_words requires n <= 64");
+  (void)coset_leaders();
+  return coset_leader_words_;
 }
 
 std::vector<BitVec> LinearCode::all_codewords() const {
   expects(k() <= kMaxEnumerableK, "codeword enumeration needs k <= 24");
   const std::uint64_t total = 1ULL << k();
-  std::vector<BitVec> out;
-  out.reserve(total);
-  for (std::uint64_t m = 0; m < total; ++m)
-    out.push_back(encode(BitVec::from_u64(k(), m)));
+  // Same Gray-code row-XOR walk as weight_distribution(): one generator-row
+  // XOR per codeword instead of a full encode per message.
+  std::vector<BitVec> out(total);
+  BitVec current(n());
+  out[0] = current;
+  std::uint64_t prev_gray = 0;
+  for (std::uint64_t i = 1; i < total; ++i) {
+    const std::uint64_t gray = i ^ (i >> 1);
+    current ^= generator_.row(
+        static_cast<std::size_t>(std::countr_zero(gray ^ prev_gray)));
+    prev_gray = gray;
+    out[gray] = current;
+  }
   return out;
 }
 

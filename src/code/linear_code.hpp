@@ -3,6 +3,20 @@
 // A LinearCode owns its generator matrix and lazily derives the structures
 // decoders and analyses need: parity-check matrix, minimum distance, weight
 // distribution, syndrome/coset-leader table and a message-recovery map.
+//
+// Fast-path invariants (relied on by the decoders and the link-layer frame
+// loop): whenever n <= 64 the constructor eagerly caches
+//  * per-row generator masks   — encode is a handful of u64 XORs,
+//  * a direct codeword lookup table when k <= 16 — encode is one load,
+//  * per-row parity-check masks — syndrome is (n-k) AND+popcount ops,
+//  * per-bit message-extraction masks — extract_message is k parity ops,
+// so encode/syndrome/extract_message never run a generic Gf2Matrix product
+// and never allocate (their BitVec results are <= 64 bits and stay inline).
+// The u64 views (encode_u64 etc.) expose the same tables to callers that
+// already hold words. Tables are immutable after construction, making the
+// fast accessors safe for concurrent use across Monte-Carlo threads; the
+// coset-leader table stays lazy (decoders build it eagerly in their
+// constructors, before worker threads spawn).
 #pragma once
 
 #include <cstdint>
@@ -18,6 +32,11 @@ namespace sfqecc::code {
 /// Binary linear [n, k] block code defined by a full-row-rank k x n generator.
 class LinearCode {
  public:
+  /// Codes with n at most this long get the cached u64 fast paths.
+  static constexpr std::size_t kFastPathMaxN = 64;
+  /// Codes with k at most this get a direct message -> codeword table.
+  static constexpr std::size_t kCodewordLutMaxK = 16;
+
   /// `known_dmin` can be supplied when the construction guarantees it (e.g.
   /// extended Hamming has d = 4); otherwise dmin() computes it.
   LinearCode(std::string name, Gf2Matrix generator,
@@ -49,6 +68,46 @@ class LinearCode {
   /// Recovers the message from a *valid* codeword (inverts the injective
   /// encoding map). The caller must pass a codeword; contract-checked.
   BitVec extract_message(const BitVec& codeword) const;
+
+  // ---- u64 fast paths (require has_fast_path(), i.e. n <= 64) -------------
+
+  /// True when the u64 table-driven paths below are available.
+  bool has_fast_path() const noexcept { return n() <= kFastPathMaxN; }
+
+  /// Codeword of the k-bit message packed in a u64 (bit i = message bit i).
+  std::uint64_t encode_u64(std::uint64_t message) const noexcept {
+    if (!codeword_lut_.empty()) return codeword_lut_[message];
+    std::uint64_t cw = 0;
+    while (message != 0) {
+      cw ^= gen_row_masks_[static_cast<std::size_t>(std::countr_zero(message))];
+      message &= message - 1;
+    }
+    return cw;
+  }
+
+  /// Syndrome of the n-bit received word packed in a u64.
+  std::uint64_t syndrome_u64(std::uint64_t received) const noexcept {
+    std::uint64_t s = 0;
+    for (std::size_t i = 0; i < h_row_masks_.size(); ++i)
+      s |= static_cast<std::uint64_t>(std::popcount(h_row_masks_[i] & received) & 1)
+           << i;
+    return s;
+  }
+
+  /// Message of a *valid* codeword packed in a u64 (not contract-checked).
+  std::uint64_t extract_message_u64(std::uint64_t codeword) const noexcept {
+    std::uint64_t m = 0;
+    for (std::size_t i = 0; i < extract_masks_.size(); ++i)
+      m |= static_cast<std::uint64_t>(std::popcount(extract_masks_[i] & codeword) & 1)
+           << i;
+    return m;
+  }
+
+  /// Coset leaders as packed words, indexed by syndrome value (requires
+  /// has_fast_path(); same deterministic leaders as coset_leaders()).
+  const std::vector<std::uint64_t>& coset_leader_words() const;
+
+  // -------------------------------------------------------------------------
 
   /// Minimum Hamming distance. Computed by codeword enumeration (k <= 24)
   /// unless supplied at construction.
@@ -83,11 +142,20 @@ class LinearCode {
   mutable std::optional<std::size_t> dmin_;
   mutable std::optional<std::vector<std::size_t>> weight_distribution_;
   mutable std::optional<std::vector<BitVec>> coset_leaders_;
+  mutable std::vector<std::uint64_t> coset_leader_words_;
   // Message recovery: m = c[pivot_columns] * decode_matrix_.
   mutable std::optional<Gf2Matrix> decode_matrix_;
   mutable std::vector<std::size_t> pivot_columns_;
 
+  // u64 fast-path tables; empty when n > 64. Built in the constructor and
+  // never mutated afterwards (safe to read concurrently).
+  std::vector<std::uint64_t> gen_row_masks_;   ///< k masks, n bits each
+  std::vector<std::uint64_t> h_row_masks_;     ///< n-k masks, n bits each
+  std::vector<std::uint64_t> extract_masks_;   ///< k masks, n bits each
+  std::vector<std::uint64_t> codeword_lut_;    ///< 2^k codewords when k <= 16
+
   void build_message_recovery() const;
+  void build_fast_tables();
 };
 
 }  // namespace sfqecc::code

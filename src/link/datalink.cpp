@@ -25,6 +25,20 @@ DataLink::DataLink(const circuit::BuiltEncoder& encoder, const circuit::CellLibr
     expects(encoder_.clock_input != circuit::kInvalidId,
             "clocked encoder needs a clock input");
   }
+  // The clock-snapshot replay reorders injection (clock before message);
+  // that is only order-equivalent when no message pulse shares a timestamp
+  // with a clock edge. Enumerate the edges exactly as inject_clock does
+  // (accumulated addition, inclusive end) so the check covers the timestamps
+  // actually injected. Skipped for combinational links (no clock is ever
+  // injected) and non-positive periods (inject_clock rejects those later).
+  clock_snapshot_usable_ = true;
+  if (frame_cycles_ > 0 && config_.clock_period_ps > 0.0) {
+    const double clock_until =
+        config_.clock_period_ps * static_cast<double>(frame_cycles_) + 0.5;
+    for (double t = config_.clock_period_ps; t <= clock_until;
+         t += config_.clock_period_ps)
+      if (config_.input_phase_ps == t) clock_snapshot_usable_ = false;
+  }
 }
 
 void DataLink::install_chip(const ppv::ChipSample& chip) {
@@ -33,6 +47,7 @@ void DataLink::install_chip(const ppv::ChipSample& chip) {
   simulator_.reset();
   for (std::size_t id = 0; id < chip.faults.size(); ++id)
     simulator_.set_fault(id, chip.faults[id]);
+  clock_snapshot_valid_ = false;  // expansion validity may have changed
 }
 
 FrameResult DataLink::send(const BitVec& message, util::Rng& rng) {
@@ -45,12 +60,27 @@ FrameResult DataLink::send(const BitVec& message, util::Rng& rng) {
   frame.reference_codeword = reference_ != nullptr ? reference_->encode(message) : message;
 
   simulator_.reset();
+  const double last_clock =
+      config_.clock_period_ps * static_cast<double>(frame_cycles_);
+  // Clock first (its pending-event schedule is message-independent, so it can
+  // be replayed from a snapshot), then the message pulses. Injection order
+  // does not affect delivery order as long as the message phase never
+  // coincides with a clock edge's timestamp (checked at construction; the
+  // queue pops by time, FIFO within a timestamp).
+  if (frame_cycles_ > 0 && clock_snapshot_usable_) {
+    if (clock_snapshot_valid_) {
+      simulator_.restore_queue(clock_snapshot_);
+    } else {
+      simulator_.inject_clock(encoder_.clock_input, config_.clock_period_ps,
+                              config_.clock_period_ps, last_clock + 0.5);
+      simulator_.snapshot_queue(clock_snapshot_);
+      clock_snapshot_valid_ = true;
+    }
+  }
   for (std::size_t i = 0; i < k; ++i)
     if (message.get(i))
       simulator_.inject_pulse(encoder_.message_inputs[i], config_.input_phase_ps);
-  const double last_clock =
-      config_.clock_period_ps * static_cast<double>(frame_cycles_);
-  if (frame_cycles_ > 0) {
+  if (frame_cycles_ > 0 && !clock_snapshot_usable_) {
     simulator_.inject_clock(encoder_.clock_input, config_.clock_period_ps,
                             config_.clock_period_ps, last_clock + 0.5);
   }

@@ -74,6 +74,12 @@ class DataLink {
   DataLinkConfig config_;
   sim::EventSimulator simulator_;
   std::size_t frame_cycles_;
+  // The clock train is the same every frame: captured once per chip (the
+  // fan-out expansion baked into it depends on the installed faults) and
+  // replayed, instead of re-injected, on each send.
+  sim::EventSimulator::QueueSnapshot clock_snapshot_;
+  bool clock_snapshot_valid_ = false;
+  bool clock_snapshot_usable_ = false;  ///< message phase clear of clock edges
 };
 
 }  // namespace sfqecc::link

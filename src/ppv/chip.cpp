@@ -27,14 +27,29 @@ bool ChipSample::fully_healthy() const noexcept {
 ChipSample sample_chip(const circuit::Netlist& netlist, const circuit::CellLibrary& library,
                        const SpreadSpec& spread, util::Rng& rng) {
   ChipSample chip;
+  sample_chip_into(chip, netlist, library, spread, rng);
+  return chip;
+}
+
+void sample_chip_into(ChipSample& chip, const circuit::Netlist& netlist,
+                      const circuit::CellLibrary& library, const SpreadSpec& spread,
+                      util::Rng& rng) {
+  chip.health_ratios.clear();
+  chip.faults.clear();
   chip.health_ratios.reserve(netlist.cell_count());
   chip.faults.reserve(netlist.cell_count());
+  // Memoize specs per cell type: the library lookup is a std::map walk and
+  // netlists use only a handful of types.
+  constexpr std::size_t kMaxTypes = 16;
+  const circuit::CellSpec* specs[kMaxTypes] = {};
   for (const circuit::Cell& cell : netlist.cells()) {
-    const CellHealth health = sample_cell_health(library.spec(cell.type), spread, rng);
+    const auto type_index = static_cast<std::size_t>(cell.type);
+    expects(type_index < kMaxTypes, "unexpected cell type");
+    if (specs[type_index] == nullptr) specs[type_index] = &library.spec(cell.type);
+    const CellHealth health = sample_cell_health(*specs[type_index], spread, rng);
     chip.health_ratios.push_back(health.ratio);
     chip.faults.push_back(health.fault);
   }
-  return chip;
 }
 
 void apply_chip(const ChipSample& chip, sim::EventSimulator& simulator) {

@@ -29,6 +29,13 @@ struct ChipSample {
 ChipSample sample_chip(const circuit::Netlist& netlist, const circuit::CellLibrary& library,
                        const SpreadSpec& spread, util::Rng& rng);
 
+/// Allocation-free variant for hot Monte-Carlo loops: refills `chip` in
+/// place, reusing its vector capacity. Identical draws and results to
+/// sample_chip.
+void sample_chip_into(ChipSample& chip, const circuit::Netlist& netlist,
+                      const circuit::CellLibrary& library, const SpreadSpec& spread,
+                      util::Rng& rng);
+
 /// Applies a chip's fault states to a simulator instance.
 void apply_chip(const ChipSample& chip, sim::EventSimulator& simulator);
 

@@ -7,12 +7,20 @@
 
 namespace sfqecc::ppv {
 
+namespace {
+
+/// Shared normalization: sigma_H = spread * sensitivity under uniform spread.
+double statistic_from_sum(double sum, double sensitivity) {
+  return sensitivity * std::sqrt(3.0 / static_cast<double>(kParamsPerCell)) * sum;
+}
+
+}  // namespace
+
 double health_statistic(const std::vector<double>& deviations, double sensitivity) {
   expects(deviations.size() == kParamsPerCell, "deviation vector size mismatch");
   double sum = 0.0;
   for (double d : deviations) sum += d;
-  // Normalized so that sigma_H = spread * sensitivity under uniform spread.
-  return sensitivity * std::sqrt(3.0 / static_cast<double>(kParamsPerCell)) * sum;
+  return statistic_from_sum(sum, sensitivity);
 }
 
 double health_ratio(double health, const circuit::CellSpec& spec) {
@@ -36,8 +44,12 @@ sim::CellFault fault_from_health_ratio(double h, util::Rng& rng) {
 
 CellHealth sample_cell_health(const circuit::CellSpec& spec, const SpreadSpec& spread,
                               util::Rng& rng) {
-  const std::vector<double> deviations = sample_deviations(spread, kParamsPerCell, rng);
-  const double h = health_ratio(health_statistic(deviations, spec.ppv_sensitivity), spec);
+  // Same draws (in the same order) and the same arithmetic as
+  // health_statistic(sample_deviations(...)), without the per-cell heap
+  // allocation — this runs once per cell per Monte-Carlo chip.
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kParamsPerCell; ++i) sum += sample_deviation(spread, rng);
+  const double h = health_ratio(statistic_from_sum(sum, spec.ppv_sensitivity), spec);
   return CellHealth{h, fault_from_health_ratio(h, rng)};
 }
 

@@ -1,12 +1,12 @@
 #include "sim/event_sim.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "util/expect.hpp"
 
 namespace sfqecc::sim {
 
-using circuit::Cell;
 using circuit::CellId;
 using circuit::CellType;
 using circuit::kClockPort;
@@ -23,17 +23,183 @@ EventSimulator::EventSimulator(const circuit::Netlist& netlist,
       cell_state_(netlist.cell_count()),
       cell_fault_(netlist.cell_count()),
       net_pulses_(netlist.net_count()),
-      dc_transition_times_(netlist.cell_count()) {}
+      dc_transition_times_(netlist.cell_count()),
+      cells_(netlist.cell_count()),
+      cell_clocked_(netlist.cell_count()),
+      converter_cell_(netlist.net_count(), kInvalidId) {
+  // Flatten the pointer-heavy circuit:: structures into the dispatch tables
+  // the event loop runs on (see the header's hot-path invariants).
+  for (CellId id = 0; id < netlist.cell_count(); ++id) {
+    const circuit::Cell& cell = netlist.cell(id);
+    const circuit::CellSpec& spec = library.spec(cell.type);
+    CompactCell& compact = cells_[id];
+    compact.type = cell.type;
+    compact.delay_ps = spec.delay_ps;
+    if (!cell.outputs.empty()) compact.out0 = static_cast<std::uint32_t>(cell.outputs[0]);
+    if (cell.outputs.size() > 1) compact.out1 = static_cast<std::uint32_t>(cell.outputs[1]);
+    cell_clocked_[id] = spec.clocked;
+  }
+  sink_offset_.assign(netlist.net_count() + 1, 0);
+  for (NetId id = 0; id < netlist.net_count(); ++id) {
+    const circuit::Net& net = netlist.net(id);
+    sink_offset_[id + 1] =
+        sink_offset_[id] + static_cast<std::uint32_t>(net.sinks.size());
+    for (const circuit::Sink& sink : net.sinks)
+      sinks_.push_back(CompactSink{
+          static_cast<std::uint32_t>(sink.cell),
+          sink.port == kClockPort ? kClockSinkPort
+                                  : static_cast<std::uint32_t>(sink.port)});
+    if (net.driver_cell != kInvalidId &&
+        netlist.cell(net.driver_cell).type == CellType::kSfqToDc)
+      converter_cell_[id] = net.driver_cell;
+  }
+  for (CellId id = 0; id < netlist.cell_count(); ++id)
+    if (netlist.cell(id).type == CellType::kSfqToDc)
+      converter_cells_.push_back(static_cast<std::uint32_t>(id));
+  build_expansions();
+}
+
+namespace {
+
+bool is_passthrough(CellType type) {
+  return type == CellType::kSplitter || type == CellType::kJtl ||
+         type == CellType::kMerger || type == CellType::kDcToSfq;
+}
+
+}  // namespace
+
+void EventSimulator::build_expansions() {
+  expansion_enabled_ = !config_.record_pulses && config_.jitter_sigma_ps <= 0.0;
+  expansion_of_net_.assign(netlist_.net_count(), kNoExpansion);
+  if (!expansion_enabled_) return;
+
+  const std::size_t nets = netlist_.net_count();
+  std::vector<std::vector<Terminal>> terms(nets);
+  std::vector<std::vector<EmissionCredit>> creds(nets);
+  std::vector<bool> visited(nets, false);
+
+  auto add_credit = [](std::vector<EmissionCredit>& list, std::uint32_t cell,
+                       std::uint32_t count) {
+    for (EmissionCredit& c : list)
+      if (c.cell == cell) {
+        c.count += count;
+        return;
+      }
+    list.push_back(EmissionCredit{cell, count});
+  };
+
+  // DFS over the (acyclic) netlist; terms[net] collects every stateful
+  // endpoint reachable from `net` through pass-through cells, with the
+  // accumulated chain delay; creds[net] the per-pulse emission counts of the
+  // skipped cells.
+  std::function<void(std::uint32_t)> visit = [&](std::uint32_t net) {
+    if (visited[net]) return;
+    visited[net] = true;
+    for (std::uint32_t i = sink_offset_[net]; i < sink_offset_[net + 1]; ++i) {
+      const CompactSink sink = sinks_[i];
+      const CompactCell& cell = cells_[sink.cell];
+      if (sink.port != kClockSinkPort && is_passthrough(cell.type)) {
+        const std::uint32_t outputs = cell.type == CellType::kSplitter ? 2 : 1;
+        add_credit(creds[net], sink.cell, outputs);
+        for (std::uint32_t o = 0; o < outputs; ++o) {
+          const std::uint32_t out = o == 0 ? cell.out0 : cell.out1;
+          visit(out);
+          for (const Terminal& t : terms[out])
+            terms[net].push_back(
+                Terminal{t.cell, t.port, t.offset_ps + cell.delay_ps});
+          for (const EmissionCredit& c : creds[out]) add_credit(creds[net], c.cell, c.count);
+        }
+      } else {
+        terms[net].push_back(Terminal{sink.cell, sink.port, 0.0});
+      }
+    }
+  };
+  for (std::uint32_t net = 0; net < nets; ++net) visit(net);
+
+  // Flatten: only nets that actually skip at least one cell get an expansion.
+  for (std::uint32_t net = 0; net < nets; ++net) {
+    if (creds[net].empty()) continue;
+    Expansion e;
+    e.terminals_begin = static_cast<std::uint32_t>(terminal_pool_.size());
+    terminal_pool_.insert(terminal_pool_.end(), terms[net].begin(), terms[net].end());
+    e.terminals_end = static_cast<std::uint32_t>(terminal_pool_.size());
+    e.credits_begin = static_cast<std::uint32_t>(credit_pool_.size());
+    credit_pool_.insert(credit_pool_.end(), creds[net].begin(), creds[net].end());
+    e.credits_end = static_cast<std::uint32_t>(credit_pool_.size());
+    expansion_of_net_[net] = static_cast<std::uint32_t>(expansions_.size());
+    expansions_.push_back(e);
+  }
+}
+
+void EventSimulator::revalidate_expansions() {
+  for (Expansion& e : expansions_) {
+    e.valid = true;
+    for (std::uint32_t i = e.credits_begin; i < e.credits_end; ++i)
+      if (cell_fault_[credit_pool_[i].cell].mode != FaultMode::kHealthy) {
+        e.valid = false;
+        break;
+      }
+  }
+  expansion_validity_dirty_ = false;
+}
+
+void EventSimulator::schedule(double time, std::uint32_t net) {
+  if (expansion_enabled_) {
+    const std::uint32_t idx = expansion_of_net_[net];
+    if (idx != kNoExpansion) {
+      if (expansion_validity_dirty_) revalidate_expansions();
+      const Expansion& e = expansions_[idx];
+      if (e.valid) {
+        for (std::uint32_t i = e.credits_begin; i < e.credits_end; ++i)
+          cell_state_[credit_pool_[i].cell].emissions += credit_pool_[i].count;
+        for (std::uint32_t i = e.terminals_begin; i < e.terminals_end; ++i)
+          push_event(time + terminal_pool_[i].offset_ps, kDirectFlag | i);
+        return;
+      }
+    }
+  }
+  push_event(time, net);
+}
 
 void EventSimulator::set_fault(CellId cell, const CellFault& fault) {
   expects(cell < cell_fault_.size(), "unknown cell");
   cell_fault_[cell] = fault;
+  expansion_validity_dirty_ = true;
+}
+
+void EventSimulator::push_event(double time, std::uint32_t target) {
+  // Locate the time bucket, scanning backwards: pushes are almost always at
+  // or beyond the latest pending timestamp.
+  std::size_t i = bucket_end_;
+  while (i > bucket_front_ && bucket_time_[i - 1] > time) --i;
+  if (i == bucket_front_ || bucket_time_[i - 1] != time) {
+    // New timestamp: open a bucket at position i, reusing pooled storage.
+    const auto slot = static_cast<std::uint32_t>(bucket_end_);
+    if (bucket_pool_.size() <= slot) {
+      bucket_pool_.emplace_back();
+      bucket_head_.push_back(0);
+    }
+    if (bucket_time_.size() < bucket_pool_.size()) {
+      bucket_time_.resize(bucket_pool_.size());
+      bucket_slot_.resize(bucket_pool_.size());
+    }
+    for (std::size_t j = bucket_end_; j > i; --j) {
+      bucket_time_[j] = bucket_time_[j - 1];
+      bucket_slot_[j] = bucket_slot_[j - 1];
+    }
+    bucket_time_[i] = time;
+    bucket_slot_[i] = slot;
+    ++bucket_end_;
+    bucket_pool_[slot].push_back(target);
+    return;
+  }
+  bucket_pool_[bucket_slot_[i - 1]].push_back(target);
 }
 
 void EventSimulator::inject_pulse(NetId net, double time_ps) {
   expects(net < netlist_.net_count(), "unknown net");
   expects(time_ps >= now_ps_, "cannot schedule in the past");
-  queue_.push(Event{time_ps, net, next_seq_++});
+  schedule(time_ps, static_cast<std::uint32_t>(net));
 }
 
 void EventSimulator::inject_clock(NetId clock_net, double period_ps, double phase_ps,
@@ -43,12 +209,23 @@ void EventSimulator::inject_clock(NetId clock_net, double period_ps, double phas
 }
 
 void EventSimulator::run_until(double until_ps) {
-  while (!queue_.empty() && queue_.top().time <= until_ps) {
-    const Event event = queue_.top();
-    queue_.pop();
-    now_ps_ = std::max(now_ps_, event.time);
+  while (bucket_front_ != bucket_end_) {
+    const double time = bucket_time_[bucket_front_];
+    if (time > until_ps) break;
+    const std::uint32_t slot = bucket_slot_[bucket_front_];
+    std::vector<std::uint32_t>& fifo = bucket_pool_[slot];
+    std::uint32_t& head = bucket_head_[slot];
+    if (head == fifo.size()) {
+      // Bucket drained; recycle its storage and advance.
+      fifo.clear();
+      head = 0;
+      ++bucket_front_;
+      continue;
+    }
+    const std::uint32_t target = fifo[head++];
+    now_ps_ = std::max(now_ps_, time);
     ++events_processed_;
-    deliver(event);
+    deliver(target, time);
   }
   now_ps_ = std::max(now_ps_, until_ps);
 }
@@ -56,12 +233,63 @@ void EventSimulator::run_until(double until_ps) {
 void EventSimulator::reseed_noise(std::uint64_t seed) { rng_ = util::Rng(seed); }
 
 void EventSimulator::reset() {
-  queue_ = {};
+  for (std::size_t slot = 0; slot < bucket_end_; ++slot) {
+    bucket_pool_[slot].clear();
+    bucket_head_[slot] = 0;
+  }
+  bucket_front_ = bucket_end_ = 0;
   now_ps_ = 0.0;
-  next_seq_ = 0;
   for (CellState& s : cell_state_) s = CellState{};
-  for (auto& v : net_pulses_) v.clear();
-  for (auto& v : dc_transition_times_) v.clear();
+  // net_pulses_ stays untouched (and empty) when recording is disabled; DC
+  // transition logs exist only on converter cells. Both clears keep capacity.
+  if (config_.record_pulses)
+    for (auto& v : net_pulses_) v.clear();
+  for (std::uint32_t cell : converter_cells_) dc_transition_times_[cell].clear();
+}
+
+void EventSimulator::snapshot_queue(QueueSnapshot& out) const {
+  out.times.clear();
+  out.offsets.clear();
+  out.items.clear();
+  out.emission_credits.clear();
+  out.offsets.push_back(0);
+  for (std::size_t cell = 0; cell < cell_state_.size(); ++cell)
+    if (cell_state_[cell].emissions != 0)
+      out.emission_credits.emplace_back(static_cast<std::uint32_t>(cell),
+                                        cell_state_[cell].emissions);
+  for (std::size_t b = bucket_front_; b < bucket_end_; ++b) {
+    const std::uint32_t slot = bucket_slot_[b];
+    const std::vector<std::uint32_t>& fifo = bucket_pool_[slot];
+    const std::uint32_t head = bucket_head_[slot];
+    if (head == fifo.size()) continue;  // drained
+    out.times.push_back(bucket_time_[b]);
+    out.items.insert(out.items.end(), fifo.begin() + head, fifo.end());
+    out.offsets.push_back(static_cast<std::uint32_t>(out.items.size()));
+  }
+}
+
+void EventSimulator::restore_queue(const QueueSnapshot& snapshot) {
+  expects(bucket_front_ == bucket_end_, "restore_queue requires an empty queue");
+  const std::size_t count = snapshot.times.size();
+  while (bucket_pool_.size() < count) {
+    bucket_pool_.emplace_back();
+    bucket_head_.push_back(0);
+  }
+  if (bucket_time_.size() < bucket_pool_.size()) {
+    bucket_time_.resize(bucket_pool_.size());
+    bucket_slot_.resize(bucket_pool_.size());
+  }
+  bucket_front_ = 0;
+  bucket_end_ = count;
+  for (std::size_t i = 0; i < count; ++i) {
+    bucket_time_[i] = snapshot.times[i];
+    bucket_slot_[i] = static_cast<std::uint32_t>(i);
+    bucket_head_[i] = 0;
+    bucket_pool_[i].assign(snapshot.items.begin() + snapshot.offsets[i],
+                           snapshot.items.begin() + snapshot.offsets[i + 1]);
+  }
+  for (const auto& [cell, count_credit] : snapshot.emission_credits)
+    cell_state_[cell].emissions += count_credit;
 }
 
 const std::vector<double>& EventSimulator::pulses(NetId net) const {
@@ -70,20 +298,19 @@ const std::vector<double>& EventSimulator::pulses(NetId net) const {
   return net_pulses_[net];
 }
 
-const Cell& EventSimulator::converter_of(NetId output_net) const {
-  const circuit::Net& net = netlist_.net(output_net);
-  expects(net.driver_cell != kInvalidId, "net has no driver");
-  const Cell& cell = netlist_.cell(net.driver_cell);
-  expects(cell.type == CellType::kSfqToDc, "net is not an SFQ-to-DC output");
+CellId EventSimulator::converter_of(NetId output_net) const {
+  expects(output_net < converter_cell_.size(), "unknown net");
+  const CellId cell = converter_cell_[output_net];
+  expects(cell != kInvalidId, "net is not an SFQ-to-DC output");
   return cell;
 }
 
 bool EventSimulator::dc_level(NetId converter_output) const {
-  return cell_state_[converter_of(converter_output).id].dc_level;
+  return cell_state_[converter_of(converter_output)].dc_level;
 }
 
 const std::vector<double>& EventSimulator::dc_transitions(NetId converter_output) const {
-  return dc_transition_times_[converter_of(converter_output).id];
+  return dc_transition_times_[converter_of(converter_output)];
 }
 
 double EventSimulator::jitter(double time) {
@@ -91,23 +318,33 @@ double EventSimulator::jitter(double time) {
   return time + rng_.gaussian(0.0, config_.jitter_sigma_ps);
 }
 
-void EventSimulator::deliver(const Event& event) {
-  if (config_.record_pulses) net_pulses_[event.net].push_back(event.time);
-  for (const circuit::Sink& sink : netlist_.net(event.net).sinks) {
-    const Cell& cell = netlist_.cell(sink.cell);
-    if (sink.port == kClockPort)
-      on_clock(cell, event.time);
+void EventSimulator::deliver(std::uint32_t target, double time) {
+  if (target & kDirectFlag) {
+    const Terminal& t = terminal_pool_[target & ~kDirectFlag];
+    if (t.port == kClockSinkPort)
+      on_clock(t.cell, time);
     else
-      on_pulse(cell, sink.port, event.time);
+      on_pulse(t.cell, t.port, time);
+    return;
+  }
+  if (config_.record_pulses) net_pulses_[target].push_back(time);
+  const std::uint32_t begin = sink_offset_[target];
+  const std::uint32_t end = sink_offset_[target + 1];
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const CompactSink sink = sinks_[i];
+    if (sink.port == kClockSinkPort)
+      on_clock(sink.cell, time);
+    else
+      on_pulse(sink.cell, sink.port, time);
   }
 }
 
-void EventSimulator::on_pulse(const Cell& cell, std::size_t port, double time) {
-  CellState& state = cell_state_[cell.id];
-  const CellFault& fault = cell_fault_[cell.id];
-  const double delay = library_.spec(cell.type).delay_ps;
+void EventSimulator::on_pulse(std::uint32_t cell, std::uint32_t port, double time) {
+  CellState& state = cell_state_[cell];
+  const CompactCell& compact = cells_[cell];
+  const double delay = compact.delay_ps;
 
-  switch (cell.type) {
+  switch (compact.type) {
     case CellType::kXor:
     case CellType::kAnd:
     case CellType::kOr:
@@ -119,40 +356,42 @@ void EventSimulator::on_pulse(const Cell& cell, std::size_t port, double time) {
       state.arm_a = true;
       return;
     case CellType::kSplitter:
-      emit(cell, 0, time + delay);
-      emit(cell, 1, time + delay);
+      emit(cell, compact.out0, time + delay);
+      emit(cell, compact.out1, time + delay);
       return;
     case CellType::kJtl:
     case CellType::kMerger:
     case CellType::kDcToSfq:
-      emit(cell, 0, time + delay);
+      emit(cell, compact.out0, time + delay);
       return;
     case CellType::kTff:
       // Divide-by-two: emit on every second input pulse.
       state.arm_a = !state.arm_a;
-      if (!state.arm_a) emit(cell, 0, time + delay);
+      if (!state.arm_a) emit(cell, compact.out0, time + delay);
       return;
     case CellType::kSfqToDc: {
       // Toggling output driver. Fault handling is inline because the
       // "emission" is a level transition, not a pulse.
+      const CellFault& fault = cell_fault_[cell];
       if (fault.mode == FaultMode::kDead) return;
       if (fault.mode == FaultMode::kFlaky && rng_.bernoulli(fault.error_prob)) return;
       if (fault.mode == FaultMode::kSputter && rng_.bernoulli(0.5)) return;
       state.dc_level = !state.dc_level;
       ++state.emissions;
-      dc_transition_times_[cell.id].push_back(time + delay);
+      dc_transition_times_[cell].push_back(time + delay);
       return;
     }
   }
 }
 
-void EventSimulator::on_clock(const Cell& cell, double time) {
-  CellState& state = cell_state_[cell.id];
-  const CellFault& fault = cell_fault_[cell.id];
-  const double delay = library_.spec(cell.type).delay_ps;
+void EventSimulator::on_clock(std::uint32_t cell, double time) {
+  CellState& state = cell_state_[cell];
+  const CompactCell& compact = cells_[cell];
+  const CellFault& fault = cell_fault_[cell];
+  const double delay = compact.delay_ps;
 
   bool fire = false;
-  switch (cell.type) {
+  switch (compact.type) {
     case CellType::kXor: fire = state.arm_a != state.arm_b; break;
     case CellType::kAnd: fire = state.arm_a && state.arm_b; break;
     case CellType::kOr: fire = state.arm_a || state.arm_b; break;
@@ -164,18 +403,18 @@ void EventSimulator::on_clock(const Cell& cell, double time) {
   state.reset_arms();
 
   if (fault.mode == FaultMode::kSputter) {
-    emit(cell, 0, time + delay);  // emits regardless of inputs
+    emit(cell, compact.out0, time + delay);  // emits regardless of inputs
     return;
   }
   if (!fire && fault.mode == FaultMode::kFlaky && rng_.bernoulli(fault.error_prob)) {
-    emit(cell, 0, time + delay);  // spurious emission
+    emit(cell, compact.out0, time + delay);  // spurious emission
     return;
   }
-  if (fire) emit(cell, 0, time + delay);
+  if (fire) emit(cell, compact.out0, time + delay);
 }
 
-void EventSimulator::emit(const Cell& cell, std::size_t port, double time) {
-  const CellFault& fault = cell_fault_[cell.id];
+void EventSimulator::emit(std::uint32_t cell, std::uint32_t net, double time) {
+  const CellFault& fault = cell_fault_[cell];
   switch (fault.mode) {
     case FaultMode::kDead:
       return;
@@ -183,14 +422,14 @@ void EventSimulator::emit(const Cell& cell, std::size_t port, double time) {
       if (rng_.bernoulli(fault.error_prob)) return;
       break;
     case FaultMode::kSputter:
-      if (!library_.spec(cell.type).clocked && rng_.bernoulli(0.5)) return;
+      if (!cell_clocked_[cell] && rng_.bernoulli(0.5)) return;
       break;
     case FaultMode::kHealthy:
       break;
   }
-  ++cell_state_[cell.id].emissions;
+  ++cell_state_[cell].emissions;
   const double when = std::max(jitter(time), now_ps_);
-  queue_.push(Event{when, cell.outputs[port], next_seq_++});
+  schedule(when, net);
 }
 
 }  // namespace sfqecc::sim

@@ -9,10 +9,39 @@
 // The clock is not special-cased: the testbench injects a pulse train into
 // the clock primary input and the pulses propagate through the real clock
 // splitter tree, so clock skew emerges from the netlist as it does in JoSIM.
+//
+// Hot-path invariants (the Monte-Carlo harness sends millions of frames
+// through one simulator instance):
+//  * reset() is allocation-free: the event heap, per-net pulse records and
+//    per-cell DC transition logs all retain their capacity across frames.
+//  * The netlist and cell library are flattened at construction into
+//    cache-compact dispatch tables (CSR sink lists, per-cell {type, delay,
+//    output nets}); the per-event path touches no std::map, no std::string
+//    and none of the pointer-heavy circuit:: structs.
+//  * Static fan-out expansion: chains of stateless pass-through cells
+//    (splitter, JTL, merger, DC-to-SFQ) propagate pulses deterministically
+//    when they are healthy and jitter is off, so each such subtree is
+//    collapsed at construction into a list of (stateful endpoint, arrival
+//    offset) pairs. Scheduling a pulse onto the subtree pushes the endpoint
+//    arrivals directly instead of re-simulating the chain event by event —
+//    the classic static-timing treatment of SFQ clock splitter trees. The
+//    expansion is bypassed (falling back to exact cell-by-cell event
+//    delivery) whenever it could change observable behaviour: pulse
+//    recording on, timing jitter enabled, or any fault installed on a cell
+//    inside the subtree. Emission counters of skipped cells are credited
+//    exactly. Residual caveat: when two pulses from *different* source
+//    injections arrive at stateful endpoints with exactly equal derived
+//    timestamps (identical double sums of unrelated delay chains), their
+//    FIFO order follows scheduling order rather than the cell-by-cell
+//    cascade order. No paper netlist/configuration produces such a
+//    cross-path tie (data and clock phases are separated by tens of ps
+//    against ps-scale chain-delay differences); keep phases off clock
+//    edges if you craft custom schedules.
+//  * Steady-state frames (capacities warmed up by the first frame) perform
+//    zero heap allocations.
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "circuit/cell_library.hpp"
@@ -50,7 +79,33 @@ class EventSimulator {
   void run_until(double until_ps);
 
   /// Clears pulses, arms, DC levels and pending events; faults are kept.
+  /// Allocation-free: all buffers retain their capacity.
   void reset();
+
+  /// Compact copy of the pending-event queue. Lets a caller capture a fixed
+  /// injection schedule (e.g. the per-frame clock train) once and replay it
+  /// with restore_queue instead of re-injecting and re-expanding each frame.
+  struct QueueSnapshot {
+    std::vector<double> times;            ///< distinct timestamps, ascending
+    std::vector<std::uint32_t> offsets;   ///< CSR into items, size times+1
+    std::vector<std::uint32_t> items;     ///< event targets in FIFO order
+    /// Emission counts credited by the captured injections (the fan-out
+    /// expansion credits skipped pass-through cells at scheduling time, not
+    /// at delivery, so a faithful replay must re-apply them).
+    std::vector<std::pair<std::uint32_t, std::size_t>> emission_credits;
+  };
+
+  /// Captures the pending events into `out` (reusing its capacity), along
+  /// with the emission counters accumulated so far. Take the snapshot right
+  /// after the injections it should capture, before run_until — then the
+  /// counters are exactly the injections' expansion credits.
+  void snapshot_queue(QueueSnapshot& out) const;
+
+  /// Replaces the pending events with a snapshot taken on this simulator.
+  /// Only valid while the queue is empty (right after reset()). Invalidate
+  /// snapshots whenever faults change: the snapshot bakes in the fan-out
+  /// expansion decisions of the fault state it was taken under.
+  void restore_queue(const QueueSnapshot& snapshot);
 
   /// Reseeds the jitter/fault noise stream (per-chip determinism in Monte
   /// Carlo regardless of thread partitioning).
@@ -69,13 +124,20 @@ class EventSimulator {
   std::size_t events_processed() const noexcept { return events_processed_; }
 
  private:
-  struct Event {
-    double time;
-    circuit::NetId net;
-    std::uint64_t seq;
-    bool operator>(const Event& other) const noexcept {
-      return time != other.time ? time > other.time : seq > other.seq;
-    }
+  /// A (cell, port) endpoint in the flattened sink lists; kClockSinkPort
+  /// marks the clock input of a clocked cell.
+  static constexpr std::uint32_t kClockSinkPort = 0xffffffffu;
+  struct CompactSink {
+    std::uint32_t cell;
+    std::uint32_t port;
+  };
+
+  /// Cache-compact per-cell record: everything the event loop needs.
+  struct CompactCell {
+    circuit::CellType type;
+    std::uint32_t out0 = 0;  ///< first output net
+    std::uint32_t out1 = 0;  ///< second output net (splitter only)
+    double delay_ps = 0.0;
   };
 
   const circuit::Netlist& netlist_;
@@ -83,8 +145,18 @@ class EventSimulator {
   SimConfig config_;
   util::Rng rng_;
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
-  std::uint64_t next_seq_ = 0;
+  // Calendar event queue: SFQ frames have very few distinct timestamps
+  // (clock edges plus a handful of delay sums), so events are kept in
+  // per-timestamp FIFO buckets in a sorted time index instead of a binary
+  // heap. Pop order is exactly (time ascending, insertion order within a
+  // timestamp) — the same total order the previous heap's sequence numbers
+  // enforced. All backing vectors are reused across reset() calls.
+  std::vector<double> bucket_time_;        ///< sorted times, active range [front_, end_)
+  std::vector<std::uint32_t> bucket_slot_; ///< pool slot of each active bucket
+  std::vector<std::vector<std::uint32_t>> bucket_pool_;  ///< event targets per slot
+  std::vector<std::uint32_t> bucket_head_; ///< FIFO cursor per slot
+  std::size_t bucket_front_ = 0;           ///< first non-drained bucket
+  std::size_t bucket_end_ = 0;             ///< one past the last bucket
   double now_ps_ = 0.0;
   std::size_t events_processed_ = 0;
 
@@ -92,14 +164,55 @@ class EventSimulator {
   std::vector<CellFault> cell_fault_;
   std::vector<std::vector<double>> net_pulses_;
   std::vector<std::vector<double>> dc_transition_times_;  // indexed by cell id
+  std::vector<std::uint32_t> converter_cells_;  // cells with DC transition logs
 
-  void deliver(const Event& event);
-  void on_pulse(const circuit::Cell& cell, std::size_t port, double time);
-  void on_clock(const circuit::Cell& cell, double time);
-  /// Emission with fault/jitter handling; schedules the pulse on the output net.
-  void emit(const circuit::Cell& cell, std::size_t port, double time);
+  // Flattened netlist/library dispatch tables (immutable after construction).
+  std::vector<std::uint32_t> sink_offset_;  ///< CSR offsets, net id -> sinks_ range
+  std::vector<CompactSink> sinks_;
+  std::vector<CompactCell> cells_;
+  std::vector<bool> cell_clocked_;
+  // Driver cell of each SFQ-to-DC output net (kInvalidId otherwise).
+  std::vector<circuit::CellId> converter_cell_;
+
+  // ---- static fan-out expansion tables ------------------------------------
+  /// Event targets with this bit set address terminal_pool_ directly instead
+  /// of a net.
+  static constexpr std::uint32_t kDirectFlag = 0x80000000u;
+  static constexpr std::uint32_t kNoExpansion = 0xffffffffu;
+  struct Terminal {
+    std::uint32_t cell;
+    std::uint32_t port;   ///< data port or kClockSinkPort
+    double offset_ps;     ///< accumulated pass-through delay
+  };
+  struct EmissionCredit {
+    std::uint32_t cell;
+    std::uint32_t count;  ///< emissions per pulse entering the subtree
+  };
+  struct Expansion {
+    std::uint32_t terminals_begin = 0, terminals_end = 0;  ///< terminal_pool_ range
+    std::uint32_t credits_begin = 0, credits_end = 0;      ///< credit_pool_ range
+    bool valid = false;  ///< all pass-through cells healthy (see revalidate)
+  };
+  bool expansion_enabled_ = false;          ///< !record_pulses && jitter off
+  bool expansion_validity_dirty_ = true;    ///< faults changed since last check
+  std::vector<std::uint32_t> expansion_of_net_;  ///< net -> expansions_ index
+  std::vector<Expansion> expansions_;
+  std::vector<Terminal> terminal_pool_;
+  std::vector<EmissionCredit> credit_pool_;
+
+  void build_expansions();
+  void revalidate_expansions();
+  /// Queues a pulse on `net`, through the fan-out expansion when valid.
+  void schedule(double time, std::uint32_t net);
+
+  void push_event(double time, std::uint32_t target);
+  void deliver(std::uint32_t target, double time);
+  void on_pulse(std::uint32_t cell, std::uint32_t port, double time);
+  void on_clock(std::uint32_t cell, double time);
+  /// Emission with fault/jitter handling; schedules the pulse on `net`.
+  void emit(std::uint32_t cell, std::uint32_t net, double time);
   double jitter(double time);
-  const circuit::Cell& converter_of(circuit::NetId output_net) const;
+  circuit::CellId converter_of(circuit::NetId output_net) const;
 };
 
 }  // namespace sfqecc::sim

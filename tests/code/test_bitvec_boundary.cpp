@@ -1,0 +1,150 @@
+// Boundary coverage for BitVec's small-buffer storage: the inline/heap
+// transition sits at 64 bits, so every operation is exercised at sizes
+// 0, 1, 63, 64, 65 and 128 against a naive std::vector<bool> reference.
+#include "code/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sfqecc::code {
+namespace {
+
+constexpr std::size_t kBoundarySizes[] = {0, 1, 63, 64, 65, 128};
+
+/// Reference model: plain bit vector with per-bit semantics.
+using Ref = std::vector<bool>;
+
+BitVec from_ref(const Ref& ref) {
+  BitVec v(ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    if (ref[i]) v.set(i, true);
+  return v;
+}
+
+void expect_matches(const BitVec& v, const Ref& ref) {
+  ASSERT_EQ(v.size(), ref.size());
+  std::size_t weight = 0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(v.get(i), ref[i]) << "bit " << i;
+    if (ref[i]) ++weight;
+  }
+  EXPECT_EQ(v.weight(), weight);
+  EXPECT_EQ(v.parity(), weight % 2 != 0);
+  EXPECT_EQ(v.is_zero(), weight == 0);
+}
+
+Ref random_ref(std::size_t size, util::Rng& rng) {
+  Ref ref(size);
+  for (std::size_t i = 0; i < size; ++i) ref[i] = rng.bernoulli(0.5);
+  return ref;
+}
+
+TEST(BitVecBoundary, XorAndMatchReference) {
+  util::Rng rng(101);
+  for (std::size_t size : kBoundarySizes) {
+    for (int round = 0; round < 8; ++round) {
+      const Ref ra = random_ref(size, rng);
+      const Ref rb = random_ref(size, rng);
+      const BitVec a = from_ref(ra);
+      const BitVec b = from_ref(rb);
+
+      Ref rx(size), rn(size);
+      for (std::size_t i = 0; i < size; ++i) {
+        rx[i] = ra[i] != rb[i];
+        rn[i] = ra[i] && rb[i];
+      }
+      expect_matches(a ^ b, rx);
+      expect_matches(a & b, rn);
+      EXPECT_EQ(a.dot(b), from_ref(rn).parity());
+    }
+  }
+}
+
+TEST(BitVecBoundary, SliceMatchesReference) {
+  util::Rng rng(102);
+  for (std::size_t size : kBoundarySizes) {
+    const Ref ref = random_ref(size, rng);
+    const BitVec v = from_ref(ref);
+    // Every (begin, count) pair across the word boundary.
+    for (std::size_t begin = 0; begin <= size; begin += size < 8 ? 1 : 13) {
+      for (std::size_t count = 0; begin + count <= size;
+           count += size < 8 ? 1 : 17) {
+        Ref expected(ref.begin() + static_cast<std::ptrdiff_t>(begin),
+                     ref.begin() + static_cast<std::ptrdiff_t>(begin + count));
+        expect_matches(v.slice(begin, count), expected);
+      }
+    }
+  }
+}
+
+TEST(BitVecBoundary, ConcatMatchesReference) {
+  util::Rng rng(103);
+  for (std::size_t sa : kBoundarySizes) {
+    for (std::size_t sb : kBoundarySizes) {
+      const Ref ra = random_ref(sa, rng);
+      const Ref rb = random_ref(sb, rng);
+      Ref expected = ra;
+      expected.insert(expected.end(), rb.begin(), rb.end());
+      expect_matches(from_ref(ra).concat(from_ref(rb)), expected);
+    }
+  }
+}
+
+TEST(BitVecBoundary, EqualityAndHashAgree) {
+  util::Rng rng(104);
+  for (std::size_t size : kBoundarySizes) {
+    const Ref ref = random_ref(size, rng);
+    const BitVec a = from_ref(ref);
+    const BitVec b = from_ref(ref);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hash(), b.hash());
+    if (size > 0) {
+      BitVec c = b;
+      c.flip(size / 2);
+      EXPECT_NE(a, c);
+      c.flip(size / 2);
+      EXPECT_EQ(a, c);
+      EXPECT_EQ(a.hash(), c.hash());
+    }
+    // Same content, different length must not compare equal.
+    BitVec longer(size + 1);
+    for (std::size_t i = 0; i < size; ++i) longer.set(i, ref[i]);
+    EXPECT_NE(a, longer);
+  }
+}
+
+TEST(BitVecBoundary, SupportAndStringRoundTrip) {
+  util::Rng rng(105);
+  for (std::size_t size : kBoundarySizes) {
+    const Ref ref = random_ref(size, rng);
+    const BitVec v = from_ref(ref);
+    const std::vector<std::size_t> support = v.support();
+    std::size_t si = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+      if (ref[i]) {
+        ASSERT_LT(si, support.size());
+        EXPECT_EQ(support[si++], i);
+      }
+    }
+    EXPECT_EQ(si, support.size());
+    EXPECT_EQ(BitVec::from_string(v.to_string()), v);
+  }
+}
+
+TEST(BitVecBoundary, U64RoundTripAtInlineLimit) {
+  const BitVec v63 = BitVec::from_u64(63, 0x7fffffffffffffffULL);
+  EXPECT_EQ(v63.weight(), 63u);
+  EXPECT_EQ(v63.to_u64(), 0x7fffffffffffffffULL);
+  const BitVec v64 = BitVec::from_u64(64, ~0ULL);
+  EXPECT_EQ(v64.weight(), 64u);
+  EXPECT_EQ(v64.to_u64(), ~0ULL);
+  const BitVec zero = BitVec::from_u64(0, 0);
+  EXPECT_EQ(zero.to_u64(), 0u);
+  EXPECT_TRUE(zero.empty());
+}
+
+}  // namespace
+}  // namespace sfqecc::code

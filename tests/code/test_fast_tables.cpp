@@ -1,0 +1,118 @@
+// Equivalence of LinearCode's cached u64 fast paths with the generic
+// Gf2Matrix products, across every code the paper uses (all have n <= 64 and
+// therefore take the table-driven path in encode/syndrome/extract_message).
+#include <gtest/gtest.h>
+
+#include "code/bitvec.hpp"
+#include "code/code3832.hpp"
+#include "code/gf2_matrix.hpp"
+#include "code/hamming.hpp"
+#include "code/hsiao.hpp"
+#include "code/linear_code.hpp"
+#include "code/reed_muller.hpp"
+#include "util/rng.hpp"
+
+namespace sfqecc::code {
+namespace {
+
+std::vector<LinearCode> paper_codes() {
+  std::vector<LinearCode> codes;
+  codes.push_back(paper_hamming74());
+  codes.push_back(paper_hamming84());
+  codes.push_back(paper_rm13());
+  codes.push_back(hsiao_13_8());
+  codes.push_back(code3832());
+  return codes;
+}
+
+TEST(FastTables, PaperCodesHaveFastPath) {
+  for (const LinearCode& code : paper_codes()) {
+    EXPECT_TRUE(code.has_fast_path()) << code.name();
+    EXPECT_LE(code.n(), LinearCode::kFastPathMaxN) << code.name();
+  }
+}
+
+TEST(FastTables, EncodeMatchesGeneratorProduct) {
+  for (const LinearCode& code : paper_codes()) {
+    const std::uint64_t total = std::uint64_t{1} << code.k();
+    // Exhaustive for small k, sampled above (code3832 has k = 32).
+    const std::uint64_t step = total <= (1u << 16) ? 1 : (total / 50021) | 1;
+    for (std::uint64_t m = 0; m < total; m += step) {
+      const BitVec message = BitVec::from_u64(code.k(), m);
+      const BitVec via_tables = code.encode(message);
+      const BitVec via_matrix = code.generator().mul_left(message);
+      ASSERT_EQ(via_tables, via_matrix) << code.name() << " message " << m;
+      ASSERT_EQ(code.encode_u64(m), via_matrix.to_u64()) << code.name();
+    }
+  }
+}
+
+TEST(FastTables, SyndromeMatchesParityCheckProduct) {
+  util::Rng rng(77);
+  for (const LinearCode& code : paper_codes()) {
+    for (int round = 0; round < 200; ++round) {
+      const std::uint64_t bits =
+          code.n() == 64 ? rng.next_u64()
+                         : rng.below(std::uint64_t{1} << code.n());
+      const BitVec received = BitVec::from_u64(code.n(), bits);
+      const BitVec via_tables = code.syndrome(received);
+      const BitVec via_matrix = code.parity_check().mul_right(received);
+      ASSERT_EQ(via_tables, via_matrix) << code.name();
+      ASSERT_EQ(code.syndrome_u64(bits), via_matrix.to_u64()) << code.name();
+      ASSERT_EQ(code.is_codeword(received), via_matrix.is_zero()) << code.name();
+    }
+  }
+}
+
+TEST(FastTables, ExtractMessageInvertsEncode) {
+  util::Rng rng(78);
+  for (const LinearCode& code : paper_codes()) {
+    for (int round = 0; round < 100; ++round) {
+      const std::uint64_t m = rng.below(std::uint64_t{1} << std::min<std::size_t>(
+                                            code.k(), 63));
+      const BitVec message = BitVec::from_u64(code.k(), m);
+      const BitVec codeword = code.encode(message);
+      ASSERT_EQ(code.extract_message(codeword), message) << code.name();
+      ASSERT_EQ(code.extract_message_u64(codeword.to_u64()), m) << code.name();
+    }
+  }
+}
+
+TEST(FastTables, CosetLeaderWordsMatchLeaders) {
+  for (const LinearCode& code : {paper_hamming74(), paper_hamming84(), paper_rm13()}) {
+    const std::vector<BitVec>& leaders = code.coset_leaders();
+    const std::vector<std::uint64_t>& words = code.coset_leader_words();
+    ASSERT_EQ(leaders.size(), words.size()) << code.name();
+    for (std::size_t s = 0; s < leaders.size(); ++s)
+      EXPECT_EQ(leaders[s].to_u64(), words[s]) << code.name() << " syndrome " << s;
+  }
+}
+
+TEST(FastTables, AllCodewordsMatchesEncode) {
+  for (const LinearCode& code : {paper_hamming74(), paper_hamming84(), paper_rm13(),
+                                 hsiao_13_8()}) {
+    const std::vector<BitVec> all = code.all_codewords();
+    ASSERT_EQ(all.size(), std::size_t{1} << code.k()) << code.name();
+    for (std::uint64_t m = 0; m < all.size(); ++m)
+      EXPECT_EQ(all[m], code.encode(BitVec::from_u64(code.k(), m)))
+          << code.name() << " message " << m;
+  }
+}
+
+// The generic (matrix-product) path must stay live for long codes: RM(1,7)
+// has n = 128 > 64 and must behave consistently with its own tables absent.
+TEST(FastTables, LongCodesSkipFastPathConsistently) {
+  const LinearCode rm17 = reed_muller(1, 7);
+  EXPECT_FALSE(rm17.has_fast_path());
+  util::Rng rng(79);
+  for (int round = 0; round < 20; ++round) {
+    const std::uint64_t m = rng.below(std::uint64_t{1} << rm17.k());
+    const BitVec message = BitVec::from_u64(rm17.k(), m);
+    const BitVec codeword = rm17.encode(message);
+    EXPECT_TRUE(rm17.is_codeword(codeword));
+    EXPECT_EQ(rm17.extract_message(codeword), message);
+  }
+}
+
+}  // namespace
+}  // namespace sfqecc::code

@@ -1,0 +1,97 @@
+// One-command perf regression check: diffs two BENCH_*.json files (the
+// committed baseline vs a fresh perf_microbench run) and prints per-benchmark
+// deltas.
+//
+// Usage: bench_diff <baseline.json> <fresh.json> [--threshold=PCT]
+//
+// Exit status: 0 when no benchmark regressed by more than the threshold
+// (default 10 %), 1 when at least one did, 2 on usage/file errors. Typical
+// perf-PR flow:
+//
+//   ./build/perf_microbench --bench_json_out=/tmp/BENCH_new.json
+//   ./build/bench_diff BENCH_fig5.json /tmp/BENCH_new.json
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "bench_json_io.hpp"
+#include "util/table.hpp"
+
+using namespace sfqecc;
+
+int main(int argc, char** argv) {
+  double threshold_pct = 10.0;
+  const char* baseline_path = nullptr;
+  const char* fresh_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
+      char* end = nullptr;
+      threshold_pct = std::strtod(argv[i] + 12, &end);
+      if (end == argv[i] + 12 || *end != '\0') {
+        std::fprintf(stderr, "bench_diff: bad value '%s' for --threshold\n",
+                     argv[i] + 12);
+        return 2;
+      }
+    } else if (!baseline_path) {
+      baseline_path = argv[i];
+    } else if (!fresh_path) {
+      fresh_path = argv[i];
+    } else {
+      std::fprintf(stderr, "bench_diff: unexpected argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (!baseline_path || !fresh_path) {
+    std::fprintf(stderr,
+                 "usage: bench_diff <baseline.json> <fresh.json> [--threshold=PCT]\n");
+    return 2;
+  }
+
+  std::vector<bench::BenchRecord> baseline, fresh;
+  if (!bench::load_bench_json(baseline_path, baseline) ||
+      !bench::load_bench_json(fresh_path, fresh))
+    return 2;
+
+  std::map<std::string, const bench::BenchRecord*> baseline_by_name;
+  for (const bench::BenchRecord& r : baseline) baseline_by_name[r.name] = &r;
+
+  util::TextTable table({"benchmark", "baseline", "fresh", "delta", "verdict"});
+  std::size_t regressions = 0, matched = 0;
+  for (const bench::BenchRecord& now : fresh) {
+    const auto it = baseline_by_name.find(now.name);
+    if (it == baseline_by_name.end()) {
+      table.add_row({now.name, "-", util::fixed(now.cpu_time_ns, 0) + " ns", "-",
+                     "new"});
+      continue;
+    }
+    ++matched;
+    const double before = it->second->cpu_time_ns;
+    const double delta_pct = before > 0.0 ? (now.cpu_time_ns - before) / before * 100.0
+                                          : 0.0;
+    const bool regressed = delta_pct > threshold_pct;
+    if (regressed) ++regressions;
+    table.add_row({now.name, util::fixed(before, 0) + " ns",
+                   util::fixed(now.cpu_time_ns, 0) + " ns",
+                   (delta_pct >= 0 ? "+" : "") + util::fixed(delta_pct, 1) + " %",
+                   regressed        ? "REGRESSION"
+                   : delta_pct < -threshold_pct ? "improved"
+                                                : "ok"});
+    baseline_by_name.erase(it);
+  }
+  for (const auto& [name, record] : baseline_by_name)
+    table.add_row({name, util::fixed(record->cpu_time_ns, 0) + " ns", "-", "-",
+                   "removed"});
+
+  std::cout << table.to_string();
+  std::printf("\n%zu benchmark(s) compared, %zu regression(s) beyond +%.1f %% cpu time\n",
+              matched, regressions, threshold_pct);
+  if (matched == 0) {
+    // A vacuous comparison (empty/filtered fresh run) must not pass a gate.
+    std::fprintf(stderr, "bench_diff: no benchmarks in common — nothing compared\n");
+    return 2;
+  }
+  return regressions == 0 ? 0 : 1;
+}

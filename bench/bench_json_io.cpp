@@ -1,0 +1,136 @@
+#include "bench_json_io.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace sfqecc::bench {
+namespace {
+
+/// Position just past the '}' closing the record opened at `open`, skipping
+/// braces inside (escaped) string values; std::string::npos when unclosed.
+std::size_t record_end(const std::string& text, std::size_t open) {
+  bool in_string = false;
+  for (std::size_t i = open + 1; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '}') {
+      return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+/// Pulls the value following `"key":` out of one record's JSON text. This is
+/// a schema-specific scanner, not a JSON parser — exactly enough for the
+/// files write_bench_json emits.
+bool find_value(const std::string& text, const std::string& key, std::string& value) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t start = at + needle.size();
+  while (start < text.size() && std::isspace(static_cast<unsigned char>(text[start])))
+    ++start;
+  if (start >= text.size()) return false;
+  if (text[start] == '"') {  // string value, with escape handling
+    value.clear();
+    for (std::size_t i = start + 1; i < text.size(); ++i) {
+      if (text[i] == '\\' && i + 1 < text.size()) {
+        value.push_back(text[i + 1] == 'n' ? '\n' : text[i + 1]);
+        ++i;
+        continue;
+      }
+      if (text[i] == '"') return true;
+      value.push_back(text[i]);
+    }
+    return false;
+  }
+  std::size_t end = start;
+  while (end < text.size() && text[end] != ',' && text[end] != '}' && text[end] != ']')
+    ++end;
+  value = text.substr(start, end - start);
+  return !value.empty();
+}
+
+}  // namespace
+
+bool write_bench_json(const std::string& path, const std::vector<BenchRecord>& records) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_json_io: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << "{\n  \"schema\": 1,\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    out << "    {\"name\": \"" << util::json_escape(r.name) << "\", \"real_time_ns\": "
+        << r.real_time_ns << ", \"cpu_time_ns\": " << r.cpu_time_ns
+        << ", \"iterations\": " << r.iterations << "}";
+    out << (i + 1 < records.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  return out.good();
+}
+
+bool load_bench_json(const std::string& path, std::vector<BenchRecord>& records) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_json_io: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::string schema;
+  if (!find_value(text, "schema", schema) || schema != "1") {
+    std::fprintf(stderr, "bench_json_io: %s: missing or unsupported schema\n",
+                 path.c_str());
+    return false;
+  }
+
+  records.clear();
+  // Records never nest, so scanning brace pairs after the benchmarks array
+  // opens is sufficient.
+  std::size_t at = text.find("\"benchmarks\"");
+  if (at == std::string::npos) {
+    std::fprintf(stderr, "bench_json_io: %s: missing benchmarks array\n", path.c_str());
+    return false;
+  }
+  while (true) {
+    const std::size_t open = text.find('{', at);
+    if (open == std::string::npos) break;
+    const std::size_t close = record_end(text, open);
+    if (close == std::string::npos) break;
+    const std::string record_text = text.substr(open, close - open);
+    at = close;
+
+    BenchRecord record;
+    std::string real_ns, cpu_ns, iterations;
+    if (!find_value(record_text, "name", record.name) ||
+        !find_value(record_text, "real_time_ns", real_ns) ||
+        !find_value(record_text, "cpu_time_ns", cpu_ns) ||
+        !find_value(record_text, "iterations", iterations)) {
+      std::fprintf(stderr, "bench_json_io: %s: malformed record\n", path.c_str());
+      return false;
+    }
+    record.real_time_ns = std::strtod(real_ns.c_str(), nullptr);
+    record.cpu_time_ns = std::strtod(cpu_ns.c_str(), nullptr);
+    record.iterations = std::strtoll(iterations.c_str(), nullptr, 10);
+    records.push_back(std::move(record));
+  }
+  return true;
+}
+
+}  // namespace sfqecc::bench

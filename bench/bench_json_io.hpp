@@ -1,0 +1,32 @@
+// BENCH_*.json record type and (de)serialization, with no google-benchmark
+// dependency, so the bench_diff regression tool builds even where the
+// microbenchmark cannot.
+//
+// Schema (flat and stable):
+//   { "schema": 1, "benchmarks": [ { "name": ..., "real_time_ns": ...,
+//     "cpu_time_ns": ..., "iterations": ... }, ... ] }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sfqecc::bench {
+
+/// One normalized benchmark measurement (times in nanoseconds).
+struct BenchRecord {
+  std::string name;
+  double real_time_ns = 0.0;
+  double cpu_time_ns = 0.0;
+  std::int64_t iterations = 0;
+};
+
+/// Serializes records to `path` in the stable schema above. Returns false
+/// (and prints to stderr) when the file cannot be written.
+bool write_bench_json(const std::string& path, const std::vector<BenchRecord>& records);
+
+/// Parses a BENCH_*.json written by write_bench_json. Returns false (and
+/// prints to stderr) on a missing file or schema mismatch.
+bool load_bench_json(const std::string& path, std::vector<BenchRecord>& records);
+
+}  // namespace sfqecc::bench

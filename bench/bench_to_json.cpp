@@ -1,8 +1,5 @@
 #include "bench_to_json.hpp"
 
-#include <cstdio>
-#include <fstream>
-
 namespace sfqecc::bench {
 namespace {
 
@@ -15,21 +12,6 @@ double to_ns(double value, benchmark::TimeUnit unit) {
     case benchmark::kSecond: return value * 1e9;
   }
   return value;
-}
-
-/// Minimal JSON string escape (names are benchmark identifiers, but be safe).
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (c == '\n') {
-      out += "\\n";
-      continue;
-    }
-    out.push_back(c);
-  }
-  return out;
 }
 
 }  // namespace
@@ -55,23 +37,5 @@ void JsonRecorder::ReportRuns(const std::vector<Run>& runs) {
 }
 
 bool JsonRecorder::write() const { return write_bench_json(out_path_, records_); }
-
-bool write_bench_json(const std::string& path, const std::vector<BenchRecord>& records) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "bench_to_json: cannot open %s for writing\n", path.c_str());
-    return false;
-  }
-  out << "{\n  \"schema\": 1,\n  \"benchmarks\": [\n";
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const BenchRecord& r = records[i];
-    out << "    {\"name\": \"" << escape(r.name) << "\", \"real_time_ns\": "
-        << r.real_time_ns << ", \"cpu_time_ns\": " << r.cpu_time_ns
-        << ", \"iterations\": " << r.iterations << "}";
-    out << (i + 1 < records.size() ? ",\n" : "\n");
-  }
-  out << "  ]\n}\n";
-  return out.good();
-}
 
 }  // namespace sfqecc::bench

@@ -1,6 +1,7 @@
-// Normalizes google-benchmark results into a machine-readable BENCH_*.json
-// perf record at the repo root, so successive PRs can diff the performance
-// trajectory of the hot paths without parsing console output.
+// Tees google-benchmark results into a machine-readable BENCH_*.json perf
+// record at the repo root, so successive PRs can diff the performance
+// trajectory of the hot paths without parsing console output (the diff
+// itself is the bench_diff tool).
 //
 // Usage inside a benchmark binary:
 //
@@ -11,9 +12,8 @@
 //     recorder.write();
 //   }
 //
-// The emitted schema is intentionally flat and stable:
-//   { "schema": 1, "benchmarks": [ { "name": ..., "real_time_ns": ...,
-//     "cpu_time_ns": ..., "iterations": ... }, ... ] }
+// The record type and schema live in bench_json_io.hpp (no google-benchmark
+// dependency there).
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -21,15 +21,9 @@
 #include <string>
 #include <vector>
 
-namespace sfqecc::bench {
+#include "bench_json_io.hpp"
 
-/// One normalized benchmark measurement (times in nanoseconds).
-struct BenchRecord {
-  std::string name;
-  double real_time_ns = 0.0;
-  double cpu_time_ns = 0.0;
-  std::int64_t iterations = 0;
-};
+namespace sfqecc::bench {
 
 /// A benchmark::BenchmarkReporter that tees measurements into BenchRecords
 /// while delegating display to the standard console reporter.
@@ -51,8 +45,5 @@ class JsonRecorder : public benchmark::ConsoleReporter {
   std::string out_path_;
   std::vector<BenchRecord> records_;
 };
-
-/// Serializes records to `path` in the stable schema above.
-bool write_bench_json(const std::string& path, const std::vector<BenchRecord>& records);
 
 }  // namespace sfqecc::bench

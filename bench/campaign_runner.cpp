@@ -1,0 +1,269 @@
+// Declarative campaign runner CLI: cartesian scenario sweeps over the full
+// link stack (scheme x spread x channel noise x link timing x jitter x ARQ)
+// executed by the sharded work-stealing engine, with checkpoint/resume and
+// JSON/CSV reports.
+//
+// Usage: campaign_runner [flags]
+//   --chips=N              fabricated chips per cell        (default 100)
+//   --messages=N           messages per chip                (default 100)
+//   --seed=N               campaign seed                    (default 20250831)
+//   --threads=N            worker threads, 0 = hardware     (default 0)
+//   --shard=N              chips per work unit              (default 32)
+//   --schemes=a,b,..       subset of none,rm13,h74,h84      (default all)
+//   --spreads=a,b,..       spread fractions in percent      (default 20)
+//   --spread-dist=D        uniform | gaussian               (default uniform)
+//   --noise=a,b,..         channel noise sigma in mV        (default 0.04)
+//   --attenuation=a,b,..   channel attenuation factors      (default 1)
+//   --clock=a,b,..         clock periods in ps              (default 200)
+//   --jitter=a,b,..        sim jitter sigma in ps           (default 0.8)
+//   --arq=a,b,..           ARQ modes: off or max attempts   (default off)
+//   --count-flagged        count flagged frames as errors
+//   --checkpoint=PATH      checkpoint file (resume if present)
+//   --max-units=N          execute at most N units this run (incremental mode)
+//   --json=PATH            write JSON report
+//   --csv=PATH             write CSV report
+//
+// The default single-cell campaign at --chips=1000 is exactly the paper's
+// Fig. 5 experiment (and bit-identical to the fig5_ppv_cdf driver).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sfqecc.hpp"
+
+using namespace sfqecc;
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) items.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return items;
+}
+
+std::vector<double> parse_doubles(const std::string& csv, const char* flag) {
+  std::vector<double> values;
+  for (const std::string& item : split_list(csv)) {
+    char* end = nullptr;
+    values.push_back(std::strtod(item.c_str(), &end));
+    if (end == item.c_str() || *end != '\0') {
+      std::fprintf(stderr, "campaign_runner: bad value '%s' for %s\n", item.c_str(),
+                   flag);
+      std::exit(2);
+    }
+  }
+  return values;
+}
+
+bool match_flag(const char* arg, const char* name, std::string& value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  value = arg + len + 1;
+  return true;
+}
+
+std::size_t parse_size(const std::string& value, const char* flag) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  // strtoull accepts a sign ("-1" wraps to ULLONG_MAX); require a digit.
+  if (value.empty() || value[0] < '0' || value[0] > '9' || *end != '\0') {
+    std::fprintf(stderr, "campaign_runner: bad value '%s' for %s\n", value.c_str(),
+                 flag);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  engine::CampaignSpec spec;
+  spec.chips = 100;
+
+  engine::RunnerOptions options;
+  std::string json_path, csv_path, scheme_csv;
+  ppv::SpreadDistribution dist = ppv::SpreadDistribution::kUniform;
+  // Axis defaults are the Fig. 5 setup: +/-20 % spread, 0.04 mV receiver
+  // noise (~0 BER alone), 0.8 ps thermal jitter at 4.2 K.
+  std::vector<double> spreads_pct{core::paper::kFig5Spread * 100.0};
+  std::vector<double> noises{0.04}, attenuations{1.0}, clocks{200.0}, jitters{0.8};
+  std::vector<std::string> arq_list{"off"};
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    const char* arg = argv[i];
+    if (match_flag(arg, "--chips", value)) {
+      spec.chips = parse_size(value, "--chips");
+    } else if (match_flag(arg, "--messages", value)) {
+      spec.messages_per_chip = parse_size(value, "--messages");
+    } else if (match_flag(arg, "--seed", value)) {
+      spec.seed = parse_size(value, "--seed");
+    } else if (match_flag(arg, "--threads", value)) {
+      options.threads = parse_size(value, "--threads");
+    } else if (match_flag(arg, "--shard", value)) {
+      options.shard_chips = parse_size(value, "--shard");
+    } else if (match_flag(arg, "--schemes", value)) {
+      scheme_csv = value;
+    } else if (match_flag(arg, "--spreads", value)) {
+      spreads_pct = parse_doubles(value, "--spreads");
+    } else if (match_flag(arg, "--spread-dist", value)) {
+      if (value == "uniform") {
+        dist = ppv::SpreadDistribution::kUniform;
+      } else if (value == "gaussian") {
+        dist = ppv::SpreadDistribution::kGaussian;
+      } else {
+        std::fprintf(stderr, "campaign_runner: --spread-dist must be uniform|gaussian\n");
+        return 2;
+      }
+    } else if (match_flag(arg, "--noise", value)) {
+      noises = parse_doubles(value, "--noise");
+    } else if (match_flag(arg, "--attenuation", value)) {
+      attenuations = parse_doubles(value, "--attenuation");
+    } else if (match_flag(arg, "--clock", value)) {
+      clocks = parse_doubles(value, "--clock");
+    } else if (match_flag(arg, "--jitter", value)) {
+      jitters = parse_doubles(value, "--jitter");
+    } else if (match_flag(arg, "--arq", value)) {
+      arq_list = split_list(value);
+    } else if (std::strcmp(arg, "--count-flagged") == 0) {
+      spec.count_flagged_as_error = true;
+    } else if (match_flag(arg, "--checkpoint", value)) {
+      options.checkpoint_path = value;
+    } else if (match_flag(arg, "--max-units", value)) {
+      options.max_units = parse_size(value, "--max-units");
+    } else if (match_flag(arg, "--json", value)) {
+      json_path = value;
+    } else if (match_flag(arg, "--csv", value)) {
+      csv_path = value;
+    } else {
+      std::fprintf(stderr, "campaign_runner: unknown flag '%s' (see header comment)\n",
+                   arg);
+      return 2;
+    }
+  }
+
+  // ---- assemble the axes ----------------------------------------------------
+  spec.spreads.clear();
+  for (double pct : spreads_pct) spec.spreads.push_back({pct / 100.0, dist});
+  spec.channels.clear();
+  for (double noise : noises)
+    for (double atten : attenuations) {
+      link::ChannelModel ch;
+      ch.noise_sigma_mv = noise;
+      ch.attenuation = atten;
+      spec.channels.push_back(ch);
+    }
+  spec.timings.clear();
+  for (double clock : clocks) {
+    engine::LinkTiming timing;
+    timing.clock_period_ps = clock;
+    timing.input_phase_ps = clock / 2.0;
+    spec.timings.push_back(timing);
+  }
+  spec.faults.clear();
+  for (double jitter : jitters) spec.faults.push_back({jitter});
+  spec.arq_modes.clear();
+  for (const std::string& mode : arq_list) {
+    if (mode == "off") {
+      spec.arq_modes.push_back({false, 1});
+    } else {
+      char* end = nullptr;
+      const unsigned long long attempts = std::strtoull(mode.c_str(), &end, 10);
+      if (end == mode.c_str() || *end != '\0' || attempts == 0) {
+        std::fprintf(stderr,
+                     "campaign_runner: --arq values must be 'off' or a positive "
+                     "attempt count, got '%s'\n",
+                     mode.c_str());
+        return 2;
+      }
+      spec.arq_modes.push_back({true, static_cast<std::size_t>(attempts)});
+    }
+  }
+
+  const auto& library = circuit::coldflux_library();
+  const std::vector<core::PaperScheme> paper_schemes = core::make_all_schemes(library);
+  std::vector<link::SchemeSpec> schemes;
+  const auto wanted = split_list(scheme_csv);
+  for (const std::string& w : wanted) {
+    if (w != "none" && w != "rm13" && w != "h74" && w != "h84") {
+      std::fprintf(stderr,
+                   "campaign_runner: unknown scheme '%s' in --schemes "
+                   "(valid: none,rm13,h74,h84)\n",
+                   w.c_str());
+      return 2;
+    }
+  }
+  auto scheme_wanted = [&wanted](core::SchemeId id) {
+    if (wanted.empty()) return true;
+    const char* tag = id == core::SchemeId::kNoEncoder ? "none"
+                      : id == core::SchemeId::kRm13    ? "rm13"
+                      : id == core::SchemeId::kHamming74 ? "h74"
+                                                         : "h84";
+    for (const std::string& w : wanted)
+      if (w == tag) return true;
+    return false;
+  };
+  for (std::size_t i = 0; i < paper_schemes.size(); ++i) {
+    if (!scheme_wanted(static_cast<core::SchemeId>(i))) continue;
+    const core::PaperScheme& s = paper_schemes[i];
+    schemes.push_back(
+        link::SchemeSpec{s.name, s.encoder.get(), s.code.get(), s.decoder.get()});
+  }
+  if (schemes.empty()) {
+    std::fprintf(stderr, "campaign_runner: --schemes matched nothing\n");
+    return 2;
+  }
+
+  const std::size_t cell_count = spec.spreads.size() * spec.channels.size() *
+                                 spec.timings.size() * spec.faults.size() *
+                                 spec.arq_modes.size();
+  std::printf("campaign: %zu cell(s) x %zu scheme(s), %zu chips x %zu messages\n\n",
+              cell_count, schemes.size(), spec.chips, spec.messages_per_chip);
+
+  engine::CampaignResult result;
+  try {
+    result = engine::run_campaign(spec, schemes, library, options);
+  } catch (const ContractViolation& e) {
+    // Routine operator mistakes (stale --checkpoint against changed sweep
+    // flags, a foreign file at the checkpoint path) get the CLI error path,
+    // not an abort.
+    std::fprintf(stderr, "campaign_runner: %s\n", e.what());
+    return 2;
+  }
+
+  // ---- console summary ------------------------------------------------------
+  util::TextTable table({"cell", "scenario", "scheme", "chips", "P(N=0)", "mean N",
+                         "mean flagged", "frames/chip", "channel BER"});
+  for (const engine::CellResult& cell : result.cells)
+    for (const engine::SchemeCellResult& scheme : cell.schemes) {
+      const bool ran = scheme.chips_completed > 0;
+      table.add_row({std::to_string(cell.cell.index), cell.cell.label, scheme.scheme,
+                     std::to_string(scheme.chips_completed),
+                     ran ? util::percent(scheme.p_zero, 1) : "-",
+                     ran ? util::fixed(scheme.mean_errors, 2) : "-",
+                     ran ? util::fixed(scheme.mean_flagged, 2) : "-",
+                     ran ? util::fixed(scheme.mean_frames, 1) : "-",
+                     ran ? util::scientific(scheme.channel_ber, 2) : "-"});
+    }
+  std::cout << table.to_string();
+  std::printf("\nunits: %zu total, %zu executed, %zu resumed from checkpoint%s\n",
+              result.units_total, result.units_executed, result.units_resumed,
+              result.complete() ? "" : "  [INCOMPLETE — rerun to continue]");
+
+  bool ok = true;
+  if (!json_path.empty())
+    ok &= engine::write_text_file(json_path, engine::campaign_json(spec, result));
+  if (!csv_path.empty())
+    ok &= engine::write_text_file(csv_path, engine::campaign_csv(result));
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,238 @@
+#include "engine/campaign.hpp"
+
+#include <memory>
+#include <unordered_map>
+
+#include "engine/checkpoint.hpp"
+#include "engine/kernel.hpp"
+#include "engine/scheduler.hpp"
+#include "util/expect.hpp"
+#include "util/stats.hpp"
+
+namespace sfqecc::engine {
+namespace {
+
+/// Raw per-chip tally arrays for one (cell, scheme) pair; work units write
+/// disjoint [chip_lo, chip_hi) slices, so no synchronization is needed.
+struct Tally {
+  std::vector<std::size_t> errors, flagged, frames, channel_bit_errors;
+  std::vector<char> done;  ///< chips actually executed (partial runs)
+
+  explicit Tally(std::size_t chips)
+      : errors(chips, 0), flagged(chips, 0), frames(chips, 0),
+        channel_bit_errors(chips, 0), done(chips, 0) {}
+};
+
+/// Per-worker scratch: one DataLink slot per scheme, rebuilt when the cell's
+/// link config differs from the cached one. Spread/ARQ-only sweeps (equal
+/// configs) build each scheme's simulator once per worker; channel/timing
+/// sweeps rebuild at cell boundaries, which is shard-granular and cheap,
+/// while memory stays bounded at one simulator per scheme per worker no
+/// matter how many cells the sweep expands to. Reuse never affects results —
+/// the kernel reinstalls chip state and reseeds all noise streams per chip.
+struct WorkerState {
+  struct SchemeSlot {
+    link::DataLinkConfig config;
+    std::unique_ptr<link::DataLink> link;
+  };
+  std::vector<SchemeSlot> slots;  ///< indexed by scheme
+  ppv::ChipSample sample;
+
+  link::DataLink& link_for(const CampaignCell& cell, std::size_t scheme_index,
+                           const link::SchemeSpec& scheme,
+                           const circuit::CellLibrary& library) {
+    if (slots.size() <= scheme_index) slots.resize(scheme_index + 1);
+    SchemeSlot& slot = slots[scheme_index];
+    if (!slot.link || !(slot.config == cell.link)) {
+      slot.link = std::make_unique<link::DataLink>(*scheme.encoder, library,
+                                                   scheme.reference, scheme.decoder,
+                                                   cell.link);
+      slot.config = cell.link;
+    }
+    return *slot.link;
+  }
+};
+
+/// Statistics cover only executed chips (result.chip_done), so a partial run
+/// reports honest numbers over what actually ran instead of zero-filled
+/// perfection.
+void finalize(SchemeCellResult& result, std::size_t codeword_bits) {
+  const std::vector<char>& done = result.chip_done;
+  std::vector<std::size_t> completed_errors;
+  completed_errors.reserve(done.size());
+  util::Accumulator err_acc, flag_acc, frame_acc;
+  std::size_t bit_errors = 0, frames = 0;
+  for (std::size_t chip = 0; chip < done.size(); ++chip) {
+    if (!done[chip]) continue;
+    completed_errors.push_back(result.errors_per_chip[chip]);
+    err_acc.add(static_cast<double>(result.errors_per_chip[chip]));
+    flag_acc.add(static_cast<double>(result.flagged_per_chip[chip]));
+    frame_acc.add(static_cast<double>(result.frames_per_chip[chip]));
+    frames += result.frames_per_chip[chip];
+    bit_errors += result.channel_bit_errors_per_chip[chip];
+  }
+  result.chips_completed = completed_errors.size();
+  result.cdf = util::EmpiricalCdf(completed_errors);
+  result.p_zero = result.cdf.at(0);
+  result.mean_errors = err_acc.mean();
+  result.mean_flagged = flag_acc.mean();
+  result.mean_frames = frame_acc.mean();
+  const std::size_t bits = frames * codeword_bits;
+  result.channel_ber = bits > 0 ? static_cast<double>(bit_errors) / bits : 0.0;
+}
+
+}  // namespace
+
+CampaignResult run_cells(const CampaignSpec& spec, const std::vector<CampaignCell>& cells,
+                         const std::vector<link::SchemeSpec>& schemes,
+                         const circuit::CellLibrary& library,
+                         const RunnerOptions& options) {
+  for (const link::SchemeSpec& scheme : schemes)
+    expects(scheme.encoder != nullptr, "campaign scheme without encoder");
+
+  CampaignResult result;
+  result.cells.reserve(cells.size());
+  for (const CampaignCell& cell : cells) {
+    CellResult cell_result;
+    cell_result.cell = cell;
+    cell_result.schemes.resize(schemes.size());
+    for (std::size_t s = 0; s < schemes.size(); ++s)
+      cell_result.schemes[s].scheme = schemes[s].name;
+    result.cells.push_back(std::move(cell_result));
+  }
+
+  const std::vector<WorkUnit> units =
+      make_work_units(cells.size(), schemes.size(), spec.chips, options.shard_chips);
+  result.units_total = units.size();
+  if (units.empty()) return result;  // empty sweep / no schemes / chips == 0
+
+  std::vector<std::vector<Tally>> tallies;  // [cell][scheme]
+  tallies.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c)
+    tallies.emplace_back(schemes.size(), Tally(spec.chips));
+
+  // ---- checkpoint: load prior progress, mark completed units ---------------
+  std::vector<char> done(units.size(), 0);
+  std::unique_ptr<CheckpointWriter> writer;
+  if (!options.checkpoint_path.empty()) {
+    std::vector<std::string> scheme_names;
+    for (const link::SchemeSpec& scheme : schemes) scheme_names.push_back(scheme.name);
+    const std::uint64_t fingerprint =
+        campaign_fingerprint(spec, cells, scheme_names, options.shard_chips);
+
+    std::unordered_map<std::uint64_t, std::size_t> unit_index;
+    auto unit_key = [&](const WorkUnit& u) {
+      return (static_cast<std::uint64_t>(u.cell) * schemes.size() + u.scheme) *
+                 (spec.chips + 1) +
+             u.chip_lo;
+    };
+    for (std::size_t i = 0; i < units.size(); ++i) unit_index[unit_key(units[i])] = i;
+
+    CheckpointData data;
+    const bool existed = load_checkpoint(options.checkpoint_path, data);
+    if (existed) {
+      expects(data.fingerprint == fingerprint,
+              "checkpoint belongs to a different campaign");
+      for (const UnitResult& unit : data.units) {
+        // Range-check before hashing: out-of-range fields from a corrupted
+        // or hand-edited record could alias another unit's key and silently
+        // fill the wrong tally.
+        if (unit.unit.cell >= cells.size() || unit.unit.scheme >= schemes.size() ||
+            unit.unit.chip_lo >= spec.chips)
+          continue;
+        auto it = unit_index.find(unit_key(unit.unit));
+        if (it == unit_index.end() || done[it->second]) continue;
+        const WorkUnit& u = units[it->second];
+        if (unit.unit.chip_hi != u.chip_hi) continue;
+        Tally& tally = tallies[u.cell][u.scheme];
+        for (std::size_t i = 0; i < unit.errors.size(); ++i) {
+          tally.errors[u.chip_lo + i] = unit.errors[i];
+          tally.flagged[u.chip_lo + i] = unit.flagged[i];
+          tally.frames[u.chip_lo + i] = unit.frames[i];
+          tally.channel_bit_errors[u.chip_lo + i] = unit.channel_bit_errors[i];
+          tally.done[u.chip_lo + i] = 1;
+        }
+        done[it->second] = 1;
+        ++result.units_resumed;
+      }
+    }
+    writer = std::make_unique<CheckpointWriter>(options.checkpoint_path, fingerprint,
+                                                existed);
+  }
+
+  // ---- schedule the remaining units ----------------------------------------
+  std::vector<std::size_t> pending;
+  pending.reserve(units.size() - result.units_resumed);
+  for (std::size_t i = 0; i < units.size(); ++i)
+    if (!done[i]) pending.push_back(i);
+
+  if (!pending.empty() && options.max_units > 0) {
+    SchedulerOptions sched;
+    sched.threads = options.threads;
+    sched.max_units = options.max_units;
+    std::vector<WorkerState> workers(resolved_thread_count(sched, pending.size()));
+
+    result.units_executed = run_work_stealing(
+        pending.size(),
+        [&](std::size_t pending_index, std::size_t worker_index) {
+          const WorkUnit& unit = units[pending[pending_index]];
+          const CampaignCell& cell = cells[unit.cell];
+          const link::SchemeSpec& scheme = schemes[unit.scheme];
+          WorkerState& worker = workers[worker_index];
+          link::DataLink& dlink = worker.link_for(cell, unit.scheme, scheme, library);
+          Tally& tally = tallies[unit.cell][unit.scheme];
+
+          for (std::size_t chip = unit.chip_lo; chip < unit.chip_hi; ++chip) {
+            const ChipCounts counts = run_chip(
+                dlink, scheme, library, cell.spread, cell.seed, unit.scheme, chip,
+                spec.chips, spec.messages_per_chip, spec.count_flagged_as_error,
+                cell.arq, worker.sample);
+            tally.errors[chip] = counts.errors;
+            tally.flagged[chip] = counts.flagged;
+            tally.frames[chip] = counts.frames;
+            tally.channel_bit_errors[chip] = counts.channel_bit_errors;
+            tally.done[chip] = 1;
+          }
+          if (writer) {
+            UnitResult record;
+            record.unit = unit;
+            const std::size_t count = unit.chip_hi - unit.chip_lo;
+            record.errors.assign(tally.errors.begin() + unit.chip_lo,
+                                 tally.errors.begin() + unit.chip_lo + count);
+            record.flagged.assign(tally.flagged.begin() + unit.chip_lo,
+                                  tally.flagged.begin() + unit.chip_lo + count);
+            record.frames.assign(tally.frames.begin() + unit.chip_lo,
+                                 tally.frames.begin() + unit.chip_lo + count);
+            record.channel_bit_errors.assign(
+                tally.channel_bit_errors.begin() + unit.chip_lo,
+                tally.channel_bit_errors.begin() + unit.chip_lo + count);
+            writer->record(record);
+          }
+        },
+        sched);
+  }
+
+  // ---- finalize -------------------------------------------------------------
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      SchemeCellResult& scheme_result = result.cells[c].schemes[s];
+      Tally& tally = tallies[c][s];
+      scheme_result.errors_per_chip = std::move(tally.errors);
+      scheme_result.flagged_per_chip = std::move(tally.flagged);
+      scheme_result.frames_per_chip = std::move(tally.frames);
+      scheme_result.channel_bit_errors_per_chip = std::move(tally.channel_bit_errors);
+      scheme_result.chip_done = std::move(tally.done);
+      finalize(scheme_result, schemes[s].encoder->codeword_outputs.size());
+    }
+  }
+  return result;
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const std::vector<link::SchemeSpec>& schemes,
+                            const circuit::CellLibrary& library,
+                            const RunnerOptions& options) {
+  return run_cells(spec, expand_cells(spec), schemes, library, options);
+}
+
+}  // namespace sfqecc::engine

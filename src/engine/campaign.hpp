@@ -1,0 +1,86 @@
+// The campaign engine: declarative scenario sweeps over the full link stack.
+//
+// Pipeline (see ROADMAP.md "Campaign engine" for the architecture note):
+//
+//   CampaignSpec --expand_cells--> cells --make_work_units--> work units
+//     --run_work_stealing--> per-chip tallies (engine/kernel.hpp)
+//     --finalize--> per-(cell, scheme) CDF / P(N=0) / BER via util::stats
+//     --reporters--> JSON / CSV (engine/report.hpp)
+//
+// with optional checkpoint/resume (engine/checkpoint.hpp) in the middle.
+// link::run_monte_carlo is a thin wrapper over run_cells with a single
+// hand-built cell, so every scenario the engine runs shares the Fig. 5
+// hot path and its determinism guarantees.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/cell_library.hpp"
+#include "engine/campaign_spec.hpp"
+#include "link/monte_carlo.hpp"
+#include "util/cdf.hpp"
+
+namespace sfqecc::engine {
+
+struct RunnerOptions {
+  std::size_t threads = 0;      ///< 0 = hardware concurrency
+  std::size_t shard_chips = 32; ///< chips per work unit (0 = one shard per scheme)
+  std::string checkpoint_path;  ///< empty = no checkpointing
+  /// Execute at most this many units this run (SIZE_MAX = all). With a
+  /// checkpoint this makes campaigns incrementally resumable; the result's
+  /// complete() tells whether everything ran.
+  std::size_t max_units = static_cast<std::size_t>(-1);
+};
+
+/// Finalized per-(cell, scheme) statistics. The per-chip vectors are always
+/// `chips` long; in a partial run (`max_units`/interruption) entries for
+/// never-executed chips are zero and excluded from every statistic below —
+/// `chips_completed` says how many chips the statistics actually cover.
+struct SchemeCellResult {
+  std::string scheme;
+  std::vector<std::size_t> errors_per_chip;
+  std::vector<std::size_t> flagged_per_chip;
+  std::vector<std::size_t> frames_per_chip;             ///< > messages under ARQ
+  std::vector<std::size_t> channel_bit_errors_per_chip;
+  std::vector<char> chip_done;      ///< 1 where the chip actually executed
+  std::size_t chips_completed = 0;  ///< chips the statistics are computed over
+  util::EmpiricalCdf cdf;      ///< CDF of errors over completed chips
+  double p_zero = 0.0;         ///< P(N = 0)
+  double mean_errors = 0.0;
+  double mean_flagged = 0.0;
+  double mean_frames = 0.0;    ///< mean frames per chip (ARQ goodput cost)
+  double channel_ber = 0.0;    ///< channel bit errors / transmitted bits
+};
+
+struct CellResult {
+  CampaignCell cell;
+  std::vector<SchemeCellResult> schemes;
+};
+
+struct CampaignResult {
+  std::vector<CellResult> cells;
+  std::size_t units_total = 0;
+  std::size_t units_executed = 0;  ///< executed this run
+  std::size_t units_resumed = 0;   ///< pre-filled from the checkpoint
+  bool complete() const noexcept {
+    return units_executed + units_resumed == units_total;
+  }
+};
+
+/// Runs pre-expanded cells. The workload scalars (chips, messages_per_chip,
+/// count_flagged_as_error) come from `spec`; its axis vectors are ignored.
+/// This is the entry point link::run_monte_carlo wraps.
+CampaignResult run_cells(const CampaignSpec& spec, const std::vector<CampaignCell>& cells,
+                         const std::vector<link::SchemeSpec>& schemes,
+                         const circuit::CellLibrary& library,
+                         const RunnerOptions& options = {});
+
+/// expand_cells + run_cells: the one-call declarative campaign.
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const std::vector<link::SchemeSpec>& schemes,
+                            const circuit::CellLibrary& library,
+                            const RunnerOptions& options = {});
+
+}  // namespace sfqecc::engine

@@ -1,0 +1,120 @@
+#include "engine/campaign_spec.hpp"
+
+#include <algorithm>
+
+#include "util/table.hpp"
+
+namespace sfqecc::engine {
+namespace {
+
+using util::compact;
+
+void fnv_mix(std::uint64_t& h, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+}
+
+void fnv_mix_u64(std::uint64_t& h, std::uint64_t v) { fnv_mix(h, &v, sizeof v); }
+
+void fnv_mix_double(std::uint64_t& h, double v) { fnv_mix(h, &v, sizeof v); }
+
+void fnv_mix_string(std::uint64_t& h, const std::string& s) {
+  fnv_mix_u64(h, s.size());
+  fnv_mix(h, s.data(), s.size());
+}
+
+}  // namespace
+
+std::string cell_label(const ppv::SpreadSpec& spread, const link::DataLinkConfig& link,
+                       const ArqMode& arq) {
+  std::string label = "spread=" + compact(spread.fraction * 100.0) + "%";
+  label += spread.distribution == ppv::SpreadDistribution::kUniform ? "u" : "g";
+  label += " noise=" + compact(link.channel.noise_sigma_mv) + "mV";
+  if (link.channel.attenuation != 1.0)
+    label += " atten=" + compact(link.channel.attenuation);
+  label += " clk=" + compact(link.clock_period_ps) + "ps";
+  label += " jitter=" + compact(link.sim.jitter_sigma_ps) + "ps";
+  label += arq.enabled ? " arq=" + std::to_string(arq.max_attempts) : " arq=off";
+  return label;
+}
+
+std::vector<CampaignCell> expand_cells(const CampaignSpec& spec) {
+  std::vector<CampaignCell> cells;
+  cells.reserve(spec.spreads.size() * spec.channels.size() * spec.timings.size() *
+                spec.faults.size() * spec.arq_modes.size());
+  for (const ppv::SpreadSpec& spread : spec.spreads)
+    for (const link::ChannelModel& channel : spec.channels)
+      for (const LinkTiming& timing : spec.timings)
+        for (const FaultSpec& fault : spec.faults)
+          for (const ArqMode& arq : spec.arq_modes) {
+            CampaignCell cell;
+            cell.index = cells.size();
+            cell.seed = spec.seed;
+            cell.spread = spread;
+            cell.link.clock_period_ps = timing.clock_period_ps;
+            cell.link.input_phase_ps = timing.input_phase_ps;
+            cell.link.settle_margin_ps = timing.settle_margin_ps;
+            cell.link.channel = channel;
+            cell.link.sim.jitter_sigma_ps = fault.jitter_sigma_ps;
+            cell.link.sim.record_pulses = false;  // Monte-Carlo speed
+            cell.arq = arq;
+            cell.label = cell_label(spread, cell.link, arq);
+            cells.push_back(std::move(cell));
+          }
+  return cells;
+}
+
+std::vector<WorkUnit> make_work_units(std::size_t cells, std::size_t schemes,
+                                      std::size_t chips, std::size_t shard_chips) {
+  std::vector<WorkUnit> units;
+  if (cells == 0 || schemes == 0 || chips == 0) return units;
+  if (shard_chips == 0) shard_chips = chips;
+  // Overflow-safe ceiling division: chips + shard_chips - 1 would wrap for
+  // huge chip counts and silently yield zero shards.
+  const std::size_t shards = chips / shard_chips + (chips % shard_chips != 0 ? 1 : 0);
+  units.reserve(cells * schemes * shards);
+  // Schemes innermost: consecutive units alternate schemes, so the pool's
+  // round-robin seeding spreads every scheme across every worker and the
+  // no-encoder shards never pile up behind the heavyweight ones.
+  for (std::size_t cell = 0; cell < cells; ++cell)
+    for (std::size_t shard = 0; shard < shards; ++shard)
+      for (std::size_t scheme = 0; scheme < schemes; ++scheme)
+        units.push_back(WorkUnit{cell, scheme, shard * shard_chips,
+                                 std::min(chips, (shard + 1) * shard_chips)});
+  return units;
+}
+
+std::uint64_t campaign_fingerprint(const CampaignSpec& spec,
+                                   const std::vector<CampaignCell>& cells,
+                                   const std::vector<std::string>& scheme_names,
+                                   std::size_t shard_chips) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  fnv_mix_u64(h, spec.chips);
+  fnv_mix_u64(h, spec.messages_per_chip);
+  fnv_mix_u64(h, spec.seed);
+  fnv_mix_u64(h, spec.count_flagged_as_error ? 1 : 0);
+  fnv_mix_u64(h, shard_chips);
+  fnv_mix_u64(h, cells.size());
+  for (const CampaignCell& cell : cells) {
+    fnv_mix_u64(h, cell.seed);
+    fnv_mix_double(h, cell.spread.fraction);
+    fnv_mix_u64(h, static_cast<std::uint64_t>(cell.spread.distribution));
+    fnv_mix_double(h, cell.link.clock_period_ps);
+    fnv_mix_double(h, cell.link.input_phase_ps);
+    fnv_mix_double(h, cell.link.settle_margin_ps);
+    fnv_mix_double(h, cell.link.channel.swing_mv);
+    fnv_mix_double(h, cell.link.channel.attenuation);
+    fnv_mix_double(h, cell.link.channel.noise_sigma_mv);
+    fnv_mix_double(h, cell.link.channel.threshold_mv);
+    fnv_mix_double(h, cell.link.sim.jitter_sigma_ps);
+    fnv_mix_u64(h, cell.arq.enabled ? cell.arq.max_attempts : 0);
+  }
+  fnv_mix_u64(h, scheme_names.size());
+  for (const std::string& name : scheme_names) fnv_mix_string(h, name);
+  return h;
+}
+
+}  // namespace sfqecc::engine

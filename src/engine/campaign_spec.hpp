@@ -1,0 +1,106 @@
+// Declarative campaign specification for the sharded campaign engine.
+//
+// A CampaignSpec names the sweep axes of a link-stack experiment — parameter
+// spread, channel model, link timing, simulator fault/noise model, ARQ mode —
+// and the per-cell workload (chips, messages per chip). expand_cells takes
+// the cartesian product of the axes into a flat list of CampaignCells; each
+// (cell, scheme, chip shard) triple then becomes one deterministic WorkUnit
+// for the scheduler (engine/scheduler.hpp).
+//
+// Determinism contract: every cell runs under the campaign seed with the
+// per-(scheme, chip) substream layout of engine/kernel.hpp, so two cells
+// that differ only in channel/timing settings evaluate the *same* fabricated
+// chips (common random numbers) and any cell matching the Fig. 5 defaults
+// reproduces link::run_monte_carlo bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "link/datalink.hpp"
+#include "ppv/spread.hpp"
+
+namespace sfqecc::engine {
+
+/// Frame timing axis (the non-channel, non-sim part of DataLinkConfig).
+struct LinkTiming {
+  double clock_period_ps = 200.0;
+  double input_phase_ps = 100.0;
+  double settle_margin_ps = 60.0;
+};
+
+/// Simulator-level fault/noise model axis.
+struct FaultSpec {
+  double jitter_sigma_ps = 0.0;  ///< thermal timing jitter (4.2 K ~ 0.8 ps)
+};
+
+/// ARQ axis: off (plain frames, the Fig. 5 protocol) or stop-and-wait with
+/// retransmission on flagged frames.
+struct ArqMode {
+  bool enabled = false;
+  std::size_t max_attempts = 4;
+};
+
+/// The declarative sweep. Axis vectors must be non-empty for a non-empty
+/// campaign; the defaults describe a single Fig. 5-like cell.
+struct CampaignSpec {
+  std::size_t chips = 1000;
+  std::size_t messages_per_chip = 100;
+  std::uint64_t seed = 20250831;
+  bool count_flagged_as_error = false;  ///< accounting choice, DESIGN.md §6
+
+  std::vector<ppv::SpreadSpec> spreads{ppv::SpreadSpec{}};
+  std::vector<link::ChannelModel> channels{link::ChannelModel{}};
+  std::vector<LinkTiming> timings{LinkTiming{}};
+  std::vector<FaultSpec> faults{FaultSpec{}};
+  std::vector<ArqMode> arq_modes{ArqMode{}};
+};
+
+/// One resolved scenario: a point of the cartesian sweep with its fully
+/// assembled DataLinkConfig. `seed` equals the campaign seed for every cell
+/// (common-random-numbers design, see header comment).
+struct CampaignCell {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  ppv::SpreadSpec spread;
+  link::DataLinkConfig link;
+  ArqMode arq;
+  std::string label;  ///< human-readable scenario tag for reports
+};
+
+/// Cartesian expansion, innermost axis last: spread > channel > timing >
+/// fault > arq. Any empty axis yields an empty cell list.
+std::vector<CampaignCell> expand_cells(const CampaignSpec& spec);
+
+/// Builds the label expand_cells assigns to a cell with these settings.
+std::string cell_label(const ppv::SpreadSpec& spread, const link::DataLinkConfig& link,
+                       const ArqMode& arq);
+
+/// One schedulable unit of work: chips [chip_lo, chip_hi) of one scheme in
+/// one cell. Units from all schemes interleave in the flat list so short
+/// schemes never leave threads idle at scheme boundaries.
+struct WorkUnit {
+  std::size_t cell = 0;
+  std::size_t scheme = 0;
+  std::size_t chip_lo = 0;
+  std::size_t chip_hi = 0;
+};
+
+/// Slices `chips` chips of every (cell, scheme) pair into shards of at most
+/// `shard_chips` chips (shard order: cell > shard > scheme). Returns an empty
+/// list when any dimension is zero.
+std::vector<WorkUnit> make_work_units(std::size_t cells, std::size_t schemes,
+                                      std::size_t chips, std::size_t shard_chips);
+
+/// FNV-1a fingerprint of everything that determines work-unit boundaries and
+/// per-unit results: workload scalars, cells, scheme names and shard size.
+/// Checkpoint files carry it so a resume against a different campaign is
+/// rejected instead of silently merged.
+std::uint64_t campaign_fingerprint(const CampaignSpec& spec,
+                                   const std::vector<CampaignCell>& cells,
+                                   const std::vector<std::string>& scheme_names,
+                                   std::size_t shard_chips);
+
+}  // namespace sfqecc::engine

@@ -1,0 +1,116 @@
+#include "engine/checkpoint.hpp"
+
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::engine {
+namespace {
+
+constexpr const char* kMagic = "sfqecc-campaign-checkpoint";
+constexpr int kVersion = 1;
+
+void read_counts(std::istringstream& in, char expected_tag, std::size_t count,
+                 std::vector<std::size_t>& out) {
+  std::string tag;
+  in >> tag;
+  expects(tag.size() == 1 && tag[0] == expected_tag, "checkpoint: bad section tag");
+  out.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    expects(static_cast<bool>(in >> out[i]), "checkpoint: truncated counts");
+  }
+}
+
+}  // namespace
+
+bool load_checkpoint(const std::string& path, CheckpointData& data) {
+  std::ifstream in(path);
+  if (!in) return false;
+
+  std::string line;
+  // A kill during the very first header flush can leave an empty file or a
+  // newline-less header prefix; both mean no resumable data exists, so they
+  // count as a fresh run (the writer then truncates the debris). A *complete*
+  // header line that fails to parse is a different situation — the path
+  // likely names a file that is not a checkpoint — and stays fatal rather
+  // than letting the writer truncate user data.
+  if (!std::getline(in, line) || in.eof()) return false;
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    header >> magic >> version >> std::hex >> data.fingerprint;
+    expects(magic == kMagic && version == kVersion && !header.fail(),
+            "checkpoint: unrecognized header");
+  }
+
+  data.units.clear();
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    // A kill mid-flush can persist any prefix of the final line. Every
+    // malformed record — truncated keyword here, truncated body below — is
+    // skipped rather than fatal: the unit simply re-runs on resume.
+    if (keyword != "unit") continue;
+    UnitResult result;
+    fields >> result.unit.cell >> result.unit.scheme >> result.unit.chip_lo >>
+        result.unit.chip_hi;
+    if (fields.fail() || result.unit.chip_hi <= result.unit.chip_lo) continue;
+    const std::size_t count = result.unit.chip_hi - result.unit.chip_lo;
+    try {
+      read_counts(fields, 'e', count, result.errors);
+      read_counts(fields, 'f', count, result.flagged);
+      read_counts(fields, 'n', count, result.frames);
+      read_counts(fields, 'c', count, result.channel_bit_errors);
+      // The trailing sentinel guards against truncation *inside* the final
+      // digit sequence, which would otherwise parse as a complete record
+      // with a silently wrong last count.
+      std::string sentinel;
+      fields >> sentinel;
+      expects(sentinel == "end", "checkpoint: missing end-of-record sentinel");
+    } catch (const ContractViolation&) {
+      continue;  // truncated trailing record: re-run that unit
+    }
+    data.units.push_back(std::move(result));
+  }
+  return true;
+}
+
+CheckpointWriter::CheckpointWriter(const std::string& path, std::uint64_t fingerprint,
+                                   bool existing_header)
+    : out_(path, existing_header ? std::ios::app : std::ios::trunc) {
+  expects(static_cast<bool>(out_), "checkpoint: cannot open file for writing");
+  if (!existing_header) {
+    out_ << kMagic << ' ' << kVersion << ' ' << std::hex << fingerprint << std::dec
+         << '\n';
+  } else {
+    // The prior run may have been killed mid-flush, leaving the file ending
+    // mid-line; start on a fresh line so the first resumed record is never
+    // concatenated onto the partial one (the loader skips empty lines).
+    out_ << '\n';
+  }
+  out_.flush();
+}
+
+void CheckpointWriter::record(const UnitResult& result) {
+  std::ostringstream line;
+  line << "unit " << result.unit.cell << ' ' << result.unit.scheme << ' '
+       << result.unit.chip_lo << ' ' << result.unit.chip_hi;
+  auto emit = [&line](char tag, const std::vector<std::size_t>& counts) {
+    line << ' ' << tag;
+    for (std::size_t v : counts) line << ' ' << v;
+  };
+  emit('e', result.errors);
+  emit('f', result.flagged);
+  emit('n', result.frames);
+  emit('c', result.channel_bit_errors);
+  line << " end\n";
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << line.str();
+  out_.flush();
+}
+
+}  // namespace sfqecc::engine

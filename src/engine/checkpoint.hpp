@@ -1,0 +1,71 @@
+// Checkpoint/resume for campaign runs.
+//
+// The runner appends one line per completed work unit to a plain-text
+// checkpoint file; a resumed run loads the file, pre-fills the matching
+// result slices and only executes the remaining units. Because every unit is
+// deterministic, an interrupted-and-resumed campaign produces byte-identical
+// reports to an uninterrupted one.
+//
+// Format (line-oriented, whitespace-separated):
+//   sfqecc-campaign-checkpoint 1 <fingerprint-hex>
+//   unit <cell> <scheme> <chip_lo> <chip_hi> e <..> f <..> n <..> c <..> end
+// where each of e/f/n/c is followed by (chip_hi - chip_lo) per-chip counts:
+// errors, flagged frames, frames sent, channel bit errors; the trailing
+// "end" sentinel lets the loader reject records a kill truncated mid-digit.
+// Malformed/truncated lines are dropped (those units re-run). The fingerprint
+// (engine/campaign_spec.hpp) ties the file to one exact campaign; loading a
+// mismatched file is a contract violation, not a silent merge.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/campaign_spec.hpp"
+
+namespace sfqecc::engine {
+
+/// Per-chip tallies of one completed work unit, chips [chip_lo, chip_hi).
+struct UnitResult {
+  WorkUnit unit;
+  std::vector<std::size_t> errors;
+  std::vector<std::size_t> flagged;
+  std::vector<std::size_t> frames;
+  std::vector<std::size_t> channel_bit_errors;
+};
+
+/// Parsed checkpoint file.
+struct CheckpointData {
+  std::uint64_t fingerprint = 0;
+  std::vector<UnitResult> units;
+};
+
+/// Loads `path`. Returns false when the file does not exist, is empty, or
+/// holds only a kill-truncated header prefix — all fresh runs; throws
+/// sfqecc::ContractViolation when a *complete* header line is not a
+/// checkpoint header (probably the wrong file — never truncate user data).
+bool load_checkpoint(const std::string& path, CheckpointData& data);
+
+/// Checkpoint writer, safe for concurrent workers. On a fresh run it
+/// truncates the file (clearing any kill-truncated header debris) and writes
+/// the header; on a resume it appends.
+class CheckpointWriter {
+ public:
+  /// `existing_header` says whether `path` already carries a valid header
+  /// (i.e. load_checkpoint succeeded on it).
+  CheckpointWriter(const std::string& path, std::uint64_t fingerprint,
+                   bool existing_header);
+
+  /// Serializes one completed unit and flushes, so a kill at any point loses
+  /// at most the in-flight units.
+  void record(const UnitResult& result);
+
+ private:
+  std::ofstream out_;
+  std::mutex mutex_;
+};
+
+}  // namespace sfqecc::engine

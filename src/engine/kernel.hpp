@@ -1,0 +1,56 @@
+// Per-(scheme, chip) simulation kernel of the campaign engine.
+//
+// This is the inner loop formerly private to link::run_monte_carlo, extracted
+// so that engine work units and the Monte-Carlo wrapper share one definition.
+// The RNG substream layout is load-bearing: the Domain constants and
+// chip_stream_index() fix the exact seeds every (scheme, chip) pair draws
+// from, so campaign cells reproduce historical run_monte_carlo outcomes
+// bit-for-bit. Do not change them without a deliberate re-baselining PR.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "engine/campaign_spec.hpp"
+#include "link/datalink.hpp"
+#include "link/monte_carlo.hpp"
+#include "ppv/chip.hpp"
+
+namespace sfqecc::engine {
+
+/// Substream domains mixed into the cell seed so that PPV, message, channel
+/// and simulator-noise streams never collide.
+enum class Domain : std::uint64_t {
+  kPpv = 0x50505601,
+  kMessages = 0x4d534701,
+  kChannel = 0x43484e01,
+  kSimNoise = 0x53494d01,
+};
+
+/// Substream index of chip `chip` of scheme `scheme` in a `chips`-chip cell.
+constexpr std::uint64_t chip_stream_index(std::size_t scheme, std::size_t chip,
+                                          std::size_t chips) noexcept {
+  return static_cast<std::uint64_t>(scheme) * chips + chip;
+}
+
+/// Raw per-chip tallies produced by the kernel.
+struct ChipCounts {
+  std::size_t errors = 0;   ///< erroneous messages N (per the accounting)
+  std::size_t flagged = 0;  ///< detected-uncorrectable frames (ARQ: surrenders)
+  std::size_t frames = 0;   ///< frames transmitted (> messages under ARQ)
+  std::size_t channel_bit_errors = 0;  ///< received vs transmitted bits
+};
+
+/// Simulates one fabricated chip of one scheme: samples the chip's PPV
+/// deviations, installs it on `dlink`, and transmits `messages` random
+/// messages (retransmitting flagged frames when `arq.enabled`). `scratch` is
+/// the caller's reusable chip-sample buffer; the steady-state path does not
+/// allocate. Deterministic in (seed, scheme_index, chip, chips) only.
+ChipCounts run_chip(link::DataLink& dlink, const link::SchemeSpec& scheme,
+                    const circuit::CellLibrary& library, const ppv::SpreadSpec& spread,
+                    std::uint64_t seed, std::size_t scheme_index, std::size_t chip,
+                    std::size_t chips, std::size_t messages,
+                    bool count_flagged_as_error, const ArqMode& arq,
+                    ppv::ChipSample& scratch);
+
+}  // namespace sfqecc::engine

@@ -1,0 +1,127 @@
+#include "engine/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace sfqecc::engine {
+namespace {
+
+using util::roundtrip;  // byte-stable doubles: tests compare whole files
+
+/// RFC 4180 quoting: wrap in double quotes, double embedded quotes.
+std::string csv_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void cell_fields(std::ostringstream& out, const CampaignCell& cell) {
+  out << "\"cell\": " << cell.index << ", \"label\": \"" << util::json_escape(cell.label)
+      << "\", \"spread_fraction\": " << roundtrip(cell.spread.fraction)
+      << ", \"spread_distribution\": \""
+      << (cell.spread.distribution == ppv::SpreadDistribution::kUniform ? "uniform"
+                                                                        : "gaussian")
+      << "\", \"noise_sigma_mv\": " << roundtrip(cell.link.channel.noise_sigma_mv)
+      << ", \"attenuation\": " << roundtrip(cell.link.channel.attenuation)
+      << ", \"swing_mv\": " << roundtrip(cell.link.channel.swing_mv)
+      << ", \"threshold_mv\": " << roundtrip(cell.link.channel.threshold_mv)
+      << ", \"clock_period_ps\": " << roundtrip(cell.link.clock_period_ps)
+      << ", \"input_phase_ps\": " << roundtrip(cell.link.input_phase_ps)
+      << ", \"settle_margin_ps\": " << roundtrip(cell.link.settle_margin_ps)
+      << ", \"jitter_sigma_ps\": " << roundtrip(cell.link.sim.jitter_sigma_ps)
+      << ", \"arq_max_attempts\": " << (cell.arq.enabled ? cell.arq.max_attempts : 0);
+}
+
+}  // namespace
+
+std::string campaign_json(const CampaignSpec& spec, const CampaignResult& result) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": 1,\n  \"chips\": " << spec.chips
+      << ",\n  \"messages_per_chip\": " << spec.messages_per_chip
+      << ",\n  \"seed\": " << spec.seed << ",\n  \"count_flagged_as_error\": "
+      << (spec.count_flagged_as_error ? "true" : "false")
+      << ",\n  \"complete\": " << (result.complete() ? "true" : "false")
+      << ",\n  \"results\": [\n";
+  bool first = true;
+  for (const CellResult& cell : result.cells) {
+    for (const SchemeCellResult& scheme : cell.schemes) {
+      if (!first) out << ",\n";
+      first = false;
+      out << "    {";
+      cell_fields(out, cell.cell);
+      out << ", \"scheme\": \"" << util::json_escape(scheme.scheme)
+          << "\", \"chips_completed\": " << scheme.chips_completed << ", \"p_zero\": "
+          << roundtrip(scheme.p_zero) << ", \"mean_errors\": " << roundtrip(scheme.mean_errors)
+          << ", \"mean_flagged\": " << roundtrip(scheme.mean_flagged)
+          << ", \"mean_frames\": " << roundtrip(scheme.mean_frames)
+          << ", \"channel_ber\": " << roundtrip(scheme.channel_ber)
+          << ", \"errors_per_chip\": [";
+      for (std::size_t i = 0; i < scheme.errors_per_chip.size(); ++i)
+        out << (i ? "," : "") << scheme.errors_per_chip[i];
+      out << "]";
+      // In a partial run the zero-filled histogram entries of never-run
+      // chips are indistinguishable from real zero-error chips, so emit the
+      // mask consumers need to re-plot honestly. Complete runs omit it.
+      if (scheme.chips_completed < scheme.chip_done.size()) {
+        out << ", \"chip_done\": [";
+        for (std::size_t i = 0; i < scheme.chip_done.size(); ++i)
+          out << (i ? "," : "") << (scheme.chip_done[i] ? 1 : 0);
+        out << "]";
+      }
+      out << "}";
+    }
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+std::string campaign_csv(const CampaignResult& result) {
+  std::ostringstream out;
+  out << "cell,scheme,spread_fraction,spread_distribution,noise_sigma_mv,attenuation,"
+         "swing_mv,threshold_mv,clock_period_ps,input_phase_ps,settle_margin_ps,"
+         "jitter_sigma_ps,arq_max_attempts,chips_completed,p_zero,"
+         "mean_errors,mean_flagged,mean_frames,channel_ber\n";
+  for (const CellResult& cell : result.cells) {
+    for (const SchemeCellResult& scheme : cell.schemes) {
+      out << cell.cell.index << "," << csv_quote(scheme.scheme) << ","
+          << roundtrip(cell.cell.spread.fraction) << ","
+          << (cell.cell.spread.distribution == ppv::SpreadDistribution::kUniform
+                  ? "uniform"
+                  : "gaussian")
+          << "," << roundtrip(cell.cell.link.channel.noise_sigma_mv) << ","
+          << roundtrip(cell.cell.link.channel.attenuation) << ","
+          << roundtrip(cell.cell.link.channel.swing_mv) << ","
+          << roundtrip(cell.cell.link.channel.threshold_mv) << ","
+          << roundtrip(cell.cell.link.clock_period_ps) << ","
+          << roundtrip(cell.cell.link.input_phase_ps) << ","
+          << roundtrip(cell.cell.link.settle_margin_ps) << ","
+          << roundtrip(cell.cell.link.sim.jitter_sigma_ps) << ","
+          << (cell.cell.arq.enabled ? cell.cell.arq.max_attempts : 0) << ","
+          << scheme.chips_completed << ","
+          << roundtrip(scheme.p_zero) << "," << roundtrip(scheme.mean_errors) << ","
+          << roundtrip(scheme.mean_flagged) << "," << roundtrip(scheme.mean_frames) << ","
+          << roundtrip(scheme.channel_ber) << "\n";
+    }
+  }
+  return out.str();
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "engine::report: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << text;
+  return out.good();
+}
+
+}  // namespace sfqecc::engine

@@ -1,0 +1,26 @@
+// Campaign result reporters: machine-readable JSON and CSV.
+//
+// The JSON schema is flat and stable (schema 1): campaign scalars, then one
+// record per (cell, scheme) with the scenario axes spelled out and the
+// finalized statistics plus the full per-chip error histogram — enough to
+// re-plot any cell's Fig. 5-style CDF without re-running. The CSV carries
+// the same records minus the histogram, one row per (cell, scheme), for
+// spreadsheet/pandas consumption.
+#pragma once
+
+#include <string>
+
+#include "engine/campaign.hpp"
+
+namespace sfqecc::engine {
+
+/// Serializes the result to the schema-1 JSON document.
+std::string campaign_json(const CampaignSpec& spec, const CampaignResult& result);
+
+/// Serializes the result to CSV (header row + one row per cell x scheme).
+std::string campaign_csv(const CampaignResult& result);
+
+/// Writes `text` to `path`. Returns false (and prints to stderr) on failure.
+bool write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace sfqecc::engine

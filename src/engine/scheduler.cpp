@@ -1,0 +1,127 @@
+#include "engine/scheduler.hpp"
+
+#include <atomic>
+#include <algorithm>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sfqecc::engine {
+namespace {
+
+/// One worker's deque. Shard-granular units are milliseconds of simulation
+/// each, so a plain mutex per deque costs nothing measurable and keeps the
+/// owner-pop / thief-steal protocol straightforward.
+struct WorkQueue {
+  std::mutex mutex;
+  std::deque<std::size_t> units;
+
+  bool pop_front(std::size_t& unit) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (units.empty()) return false;
+    unit = units.front();
+    units.pop_front();
+    return true;
+  }
+
+  bool steal_back(std::size_t& unit) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (units.empty()) return false;
+    unit = units.back();
+    units.pop_back();
+    return true;
+  }
+
+  std::size_t size() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return units.size();
+  }
+};
+
+}  // namespace
+
+std::size_t resolved_thread_count(const SchedulerOptions& options,
+                                  std::size_t unit_count) {
+  std::size_t threads = options.threads;
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return std::min(threads, std::max<std::size_t>(1, unit_count));
+}
+
+std::size_t run_work_stealing(std::size_t unit_count,
+                              const std::function<void(std::size_t, std::size_t)>& fn,
+                              const SchedulerOptions& options) {
+  if (unit_count == 0 || options.max_units == 0) return 0;
+
+  const std::size_t threads = resolved_thread_count(options, unit_count);
+
+  std::vector<WorkQueue> queues(threads);
+  for (std::size_t unit = 0; unit < unit_count; ++unit)
+    queues[unit % threads].units.push_back(unit);
+
+  // Budget of units this run may still start; decremented before execution so
+  // an interrupted campaign executes exactly max_units units.
+  std::atomic<std::size_t> budget(options.max_units);
+  std::atomic<std::size_t> executed(0);
+  std::atomic<bool> stop(false);
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto worker = [&](std::size_t worker_index) {
+    for (;;) {
+      // A thrown unit stops the whole pool at the next unit boundary instead
+      // of letting the surviving workers finish a doomed campaign.
+      if (stop.load(std::memory_order_relaxed)) return;
+      std::size_t unit = 0;
+      bool found = queues[worker_index].pop_front(unit);
+      while (!found) {
+        // Steal from the victim with the most remaining work so the tail
+        // stays balanced. A sweep that sees no work anywhere means done
+        // (queues only shrink — nothing re-enqueues); a steal that loses
+        // the race to the owner just re-sweeps, since other victims may
+        // still hold units.
+        std::size_t best = threads, best_size = 0;
+        for (std::size_t v = 0; v < threads; ++v) {
+          if (v == worker_index) continue;
+          const std::size_t size = queues[v].size();
+          if (size > best_size) {
+            best = v;
+            best_size = size;
+          }
+        }
+        if (best == threads) return;
+        found = queues[best].steal_back(unit);
+      }
+      // Claim one slot of the budget; put the unit back conceptually by just
+      // stopping — once the budget is gone every worker drains to exit.
+      std::size_t remaining = budget.load(std::memory_order_relaxed);
+      do {
+        if (remaining == 0) return;
+      } while (!budget.compare_exchange_weak(remaining, remaining - 1,
+                                             std::memory_order_relaxed));
+      try {
+        fn(unit, worker_index);
+      } catch (...) {
+        stop.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+      executed.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (std::thread& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return executed.load();
+}
+
+}  // namespace sfqecc::engine

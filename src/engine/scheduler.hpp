@@ -1,0 +1,45 @@
+// Work-stealing thread pool for campaign work units.
+//
+// Units are dealt round-robin onto per-worker deques; a worker drains its own
+// deque from the front and, when empty, steals from the back of the busiest
+// victim. Stealing keeps every thread busy until the global tail: work units
+// from short schemes (e.g. the no-encoder link) interleave with heavyweight
+// ones instead of leaving threads idle at scheme boundaries, which was the
+// chip-striping limitation of the original link::run_monte_carlo.
+//
+// Units are deterministic-by-construction (each writes disjoint output and
+// draws from its own RNG substreams), so the scheduler is free to execute
+// them in any order on any number of threads without changing results.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace sfqecc::engine {
+
+struct SchedulerOptions {
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+  /// Stop handing out units once this many have been executed this run
+  /// (SIZE_MAX = no budget). Used for incremental/interrupted campaigns.
+  std::size_t max_units = static_cast<std::size_t>(-1);
+};
+
+/// Number of worker threads run_work_stealing will actually use for
+/// `unit_count` units: options.threads (hardware concurrency when 0),
+/// clamped to the unit count. Callers sizing per-worker scratch state must
+/// use this instead of re-deriving the clamp.
+std::size_t resolved_thread_count(const SchedulerOptions& options,
+                                  std::size_t unit_count);
+
+/// Executes `fn(unit_index, worker_index)` for up to `options.max_units` of
+/// the `unit_count` units, each exactly once, on a work-stealing pool.
+/// `worker_index` is stable per thread (0 .. threads-1) so workers can keep
+/// per-thread scratch state. Returns the number of units executed. When `fn`
+/// throws, the pool stops at the next unit boundary (remaining queued units
+/// are abandoned, not drained) and the first exception rethrows from the
+/// calling thread.
+std::size_t run_work_stealing(std::size_t unit_count,
+                              const std::function<void(std::size_t, std::size_t)>& fn,
+                              const SchedulerOptions& options = {});
+
+}  // namespace sfqecc::engine

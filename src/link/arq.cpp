@@ -11,6 +11,7 @@ ArqResult send_with_arq(DataLink& link, const code::BitVec& message, util::Rng& 
   for (std::size_t attempt = 0; attempt < config.max_attempts; ++attempt) {
     ++result.attempts;
     const FrameResult frame = link.send(message, rng);
+    result.channel_bit_errors += frame.channel_bit_errors;
     if (frame.flagged) continue;  // detected-uncorrectable: retransmit
     result.delivered = frame.delivered_message;
     result.residual_error = frame.message_error;

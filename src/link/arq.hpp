@@ -29,6 +29,7 @@ struct ArqResult {
   std::size_t attempts = 0;     ///< frames transmitted
   bool surrendered = false;     ///< every attempt was flagged
   bool residual_error = false;  ///< accepted but wrong
+  std::size_t channel_bit_errors = 0;  ///< summed over all attempts
 };
 
 /// Sends `message` with retransmission on flagged frames.

@@ -19,6 +19,8 @@ struct ChannelModel {
   /// Analytic bit-error probability of the channel alone (equal for 0/1 when
   /// the threshold sits at the midpoint).
   double bit_error_probability() const;
+
+  bool operator==(const ChannelModel&) const = default;
 };
 
 /// Transmits one DC level over the cable; returns the received bit.

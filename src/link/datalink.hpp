@@ -27,6 +27,10 @@ struct DataLinkConfig {
   double settle_margin_ps = 60.0;  ///< extra time after the last clock before sampling
   ChannelModel channel;
   sim::SimConfig sim;
+
+  /// Memberwise equality — the campaign engine shares one simulator across
+  /// cells with equal configs, so new fields are compared automatically.
+  bool operator==(const DataLinkConfig&) const = default;
 };
 
 /// Outcome of one frame.

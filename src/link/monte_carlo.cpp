@@ -1,112 +1,54 @@
 #include "link/monte_carlo.hpp"
 
-#include <algorithm>
-#include <thread>
-
+#include "engine/campaign.hpp"
 #include "util/expect.hpp"
 #include "util/stats.hpp"
 
 namespace sfqecc::link {
-namespace {
 
-/// Distinct substream domains, mixed into the master seed so that PPV,
-/// message, channel and simulator-noise streams never collide.
-enum class Domain : std::uint64_t {
-  kPpv = 0x50505601,
-  kMessages = 0x4d534701,
-  kChannel = 0x43484e01,
-  kSimNoise = 0x53494d01,
-};
-
-std::uint64_t stream_index(std::size_t scheme, std::size_t chip, std::size_t chips) {
-  return static_cast<std::uint64_t>(scheme) * chips + chip;
-}
-
-}  // namespace
-
+// Thin wrapper over the campaign engine: one hand-built cell carrying the
+// MonteCarloConfig verbatim (so sim options like record_pulses pass through
+// unchanged), executed by the engine's sharded work-stealing scheduler. The
+// per-(scheme, chip) RNG substream layout lives in engine/kernel.hpp and is
+// unchanged from the original implementation, so outcomes are bit-identical
+// to historical runs at any thread count — and schemes interleave at shard
+// granularity, so short schemes no longer idle threads at scheme boundaries.
 std::vector<SchemeOutcome> run_monte_carlo(const std::vector<SchemeSpec>& schemes,
                                            const circuit::CellLibrary& library,
                                            const MonteCarloConfig& config) {
   expects(!schemes.empty(), "no schemes");
   expects(config.chips > 0 && config.messages_per_chip > 0, "empty experiment");
 
-  std::size_t threads = config.threads;
-  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  threads = std::min(threads, config.chips);
+  engine::CampaignSpec spec;
+  spec.chips = config.chips;
+  spec.messages_per_chip = config.messages_per_chip;
+  spec.seed = config.seed;
+  spec.count_flagged_as_error = config.count_flagged_as_error;
+
+  engine::CampaignCell cell;
+  cell.index = 0;
+  cell.seed = config.seed;
+  cell.spread = config.spread;
+  cell.link = config.link;
+  cell.label = engine::cell_label(cell.spread, cell.link, cell.arq);
+
+  engine::RunnerOptions options;
+  options.threads = config.threads;
+
+  engine::CampaignResult campaign =
+      engine::run_cells(spec, {cell}, schemes, library, options);
 
   std::vector<SchemeOutcome> outcomes(schemes.size());
   for (std::size_t s = 0; s < schemes.size(); ++s) {
-    outcomes[s].name = schemes[s].name;
-    outcomes[s].errors_per_chip.assign(config.chips, 0);
-    outcomes[s].flagged_per_chip.assign(config.chips, 0);
-  }
-
-  auto worker = [&](std::size_t thread_index) {
-    // Each thread owns one DataLink (simulator) per scheme plus one reusable
-    // chip-sample buffer, so the steady-state chip loop never allocates. The
-    // per-(scheme, chip) RNG substreams below are untouched by the reuse:
-    // results stay bit-identical for any thread count.
-    std::vector<DataLink> links;
-    links.reserve(schemes.size());
-    for (const SchemeSpec& scheme : schemes)
-      links.emplace_back(*scheme.encoder, library, scheme.reference, scheme.decoder,
-                         config.link);
-    ppv::ChipSample sample;
-
-    for (std::size_t chip = thread_index; chip < config.chips; chip += threads) {
-      for (std::size_t s = 0; s < schemes.size(); ++s) {
-        const SchemeSpec& scheme = schemes[s];
-        const std::uint64_t stream = stream_index(s, chip, config.chips);
-
-        util::Rng ppv_rng(config.seed ^ static_cast<std::uint64_t>(Domain::kPpv), stream);
-        ppv::sample_chip_into(sample, scheme.encoder->netlist, library, config.spread,
-                              ppv_rng);
-
-        DataLink& dlink = links[s];
-        dlink.install_chip(sample);
-        dlink.reseed_noise(util::substream_seed(
-            config.seed ^ static_cast<std::uint64_t>(Domain::kSimNoise), stream));
-
-        util::Rng msg_rng(config.seed ^ static_cast<std::uint64_t>(Domain::kMessages),
-                          stream);
-        util::Rng chan_rng(config.seed ^ static_cast<std::uint64_t>(Domain::kChannel),
-                           stream);
-
-        const std::size_t k = scheme.encoder->message_inputs.size();
-        std::size_t errors = 0, flagged = 0;
-        for (std::size_t m = 0; m < config.messages_per_chip; ++m) {
-          const code::BitVec message =
-              code::BitVec::from_u64(k, msg_rng.below(std::uint64_t{1} << k));
-          const FrameResult frame = dlink.send(message, chan_rng);
-          if (frame.message_error) ++errors;
-          if (frame.flagged) {
-            ++flagged;
-            if (config.count_flagged_as_error) ++errors;
-          }
-        }
-        outcomes[s].errors_per_chip[chip] = errors;
-        outcomes[s].flagged_per_chip[chip] = flagged;
-      }
-    }
-  };
-
-  if (threads == 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-    for (std::thread& t : pool) t.join();
-  }
-
-  for (SchemeOutcome& outcome : outcomes) {
-    outcome.cdf = util::EmpiricalCdf(outcome.errors_per_chip);
-    outcome.p_zero = outcome.cdf.at(0);
-    util::Accumulator err_acc, flag_acc;
-    for (std::size_t e : outcome.errors_per_chip) err_acc.add(static_cast<double>(e));
-    for (std::size_t f : outcome.flagged_per_chip) flag_acc.add(static_cast<double>(f));
-    outcome.mean_errors = err_acc.mean();
-    outcome.mean_flagged = flag_acc.mean();
+    engine::SchemeCellResult& result = campaign.cells[0].schemes[s];
+    SchemeOutcome& outcome = outcomes[s];
+    outcome.name = schemes[s].name;
+    outcome.errors_per_chip = std::move(result.errors_per_chip);
+    outcome.flagged_per_chip = std::move(result.flagged_per_chip);
+    outcome.cdf = std::move(result.cdf);
+    outcome.p_zero = result.p_zero;
+    outcome.mean_errors = result.mean_errors;
+    outcome.mean_flagged = result.mean_flagged;
   }
   return outcomes;
 }

@@ -55,6 +55,8 @@ struct SimConfig {
   double jitter_sigma_ps = 0.0;   ///< thermal timing jitter per emission (4.2 K ~ 0.8 ps)
   std::uint64_t noise_seed = 1;   ///< seed for jitter and flaky-fault draws
   bool record_pulses = true;      ///< keep per-net pulse history (waveforms)
+
+  bool operator==(const SimConfig&) const = default;
 };
 
 /// Simulates one netlist instance. Construct, optionally set faults, inject

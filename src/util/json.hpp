@@ -1,0 +1,24 @@
+// Minimal JSON string escaping shared by the repo's hand-rolled JSON
+// emitters (engine reports, BENCH_*.json perf records). Handles the
+// characters those writers can actually produce: quote, backslash, newline.
+#pragma once
+
+#include <string>
+
+namespace sfqecc::util {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace sfqecc::util

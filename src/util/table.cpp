@@ -65,4 +65,22 @@ std::string percent(double p, int digits) {
   return fixed(p * 100.0, digits) + " %";
 }
 
+std::string scientific(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", digits, value);
+  return buf;
+}
+
+std::string compact(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", value);
+  return buf;
+}
+
+std::string roundtrip(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
 }  // namespace sfqecc::util

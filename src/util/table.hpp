@@ -39,4 +39,14 @@ std::string fixed(double value, int digits);
 /// Formats a probability as a percentage with one decimal, e.g. "92.7 %".
 std::string percent(double p, int digits = 1);
 
+/// Formats `value` in scientific notation, e.g. "1.23e-05".
+std::string scientific(double value, int digits);
+
+/// Shortest human-friendly formatting ("%g"), for labels.
+std::string compact(double value);
+
+/// Round-trip-exact formatting ("%.17g"); report writers use it so emitted
+/// files are byte-stable across runs (determinism tests compare whole files).
+std::string roundtrip(double value);
+
 }  // namespace sfqecc::util

@@ -1,0 +1,496 @@
+// Campaign engine tests: spec expansion, work-unit sharding, determinism
+// across thread counts and shard sizes, checkpoint/resume, edge cases, and
+// the common-random-numbers / Monte-Carlo-equivalence guarantees.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/paper_encoders.hpp"
+#include "engine/campaign.hpp"
+#include "engine/checkpoint.hpp"
+#include "engine/report.hpp"
+#include "link/monte_carlo.hpp"
+#include "util/expect.hpp"
+
+namespace sfqecc::engine {
+namespace {
+
+class CampaignTest : public ::testing::Test {
+ protected:
+  CampaignTest() {
+    for (const core::PaperScheme& s : paper_schemes_)
+      schemes_.push_back(
+          link::SchemeSpec{s.name, s.encoder.get(), s.code.get(), s.decoder.get()});
+  }
+
+  /// A small two-cell sweep with enough spread to produce non-trivial counts.
+  CampaignSpec small_spec() const {
+    CampaignSpec spec;
+    spec.chips = 14;
+    spec.messages_per_chip = 8;
+    spec.seed = 4242;
+    spec.spreads = {{0.20, ppv::SpreadDistribution::kUniform},
+                    {0.30, ppv::SpreadDistribution::kUniform}};
+    return spec;
+  }
+
+  /// Scoped temp file path; removed on destruction.
+  struct TempFile {
+    std::string path;
+    explicit TempFile(const char* name)
+        : path(std::string(::testing::TempDir()) + name) {
+      std::remove(path.c_str());
+    }
+    ~TempFile() { std::remove(path.c_str()); }
+  };
+
+  const circuit::CellLibrary& lib_ = circuit::coldflux_library();
+  std::vector<core::PaperScheme> paper_schemes_ = core::make_all_schemes(lib_);
+  std::vector<link::SchemeSpec> schemes_;
+};
+
+// ----------------------------------------------------------- spec expansion --
+
+TEST(CampaignSpecTest, ExpandsCartesianProduct) {
+  CampaignSpec spec;
+  spec.spreads = {{0.1, ppv::SpreadDistribution::kUniform},
+                  {0.2, ppv::SpreadDistribution::kUniform}};
+  spec.channels.resize(3);
+  spec.arq_modes = {{false, 1}, {true, 4}};
+  const auto cells = expand_cells(spec);
+  ASSERT_EQ(cells.size(), 2u * 3u * 2u);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+    EXPECT_EQ(cells[i].seed, spec.seed);
+    EXPECT_FALSE(cells[i].label.empty());
+  }
+}
+
+TEST(CampaignSpecTest, EmptyAxisYieldsEmptySweep) {
+  CampaignSpec spec;
+  spec.spreads.clear();
+  EXPECT_TRUE(expand_cells(spec).empty());
+}
+
+TEST(CampaignSpecTest, WorkUnitsInterleaveSchemes) {
+  const auto units = make_work_units(/*cells=*/1, /*schemes=*/3, /*chips=*/10,
+                                     /*shard_chips=*/4);
+  ASSERT_EQ(units.size(), 3u * 3u);  // 3 shards x 3 schemes
+  // Schemes are innermost: consecutive units cover different schemes.
+  EXPECT_EQ(units[0].scheme, 0u);
+  EXPECT_EQ(units[1].scheme, 1u);
+  EXPECT_EQ(units[2].scheme, 2u);
+  EXPECT_EQ(units[0].chip_lo, 0u);
+  EXPECT_EQ(units[0].chip_hi, 4u);
+  EXPECT_EQ(units.back().chip_lo, 8u);
+  EXPECT_EQ(units.back().chip_hi, 10u);  // last shard clipped to chips
+}
+
+TEST(CampaignSpecTest, ZeroDimensionsYieldNoUnits) {
+  EXPECT_TRUE(make_work_units(0, 2, 10, 4).empty());
+  EXPECT_TRUE(make_work_units(2, 0, 10, 4).empty());
+  EXPECT_TRUE(make_work_units(2, 2, 0, 4).empty());
+}
+
+TEST(CampaignSpecTest, ShardZeroMeansOneShardPerScheme) {
+  const auto units = make_work_units(1, 2, 10, 0);
+  ASSERT_EQ(units.size(), 2u);
+  EXPECT_EQ(units[0].chip_hi, 10u);
+}
+
+TEST(CampaignSpecTest, FingerprintDetectsCampaignChanges) {
+  CampaignSpec spec;
+  const auto cells = expand_cells(spec);
+  const std::vector<std::string> names{"a", "b"};
+  const std::uint64_t base = campaign_fingerprint(spec, cells, names, 32);
+  EXPECT_EQ(base, campaign_fingerprint(spec, cells, names, 32));
+
+  CampaignSpec reseeded = spec;
+  reseeded.seed ^= 1;
+  EXPECT_NE(base, campaign_fingerprint(reseeded, expand_cells(reseeded), names, 32));
+  EXPECT_NE(base, campaign_fingerprint(spec, cells, names, 16));
+  EXPECT_NE(base, campaign_fingerprint(spec, cells, {"a"}, 32));
+}
+
+// ------------------------------------------------------------- determinism --
+
+TEST_F(CampaignTest, BitIdenticalAcrossThreadCountsAndShards) {
+  const CampaignSpec spec = small_spec();
+  RunnerOptions reference_options;
+  reference_options.threads = 1;
+  reference_options.shard_chips = 4;
+  const CampaignResult reference = run_campaign(spec, schemes_, lib_, reference_options);
+  const std::string reference_json = campaign_json(spec, reference);
+
+  struct Variant {
+    std::size_t threads, shard;
+  };
+  for (const Variant v : {Variant{2, 4}, Variant{8, 1}, Variant{3, 100}}) {
+    RunnerOptions options;
+    options.threads = v.threads;
+    options.shard_chips = v.shard;
+    const CampaignResult result = run_campaign(spec, schemes_, lib_, options);
+    ASSERT_EQ(result.cells.size(), reference.cells.size());
+    for (std::size_t c = 0; c < result.cells.size(); ++c)
+      for (std::size_t s = 0; s < schemes_.size(); ++s) {
+        EXPECT_EQ(result.cells[c].schemes[s].errors_per_chip,
+                  reference.cells[c].schemes[s].errors_per_chip)
+            << "threads=" << v.threads << " shard=" << v.shard;
+        EXPECT_EQ(result.cells[c].schemes[s].flagged_per_chip,
+                  reference.cells[c].schemes[s].flagged_per_chip);
+        EXPECT_EQ(result.cells[c].schemes[s].channel_bit_errors_per_chip,
+                  reference.cells[c].schemes[s].channel_bit_errors_per_chip);
+      }
+    EXPECT_EQ(campaign_json(spec, result), reference_json);
+  }
+}
+
+TEST_F(CampaignTest, MatchesRunMonteCarloOnTheFig5Cell) {
+  // A one-cell campaign expanded from the declarative spec must agree with
+  // the run_monte_carlo wrapper (which hand-builds its cell) bit for bit.
+  CampaignSpec spec;
+  spec.chips = 12;
+  spec.messages_per_chip = 10;
+  spec.seed = 777;
+  spec.spreads = {{0.20, ppv::SpreadDistribution::kUniform}};
+  const CampaignResult campaign = run_campaign(spec, schemes_, lib_);
+
+  link::MonteCarloConfig config;
+  config.chips = spec.chips;
+  config.messages_per_chip = spec.messages_per_chip;
+  config.seed = spec.seed;
+  config.link.sim.record_pulses = false;
+  const auto outcomes = link::run_monte_carlo(schemes_, lib_, config);
+  ASSERT_EQ(outcomes.size(), schemes_.size());
+  for (std::size_t s = 0; s < schemes_.size(); ++s) {
+    EXPECT_EQ(outcomes[s].errors_per_chip, campaign.cells[0].schemes[s].errors_per_chip)
+        << schemes_[s].name;
+    EXPECT_EQ(outcomes[s].flagged_per_chip,
+              campaign.cells[0].schemes[s].flagged_per_chip);
+    EXPECT_DOUBLE_EQ(outcomes[s].p_zero, campaign.cells[0].schemes[s].p_zero);
+  }
+}
+
+TEST_F(CampaignTest, CommonRandomNumbersAcrossCells) {
+  // Cells differing only in the ARQ axis evaluate identical fabricated chips,
+  // so a scheme that never raises flags (the raw link has no decoder to flag)
+  // sees identical outcomes in both cells.
+  CampaignSpec spec = small_spec();
+  spec.spreads.resize(1);
+  spec.arq_modes = {{false, 1}, {true, 3}};
+  const CampaignResult result = run_campaign(spec, schemes_, lib_);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.cells[0].schemes[0].errors_per_chip,
+            result.cells[1].schemes[0].errors_per_chip);
+}
+
+TEST_F(CampaignTest, HandBuiltCellsWithDuplicateIndexesStayDistinct) {
+  // The public run_cells API accepts hand-built cells; two cells left at the
+  // default index 0 but with different link configs must not share a worker's
+  // cached DataLink (the cache keys on list position, not CampaignCell::index).
+  CampaignSpec spec;
+  spec.chips = 8;
+  spec.messages_per_chip = 10;
+  spec.seed = 99;
+  CampaignCell quiet;
+  quiet.seed = spec.seed;
+  quiet.spread.fraction = 0.0;
+  quiet.link.sim.record_pulses = false;
+  CampaignCell noisy = quiet;
+  noisy.link.channel.noise_sigma_mv = 0.30;  // per-bit BER of a few percent
+  ASSERT_EQ(quiet.index, noisy.index);
+
+  std::vector<link::SchemeSpec> raw{schemes_[0]};
+  RunnerOptions options;
+  options.threads = 1;  // one worker sees both cells: exercises the cache
+  const CampaignResult result =
+      run_cells(spec, {quiet, noisy}, raw, lib_, options);
+  std::size_t quiet_bits = 0, noisy_bits = 0;
+  for (std::size_t c : result.cells[0].schemes[0].channel_bit_errors_per_chip)
+    quiet_bits += c;
+  for (std::size_t c : result.cells[1].schemes[0].channel_bit_errors_per_chip)
+    noisy_bits += c;
+  EXPECT_EQ(quiet_bits, 0u);
+  EXPECT_GT(noisy_bits, 0u);
+}
+
+// --------------------------------------------------------------- edge cases --
+
+TEST_F(CampaignTest, EmptySweepYieldsEmptyResult) {
+  CampaignSpec spec = small_spec();
+  spec.channels.clear();
+  const CampaignResult result = run_campaign(spec, schemes_, lib_);
+  EXPECT_TRUE(result.cells.empty());
+  EXPECT_EQ(result.units_total, 0u);
+  EXPECT_TRUE(result.complete());
+}
+
+TEST_F(CampaignTest, NoSchemesYieldsNoUnits) {
+  const CampaignResult result = run_campaign(small_spec(), {}, lib_);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_TRUE(result.cells[0].schemes.empty());
+  EXPECT_EQ(result.units_total, 0u);
+}
+
+TEST_F(CampaignTest, ZeroChipsYieldsEmptyPerChipData) {
+  CampaignSpec spec = small_spec();
+  spec.chips = 0;
+  const CampaignResult result = run_campaign(spec, schemes_, lib_);
+  EXPECT_EQ(result.units_total, 0u);
+  ASSERT_FALSE(result.cells.empty());
+  const SchemeCellResult& scheme = result.cells[0].schemes[0];
+  EXPECT_TRUE(scheme.errors_per_chip.empty());
+  EXPECT_DOUBLE_EQ(scheme.p_zero, 0.0);
+  EXPECT_DOUBLE_EQ(scheme.channel_ber, 0.0);
+}
+
+TEST_F(CampaignTest, SingleWorkUnit) {
+  CampaignSpec spec = small_spec();
+  spec.chips = 3;
+  spec.spreads.resize(1);
+  RunnerOptions options;
+  options.shard_chips = 100;  // one shard covers all chips
+  options.threads = 8;        // clamped to the single unit
+  std::vector<link::SchemeSpec> one_scheme{schemes_[3]};
+  const CampaignResult result = run_campaign(spec, one_scheme, lib_, options);
+  EXPECT_EQ(result.units_total, 1u);
+  EXPECT_EQ(result.units_executed, 1u);
+  ASSERT_EQ(result.cells[0].schemes[0].errors_per_chip.size(), 3u);
+  EXPECT_TRUE(result.complete());
+}
+
+// ---------------------------------------------------------------------- ARQ --
+
+TEST_F(CampaignTest, ArqRetransmitsFlaggedFrames) {
+  // Under 30 % spread Hamming(8,4) raises flags; with ARQ those frames are
+  // retransmitted, so the chips that flag transmit strictly more frames.
+  CampaignSpec spec = small_spec();
+  spec.spreads = {{0.30, ppv::SpreadDistribution::kUniform}};
+  spec.arq_modes = {{false, 1}, {true, 4}};
+  std::vector<link::SchemeSpec> h84{schemes_[3]};
+  const CampaignResult result = run_campaign(spec, h84, lib_);
+  ASSERT_EQ(result.cells.size(), 2u);
+  const SchemeCellResult& plain = result.cells[0].schemes[0];
+  const SchemeCellResult& arq = result.cells[1].schemes[0];
+
+  std::size_t plain_flagged = 0;
+  for (std::size_t f : plain.flagged_per_chip) plain_flagged += f;
+  ASSERT_GT(plain_flagged, 0u) << "fixture no longer produces flags; raise spread";
+
+  for (std::size_t chip = 0; chip < spec.chips; ++chip) {
+    EXPECT_EQ(plain.frames_per_chip[chip], spec.messages_per_chip);
+    EXPECT_GE(arq.frames_per_chip[chip], spec.messages_per_chip);
+    EXPECT_LE(arq.frames_per_chip[chip], spec.messages_per_chip * 4);
+    if (plain.flagged_per_chip[chip] > 0)
+      EXPECT_GT(arq.frames_per_chip[chip], spec.messages_per_chip) << "chip " << chip;
+  }
+  EXPECT_GT(arq.mean_frames, plain.mean_frames);
+}
+
+// --------------------------------------------------------- checkpoint/resume --
+
+TEST_F(CampaignTest, CheckpointRoundTrip) {
+  TempFile file("ckpt_roundtrip.txt");
+  UnitResult unit;
+  unit.unit = WorkUnit{1, 2, 4, 7};
+  unit.errors = {1, 0, 5};
+  unit.flagged = {0, 0, 2};
+  unit.frames = {8, 8, 12};
+  unit.channel_bit_errors = {0, 3, 1};
+  {
+    CheckpointWriter writer(file.path, 0xabcdefULL, false);
+    writer.record(unit);
+  }
+  CheckpointData data;
+  ASSERT_TRUE(load_checkpoint(file.path, data));
+  EXPECT_EQ(data.fingerprint, 0xabcdefULL);
+  ASSERT_EQ(data.units.size(), 1u);
+  EXPECT_EQ(data.units[0].unit.cell, 1u);
+  EXPECT_EQ(data.units[0].unit.scheme, 2u);
+  EXPECT_EQ(data.units[0].errors, unit.errors);
+  EXPECT_EQ(data.units[0].flagged, unit.flagged);
+  EXPECT_EQ(data.units[0].frames, unit.frames);
+  EXPECT_EQ(data.units[0].channel_bit_errors, unit.channel_bit_errors);
+}
+
+TEST_F(CampaignTest, KillTruncatedTrailingLineIsDroppedNotFatal) {
+  // A SIGKILL mid-flush can persist any prefix of the final line; resume must
+  // drop the partial record (re-running that unit), never abort.
+  TempFile file("ckpt_truncated.txt");
+  UnitResult unit;
+  unit.unit = WorkUnit{0, 0, 0, 2};
+  unit.errors = {1, 2};
+  unit.flagged = {0, 1};
+  unit.frames = {4, 4};
+  unit.channel_bit_errors = {0, 0};
+  {
+    CheckpointWriter writer(file.path, 7, false);
+    writer.record(unit);
+  }
+  for (const char* tail : {"un", "unit 0 1 2", "unit 0 1 2 4 e 1 2 f 0",
+                           // All counts present but no "end" sentinel: a kill
+                           // inside the final digit sequence must not be
+                           // accepted as a complete record.
+                           "unit 0 1 2 4 e 1 2 f 0 0 n 4 4 c 0 1"}) {
+    std::ofstream append(file.path, std::ios::app);
+    append << tail << '\n';
+    append.close();
+    CheckpointData data;
+    ASSERT_TRUE(load_checkpoint(file.path, data)) << tail;
+    EXPECT_EQ(data.units.size(), 1u) << tail;  // only the intact record survives
+    // Rewrite the file fresh for the next tail variant.
+    std::remove(file.path.c_str());
+    CheckpointWriter writer(file.path, 7, false);
+    writer.record(unit);
+  }
+
+  // A kill mid-flush can also leave the file ending mid-line with no
+  // newline; a resuming writer must start on a fresh line so its record is
+  // not concatenated onto the partial one.
+  {
+    std::ofstream append(file.path, std::ios::app);
+    append << "unit 0 0 2 4 e 1";  // no trailing newline
+  }
+  CheckpointData before;
+  ASSERT_TRUE(load_checkpoint(file.path, before));
+  UnitResult second = unit;
+  second.unit.chip_lo = 2;
+  second.unit.chip_hi = 4;
+  {
+    CheckpointWriter writer(file.path, 7, true);
+    writer.record(second);
+  }
+  CheckpointData after;
+  ASSERT_TRUE(load_checkpoint(file.path, after));
+  EXPECT_EQ(after.units.size(), before.units.size() + 1);
+}
+
+TEST_F(CampaignTest, MissingCheckpointFileIsAFreshRun) {
+  CheckpointData data;
+  EXPECT_FALSE(load_checkpoint("/nonexistent/checkpoint.txt", data));
+}
+
+TEST_F(CampaignTest, KillTruncatedHeaderIsAFreshRunNotFatal) {
+  // A kill during the very first header flush can leave an empty file or a
+  // newline-less header prefix; a rerun must recover (the writer truncates
+  // the debris), not abort forever.
+  for (const char* debris : {"", "sfq", "sfqecc-campaign-checkpoint 1 ab"}) {
+    TempFile file("ckpt_header.txt");
+    {
+      std::ofstream out(file.path);
+      out << debris;  // no newline: the flush never completed
+    }
+    CheckpointData data;
+    EXPECT_FALSE(load_checkpoint(file.path, data)) << '"' << debris << '"';
+
+    CheckpointWriter writer(file.path, 11, false);
+    UnitResult unit;
+    unit.unit = WorkUnit{0, 0, 0, 1};
+    unit.errors = unit.flagged = unit.frames = unit.channel_bit_errors = {3};
+    writer.record(unit);
+    ASSERT_TRUE(load_checkpoint(file.path, data)) << '"' << debris << '"';
+    EXPECT_EQ(data.fingerprint, 11u);
+    ASSERT_EQ(data.units.size(), 1u);
+  }
+}
+
+TEST_F(CampaignTest, CompleteForeignHeaderLineStaysFatal) {
+  // A complete first line that is not a checkpoint header probably means the
+  // path names the wrong file; never risk truncating user data.
+  TempFile file("ckpt_foreign.txt");
+  {
+    std::ofstream out(file.path);
+    out << "# My precious notes\n";
+  }
+  CheckpointData data;
+  EXPECT_THROW(load_checkpoint(file.path, data), ContractViolation);
+}
+
+TEST_F(CampaignTest, PartialRunReportsHonestPerCellCompleteness) {
+  // Units that never ran must not contribute fabricated perfect statistics:
+  // their chips are excluded and chips_completed says what the stats cover.
+  CampaignSpec spec = small_spec();
+  RunnerOptions options;
+  options.threads = 1;
+  options.shard_chips = 7;  // 2 shards per (cell, scheme)
+  options.max_units = 3;
+  const CampaignResult partial = run_campaign(spec, schemes_, lib_, options);
+  EXPECT_FALSE(partial.complete());
+
+  std::size_t chips_covered = 0, fully_covered_pairs = 0;
+  for (const CellResult& cell : partial.cells)
+    for (const SchemeCellResult& scheme : cell.schemes) {
+      EXPECT_LE(scheme.chips_completed, spec.chips);
+      EXPECT_EQ(scheme.cdf.sample_count(), scheme.chips_completed);
+      if (scheme.chips_completed == 0) EXPECT_DOUBLE_EQ(scheme.p_zero, 0.0);
+      if (scheme.chips_completed == spec.chips) ++fully_covered_pairs;
+      chips_covered += scheme.chips_completed;
+    }
+  EXPECT_EQ(chips_covered, 3u * 7u);  // 3 executed units x 7 chips each
+  EXPECT_LT(fully_covered_pairs, partial.cells.size() * schemes_.size());
+
+  // A complete run covers every chip of every pair.
+  const CampaignResult full = run_campaign(spec, schemes_, lib_);
+  for (const CellResult& cell : full.cells)
+    for (const SchemeCellResult& scheme : cell.schemes)
+      EXPECT_EQ(scheme.chips_completed, spec.chips);
+}
+
+TEST_F(CampaignTest, InterruptedAndResumedMatchesUninterrupted) {
+  const CampaignSpec spec = small_spec();
+  RunnerOptions plain;
+  plain.threads = 2;
+  plain.shard_chips = 4;
+  const CampaignResult reference = run_campaign(spec, schemes_, lib_, plain);
+  const std::string reference_json = campaign_json(spec, reference);
+  const std::string reference_csv = campaign_csv(reference);
+
+  TempFile file("ckpt_resume.txt");
+  RunnerOptions interrupted = plain;
+  interrupted.checkpoint_path = file.path;
+  interrupted.max_units = reference.units_total / 2;  // simulate a mid-run kill
+  const CampaignResult partial = run_campaign(spec, schemes_, lib_, interrupted);
+  EXPECT_FALSE(partial.complete());
+  EXPECT_EQ(partial.units_executed, reference.units_total / 2);
+
+  RunnerOptions resumed = plain;
+  resumed.checkpoint_path = file.path;
+  const CampaignResult full = run_campaign(spec, schemes_, lib_, resumed);
+  EXPECT_TRUE(full.complete());
+  EXPECT_EQ(full.units_resumed, reference.units_total / 2);
+  EXPECT_EQ(full.units_executed, reference.units_total - full.units_resumed);
+  EXPECT_EQ(campaign_json(spec, full), reference_json);
+  EXPECT_EQ(campaign_csv(full), reference_csv);
+}
+
+TEST_F(CampaignTest, ResumingACompletedCampaignExecutesNothing) {
+  const CampaignSpec spec = small_spec();
+  TempFile file("ckpt_complete.txt");
+  RunnerOptions options;
+  options.checkpoint_path = file.path;
+  options.shard_chips = 4;
+  const CampaignResult first = run_campaign(spec, schemes_, lib_, options);
+  EXPECT_TRUE(first.complete());
+  const CampaignResult again = run_campaign(spec, schemes_, lib_, options);
+  EXPECT_TRUE(again.complete());
+  EXPECT_EQ(again.units_executed, 0u);
+  EXPECT_EQ(again.units_resumed, again.units_total);
+  EXPECT_EQ(campaign_json(spec, again), campaign_json(spec, first));
+}
+
+TEST_F(CampaignTest, CheckpointFromDifferentCampaignIsRejected) {
+  const CampaignSpec spec = small_spec();
+  TempFile file("ckpt_mismatch.txt");
+  RunnerOptions options;
+  options.checkpoint_path = file.path;
+  run_campaign(spec, schemes_, lib_, options);
+
+  CampaignSpec other = spec;
+  other.seed ^= 1;
+  EXPECT_THROW(run_campaign(other, schemes_, lib_, options), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sfqecc::engine

@@ -1,0 +1,102 @@
+// Work-stealing scheduler tests: exactly-once execution at any thread count,
+// budget enforcement, stealing across skewed queues, error propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "engine/scheduler.hpp"
+
+namespace sfqecc::engine {
+namespace {
+
+TEST(Scheduler, ExecutesEveryUnitExactlyOnce) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    const std::size_t units = 137;
+    std::vector<std::atomic<int>> executed(units);
+    SchedulerOptions options;
+    options.threads = threads;
+    const std::size_t count = run_work_stealing(
+        units, [&](std::size_t unit, std::size_t) { executed[unit].fetch_add(1); },
+        options);
+    EXPECT_EQ(count, units) << "threads=" << threads;
+    for (std::size_t u = 0; u < units; ++u)
+      EXPECT_EQ(executed[u].load(), 1) << "unit " << u << " threads=" << threads;
+  }
+}
+
+TEST(Scheduler, ZeroUnitsIsANoop) {
+  std::atomic<int> calls(0);
+  EXPECT_EQ(run_work_stealing(0, [&](std::size_t, std::size_t) { ++calls; }), 0u);
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(Scheduler, ClampsThreadsToUnitCount) {
+  SchedulerOptions options;
+  options.threads = 64;
+  std::atomic<int> calls(0);
+  EXPECT_EQ(run_work_stealing(3, [&](std::size_t, std::size_t) { ++calls; }, options),
+            3u);
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(Scheduler, BudgetStopsAfterMaxUnits) {
+  const std::size_t units = 40;
+  std::vector<std::atomic<int>> executed(units);
+  SchedulerOptions options;
+  options.threads = 4;
+  options.max_units = 7;
+  const std::size_t count = run_work_stealing(
+      units, [&](std::size_t unit, std::size_t) { executed[unit].fetch_add(1); },
+      options);
+  EXPECT_EQ(count, 7u);
+  std::size_t total = 0;
+  for (std::size_t u = 0; u < units; ++u) {
+    EXPECT_LE(executed[u].load(), 1);
+    total += static_cast<std::size_t>(executed[u].load());
+  }
+  EXPECT_EQ(total, 7u);
+}
+
+TEST(Scheduler, IdleWorkerStealsFromBusyQueues) {
+  // Units dealt to queues 1..3 sleep; queue-0 units are instant. Worker 0
+  // drains its own queue in microseconds while the others are still inside
+  // their first sleeps, so it must steal slow units to finish the campaign.
+  const std::size_t threads = 4, units = 64;
+  std::vector<std::atomic<int>> worker_of(units);
+  for (auto& w : worker_of) w.store(-1);
+  SchedulerOptions options;
+  options.threads = threads;
+  run_work_stealing(
+      units,
+      [&](std::size_t unit, std::size_t worker) {
+        worker_of[unit].store(static_cast<int>(worker));
+        if (unit % threads != 0)
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      },
+      options);
+  std::size_t stolen_by_0 = 0;
+  for (std::size_t u = 0; u < units; ++u) {
+    ASSERT_NE(worker_of[u].load(), -1) << "unit " << u << " never ran";
+    if (u % threads != 0 && worker_of[u].load() == 0) ++stolen_by_0;
+  }
+  EXPECT_GT(stolen_by_0, 0u);
+}
+
+TEST(Scheduler, WorkerExceptionPropagates) {
+  SchedulerOptions options;
+  options.threads = 2;
+  EXPECT_THROW(run_work_stealing(
+                   8,
+                   [&](std::size_t unit, std::size_t) {
+                     if (unit == 5) throw std::runtime_error("boom");
+                   },
+                   options),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sfqecc::engine

@@ -22,9 +22,18 @@
 //   --max-units=N          execute at most N units this run (incremental mode)
 //   --json=PATH            write JSON report
 //   --csv=PATH             write CSV report
+//   --no-artifact-cache    disable the fabrication-artifact cache (A/B runs)
+//   --cache-mb=N           artifact-cache byte budget in MiB    (default 256)
+//   --cache-stats=PATH     write cache hit/miss counters as JSON (kept out of
+//                          the --json report, which stays byte-identical at
+//                          any cache/thread/shard setting)
 //
 // The default single-cell campaign at --chips=1000 is exactly the paper's
-// Fig. 5 experiment (and bit-identical to the fig5_ppv_cdf driver).
+// Fig. 5 experiment (and bit-identical to the fig5_ppv_cdf driver). Sweeps
+// with several cells per spread (channel/timing/jitter/ARQ axes) fabricate
+// each chip once and reuse it across those cells via the artifact cache;
+// --no-artifact-cache re-fabricates per cell, which must not change any
+// report byte.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -91,7 +100,7 @@ int main(int argc, char** argv) {
   spec.chips = 100;
 
   engine::RunnerOptions options;
-  std::string json_path, csv_path, scheme_csv;
+  std::string json_path, csv_path, cache_stats_path, scheme_csv;
   ppv::SpreadDistribution dist = ppv::SpreadDistribution::kUniform;
   // Axis defaults are the Fig. 5 setup: +/-20 % spread, 0.04 mV receiver
   // noise (~0 BER alone), 0.8 ps thermal jitter at 4.2 K.
@@ -145,6 +154,12 @@ int main(int argc, char** argv) {
       json_path = value;
     } else if (match_flag(arg, "--csv", value)) {
       csv_path = value;
+    } else if (std::strcmp(arg, "--no-artifact-cache") == 0) {
+      options.artifact_cache_bytes = 0;
+    } else if (match_flag(arg, "--cache-mb", value)) {
+      options.artifact_cache_bytes = parse_size(value, "--cache-mb") << 20;
+    } else if (match_flag(arg, "--cache-stats", value)) {
+      cache_stats_path = value;
     } else {
       std::fprintf(stderr, "campaign_runner: unknown flag '%s' (see header comment)\n",
                    arg);
@@ -259,11 +274,27 @@ int main(int argc, char** argv) {
   std::printf("\nunits: %zu total, %zu executed, %zu resumed from checkpoint%s\n",
               result.units_total, result.units_executed, result.units_resumed,
               result.complete() ? "" : "  [INCOMPLETE — rerun to continue]");
+  const engine::ArtifactCacheStats& cache = result.artifact_cache;
+  if (options.artifact_cache_bytes == 0) {
+    std::printf("artifact cache: disabled\n");
+  } else if (cache.hits + cache.misses == 0) {
+    std::printf("artifact cache: idle (no cells share a fabricated population)\n");
+  } else {
+    std::printf("artifact cache: %llu hits, %llu misses, %llu evictions, "
+                "%llu entries (%.1f MiB resident)\n",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                static_cast<unsigned long long>(cache.evictions),
+                static_cast<unsigned long long>(cache.entries),
+                static_cast<double>(cache.bytes) / (1 << 20));
+  }
 
   bool ok = true;
   if (!json_path.empty())
     ok &= engine::write_text_file(json_path, engine::campaign_json(spec, result));
   if (!csv_path.empty())
     ok &= engine::write_text_file(csv_path, engine::campaign_csv(result));
+  if (!cache_stats_path.empty())
+    ok &= engine::write_text_file(cache_stats_path, engine::cache_stats_json(cache));
   return ok ? 0 : 1;
 }

@@ -155,6 +155,43 @@ void BM_FullLinkFrame(benchmark::State& state) {
 }
 BENCHMARK(BM_FullLinkFrame);
 
+namespace campaign_cell {
+
+// A screening-style two-cell sweep (ARQ off/on, shared spread, few messages
+// per chip) where fabrication is a large share of the work — the workload
+// class the artifact cache targets. Cached and uncached variants measure the
+// same engine entry point, so their ratio is the cache win.
+engine::CampaignSpec spec() {
+  engine::CampaignSpec s;
+  s.chips = 16;
+  s.messages_per_chip = 4;
+  s.seed = 20250831;
+  s.arq_modes = {{false, 1}, {true, 4}};
+  return s;
+}
+
+void run(benchmark::State& state, std::size_t cache_bytes) {
+  const core::PaperScheme scheme = core::make_scheme(core::SchemeId::kHamming84, lib());
+  const std::vector<link::SchemeSpec> schemes{
+      {scheme.name, scheme.encoder.get(), scheme.code.get(), scheme.decoder.get()}};
+  const engine::CampaignSpec s = spec();
+  engine::RunnerOptions options;
+  options.threads = 1;
+  options.artifact_cache_bytes = cache_bytes;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine::run_campaign(s, schemes, lib(), options));
+}
+
+}  // namespace campaign_cell
+
+void BM_CampaignCellCached(benchmark::State& state) {
+  campaign_cell::run(state, engine::RunnerOptions{}.artifact_cache_bytes);
+}
+BENCHMARK(BM_CampaignCellCached);
+
+void BM_CampaignCellUncached(benchmark::State& state) { campaign_cell::run(state, 0); }
+BENCHMARK(BM_CampaignCellUncached);
+
 void BM_MonteCarloChip(benchmark::State& state) {
   // One full Fig. 5 chip: PPV sample + 100 messages through the H84 link.
   const core::PaperScheme scheme = core::make_scheme(core::SchemeId::kHamming84, lib());

@@ -1,0 +1,107 @@
+#include "engine/artifact_cache.hpp"
+
+#include "circuit/cell_library.hpp"
+#include "circuit/netlist.hpp"
+#include "util/fnv.hpp"
+
+namespace sfqecc::engine {
+namespace {
+
+using util::fnv_mix;
+using util::fnv_mix_double;
+using util::fnv_mix_string;
+using util::fnv_mix_u64;
+
+/// Per-entry index overhead charged on top of the payload: key, LRU node and
+/// hash-map slot. An estimate — the budget is a resource bound, not an
+/// accounting exercise.
+constexpr std::size_t kEntryOverhead =
+    sizeof(ArtifactKey) + 6 * sizeof(void*) + sizeof(std::size_t);
+
+}  // namespace
+
+std::uint64_t scheme_fingerprint(const std::string& name,
+                                 const circuit::Netlist& netlist,
+                                 const circuit::CellLibrary& library) {
+  std::uint64_t h = util::kFnvOffset;
+  fnv_mix_string(h, name);
+  fnv_mix_u64(h, netlist.cell_count());
+  for (const circuit::Cell& cell : netlist.cells()) {
+    fnv_mix_u64(h, static_cast<std::uint64_t>(cell.type));
+    // The library content fabrication consumes for this cell (see
+    // sample_cell_health): without it, artifacts fabricated under different
+    // library calibrations would alias across processes/machines.
+    const circuit::CellSpec& spec = library.spec(cell.type);
+    fnv_mix_double(h, spec.ppv_sensitivity);
+    fnv_mix_double(h, spec.ppv_threshold);
+  }
+  return h;
+}
+
+std::uint64_t spread_fingerprint(const ppv::SpreadSpec& spread) {
+  std::uint64_t h = util::kFnvOffset;
+  fnv_mix(h, &spread.fraction, sizeof spread.fraction);
+  fnv_mix_u64(h, static_cast<std::uint64_t>(spread.distribution));
+  return h;
+}
+
+std::size_t ArtifactCache::KeyHash::operator()(const ArtifactKey& key) const noexcept {
+  // The fingerprints are already well-mixed FNV words; fold the tuple with
+  // distinct odd multipliers so permuted fields never collide structurally.
+  std::uint64_t h = key.scheme_fingerprint;
+  h = h * 0x9e3779b97f4a7c15ULL + key.spread_fingerprint;
+  h = h * 0xbf58476d1ce4e5b9ULL + key.seed;
+  h = h * 0x94d049bb133111ebULL + key.chip_stream;
+  return static_cast<std::size_t>(h ^ (h >> 32));
+}
+
+std::size_t ArtifactCache::artifact_bytes(const ppv::ChipSample& chip) noexcept {
+  return chip.health_ratios.size() * sizeof(double) +
+         chip.faults.size() * sizeof(sim::CellFault) + kEntryOverhead;
+}
+
+bool ArtifactCache::lookup(const ArtifactKey& key, ppv::ChipSample& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency, no realloc
+  const ppv::ChipSample& chip = it->second->chip;
+  out.health_ratios.assign(chip.health_ratios.begin(), chip.health_ratios.end());
+  out.faults.assign(chip.faults.begin(), chip.faults.end());
+  ++stats_.hits;
+  return true;
+}
+
+void ArtifactCache::insert(const ArtifactKey& key, const ppv::ChipSample& chip) {
+  const std::size_t bytes = artifact_bytes(chip);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index_.find(key) != index_.end()) return;  // racing miss: first copy wins
+  if (bytes > byte_budget_) return;  // can never fit; don't thrash the LRU
+  lru_.push_front(Entry{key, chip, bytes});
+  index_.emplace(key, lru_.begin());
+  stats_.bytes += bytes;
+  ++stats_.entries;
+  ++stats_.insertions;
+  evict_to_budget_locked();
+}
+
+void ArtifactCache::evict_to_budget_locked() {
+  while (stats_.bytes > byte_budget_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    stats_.bytes -= victim.bytes;
+    --stats_.entries;
+    ++stats_.evictions;
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+ArtifactCacheStats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace sfqecc::engine

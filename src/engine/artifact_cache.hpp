@@ -1,0 +1,136 @@
+// Content-addressed cache of fabrication artifacts (ppv::ChipSample).
+//
+// The staged kernel (engine/kernel.hpp) makes fabrication a pure function of
+// (seed, spread, scheme netlist, RNG stream). Campaign cells that differ only
+// in channel / timing / jitter / ARQ settings therefore fabricate bit-
+// identical chip populations (common random numbers); this cache lets them
+// share the artifacts, dropping fabrication cost from once per cell to once
+// per spread.
+//
+// Key rules (what "content-addressed" means here): a key is the tuple
+//   (scheme fingerprint, spread fingerprint, seed, chip stream index)
+// where the scheme fingerprint hashes the netlist the PPV pass walks (cell
+// count + per-cell types + each cell's library PPV sensitivity/threshold,
+// plus the scheme name), the spread fingerprint hashes the SpreadSpec, and
+// the chip stream index is
+// chip_stream_index(scheme_index, chip, chips) — it encodes the chip's
+// position in the substream layout, so two campaigns with different scheme
+// orderings or chip counts never alias. Identical keys guarantee bit-
+// identical ChipSample bytes; that invariant is what makes a cache hit
+// transparent to every report, and it is also the unit a future cross-
+// machine distribution layer would ship instead of re-fabricating.
+//
+// Thread safety: all operations take an internal mutex. Fabrication costs
+// microseconds per chip while the lock is held for a map probe plus a vector
+// copy, so contention is negligible at campaign shard granularity. Lookups
+// copy into the caller's scratch buffer (reusing its capacity) instead of
+// handing out pointers, so eviction can never invalidate a worker's chip
+// mid-simulation.
+//
+// Eviction: least-recently-used under a byte budget. Entries are charged
+// their payload bytes (health ratios + fault states) plus a fixed estimate
+// of the index overhead. A budget of 0 disables insertion entirely (the
+// cache stores nothing and every lookup misses), which is what the
+// campaign runner's --no-artifact-cache maps to.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "ppv/chip.hpp"
+#include "ppv/spread.hpp"
+
+namespace sfqecc { namespace circuit { class CellLibrary; class Netlist; } }
+
+namespace sfqecc::engine {
+
+/// Content address of one fabrication artifact. See the header comment for
+/// the key rules; build the fingerprints with the helpers below.
+struct ArtifactKey {
+  std::uint64_t scheme_fingerprint = 0;
+  std::uint64_t spread_fingerprint = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t chip_stream = 0;  ///< chip_stream_index(scheme_index, chip, chips)
+
+  bool operator==(const ArtifactKey&) const = default;
+};
+
+/// FNV-1a over everything fabrication consumes besides the spread and RNG
+/// stream: the netlist structure the PPV pass walks (cell count and per-cell
+/// types, visited in id order — exactly the walk sample_chip_into performs)
+/// together with each visited cell's PPV parameters from `library`
+/// (sensitivity/threshold — so artifacts fabricated under different library
+/// calibrations never alias, even across processes), mixed with `name` to
+/// separate schemes that share a netlist shape.
+std::uint64_t scheme_fingerprint(const std::string& name,
+                                 const circuit::Netlist& netlist,
+                                 const circuit::CellLibrary& library);
+
+/// FNV-1a over a SpreadSpec (fraction bits + distribution tag).
+std::uint64_t spread_fingerprint(const ppv::SpreadSpec& spread);
+
+/// Monotonic counters describing one cache's lifetime. `hits + misses` is
+/// the number of lookups; `bytes`/`entries` are the current residency. Note
+/// that under concurrent workers two threads can miss the same key back to
+/// back (both fabricate; the second insert is dropped), so hit/miss totals
+/// are not deterministic across thread counts — which is why they live in
+/// run summaries, never in the byte-stable campaign reports.
+struct ArtifactCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t entries = 0;
+};
+
+/// Thread-safe LRU store of fabricated chips under a byte budget.
+class ArtifactCache {
+ public:
+  /// `byte_budget` bounds resident payload bytes; 0 stores nothing.
+  explicit ArtifactCache(std::size_t byte_budget) : byte_budget_(byte_budget) {}
+
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  /// Copies the artifact for `key` into `out` (reusing its capacity) and
+  /// refreshes its recency. Returns false — counting a miss — when absent.
+  bool lookup(const ArtifactKey& key, ppv::ChipSample& out);
+
+  /// Stores a copy of `chip` under `key`, evicting least-recently-used
+  /// entries until the budget holds. A duplicate insert (two workers racing
+  /// on the same miss) is dropped: the first copy wins, so lookups always
+  /// observe one immutable artifact per key.
+  void insert(const ArtifactKey& key, const ppv::ChipSample& chip);
+
+  ArtifactCacheStats stats() const;
+
+  std::size_t byte_budget() const noexcept { return byte_budget_; }
+
+  /// Payload bytes charged for one sample (plus per-entry index overhead).
+  static std::size_t artifact_bytes(const ppv::ChipSample& chip) noexcept;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const ArtifactKey& key) const noexcept;
+  };
+  struct Entry {
+    ArtifactKey key;
+    ppv::ChipSample chip;
+    std::size_t bytes = 0;
+  };
+  using LruList = std::list<Entry>;
+
+  void evict_to_budget_locked();
+
+  const std::size_t byte_budget_;
+  mutable std::mutex mutex_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<ArtifactKey, LruList::iterator, KeyHash> index_;
+  ArtifactCacheStats stats_;
+};
+
+}  // namespace sfqecc::engine

@@ -1,11 +1,14 @@
 #include "engine/campaign.hpp"
 
+#include <map>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "engine/checkpoint.hpp"
 #include "engine/kernel.hpp"
 #include "engine/scheduler.hpp"
+#include "engine/scheme_artifacts.hpp"
 #include "util/expect.hpp"
 #include "util/stats.hpp"
 
@@ -26,10 +29,12 @@ struct Tally {
 /// Per-worker scratch: one DataLink slot per scheme, rebuilt when the cell's
 /// link config differs from the cached one. Spread/ARQ-only sweeps (equal
 /// configs) build each scheme's simulator once per worker; channel/timing
-/// sweeps rebuild at cell boundaries, which is shard-granular and cheap,
-/// while memory stays bounded at one simulator per scheme per worker no
-/// matter how many cells the sweep expands to. Reuse never affects results —
-/// the kernel reinstalls chip state and reseeds all noise streams per chip.
+/// sweeps rebuild at cell boundaries, which is shard-granular and cheap
+/// (the link leases the scheme's shared SimTables, so a rebuild allocates
+/// only mutable simulator state — the netlist is never re-flattened), while
+/// memory stays bounded at one simulator per scheme per worker no matter how
+/// many cells the sweep expands to. Reuse never affects results — the kernel
+/// reinstalls chip state and reseeds all noise streams per chip.
 struct WorkerState {
   struct SchemeSlot {
     link::DataLinkConfig config;
@@ -40,11 +45,11 @@ struct WorkerState {
 
   link::DataLink& link_for(const CampaignCell& cell, std::size_t scheme_index,
                            const link::SchemeSpec& scheme,
-                           const circuit::CellLibrary& library) {
+                           const SchemeArtifacts& artifacts) {
     if (slots.size() <= scheme_index) slots.resize(scheme_index + 1);
     SchemeSlot& slot = slots[scheme_index];
     if (!slot.link || !(slot.config == cell.link)) {
-      slot.link = std::make_unique<link::DataLink>(*scheme.encoder, library,
+      slot.link = std::make_unique<link::DataLink>(*scheme.encoder, artifacts.tables,
                                                    scheme.reference, scheme.decoder,
                                                    cell.link);
       slot.config = cell.link;
@@ -167,6 +172,34 @@ CampaignResult run_cells(const CampaignSpec& spec, const std::vector<CampaignCel
     if (!done[i]) pending.push_back(i);
 
   if (!pending.empty() && options.max_units > 0) {
+    // ---- stage 0: shared immutable per-scheme artifacts --------------------
+    const std::vector<SchemeArtifacts> artifacts =
+        build_scheme_artifacts(schemes, library);
+
+    // ---- fabrication-artifact cache ---------------------------------------
+    // Cells fabricate identical chips exactly when they agree on (seed,
+    // spread): the kPpv substream depends on nothing else. Only cells whose
+    // (seed, spread fingerprint) pair recurs can ever hit, so single-cell
+    // runs (run_monte_carlo) and pure spread sweeps bypass the cache
+    // entirely — no lookups, no resident copies, the exact pre-cache path.
+    std::vector<std::uint64_t> cell_spread_fp(cells.size(), 0);
+    std::vector<char> cell_cached(cells.size(), 0);
+    std::unique_ptr<ArtifactCache> cache;
+    if (options.artifact_cache_bytes > 0) {
+      std::map<std::pair<std::uint64_t, std::uint64_t>, std::size_t> population;
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        cell_spread_fp[c] = spread_fingerprint(cells[c].spread);
+        ++population[{cells[c].seed, cell_spread_fp[c]}];
+      }
+      for (std::size_t c = 0; c < cells.size(); ++c)
+        cell_cached[c] = population[{cells[c].seed, cell_spread_fp[c]}] > 1 ? 1 : 0;
+      for (char cached : cell_cached)
+        if (cached) {
+          cache = std::make_unique<ArtifactCache>(options.artifact_cache_bytes);
+          break;
+        }
+    }
+
     SchedulerOptions sched;
     sched.threads = options.threads;
     sched.max_units = options.max_units;
@@ -179,14 +212,35 @@ CampaignResult run_cells(const CampaignSpec& spec, const std::vector<CampaignCel
           const CampaignCell& cell = cells[unit.cell];
           const link::SchemeSpec& scheme = schemes[unit.scheme];
           WorkerState& worker = workers[worker_index];
-          link::DataLink& dlink = worker.link_for(cell, unit.scheme, scheme, library);
+          link::DataLink& dlink =
+              worker.link_for(cell, unit.scheme, scheme, artifacts[unit.scheme]);
           Tally& tally = tallies[unit.cell][unit.scheme];
 
+          ChipTask task;
+          task.scheme = &scheme;
+          task.library = &library;
+          task.spread = cell.spread;
+          task.seed = cell.seed;
+          task.scheme_index = unit.scheme;
+          task.chips = spec.chips;
+          task.messages = spec.messages_per_chip;
+          task.count_flagged_as_error = spec.count_flagged_as_error;
+          task.arq = cell.arq;
+
           for (std::size_t chip = unit.chip_lo; chip < unit.chip_hi; ++chip) {
-            const ChipCounts counts = run_chip(
-                dlink, scheme, library, cell.spread, cell.seed, unit.scheme, chip,
-                spec.chips, spec.messages_per_chip, spec.count_flagged_as_error,
-                cell.arq, worker.sample);
+            task.chip = chip;
+            if (cache && cell_cached[unit.cell]) {
+              const ArtifactKey key{artifacts[unit.scheme].fingerprint,
+                                    cell_spread_fp[unit.cell], cell.seed,
+                                    task.stream()};
+              if (!cache->lookup(key, worker.sample)) {
+                fabricate_chip(task, worker.sample);
+                cache->insert(key, worker.sample);
+              }
+            } else {
+              fabricate_chip(task, worker.sample);
+            }
+            const ChipCounts counts = simulate_chip(dlink, task, worker.sample);
             tally.errors[chip] = counts.errors;
             tally.flagged[chip] = counts.flagged;
             tally.frames[chip] = counts.frames;
@@ -210,6 +264,7 @@ CampaignResult run_cells(const CampaignSpec& spec, const std::vector<CampaignCel
           }
         },
         sched);
+    if (cache) result.artifact_cache = cache->stats();
   }
 
   // ---- finalize -------------------------------------------------------------

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "circuit/cell_library.hpp"
+#include "engine/artifact_cache.hpp"
 #include "engine/campaign_spec.hpp"
 #include "link/monte_carlo.hpp"
 #include "util/cdf.hpp"
@@ -32,6 +33,12 @@ struct RunnerOptions {
   /// checkpoint this makes campaigns incrementally resumable; the result's
   /// complete() tells whether everything ran.
   std::size_t max_units = static_cast<std::size_t>(-1);
+  /// Byte budget of the fabrication-artifact cache (engine/artifact_cache.hpp):
+  /// cells sharing a (seed, spread) reuse fabricated chips instead of
+  /// re-sampling them. 0 disables the cache. Never affects results — cached
+  /// fabrication is bit-identical by the cache's key rules — only speed, so
+  /// reports are byte-identical at any setting.
+  std::size_t artifact_cache_bytes = 256ull << 20;
 };
 
 /// Finalized per-(cell, scheme) statistics. The per-chip vectors are always
@@ -64,6 +71,11 @@ struct CampaignResult {
   std::size_t units_total = 0;
   std::size_t units_executed = 0;  ///< executed this run
   std::size_t units_resumed = 0;   ///< pre-filled from the checkpoint
+  /// Fabrication-artifact cache counters for this run (all zero when the
+  /// cache was disabled or no cell pair could share chips). Diagnostics
+  /// only: hit/miss totals are scheduling-order dependent under concurrent
+  /// workers, so reporters keep them out of the byte-stable reports.
+  ArtifactCacheStats artifact_cache;
   bool complete() const noexcept {
     return units_executed + units_resumed == units_total;
   }

@@ -2,31 +2,15 @@
 
 #include <algorithm>
 
+#include "util/fnv.hpp"
 #include "util/table.hpp"
 
 namespace sfqecc::engine {
-namespace {
 
 using util::compact;
-
-void fnv_mix(std::uint64_t& h, const void* data, std::size_t size) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < size; ++i) {
-    h ^= bytes[i];
-    h *= 0x100000001b3ULL;
-  }
-}
-
-void fnv_mix_u64(std::uint64_t& h, std::uint64_t v) { fnv_mix(h, &v, sizeof v); }
-
-void fnv_mix_double(std::uint64_t& h, double v) { fnv_mix(h, &v, sizeof v); }
-
-void fnv_mix_string(std::uint64_t& h, const std::string& s) {
-  fnv_mix_u64(h, s.size());
-  fnv_mix(h, s.data(), s.size());
-}
-
-}  // namespace
+using util::fnv_mix_double;
+using util::fnv_mix_string;
+using util::fnv_mix_u64;
 
 std::string cell_label(const ppv::SpreadSpec& spread, const link::DataLinkConfig& link,
                        const ArqMode& arq) {
@@ -91,7 +75,7 @@ std::uint64_t campaign_fingerprint(const CampaignSpec& spec,
                                    const std::vector<CampaignCell>& cells,
                                    const std::vector<std::string>& scheme_names,
                                    std::size_t shard_chips) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
+  std::uint64_t h = util::kFnvOffset;
   fnv_mix_u64(h, spec.chips);
   fnv_mix_u64(h, spec.messages_per_chip);
   fnv_mix_u64(h, spec.seed);

@@ -5,49 +5,48 @@
 
 namespace sfqecc::engine {
 
-ChipCounts run_chip(link::DataLink& dlink, const link::SchemeSpec& scheme,
-                    const circuit::CellLibrary& library, const ppv::SpreadSpec& spread,
-                    std::uint64_t seed, std::size_t scheme_index, std::size_t chip,
-                    std::size_t chips, std::size_t messages,
-                    bool count_flagged_as_error, const ArqMode& arq,
-                    ppv::ChipSample& scratch) {
-  const std::uint64_t stream = chip_stream_index(scheme_index, chip, chips);
+void fabricate_chip(const ChipTask& task, ppv::ChipSample& chip) {
+  util::Rng ppv_rng(task.seed ^ static_cast<std::uint64_t>(Domain::kPpv), task.stream());
+  ppv::sample_chip_into(chip, task.scheme->encoder->netlist, *task.library, task.spread,
+                        ppv_rng);
+}
 
-  util::Rng ppv_rng(seed ^ static_cast<std::uint64_t>(Domain::kPpv), stream);
-  ppv::sample_chip_into(scratch, scheme.encoder->netlist, library, spread, ppv_rng);
+ChipCounts simulate_chip(link::DataLink& dlink, const ChipTask& task,
+                         const ppv::ChipSample& chip) {
+  const std::uint64_t stream = task.stream();
 
-  dlink.install_chip(scratch);
-  dlink.reseed_noise(
-      util::substream_seed(seed ^ static_cast<std::uint64_t>(Domain::kSimNoise), stream));
+  dlink.install_chip(chip);
+  dlink.reseed_noise(util::substream_seed(
+      task.seed ^ static_cast<std::uint64_t>(Domain::kSimNoise), stream));
 
-  util::Rng msg_rng(seed ^ static_cast<std::uint64_t>(Domain::kMessages), stream);
-  util::Rng chan_rng(seed ^ static_cast<std::uint64_t>(Domain::kChannel), stream);
+  util::Rng msg_rng(task.seed ^ static_cast<std::uint64_t>(Domain::kMessages), stream);
+  util::Rng chan_rng(task.seed ^ static_cast<std::uint64_t>(Domain::kChannel), stream);
 
-  const std::size_t k = scheme.encoder->message_inputs.size();
+  const std::size_t k = task.scheme->encoder->message_inputs.size();
   ChipCounts counts;
-  for (std::size_t m = 0; m < messages; ++m) {
+  for (std::size_t m = 0; m < task.messages; ++m) {
     const code::BitVec message =
         code::BitVec::from_u64(k, msg_rng.below(std::uint64_t{1} << k));
-    if (!arq.enabled) {
+    if (!task.arq.enabled) {
       const link::FrameResult frame = dlink.send(message, chan_rng);
       ++counts.frames;
       counts.channel_bit_errors += frame.channel_bit_errors;
       if (frame.message_error) ++counts.errors;
       if (frame.flagged) {
         ++counts.flagged;
-        if (count_flagged_as_error) ++counts.errors;
+        if (task.count_flagged_as_error) ++counts.errors;
       }
     } else {
       // Stop-and-wait ARQ. A surrendered message counts as flagged — it is
       // the detected-loss outcome — and as erroneous under the strict
       // accounting; an accepted-but-wrong message is a residual error.
       const link::ArqResult result =
-          link::send_with_arq(dlink, message, chan_rng, {arq.max_attempts});
+          link::send_with_arq(dlink, message, chan_rng, {task.arq.max_attempts});
       counts.frames += result.attempts;
       counts.channel_bit_errors += result.channel_bit_errors;
       if (result.surrendered) {
         ++counts.flagged;
-        if (count_flagged_as_error) ++counts.errors;
+        if (task.count_flagged_as_error) ++counts.errors;
       } else if (result.residual_error) {
         ++counts.errors;
       }

@@ -1,11 +1,21 @@
-// Per-(scheme, chip) simulation kernel of the campaign engine.
+// Per-(scheme, chip) simulation kernel of the campaign engine, staged as an
+// explicit fabricate -> simulate pipeline.
 //
 // This is the inner loop formerly private to link::run_monte_carlo, extracted
 // so that engine work units and the Monte-Carlo wrapper share one definition.
+// The two stages are separable on purpose: fabrication (PPV sampling) is a
+// pure function of the task's identity fields, so its product — the
+// ppv::ChipSample — is a cacheable, shippable artifact (engine/
+// artifact_cache.hpp), while simulation consumes the artifact plus the
+// cell's link configuration.
+//
 // The RNG substream layout is load-bearing: the Domain constants and
 // chip_stream_index() fix the exact seeds every (scheme, chip) pair draws
 // from, so campaign cells reproduce historical run_monte_carlo outcomes
 // bit-for-bit. Do not change them without a deliberate re-baselining PR.
+// Fabrication and simulation draw from disjoint domains (kPpv vs the rest),
+// which is what makes skipping fabrication on a cache hit transparent: the
+// simulate streams never depend on whether the kPpv stream was consumed.
 #pragma once
 
 #include <cstddef>
@@ -41,16 +51,41 @@ struct ChipCounts {
   std::size_t channel_bit_errors = 0;  ///< received vs transmitted bits
 };
 
-/// Simulates one fabricated chip of one scheme: samples the chip's PPV
-/// deviations, installs it on `dlink`, and transmits `messages` random
-/// messages (retransmitting flagged frames when `arq.enabled`). `scratch` is
-/// the caller's reusable chip-sample buffer; the steady-state path does not
-/// allocate. Deterministic in (seed, scheme_index, chip, chips) only.
-ChipCounts run_chip(link::DataLink& dlink, const link::SchemeSpec& scheme,
-                    const circuit::CellLibrary& library, const ppv::SpreadSpec& spread,
-                    std::uint64_t seed, std::size_t scheme_index, std::size_t chip,
-                    std::size_t chips, std::size_t messages,
-                    bool count_flagged_as_error, const ArqMode& arq,
-                    ppv::ChipSample& scratch);
+/// Everything that identifies one (scheme, chip) unit of kernel work.
+/// Replaces the former 12-positional-parameter run_chip signature. The
+/// pointed-to scheme and library are borrowed and must outlive the task.
+struct ChipTask {
+  const link::SchemeSpec* scheme = nullptr;
+  const circuit::CellLibrary* library = nullptr;
+  ppv::SpreadSpec spread;
+  std::uint64_t seed = 0;          ///< cell seed
+  std::size_t scheme_index = 0;    ///< position in the campaign's scheme list
+  std::size_t chip = 0;            ///< chip index within the cell
+  std::size_t chips = 0;           ///< chips per (cell, scheme) — fixes the stream
+  std::size_t messages = 0;        ///< messages to transmit through the chip
+  bool count_flagged_as_error = false;
+  ArqMode arq;
+
+  /// The task's RNG substream index (shared by all four domains).
+  std::uint64_t stream() const noexcept {
+    return chip_stream_index(scheme_index, chip, chips);
+  }
+};
+
+/// Stage 1 — fabrication: samples the chip's PPV deviations into `chip`
+/// (reusing its capacity; no allocation in steady state). A pure function of
+/// (seed, spread, scheme netlist, stream()): two tasks agreeing on those
+/// produce bit-identical ChipSamples, which is the common-random-numbers
+/// guarantee the artifact cache keys on.
+void fabricate_chip(const ChipTask& task, ppv::ChipSample& chip);
+
+/// Stage 2 — simulation: installs a fabricated chip on `dlink`, reseeds the
+/// simulator noise stream for the task, and transmits `task.messages` random
+/// messages (retransmitting flagged frames when `task.arq.enabled`). The
+/// chip may come from fabricate_chip or from the artifact cache — results
+/// are identical either way because the message/channel/noise streams are
+/// derived from the task, not from fabrication.
+ChipCounts simulate_chip(link::DataLink& dlink, const ChipTask& task,
+                         const ppv::ChipSample& chip);
 
 }  // namespace sfqecc::engine

@@ -85,13 +85,14 @@ std::string campaign_json(const CampaignSpec& spec, const CampaignResult& result
 
 std::string campaign_csv(const CampaignResult& result) {
   std::ostringstream out;
-  out << "cell,scheme,spread_fraction,spread_distribution,noise_sigma_mv,attenuation,"
-         "swing_mv,threshold_mv,clock_period_ps,input_phase_ps,settle_margin_ps,"
-         "jitter_sigma_ps,arq_max_attempts,chips_completed,p_zero,"
+  out << "cell,label,scheme,spread_fraction,spread_distribution,noise_sigma_mv,"
+         "attenuation,swing_mv,threshold_mv,clock_period_ps,input_phase_ps,"
+         "settle_margin_ps,jitter_sigma_ps,arq_max_attempts,chips_completed,p_zero,"
          "mean_errors,mean_flagged,mean_frames,channel_ber\n";
   for (const CellResult& cell : result.cells) {
     for (const SchemeCellResult& scheme : cell.schemes) {
-      out << cell.cell.index << "," << csv_quote(scheme.scheme) << ","
+      out << cell.cell.index << "," << csv_quote(cell.cell.label) << ","
+          << csv_quote(scheme.scheme) << ","
           << roundtrip(cell.cell.spread.fraction) << ","
           << (cell.cell.spread.distribution == ppv::SpreadDistribution::kUniform
                   ? "uniform"
@@ -111,6 +112,17 @@ std::string campaign_csv(const CampaignResult& result) {
           << roundtrip(scheme.channel_ber) << "\n";
     }
   }
+  return out.str();
+}
+
+std::string cache_stats_json(const ArtifactCacheStats& stats) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": 1,\n  \"hits\": " << stats.hits
+      << ",\n  \"misses\": " << stats.misses
+      << ",\n  \"insertions\": " << stats.insertions
+      << ",\n  \"evictions\": " << stats.evictions
+      << ",\n  \"bytes\": " << stats.bytes
+      << ",\n  \"entries\": " << stats.entries << "\n}\n";
   return out.str();
 }
 

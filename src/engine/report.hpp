@@ -5,7 +5,14 @@
 // finalized statistics plus the full per-chip error histogram — enough to
 // re-plot any cell's Fig. 5-style CDF without re-running. The CSV carries
 // the same records minus the histogram, one row per (cell, scheme), for
-// spreadsheet/pandas consumption.
+// spreadsheet/pandas consumption; free-form strings (cell label, scheme
+// name) are RFC 4180-quoted so labels containing commas, quotes or newlines
+// round-trip.
+//
+// Both documents are byte-stable: they depend only on the CampaignResult
+// payload, never on runtime accidents (thread count, shard size, artifact-
+// cache setting). Cache counters live in CampaignResult::artifact_cache for
+// run summaries precisely so they stay out of these files.
 #pragma once
 
 #include <string>
@@ -19,6 +26,13 @@ std::string campaign_json(const CampaignSpec& spec, const CampaignResult& result
 
 /// Serializes the result to CSV (header row + one row per cell x scheme).
 std::string campaign_csv(const CampaignResult& result);
+
+/// Serializes the run's artifact-cache counters to a small standalone JSON
+/// document. Deliberately a separate file from campaign_json: the counters
+/// are scheduling-dependent (see ArtifactCacheStats), so folding them into
+/// the main report would break its byte-identity across thread counts and
+/// cache settings.
+std::string cache_stats_json(const ArtifactCacheStats& stats);
 
 /// Writes `text` to `path`. Returns false (and prints to stderr) on failure.
 bool write_text_file(const std::string& path, const std::string& text);

@@ -1,0 +1,21 @@
+#include "engine/scheme_artifacts.hpp"
+
+#include "circuit/encoder_builder.hpp"
+#include "engine/artifact_cache.hpp"
+
+namespace sfqecc::engine {
+
+std::vector<SchemeArtifacts> build_scheme_artifacts(
+    const std::vector<link::SchemeSpec>& schemes, const circuit::CellLibrary& library) {
+  std::vector<SchemeArtifacts> artifacts;
+  artifacts.reserve(schemes.size());
+  for (const link::SchemeSpec& scheme : schemes) {
+    SchemeArtifacts a;
+    a.tables = std::make_shared<sim::SimTables>(scheme.encoder->netlist, library);
+    a.fingerprint = scheme_fingerprint(scheme.name, scheme.encoder->netlist, library);
+    artifacts.push_back(std::move(a));
+  }
+  return artifacts;
+}
+
+}  // namespace sfqecc::engine

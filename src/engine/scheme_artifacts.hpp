@@ -1,0 +1,35 @@
+// Shared immutable per-scheme artifacts of a campaign run.
+//
+// Stage 0 of the staged pipeline: everything about a scheme that is
+// independent of the sweep cell — the flattened simulator dispatch tables
+// (sim::SimTables) and the scheme's content fingerprint (the netlist hash
+// fabrication artifacts are addressed under) — is built exactly once per
+// run_cells call and leased to every worker. Workers previously re-flattened
+// the netlist inside each lazily rebuilt DataLink, once per (worker, scheme,
+// cell-config change); now a rebuild allocates only mutable simulator state.
+// The encoder, reference code and decoder were already shared through the
+// borrowed SchemeSpec pointers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "circuit/cell_library.hpp"
+#include "link/monte_carlo.hpp"
+#include "sim/event_sim.hpp"
+
+namespace sfqecc::engine {
+
+/// The immutable artifacts of one scheme, leased (shared) by all workers.
+struct SchemeArtifacts {
+  std::shared_ptr<const sim::SimTables> tables;  ///< flattened dispatch tables
+  std::uint64_t fingerprint = 0;  ///< scheme_fingerprint(name, netlist)
+};
+
+/// Builds the artifacts for every scheme. Each scheme must have an encoder
+/// (run_cells checks this before calling).
+std::vector<SchemeArtifacts> build_scheme_artifacts(
+    const std::vector<link::SchemeSpec>& schemes, const circuit::CellLibrary& library);
+
+}  // namespace sfqecc::engine

@@ -1,5 +1,7 @@
 #include "link/datalink.hpp"
 
+#include <memory>
+
 #include "util/expect.hpp"
 
 namespace sfqecc::link {
@@ -9,12 +11,21 @@ using code::BitVec;
 DataLink::DataLink(const circuit::BuiltEncoder& encoder, const circuit::CellLibrary& library,
                    const code::LinearCode* reference, const code::Decoder* decoder,
                    const DataLinkConfig& config)
+    : DataLink(encoder, std::make_shared<sim::SimTables>(encoder.netlist, library),
+               reference, decoder, config) {}
+
+DataLink::DataLink(const circuit::BuiltEncoder& encoder,
+                   std::shared_ptr<const sim::SimTables> tables,
+                   const code::LinearCode* reference, const code::Decoder* decoder,
+                   const DataLinkConfig& config)
     : encoder_(encoder),
       reference_(reference),
       decoder_(decoder),
       config_(config),
-      simulator_(encoder.netlist, library, config.sim),
+      simulator_(std::move(tables), config.sim),
       frame_cycles_(encoder.logic_depth) {
+  expects(&simulator_.netlist() == &encoder.netlist,
+          "simulator tables built for a different netlist");
   if (reference_ != nullptr) {
     expects(reference_->k() == encoder_.message_inputs.size(),
             "reference code dimension mismatch");

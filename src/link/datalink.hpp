@@ -57,6 +57,16 @@ class DataLink {
            const code::LinearCode* reference, const code::Decoder* decoder,
            const DataLinkConfig& config);
 
+  /// Same link over pre-built simulator tables (which must be the flattening
+  /// of `encoder.netlist`). The campaign engine builds one SimTables per
+  /// scheme and leases it to every worker's links, so standing up a link for
+  /// a new sweep cell allocates only mutable simulator state instead of
+  /// re-flattening the netlist.
+  DataLink(const circuit::BuiltEncoder& encoder,
+           std::shared_ptr<const sim::SimTables> tables,
+           const code::LinearCode* reference, const code::Decoder* decoder,
+           const DataLinkConfig& config);
+
   /// Installs a fabricated chip's fault states (clears previous ones).
   void install_chip(const ppv::ChipSample& chip);
 

@@ -8,11 +8,14 @@ namespace sfqecc::link {
 
 // Thin wrapper over the campaign engine: one hand-built cell carrying the
 // MonteCarloConfig verbatim (so sim options like record_pulses pass through
-// unchanged), executed by the engine's sharded work-stealing scheduler. The
-// per-(scheme, chip) RNG substream layout lives in engine/kernel.hpp and is
-// unchanged from the original implementation, so outcomes are bit-identical
-// to historical runs at any thread count — and schemes interleave at shard
-// granularity, so short schemes no longer idle threads at scheme boundaries.
+// unchanged), executed by the engine's staged fabricate->simulate pipeline
+// under the sharded work-stealing scheduler. The per-(scheme, chip) RNG
+// substream layout lives in engine/kernel.hpp and is unchanged from the
+// original implementation, so outcomes are bit-identical to historical runs
+// at any thread count — and schemes interleave at shard granularity, so
+// short schemes no longer idle threads at scheme boundaries. Being a single
+// cell, this run has no cross-cell chip reuse; the engine detects that and
+// bypasses its artifact cache, so the hot path is exactly the uncached one.
 std::vector<SchemeOutcome> run_monte_carlo(const std::vector<SchemeSpec>& schemes,
                                            const circuit::CellLibrary& library,
                                            const MonteCarloConfig& config) {

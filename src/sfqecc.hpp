@@ -14,7 +14,8 @@
 //   sim/      event_sim, cell_behavior, waveform
 //   ppv/      spread, margin_model, chip, calibration
 //   link/     channel, datalink, monte_carlo
-//   engine/   campaign_spec, scheduler, kernel, checkpoint, campaign, report
+//   engine/   campaign_spec, scheduler, kernel, artifact_cache,
+//             scheme_artifacts, checkpoint, campaign, report
 //   core/     paper_encoders, paper_constants
 //   util/     rng, stats, cdf, table, ascii_plot, expect
 #pragma once
@@ -43,12 +44,14 @@
 #include "code/reed_muller.hpp"
 #include "core/paper_constants.hpp"
 #include "core/paper_encoders.hpp"
+#include "engine/artifact_cache.hpp"
 #include "engine/campaign.hpp"
 #include "engine/campaign_spec.hpp"
 #include "engine/checkpoint.hpp"
 #include "engine/kernel.hpp"
 #include "engine/report.hpp"
 #include "engine/scheduler.hpp"
+#include "engine/scheme_artifacts.hpp"
 #include "link/arq.hpp"
 #include "link/channel.hpp"
 #include "link/datalink.hpp"

@@ -13,17 +13,9 @@ using circuit::kClockPort;
 using circuit::kInvalidId;
 using circuit::NetId;
 
-EventSimulator::EventSimulator(const circuit::Netlist& netlist,
-                               const circuit::CellLibrary& library,
-                               const SimConfig& config)
+SimTables::SimTables(const circuit::Netlist& netlist, const circuit::CellLibrary& library)
     : netlist_(netlist),
       library_(library),
-      config_(config),
-      rng_(config.noise_seed),
-      cell_state_(netlist.cell_count()),
-      cell_fault_(netlist.cell_count()),
-      net_pulses_(netlist.net_count()),
-      dc_transition_times_(netlist.cell_count()),
       cells_(netlist.cell_count()),
       cell_clocked_(netlist.cell_count()),
       converter_cell_(netlist.net_count(), kInvalidId) {
@@ -68,12 +60,12 @@ bool is_passthrough(CellType type) {
 
 }  // namespace
 
-void EventSimulator::build_expansions() {
-  expansion_enabled_ = !config_.record_pulses && config_.jitter_sigma_ps <= 0.0;
-  expansion_of_net_.assign(netlist_.net_count(), kNoExpansion);
-  if (!expansion_enabled_) return;
-
+void SimTables::build_expansions() {
+  // Always built (construction-time cost only): whether an instance may use
+  // the expansion is a per-instance config/fault decision made at schedule().
   const std::size_t nets = netlist_.net_count();
+  expansion_of_net_.assign(nets, kNoExpansion);
+
   std::vector<std::vector<Terminal>> terms(nets);
   std::vector<std::vector<EmissionCredit>> creds(nets);
   std::vector<bool> visited(nets, false);
@@ -131,12 +123,32 @@ void EventSimulator::build_expansions() {
   }
 }
 
+EventSimulator::EventSimulator(const circuit::Netlist& netlist,
+                               const circuit::CellLibrary& library,
+                               const SimConfig& config)
+    : EventSimulator(std::make_shared<SimTables>(netlist, library), config) {}
+
+EventSimulator::EventSimulator(std::shared_ptr<const SimTables> tables,
+                               const SimConfig& config)
+    : tables_(std::move(tables)),
+      config_(config),
+      rng_(config.noise_seed),
+      cell_state_(tables_->netlist_.cell_count()),
+      cell_fault_(tables_->netlist_.cell_count()),
+      net_pulses_(tables_->netlist_.net_count()),
+      dc_transition_times_(tables_->netlist_.cell_count()),
+      expansion_valid_(tables_->expansions_.size(), 0) {
+  expansion_enabled_ = !config_.record_pulses && config_.jitter_sigma_ps <= 0.0;
+}
+
 void EventSimulator::revalidate_expansions() {
-  for (Expansion& e : expansions_) {
-    e.valid = true;
+  const SimTables& t = *tables_;
+  for (std::size_t idx = 0; idx < t.expansions_.size(); ++idx) {
+    const SimTables::Expansion& e = t.expansions_[idx];
+    expansion_valid_[idx] = 1;
     for (std::uint32_t i = e.credits_begin; i < e.credits_end; ++i)
-      if (cell_fault_[credit_pool_[i].cell].mode != FaultMode::kHealthy) {
-        e.valid = false;
+      if (cell_fault_[t.credit_pool_[i].cell].mode != FaultMode::kHealthy) {
+        expansion_valid_[idx] = 0;
         break;
       }
   }
@@ -145,15 +157,16 @@ void EventSimulator::revalidate_expansions() {
 
 void EventSimulator::schedule(double time, std::uint32_t net) {
   if (expansion_enabled_) {
-    const std::uint32_t idx = expansion_of_net_[net];
-    if (idx != kNoExpansion) {
+    const SimTables& t = *tables_;
+    const std::uint32_t idx = t.expansion_of_net_[net];
+    if (idx != SimTables::kNoExpansion) {
       if (expansion_validity_dirty_) revalidate_expansions();
-      const Expansion& e = expansions_[idx];
-      if (e.valid) {
+      if (expansion_valid_[idx]) {
+        const SimTables::Expansion& e = t.expansions_[idx];
         for (std::uint32_t i = e.credits_begin; i < e.credits_end; ++i)
-          cell_state_[credit_pool_[i].cell].emissions += credit_pool_[i].count;
+          cell_state_[t.credit_pool_[i].cell].emissions += t.credit_pool_[i].count;
         for (std::uint32_t i = e.terminals_begin; i < e.terminals_end; ++i)
-          push_event(time + terminal_pool_[i].offset_ps, kDirectFlag | i);
+          push_event(time + t.terminal_pool_[i].offset_ps, SimTables::kDirectFlag | i);
         return;
       }
     }
@@ -197,7 +210,7 @@ void EventSimulator::push_event(double time, std::uint32_t target) {
 }
 
 void EventSimulator::inject_pulse(NetId net, double time_ps) {
-  expects(net < netlist_.net_count(), "unknown net");
+  expects(net < tables_->netlist_.net_count(), "unknown net");
   expects(time_ps >= now_ps_, "cannot schedule in the past");
   schedule(time_ps, static_cast<std::uint32_t>(net));
 }
@@ -244,7 +257,7 @@ void EventSimulator::reset() {
   // transition logs exist only on converter cells. Both clears keep capacity.
   if (config_.record_pulses)
     for (auto& v : net_pulses_) v.clear();
-  for (std::uint32_t cell : converter_cells_) dc_transition_times_[cell].clear();
+  for (std::uint32_t cell : tables_->converter_cells_) dc_transition_times_[cell].clear();
 }
 
 void EventSimulator::snapshot_queue(QueueSnapshot& out) const {
@@ -299,8 +312,8 @@ const std::vector<double>& EventSimulator::pulses(NetId net) const {
 }
 
 CellId EventSimulator::converter_of(NetId output_net) const {
-  expects(output_net < converter_cell_.size(), "unknown net");
-  const CellId cell = converter_cell_[output_net];
+  expects(output_net < tables_->converter_cell_.size(), "unknown net");
+  const CellId cell = tables_->converter_cell_[output_net];
   expects(cell != kInvalidId, "net is not an SFQ-to-DC output");
   return cell;
 }
@@ -319,20 +332,22 @@ double EventSimulator::jitter(double time) {
 }
 
 void EventSimulator::deliver(std::uint32_t target, double time) {
-  if (target & kDirectFlag) {
-    const Terminal& t = terminal_pool_[target & ~kDirectFlag];
-    if (t.port == kClockSinkPort)
-      on_clock(t.cell, time);
+  const SimTables& t = *tables_;
+  if (target & SimTables::kDirectFlag) {
+    const SimTables::Terminal& term =
+        t.terminal_pool_[target & ~SimTables::kDirectFlag];
+    if (term.port == SimTables::kClockSinkPort)
+      on_clock(term.cell, time);
     else
-      on_pulse(t.cell, t.port, time);
+      on_pulse(term.cell, term.port, time);
     return;
   }
   if (config_.record_pulses) net_pulses_[target].push_back(time);
-  const std::uint32_t begin = sink_offset_[target];
-  const std::uint32_t end = sink_offset_[target + 1];
+  const std::uint32_t begin = t.sink_offset_[target];
+  const std::uint32_t end = t.sink_offset_[target + 1];
   for (std::uint32_t i = begin; i < end; ++i) {
-    const CompactSink sink = sinks_[i];
-    if (sink.port == kClockSinkPort)
+    const SimTables::CompactSink sink = t.sinks_[i];
+    if (sink.port == SimTables::kClockSinkPort)
       on_clock(sink.cell, time);
     else
       on_pulse(sink.cell, sink.port, time);
@@ -341,7 +356,7 @@ void EventSimulator::deliver(std::uint32_t target, double time) {
 
 void EventSimulator::on_pulse(std::uint32_t cell, std::uint32_t port, double time) {
   CellState& state = cell_state_[cell];
-  const CompactCell& compact = cells_[cell];
+  const SimTables::CompactCell& compact = tables_->cells_[cell];
   const double delay = compact.delay_ps;
 
   switch (compact.type) {
@@ -386,7 +401,7 @@ void EventSimulator::on_pulse(std::uint32_t cell, std::uint32_t port, double tim
 
 void EventSimulator::on_clock(std::uint32_t cell, double time) {
   CellState& state = cell_state_[cell];
-  const CompactCell& compact = cells_[cell];
+  const SimTables::CompactCell& compact = tables_->cells_[cell];
   const CellFault& fault = cell_fault_[cell];
   const double delay = compact.delay_ps;
 
@@ -422,7 +437,7 @@ void EventSimulator::emit(std::uint32_t cell, std::uint32_t net, double time) {
       if (rng_.bernoulli(fault.error_prob)) return;
       break;
     case FaultMode::kSputter:
-      if (!cell_clocked_[cell] && rng_.bernoulli(0.5)) return;
+      if (!tables_->cell_clocked_[cell] && rng_.bernoulli(0.5)) return;
       break;
     case FaultMode::kHealthy:
       break;

@@ -17,7 +17,10 @@
 //  * The netlist and cell library are flattened at construction into
 //    cache-compact dispatch tables (CSR sink lists, per-cell {type, delay,
 //    output nets}); the per-event path touches no std::map, no std::string
-//    and none of the pointer-heavy circuit:: structs.
+//    and none of the pointer-heavy circuit:: structs. The tables live in an
+//    immutable SimTables that many simulator instances can share: the
+//    campaign engine builds them once per scheme and leases them to every
+//    worker instead of re-flattening the netlist per (worker, cell).
 //  * Static fan-out expansion: chains of stateless pass-through cells
 //    (splitter, JTL, merger, DC-to-SFQ) propagate pulses deterministically
 //    when they are healthy and jitter is off, so each such subtree is
@@ -42,6 +45,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "circuit/cell_library.hpp"
@@ -59,13 +63,90 @@ struct SimConfig {
   bool operator==(const SimConfig&) const = default;
 };
 
+/// The immutable, config-independent half of a simulator: the netlist and
+/// cell library flattened into the dispatch tables the event loop runs on,
+/// plus the static fan-out expansion. Built once per netlist and shareable
+/// by any number of EventSimulator instances (and across threads — nothing
+/// here is mutated after construction). The netlist and library are
+/// borrowed and must outlive the tables.
+class SimTables {
+ public:
+  SimTables(const circuit::Netlist& netlist, const circuit::CellLibrary& library);
+
+  const circuit::Netlist& netlist() const noexcept { return netlist_; }
+  const circuit::CellLibrary& library() const noexcept { return library_; }
+
+ private:
+  friend class EventSimulator;
+
+  /// A (cell, port) endpoint in the flattened sink lists; kClockSinkPort
+  /// marks the clock input of a clocked cell.
+  static constexpr std::uint32_t kClockSinkPort = 0xffffffffu;
+  struct CompactSink {
+    std::uint32_t cell;
+    std::uint32_t port;
+  };
+
+  /// Cache-compact per-cell record: everything the event loop needs.
+  struct CompactCell {
+    circuit::CellType type;
+    std::uint32_t out0 = 0;  ///< first output net
+    std::uint32_t out1 = 0;  ///< second output net (splitter only)
+    double delay_ps = 0.0;
+  };
+
+  // ---- static fan-out expansion tables ------------------------------------
+  /// Event targets with this bit set address terminal_pool_ directly instead
+  /// of a net.
+  static constexpr std::uint32_t kDirectFlag = 0x80000000u;
+  static constexpr std::uint32_t kNoExpansion = 0xffffffffu;
+  struct Terminal {
+    std::uint32_t cell;
+    std::uint32_t port;   ///< data port or kClockSinkPort
+    double offset_ps;     ///< accumulated pass-through delay
+  };
+  struct EmissionCredit {
+    std::uint32_t cell;
+    std::uint32_t count;  ///< emissions per pulse entering the subtree
+  };
+  struct Expansion {
+    std::uint32_t terminals_begin = 0, terminals_end = 0;  ///< terminal_pool_ range
+    std::uint32_t credits_begin = 0, credits_end = 0;      ///< credit_pool_ range
+  };
+
+  void build_expansions();
+
+  const circuit::Netlist& netlist_;
+  const circuit::CellLibrary& library_;
+
+  // Flattened netlist/library dispatch tables (immutable after construction).
+  std::vector<std::uint32_t> sink_offset_;  ///< CSR offsets, net id -> sinks_ range
+  std::vector<CompactSink> sinks_;
+  std::vector<CompactCell> cells_;
+  std::vector<bool> cell_clocked_;
+  // Driver cell of each SFQ-to-DC output net (kInvalidId otherwise).
+  std::vector<circuit::CellId> converter_cell_;
+  std::vector<std::uint32_t> converter_cells_;  // cells with DC transition logs
+
+  std::vector<std::uint32_t> expansion_of_net_;  ///< net -> expansions_ index
+  std::vector<Expansion> expansions_;
+  std::vector<Terminal> terminal_pool_;
+  std::vector<EmissionCredit> credit_pool_;
+};
+
 /// Simulates one netlist instance. Construct, optionally set faults, inject
 /// pulses, then run. The simulator may be reused across frames; `reset()`
 /// clears dynamic state but keeps faults.
 class EventSimulator {
  public:
+  /// Convenience constructor: builds private tables for this instance.
   EventSimulator(const circuit::Netlist& netlist, const circuit::CellLibrary& library,
                  const SimConfig& config);
+
+  /// Shares pre-built tables (see SimTables). The fast way to stand up many
+  /// simulators of one netlist: only the mutable per-instance state is
+  /// allocated here.
+  EventSimulator(std::shared_ptr<const SimTables> tables, const SimConfig& config);
 
   /// Sets the fault state of a cell (default healthy).
   void set_fault(circuit::CellId cell, const CellFault& fault);
@@ -103,10 +184,11 @@ class EventSimulator {
   /// counters are exactly the injections' expansion credits.
   void snapshot_queue(QueueSnapshot& out) const;
 
-  /// Replaces the pending events with a snapshot taken on this simulator.
-  /// Only valid while the queue is empty (right after reset()). Invalidate
-  /// snapshots whenever faults change: the snapshot bakes in the fan-out
-  /// expansion decisions of the fault state it was taken under.
+  /// Replaces the pending events with a snapshot taken on a simulator that
+  /// shares this one's tables. Only valid while the queue is empty (right
+  /// after reset()). Invalidate snapshots whenever faults change: the
+  /// snapshot bakes in the fan-out expansion decisions of the fault state it
+  /// was taken under.
   void restore_queue(const QueueSnapshot& snapshot);
 
   /// Reseeds the jitter/fault noise stream (per-chip determinism in Monte
@@ -125,25 +207,13 @@ class EventSimulator {
   double now() const noexcept { return now_ps_; }
   std::size_t events_processed() const noexcept { return events_processed_; }
 
+  /// The netlist the (possibly shared) tables were flattened from.
+  const circuit::Netlist& netlist() const noexcept { return tables_->netlist(); }
+  /// The shared tables; lease these to stand up further instances cheaply.
+  const std::shared_ptr<const SimTables>& tables() const noexcept { return tables_; }
+
  private:
-  /// A (cell, port) endpoint in the flattened sink lists; kClockSinkPort
-  /// marks the clock input of a clocked cell.
-  static constexpr std::uint32_t kClockSinkPort = 0xffffffffu;
-  struct CompactSink {
-    std::uint32_t cell;
-    std::uint32_t port;
-  };
-
-  /// Cache-compact per-cell record: everything the event loop needs.
-  struct CompactCell {
-    circuit::CellType type;
-    std::uint32_t out0 = 0;  ///< first output net
-    std::uint32_t out1 = 0;  ///< second output net (splitter only)
-    double delay_ps = 0.0;
-  };
-
-  const circuit::Netlist& netlist_;
-  const circuit::CellLibrary& library_;
+  std::shared_ptr<const SimTables> tables_;
   SimConfig config_;
   util::Rng rng_;
 
@@ -166,43 +236,14 @@ class EventSimulator {
   std::vector<CellFault> cell_fault_;
   std::vector<std::vector<double>> net_pulses_;
   std::vector<std::vector<double>> dc_transition_times_;  // indexed by cell id
-  std::vector<std::uint32_t> converter_cells_;  // cells with DC transition logs
 
-  // Flattened netlist/library dispatch tables (immutable after construction).
-  std::vector<std::uint32_t> sink_offset_;  ///< CSR offsets, net id -> sinks_ range
-  std::vector<CompactSink> sinks_;
-  std::vector<CompactCell> cells_;
-  std::vector<bool> cell_clocked_;
-  // Driver cell of each SFQ-to-DC output net (kInvalidId otherwise).
-  std::vector<circuit::CellId> converter_cell_;
-
-  // ---- static fan-out expansion tables ------------------------------------
-  /// Event targets with this bit set address terminal_pool_ directly instead
-  /// of a net.
-  static constexpr std::uint32_t kDirectFlag = 0x80000000u;
-  static constexpr std::uint32_t kNoExpansion = 0xffffffffu;
-  struct Terminal {
-    std::uint32_t cell;
-    std::uint32_t port;   ///< data port or kClockSinkPort
-    double offset_ps;     ///< accumulated pass-through delay
-  };
-  struct EmissionCredit {
-    std::uint32_t cell;
-    std::uint32_t count;  ///< emissions per pulse entering the subtree
-  };
-  struct Expansion {
-    std::uint32_t terminals_begin = 0, terminals_end = 0;  ///< terminal_pool_ range
-    std::uint32_t credits_begin = 0, credits_end = 0;      ///< credit_pool_ range
-    bool valid = false;  ///< all pass-through cells healthy (see revalidate)
-  };
+  // Per-instance expansion gating over the shared tables: whether this
+  // config may use the expansion at all, and which expansions are currently
+  // valid under this instance's fault state.
   bool expansion_enabled_ = false;          ///< !record_pulses && jitter off
   bool expansion_validity_dirty_ = true;    ///< faults changed since last check
-  std::vector<std::uint32_t> expansion_of_net_;  ///< net -> expansions_ index
-  std::vector<Expansion> expansions_;
-  std::vector<Terminal> terminal_pool_;
-  std::vector<EmissionCredit> credit_pool_;
+  std::vector<char> expansion_valid_;       ///< parallel to tables_->expansions_
 
-  void build_expansions();
   void revalidate_expansions();
   /// Queues a pulse on `net`, through the fan-out expansion when valid.
   void schedule(double time, std::uint32_t net);

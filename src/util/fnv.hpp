@@ -1,0 +1,35 @@
+// FNV-1a hashing primitives shared by the engine's fingerprint families —
+// campaign_fingerprint (checkpoint identity) and the artifact-cache content
+// addresses (engine/artifact_cache.hpp). Both families are load-bearing for
+// determinism and resume correctness, so they must hash through one
+// definition: a silent divergence would change one set of fingerprints and
+// orphan checkpoints or alias cache keys.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sfqecc::util {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline void fnv_mix(std::uint64_t& h, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+inline void fnv_mix_u64(std::uint64_t& h, std::uint64_t v) { fnv_mix(h, &v, sizeof v); }
+
+inline void fnv_mix_double(std::uint64_t& h, double v) { fnv_mix(h, &v, sizeof v); }
+
+inline void fnv_mix_string(std::uint64_t& h, const std::string& s) {
+  fnv_mix_u64(h, s.size());
+  fnv_mix(h, s.data(), s.size());
+}
+
+}  // namespace sfqecc::util

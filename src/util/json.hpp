@@ -1,8 +1,10 @@
 // Minimal JSON string escaping shared by the repo's hand-rolled JSON
-// emitters (engine reports, BENCH_*.json perf records). Handles the
-// characters those writers can actually produce: quote, backslash, newline.
+// emitters (engine reports, BENCH_*.json perf records). Escapes the quote,
+// backslash and every control character, so arbitrary strings (e.g. hand-
+// built campaign cell labels) round-trip through any conforming JSON parser.
 #pragma once
 
+#include <cstdio>
 #include <string>
 
 namespace sfqecc::util {
@@ -11,12 +13,22 @@ inline std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (c == '\n') {
-      out += "\\n";
-      continue;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
     }
-    out.push_back(c);
   }
   return out;
 }

@@ -1,0 +1,337 @@
+// Artifact-cache tests: content-address fingerprints, hit/miss/eviction
+// accounting, LRU byte-budget behaviour, and the campaign-level guarantees —
+// cross-cell chip reuse under concurrent workers with byte-identical reports
+// at any cache setting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/paper_encoders.hpp"
+#include "engine/artifact_cache.hpp"
+#include "engine/campaign.hpp"
+#include "engine/kernel.hpp"
+#include "engine/report.hpp"
+#include "engine/scheme_artifacts.hpp"
+
+namespace sfqecc::engine {
+namespace {
+
+ppv::ChipSample sample_of(std::size_t cells, double ratio) {
+  ppv::ChipSample chip;
+  chip.health_ratios.assign(cells, ratio);
+  chip.faults.assign(cells, sim::CellFault{});
+  return chip;
+}
+
+ArtifactKey key_of(std::uint64_t chip_stream) {
+  return ArtifactKey{0x5c5ecafeULL, 0x5b12eadULL, 20250831, chip_stream};
+}
+
+// ------------------------------------------------------------- fingerprints --
+
+TEST(ArtifactFingerprintTest, SpreadFingerprintSeparatesSpecs) {
+  const ppv::SpreadSpec base{0.20, ppv::SpreadDistribution::kUniform};
+  EXPECT_EQ(spread_fingerprint(base), spread_fingerprint(base));
+  EXPECT_NE(spread_fingerprint(base),
+            spread_fingerprint({0.30, ppv::SpreadDistribution::kUniform}));
+  EXPECT_NE(spread_fingerprint(base),
+            spread_fingerprint({0.20, ppv::SpreadDistribution::kGaussian}));
+}
+
+TEST(ArtifactFingerprintTest, SchemeFingerprintSeparatesNetlistsNamesAndLibraries) {
+  const auto& lib = circuit::coldflux_library();
+  const auto schemes = core::make_all_schemes(lib);
+  const std::uint64_t h74 =
+      scheme_fingerprint(schemes[2].name, schemes[2].encoder->netlist, lib);
+  EXPECT_EQ(h74, scheme_fingerprint(schemes[2].name, schemes[2].encoder->netlist, lib));
+  // Different netlist, same library.
+  EXPECT_NE(h74,
+            scheme_fingerprint(schemes[3].name, schemes[3].encoder->netlist, lib));
+  // Same netlist, different name (two schemes sharing a circuit must not alias).
+  EXPECT_NE(h74, scheme_fingerprint("renamed", schemes[2].encoder->netlist, lib));
+
+  // Same netlist and name under a recalibrated library: fabrication would
+  // draw different chips, so the fingerprint must differ too.
+  std::map<circuit::CellType, circuit::CellSpec> specs;
+  for (circuit::CellType type :
+       {circuit::CellType::kXor, circuit::CellType::kAnd, circuit::CellType::kOr,
+        circuit::CellType::kNot, circuit::CellType::kDff, circuit::CellType::kSplitter,
+        circuit::CellType::kJtl, circuit::CellType::kMerger, circuit::CellType::kTff,
+        circuit::CellType::kSfqToDc, circuit::CellType::kDcToSfq})
+    if (lib.has(type)) {
+      circuit::CellSpec spec = lib.spec(type);
+      spec.ppv_sensitivity *= 1.5;
+      specs[type] = spec;
+    }
+  const circuit::CellLibrary recalibrated("recalibrated", std::move(specs));
+  EXPECT_NE(h74, scheme_fingerprint(schemes[2].name, schemes[2].encoder->netlist,
+                                    recalibrated));
+}
+
+// ---------------------------------------------------------------- accounting --
+
+TEST(ArtifactCacheTest, HitMissAccounting) {
+  ArtifactCache cache(1 << 20);
+  ppv::ChipSample scratch;
+
+  EXPECT_FALSE(cache.lookup(key_of(0), scratch));
+  const ppv::ChipSample chip = sample_of(8, 0.75);
+  cache.insert(key_of(0), chip);
+  ASSERT_TRUE(cache.lookup(key_of(0), scratch));
+  EXPECT_EQ(scratch.health_ratios, chip.health_ratios);
+  EXPECT_FALSE(cache.lookup(key_of(1), scratch));
+
+  const ArtifactCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, ArtifactCache::artifact_bytes(chip));
+}
+
+TEST(ArtifactCacheTest, LookupCopiesIntoCallerScratch) {
+  // The cached artifact must stay immutable: mutating the copy a lookup
+  // hands out must not leak back into the store.
+  ArtifactCache cache(1 << 20);
+  cache.insert(key_of(0), sample_of(4, 1.0));
+  ppv::ChipSample scratch;
+  ASSERT_TRUE(cache.lookup(key_of(0), scratch));
+  scratch.health_ratios[0] = -1.0;
+  ppv::ChipSample fresh;
+  ASSERT_TRUE(cache.lookup(key_of(0), fresh));
+  EXPECT_DOUBLE_EQ(fresh.health_ratios[0], 1.0);
+}
+
+TEST(ArtifactCacheTest, DuplicateInsertKeepsFirstCopy) {
+  ArtifactCache cache(1 << 20);
+  cache.insert(key_of(0), sample_of(4, 0.25));
+  cache.insert(key_of(0), sample_of(4, 0.75));  // racing-miss double insert
+  ppv::ChipSample scratch;
+  ASSERT_TRUE(cache.lookup(key_of(0), scratch));
+  EXPECT_DOUBLE_EQ(scratch.health_ratios[0], 0.25);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+// ------------------------------------------------------------------ eviction --
+
+TEST(ArtifactCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  const ppv::ChipSample chip = sample_of(16, 0.5);
+  const std::size_t each = ArtifactCache::artifact_bytes(chip);
+  ArtifactCache cache(3 * each);  // room for exactly three artifacts
+  cache.insert(key_of(0), chip);
+  cache.insert(key_of(1), chip);
+  cache.insert(key_of(2), chip);
+  EXPECT_EQ(cache.stats().entries, 3u);
+
+  // Touch 0 so 1 becomes the LRU, then overflow with 3.
+  ppv::ChipSample scratch;
+  ASSERT_TRUE(cache.lookup(key_of(0), scratch));
+  cache.insert(key_of(3), chip);
+
+  EXPECT_EQ(cache.stats().entries, 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.stats().bytes, 3 * each);
+  EXPECT_FALSE(cache.lookup(key_of(1), scratch)) << "LRU entry should be gone";
+  EXPECT_TRUE(cache.lookup(key_of(0), scratch));
+  EXPECT_TRUE(cache.lookup(key_of(2), scratch));
+  EXPECT_TRUE(cache.lookup(key_of(3), scratch));
+}
+
+TEST(ArtifactCacheTest, OversizedArtifactIsNotInsertedAndNothingIsThrashed) {
+  const ppv::ChipSample small = sample_of(4, 0.5);
+  ArtifactCache cache(ArtifactCache::artifact_bytes(small));
+  cache.insert(key_of(0), small);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  cache.insert(key_of(1), sample_of(4096, 0.5));  // can never fit
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  ppv::ChipSample scratch;
+  EXPECT_TRUE(cache.lookup(key_of(0), scratch)) << "resident entry must survive";
+}
+
+TEST(ArtifactCacheTest, ZeroBudgetStoresNothing) {
+  ArtifactCache cache(0);
+  cache.insert(key_of(0), sample_of(4, 0.5));
+  ppv::ChipSample scratch;
+  EXPECT_FALSE(cache.lookup(key_of(0), scratch));
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// --------------------------------------------------------------- concurrency --
+
+TEST(ArtifactCacheTest, ConcurrentLookupInsertIsCoherent) {
+  // Hammer one small key set from several threads; every successful lookup
+  // must observe the first-inserted payload for its key, and the counters
+  // must balance (hits + misses == lookups).
+  ArtifactCache cache(1 << 20);
+  constexpr std::size_t kThreads = 8, kKeys = 4, kIters = 500;
+  std::atomic<std::size_t> lookups{0}, wrong{0};
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    pool.emplace_back([&cache, &lookups, &wrong] {
+      ppv::ChipSample scratch;
+      for (std::size_t i = 0; i < kIters; ++i) {
+        const std::uint64_t k = i % kKeys;
+        lookups.fetch_add(1);
+        if (!cache.lookup(key_of(k), scratch)) {
+          cache.insert(key_of(k), sample_of(8, static_cast<double>(k)));
+        } else if (scratch.health_ratios[0] != static_cast<double>(k)) {
+          wrong.fetch_add(1);
+        }
+      }
+    });
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(wrong.load(), 0u);
+  const ArtifactCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, lookups.load());
+  EXPECT_EQ(stats.entries, kKeys);
+}
+
+// ------------------------------------------- campaign-level cache behaviour --
+
+class CampaignCacheTest : public ::testing::Test {
+ protected:
+  CampaignCacheTest() {
+    for (const core::PaperScheme& s : paper_schemes_)
+      schemes_.push_back(
+          link::SchemeSpec{s.name, s.encoder.get(), s.code.get(), s.decoder.get()});
+  }
+
+  /// Two cells per spread (ARQ off/on) so each fabricated population is
+  /// shared by exactly two cells.
+  CampaignSpec reuse_spec() const {
+    CampaignSpec spec;
+    spec.chips = 10;
+    spec.messages_per_chip = 6;
+    spec.seed = 20250831;
+    spec.spreads = {{0.20, ppv::SpreadDistribution::kUniform},
+                    {0.30, ppv::SpreadDistribution::kUniform}};
+    spec.arq_modes = {{false, 1}, {true, 4}};
+    return spec;
+  }
+
+  const circuit::CellLibrary& lib_ = circuit::coldflux_library();
+  std::vector<core::PaperScheme> paper_schemes_ = core::make_all_schemes(lib_);
+  std::vector<link::SchemeSpec> schemes_;
+};
+
+TEST_F(CampaignCacheTest, CrossCellChipReuseUnderConcurrentWorkers) {
+  const CampaignSpec spec = reuse_spec();
+  RunnerOptions options;
+  options.threads = 4;
+  options.shard_chips = 3;
+  const CampaignResult result = run_campaign(spec, schemes_, lib_, options);
+
+  // Every (scheme, chip) of every spread is needed by two cells: one
+  // fabrication plus at least one hit each (racing misses may add a few
+  // extra fabrications, never extra hits beyond the reuse count).
+  const std::size_t populations = spec.spreads.size() * schemes_.size() * spec.chips;
+  const ArtifactCacheStats& cache = result.artifact_cache;
+  EXPECT_EQ(cache.hits + cache.misses, 2 * populations);
+  EXPECT_GE(cache.misses, populations);
+  EXPECT_GE(cache.hits, 1u);
+  EXPECT_GT(cache.entries, 0u);
+  EXPECT_EQ(cache.evictions, 0u);
+}
+
+TEST_F(CampaignCacheTest, ReportsAreByteIdenticalAtAnyCacheSetting) {
+  const CampaignSpec spec = reuse_spec();
+  RunnerOptions reference_options;
+  reference_options.threads = 1;
+  reference_options.artifact_cache_bytes = 0;  // uncached reference
+  const CampaignResult reference = run_campaign(spec, schemes_, lib_, reference_options);
+  EXPECT_EQ(reference.artifact_cache.hits + reference.artifact_cache.misses, 0u);
+  const std::string reference_json = campaign_json(spec, reference);
+  const std::string reference_csv = campaign_csv(reference);
+
+  struct Variant {
+    std::size_t threads, shard, cache_bytes;
+  };
+  for (const Variant v : {Variant{1, 32, 256u << 20}, Variant{4, 2, 256u << 20},
+                          // A budget around one artifact: constant eviction
+                          // churn, still transparent.
+                          Variant{4, 2, 4096}}) {
+    RunnerOptions options;
+    options.threads = v.threads;
+    options.shard_chips = v.shard;
+    options.artifact_cache_bytes = v.cache_bytes;
+    const CampaignResult result = run_campaign(spec, schemes_, lib_, options);
+    EXPECT_EQ(campaign_json(spec, result), reference_json)
+        << "threads=" << v.threads << " shard=" << v.shard
+        << " cache=" << v.cache_bytes;
+    EXPECT_EQ(campaign_csv(result), reference_csv);
+  }
+}
+
+TEST_F(CampaignCacheTest, SingleCellRunsBypassTheCache) {
+  // run_monte_carlo-shaped workloads have no cross-cell reuse; the engine
+  // must not pay lookups or resident copies for them.
+  CampaignSpec spec = reuse_spec();
+  spec.arq_modes = {{false, 1}};
+  spec.spreads.resize(1);
+  const CampaignResult result = run_campaign(spec, schemes_, lib_);
+  const ArtifactCacheStats& cache = result.artifact_cache;
+  EXPECT_EQ(cache.hits + cache.misses, 0u);
+  EXPECT_EQ(cache.entries, 0u);
+}
+
+TEST_F(CampaignCacheTest, DistinctSeedsNeverShareArtifacts) {
+  // Hand-built cells differing only in seed draw different chips; the
+  // reuse gate must not pool them.
+  CampaignSpec spec;
+  spec.chips = 6;
+  spec.messages_per_chip = 4;
+  spec.seed = 1;
+  CampaignCell a;
+  a.seed = 1;
+  a.link.sim.record_pulses = false;
+  a.label = "seed=1";
+  CampaignCell b = a;
+  b.seed = 2;
+  b.label = "seed=2";
+  std::vector<link::SchemeSpec> one{schemes_[3]};
+  const CampaignResult result = run_cells(spec, {a, b}, one, lib_);
+  EXPECT_EQ(result.artifact_cache.hits + result.artifact_cache.misses, 0u);
+  EXPECT_NE(result.cells[0].schemes[0].errors_per_chip,
+            result.cells[1].schemes[0].errors_per_chip);
+}
+
+TEST_F(CampaignCacheTest, FabricateChipMatchesCachedArtifactBytes) {
+  // The cache contract: fabricate_chip for a task is a pure function of the
+  // key fields, so a cached artifact replayed into a different cell equals
+  // a fresh fabrication bit for bit.
+  ChipTask task;
+  task.scheme = &schemes_[3];
+  task.library = &lib_;
+  task.spread = {0.30, ppv::SpreadDistribution::kUniform};
+  task.seed = 20250831;
+  task.scheme_index = 3;
+  task.chip = 7;
+  task.chips = 10;
+
+  ppv::ChipSample direct;
+  fabricate_chip(task, direct);
+
+  ArtifactCache cache(1 << 20);
+  const ArtifactKey key{
+      scheme_fingerprint(schemes_[3].name, schemes_[3].encoder->netlist, lib_),
+      spread_fingerprint(task.spread), task.seed, task.stream()};
+  cache.insert(key, direct);
+
+  ppv::ChipSample replayed;
+  ASSERT_TRUE(cache.lookup(key, replayed));
+  ppv::ChipSample refabricated;
+  fabricate_chip(task, refabricated);
+  EXPECT_EQ(replayed.health_ratios, refabricated.health_ratios);
+  ASSERT_EQ(replayed.faults.size(), refabricated.faults.size());
+  for (std::size_t i = 0; i < replayed.faults.size(); ++i) {
+    EXPECT_EQ(replayed.faults[i].mode, refabricated.faults[i].mode) << i;
+    EXPECT_DOUBLE_EQ(replayed.faults[i].error_prob, refabricated.faults[i].error_prob);
+  }
+}
+
+}  // namespace
+}  // namespace sfqecc::engine

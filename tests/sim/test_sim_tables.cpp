@@ -1,0 +1,124 @@
+// Shared SimTables tests: simulator instances leasing one immutable table
+// set must behave exactly like instances that flattened the netlist
+// privately — including across different configs (a recording instance and
+// a fast-path instance on the same tables) — and must keep per-instance
+// fault state fully independent.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "circuit/encoder_builder.hpp"
+#include "code/hamming.hpp"
+#include "sim/event_sim.hpp"
+
+namespace sfqecc::sim {
+namespace {
+
+using circuit::BuiltEncoder;
+using circuit::coldflux_library;
+
+code::BitVec run_frame(EventSimulator& sim, const BuiltEncoder& built,
+                       std::uint64_t message) {
+  sim.reset();
+  for (std::size_t b = 0; b < built.message_inputs.size(); ++b)
+    if ((message >> b) & 1) sim.inject_pulse(built.message_inputs[b], 100.0);
+  const double last_clock = 200.0 * static_cast<double>(built.logic_depth);
+  sim.inject_clock(built.clock_input, 200.0, 200.0, last_clock + 0.5);
+  sim.run_until(last_clock + 60.0);
+  code::BitVec out(built.codeword_outputs.size());
+  for (std::size_t j = 0; j < built.codeword_outputs.size(); ++j)
+    out.set(j, sim.dc_level(built.codeword_outputs[j]));
+  return out;
+}
+
+TEST(SimTablesTest, SharedTablesMatchPrivateConstruction) {
+  const auto& lib = coldflux_library();
+  const BuiltEncoder built = circuit::build_encoder(code::paper_hamming84(), lib);
+  const auto tables = std::make_shared<SimTables>(built.netlist, lib);
+
+  SimConfig config;
+  config.record_pulses = false;
+  EventSimulator shared_a(tables, config);
+  EventSimulator shared_b(tables, config);
+  EventSimulator private_sim(built.netlist, lib, config);
+
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    const code::BitVec expected = run_frame(private_sim, built, m);
+    EXPECT_EQ(run_frame(shared_a, built, m), expected) << "message " << m;
+    EXPECT_EQ(run_frame(shared_b, built, m), expected) << "message " << m;
+  }
+}
+
+TEST(SimTablesTest, MixedConfigsShareTables) {
+  // A recording (expansion-off) and a fast-path (expansion-on) instance on
+  // the same tables must agree — the expansion decision is per instance,
+  // not baked into the shared tables.
+  const auto& lib = coldflux_library();
+  const BuiltEncoder built = circuit::build_encoder(code::paper_hamming74(), lib);
+  const auto tables = std::make_shared<SimTables>(built.netlist, lib);
+
+  SimConfig fast;
+  fast.record_pulses = false;
+  SimConfig recording;
+  recording.record_pulses = true;
+  EventSimulator fast_sim(tables, fast);
+  EventSimulator recording_sim(tables, recording);
+
+  for (std::uint64_t m = 0; m < 16; ++m)
+    EXPECT_EQ(run_frame(fast_sim, built, m), run_frame(recording_sim, built, m))
+        << "message " << m;
+  // The recording instance kept pulse history (the clock train of the last
+  // frame at least); sharing tables must not disable recording.
+  EXPECT_FALSE(recording_sim.pulses(built.clock_input).empty());
+}
+
+TEST(SimTablesTest, FaultStateIsPerInstance) {
+  const auto& lib = coldflux_library();
+  const BuiltEncoder built = circuit::build_encoder(code::paper_hamming84(), lib);
+  const auto tables = std::make_shared<SimTables>(built.netlist, lib);
+
+  SimConfig config;
+  config.record_pulses = false;
+  EventSimulator healthy(tables, config);
+  EventSimulator broken(tables, config);
+
+  CellFault dead;
+  dead.mode = FaultMode::kDead;
+  // Kill every cell of one instance: its frames go all-zero while the
+  // sibling on the same tables stays fully functional.
+  for (circuit::CellId id = 0; id < built.netlist.cell_count(); ++id)
+    broken.set_fault(id, dead);
+
+  bool saw_nonzero = false;
+  for (std::uint64_t m = 1; m < 16; ++m) {
+    const code::BitVec healthy_out = run_frame(healthy, built, m);
+    const code::BitVec broken_out = run_frame(broken, built, m);
+    EXPECT_EQ(broken_out.weight(), 0u) << "message " << m;
+    saw_nonzero |= healthy_out.weight() > 0;
+  }
+  EXPECT_TRUE(saw_nonzero);
+
+  // Clearing the faults restores the instance — the shared tables were
+  // never poisoned by the other instance's revalidation.
+  for (circuit::CellId id = 0; id < built.netlist.cell_count(); ++id)
+    broken.set_fault(id, CellFault{});
+  for (std::uint64_t m = 0; m < 16; ++m)
+    EXPECT_EQ(run_frame(broken, built, m), run_frame(healthy, built, m));
+}
+
+TEST(SimTablesTest, TablesOutliveViaSharedOwnership) {
+  // The simulator co-owns the tables: dropping the caller's handle must not
+  // invalidate a live instance.
+  const auto& lib = coldflux_library();
+  const BuiltEncoder built = circuit::build_encoder(code::paper_hamming74(), lib);
+  auto tables = std::make_shared<SimTables>(built.netlist, lib);
+  SimConfig config;
+  config.record_pulses = false;
+  EventSimulator sim(tables, config);
+  const code::BitVec before = run_frame(sim, built, 5);
+  tables.reset();
+  EXPECT_EQ(run_frame(sim, built, 5), before);
+}
+
+}  // namespace
+}  // namespace sfqecc::sim

@@ -9,7 +9,12 @@
 //   --seed=N               campaign seed                    (default 20250831)
 //   --threads=N            worker threads, 0 = hardware     (default 0)
 //   --shard=N              chips per work unit              (default 32)
-//   --schemes=a,b,..       subset of none,rm13,h74,h84      (default all)
+//   --schemes=a,b,..       scheme descriptors from the catalog (default: the
+//                          four paper schemes none,rm:1,3,hamming:7,4,
+//                          hamming:8,4x — legacy tags rm13,h74,h84 still work)
+//   --list-schemes         print the resolved schemes — descriptor, (n,k,d),
+//                          rate, decoder, Table-II-style cell counts — and
+//                          exit; with no --schemes lists a catalog showcase
 //   --spreads=a,b,..       spread fractions in percent      (default 20)
 //   --spread-dist=D        uniform | gaussian               (default uniform)
 //   --noise=a,b,..         channel noise sigma in mV        (default 0.04)
@@ -28,12 +33,17 @@
 //                          the --json report, which stays byte-identical at
 //                          any cache/thread/shard setting)
 //
-// The default single-cell campaign at --chips=1000 is exactly the paper's
-// Fig. 5 experiment (and bit-identical to the fig5_ppv_cdf driver). Sweeps
-// with several cells per spread (channel/timing/jitter/ARQ axes) fabricate
-// each chip once and reuse it across those cells via the artifact cache;
-// --no-artifact-cache re-fabricates per cell, which must not change any
-// report byte.
+// Scheme descriptors follow core/scheme_catalog.hpp:
+//   family[:params][/decoder][@synthesis], e.g. hsiao:8,4  bch:15,7
+//   rm:1,3/majority  hamming:7,4@tree  — see --list-schemes for the catalog.
+//
+// Malformed flag values exit 2 with a caret pointing at the offending
+// character. The default single-cell campaign at --chips=1000 is exactly the
+// paper's Fig. 5 experiment (and bit-identical to the fig5_ppv_cdf driver).
+// Sweeps with several cells per spread (channel/timing/jitter/ARQ axes)
+// fabricate each chip once and reuse it across those cells via the artifact
+// cache; --no-artifact-cache re-fabricates per cell, which must not change
+// any report byte.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,50 +57,150 @@ using namespace sfqecc;
 
 namespace {
 
-std::vector<std::string> split_list(const std::string& csv) {
-  std::vector<std::string> items;
+/// Prints "campaign_runner: <message>", the offending argument and a caret
+/// under byte `offset` of the argument, then exits 2.
+[[noreturn]] void fail_at(const std::string& arg, std::size_t offset,
+                          const std::string& message) {
+  std::fprintf(stderr, "campaign_runner: %s\n  %s\n  %*s^\n", message.c_str(),
+               arg.c_str(), static_cast<int>(offset), "");
+  std::exit(2);
+}
+
+/// One comma-separated token of a flag value; `offset` is its byte position
+/// within the whole argument (for caret messages).
+struct Token {
+  std::string text;
+  std::size_t offset;
+};
+
+/// Splits `--flag=a,b,c` into tokens, rejecting an empty value and empty
+/// tokens ("a,,b", trailing/leading commas) with a caret.
+std::vector<Token> split_tokens(const std::string& arg, std::size_t value_offset,
+                                const std::string& value) {
+  if (value.empty()) fail_at(arg, value_offset, "empty value");
+  std::vector<Token> tokens;
   std::size_t start = 0;
-  while (start <= csv.size()) {
-    const std::size_t comma = csv.find(',', start);
-    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
-    if (end > start) items.push_back(csv.substr(start, end - start));
+  for (;;) {
+    const std::size_t comma = value.find(',', start);
+    const std::size_t end = comma == std::string::npos ? value.size() : comma;
+    if (end == start) fail_at(arg, value_offset + start, "empty list entry");
+    tokens.push_back(Token{value.substr(start, end - start), value_offset + start});
     if (comma == std::string::npos) break;
     start = comma + 1;
   }
-  return items;
+  return tokens;
 }
 
-std::vector<double> parse_doubles(const std::string& csv, const char* flag) {
+std::vector<double> parse_doubles(const std::string& arg, std::size_t value_offset,
+                                  const std::string& value) {
   std::vector<double> values;
-  for (const std::string& item : split_list(csv)) {
+  for (const Token& token : split_tokens(arg, value_offset, value)) {
     char* end = nullptr;
-    values.push_back(std::strtod(item.c_str(), &end));
-    if (end == item.c_str() || *end != '\0') {
-      std::fprintf(stderr, "campaign_runner: bad value '%s' for %s\n", item.c_str(),
-                   flag);
-      std::exit(2);
-    }
+    const double parsed = std::strtod(token.text.c_str(), &end);
+    if (end == token.text.c_str() || *end != '\0')
+      fail_at(arg, token.offset + static_cast<std::size_t>(end - token.text.c_str()),
+              "expected a number");
+    values.push_back(parsed);
   }
   return values;
 }
 
-bool match_flag(const char* arg, const char* name, std::string& value) {
-  const std::size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
-  value = arg + len + 1;
-  return true;
-}
-
-std::size_t parse_size(const std::string& value, const char* flag) {
+std::size_t parse_size(const std::string& arg, std::size_t value_offset,
+                       const std::string& value) {
   char* end = nullptr;
   const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
   // strtoull accepts a sign ("-1" wraps to ULLONG_MAX); require a digit.
-  if (value.empty() || value[0] < '0' || value[0] > '9' || *end != '\0') {
-    std::fprintf(stderr, "campaign_runner: bad value '%s' for %s\n", value.c_str(),
-                 flag);
-    std::exit(2);
-  }
+  if (value.empty() || value[0] < '0' || value[0] > '9' || *end != '\0')
+    fail_at(arg,
+            value_offset + (end > value.c_str()
+                                ? static_cast<std::size_t>(end - value.c_str())
+                                : 0),
+            "expected a non-negative integer");
   return static_cast<std::size_t>(parsed);
+}
+
+bool match_flag(const char* arg, const char* name, std::string& value,
+                std::size_t& value_offset) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  value = arg + len + 1;
+  value_offset = len + 1;
+  return true;
+}
+
+/// Resolves --schemes descriptors against the catalog: parse errors get a
+/// caret into the flag argument, resolution errors (unknown family, bad
+/// parameters) the catalog's message.
+std::vector<core::Scheme> resolve_schemes(const std::string& arg,
+                                          const std::vector<std::string>& descriptors,
+                                          const std::vector<std::size_t>& offsets,
+                                          const circuit::CellLibrary& library) {
+  const core::SchemeCatalog& catalog = core::SchemeCatalog::builtin();
+  std::vector<core::Scheme> schemes;
+  for (std::size_t i = 0; i < descriptors.size(); ++i) {
+    core::DescriptorParseError error;
+    const auto desc = core::parse_scheme_descriptor(descriptors[i], &error);
+    if (!desc) {
+      if (arg.empty())  // internal default list — never malformed
+        fail_at(descriptors[i], error.position, error.message);
+      fail_at(arg, offsets[i] + error.position, error.message);
+    }
+    try {
+      schemes.push_back(catalog.resolve(*desc, library));
+    } catch (const ContractViolation& e) {
+      if (arg.empty()) throw;
+      fail_at(arg, offsets[i], e.what());
+    }
+    for (std::size_t j = 0; j + 1 < schemes.size(); ++j)
+      if (schemes[j].name == schemes.back().name)
+        fail_at(arg.empty() ? descriptors[i] : arg, arg.empty() ? 0 : offsets[i],
+                "duplicate scheme '" + schemes.back().name +
+                    "' (reports and checkpoints key on the scheme name)");
+  }
+  return schemes;
+}
+
+/// --list-schemes: the catalog view of the selected schemes — code
+/// parameters plus the Table-II-style synthesized circuit inventory.
+int list_schemes(const std::vector<core::Scheme>& schemes,
+                 const circuit::CellLibrary& library) {
+  util::TextTable table({"descriptor", "scheme", "(n,k,d)", "rate", "decoder", "XOR",
+                         "DFF", "SPL", "SFQ-DC", "JJs", "depth"});
+  for (const core::Scheme& scheme : schemes) {
+    std::string nkd = "-", rate = "-", decoder = "-";
+    if (scheme.has_code()) {
+      nkd = "(" + std::to_string(scheme.code->n()) + "," +
+            std::to_string(scheme.code->k()) + "," +
+            std::to_string(scheme.code->dmin()) + ")";
+      rate = util::fixed(scheme.code->rate(), 3);
+    }
+    if (scheme.decoder) decoder = scheme.decoder->name();
+    const circuit::NetlistStats stats = circuit::compute_stats(
+        scheme.encoder->netlist, library, scheme.encoder->clock_input);
+    table.add_row({scheme.descriptor, scheme.name, nkd, rate, decoder,
+                   std::to_string(stats.count(circuit::CellType::kXor)),
+                   std::to_string(stats.count(circuit::CellType::kDff)),
+                   std::to_string(stats.count(circuit::CellType::kSplitter)),
+                   std::to_string(stats.count(circuit::CellType::kSfqToDc)),
+                   std::to_string(stats.jj_count),
+                   std::to_string(scheme.encoder->logic_depth)});
+  }
+  std::cout << table.to_string();
+  std::printf("\nfamilies (descriptor grammar family[:params][/decoder][@synthesis]):\n");
+  for (const core::SchemeCatalog::FamilyInfo& family :
+       core::SchemeCatalog::builtin().families()) {
+    std::string decoders;
+    for (const std::string& tag : family.decoders) {
+      if (!decoders.empty()) decoders += ",";
+      decoders += tag;
+    }
+    std::printf("  %-10s %s — %s%s%s\n", family.family.c_str(),
+                family.params_help.c_str(), family.summary.c_str(),
+                decoders.empty() ? "" : "; decoders: ",
+                decoders.c_str());
+  }
+  std::printf("  synthesis: @paar (default), @paar-unbounded, @tree, @chain\n");
+  return 0;
 }
 
 }  // namespace
@@ -100,69 +210,91 @@ int main(int argc, char** argv) {
   spec.chips = 100;
 
   engine::RunnerOptions options;
-  std::string json_path, csv_path, cache_stats_path, scheme_csv;
+  std::string json_path, csv_path, cache_stats_path;
+  std::string schemes_arg;              // full --schemes argument, for carets
+  std::vector<std::string> scheme_descriptors;
+  std::vector<std::size_t> scheme_offsets;
+  bool want_list_schemes = false;
   ppv::SpreadDistribution dist = ppv::SpreadDistribution::kUniform;
   // Axis defaults are the Fig. 5 setup: +/-20 % spread, 0.04 mV receiver
   // noise (~0 BER alone), 0.8 ps thermal jitter at 4.2 K.
   std::vector<double> spreads_pct{core::paper::kFig5Spread * 100.0};
   std::vector<double> noises{0.04}, attenuations{1.0}, clocks{200.0}, jitters{0.8};
-  std::vector<std::string> arq_list{"off"};
+  std::vector<Token> arq_tokens{{"off", 0}};
+  std::string arq_arg = "off";
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
-    const char* arg = argv[i];
-    if (match_flag(arg, "--chips", value)) {
-      spec.chips = parse_size(value, "--chips");
-    } else if (match_flag(arg, "--messages", value)) {
-      spec.messages_per_chip = parse_size(value, "--messages");
-    } else if (match_flag(arg, "--seed", value)) {
-      spec.seed = parse_size(value, "--seed");
-    } else if (match_flag(arg, "--threads", value)) {
-      options.threads = parse_size(value, "--threads");
-    } else if (match_flag(arg, "--shard", value)) {
-      options.shard_chips = parse_size(value, "--shard");
-    } else if (match_flag(arg, "--schemes", value)) {
-      scheme_csv = value;
-    } else if (match_flag(arg, "--spreads", value)) {
-      spreads_pct = parse_doubles(value, "--spreads");
-    } else if (match_flag(arg, "--spread-dist", value)) {
+    std::size_t at = 0;
+    const std::string arg = argv[i];
+    if (match_flag(argv[i], "--chips", value, at)) {
+      spec.chips = parse_size(arg, at, value);
+    } else if (match_flag(argv[i], "--messages", value, at)) {
+      spec.messages_per_chip = parse_size(arg, at, value);
+    } else if (match_flag(argv[i], "--seed", value, at)) {
+      spec.seed = parse_size(arg, at, value);
+    } else if (match_flag(argv[i], "--threads", value, at)) {
+      options.threads = parse_size(arg, at, value);
+    } else if (match_flag(argv[i], "--shard", value, at)) {
+      options.shard_chips = parse_size(arg, at, value);
+    } else if (match_flag(argv[i], "--schemes", value, at)) {
+      schemes_arg = arg;
+      scheme_descriptors.clear();
+      scheme_offsets.clear();
+      // Commas separate descriptors AND descriptor parameters; descriptors
+      // start with a letter, parameters with a digit, so a digit-leading
+      // fragment continues the previous descriptor ("hamming:7,4").
+      for (const Token& token : split_tokens(arg, at, value)) {
+        if (!scheme_descriptors.empty() && token.text[0] >= '0' &&
+            token.text[0] <= '9') {
+          scheme_descriptors.back() += ',' + token.text;
+          continue;
+        }
+        scheme_descriptors.push_back(token.text);
+        scheme_offsets.push_back(token.offset);
+      }
+    } else if (std::strcmp(argv[i], "--list-schemes") == 0) {
+      want_list_schemes = true;
+    } else if (match_flag(argv[i], "--spreads", value, at)) {
+      spreads_pct = parse_doubles(arg, at, value);
+    } else if (match_flag(argv[i], "--spread-dist", value, at)) {
       if (value == "uniform") {
         dist = ppv::SpreadDistribution::kUniform;
       } else if (value == "gaussian") {
         dist = ppv::SpreadDistribution::kGaussian;
       } else {
-        std::fprintf(stderr, "campaign_runner: --spread-dist must be uniform|gaussian\n");
-        return 2;
+        fail_at(arg, at, "expected uniform or gaussian");
       }
-    } else if (match_flag(arg, "--noise", value)) {
-      noises = parse_doubles(value, "--noise");
-    } else if (match_flag(arg, "--attenuation", value)) {
-      attenuations = parse_doubles(value, "--attenuation");
-    } else if (match_flag(arg, "--clock", value)) {
-      clocks = parse_doubles(value, "--clock");
-    } else if (match_flag(arg, "--jitter", value)) {
-      jitters = parse_doubles(value, "--jitter");
-    } else if (match_flag(arg, "--arq", value)) {
-      arq_list = split_list(value);
-    } else if (std::strcmp(arg, "--count-flagged") == 0) {
+    } else if (match_flag(argv[i], "--noise", value, at)) {
+      noises = parse_doubles(arg, at, value);
+    } else if (match_flag(argv[i], "--attenuation", value, at)) {
+      attenuations = parse_doubles(arg, at, value);
+    } else if (match_flag(argv[i], "--clock", value, at)) {
+      clocks = parse_doubles(arg, at, value);
+    } else if (match_flag(argv[i], "--jitter", value, at)) {
+      jitters = parse_doubles(arg, at, value);
+    } else if (match_flag(argv[i], "--arq", value, at)) {
+      arq_arg = arg;
+      arq_tokens = split_tokens(arg, at, value);
+    } else if (std::strcmp(argv[i], "--count-flagged") == 0) {
       spec.count_flagged_as_error = true;
-    } else if (match_flag(arg, "--checkpoint", value)) {
+    } else if (match_flag(argv[i], "--checkpoint", value, at)) {
       options.checkpoint_path = value;
-    } else if (match_flag(arg, "--max-units", value)) {
-      options.max_units = parse_size(value, "--max-units");
-    } else if (match_flag(arg, "--json", value)) {
+    } else if (match_flag(argv[i], "--max-units", value, at)) {
+      options.max_units = parse_size(arg, at, value);
+    } else if (match_flag(argv[i], "--json", value, at)) {
       json_path = value;
-    } else if (match_flag(arg, "--csv", value)) {
+    } else if (match_flag(argv[i], "--csv", value, at)) {
       csv_path = value;
-    } else if (std::strcmp(arg, "--no-artifact-cache") == 0) {
+    } else if (std::strcmp(argv[i], "--no-artifact-cache") == 0) {
       options.artifact_cache_bytes = 0;
-    } else if (match_flag(arg, "--cache-mb", value)) {
-      options.artifact_cache_bytes = parse_size(value, "--cache-mb") << 20;
-    } else if (match_flag(arg, "--cache-stats", value)) {
+    } else if (match_flag(argv[i], "--cache-mb", value, at)) {
+      options.artifact_cache_bytes = parse_size(arg, at, value) << 20;
+    } else if (match_flag(argv[i], "--cache-stats", value, at)) {
       cache_stats_path = value;
     } else {
       std::fprintf(stderr, "campaign_runner: unknown flag '%s' (see header comment)\n",
-                   arg);
+                   argv[i]);
       return 2;
     }
   }
@@ -188,56 +320,33 @@ int main(int argc, char** argv) {
   spec.faults.clear();
   for (double jitter : jitters) spec.faults.push_back({jitter});
   spec.arq_modes.clear();
-  for (const std::string& mode : arq_list) {
-    if (mode == "off") {
+  for (const Token& mode : arq_tokens) {
+    if (mode.text == "off") {
       spec.arq_modes.push_back({false, 1});
     } else {
       char* end = nullptr;
-      const unsigned long long attempts = std::strtoull(mode.c_str(), &end, 10);
-      if (end == mode.c_str() || *end != '\0' || attempts == 0) {
-        std::fprintf(stderr,
-                     "campaign_runner: --arq values must be 'off' or a positive "
-                     "attempt count, got '%s'\n",
-                     mode.c_str());
-        return 2;
-      }
+      const unsigned long long attempts = std::strtoull(mode.text.c_str(), &end, 10);
+      if (mode.text[0] < '0' || mode.text[0] > '9' || *end != '\0' || attempts == 0)
+        fail_at(arq_arg, mode.offset, "expected 'off' or a positive attempt count");
       spec.arq_modes.push_back({true, static_cast<std::size_t>(attempts)});
     }
   }
 
+  // ---- resolve schemes from the catalog -------------------------------------
   const auto& library = circuit::coldflux_library();
-  const std::vector<core::PaperScheme> paper_schemes = core::make_all_schemes(library);
-  std::vector<link::SchemeSpec> schemes;
-  const auto wanted = split_list(scheme_csv);
-  for (const std::string& w : wanted) {
-    if (w != "none" && w != "rm13" && w != "h74" && w != "h84") {
-      std::fprintf(stderr,
-                   "campaign_runner: unknown scheme '%s' in --schemes "
-                   "(valid: none,rm13,h74,h84)\n",
-                   w.c_str());
-      return 2;
+  if (scheme_descriptors.empty()) {
+    scheme_descriptors = core::paper_descriptors();
+    if (want_list_schemes) {  // showcase: the paper schemes plus one of each family
+      scheme_descriptors.push_back("hsiao:8,4");
+      scheme_descriptors.push_back("bch:15,7");
+      scheme_descriptors.push_back("code3832");
     }
+    scheme_offsets.assign(scheme_descriptors.size(), 0);
   }
-  auto scheme_wanted = [&wanted](core::SchemeId id) {
-    if (wanted.empty()) return true;
-    const char* tag = id == core::SchemeId::kNoEncoder ? "none"
-                      : id == core::SchemeId::kRm13    ? "rm13"
-                      : id == core::SchemeId::kHamming74 ? "h74"
-                                                         : "h84";
-    for (const std::string& w : wanted)
-      if (w == tag) return true;
-    return false;
-  };
-  for (std::size_t i = 0; i < paper_schemes.size(); ++i) {
-    if (!scheme_wanted(static_cast<core::SchemeId>(i))) continue;
-    const core::PaperScheme& s = paper_schemes[i];
-    schemes.push_back(
-        link::SchemeSpec{s.name, s.encoder.get(), s.code.get(), s.decoder.get()});
-  }
-  if (schemes.empty()) {
-    std::fprintf(stderr, "campaign_runner: --schemes matched nothing\n");
-    return 2;
-  }
+  const std::vector<core::Scheme> schemes =
+      resolve_schemes(schemes_arg, scheme_descriptors, scheme_offsets, library);
+
+  if (want_list_schemes) return list_schemes(schemes, library);
 
   const std::size_t cell_count = spec.spreads.size() * spec.channels.size() *
                                  spec.timings.size() * spec.faults.size() *

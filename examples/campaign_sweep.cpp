@@ -52,12 +52,15 @@ int main(int argc, char** argv) {
   spec.faults = {engine::FaultSpec{0.8}};  // thermal jitter at 4.2 K
   spec.arq_modes = {{false, 1}, {true, 4}};
 
+  // The four paper schemes, resolved from their canonical catalog
+  // descriptors (none, rm:1,3, hamming:7,4, hamming:8,4x) — bit-identical
+  // to the historical SchemeId-built schemes.
   const auto& library = circuit::coldflux_library();
-  const std::vector<core::PaperScheme> paper_schemes = core::make_all_schemes(library);
-  std::vector<link::SchemeSpec> schemes;
-  for (const core::PaperScheme& s : paper_schemes)
-    schemes.push_back(
-        link::SchemeSpec{s.name, s.encoder.get(), s.code.get(), s.decoder.get()});
+  std::vector<core::Scheme> paper_schemes;
+  for (const std::string& descriptor : core::paper_descriptors())
+    paper_schemes.push_back(
+        core::SchemeCatalog::builtin().resolve(descriptor, library));
+  const std::vector<link::SchemeSpec> schemes = core::scheme_specs(paper_schemes);
 
   std::printf("Campaign sweep: spread in {10, 20, 30} %% x ARQ {off, 4} x %zu schemes, "
               "%zu chips x %zu messages\n\n",

@@ -21,10 +21,7 @@ int main(int argc, char** argv) {
 
   const auto& library = circuit::coldflux_library();
   const std::vector<core::PaperScheme> schemes = core::make_all_schemes(library);
-  std::vector<link::SchemeSpec> specs;
-  for (const core::PaperScheme& s : schemes)
-    specs.push_back(
-        link::SchemeSpec{s.name, s.encoder.get(), s.code.get(), s.decoder.get()});
+  const std::vector<link::SchemeSpec> specs = core::scheme_specs(schemes);
 
   std::printf("P(zero erroneous messages in %zu) vs parameter spread "
               "(%zu chips per point)\n\n",

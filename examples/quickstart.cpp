@@ -1,31 +1,60 @@
-// Quickstart: encode a 4-bit message with each of the paper's codes, corrupt
-// it, decode it, and print the synthesized SFQ circuit cost of each encoder.
+// Quickstart: resolve schemes from the string-addressable catalog, encode a
+// 4-bit message with each, corrupt it, decode it, and print the synthesized
+// SFQ circuit cost of each encoder.
 //
-//   $ ./quickstart
+//   $ ./quickstart [descriptor...]      (default: the paper's three encoders)
+//   $ ./quickstart hsiao:8,4 bch:15,7 rm:1,3/majority
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "sfqecc.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sfqecc;
 
   const auto& library = circuit::coldflux_library();
   std::cout << "sfqecc quickstart — lightweight ECC encoders for SFQ links\n"
             << "cell library: " << library.name() << "\n\n";
 
-  const code::BitVec message = code::BitVec::from_string("1011");
-  std::cout << "message: " << message.to_string() << "\n\n";
+  // Scheme descriptors: family[:params][/decoder][@synthesis], resolved by
+  // the catalog (see core/scheme_catalog.hpp or campaign_runner
+  // --list-schemes for the full grammar and family list).
+  std::vector<std::string> descriptors;
+  for (int i = 1; i < argc; ++i) descriptors.push_back(argv[i]);
+  if (descriptors.empty())
+    descriptors = {"hamming:7,4", "hamming:8,4x", "rm:1,3"};
 
-  for (auto id : {core::SchemeId::kHamming74, core::SchemeId::kHamming84,
-                  core::SchemeId::kRm13}) {
-    const core::PaperScheme scheme = core::make_scheme(id, library);
+  // Message bits for any k: the first k bits of a fixed pattern.
+  const auto demo_message = [](std::size_t k) {
+    code::BitVec message(k);
+    const std::uint64_t pattern = 0xB3A59C6D5B1E97ACull;  // starts 1011...
+    for (std::size_t i = 0; i < k; ++i)
+      message.set(i, ((pattern >> (63 - (i % 64))) & 1) != 0);
+    return message;
+  };
 
+  for (const std::string& descriptor : descriptors) {
+    core::Scheme scheme;
+    try {
+      scheme = core::SchemeCatalog::builtin().resolve(descriptor, library);
+    } catch (const ContractViolation& e) {
+      std::cerr << "quickstart: " << e.what() << '\n';
+      return 2;
+    }
+    if (!scheme.has_code()) {
+      std::cout << scheme.name << "  [" << scheme.descriptor << "]: uncoded link, "
+                << scheme.encoder->message_inputs.size() << " pass-through bits\n\n";
+      continue;
+    }
     // 1. Encode.
+    const code::BitVec message = demo_message(scheme.code->k());
     const code::BitVec codeword = scheme.code->encode(message);
-    std::cout << scheme.name << "  [n=" << scheme.code->n()
-              << ", k=" << scheme.code->k() << ", dmin=" << scheme.code->dmin()
-              << "]\n";
+    std::cout << "message:  " << message.to_string() << '\n';
+    std::cout << scheme.name << "  [" << scheme.descriptor
+              << ", n=" << scheme.code->n() << ", k=" << scheme.code->k()
+              << ", dmin=" << scheme.code->dmin() << "]\n";
     std::cout << "  codeword:       " << codeword.to_string() << '\n';
 
     // 2. Corrupt one bit and decode.
@@ -38,6 +67,7 @@ int main() {
               << (result.status == code::DecodeStatus::kCorrected ? "corrected"
                   : result.status == code::DecodeStatus::kNoError ? "clean"
                                                                   : "detected")
+              << " by " << scheme.decoder->name()
               << ", recovered=" << (result.message == message ? "yes" : "NO")
               << "]\n";
 
@@ -51,7 +81,8 @@ int main() {
         stats.area_mm2, scheme.encoder->logic_depth);
   }
 
-  std::cout << "Next steps: see examples/datalink_demo, examples/waveform_viewer,\n"
+  std::cout << "Next steps: campaign_runner --list-schemes shows the whole catalog;\n"
+               "see examples/datalink_demo, examples/waveform_viewer,\n"
                "examples/ppv_explorer and the bench/ binaries that regenerate the\n"
                "paper's tables and figures.\n";
   return 0;

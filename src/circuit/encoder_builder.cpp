@@ -24,6 +24,25 @@ XorProgram run_synthesis(const code::Gf2Matrix& generator, SynthesisAlgorithm al
 
 }  // namespace
 
+const char* synthesis_algorithm_name(SynthesisAlgorithm algorithm) noexcept {
+  switch (algorithm) {
+    case SynthesisAlgorithm::kPaar: return "paar";
+    case SynthesisAlgorithm::kPaarUnbounded: return "paar-unbounded";
+    case SynthesisAlgorithm::kTree: return "tree";
+    case SynthesisAlgorithm::kChain: return "chain";
+  }
+  return "?";
+}
+
+std::optional<SynthesisAlgorithm> parse_synthesis_algorithm(
+    std::string_view tag) noexcept {
+  for (SynthesisAlgorithm algorithm :
+       {SynthesisAlgorithm::kPaar, SynthesisAlgorithm::kPaarUnbounded,
+        SynthesisAlgorithm::kTree, SynthesisAlgorithm::kChain})
+    if (tag == synthesis_algorithm_name(algorithm)) return algorithm;
+  return std::nullopt;
+}
+
 BuiltEncoder build_encoder(const code::LinearCode& code, const CellLibrary& library,
                            const EncoderBuildOptions& options) {
   expects(library.has(CellType::kXor) && library.has(CellType::kDff) &&

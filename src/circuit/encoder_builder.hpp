@@ -14,7 +14,9 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "circuit/cell_library.hpp"
 #include "circuit/netlist.hpp"
@@ -29,6 +31,14 @@ enum class SynthesisAlgorithm {
   kTree,           ///< balanced tree per output, no sharing (ablation)
   kChain,          ///< left-to-right chain per output (ablation)
 };
+
+/// Stable textual tag of an algorithm ("paar", "paar-unbounded", "tree",
+/// "chain") — the "@synthesis" suffix of scheme descriptors.
+const char* synthesis_algorithm_name(SynthesisAlgorithm algorithm) noexcept;
+
+/// Inverse of synthesis_algorithm_name; nullopt for an unknown tag.
+std::optional<SynthesisAlgorithm> parse_synthesis_algorithm(
+    std::string_view tag) noexcept;
 
 struct EncoderBuildOptions {
   SynthesisAlgorithm algorithm = SynthesisAlgorithm::kPaar;

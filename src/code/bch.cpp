@@ -38,6 +38,39 @@ BchCode::BchCode(unsigned m, std::size_t designed_distance)
   k_ = n_ - deg;
 }
 
+BchCode make_bch(std::size_t n, std::size_t k) {
+  unsigned m = 0;
+  while ((std::size_t{1} << m) - 1 < n) ++m;
+  expects((std::size_t{1} << m) - 1 == n && m >= 3,
+          "BCH length must be 2^m - 1 with m >= 3");
+  expects(k >= 1 && k < n, "BCH dimension must satisfy 1 <= k < n");
+  // The dimension is monotone non-increasing in the designed distance, but
+  // consecutive odd distances can share a generator (the conjugacy classes
+  // already cover the larger root set), so scan rather than bisect.
+  for (std::size_t delta = 3; delta <= n; delta += 2) {
+    const BchCode code(m, delta);
+    if (code.k() == k) return code;
+    if (code.k() < k) break;
+  }
+  throw ContractViolation("no narrow-sense BCH(" + std::to_string(n) + "," +
+                          std::to_string(k) + ") exists (valid dimensions are "
+                          "gaps in the conjugacy-class ladder)");
+}
+
+BchDecoder::BchDecoder(BchCode bch, const LinearCode& code)
+    : bch_(std::move(bch)), code_(code) {
+  expects(bch_.n() == code_.n() && bch_.k() == code_.k(),
+          "BchDecoder reference code dimensions mismatch");
+}
+
+DecodeResult BchDecoder::decode(const BitVec& received) const {
+  return bch_.decode(received);
+}
+
+std::string BchDecoder::name() const {
+  return "bm(" + code_.name() + ",t=" + std::to_string(bch_.t()) + ")";
+}
+
 BitVec BchCode::parity_of(const BitVec& message) const {
   // parity(x) = x^(n-k) * m(x) mod g(x), with message bit i the coefficient
   // of x^i (so the codeword is (message | parity) in ascending positions).

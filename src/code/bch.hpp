@@ -52,4 +52,26 @@ class BchCode {
   BitVec parity_of(const BitVec& message) const;
 };
 
+/// Uniform factory entry point: the narrow-sense binary BCH code with the
+/// given (n, k). `n` must be 2^m - 1; the designed distance is found by
+/// searching odd values until the dimension matches (contract-checked when
+/// no designed distance yields dimension k).
+BchCode make_bch(std::size_t n, std::size_t k);
+
+/// Decoder adapter: classic Berlekamp-Massey + Chien search behind the
+/// uniform code::Decoder interface, so BCH schemes plug into the data link
+/// and the scheme catalog. Owns its BchCode; `code` (normally the BchCode's
+/// to_linear_code()) is borrowed and must outlive the decoder.
+class BchDecoder final : public Decoder {
+ public:
+  BchDecoder(BchCode bch, const LinearCode& code);
+  DecodeResult decode(const BitVec& received) const override;
+  const LinearCode& base_code() const noexcept override { return code_; }
+  std::string name() const override;
+
+ private:
+  BchCode bch_;
+  const LinearCode& code_;
+};
+
 }  // namespace sfqecc::code

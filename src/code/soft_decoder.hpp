@@ -35,4 +35,26 @@ class RmSoftDecoder {
   std::size_t m_;
 };
 
+/// Hard-input adapter behind the uniform code::Decoder interface: slices the
+/// received bits to ±1 reliabilities and runs the soft FHT decoder. On hard
+/// bits this is exactly ML decoding with the soft decoder's tie-breaking;
+/// it exists so "/soft" schemes plug into the data link and the scheme
+/// catalog. `code` is borrowed and must outlive the decoder.
+class RmSoftBitDecoder final : public Decoder {
+ public:
+  explicit RmSoftBitDecoder(const LinearCode& code) : soft_(code) {}
+  DecodeResult decode(const BitVec& received) const override {
+    return soft_.decode_bits(received);
+  }
+  const LinearCode& base_code() const noexcept override {
+    return soft_.base_code();
+  }
+  std::string name() const override {
+    return "soft-fht(" + soft_.base_code().name() + ")";
+  }
+
+ private:
+  RmSoftDecoder soft_;
+};
+
 }  // namespace sfqecc::code

@@ -1,9 +1,5 @@
 #include "core/paper_encoders.hpp"
 
-#include "code/hamming.hpp"
-#include "code/reed_muller.hpp"
-#include "util/expect.hpp"
-
 namespace sfqecc::core {
 
 const char* scheme_name(SchemeId id) noexcept {
@@ -16,49 +12,30 @@ const char* scheme_name(SchemeId id) noexcept {
   return "?";
 }
 
-PaperScheme make_scheme(SchemeId id, const circuit::CellLibrary& library) {
-  PaperScheme scheme;
-  scheme.name = scheme_name(id);
+const char* paper_descriptor(SchemeId id) noexcept {
   switch (id) {
-    case SchemeId::kNoEncoder: {
-      scheme.encoder = std::make_unique<circuit::BuiltEncoder>(
-          circuit::build_no_encoder_link(4, library));
-      return scheme;
-    }
-    case SchemeId::kRm13: {
-      scheme.code = std::make_unique<code::LinearCode>(code::paper_rm13());
-      // Standard FHT argmax decoding with deterministic tie-breaking — the
-      // paper's "standard decoding techniques" (its Table I credits RM(1,3)
-      // with correcting certain 2-bit patterns, which requires tie-breaking
-      // rather than erasure output).
-      scheme.decoder =
-          std::make_unique<code::RmFhtDecoder>(*scheme.code, /*flag_ties=*/false);
-      break;
-    }
-    case SchemeId::kHamming74: {
-      scheme.code = std::make_unique<code::LinearCode>(code::paper_hamming74());
-      scheme.decoder = std::make_unique<code::SyndromeDecoder>(*scheme.code);
-      break;
-    }
-    case SchemeId::kHamming84: {
-      scheme.code = std::make_unique<code::LinearCode>(code::paper_hamming84());
-      scheme.base_code = std::make_unique<code::LinearCode>(code::paper_hamming74());
-      scheme.decoder = std::make_unique<code::ExtendedHammingDecoder>(*scheme.code,
-                                                                      *scheme.base_code);
-      break;
-    }
+    case SchemeId::kNoEncoder: return "none";
+    case SchemeId::kRm13: return "rm:1,3";
+    case SchemeId::kHamming74: return "hamming:7,4";
+    case SchemeId::kHamming84: return "hamming:8,4x";
   }
-  scheme.encoder = std::make_unique<circuit::BuiltEncoder>(
-      circuit::build_encoder(*scheme.code, library));
-  return scheme;
+  return "?";
+}
+
+std::vector<std::string> paper_descriptors() {
+  return {paper_descriptor(SchemeId::kNoEncoder), paper_descriptor(SchemeId::kRm13),
+          paper_descriptor(SchemeId::kHamming74),
+          paper_descriptor(SchemeId::kHamming84)};
+}
+
+PaperScheme make_scheme(SchemeId id, const circuit::CellLibrary& library) {
+  return SchemeCatalog::builtin().resolve(paper_descriptor(id), library);
 }
 
 std::vector<PaperScheme> make_all_schemes(const circuit::CellLibrary& library) {
   std::vector<PaperScheme> schemes;
-  schemes.push_back(make_scheme(SchemeId::kNoEncoder, library));
-  schemes.push_back(make_scheme(SchemeId::kRm13, library));
-  schemes.push_back(make_scheme(SchemeId::kHamming74, library));
-  schemes.push_back(make_scheme(SchemeId::kHamming84, library));
+  for (const std::string& descriptor : paper_descriptors())
+    schemes.push_back(SchemeCatalog::builtin().resolve(descriptor, library));
   return schemes;
 }
 

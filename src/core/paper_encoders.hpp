@@ -2,33 +2,35 @@
 // (and the no-encoder reference link) with their codes, synthesized SFQ
 // netlists and operating decoders — everything the benches and examples need
 // to reproduce Tables I-II and Figures 3 & 5.
+//
+// Since the scheme catalog (core/scheme_catalog.hpp) opened the scheme axis,
+// this header is a thin enum-keyed wrapper over the four canonical paper
+// descriptors: make_scheme(SchemeId) == catalog.resolve(paper_descriptor(id)),
+// bit-identically — same display names, netlists, fingerprints and reports.
 #pragma once
 
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "circuit/encoder_builder.hpp"
-#include "code/decoder.hpp"
-#include "code/linear_code.hpp"
+#include "core/scheme_catalog.hpp"
 
 namespace sfqecc::core {
 
-/// One fully assembled transmission scheme.
-struct PaperScheme {
-  std::string name;
-  std::unique_ptr<code::LinearCode> code;       ///< null for the no-encoder link
-  std::unique_ptr<code::LinearCode> base_code;  ///< inner code (extended Hamming only)
-  std::unique_ptr<code::Decoder> decoder;       ///< the operating decoder; null for raw
-  std::unique_ptr<circuit::BuiltEncoder> encoder;
-
-  bool has_code() const noexcept { return code != nullptr; }
-};
+/// One fully assembled transmission scheme (owning). Historically a separate
+/// struct; now the catalog's Scheme value type.
+using PaperScheme = Scheme;
 
 /// Identifier for the four schemes of Fig. 5, in the paper's order.
 enum class SchemeId { kNoEncoder, kRm13, kHamming74, kHamming84 };
 
 const char* scheme_name(SchemeId id) noexcept;
+
+/// The canonical catalog descriptor of a paper scheme: "none", "rm:1,3",
+/// "hamming:7,4", "hamming:8,4x".
+const char* paper_descriptor(SchemeId id) noexcept;
+
+/// The four canonical descriptors in the paper's Fig. 5 order.
+std::vector<std::string> paper_descriptors();
 
 /// Builds one scheme against the given library.
 /// Decoders: Hamming(7,4) -> syndrome (always-correct, perfect code);

@@ -1,0 +1,502 @@
+#include "core/scheme_catalog.hpp"
+
+#include <algorithm>
+
+#include "code/bch.hpp"
+#include "code/code3832.hpp"
+#include "code/hamming.hpp"
+#include "code/hsiao.hpp"
+#include "code/reed_muller.hpp"
+#include "code/soft_decoder.hpp"
+#include "util/expect.hpp"
+
+namespace sfqecc::core {
+namespace {
+
+constexpr std::size_t kNpos = std::string_view::npos;
+
+/// Standard-array decoding enumerates all 2^(n-k) coset leaders; beyond this
+/// the table is no longer "lightweight" (see the ROADMAP open item on a
+/// meet-in-the-middle construction).
+constexpr std::size_t kMaxSyndromeTableBits = 16;
+
+bool default_build(const SchemeDescriptor& desc) {
+  return desc.synthesis.empty() || desc.synthesis == "paar";
+}
+
+const std::string& default_decoder_for(const SchemeCatalog::FamilyInfo& info,
+                                       const SchemeDescriptor& desc) {
+  if (desc.extended && !info.extended_default_decoder.empty())
+    return info.extended_default_decoder;
+  return info.default_decoder;
+}
+
+void require_params(const SchemeDescriptor& desc, std::size_t count,
+                    const char* shape) {
+  if (desc.params.size() != count)
+    throw ContractViolation("scheme family '" + desc.family + "' takes parameters " +
+                            shape);
+}
+
+void require_not_extended(const SchemeDescriptor& desc) {
+  if (desc.extended)
+    throw ContractViolation("scheme family '" + desc.family +
+                            "' has no extended ('x') variant");
+}
+
+void require_syndrome_table(const SchemeDescriptor& desc, const code::LinearCode& code) {
+  if (code.parity_bits() > kMaxSyndromeTableBits)
+    throw ContractViolation(
+        "decoder '" + desc.decoder + "' on '" + desc.family +
+        "' would enumerate a 2^" + std::to_string(code.parity_bits()) +
+        "-entry coset-leader table; pick a code with at most " +
+        std::to_string(kMaxSyndromeTableBits) + " parity bits");
+}
+
+// ---- family factories -------------------------------------------------------
+
+void make_none(const SchemeDescriptor& desc, const circuit::CellLibrary& library,
+               Scheme& scheme) {
+  require_params(desc, 1, "[k] (pass-through bit count, default 4)");
+  require_not_extended(desc);
+  const std::size_t bits = desc.params[0];
+  expects(bits >= 1 && bits <= 16, "none:[k] needs 1 <= k <= 16");
+  if (!desc.synthesis.empty())
+    throw ContractViolation("the no-encoder scheme has nothing to synthesize; "
+                            "drop the '@" + desc.synthesis + "' suffix");
+  scheme.encoder = std::make_unique<circuit::BuiltEncoder>(
+      circuit::build_no_encoder_link(bits, library));
+  if (bits == 4) scheme.name = "No encoder";
+}
+
+void make_rm(const SchemeDescriptor& desc, const circuit::CellLibrary&,
+             Scheme& scheme) {
+  require_params(desc, 2, "r,m (order and log2 length)");
+  require_not_extended(desc);
+  const std::size_t r = desc.params[0], m = desc.params[1];
+  expects(m >= 1 && m <= 6, "rm:r,m needs 1 <= m <= 6 (codeword must fit the "
+                            "link's 64-bit fast path)");
+  expects(r >= 1 && r <= m, "rm:r,m needs 1 <= r <= m");
+  const bool paper = r == 1 && m == 3;
+  scheme.code = std::make_unique<code::LinearCode>(
+      paper ? code::paper_rm13() : code::reed_muller(r, m));
+  const std::string& dec = desc.decoder;
+  if (dec != "syndrome" && r != 1)
+    throw ContractViolation("decoder '" + dec + "' requires RM(1,m); "
+                            "use /syndrome for higher-order RM codes");
+  if (dec == "ml") {
+    // Deterministic tie-breaking — standard-array decoding, the paper's
+    // operating decoder for RM(1,3) (Table I credits certain 2-bit patterns).
+    scheme.decoder = std::make_unique<code::RmFhtDecoder>(*scheme.code, false);
+  } else if (dec == "ml-flag") {
+    scheme.decoder = std::make_unique<code::RmFhtDecoder>(*scheme.code, true);
+  } else if (dec == "majority") {
+    scheme.decoder = std::make_unique<code::RmMajorityDecoder>(*scheme.code);
+  } else if (dec == "soft") {
+    scheme.decoder = std::make_unique<code::RmSoftBitDecoder>(*scheme.code);
+  } else {  // syndrome
+    require_syndrome_table(desc, *scheme.code);
+    scheme.decoder = std::make_unique<code::SyndromeDecoder>(*scheme.code);
+  }
+  if (paper && dec == "ml" && default_build(desc)) scheme.name = "RM(1,3)";
+}
+
+void make_hamming(const SchemeDescriptor& desc, const circuit::CellLibrary&,
+                  Scheme& scheme) {
+  require_params(desc, 2, "n,k (append x for the extended code)");
+  const std::size_t n = desc.params[0], k = desc.params[1];
+  std::size_t r = 2;
+  if (!desc.extended) {
+    while (r <= 6 && (std::size_t{1} << r) - 1 < n) ++r;
+    if (r > 6 || (std::size_t{1} << r) - 1 != n || k + r != n)
+      throw ContractViolation("hamming:n,k requires n = 2^r - 1, k = n - r "
+                              "(2 <= r <= 6); e.g. hamming:7,4 or hamming:15,11");
+    if (desc.decoder == "secded")
+      throw ContractViolation("decoder 'secded' needs the overall parity bit of "
+                              "the extended code — use hamming:" +
+                              std::to_string(n + 1) + "," + std::to_string(k) + "x");
+    const bool paper = n == 7 && k == 4;
+    scheme.code = std::make_unique<code::LinearCode>(
+        paper ? code::paper_hamming74() : code::hamming_code(r));
+    if (desc.decoder == "detect") {
+      scheme.decoder = std::make_unique<code::DetectOnlyDecoder>(*scheme.code);
+    } else {  // syndrome — always-correct on the perfect code
+      scheme.decoder = std::make_unique<code::SyndromeDecoder>(*scheme.code);
+    }
+    if (paper && desc.decoder == "syndrome" && default_build(desc))
+      scheme.name = "Hamming(7,4)";
+  } else {
+    while (r <= 6 && (std::size_t{1} << r) < n) ++r;
+    if (r > 6 || (std::size_t{1} << r) != n || k + r + 1 != n)
+      throw ContractViolation("hamming:n,kx requires n = 2^r, k = n - r - 1 "
+                              "(2 <= r <= 6); e.g. hamming:8,4x");
+    const bool paper = n == 8 && k == 4;
+    scheme.base_code = std::make_unique<code::LinearCode>(
+        paper ? code::paper_hamming74() : code::hamming_code(r));
+    scheme.code = std::make_unique<code::LinearCode>(
+        paper ? code::paper_hamming84()
+              : code::extend_with_overall_parity(*scheme.base_code));
+    if (desc.decoder == "secded") {
+      scheme.decoder = std::make_unique<code::ExtendedHammingDecoder>(
+          *scheme.code, *scheme.base_code);
+    } else if (desc.decoder == "detect") {
+      scheme.decoder = std::make_unique<code::DetectOnlyDecoder>(*scheme.code);
+    } else {  // syndrome
+      scheme.decoder = std::make_unique<code::SyndromeDecoder>(*scheme.code);
+    }
+    if (paper && desc.decoder == "secded" && default_build(desc))
+      scheme.name = "Hamming(8,4)";
+  }
+}
+
+void make_hsiao(const SchemeDescriptor& desc, const circuit::CellLibrary&,
+                Scheme& scheme) {
+  require_params(desc, 2, "n,k");
+  require_not_extended(desc);
+  const std::size_t n = desc.params[0], k = desc.params[1];
+  // Bound n before constructing anything: the resolve()-time fast-path check
+  // would come too late to stop a huge generator-matrix build.
+  expects(n <= 64, "hsiao:n,k needs n <= 64 (the link's 64-bit fast path)");
+  expects(k >= 1 && k < n, "hsiao:n,k needs 1 <= k < n");
+  const std::size_t r = n - k;
+  if (r < 3 || r > 16 || k > (std::size_t{1} << (r - 1)) - r)
+    throw ContractViolation("no Hsiao(" + std::to_string(n) + "," +
+                            std::to_string(k) + ") exists: needs 3 <= n-k <= 16 "
+                            "and k <= 2^(n-k-1) - (n-k); e.g. hsiao:8,4 or "
+                            "hsiao:13,8");
+  scheme.code = std::make_unique<code::LinearCode>(code::hsiao_code(k, r));
+  if (desc.decoder == "secded") {
+    // Correct single errors, flag everything heavier — the SEC-DED operating
+    // point the odd-weight-column construction is designed for.
+    scheme.decoder = std::make_unique<code::SyndromeDecoder>(*scheme.code, 1);
+  } else if (desc.decoder == "detect") {
+    scheme.decoder = std::make_unique<code::DetectOnlyDecoder>(*scheme.code);
+  } else {  // syndrome
+    scheme.decoder = std::make_unique<code::SyndromeDecoder>(*scheme.code);
+  }
+}
+
+void make_bch_scheme(const SchemeDescriptor& desc, const circuit::CellLibrary&,
+                     Scheme& scheme) {
+  require_params(desc, 2, "n,k");
+  require_not_extended(desc);
+  // Bound n before make_bch: its designed-distance scan over GF(2^m) is
+  // expensive for large m, and the resolve()-time fast-path check would only
+  // run after construction.
+  expects(desc.params[0] <= 64,
+          "bch:n,k needs n <= 64 (2^m - 1 with m <= 6; the link's 64-bit fast path)");
+  code::BchCode bch = code::make_bch(desc.params[0], desc.params[1]);
+  scheme.code = std::make_unique<code::LinearCode>(bch.to_linear_code());
+  if (desc.decoder == "bm") {
+    scheme.decoder =
+        std::make_unique<code::BchDecoder>(std::move(bch), *scheme.code);
+  } else if (desc.decoder == "detect") {
+    require_syndrome_table(desc, *scheme.code);
+    scheme.decoder = std::make_unique<code::DetectOnlyDecoder>(*scheme.code);
+  } else {  // syndrome
+    require_syndrome_table(desc, *scheme.code);
+    scheme.decoder = std::make_unique<code::SyndromeDecoder>(*scheme.code);
+  }
+}
+
+void make_code3832(const SchemeDescriptor& desc, const circuit::CellLibrary&,
+                   Scheme& scheme) {
+  require_params(desc, 0, "none (the fixed (38,32) code of [14])");
+  require_not_extended(desc);
+  scheme.code = std::make_unique<code::LinearCode>(code::code3832());
+  if (desc.decoder == "detect") {
+    scheme.decoder = std::make_unique<code::DetectOnlyDecoder>(*scheme.code);
+  } else {  // syndrome
+    scheme.decoder = std::make_unique<code::SyndromeDecoder>(*scheme.code);
+  }
+}
+
+}  // namespace
+
+std::vector<link::SchemeSpec> scheme_specs(const std::vector<Scheme>& schemes) {
+  std::vector<link::SchemeSpec> specs;
+  specs.reserve(schemes.size());
+  for (const Scheme& scheme : schemes) specs.push_back(scheme.spec());
+  return specs;
+}
+
+std::string SchemeDescriptor::text() const {
+  std::string out = family;
+  if (!params.empty()) {
+    out += ':';
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(params[i]);
+    }
+    if (extended) out += 'x';
+  }
+  if (!decoder.empty()) out += '/' + decoder;
+  if (!synthesis.empty()) out += '@' + synthesis;
+  return out;
+}
+
+std::optional<SchemeDescriptor> parse_scheme_descriptor(std::string_view text,
+                                                        DescriptorParseError* error) {
+  DescriptorParseError scratch;
+  DescriptorParseError& err = error != nullptr ? *error : scratch;
+  const auto fail = [&](std::string message, std::size_t position) {
+    err = {std::move(message), position};
+    return std::optional<SchemeDescriptor>{};
+  };
+  if (text.empty()) return fail("empty scheme descriptor", 0);
+
+  SchemeDescriptor desc;
+  std::string_view head = text;
+
+  // Suffixes, outermost first: "@synthesis" then "/decoder" (strict order).
+  const std::size_t at = head.find('@');
+  if (at != kNpos) {
+    const std::string_view synth = head.substr(at + 1);
+    if (synth.empty()) return fail("missing synthesis algorithm after '@'", at + 1);
+    if (synth.find('@') != kNpos)
+      return fail("duplicate '@' — one synthesis suffix allowed",
+                  at + 1 + synth.find('@'));
+    if (synth.find('/') != kNpos)
+      return fail("'/decoder' must come before '@synthesis'",
+                  at + 1 + synth.find('/'));
+    desc.synthesis = std::string(synth);
+    head = head.substr(0, at);
+  }
+  const std::size_t slash = head.find('/');
+  if (slash != kNpos) {
+    const std::string_view dec = head.substr(slash + 1);
+    if (dec.empty()) return fail("missing decoder tag after '/'", slash + 1);
+    if (dec.find('/') != kNpos)
+      return fail("duplicate '/' — one decoder suffix allowed",
+                  slash + 1 + dec.find('/'));
+    desc.decoder = std::string(dec);
+    head = head.substr(0, slash);
+  }
+
+  // Legacy aliases from the pre-catalog --schemes grammar. They parse
+  // cleanly, so the offset shift can never surface in an error.
+  if (head == "rm13") head = "rm:1,3";
+  else if (head == "h74") head = "hamming:7,4";
+  else if (head == "h84") head = "hamming:8,4x";
+
+  const std::size_t colon = head.find(':');
+  const std::string_view family = colon == kNpos ? head : head.substr(0, colon);
+  if (family.empty()) return fail("missing scheme family", 0);
+  // A family starts with a letter — that is what lets comma-separated
+  // descriptor lists ("none,hamming:7,4") be split unambiguously: fragments
+  // starting with a digit are parameter continuations, not new descriptors.
+  if (!(family[0] >= 'a' && family[0] <= 'z'))
+    return fail("scheme family must start with a lowercase letter", 0);
+  for (std::size_t i = 1; i < family.size(); ++i) {
+    const char c = family[i];
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_'))
+      return fail("scheme family may contain only a-z, 0-9 and '_'", i);
+  }
+  desc.family = std::string(family);
+
+  if (colon != kNpos) {
+    const std::string_view params = head.substr(colon + 1);
+    if (params.empty()) return fail("missing parameters after ':'", colon + 1);
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t comma = params.find(',', start);
+      const std::size_t end = comma == kNpos ? params.size() : comma;
+      const std::size_t offset = colon + 1 + start;  // into the descriptor text
+      if (end == start) return fail("empty parameter", offset);
+      const bool last = comma == kNpos;
+      std::size_t value = 0;
+      for (std::size_t i = start; i < end; ++i) {
+        const char c = params[i];
+        if (c == 'x' && last && i + 1 == end && i > start) {
+          desc.extended = true;
+          break;
+        }
+        if (c < '0' || c > '9')
+          return fail("parameter must be a non-negative integer "
+                      "(an 'x' may only trail the last parameter)",
+                      colon + 1 + i);
+        value = value * 10 + static_cast<std::size_t>(c - '0');
+        if (value > 100000) return fail("parameter out of range", offset);
+      }
+      desc.params.push_back(value);
+      if (last) break;
+      start = comma + 1;
+    }
+  }
+  return desc;
+}
+
+void SchemeCatalog::register_family(FamilyInfo info, Factory factory) {
+  expects(!info.family.empty(), "scheme family needs a name");
+  expects(factory != nullptr, "scheme family needs a factory");
+  for (std::size_t i = 0; i < infos_.size(); ++i) {
+    if (infos_[i].family == info.family) {
+      infos_[i] = std::move(info);
+      factories_[i] = std::move(factory);
+      return;
+    }
+  }
+  infos_.push_back(std::move(info));
+  factories_.push_back(std::move(factory));
+}
+
+const SchemeCatalog::FamilyInfo* SchemeCatalog::find_family(
+    std::string_view family) const noexcept {
+  for (const FamilyInfo& info : infos_)
+    if (info.family == family) return &info;
+  return nullptr;
+}
+
+std::string SchemeCatalog::canonical(const SchemeDescriptor& desc) const {
+  SchemeDescriptor c = desc;
+  if (const FamilyInfo* info = find_family(desc.family)) {
+    if (c.decoder == default_decoder_for(*info, desc)) c.decoder.clear();
+    if (c.params.empty() && !info->default_params.empty())
+      c.params = info->default_params;
+    if (c.params == info->default_params && !c.extended) c.params.clear();
+  }
+  if (c.synthesis == "paar") c.synthesis.clear();
+  return c.text();
+}
+
+Scheme SchemeCatalog::resolve(const std::string& descriptor,
+                              const circuit::CellLibrary& library) const {
+  DescriptorParseError error;
+  const std::optional<SchemeDescriptor> desc =
+      parse_scheme_descriptor(descriptor, &error);
+  if (!desc)
+    throw ContractViolation("bad scheme descriptor '" + descriptor +
+                            "': " + error.message);
+  return resolve(*desc, library);
+}
+
+Scheme SchemeCatalog::resolve(const SchemeDescriptor& desc,
+                              const circuit::CellLibrary& library) const {
+  const FamilyInfo* info = find_family(desc.family);
+  std::size_t index = 0;
+  if (info == nullptr) {
+    std::string known;
+    for (const FamilyInfo& f : infos_) {
+      if (!known.empty()) known += ", ";
+      known += f.family;
+    }
+    throw ContractViolation("unknown scheme family '" + desc.family +
+                            "' (known: " + known + ")");
+  }
+  index = static_cast<std::size_t>(info - infos_.data());
+
+  SchemeDescriptor resolved = desc;
+  if (resolved.params.empty() && !info->default_params.empty())
+    resolved.params = info->default_params;
+  if (resolved.decoder.empty()) {
+    resolved.decoder = default_decoder_for(*info, resolved);
+  } else if (std::find(info->decoders.begin(), info->decoders.end(),
+                       resolved.decoder) == info->decoders.end()) {
+    std::string valid;
+    for (const std::string& d : info->decoders) {
+      if (!valid.empty()) valid += ", ";
+      valid += d;
+    }
+    throw ContractViolation("scheme family '" + desc.family + "' has no decoder '" +
+                            resolved.decoder + "'" +
+                            (valid.empty() ? " (it takes none)"
+                                           : " (valid: " + valid + ")"));
+  }
+
+  Scheme scheme;
+  if (!resolved.synthesis.empty()) {
+    const std::optional<circuit::SynthesisAlgorithm> algorithm =
+        circuit::parse_synthesis_algorithm(resolved.synthesis);
+    if (!algorithm)
+      throw ContractViolation("unknown synthesis algorithm '@" + resolved.synthesis +
+                              "' (valid: paar, paar-unbounded, tree, chain)");
+    scheme.build_options.algorithm = *algorithm;
+  }
+
+  factories_[index](resolved, library, scheme);
+
+  if (scheme.code) {
+    expects(scheme.code->has_fast_path(),
+            "catalog schemes must fit the link's 64-bit fast path (n <= 64)");
+    // The kernel draws messages with `rng.below(1 << k)`: k = 64 would shift
+    // by the word width (UB), so the full 64-bit message space is out.
+    expects(scheme.code->k() <= 63,
+            "catalog schemes must have k <= 63 (the kernel draws k-bit messages "
+            "from a 64-bit stream)");
+  }
+  if (!scheme.encoder) {
+    expects(scheme.code != nullptr, "scheme factory built neither code nor encoder");
+    scheme.encoder = std::make_unique<circuit::BuiltEncoder>(
+        circuit::build_encoder(*scheme.code, library, scheme.build_options));
+  }
+  scheme.descriptor = canonical(desc);
+  if (scheme.name.empty()) scheme.name = scheme.descriptor;
+  return scheme;
+}
+
+const SchemeCatalog& SchemeCatalog::builtin() {
+  static const SchemeCatalog catalog = with_builtins();
+  return catalog;
+}
+
+SchemeCatalog SchemeCatalog::with_builtins() {
+  SchemeCatalog catalog;
+  catalog.register_family(
+      {.family = "none",
+       .params_help = "[k]  pass-through bit count (default 4)",
+       .default_params = {4},
+       .default_decoder = "",
+       .decoders = {},
+       .summary = "the paper's reference link: k uncoded channels",
+       .example = "none"},
+      make_none);
+  catalog.register_family(
+      {.family = "rm",
+       .params_help = "r,m  order and log2 length (RM(1,3) is the paper's)",
+       .default_params = {},
+       .default_decoder = "ml",
+       .decoders = {"ml", "ml-flag", "majority", "soft", "syndrome"},
+       .summary = "Reed-Muller RM(r,m), FHT maximum-likelihood decoding",
+       .example = "rm:1,3"},
+      make_rm);
+  catalog.register_family(
+      {.family = "hamming",
+       .params_help = "n,k  [2^r-1, 2^r-1-r]; append x for the extended code",
+       .default_params = {},
+       .default_decoder = "syndrome",
+       .extended_default_decoder = "secded",
+       .decoders = {"syndrome", "secded", "detect"},
+       .summary = "Hamming codes in the paper's generator layouts",
+       .example = "hamming:7,4"},
+      make_hamming);
+  catalog.register_family(
+      {.family = "hsiao",
+       .params_help = "n,k  odd-weight-column SEC-DED (minimal XOR terms)",
+       .default_params = {},
+       .default_decoder = "secded",
+       .decoders = {"secded", "syndrome", "detect"},
+       .summary = "Hsiao SEC-DED, the memory-interface industry standard",
+       .example = "hsiao:8,4"},
+      make_hsiao);
+  catalog.register_family(
+      {.family = "bch",
+       .params_help = "n,k  narrow-sense binary BCH, n = 2^m - 1",
+       .default_params = {},
+       .default_decoder = "bm",
+       .decoders = {"bm", "syndrome", "detect"},
+       .summary = "BCH codes, Berlekamp-Massey + Chien decoding",
+       .example = "bch:15,7"},
+      make_bch_scheme);
+  catalog.register_family(
+      {.family = "code3832",
+       .params_help = "(none)  the fixed (38,32) SEC code of Peng et al. [14]",
+       .default_params = {},
+       .default_decoder = "syndrome",
+       .decoders = {"syndrome", "detect"},
+       .summary = "the prior-art SFQ ECC baseline the paper compares against",
+       .example = "code3832"},
+      make_code3832);
+  return catalog;
+}
+
+}  // namespace sfqecc::core

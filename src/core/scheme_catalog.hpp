@@ -1,0 +1,159 @@
+// String-addressable scheme catalog: the open axis over (code family,
+// decoder, synthesis algorithm).
+//
+// A textual descriptor names one fully assembled transmission scheme:
+//
+//   descriptor := family [":" params] ["/" decoder] ["@" synthesis]
+//
+//   family     lowercase token registered in the catalog
+//              (built-ins: none, rm, hamming, hsiao, bch, code3832)
+//   params     comma-separated non-negative integers, family-specific
+//              (rm takes r,m; hamming/hsiao/bch take n,k). A trailing "x"
+//              on the last parameter selects the extended (overall-parity)
+//              variant where the family supports one: hamming:8,4x.
+//   decoder    decoder tag; omitted = the family default. Built-in tags:
+//              syndrome (standard-array), secded (correct-1/detect-rest),
+//              detect (detect-only), ml / ml-flag (RM(1,m) FHT, tie-break /
+//              tie-flag), majority (Reed majority logic), soft (soft-input
+//              FHT fed hard bits), bm (BCH Berlekamp-Massey).
+//   synthesis  encoder synthesis algorithm: paar (default), paar-unbounded,
+//              tree, chain — circuit::SynthesisAlgorithm by name.
+//
+// Examples: "none", "rm:1,3", "hamming:7,4", "hamming:8,4x", "hsiao:8,4",
+// "bch:15,7", "code3832", "rm:1,3/majority", "hamming:7,4@tree".
+// Legacy aliases rm13, h74 and h84 resolve to the paper descriptors.
+//
+// The catalog resolves a descriptor into an owning core::Scheme — code,
+// operating decoder and synthesized SFQ encoder in one movable value — which
+// replaces the closed SchemeId enum as the way schemes enter the campaign
+// engine (core/paper_encoders.hpp keeps SchemeId as a thin wrapper over the
+// four canonical paper descriptors). Canonical descriptors for the paper's
+// four schemes resolve to their historical display names ("No encoder",
+// "RM(1,3)", "Hamming(7,4)", "Hamming(8,4)"), so reports, checkpoint
+// fingerprints and artifact-cache keys are byte-for-byte identical to
+// enum-built schemes; every other scheme is named by its canonical
+// descriptor string, which is what enters reports and fingerprints.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "circuit/encoder_builder.hpp"
+#include "code/decoder.hpp"
+#include "code/linear_code.hpp"
+#include "link/scheme_spec.hpp"
+
+namespace sfqecc::core {
+
+/// One fully assembled transmission scheme, owned. Movable, not copyable
+/// (the decoder holds references into `code`/`base_code`, which moving
+/// preserves — the pointees stay put).
+struct Scheme {
+  std::string descriptor;  ///< canonical descriptor (defaults omitted)
+  std::string name;        ///< display/report identity (paper names for the
+                           ///< four canonical paper descriptors)
+  std::unique_ptr<code::LinearCode> code;       ///< null for the no-encoder link
+  std::unique_ptr<code::LinearCode> base_code;  ///< inner code (secded decoding)
+  std::unique_ptr<code::Decoder> decoder;       ///< operating decoder; null for raw
+  std::unique_ptr<circuit::BuiltEncoder> encoder;
+  circuit::EncoderBuildOptions build_options;   ///< options the encoder was built with
+
+  bool has_code() const noexcept { return code != nullptr; }
+
+  /// Borrowed view for the link layer / campaign engine. The Scheme must
+  /// outlive every use of the returned spec.
+  link::SchemeSpec spec() const {
+    return link::SchemeSpec{name, encoder.get(), code.get(), decoder.get()};
+  }
+};
+
+/// Borrowed views of a whole scheme list (what engine::run_campaign takes).
+std::vector<link::SchemeSpec> scheme_specs(const std::vector<Scheme>& schemes);
+
+/// A parsed (but not yet resolved) descriptor.
+struct SchemeDescriptor {
+  std::string family;
+  std::vector<std::size_t> params;
+  bool extended = false;   ///< trailing "x" on the last parameter
+  std::string decoder;     ///< empty = family default
+  std::string synthesis;   ///< empty = default (paar)
+
+  /// Normalized text form, keeping decoder/synthesis exactly as given.
+  std::string text() const;
+};
+
+/// Parse failure: what went wrong and where in the descriptor text (byte
+/// offset), so CLIs can point a caret at the offending character.
+struct DescriptorParseError {
+  std::string message;
+  std::size_t position = 0;
+};
+
+/// Parses descriptor syntax (no family/param validation — that happens at
+/// resolve time). Returns nullopt and fills `error` (if given) on failure.
+/// Legacy aliases (rm13, h74, h84) are expanded here.
+std::optional<SchemeDescriptor> parse_scheme_descriptor(
+    std::string_view text, DescriptorParseError* error = nullptr);
+
+/// Registry of scheme families. Resolving a descriptor looks up its family,
+/// validates the decoder tag, invokes the family factory to build the code
+/// and decoder, then synthesizes the encoder with the requested algorithm.
+/// Resolution errors throw sfqecc::ContractViolation with a descriptive
+/// message. The catalog is copyable: take with_builtins() and
+/// register_family() to extend the scheme axis without touching core.
+class SchemeCatalog {
+ public:
+  struct FamilyInfo {
+    std::string family;                 ///< descriptor token
+    std::string params_help;            ///< e.g. "n,k  (x suffix: extended)"
+    std::vector<std::size_t> default_params;  ///< used when params are omitted
+    std::string default_decoder;        ///< empty = scheme has no decoder
+    /// Default decoder of the extended ("x") variant when it differs (e.g.
+    /// extended Hamming operates secded, plain Hamming syndrome). Empty =
+    /// same as default_decoder.
+    std::string extended_default_decoder;
+    std::vector<std::string> decoders;  ///< accepted decoder tags
+    std::string summary;                ///< one line for --list-schemes / docs
+    std::string example;                ///< a resolvable example descriptor
+  };
+
+  /// Fills `scheme.code` / `base_code` / `decoder` (and may set `name` /
+  /// `encoder` — the no-encoder family builds its own pass-through netlist).
+  /// `desc.decoder` arrives validated and defaulted (never empty unless the
+  /// family has no decoders).
+  using Factory = std::function<void(const SchemeDescriptor& desc,
+                                     const circuit::CellLibrary& library,
+                                     Scheme& scheme)>;
+
+  /// Registers (or replaces) a family under info.family.
+  void register_family(FamilyInfo info, Factory factory);
+
+  const FamilyInfo* find_family(std::string_view family) const noexcept;
+  const std::vector<FamilyInfo>& families() const noexcept { return infos_; }
+
+  /// Parses and resolves in one step.
+  Scheme resolve(const std::string& descriptor,
+                 const circuit::CellLibrary& library) const;
+  Scheme resolve(const SchemeDescriptor& desc,
+                 const circuit::CellLibrary& library) const;
+
+  /// Canonical text of a descriptor under this catalog: family defaults
+  /// (decoder, paar synthesis, default parameters) are omitted.
+  std::string canonical(const SchemeDescriptor& desc) const;
+
+  /// The shared immutable catalog of built-in families.
+  static const SchemeCatalog& builtin();
+  /// A mutable copy of the built-in catalog, for registering new families.
+  static SchemeCatalog with_builtins();
+
+ private:
+  std::vector<FamilyInfo> infos_;        // registration order
+  std::vector<Factory> factories_;       // parallel to infos_
+};
+
+}  // namespace sfqecc::core

@@ -290,4 +290,18 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   return run_cells(spec, expand_cells(spec), schemes, library, options);
 }
 
+CampaignResult run_cells(const CampaignSpec& spec, const std::vector<CampaignCell>& cells,
+                         const std::vector<core::Scheme>& schemes,
+                         const circuit::CellLibrary& library,
+                         const RunnerOptions& options) {
+  return run_cells(spec, cells, core::scheme_specs(schemes), library, options);
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const std::vector<core::Scheme>& schemes,
+                            const circuit::CellLibrary& library,
+                            const RunnerOptions& options) {
+  return run_cells(spec, expand_cells(spec), schemes, library, options);
+}
+
 }  // namespace sfqecc::engine

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "circuit/cell_library.hpp"
+#include "core/scheme_catalog.hpp"
 #include "engine/artifact_cache.hpp"
 #include "engine/campaign_spec.hpp"
 #include "link/monte_carlo.hpp"
@@ -92,6 +93,19 @@ CampaignResult run_cells(const CampaignSpec& spec, const std::vector<CampaignCel
 /// expand_cells + run_cells: the one-call declarative campaign.
 CampaignResult run_campaign(const CampaignSpec& spec,
                             const std::vector<link::SchemeSpec>& schemes,
+                            const circuit::CellLibrary& library,
+                            const RunnerOptions& options = {});
+
+/// Convenience overloads over owning catalog schemes (core/scheme_catalog.hpp):
+/// forward the schemes' borrowed views to the entry points above. The caller
+/// keeps ownership; the schemes must outlive the call (they do — the engine
+/// borrows only for its duration).
+CampaignResult run_cells(const CampaignSpec& spec, const std::vector<CampaignCell>& cells,
+                         const std::vector<core::Scheme>& schemes,
+                         const circuit::CellLibrary& library,
+                         const RunnerOptions& options = {});
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const std::vector<core::Scheme>& schemes,
                             const circuit::CellLibrary& library,
                             const RunnerOptions& options = {});
 

@@ -23,7 +23,7 @@
 
 #include "engine/campaign_spec.hpp"
 #include "link/datalink.hpp"
-#include "link/monte_carlo.hpp"
+#include "link/scheme_spec.hpp"
 #include "ppv/chip.hpp"
 
 namespace sfqecc::engine {

@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "circuit/cell_library.hpp"
-#include "link/monte_carlo.hpp"
+#include "link/scheme_spec.hpp"
 #include "sim/event_sim.hpp"
 
 namespace sfqecc::engine {

@@ -1,5 +1,6 @@
 #include "link/monte_carlo.hpp"
 
+#include "core/scheme_catalog.hpp"
 #include "engine/campaign.hpp"
 #include "util/expect.hpp"
 #include "util/stats.hpp"
@@ -54,6 +55,12 @@ std::vector<SchemeOutcome> run_monte_carlo(const std::vector<SchemeSpec>& scheme
     outcome.mean_flagged = result.mean_flagged;
   }
   return outcomes;
+}
+
+std::vector<SchemeOutcome> run_monte_carlo(const std::vector<core::Scheme>& schemes,
+                                           const circuit::CellLibrary& library,
+                                           const MonteCarloConfig& config) {
+  return run_monte_carlo(core::scheme_specs(schemes), library, config);
 }
 
 }  // namespace sfqecc::link

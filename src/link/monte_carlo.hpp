@@ -15,18 +15,14 @@
 #include <vector>
 
 #include "link/datalink.hpp"
+#include "link/scheme_spec.hpp"
 #include "util/cdf.hpp"
 
-namespace sfqecc::link {
+namespace sfqecc::core {
+struct Scheme;
+}
 
-/// One transmission scheme under test. Pointers are borrowed; for the
-/// no-encoder scheme `reference` and `decoder` are null.
-struct SchemeSpec {
-  std::string name;
-  const circuit::BuiltEncoder* encoder = nullptr;
-  const code::LinearCode* reference = nullptr;
-  const code::Decoder* decoder = nullptr;
-};
+namespace sfqecc::link {
 
 struct MonteCarloConfig {
   std::size_t chips = 1000;
@@ -51,6 +47,12 @@ struct SchemeOutcome {
 /// Runs the experiment for every scheme. The library must be the one the
 /// encoders were built with.
 std::vector<SchemeOutcome> run_monte_carlo(const std::vector<SchemeSpec>& schemes,
+                                           const circuit::CellLibrary& library,
+                                           const MonteCarloConfig& config);
+
+/// Convenience overload over owning catalog schemes (core/scheme_catalog.hpp):
+/// forwards the schemes' borrowed views to the primary entry point above.
+std::vector<SchemeOutcome> run_monte_carlo(const std::vector<core::Scheme>& schemes,
                                            const circuit::CellLibrary& library,
                                            const MonteCarloConfig& config);
 

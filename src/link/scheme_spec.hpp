@@ -1,0 +1,29 @@
+// Borrowed view of one transmission scheme, the unit the link layer and the
+// campaign engine consume. The owning counterpart is core::Scheme
+// (core/scheme_catalog.hpp); call its spec() to obtain this view. Lives in
+// its own header (rather than link/monte_carlo.hpp, its historical home) so
+// that owners of schemes need not pull in the Monte-Carlo driver.
+#pragma once
+
+#include <string>
+
+namespace sfqecc::circuit {
+struct BuiltEncoder;
+}
+namespace sfqecc::code {
+class LinearCode;
+class Decoder;
+}
+
+namespace sfqecc::link {
+
+/// One transmission scheme under test. Pointers are borrowed; for the
+/// no-encoder scheme `reference` and `decoder` are null.
+struct SchemeSpec {
+  std::string name;
+  const circuit::BuiltEncoder* encoder = nullptr;
+  const code::LinearCode* reference = nullptr;
+  const code::Decoder* decoder = nullptr;
+};
+
+}  // namespace sfqecc::link

@@ -13,10 +13,10 @@
 //             netlist_stats, encoder_builder
 //   sim/      event_sim, cell_behavior, waveform
 //   ppv/      spread, margin_model, chip, calibration
-//   link/     channel, datalink, monte_carlo
+//   link/     channel, datalink, scheme_spec, monte_carlo
 //   engine/   campaign_spec, scheduler, kernel, artifact_cache,
 //             scheme_artifacts, checkpoint, campaign, report
-//   core/     paper_encoders, paper_constants
+//   core/     scheme_catalog, paper_encoders, paper_constants
 //   util/     rng, stats, cdf, table, ascii_plot, expect
 #pragma once
 
@@ -44,6 +44,7 @@
 #include "code/reed_muller.hpp"
 #include "core/paper_constants.hpp"
 #include "core/paper_encoders.hpp"
+#include "core/scheme_catalog.hpp"
 #include "engine/artifact_cache.hpp"
 #include "engine/campaign.hpp"
 #include "engine/campaign_spec.hpp"
@@ -56,6 +57,7 @@
 #include "link/channel.hpp"
 #include "link/datalink.hpp"
 #include "link/monte_carlo.hpp"
+#include "link/scheme_spec.hpp"
 #include "ppv/calibration.hpp"
 #include "ppv/chip.hpp"
 #include "ppv/margin_model.hpp"

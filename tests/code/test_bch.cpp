@@ -194,5 +194,47 @@ TEST(Bch, Bch15_11IsHammingEquivalent) {
   EXPECT_EQ(bch.dmin(), 3u);
 }
 
+TEST(Bch, MakeBchFindsDesignedDistanceFromDimensions) {
+  EXPECT_EQ(make_bch(15, 11).designed_distance(), 3u);
+  EXPECT_EQ(make_bch(15, 7).designed_distance(), 5u);
+  EXPECT_EQ(make_bch(15, 5).designed_distance(), 7u);
+  EXPECT_EQ(make_bch(31, 16).designed_distance(), 7u);
+  EXPECT_EQ(make_bch(63, 45).t(), 3u);
+}
+
+TEST(Bch, MakeBchRejectsImpossibleDimensions) {
+  EXPECT_THROW(make_bch(16, 7), ContractViolation);   // n != 2^m - 1
+  EXPECT_THROW(make_bch(15, 9), ContractViolation);   // no such k for n = 15
+  EXPECT_THROW(make_bch(15, 15), ContractViolation);  // k must be < n
+  EXPECT_THROW(make_bch(7, 0), ContractViolation);
+}
+
+TEST(Bch, DecoderAdapterMatchesDirectDecoding) {
+  const BchCode bch = make_bch(15, 7);
+  const LinearCode code = bch.to_linear_code();
+  const BchDecoder decoder(bch, code);
+  EXPECT_EQ(&decoder.base_code(), &code);
+
+  util::Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitVec m(7);
+    for (std::size_t i = 0; i < 7; ++i) m.set(i, rng.bernoulli(0.5));
+    BitVec rx = code.encode(m);
+    std::set<std::size_t> positions;
+    while (positions.size() < 2) positions.insert(rng.below(15));
+    for (std::size_t p : positions) rx.flip(p);
+    const DecodeResult via_adapter = decoder.decode(rx);
+    const DecodeResult direct = bch.decode(rx);
+    EXPECT_EQ(via_adapter.status, direct.status);
+    EXPECT_EQ(via_adapter.message, m);
+    EXPECT_EQ(via_adapter.status, DecodeStatus::kCorrected);
+  }
+}
+
+TEST(Bch, DecoderAdapterRejectsMismatchedCode) {
+  const LinearCode wrong = BchCode(4, 3).to_linear_code();  // (15,11)
+  EXPECT_THROW(BchDecoder(make_bch(15, 7), wrong), ContractViolation);
+}
+
 }  // namespace
 }  // namespace sfqecc::code

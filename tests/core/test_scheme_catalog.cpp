@@ -1,0 +1,337 @@
+// Scheme-catalog tests: descriptor grammar (parse / round-trip / errors),
+// catalog-vs-SchemeId-wrapper equivalence (names, codes, decoders, artifact
+// cache keys, byte-identical Monte-Carlo outcomes), non-paper families
+// through the full link stack, mixed-catalog campaign determinism across
+// thread counts and shard sizes, and catalog extensibility.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist_stats.hpp"
+#include "code/hamming.hpp"
+#include "core/paper_encoders.hpp"
+#include "core/scheme_catalog.hpp"
+#include "engine/artifact_cache.hpp"
+#include "engine/campaign.hpp"
+#include "engine/report.hpp"
+#include "link/monte_carlo.hpp"
+#include "util/expect.hpp"
+
+namespace sfqecc::core {
+namespace {
+
+const circuit::CellLibrary& lib() { return circuit::coldflux_library(); }
+
+SchemeDescriptor parse_ok(const std::string& text) {
+  DescriptorParseError error;
+  const auto desc = parse_scheme_descriptor(text, &error);
+  EXPECT_TRUE(desc.has_value()) << text << ": " << error.message;
+  return desc.value_or(SchemeDescriptor{});
+}
+
+DescriptorParseError parse_fail(const std::string& text) {
+  DescriptorParseError error;
+  EXPECT_FALSE(parse_scheme_descriptor(text, &error).has_value()) << text;
+  return error;
+}
+
+// ------------------------------------------------------- descriptor grammar --
+
+TEST(SchemeDescriptorTest, ParsesFullGrammar) {
+  const SchemeDescriptor desc = parse_ok("hamming:8,4x/secded@tree");
+  EXPECT_EQ(desc.family, "hamming");
+  EXPECT_EQ(desc.params, (std::vector<std::size_t>{8, 4}));
+  EXPECT_TRUE(desc.extended);
+  EXPECT_EQ(desc.decoder, "secded");
+  EXPECT_EQ(desc.synthesis, "tree");
+}
+
+TEST(SchemeDescriptorTest, ParsesMinimalForms) {
+  EXPECT_EQ(parse_ok("none").family, "none");
+  EXPECT_TRUE(parse_ok("none").params.empty());
+  EXPECT_EQ(parse_ok("bch:15,7").params, (std::vector<std::size_t>{15, 7}));
+  EXPECT_FALSE(parse_ok("bch:15,7").extended);
+  EXPECT_EQ(parse_ok("rm:1,3/soft").decoder, "soft");
+  EXPECT_EQ(parse_ok("code3832@chain").synthesis, "chain");
+}
+
+TEST(SchemeDescriptorTest, ExpandsLegacyAliases) {
+  EXPECT_EQ(parse_ok("rm13").text(), "rm:1,3");
+  EXPECT_EQ(parse_ok("h74").text(), "hamming:7,4");
+  EXPECT_EQ(parse_ok("h84").text(), "hamming:8,4x");
+  // Aliases compose with suffixes.
+  EXPECT_EQ(parse_ok("h84/syndrome@tree").text(), "hamming:8,4x/syndrome@tree");
+}
+
+TEST(SchemeDescriptorTest, TextRoundTrips) {
+  for (const char* text :
+       {"none", "none:8", "rm:1,3", "hamming:8,4x", "hsiao:13,8/syndrome",
+        "bch:15,7/bm@paar-unbounded", "code3832@tree", "rm:1,3/majority"}) {
+    const SchemeDescriptor desc = parse_ok(text);
+    EXPECT_EQ(desc.text(), text);
+    // Parsing the round-tripped text reproduces the descriptor.
+    const SchemeDescriptor again = parse_ok(desc.text());
+    EXPECT_EQ(again.text(), desc.text());
+  }
+}
+
+TEST(SchemeDescriptorTest, RejectsMalformedTextWithPositions) {
+  EXPECT_EQ(parse_fail("").message, "empty scheme descriptor");
+  EXPECT_EQ(parse_fail("hamming:").position, 8u);   // missing parameters
+  EXPECT_EQ(parse_fail("hamming:7,,4").position, 10u);  // empty parameter
+  EXPECT_EQ(parse_fail("hamming:7,4,").position, 12u);  // trailing comma
+  EXPECT_EQ(parse_fail("hamming:7,4/").position, 12u);  // missing decoder
+  EXPECT_EQ(parse_fail("rm:1,3@").position, 7u);        // missing synthesis
+  EXPECT_EQ(parse_fail("rm:1,3//ml").position, 7u);     // duplicate '/'
+  EXPECT_EQ(parse_fail("rm:1,3@a@b").position, 8u);     // duplicate '@'
+  EXPECT_EQ(parse_fail("rm@tree/ml").position, 7u);     // '/' after '@'
+  EXPECT_EQ(parse_fail("7foo").position, 0u);   // digit-leading family
+  EXPECT_EQ(parse_fail("Hamming:7,4").position, 0u);  // uppercase family
+  EXPECT_EQ(parse_fail("hamming:7x,4").position, 9u);  // 'x' on non-last param
+  EXPECT_EQ(parse_fail("hamming:a,4").position, 8u);   // non-numeric param
+  EXPECT_EQ(parse_fail(":7,4").message, "missing scheme family");
+}
+
+TEST(SchemeCatalogTest, CanonicalDropsFamilyDefaults) {
+  const SchemeCatalog& catalog = SchemeCatalog::builtin();
+  EXPECT_EQ(catalog.canonical(parse_ok("hamming:7,4/syndrome")), "hamming:7,4");
+  EXPECT_EQ(catalog.canonical(parse_ok("hamming:8,4x/secded")), "hamming:8,4x");
+  EXPECT_EQ(catalog.canonical(parse_ok("hamming:8,4x/syndrome")),
+            "hamming:8,4x/syndrome");  // non-default stays
+  EXPECT_EQ(catalog.canonical(parse_ok("rm:1,3/ml@paar")), "rm:1,3");
+  EXPECT_EQ(catalog.canonical(parse_ok("none:4")), "none");
+  EXPECT_EQ(catalog.canonical(parse_ok("none:8")), "none:8");
+  EXPECT_EQ(catalog.canonical(parse_ok("hsiao:8,4/secded@tree")), "hsiao:8,4@tree");
+}
+
+// ------------------------------------------------------------ resolve errors --
+
+TEST(SchemeCatalogTest, ResolveRejectsUnknownAndInvalid) {
+  const SchemeCatalog& catalog = SchemeCatalog::builtin();
+  EXPECT_THROW(catalog.resolve("golay:23,12", lib()), ContractViolation);
+  EXPECT_THROW(catalog.resolve("hamming:6,3", lib()), ContractViolation);
+  EXPECT_THROW(catalog.resolve("hamming:7,4x", lib()), ContractViolation);
+  EXPECT_THROW(catalog.resolve("hsiao:9,5", lib()), ContractViolation);
+  EXPECT_THROW(catalog.resolve("bch:15,9", lib()), ContractViolation);  // no such k
+  EXPECT_THROW(catalog.resolve("bch:16,7", lib()), ContractViolation);  // n != 2^m-1
+  // Over-wide codes must fail fast, before any construction work.
+  EXPECT_THROW(catalog.resolve("bch:32767,100", lib()), ContractViolation);
+  EXPECT_THROW(catalog.resolve("hsiao:32768,32752", lib()), ContractViolation);
+  EXPECT_THROW(catalog.resolve("hamming:127,120", lib()), ContractViolation);
+  EXPECT_THROW(catalog.resolve("hamming:128,120x", lib()), ContractViolation);
+  // k = 64 would make the kernel's 1 << k message draw undefined.
+  EXPECT_THROW(catalog.resolve("rm:6,6/syndrome", lib()), ContractViolation);
+  // The parser's parameter cap has no off-by-one on the last digit.
+  EXPECT_EQ(parse_fail("bch:1000009,7").message, "parameter out of range");
+  EXPECT_THROW(catalog.resolve("rm:1,3/bogus", lib()), ContractViolation);
+  // secded needs the overall parity bit: only the extended variant has one.
+  EXPECT_THROW(catalog.resolve("hamming:7,4/secded", lib()), ContractViolation);
+  EXPECT_THROW(catalog.resolve("rm:2,4", lib()), ContractViolation);  // ml needs r=1
+  EXPECT_THROW(catalog.resolve("hamming:7,4@fast", lib()), ContractViolation);
+  EXPECT_THROW(catalog.resolve("none/syndrome", lib()), ContractViolation);
+  EXPECT_THROW(catalog.resolve("none@tree", lib()), ContractViolation);
+  EXPECT_THROW(catalog.resolve("code3832:38,32", lib()), ContractViolation);
+  EXPECT_THROW(catalog.resolve("bad descriptor", lib()), ContractViolation);
+}
+
+TEST(SchemeCatalogTest, ResolvesNonDefaultVariants) {
+  const SchemeCatalog& catalog = SchemeCatalog::builtin();
+  // Higher-order RM with an explicit syndrome decoder.
+  const Scheme rm24 = catalog.resolve("rm:2,4/syndrome", lib());
+  EXPECT_EQ(rm24.name, "rm:2,4/syndrome");
+  EXPECT_EQ(rm24.code->n(), 16u);
+  EXPECT_EQ(rm24.code->k(), 11u);
+  // Ablation synthesis algorithms flow into the build options.
+  const Scheme tree = catalog.resolve("hamming:7,4@tree", lib());
+  EXPECT_EQ(tree.build_options.algorithm, circuit::SynthesisAlgorithm::kTree);
+  EXPECT_EQ(tree.name, "hamming:7,4@tree");  // not the paper scheme's name
+  // Wider no-encoder link.
+  const Scheme raw8 = catalog.resolve("none:8", lib());
+  EXPECT_FALSE(raw8.has_code());
+  EXPECT_EQ(raw8.encoder->message_inputs.size(), 8u);
+  EXPECT_EQ(raw8.name, "none:8");
+}
+
+// ------------------------------------- equivalence with the SchemeId wrappers --
+
+TEST(SchemeCatalogTest, PaperDescriptorsMatchSchemeIdWrappers) {
+  const SchemeCatalog& catalog = SchemeCatalog::builtin();
+  const SchemeId ids[] = {SchemeId::kNoEncoder, SchemeId::kRm13,
+                          SchemeId::kHamming74, SchemeId::kHamming84};
+  for (SchemeId id : ids) {
+    const Scheme from_enum = make_scheme(id, lib());
+    const Scheme from_catalog = catalog.resolve(paper_descriptor(id), lib());
+    EXPECT_EQ(from_enum.name, scheme_name(id));
+    EXPECT_EQ(from_catalog.name, from_enum.name);
+    EXPECT_EQ(from_catalog.descriptor, paper_descriptor(id));
+    ASSERT_EQ(from_catalog.has_code(), from_enum.has_code());
+    if (from_enum.has_code()) {
+      EXPECT_EQ(from_catalog.code->generator(), from_enum.code->generator());
+      EXPECT_EQ(from_catalog.decoder->name(), from_enum.decoder->name());
+    }
+    const circuit::NetlistStats enum_stats = circuit::compute_stats(
+        from_enum.encoder->netlist, lib(), from_enum.encoder->clock_input);
+    const circuit::NetlistStats catalog_stats = circuit::compute_stats(
+        from_catalog.encoder->netlist, lib(), from_catalog.encoder->clock_input);
+    EXPECT_EQ(catalog_stats.inventory(), enum_stats.inventory());
+    // The artifact-cache key proof: identical scheme fingerprints mean
+    // catalog-built schemes address the very same fabrication artifacts.
+    EXPECT_EQ(engine::scheme_fingerprint(from_catalog.name,
+                                         from_catalog.encoder->netlist, lib()),
+              engine::scheme_fingerprint(from_enum.name, from_enum.encoder->netlist,
+                                         lib()));
+  }
+}
+
+TEST(SchemeCatalogTest, PaperMonteCarloIsByteIdenticalViaCatalog) {
+  const std::vector<PaperScheme> from_enum = make_all_schemes(lib());
+  std::vector<Scheme> from_catalog;
+  for (const std::string& descriptor : paper_descriptors())
+    from_catalog.push_back(SchemeCatalog::builtin().resolve(descriptor, lib()));
+
+  link::MonteCarloConfig config;
+  config.chips = 6;
+  config.messages_per_chip = 5;
+  config.threads = 2;
+  const auto enum_outcomes = link::run_monte_carlo(scheme_specs(from_enum), lib(), config);
+  const auto catalog_outcomes = link::run_monte_carlo(from_catalog, lib(), config);
+  ASSERT_EQ(enum_outcomes.size(), catalog_outcomes.size());
+  for (std::size_t s = 0; s < enum_outcomes.size(); ++s) {
+    EXPECT_EQ(catalog_outcomes[s].name, enum_outcomes[s].name);
+    EXPECT_EQ(catalog_outcomes[s].errors_per_chip, enum_outcomes[s].errors_per_chip);
+    EXPECT_EQ(catalog_outcomes[s].flagged_per_chip, enum_outcomes[s].flagged_per_chip);
+  }
+}
+
+// --------------------------------------------- non-paper families end to end --
+
+TEST(SchemeCatalogTest, BchSchemeCorrectsTwoErrors) {
+  const Scheme bch = SchemeCatalog::builtin().resolve("bch:15,7", lib());
+  ASSERT_TRUE(bch.has_code());
+  EXPECT_EQ(bch.code->dmin(), 5u);
+  const code::BitVec message = code::BitVec::from_string("1011001");
+  code::BitVec received = bch.code->encode(message);
+  received.flip(2);
+  received.flip(11);
+  const code::DecodeResult result = bch.decoder->decode(received);
+  EXPECT_EQ(result.status, code::DecodeStatus::kCorrected);
+  EXPECT_EQ(result.message, message);
+  EXPECT_EQ(result.bits_flipped, 2u);
+}
+
+TEST(SchemeCatalogTest, RmDecoderVariantsCorrectSingleErrors) {
+  for (const char* descriptor : {"rm:1,3", "rm:1,3/ml-flag", "rm:1,3/majority",
+                                 "rm:1,3/soft", "rm:1,3/syndrome"}) {
+    const Scheme scheme = SchemeCatalog::builtin().resolve(descriptor, lib());
+    const code::BitVec message = code::BitVec::from_string("1010");
+    code::BitVec received = scheme.code->encode(message);
+    received.flip(5);
+    const code::DecodeResult result = scheme.decoder->decode(received);
+    EXPECT_EQ(result.message, message) << descriptor;
+    EXPECT_EQ(result.status, code::DecodeStatus::kCorrected) << descriptor;
+  }
+}
+
+TEST(SchemeCatalogTest, HsiaoSecDedFlagsDoubleErrors) {
+  const Scheme hsiao = SchemeCatalog::builtin().resolve("hsiao:8,4", lib());
+  EXPECT_EQ(hsiao.code->dmin(), 4u);
+  const code::BitVec message = code::BitVec::from_string("1101");
+  code::BitVec received = hsiao.code->encode(message);
+  received.flip(0);
+  received.flip(6);
+  EXPECT_EQ(hsiao.decoder->decode(received).status, code::DecodeStatus::kDetected);
+  received.flip(6);  // back to a single error
+  const code::DecodeResult single = hsiao.decoder->decode(received);
+  EXPECT_EQ(single.status, code::DecodeStatus::kCorrected);
+  EXPECT_EQ(single.message, message);
+}
+
+// ------------------------------------------ mixed-catalog campaign determinism --
+
+TEST(SchemeCatalogTest, MixedCatalogCampaignIsDeterministicAcrossSchedules) {
+  std::vector<Scheme> schemes;
+  schemes.push_back(SchemeCatalog::builtin().resolve("hsiao:8,4", lib()));
+  schemes.push_back(SchemeCatalog::builtin().resolve("bch:15,7", lib()));
+
+  engine::CampaignSpec spec;
+  spec.chips = 10;
+  spec.messages_per_chip = 6;
+  spec.seed = 20260729;
+  spec.spreads = {{0.20, ppv::SpreadDistribution::kUniform},
+                  {0.30, ppv::SpreadDistribution::kUniform}};
+
+  engine::RunnerOptions reference_options;
+  reference_options.threads = 1;
+  reference_options.shard_chips = 4;
+  const engine::CampaignResult reference =
+      engine::run_campaign(spec, schemes, lib(), reference_options);
+  const std::string reference_json = engine::campaign_json(spec, reference);
+  ASSERT_EQ(reference.cells.size(), 2u);
+  EXPECT_EQ(reference.cells[0].schemes[0].scheme, "hsiao:8,4");
+  EXPECT_EQ(reference.cells[0].schemes[1].scheme, "bch:15,7");
+
+  for (std::size_t threads : {2u, 8u}) {
+    for (std::size_t shard : {1u, 3u, 64u}) {
+      engine::RunnerOptions options;
+      options.threads = threads;
+      options.shard_chips = shard;
+      const engine::CampaignResult result =
+          engine::run_campaign(spec, schemes, lib(), options);
+      for (std::size_t c = 0; c < reference.cells.size(); ++c)
+        for (std::size_t s = 0; s < schemes.size(); ++s)
+          EXPECT_EQ(result.cells[c].schemes[s].errors_per_chip,
+                    reference.cells[c].schemes[s].errors_per_chip)
+              << "threads=" << threads << " shard=" << shard;
+      EXPECT_EQ(engine::campaign_json(spec, result), reference_json)
+          << "threads=" << threads << " shard=" << shard;
+    }
+  }
+}
+
+// -------------------------------------------------------------- extensibility --
+
+TEST(SchemeCatalogTest, RegisteredFamilyResolvesLikeBuiltins) {
+  SchemeCatalog catalog = SchemeCatalog::with_builtins();
+  catalog.register_family(
+      {.family = "parity",
+       .params_help = "k  single parity check over k bits",
+       .default_params = {},
+       .default_decoder = "detect",
+       .extended_default_decoder = "",
+       .decoders = {"detect"},
+       .summary = "test family",
+       .example = "parity:4"},
+      [](const SchemeDescriptor& desc, const circuit::CellLibrary&, Scheme& scheme) {
+        expects(desc.params.size() == 1, "parity takes one parameter");
+        const std::size_t k = desc.params[0];
+        code::Gf2Matrix generator(k, k + 1);
+        for (std::size_t i = 0; i < k; ++i) {
+          generator.set(i, i, true);
+          generator.set(i, k, true);
+        }
+        scheme.code = std::make_unique<code::LinearCode>(
+            "parity(" + std::to_string(k) + ")", std::move(generator), 2);
+        scheme.decoder = std::make_unique<code::DetectOnlyDecoder>(*scheme.code);
+      });
+
+  const Scheme parity = catalog.resolve("parity:4", lib());
+  EXPECT_EQ(parity.name, "parity:4");
+  EXPECT_EQ(parity.code->n(), 5u);
+  EXPECT_EQ(parity.code->dmin(), 2u);
+  code::BitVec received = parity.code->encode(code::BitVec::from_string("1100"));
+  received.flip(1);
+  EXPECT_EQ(parity.decoder->decode(received).status, code::DecodeStatus::kDetected);
+  // The new family rides the whole pipeline: synthesized encoder + link.
+  link::MonteCarloConfig config;
+  config.chips = 2;
+  config.messages_per_chip = 3;
+  std::vector<Scheme> schemes;
+  schemes.push_back(catalog.resolve("parity:4", lib()));
+  const auto outcomes = link::run_monte_carlo(schemes, lib(), config);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].name, "parity:4");
+}
+
+}  // namespace
+}  // namespace sfqecc::core

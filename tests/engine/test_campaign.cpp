@@ -228,7 +228,8 @@ TEST_F(CampaignTest, EmptySweepYieldsEmptyResult) {
 }
 
 TEST_F(CampaignTest, NoSchemesYieldsNoUnits) {
-  const CampaignResult result = run_campaign(small_spec(), {}, lib_);
+  const CampaignResult result =
+      run_campaign(small_spec(), std::vector<link::SchemeSpec>{}, lib_);
   ASSERT_EQ(result.cells.size(), 2u);
   EXPECT_TRUE(result.cells[0].schemes.empty());
   EXPECT_EQ(result.units_total, 0u);

@@ -32,6 +32,23 @@
 //   --cache-stats=PATH     write cache hit/miss counters as JSON (kept out of
 //                          the --json report, which stays byte-identical at
 //                          any cache/thread/shard setting)
+//   --retries=N            retries per failed work unit      (default 2, so a
+//                          unit gets 3 attempts before quarantine)
+//   --fail-fast            abort on the first unit failure (no retries; the
+//                          pre-resilience semantics) — exits 1
+//   --on-io-error=P        warn | fail: checkpoint/report write failures
+//                          either warn-and-continue (default) or exit 4
+//   --inject-fault=SPEC    deterministic fault injection, repeatable.
+//                          SPEC = site:unit[:attempt]; sites fabricate,
+//                          simulate, cache-insert, checkpoint-write,
+//                          report-write; unit/attempt take '*' as wildcard
+//                          (attempt defaults to 0). See engine/
+//                          fault_injection.hpp for the full grammar.
+//
+// Exit codes: 0 success; 1 report write failed under --on-io-error=warn, or
+// --fail-fast abort; 2 usage error / ContractViolation; 3 one or more units
+// exhausted their retries and were quarantined (resume from --checkpoint to
+// retry exactly those units); 4 I/O failure under --on-io-error=fail.
 //
 // Scheme descriptors follow core/scheme_catalog.hpp:
 //   family[:params][/decoder][@synthesis], e.g. hsiao:8,4  bch:15,7
@@ -210,6 +227,7 @@ int main(int argc, char** argv) {
   spec.chips = 100;
 
   engine::RunnerOptions options;
+  engine::FaultInjector injector;
   std::string json_path, csv_path, cache_stats_path;
   std::string schemes_arg;              // full --schemes argument, for carets
   std::vector<std::string> scheme_descriptors;
@@ -292,6 +310,23 @@ int main(int argc, char** argv) {
       options.artifact_cache_bytes = parse_size(arg, at, value) << 20;
     } else if (match_flag(argv[i], "--cache-stats", value, at)) {
       cache_stats_path = value;
+    } else if (match_flag(argv[i], "--retries", value, at)) {
+      options.unit_attempts = parse_size(arg, at, value) + 1;
+    } else if (std::strcmp(argv[i], "--fail-fast") == 0) {
+      options.fail_fast = true;
+    } else if (match_flag(argv[i], "--on-io-error", value, at)) {
+      if (value == "warn") {
+        options.io_error_policy = engine::IoErrorPolicy::kWarn;
+      } else if (value == "fail") {
+        options.io_error_policy = engine::IoErrorPolicy::kFail;
+      } else {
+        fail_at(arg, at, "expected warn or fail");
+      }
+    } else if (match_flag(argv[i], "--inject-fault", value, at)) {
+      engine::InjectionParseError error;
+      const auto spec = engine::parse_injection_spec(value, &error);
+      if (!spec) fail_at(arg, at + error.position, error.message);
+      injector.arm(*spec);
     } else {
       std::fprintf(stderr, "campaign_runner: unknown flag '%s' (see header comment)\n",
                    argv[i]);
@@ -354,6 +389,8 @@ int main(int argc, char** argv) {
   std::printf("campaign: %zu cell(s) x %zu scheme(s), %zu chips x %zu messages\n\n",
               cell_count, schemes.size(), spec.chips, spec.messages_per_chip);
 
+  if (injector.armed()) options.fault_injector = &injector;
+
   engine::CampaignResult result;
   try {
     result = engine::run_campaign(spec, schemes, library, options);
@@ -363,6 +400,15 @@ int main(int argc, char** argv) {
     // not an abort.
     std::fprintf(stderr, "campaign_runner: %s\n", e.what());
     return 2;
+  } catch (const engine::IoError& e) {
+    // --on-io-error=fail promoted a checkpoint write failure.
+    std::fprintf(stderr, "campaign_runner: %s\n", e.what());
+    return 4;
+  } catch (const std::exception& e) {
+    // --fail-fast propagates the first unit failure (including injected
+    // faults) instead of retrying/quarantining.
+    std::fprintf(stderr, "campaign_runner: campaign aborted: %s\n", e.what());
+    return 1;
   }
 
   // ---- console summary ------------------------------------------------------
@@ -383,6 +429,22 @@ int main(int argc, char** argv) {
   std::printf("\nunits: %zu total, %zu executed, %zu resumed from checkpoint%s\n",
               result.units_total, result.units_executed, result.units_resumed,
               result.complete() ? "" : "  [INCOMPLETE — rerun to continue]");
+  if (!result.failures.empty()) {
+    std::printf("quarantined: %zu unit(s) exhausted %zu attempt(s) each; their "
+                "chips are excluded above and will be retried on resume\n",
+                result.failures.size(), options.unit_attempts);
+    for (const engine::UnitFailureInfo& failure : result.failures)
+      std::printf("  unit %zu (cell %zu, scheme %zu, chips [%zu,%zu)): %s\n",
+                  failure.unit_index, failure.unit.cell, failure.unit.scheme,
+                  failure.unit.chip_lo, failure.unit.chip_hi,
+                  failure.error.c_str());
+  }
+  if (injector.armed())
+    std::printf("fault injection: %llu injection(s) fired\n",
+                static_cast<unsigned long long>(injector.fired()));
+  if (result.checkpoint_io_errors > 0)
+    std::printf("checkpoint: %llu append(s) failed (those units re-run on resume)\n",
+                static_cast<unsigned long long>(result.checkpoint_io_errors));
   const engine::ArtifactCacheStats& cache = result.artifact_cache;
   if (options.artifact_cache_bytes == 0) {
     std::printf("artifact cache: disabled\n");
@@ -398,12 +460,38 @@ int main(int argc, char** argv) {
                 static_cast<double>(cache.bytes) / (1 << 20));
   }
 
+  // Reports are written atomically with the same bounded retry as work
+  // units; an injected report-write fault on attempt 0 must therefore not
+  // change a single byte of the final file. Ordinals follow write order.
+  engine::ReportIo report_io;
+  report_io.policy = options.io_error_policy;
+  report_io.attempts = options.unit_attempts;
+  report_io.injector = injector.armed() ? &injector : nullptr;
   bool ok = true;
-  if (!json_path.empty())
-    ok &= engine::write_text_file(json_path, engine::campaign_json(spec, result));
-  if (!csv_path.empty())
-    ok &= engine::write_text_file(csv_path, engine::campaign_csv(result));
-  if (!cache_stats_path.empty())
-    ok &= engine::write_text_file(cache_stats_path, engine::cache_stats_json(cache));
+  try {
+    if (!json_path.empty()) {
+      report_io.ordinal = 0;
+      ok &= engine::write_text_file_atomic(json_path,
+                                           engine::campaign_json(spec, result),
+                                           report_io);
+    }
+    if (!csv_path.empty()) {
+      report_io.ordinal = 1;
+      ok &= engine::write_text_file_atomic(csv_path, engine::campaign_csv(result),
+                                           report_io);
+    }
+    if (!cache_stats_path.empty()) {
+      report_io.ordinal = 2;
+      ok &= engine::write_text_file_atomic(cache_stats_path,
+                                           engine::cache_stats_json(cache),
+                                           report_io);
+    }
+  } catch (const engine::IoError& e) {
+    std::fprintf(stderr, "campaign_runner: %s\n", e.what());
+    return 4;
+  }
+  // Quarantine outranks a failed side-file write: exit 3 tells the operator
+  // the statistics themselves are incomplete, not just a report file.
+  if (!result.failures.empty()) return 3;
   return ok ? 0 : 1;
 }

@@ -1,5 +1,7 @@
 #include "engine/artifact_cache.hpp"
 
+#include <new>
+
 #include "circuit/cell_library.hpp"
 #include "circuit/netlist.hpp"
 #include "util/fnv.hpp"
@@ -75,17 +77,29 @@ bool ArtifactCache::lookup(const ArtifactKey& key, ppv::ChipSample& out) {
   return true;
 }
 
-void ArtifactCache::insert(const ArtifactKey& key, const ppv::ChipSample& chip) {
+bool ArtifactCache::insert(const ArtifactKey& key, const ppv::ChipSample& chip) {
   const std::size_t bytes = artifact_bytes(chip);
   std::lock_guard<std::mutex> lock(mutex_);
-  if (index_.find(key) != index_.end()) return;  // racing miss: first copy wins
-  if (bytes > byte_budget_) return;  // can never fit; don't thrash the LRU
-  lru_.push_front(Entry{key, chip, bytes});
-  index_.emplace(key, lru_.begin());
+  if (index_.find(key) != index_.end()) return true;  // racing miss: first copy wins
+  if (bytes > byte_budget_) return true;  // can never fit; don't thrash the LRU
+  try {
+    lru_.push_front(Entry{key, chip, bytes});
+  } catch (const std::bad_alloc&) {
+    ++stats_.insert_failures;
+    return false;
+  }
+  try {
+    index_.emplace(key, lru_.begin());
+  } catch (const std::bad_alloc&) {
+    lru_.pop_front();  // keep list and index consistent
+    ++stats_.insert_failures;
+    return false;
+  }
   stats_.bytes += bytes;
   ++stats_.entries;
   ++stats_.insertions;
   evict_to_budget_locked();
+  return true;
 }
 
 void ArtifactCache::evict_to_budget_locked() {

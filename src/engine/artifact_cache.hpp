@@ -82,6 +82,11 @@ struct ArtifactCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
+  /// Inserts that failed (allocation failure, or an injected cache-insert
+  /// fault at the campaign layer). Each one degrades gracefully: the worker
+  /// keeps its freshly fabricated chip and later lookups of the key simply
+  /// miss and re-fabricate — slower, never wrong.
+  std::uint64_t insert_failures = 0;
   std::uint64_t evictions = 0;
   std::uint64_t bytes = 0;
   std::uint64_t entries = 0;
@@ -103,8 +108,13 @@ class ArtifactCache {
   /// Stores a copy of `chip` under `key`, evicting least-recently-used
   /// entries until the budget holds. A duplicate insert (two workers racing
   /// on the same miss) is dropped: the first copy wins, so lookups always
-  /// observe one immutable artifact per key.
-  void insert(const ArtifactKey& key, const ppv::ChipSample& chip);
+  /// observe one immutable artifact per key. Returns false — counting an
+  /// insert_failure — when the copy's allocation fails: the cache absorbs
+  /// memory pressure as a capacity loss (callers fall back to uncached
+  /// re-fabrication) instead of letting bad_alloc abort the work unit.
+  /// Deliberate drops (duplicate key, artifact larger than the budget)
+  /// return true; they are design behavior, not degradation.
+  bool insert(const ArtifactKey& key, const ppv::ChipSample& chip);
 
   ArtifactCacheStats stats() const;
 

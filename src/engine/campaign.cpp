@@ -1,5 +1,6 @@
 #include "engine/campaign.hpp"
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -162,7 +163,7 @@ CampaignResult run_cells(const CampaignSpec& spec, const std::vector<CampaignCel
       }
     }
     writer = std::make_unique<CheckpointWriter>(options.checkpoint_path, fingerprint,
-                                                existed);
+                                                existed, options.io_error_policy);
   }
 
   // ---- schedule the remaining units ----------------------------------------
@@ -203,15 +204,31 @@ CampaignResult run_cells(const CampaignSpec& spec, const std::vector<CampaignCel
     SchedulerOptions sched;
     sched.threads = options.threads;
     sched.max_units = options.max_units;
+    sched.unit_attempts = options.unit_attempts;
+    sched.fail_fast = options.fail_fast;
     std::vector<WorkerState> workers(resolved_thread_count(sched, pending.size()));
 
-    result.units_executed = run_work_stealing(
+    const FaultInjector* injector = options.fault_injector;
+    // Injected cache-insert failures bypass the cache object, so their count
+    // is merged into the cache stats after the run (atomic: chips of one
+    // unit increment concurrently with other units').
+    std::atomic<std::uint64_t> injected_insert_failures{0};
+
+    const ScheduleOutcome outcome = run_units(
         pending.size(),
-        [&](std::size_t pending_index, std::size_t worker_index) {
-          const WorkUnit& unit = units[pending[pending_index]];
+        [&](std::size_t pending_index, std::size_t worker_index, std::size_t attempt) {
+          // Injection coordinates address the deterministic unit list, not
+          // the pending subset, so a fault schedule replays identically
+          // across resumes with different completed prefixes.
+          const std::size_t unit_index = pending[pending_index];
+          const WorkUnit& unit = units[unit_index];
           const CampaignCell& cell = cells[unit.cell];
           const link::SchemeSpec& scheme = schemes[unit.scheme];
           WorkerState& worker = workers[worker_index];
+          // Reusing the worker's DataLink across attempts is safe for the
+          // same reason reusing it across units is: simulate_chip reinstalls
+          // the chip and reseeds every noise stream per chip, so no state
+          // from an abandoned attempt can leak into the retry.
           link::DataLink& dlink =
               worker.link_for(cell, unit.scheme, scheme, artifacts[unit.scheme]);
           Tally& tally = tallies[unit.cell][unit.scheme];
@@ -227,19 +244,38 @@ CampaignResult run_cells(const CampaignSpec& spec, const std::vector<CampaignCel
           task.count_flagged_as_error = spec.count_flagged_as_error;
           task.arq = cell.arq;
 
+          // The fabricate/simulate checks throw InjectedFault on a matching
+          // (site, unit, attempt) at the stage boundary of the first chip
+          // that reaches it — so a simulate fault fires after fabrication
+          // (and any cache insert) already happened, exercising retry over
+          // partially completed work. A failed attempt may leave some chips
+          // of the slice already tallied — harmless, because a successful
+          // retry rewrites every chip (deterministically identical values)
+          // and quarantine clears the whole slice below.
           for (std::size_t chip = unit.chip_lo; chip < unit.chip_hi; ++chip) {
             task.chip = chip;
+            if (injector) injector->check(FaultSite::kFabricate, unit_index, attempt);
             if (cache && cell_cached[unit.cell]) {
               const ArtifactKey key{artifacts[unit.scheme].fingerprint,
                                     cell_spread_fp[unit.cell], cell.seed,
                                     task.stream()};
               if (!cache->lookup(key, worker.sample)) {
                 fabricate_chip(task, worker.sample);
-                cache->insert(key, worker.sample);
+                // Graceful degradation: a failed insert (injected here, or a
+                // real allocation failure inside the cache) keeps the chip
+                // out of the cache but never out of the unit — the sample in
+                // hand is used as-is and peers re-fabricate on their misses.
+                if (injector &&
+                    injector->fire(FaultSite::kCacheInsert, unit_index, attempt)) {
+                  injected_insert_failures.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                  cache->insert(key, worker.sample);
+                }
               }
             } else {
               fabricate_chip(task, worker.sample);
             }
+            if (injector) injector->check(FaultSite::kSimulate, unit_index, attempt);
             const ChipCounts counts = simulate_chip(dlink, task, worker.sample);
             tally.errors[chip] = counts.errors;
             tally.flagged[chip] = counts.flagged;
@@ -260,12 +296,47 @@ CampaignResult run_cells(const CampaignSpec& spec, const std::vector<CampaignCel
             record.channel_bit_errors.assign(
                 tally.channel_bit_errors.begin() + unit.chip_lo,
                 tally.channel_bit_errors.begin() + unit.chip_lo + count);
-            writer->record(record);
+            // An injected checkpoint-write failure surfaces through the
+            // writer's real policy path (warn-and-count or thrown IoError);
+            // under kFail the throw makes this attempt fail, so the unit is
+            // re-simulated and re-recorded — the loader tolerates the
+            // resulting duplicate record (first wins).
+            const bool inject_ckpt =
+                injector && injector->fire(FaultSite::kCheckpointWrite, unit_index,
+                                           attempt);
+            writer->record(record, inject_ckpt);
           }
         },
         sched);
+
+    // Fail-fast preserves the pre-resilience contract: the first failure
+    // aborts the campaign and the exception propagates to the caller.
+    if (outcome.first_error) std::rethrow_exception(outcome.first_error);
+
+    result.units_executed = outcome.executed;
+    for (const UnitFailure& failure : outcome.failures) {
+      const std::size_t unit_index = pending[failure.unit];
+      const WorkUnit& unit = units[unit_index];
+      // Quarantine: wipe the unit's tally slice so chips a failed attempt
+      // already simulated never leak into the statistics — the published
+      // numbers cover exactly the units that completed, and the checkpoint
+      // (which never saw this unit) agrees.
+      Tally& tally = tallies[unit.cell][unit.scheme];
+      for (std::size_t chip = unit.chip_lo; chip < unit.chip_hi; ++chip) {
+        tally.errors[chip] = 0;
+        tally.flagged[chip] = 0;
+        tally.frames[chip] = 0;
+        tally.channel_bit_errors[chip] = 0;
+        tally.done[chip] = 0;
+      }
+      result.failures.push_back(
+          UnitFailureInfo{unit_index, unit, failure.attempts, failure.error});
+    }
     if (cache) result.artifact_cache = cache->stats();
+    result.artifact_cache.insert_failures +=
+        injected_insert_failures.load(std::memory_order_relaxed);
   }
+  if (writer) result.checkpoint_io_errors = writer->io_errors();
 
   // ---- finalize -------------------------------------------------------------
   for (std::size_t c = 0; c < cells.size(); ++c) {

@@ -3,11 +3,14 @@
 // Pipeline (see ROADMAP.md "Campaign engine" for the architecture note):
 //
 //   CampaignSpec --expand_cells--> cells --make_work_units--> work units
-//     --run_work_stealing--> per-chip tallies (engine/kernel.hpp)
+//     --run_units--> per-chip tallies (engine/kernel.hpp; bounded per-unit
+//                    retry, quarantine on exhaustion — engine/scheduler.hpp)
 //     --finalize--> per-(cell, scheme) CDF / P(N=0) / BER via util::stats
 //     --reporters--> JSON / CSV (engine/report.hpp)
 //
-// with optional checkpoint/resume (engine/checkpoint.hpp) in the middle.
+// with optional checkpoint/resume (engine/checkpoint.hpp) in the middle and
+// deterministic fault injection (engine/fault_injection.hpp) at every stage
+// boundary.
 // link::run_monte_carlo is a thin wrapper over run_cells with a single
 // hand-built cell, so every scenario the engine runs shares the Fig. 5
 // hot path and its determinism guarantees.
@@ -21,6 +24,7 @@
 #include "core/scheme_catalog.hpp"
 #include "engine/artifact_cache.hpp"
 #include "engine/campaign_spec.hpp"
+#include "engine/fault_injection.hpp"
 #include "link/monte_carlo.hpp"
 #include "util/cdf.hpp"
 
@@ -40,6 +44,25 @@ struct RunnerOptions {
   /// fabrication is bit-identical by the cache's key rules — only speed, so
   /// reports are byte-identical at any setting.
   std::size_t artifact_cache_bytes = 256ull << 20;
+  /// Maximum attempts per work unit before it is quarantined (>= 1, so the
+  /// default allows two retries). Retrying is sound because the kernel is a
+  /// pure function of the unit: a successful retry produces the exact bytes
+  /// the first attempt would have.
+  std::size_t unit_attempts = 3;
+  /// Abort the campaign on the first unit failure (the pre-resilience
+  /// semantics: no retries, the exception propagates out of run_cells)
+  /// instead of retrying and quarantining.
+  bool fail_fast = false;
+  /// What the checkpoint writer does when an append fails (engine/
+  /// checkpoint.hpp): kWarn keeps the run alive without durability for the
+  /// affected units; kFail throws engine::IoError, which flows into the
+  /// retry/quarantine machinery like any other unit failure.
+  IoErrorPolicy io_error_policy = IoErrorPolicy::kWarn;
+  /// Optional deterministic fault-injection harness (engine/
+  /// fault_injection.hpp); null = no injection. Borrowed, must outlive the
+  /// run. Unit indices in the injector's coordinates address the campaign's
+  /// deterministic work-unit list (make_work_units order).
+  const FaultInjector* fault_injector = nullptr;
 };
 
 /// Finalized per-(cell, scheme) statistics. The per-chip vectors are always
@@ -67,11 +90,29 @@ struct CellResult {
   std::vector<SchemeCellResult> schemes;
 };
 
+/// One quarantined work unit: every attempt threw. Its chips are excluded
+/// from the statistics (the tally slice is cleared) and it is absent from
+/// the checkpoint, so a resume re-runs it exactly like an interrupted unit.
+struct UnitFailureInfo {
+  std::size_t unit_index = 0;  ///< position in the deterministic unit list
+  WorkUnit unit;
+  std::size_t attempts = 0;
+  std::string error;  ///< what() of the last attempt's exception
+};
+
 struct CampaignResult {
   std::vector<CellResult> cells;
   std::size_t units_total = 0;
-  std::size_t units_executed = 0;  ///< executed this run
+  std::size_t units_executed = 0;  ///< executed successfully this run
   std::size_t units_resumed = 0;   ///< pre-filled from the checkpoint
+  /// Units that exhausted their retry budget this run, sorted by unit index
+  /// (deterministic at any thread count). Non-empty failures leave the
+  /// campaign incomplete; re-running with the same checkpoint retries
+  /// exactly these units.
+  std::vector<UnitFailureInfo> failures;
+  /// Checkpoint appends that failed under IoErrorPolicy::kWarn (0 when
+  /// checkpointing was off or healthy). Those units re-run on resume.
+  std::uint64_t checkpoint_io_errors = 0;
   /// Fabrication-artifact cache counters for this run (all zero when the
   /// cache was disabled or no cell pair could share chips). Diagnostics
   /// only: hit/miss totals are scheduling-order dependent under concurrent

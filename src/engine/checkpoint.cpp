@@ -1,5 +1,8 @@
 #include "engine/checkpoint.hpp"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <sstream>
 
 #include "util/expect.hpp"
@@ -19,6 +22,12 @@ void read_counts(std::istringstream& in, char expected_tag, std::size_t count,
   for (std::size_t i = 0; i < count; ++i) {
     expects(static_cast<bool>(in >> out[i]), "checkpoint: truncated counts");
   }
+}
+
+/// Best-effort errno rendering: stream operations usually leave a meaningful
+/// errno on Linux, but the standard does not promise one.
+std::string errno_detail() {
+  return errno != 0 ? std::string(": ") + std::strerror(errno) : std::string();
 }
 
 }  // namespace
@@ -75,12 +84,19 @@ bool load_checkpoint(const std::string& path, CheckpointData& data) {
     }
     data.units.push_back(std::move(result));
   }
+  // eof ends the loop normally; badbit means the device failed mid-read.
+  // Surface it — resuming from a silently shortened file would quietly
+  // re-run completed work at best and mask a dying disk at worst.
+  if (in.bad())
+    throw IoError("checkpoint: read error on " + path + errno_detail());
   return true;
 }
 
 CheckpointWriter::CheckpointWriter(const std::string& path, std::uint64_t fingerprint,
-                                   bool existing_header)
-    : out_(path, existing_header ? std::ios::app : std::ios::trunc) {
+                                   bool existing_header, IoErrorPolicy policy)
+    : path_(path),
+      out_(path, existing_header ? std::ios::app : std::ios::trunc),
+      policy_(policy) {
   expects(static_cast<bool>(out_), "checkpoint: cannot open file for writing");
   if (!existing_header) {
     out_ << kMagic << ' ' << kVersion << ' ' << std::hex << fingerprint << std::dec
@@ -91,10 +107,16 @@ CheckpointWriter::CheckpointWriter(const std::string& path, std::uint64_t finger
     // concatenated onto the partial one (the loader skips empty lines).
     out_ << '\n';
   }
+  errno = 0;
   out_.flush();
+  // A header that never made it to disk makes every later append worthless
+  // (the loader sees a truncated header and a fresh run truncates the file),
+  // so this failure is fatal under every policy.
+  if (!out_.good())
+    throw IoError("checkpoint: cannot write header to " + path_ + errno_detail());
 }
 
-void CheckpointWriter::record(const UnitResult& result) {
+void CheckpointWriter::record(const UnitResult& result, bool inject_failure) {
   std::ostringstream line;
   line << "unit " << result.unit.cell << ' ' << result.unit.scheme << ' '
        << result.unit.chip_lo << ' ' << result.unit.chip_hi;
@@ -109,8 +131,33 @@ void CheckpointWriter::record(const UnitResult& result) {
   line << " end\n";
 
   std::lock_guard<std::mutex> lock(mutex_);
+  errno = 0;
   out_ << line.str();
   out_.flush();
+  const bool failed = inject_failure || !out_.good();
+  if (!failed) return;
+
+  // The stream state is sticky; clear it so later records still *attempt*
+  // the append (a transient ENOSPC may resolve) instead of failing free.
+  // A truly dead stream just keeps counting io_errors.
+  const std::string detail = errno_detail();
+  out_.clear();
+  ++io_errors_;
+  if (policy_ == IoErrorPolicy::kFail)
+    throw IoError("checkpoint: write failed on " + path_ + detail);
+  if (!warned_) {
+    warned_ = true;
+    std::fprintf(stderr,
+                 "engine::checkpoint: WARNING: write failed on %s%s — continuing "
+                 "without durability for the affected units (they will re-run on "
+                 "resume)\n",
+                 path_.c_str(), detail.c_str());
+  }
+}
+
+std::uint64_t CheckpointWriter::io_errors() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return io_errors_;
 }
 
 }  // namespace sfqecc::engine

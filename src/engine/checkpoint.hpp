@@ -12,9 +12,19 @@
 // where each of e/f/n/c is followed by (chip_hi - chip_lo) per-chip counts:
 // errors, flagged frames, frames sent, channel bit errors; the trailing
 // "end" sentinel lets the loader reject records a kill truncated mid-digit.
-// Malformed/truncated lines are dropped (those units re-run). The fingerprint
+// Malformed/truncated lines are dropped (those units re-run); duplicate
+// records for one unit are tolerated (first wins — a retried append under
+// fault injection can legitimately persist twice). The fingerprint
 // (engine/campaign_spec.hpp) ties the file to one exact campaign; loading a
 // mismatched file is a contract violation, not a silent merge.
+//
+// I/O failure semantics: the writer checks the stream after every flush, so
+// a full disk or revoked permission is never silently ignored. Under
+// IoErrorPolicy::kWarn (the campaign default) a failed append warns on
+// stderr once, is counted in io_errors(), and the run continues — losing
+// durability, not results. Under kFail the writer throws engine::IoError so
+// the failure flows into the unit retry/quarantine machinery and the driver
+// can exit with a distinct code.
 #pragma once
 
 #include <cstddef>
@@ -25,6 +35,7 @@
 #include <vector>
 
 #include "engine/campaign_spec.hpp"
+#include "engine/fault_injection.hpp"
 
 namespace sfqecc::engine {
 
@@ -46,7 +57,9 @@ struct CheckpointData {
 /// Loads `path`. Returns false when the file does not exist, is empty, or
 /// holds only a kill-truncated header prefix — all fresh runs; throws
 /// sfqecc::ContractViolation when a *complete* header line is not a
-/// checkpoint header (probably the wrong file — never truncate user data).
+/// checkpoint header (probably the wrong file — never truncate user data),
+/// and engine::IoError when the underlying stream reports a read error
+/// (badbit), so a flaky disk surfaces instead of silently resuming less.
 bool load_checkpoint(const std::string& path, CheckpointData& data);
 
 /// Checkpoint writer, safe for concurrent workers. On a fresh run it
@@ -55,17 +68,34 @@ bool load_checkpoint(const std::string& path, CheckpointData& data);
 class CheckpointWriter {
  public:
   /// `existing_header` says whether `path` already carries a valid header
-  /// (i.e. load_checkpoint succeeded on it).
+  /// (i.e. load_checkpoint succeeded on it). Throws ContractViolation when
+  /// the file cannot be opened, and — regardless of `policy` — IoError when
+  /// the header itself fails to flush: without a header nothing later in the
+  /// file is resumable, so "warn and continue" has nothing to preserve.
   CheckpointWriter(const std::string& path, std::uint64_t fingerprint,
-                   bool existing_header);
+                   bool existing_header, IoErrorPolicy policy = IoErrorPolicy::kWarn);
 
   /// Serializes one completed unit and flushes, so a kill at any point loses
-  /// at most the in-flight units.
-  void record(const UnitResult& result);
+  /// at most the in-flight units. A failed flush follows the policy above;
+  /// `inject_failure` lets the fault-injection harness exercise that path
+  /// deterministically (the bytes are actually written — only the failure
+  /// handling is simulated).
+  void record(const UnitResult& result, bool inject_failure = false);
+
+  /// Appends that failed so far (kWarn policy keeps counting; kFail throws
+  /// on the first). A nonzero count means the file is missing units and a
+  /// resume will re-run them — durability degraded, correctness intact.
+  std::uint64_t io_errors() const;
+
+  const std::string& path() const noexcept { return path_; }
 
  private:
+  std::string path_;
   std::ofstream out_;
-  std::mutex mutex_;
+  IoErrorPolicy policy_;
+  std::uint64_t io_errors_ = 0;
+  bool warned_ = false;
+  mutable std::mutex mutex_;
 };
 
 }  // namespace sfqecc::engine

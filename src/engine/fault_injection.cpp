@@ -1,0 +1,90 @@
+#include "engine/fault_injection.hpp"
+
+#include <cstdlib>
+
+namespace sfqecc::engine {
+namespace {
+
+constexpr const char* kSiteNames[kFaultSiteCount] = {
+    "fabricate", "simulate", "cache-insert", "checkpoint-write", "report-write"};
+
+/// Parses a unit/attempt field: digits or the '*' wildcard. Returns false on
+/// anything else (including an empty field or trailing junk).
+bool parse_index(const std::string& field, std::size_t& out) {
+  if (field == "*") {
+    out = InjectionSpec::kAny;
+    return true;
+  }
+  if (field.empty() || field[0] < '0' || field[0] > '9') return false;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(field.c_str(), &end, 10);
+  if (*end != '\0') return false;
+  out = static_cast<std::size_t>(parsed);
+  return true;
+}
+
+std::optional<InjectionSpec> fail(InjectionParseError* error, std::string message,
+                                  std::size_t position) {
+  if (error) {
+    error->message = std::move(message);
+    error->position = position;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) noexcept {
+  return kSiteNames[static_cast<std::size_t>(site)];
+}
+
+std::optional<FaultSite> parse_fault_site(const std::string& name) {
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i)
+    if (name == kSiteNames[i]) return static_cast<FaultSite>(i);
+  if (name == "artifact-cache-insert") return FaultSite::kCacheInsert;
+  return std::nullopt;
+}
+
+std::optional<InjectionSpec> parse_injection_spec(const std::string& text,
+                                                  InjectionParseError* error) {
+  const std::size_t site_end = text.find(':');
+  if (site_end == std::string::npos)
+    return fail(error, "expected site:unit[:attempt]", text.size());
+
+  InjectionSpec spec;
+  const std::string site_name = text.substr(0, site_end);
+  const std::optional<FaultSite> site = parse_fault_site(site_name);
+  if (!site)
+    return fail(error,
+                "unknown fault site '" + site_name +
+                    "' (fabricate, simulate, cache-insert, checkpoint-write, "
+                    "report-write)",
+                0);
+  spec.site = *site;
+
+  const std::size_t unit_begin = site_end + 1;
+  const std::size_t unit_end = text.find(':', unit_begin);
+  const std::string unit_field =
+      text.substr(unit_begin, unit_end == std::string::npos
+                                  ? std::string::npos
+                                  : unit_end - unit_begin);
+  if (!parse_index(unit_field, spec.unit))
+    return fail(error, "expected a unit index or '*'", unit_begin);
+
+  if (unit_end != std::string::npos) {
+    const std::size_t attempt_begin = unit_end + 1;
+    if (!parse_index(text.substr(attempt_begin), spec.attempt))
+      return fail(error, "expected an attempt index or '*'", attempt_begin);
+  }
+  return spec;
+}
+
+InjectedFault::InjectedFault(FaultSite site, std::size_t unit, std::size_t attempt)
+    : std::runtime_error("injected fault at " + std::string(fault_site_name(site)) +
+                         " (unit " + std::to_string(unit) + ", attempt " +
+                         std::to_string(attempt) + ")"),
+      site_(site),
+      unit_(unit),
+      attempt_(attempt) {}
+
+}  // namespace sfqecc::engine

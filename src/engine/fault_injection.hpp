@@ -1,0 +1,169 @@
+// Deterministic fault injection for the campaign engine, plus the shared
+// failure-policy vocabulary of the failure-containment layer.
+//
+// The engine's resilience story (per-unit retry, quarantine, degraded cache,
+// checkpoint/report I/O policies) is only trustworthy if every failure mode
+// can be reproduced on demand. This header provides that harness: a registry
+// of named injection sites at the stage boundaries of the campaign pipeline
+//
+//   fabricate          before a work unit's PPV sampling
+//   simulate           before a work unit's frame/ARQ simulation
+//   cache-insert       an artifact-cache insert (simulated alloc failure;
+//                      the unit falls back to uncached re-fabrication)
+//   checkpoint-write   a CheckpointWriter::record append
+//   report-write       a report file write (JSON/CSV/cache-stats)
+//
+// firing deterministically by the coordinate (site, unit index, attempt):
+// matching is a pure function of those three values, so an injected failure
+// schedule replays identically at any thread count, shard order or steal
+// pattern. Unit indices address the campaign's deterministic work-unit list
+// (engine/campaign_spec.hpp make_work_units order) — stable across resumes —
+// except at the report-write site, where "unit" is the ordinal of the file
+// in write order (campaign_runner: 0 = JSON, 1 = CSV, 2 = cache stats).
+//
+// CLI grammar (campaign_runner --inject-fault=SPEC, repeatable):
+//   SPEC    := site ':' unit [':' attempt]
+//   site    := fabricate | simulate | cache-insert | checkpoint-write
+//            | report-write        (artifact-cache-insert aliases cache-insert)
+//   unit    := integer | '*'       (every unit)
+//   attempt := integer | '*'       (every attempt; default 0 = first attempt)
+// e.g. --inject-fault='fabricate:*' fails every unit's first fabrication
+// (retries succeed — the report must stay byte-identical), while
+// --inject-fault='fabricate:5:*' fails unit 5 on every attempt (the unit
+// exhausts its retries and is quarantined).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sfqecc::engine {
+
+/// Named injection sites at the campaign pipeline's stage boundaries.
+enum class FaultSite : std::uint8_t {
+  kFabricate = 0,
+  kSimulate,
+  kCacheInsert,
+  kCheckpointWrite,
+  kReportWrite,
+};
+
+inline constexpr std::size_t kFaultSiteCount = 5;
+
+/// Canonical site name as used by the CLI grammar ("fabricate", ...).
+const char* fault_site_name(FaultSite site) noexcept;
+
+/// Parses a canonical site name (or the "artifact-cache-insert" alias).
+std::optional<FaultSite> parse_fault_site(const std::string& name);
+
+/// One armed injection: fail `site` for `unit` on `attempt`. kAny wildcards.
+struct InjectionSpec {
+  static constexpr std::size_t kAny = static_cast<std::size_t>(-1);
+
+  FaultSite site = FaultSite::kFabricate;
+  std::size_t unit = kAny;
+  std::size_t attempt = 0;  ///< 0 = first attempt (the CLI default)
+
+  bool matches(FaultSite s, std::size_t u, std::size_t a) const noexcept {
+    return s == site && (unit == kAny || u == unit) &&
+           (attempt == kAny || a == attempt);
+  }
+};
+
+/// Parse failure detail for caret diagnostics (position is a byte offset
+/// into the spec text).
+struct InjectionParseError {
+  std::string message;
+  std::size_t position = 0;
+};
+
+/// Parses the CLI grammar above. Returns nullopt and fills `error` (when
+/// non-null) on a malformed spec.
+std::optional<InjectionSpec> parse_injection_spec(const std::string& text,
+                                                  InjectionParseError* error = nullptr);
+
+/// Thrown by FaultInjector::check at a matching coordinate. Deliberately a
+/// std::runtime_error (not ContractViolation): an injected fault models an
+/// environmental failure, and must flow through the same retry/quarantine
+/// path a real one would.
+class InjectedFault : public std::runtime_error {
+ public:
+  InjectedFault(FaultSite site, std::size_t unit, std::size_t attempt);
+
+  FaultSite site() const noexcept { return site_; }
+  std::size_t unit() const noexcept { return unit_; }
+  std::size_t attempt() const noexcept { return attempt_; }
+
+ private:
+  FaultSite site_;
+  std::size_t unit_;
+  std::size_t attempt_;
+};
+
+/// Immutable-after-arming registry of injection specs. Matching (`matches`)
+/// is a pure function of (site, unit, attempt) — the determinism guarantee —
+/// while `fire`/`check` additionally bump an atomic counter so drivers can
+/// report how many injections actually triggered. Arm everything before
+/// handing the injector to a campaign; arming is not thread-safe, matching
+/// and firing are.
+class FaultInjector {
+ public:
+  void arm(const InjectionSpec& spec) { specs_.push_back(spec); }
+
+  bool armed() const noexcept { return !specs_.empty(); }
+
+  /// Pure match: does any armed spec cover this coordinate?
+  bool matches(FaultSite site, std::size_t unit, std::size_t attempt) const noexcept {
+    for (const InjectionSpec& spec : specs_)
+      if (spec.matches(site, unit, attempt)) return true;
+    return false;
+  }
+
+  /// Match + count. Use at sites that degrade gracefully instead of throwing
+  /// (cache-insert, checkpoint-write, report-write).
+  bool fire(FaultSite site, std::size_t unit, std::size_t attempt) const noexcept {
+    if (!matches(site, unit, attempt)) return false;
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Match + count + throw InjectedFault. Use at sites whose real failures
+  /// surface as exceptions (fabricate, simulate).
+  void check(FaultSite site, std::size_t unit, std::size_t attempt) const {
+    if (fire(site, unit, attempt)) throw InjectedFault(site, unit, attempt);
+  }
+
+  /// Number of injections that triggered so far (diagnostics only — the
+  /// count depends on how far each unit's attempt ladder progressed).
+  std::uint64_t fired() const noexcept {
+    return fired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<InjectionSpec> specs_;
+  mutable std::atomic<std::uint64_t> fired_{0};
+};
+
+/// What checkpoint/report writers do when the underlying stream fails
+/// (badbit after flush, failed rename): warn on stderr and keep the run
+/// alive, or throw engine::IoError so the driver can exit with a distinct
+/// code. The campaign default is kWarn — losing durability or a side file
+/// should not destroy hours of Monte-Carlo.
+enum class IoErrorPolicy : std::uint8_t {
+  kWarn,
+  kFail,
+};
+
+/// Thrown on an unrecoverable I/O failure under IoErrorPolicy::kFail.
+/// Distinct from ContractViolation (API misuse) so drivers can map it to a
+/// distinct exit code.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+}  // namespace sfqecc::engine

@@ -1,6 +1,9 @@
 #include "engine/report.hpp"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -120,20 +123,56 @@ std::string cache_stats_json(const ArtifactCacheStats& stats) {
   out << "{\n  \"schema\": 1,\n  \"hits\": " << stats.hits
       << ",\n  \"misses\": " << stats.misses
       << ",\n  \"insertions\": " << stats.insertions
+      << ",\n  \"insert_failures\": " << stats.insert_failures
       << ",\n  \"evictions\": " << stats.evictions
       << ",\n  \"bytes\": " << stats.bytes
       << ",\n  \"entries\": " << stats.entries << "\n}\n";
   return out.str();
 }
 
-bool write_text_file(const std::string& path, const std::string& text) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "engine::report: cannot open %s for writing\n", path.c_str());
-    return false;
+bool write_text_file_atomic(const std::string& path, const std::string& text,
+                            const ReportIo& io) {
+  const std::string tmp = path + ".tmp";
+  const std::size_t attempts = std::max<std::size_t>(1, io.attempts);
+  std::string reason;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    bool failed = false;
+    {
+      errno = 0;
+      std::ofstream out(tmp, std::ios::trunc);
+      if (!out) {
+        reason = "cannot open " + tmp;
+        failed = true;
+      } else {
+        out << text;
+        out.flush();  // surface buffered ENOSPC here, not at the destructor
+        if (io.injector &&
+            io.injector->fire(FaultSite::kReportWrite, io.ordinal, attempt)) {
+          reason = "injected fault at report-write";
+          failed = true;
+        } else if (!out.good()) {
+          reason = "write failed";
+          failed = true;
+        }
+      }
+      if (failed && errno != 0) reason += std::string(": ") + std::strerror(errno);
+    }  // close the tmp file before renaming it
+    if (!failed) {
+      errno = 0;
+      if (std::rename(tmp.c_str(), path.c_str()) == 0) return true;
+      reason = std::string("rename failed: ") + std::strerror(errno);
+    }
+    std::remove(tmp.c_str());  // never leave a torn tmp behind
   }
-  out << text;
-  return out.good();
+  std::fprintf(stderr, "engine::report: failed to write %s (%s)\n", path.c_str(),
+               reason.c_str());
+  if (io.policy == IoErrorPolicy::kFail)
+    throw IoError("report: failed to write " + path + " (" + reason + ")");
+  return false;
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  return write_text_file_atomic(path, text);
 }
 
 }  // namespace sfqecc::engine

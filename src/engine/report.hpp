@@ -13,11 +13,21 @@
 // payload, never on runtime accidents (thread count, shard size, artifact-
 // cache setting). Cache counters live in CampaignResult::artifact_cache for
 // run summaries precisely so they stay out of these files.
+//
+// File writing is ATOMIC: the text goes to `<path>.tmp` in the same
+// directory, is flushed and verified, then renamed over `path` — a kill or
+// a full disk at any instant leaves either the previous report or the new
+// one, never a torn JSON/CSV. Failures are verified after the flush (a
+// buffered ENOSPC is not a success) and reported with the path; the caller
+// chooses between warn-and-continue and a thrown engine::IoError via
+// ReportIo::policy.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "engine/campaign.hpp"
+#include "engine/fault_injection.hpp"
 
 namespace sfqecc::engine {
 
@@ -34,7 +44,32 @@ std::string campaign_csv(const CampaignResult& result);
 /// cache settings.
 std::string cache_stats_json(const ArtifactCacheStats& stats);
 
-/// Writes `text` to `path`. Returns false (and prints to stderr) on failure.
+/// How write_text_file_atomic handles failures.
+struct ReportIo {
+  /// kWarn: print the path + reason to stderr and return false.
+  /// kFail: additionally throw engine::IoError after the attempts run out.
+  IoErrorPolicy policy = IoErrorPolicy::kWarn;
+  /// Bounded retry of the whole write-verify-rename sequence (>= 1). Each
+  /// attempt starts the tmp file over, so a partially written attempt never
+  /// leaks into the next.
+  std::size_t attempts = 1;
+  /// Optional deterministic failure source (site report-write); `ordinal`
+  /// is the coordinate's unit index — the file's position in the driver's
+  /// write order (campaign_runner: 0 = JSON, 1 = CSV, 2 = cache stats).
+  const FaultInjector* injector = nullptr;
+  std::size_t ordinal = 0;
+};
+
+/// Atomically writes `text` to `path` via tmp-file + rename, verifying the
+/// stream after the flush. Returns true on success; on failure removes the
+/// tmp file, leaves any previous `path` contents untouched, prints the path
+/// and reason to stderr, and returns false (kWarn) or throws IoError
+/// (kFail).
+bool write_text_file_atomic(const std::string& path, const std::string& text,
+                            const ReportIo& io = {});
+
+/// Back-compatible wrapper over write_text_file_atomic with default policy
+/// (single attempt, warn on failure).
 bool write_text_file(const std::string& path, const std::string& text);
 
 }  // namespace sfqecc::engine

@@ -1,7 +1,7 @@
 #include "engine/scheduler.hpp"
 
-#include <atomic>
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <exception>
 #include <mutex>
@@ -40,6 +40,16 @@ struct WorkQueue {
   }
 };
 
+std::string describe(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
 }  // namespace
 
 std::size_t resolved_thread_count(const SchedulerOptions& options,
@@ -49,29 +59,34 @@ std::size_t resolved_thread_count(const SchedulerOptions& options,
   return std::min(threads, std::max<std::size_t>(1, unit_count));
 }
 
-std::size_t run_work_stealing(std::size_t unit_count,
-                              const std::function<void(std::size_t, std::size_t)>& fn,
-                              const SchedulerOptions& options) {
-  if (unit_count == 0 || options.max_units == 0) return 0;
+ScheduleOutcome run_units(
+    std::size_t unit_count,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+    const SchedulerOptions& options) {
+  ScheduleOutcome outcome;
+  if (unit_count == 0 || options.max_units == 0) return outcome;
 
   const std::size_t threads = resolved_thread_count(options, unit_count);
+  const std::size_t attempts =
+      options.fail_fast ? 1 : std::max<std::size_t>(1, options.unit_attempts);
 
   std::vector<WorkQueue> queues(threads);
   for (std::size_t unit = 0; unit < unit_count; ++unit)
     queues[unit % threads].units.push_back(unit);
 
   // Budget of units this run may still start; decremented before execution so
-  // an interrupted campaign executes exactly max_units units.
+  // an interrupted campaign starts exactly max_units units. A unit's retry
+  // ladder consumes the one slot its first attempt claimed.
   std::atomic<std::size_t> budget(options.max_units);
   std::atomic<std::size_t> executed(0);
   std::atomic<bool> stop(false);
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  std::mutex outcome_mutex;  // guards failures + first_error
 
   auto worker = [&](std::size_t worker_index) {
     for (;;) {
-      // A thrown unit stops the whole pool at the next unit boundary instead
-      // of letting the surviving workers finish a doomed campaign.
+      // Under fail_fast a thrown unit stops the whole pool at the next unit
+      // boundary instead of letting the surviving workers finish a doomed
+      // campaign.
       if (stop.load(std::memory_order_relaxed)) return;
       std::size_t unit = 0;
       bool found = queues[worker_index].pop_front(unit);
@@ -100,15 +115,39 @@ std::size_t run_work_stealing(std::size_t unit_count,
         if (remaining == 0) return;
       } while (!budget.compare_exchange_weak(remaining, remaining - 1,
                                              std::memory_order_relaxed));
-      try {
-        fn(unit, worker_index);
-      } catch (...) {
+      // The retry ladder runs in place on this worker, immediately, so the
+      // (unit, attempt) coordinate of any failure never depends on what the
+      // other workers are doing — that is what makes injected failure
+      // schedules (engine/fault_injection.hpp) replayable at any thread
+      // count. Determinism of the units themselves makes the re-run sound:
+      // a successful retry produces the exact bytes attempt 0 would have.
+      std::exception_ptr last_error;
+      bool success = false;
+      for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+        try {
+          fn(unit, worker_index, attempt);
+          success = true;
+          break;
+        } catch (...) {
+          last_error = std::current_exception();
+        }
+      }
+      if (success) {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (options.fail_fast) {
         stop.store(true, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        std::lock_guard<std::mutex> lock(outcome_mutex);
+        if (!outcome.first_error) outcome.first_error = last_error;
         return;
       }
-      executed.fetch_add(1, std::memory_order_relaxed);
+      // Quarantine: record the failure and keep draining — one bad unit must
+      // not abandon the queue. The caller decides what "quarantined" means
+      // (the campaign leaves the unit out of its checkpoint so a resume
+      // re-runs it).
+      std::lock_guard<std::mutex> lock(outcome_mutex);
+      outcome.failures.push_back(UnitFailure{unit, attempts, describe(last_error)});
     }
   };
 
@@ -120,8 +159,26 @@ std::size_t run_work_stealing(std::size_t unit_count,
     for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
     for (std::thread& t : pool) t.join();
   }
-  if (first_error) std::rethrow_exception(first_error);
-  return executed.load();
+  // Completion order is a scheduling accident; sort so the quarantine list
+  // is deterministic at any thread count.
+  std::sort(outcome.failures.begin(), outcome.failures.end(),
+            [](const UnitFailure& a, const UnitFailure& b) { return a.unit < b.unit; });
+  outcome.executed = executed.load();
+  return outcome;
+}
+
+std::size_t run_work_stealing(std::size_t unit_count,
+                              const std::function<void(std::size_t, std::size_t)>& fn,
+                              const SchedulerOptions& options) {
+  SchedulerOptions legacy = options;
+  legacy.fail_fast = true;
+  legacy.unit_attempts = 1;
+  const ScheduleOutcome outcome = run_units(
+      unit_count,
+      [&fn](std::size_t unit, std::size_t worker, std::size_t) { fn(unit, worker); },
+      legacy);
+  if (outcome.first_error) std::rethrow_exception(outcome.first_error);
+  return outcome.executed;
 }
 
 }  // namespace sfqecc::engine

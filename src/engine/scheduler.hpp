@@ -1,4 +1,5 @@
-// Work-stealing thread pool for campaign work units.
+// Work-stealing thread pool for campaign work units, with failure
+// containment.
 //
 // Units are dealt round-robin onto per-worker deques; a worker drains its own
 // deque from the front and, when empty, steals from the back of the busiest
@@ -9,35 +10,81 @@
 //
 // Units are deterministic-by-construction (each writes disjoint output and
 // draws from its own RNG substreams), so the scheduler is free to execute
-// them in any order on any number of threads without changing results.
+// them in any order on any number of threads without changing results. The
+// same property makes per-unit retry sound: re-running a failed unit
+// reproduces the exact bytes its first attempt would have produced.
+//
+// Failure containment (run_units): a unit that throws is retried in place up
+// to `unit_attempts` times; a unit that exhausts its attempts is QUARANTINED
+// — recorded in ScheduleOutcome::failures (sorted by unit index, so the list
+// is deterministic at any thread count) while the rest of the queue drains
+// normally. `fail_fast` restores the legacy semantics: the pool stops at the
+// next unit boundary after the first exception and surfaces it.
 #pragma once
 
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <string>
+#include <vector>
 
 namespace sfqecc::engine {
 
 struct SchedulerOptions {
   std::size_t threads = 0;  ///< 0 = hardware concurrency
-  /// Stop handing out units once this many have been executed this run
+  /// Stop handing out units once this many have been started this run
   /// (SIZE_MAX = no budget). Used for incremental/interrupted campaigns.
   std::size_t max_units = static_cast<std::size_t>(-1);
+  /// Maximum attempts per unit before it is quarantined (>= 1; a retry is
+  /// attempts - 1 re-runs). Ignored under fail_fast, which never retries.
+  std::size_t unit_attempts = 1;
+  /// Stop the pool at the next unit boundary after the first exception and
+  /// surface it via ScheduleOutcome::first_error (the legacy abort
+  /// semantics); remaining queued units are abandoned, not drained.
+  bool fail_fast = true;
 };
 
-/// Number of worker threads run_work_stealing will actually use for
+/// One quarantined unit: it threw on every one of its `attempts` attempts.
+struct UnitFailure {
+  std::size_t unit = 0;
+  std::size_t attempts = 0;
+  std::string error;  ///< what() of the last attempt's exception
+};
+
+/// What a run_units call accomplished.
+struct ScheduleOutcome {
+  std::size_t executed = 0;           ///< units that completed successfully
+  std::vector<UnitFailure> failures;  ///< quarantined units, sorted by index
+  /// Set only when fail_fast stopped the pool; holds the first exception so
+  /// the caller can rethrow it on its own thread.
+  std::exception_ptr first_error;
+};
+
+/// Number of worker threads the scheduler will actually use for
 /// `unit_count` units: options.threads (hardware concurrency when 0),
 /// clamped to the unit count. Callers sizing per-worker scratch state must
 /// use this instead of re-deriving the clamp.
 std::size_t resolved_thread_count(const SchedulerOptions& options,
                                   std::size_t unit_count);
 
-/// Executes `fn(unit_index, worker_index)` for up to `options.max_units` of
-/// the `unit_count` units, each exactly once, on a work-stealing pool.
-/// `worker_index` is stable per thread (0 .. threads-1) so workers can keep
-/// per-thread scratch state. Returns the number of units executed. When `fn`
-/// throws, the pool stops at the next unit boundary (remaining queued units
-/// are abandoned, not drained) and the first exception rethrows from the
-/// calling thread.
+/// Executes `fn(unit_index, worker_index, attempt)` for up to
+/// `options.max_units` of the `unit_count` units on a work-stealing pool,
+/// each unit at most `options.unit_attempts` times (attempt = 0 is the first
+/// try; a successful attempt ends the unit's ladder). `worker_index` is
+/// stable per thread (0 .. threads-1) so workers can keep per-thread scratch
+/// state; retries run on the worker that held the unit, immediately, so the
+/// (site, unit, attempt) coordinate of any failure is schedule-independent.
+/// Attempts never consume extra budget — a unit claims one slot whether it
+/// succeeds first try or quarantines.
+ScheduleOutcome run_units(
+    std::size_t unit_count,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+    const SchedulerOptions& options = {});
+
+/// Legacy entry point: single-attempt fail-fast scheduling. Executes
+/// `fn(unit_index, worker_index)` exactly once per unit; when `fn` throws,
+/// the pool stops at the next unit boundary and the first exception rethrows
+/// from the calling thread. Returns the number of units executed.
 std::size_t run_work_stealing(std::size_t unit_count,
                               const std::function<void(std::size_t, std::size_t)>& fn,
                               const SchedulerOptions& options = {});

@@ -15,7 +15,8 @@
 //   ppv/      spread, margin_model, chip, calibration
 //   link/     channel, datalink, scheme_spec, monte_carlo
 //   engine/   campaign_spec, scheduler, kernel, artifact_cache,
-//             scheme_artifacts, checkpoint, campaign, report
+//             scheme_artifacts, checkpoint, campaign, report,
+//             fault_injection
 //   core/     scheme_catalog, paper_encoders, paper_constants
 //   util/     rng, stats, cdf, table, ascii_plot, expect
 #pragma once
@@ -49,6 +50,7 @@
 #include "engine/campaign.hpp"
 #include "engine/campaign_spec.hpp"
 #include "engine/checkpoint.hpp"
+#include "engine/fault_injection.hpp"
 #include "engine/kernel.hpp"
 #include "engine/report.hpp"
 #include "engine/scheduler.hpp"

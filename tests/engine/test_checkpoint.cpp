@@ -1,0 +1,149 @@
+// Checkpoint I/O robustness tests: torn/corrupt files a kill or a flaky disk
+// can leave behind, and the writer's failure policies. The happy-path
+// round-trip and resume tests live in test_campaign.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "engine/checkpoint.hpp"
+#include "util/expect.hpp"
+
+namespace sfqecc::engine {
+namespace {
+
+/// Scoped temp file path; removed on destruction.
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path(std::string(::testing::TempDir()) + name) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+UnitResult sample_unit(std::size_t chip_lo, std::size_t chip_hi) {
+  UnitResult unit;
+  unit.unit = WorkUnit{0, 0, chip_lo, chip_hi};
+  const std::size_t count = chip_hi - chip_lo;
+  unit.errors.assign(count, 1);
+  unit.flagged.assign(count, 0);
+  unit.frames.assign(count, 8);
+  unit.channel_bit_errors.assign(count, 2);
+  return unit;
+}
+
+TEST(CheckpointRobustness, GarbageTailAfterValidUnitsIsDropped) {
+  // A dying disk or an fs repair can leave arbitrary bytes after intact
+  // records; every valid prefix record must survive, every garbage line must
+  // be skipped (its unit re-runs), and loading must not abort.
+  TempFile file("ckpt_garbage.txt");
+  {
+    CheckpointWriter writer(file.path, 5, false);
+    writer.record(sample_unit(0, 2));
+    writer.record(sample_unit(2, 4));
+  }
+  {
+    std::ofstream append(file.path, std::ios::app);
+    append << "lorem ipsum dolor\n"
+           << "unit not numbers at all\n"
+           << "unit 0 0 9 3 e 1 f 1 n 1 c 1 end\n"  // chip_hi <= chip_lo
+           << "\x01\x02\x03 binary debris\n";
+  }
+  CheckpointData data;
+  ASSERT_TRUE(load_checkpoint(file.path, data));
+  EXPECT_EQ(data.fingerprint, 5u);
+  ASSERT_EQ(data.units.size(), 2u);
+  EXPECT_EQ(data.units[0].unit.chip_lo, 0u);
+  EXPECT_EQ(data.units[1].unit.chip_lo, 2u);
+}
+
+TEST(CheckpointRobustness, MidRecordTruncationDropsOnlyThatRecord) {
+  // Torn mid-line: a record cut inside each of its sections in turn. Earlier
+  // intact records always survive; the torn one is always dropped.
+  const std::string full =
+      "unit 0 0 0 2 e 1 1 f 0 0 n 8 8 c 2 2 end";
+  for (std::size_t cut : {std::size_t{6}, std::size_t{13}, std::size_t{20},
+                          std::size_t{27}, std::size_t{34}, full.size() - 4}) {
+    TempFile file("ckpt_torn.txt");
+    {
+      CheckpointWriter writer(file.path, 9, false);
+      writer.record(sample_unit(0, 2));
+    }
+    {
+      std::ofstream append(file.path, std::ios::app);
+      append << full.substr(0, cut) << '\n';
+    }
+    CheckpointData data;
+    ASSERT_TRUE(load_checkpoint(file.path, data)) << "cut=" << cut;
+    EXPECT_EQ(data.units.size(), 1u) << "cut=" << cut;
+  }
+}
+
+TEST(CheckpointRobustness, WrongVersionHeaderIsFatal) {
+  // A complete header with an unknown version means a format we cannot
+  // interpret — truncating it as debris could destroy a newer tool's data.
+  TempFile file("ckpt_version.txt");
+  {
+    std::ofstream out(file.path);
+    out << "sfqecc-campaign-checkpoint 2 ab\n";
+  }
+  CheckpointData data;
+  EXPECT_THROW(load_checkpoint(file.path, data), ContractViolation);
+}
+
+TEST(CheckpointRobustness, DuplicateRecordsAreTolerated) {
+  // A retried append under an injected checkpoint-write fault legitimately
+  // persists the same unit twice; the loader must keep both parseable (the
+  // campaign dedups, first wins) rather than reject the file.
+  TempFile file("ckpt_duplicate.txt");
+  {
+    CheckpointWriter writer(file.path, 3, false);
+    writer.record(sample_unit(0, 2));
+    writer.record(sample_unit(0, 2));
+  }
+  CheckpointData data;
+  ASSERT_TRUE(load_checkpoint(file.path, data));
+  EXPECT_EQ(data.units.size(), 2u);
+}
+
+TEST(CheckpointRobustness, WarnPolicyCountsFailuresWithoutThrowing) {
+  TempFile file("ckpt_warn.txt");
+  CheckpointWriter writer(file.path, 7, false, IoErrorPolicy::kWarn);
+  EXPECT_EQ(writer.io_errors(), 0u);
+  writer.record(sample_unit(0, 2), /*inject_failure=*/true);
+  writer.record(sample_unit(2, 4), /*inject_failure=*/true);
+  EXPECT_EQ(writer.io_errors(), 2u);
+  // A later healthy append still works — the stream state was cleared.
+  writer.record(sample_unit(4, 6));
+  EXPECT_EQ(writer.io_errors(), 2u);
+
+  // The injected failures only simulate the failure handling: the bytes hit
+  // the file, so all three records load (resume loses nothing here; a real
+  // ENOSPC would have dropped the line and the unit would re-run).
+  CheckpointData data;
+  ASSERT_TRUE(load_checkpoint(file.path, data));
+  EXPECT_EQ(data.units.size(), 3u);
+}
+
+TEST(CheckpointRobustness, FailPolicyThrowsIoErrorOnFailedAppend) {
+  TempFile file("ckpt_fail.txt");
+  CheckpointWriter writer(file.path, 7, false, IoErrorPolicy::kFail);
+  EXPECT_THROW(writer.record(sample_unit(0, 2), /*inject_failure=*/true), IoError);
+  EXPECT_EQ(writer.io_errors(), 1u);
+  // The writer stays usable for the retried append.
+  writer.record(sample_unit(0, 2));
+  EXPECT_EQ(writer.io_errors(), 1u);
+}
+
+TEST(CheckpointRobustness, UnwritablePathSurfacesInsteadOfExitingZero) {
+  // The pre-resilience writer silently ignored a header that never hit the
+  // disk; now it must throw so a misconfigured path fails loudly.
+  EXPECT_THROW(
+      CheckpointWriter("/nonexistent-dir/ckpt.txt", 1, false),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace sfqecc::engine

@@ -1,0 +1,353 @@
+// Fault-injection harness tests: the CLI spec grammar, injector semantics,
+// and the campaign-level resilience guarantees — retried runs stay
+// byte-identical, quarantined units are excluded honestly and resumable,
+// cache/checkpoint/report failures degrade instead of corrupting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/paper_encoders.hpp"
+#include "engine/campaign.hpp"
+#include "engine/fault_injection.hpp"
+#include "engine/report.hpp"
+
+namespace sfqecc::engine {
+namespace {
+
+// ------------------------------------------------------------ spec grammar --
+
+TEST(InjectionSpecTest, SiteNamesRoundTrip) {
+  for (FaultSite site : {FaultSite::kFabricate, FaultSite::kSimulate,
+                         FaultSite::kCacheInsert, FaultSite::kCheckpointWrite,
+                         FaultSite::kReportWrite}) {
+    const auto parsed = parse_fault_site(fault_site_name(site));
+    ASSERT_TRUE(parsed.has_value()) << fault_site_name(site);
+    EXPECT_EQ(*parsed, site);
+  }
+  // The long-form alias resolves to the same site as the canonical name.
+  const auto alias = parse_fault_site("artifact-cache-insert");
+  ASSERT_TRUE(alias.has_value());
+  EXPECT_EQ(*alias, FaultSite::kCacheInsert);
+  EXPECT_FALSE(parse_fault_site("teleport").has_value());
+}
+
+TEST(InjectionSpecTest, ParsesWildcardsAndDefaults) {
+  auto spec = parse_injection_spec("fabricate:*");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->site, FaultSite::kFabricate);
+  EXPECT_EQ(spec->unit, InjectionSpec::kAny);
+  EXPECT_EQ(spec->attempt, 0u);  // attempt defaults to the first try
+
+  spec = parse_injection_spec("simulate:3:7");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->site, FaultSite::kSimulate);
+  EXPECT_EQ(spec->unit, 3u);
+  EXPECT_EQ(spec->attempt, 7u);
+
+  spec = parse_injection_spec("cache-insert:*:*");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->unit, InjectionSpec::kAny);
+  EXPECT_EQ(spec->attempt, InjectionSpec::kAny);
+}
+
+TEST(InjectionSpecTest, RejectsMalformedSpecsWithPositions) {
+  struct Case {
+    const char* text;
+    std::size_t position;
+  };
+  for (const Case& c : {Case{"", 0}, Case{"teleport:0", 0}, Case{"fabricate", 9},
+                        Case{"fabricate:", 10}, Case{"fabricate:x", 10},
+                        Case{"fabricate:1:", 12}, Case{"fabricate:1:y", 12},
+                        Case{"fabricate:1:2:3", 12}}) {
+    InjectionParseError error;
+    EXPECT_FALSE(parse_injection_spec(c.text, &error).has_value()) << c.text;
+    EXPECT_EQ(error.position, c.position) << c.text << ": " << error.message;
+    EXPECT_FALSE(error.message.empty()) << c.text;
+  }
+}
+
+TEST(InjectionSpecTest, MatchingRespectsWildcards) {
+  InjectionSpec spec;
+  spec.site = FaultSite::kSimulate;
+  spec.unit = 5;
+  spec.attempt = InjectionSpec::kAny;
+  EXPECT_TRUE(spec.matches(FaultSite::kSimulate, 5, 0));
+  EXPECT_TRUE(spec.matches(FaultSite::kSimulate, 5, 17));
+  EXPECT_FALSE(spec.matches(FaultSite::kSimulate, 4, 0));
+  EXPECT_FALSE(spec.matches(FaultSite::kFabricate, 5, 0));
+}
+
+// --------------------------------------------------------------- injector --
+
+TEST(FaultInjectorTest, MatchingIsPureFiringCounts) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.armed());
+  injector.arm(*parse_injection_spec("fabricate:2:1"));
+  EXPECT_TRUE(injector.armed());
+
+  // matches() never bumps the counter — it is the pure replay predicate.
+  EXPECT_TRUE(injector.matches(FaultSite::kFabricate, 2, 1));
+  EXPECT_FALSE(injector.matches(FaultSite::kFabricate, 2, 0));
+  EXPECT_EQ(injector.fired(), 0u);
+
+  EXPECT_FALSE(injector.fire(FaultSite::kFabricate, 1, 1));
+  EXPECT_TRUE(injector.fire(FaultSite::kFabricate, 2, 1));
+  EXPECT_EQ(injector.fired(), 1u);
+
+  try {
+    injector.check(FaultSite::kFabricate, 2, 1);
+    FAIL() << "check() must throw at a matching coordinate";
+  } catch (const InjectedFault& fault) {
+    EXPECT_EQ(fault.site(), FaultSite::kFabricate);
+    EXPECT_EQ(fault.unit(), 2u);
+    EXPECT_EQ(fault.attempt(), 1u);
+    EXPECT_NE(std::string(fault.what()).find("fabricate"), std::string::npos);
+  }
+  EXPECT_EQ(injector.fired(), 2u);
+}
+
+// ------------------------------------------------------ campaign behavior --
+
+class FaultCampaignTest : public ::testing::Test {
+ protected:
+  FaultCampaignTest() {
+    for (const core::PaperScheme& s : paper_schemes_)
+      schemes_.push_back(
+          link::SchemeSpec{s.name, s.encoder.get(), s.code.get(), s.decoder.get()});
+  }
+
+  CampaignSpec small_spec() const {
+    CampaignSpec spec;
+    spec.chips = 14;
+    spec.messages_per_chip = 8;
+    spec.seed = 4242;
+    spec.spreads = {{0.20, ppv::SpreadDistribution::kUniform},
+                    {0.30, ppv::SpreadDistribution::kUniform}};
+    return spec;
+  }
+
+  struct TempFile {
+    std::string path;
+    explicit TempFile(const char* name)
+        : path(std::string(::testing::TempDir()) + name) {
+      std::remove(path.c_str());
+    }
+    ~TempFile() { std::remove(path.c_str()); }
+  };
+
+  const circuit::CellLibrary& lib_ = circuit::coldflux_library();
+  std::vector<core::PaperScheme> paper_schemes_ = core::make_all_schemes(lib_);
+  std::vector<link::SchemeSpec> schemes_;
+};
+
+TEST_F(FaultCampaignTest, RetriedRunIsByteIdenticalAtAnyThreadCount) {
+  const CampaignSpec spec = small_spec();
+  const std::string clean_json =
+      campaign_json(spec, run_campaign(spec, schemes_, lib_));
+
+  // Every unit fails fabrication on attempt 0 and simulation on attempt 1;
+  // attempt 2 succeeds. The retry ladder runs in place on the owning worker,
+  // so the schedule replays identically at any thread count and the report
+  // must not change by a byte.
+  FaultInjector injector;
+  injector.arm(*parse_injection_spec("fabricate:*:0"));
+  injector.arm(*parse_injection_spec("simulate:*:1"));
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    RunnerOptions options;
+    options.threads = threads;
+    options.unit_attempts = 3;
+    options.fault_injector = &injector;
+    const CampaignResult result = run_campaign(spec, schemes_, lib_, options);
+    EXPECT_TRUE(result.complete()) << "threads=" << threads;
+    EXPECT_TRUE(result.failures.empty());
+    EXPECT_EQ(campaign_json(spec, result), clean_json) << "threads=" << threads;
+  }
+  EXPECT_GT(injector.fired(), 0u);
+}
+
+TEST_F(FaultCampaignTest, ExhaustedRetriesQuarantineTheUnitHonestly) {
+  const CampaignSpec spec = small_spec();
+  // Default shard (32 > 14 chips) gives one unit per (cell, scheme):
+  // 2 cells x 4 schemes = 8 units; unit 2 is (cell 0, scheme 2).
+  FaultInjector injector;
+  injector.arm(*parse_injection_spec("fabricate:2:*"));
+  RunnerOptions options;
+  options.threads = 4;
+  options.unit_attempts = 3;
+  options.fault_injector = &injector;
+  const CampaignResult result = run_campaign(spec, schemes_, lib_, options);
+
+  EXPECT_FALSE(result.complete());
+  EXPECT_EQ(result.units_executed, result.units_total - 1);
+  ASSERT_EQ(result.failures.size(), 1u);
+  const UnitFailureInfo& failure = result.failures[0];
+  EXPECT_EQ(failure.unit_index, 2u);
+  EXPECT_EQ(failure.unit.cell, 0u);
+  EXPECT_EQ(failure.unit.scheme, 2u);
+  EXPECT_EQ(failure.attempts, 3u);
+  EXPECT_NE(failure.error.find("fabricate"), std::string::npos);
+
+  // The quarantined unit's chips are excluded from the statistics — no
+  // half-simulated attempt leaks into the published numbers.
+  const SchemeCellResult& poisoned = result.cells[0].schemes[2];
+  EXPECT_EQ(poisoned.chips_completed, 0u);
+  for (std::size_t chip = 0; chip < spec.chips; ++chip) {
+    EXPECT_EQ(poisoned.errors_per_chip[chip], 0u);
+    EXPECT_EQ(poisoned.chip_done[chip], 0);
+  }
+  // Every other (cell, scheme) pair is untouched.
+  EXPECT_EQ(result.cells[0].schemes[1].chips_completed, spec.chips);
+  EXPECT_EQ(result.cells[1].schemes[2].chips_completed, spec.chips);
+}
+
+TEST_F(FaultCampaignTest, ResumeAfterQuarantineCompletesByteIdentical) {
+  const CampaignSpec spec = small_spec();
+  const CampaignResult reference = run_campaign(spec, schemes_, lib_);
+  const std::string reference_json = campaign_json(spec, reference);
+
+  TempFile file("ckpt_quarantine.txt");
+  FaultInjector injector;
+  injector.arm(*parse_injection_spec("fabricate:2:*"));
+  RunnerOptions options;
+  options.checkpoint_path = file.path;
+  options.unit_attempts = 2;
+  options.fault_injector = &injector;
+  const CampaignResult broken = run_campaign(spec, schemes_, lib_, options);
+  ASSERT_EQ(broken.failures.size(), 1u);
+  EXPECT_FALSE(broken.complete());
+
+  // The quarantined unit never reached the checkpoint, so a resume without
+  // the fault re-runs exactly it and lands on the uninterrupted bytes.
+  RunnerOptions resumed;
+  resumed.checkpoint_path = file.path;
+  const CampaignResult fixed = run_campaign(spec, schemes_, lib_, resumed);
+  EXPECT_TRUE(fixed.complete());
+  EXPECT_TRUE(fixed.failures.empty());
+  EXPECT_EQ(fixed.units_executed, 1u);
+  EXPECT_EQ(fixed.units_resumed, fixed.units_total - 1);
+  EXPECT_EQ(campaign_json(spec, fixed), reference_json);
+}
+
+TEST_F(FaultCampaignTest, CacheInsertFailureDegradesWithoutChangingResults) {
+  // Two cells differing only in ARQ share fabricated chip populations, so
+  // the artifact cache is actually exercised.
+  CampaignSpec spec = small_spec();
+  spec.spreads.resize(1);
+  spec.arq_modes = {{false, 1}, {true, 3}};
+  const std::string clean_json =
+      campaign_json(spec, run_campaign(spec, schemes_, lib_));
+
+  FaultInjector injector;
+  injector.arm(*parse_injection_spec("cache-insert:*:*"));
+  RunnerOptions options;
+  options.fault_injector = &injector;
+  const CampaignResult result = run_campaign(spec, schemes_, lib_, options);
+  EXPECT_TRUE(result.complete());
+  EXPECT_TRUE(result.failures.empty());  // capacity loss, never a unit failure
+  EXPECT_GT(result.artifact_cache.insert_failures, 0u);
+  EXPECT_EQ(campaign_json(spec, result), clean_json);
+}
+
+TEST_F(FaultCampaignTest, FailFastPropagatesTheInjectedFault) {
+  FaultInjector injector;
+  injector.arm(*parse_injection_spec("fabricate:0:0"));
+  RunnerOptions options;
+  options.fail_fast = true;
+  options.fault_injector = &injector;
+  EXPECT_THROW(run_campaign(small_spec(), schemes_, lib_, options), InjectedFault);
+}
+
+TEST_F(FaultCampaignTest, CheckpointWriteFaultUnderFailPolicyRetriesThrough) {
+  // Under kFail a failed append throws IoError out of the unit, so the unit
+  // re-runs and re-records. The loader tolerates the resulting duplicate
+  // record (the injected "failure" really did write its bytes), and the
+  // retried bytes are identical anyway.
+  const CampaignSpec spec = small_spec();
+  const std::string clean_json =
+      campaign_json(spec, run_campaign(spec, schemes_, lib_));
+
+  TempFile file("ckpt_inject_fail.txt");
+  FaultInjector injector;
+  injector.arm(*parse_injection_spec("checkpoint-write:*:0"));
+  RunnerOptions options;
+  options.checkpoint_path = file.path;
+  options.unit_attempts = 2;
+  options.io_error_policy = IoErrorPolicy::kFail;
+  options.fault_injector = &injector;
+  const CampaignResult result = run_campaign(spec, schemes_, lib_, options);
+  EXPECT_TRUE(result.complete());
+  EXPECT_TRUE(result.failures.empty());
+  EXPECT_EQ(campaign_json(spec, result), clean_json);
+
+  // The duplicate-bearing checkpoint resumes cleanly: nothing re-executes.
+  RunnerOptions resumed;
+  resumed.checkpoint_path = file.path;
+  const CampaignResult again = run_campaign(spec, schemes_, lib_, resumed);
+  EXPECT_TRUE(again.complete());
+  EXPECT_EQ(again.units_executed, 0u);
+  EXPECT_EQ(campaign_json(spec, again), clean_json);
+}
+
+TEST_F(FaultCampaignTest, CheckpointWriteFaultUnderWarnPolicyOnlyCounts) {
+  const CampaignSpec spec = small_spec();
+  TempFile file("ckpt_inject_warn.txt");
+  FaultInjector injector;
+  injector.arm(*parse_injection_spec("checkpoint-write:*:*"));
+  RunnerOptions options;
+  options.checkpoint_path = file.path;
+  options.fault_injector = &injector;
+  const CampaignResult result = run_campaign(spec, schemes_, lib_, options);
+  EXPECT_TRUE(result.complete());
+  EXPECT_TRUE(result.failures.empty());
+  EXPECT_EQ(result.checkpoint_io_errors, result.units_total);
+}
+
+// ---------------------------------------------------- atomic report writes --
+
+TEST_F(FaultCampaignTest, AtomicWriteRetriesAnInjectedFailure) {
+  TempFile file("report_retry.json");
+  FaultInjector injector;
+  injector.arm(*parse_injection_spec("report-write:0:0"));
+  ReportIo io;
+  io.attempts = 2;
+  io.injector = &injector;
+  io.ordinal = 0;
+  EXPECT_TRUE(write_text_file_atomic(file.path, "payload\n", io));
+  std::ifstream in(file.path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "payload\n");
+  EXPECT_EQ(injector.fired(), 1u);
+  std::ifstream tmp(file.path + ".tmp");
+  EXPECT_FALSE(tmp.good()) << "tmp file must not survive a successful write";
+}
+
+TEST_F(FaultCampaignTest, ExhaustedWriteLeavesThePreviousFileIntact) {
+  TempFile file("report_exhausted.json");
+  {
+    std::ofstream out(file.path);
+    out << "previous report\n";
+  }
+  FaultInjector injector;
+  injector.arm(*parse_injection_spec("report-write:0:*"));
+  ReportIo io;
+  io.attempts = 3;
+  io.injector = &injector;
+  EXPECT_FALSE(write_text_file_atomic(file.path, "new report\n", io));
+  std::ifstream in(file.path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "previous report\n");
+  std::ifstream tmp(file.path + ".tmp");
+  EXPECT_FALSE(tmp.good()) << "a failed write must remove its tmp file";
+
+  io.policy = IoErrorPolicy::kFail;
+  EXPECT_THROW(write_text_file_atomic(file.path, "new report\n", io), IoError);
+}
+
+}  // namespace
+}  // namespace sfqecc::engine

@@ -98,5 +98,78 @@ TEST(Scheduler, WorkerExceptionPropagates) {
                std::runtime_error);
 }
 
+// -------------------------------------------------------- retry/quarantine --
+
+TEST(Scheduler, RetriedUnitSucceedsWithoutQuarantine) {
+  const std::size_t units = 23;
+  std::vector<std::atomic<int>> attempts_seen(units);
+  SchedulerOptions options;
+  options.threads = 4;
+  options.unit_attempts = 3;
+  options.fail_fast = false;
+  const ScheduleOutcome outcome = run_units(
+      units,
+      [&](std::size_t unit, std::size_t, std::size_t attempt) {
+        attempts_seen[unit].fetch_add(1);
+        if (attempt == 0) throw std::runtime_error("transient");
+      },
+      options);
+  EXPECT_EQ(outcome.executed, units);
+  EXPECT_TRUE(outcome.failures.empty());
+  EXPECT_FALSE(outcome.first_error);
+  // Exactly one failed attempt plus one success per unit — the ladder stops
+  // at the first success instead of burning the remaining attempt.
+  for (std::size_t u = 0; u < units; ++u)
+    EXPECT_EQ(attempts_seen[u].load(), 2) << "unit " << u;
+}
+
+TEST(Scheduler, ExhaustedAttemptsQuarantineSortedWhileOthersRun) {
+  const std::size_t units = 31;
+  std::vector<std::atomic<int>> attempts_seen(units);
+  SchedulerOptions options;
+  options.threads = 4;
+  options.unit_attempts = 3;
+  options.fail_fast = false;
+  const ScheduleOutcome outcome = run_units(
+      units,
+      [&](std::size_t unit, std::size_t, std::size_t) {
+        attempts_seen[unit].fetch_add(1);
+        if (unit == 19 || unit == 7) throw std::runtime_error("persistent");
+      },
+      options);
+  EXPECT_EQ(outcome.executed, units - 2);
+  EXPECT_FALSE(outcome.first_error);
+  ASSERT_EQ(outcome.failures.size(), 2u);
+  EXPECT_EQ(outcome.failures[0].unit, 7u);  // sorted at any thread count
+  EXPECT_EQ(outcome.failures[1].unit, 19u);
+  for (const UnitFailure& failure : outcome.failures) {
+    EXPECT_EQ(failure.attempts, 3u);
+    EXPECT_NE(failure.error.find("persistent"), std::string::npos);
+  }
+  for (std::size_t u = 0; u < units; ++u)
+    EXPECT_EQ(attempts_seen[u].load(), (u == 19 || u == 7) ? 3 : 1) << "unit " << u;
+}
+
+TEST(Scheduler, FailFastStopsWithoutRetrying) {
+  std::atomic<int> failing_unit_attempts(0);
+  SchedulerOptions options;
+  options.threads = 1;
+  options.unit_attempts = 5;  // ignored under fail_fast
+  options.fail_fast = true;
+  const ScheduleOutcome outcome = run_units(
+      16,
+      [&](std::size_t unit, std::size_t, std::size_t) {
+        if (unit == 3) {
+          failing_unit_attempts.fetch_add(1);
+          throw std::runtime_error("fatal");
+        }
+      },
+      options);
+  EXPECT_TRUE(outcome.first_error);
+  EXPECT_EQ(failing_unit_attempts.load(), 1);
+  EXPECT_LT(outcome.executed, 16u);  // the tail was abandoned
+  EXPECT_THROW(std::rethrow_exception(outcome.first_error), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace sfqecc::engine

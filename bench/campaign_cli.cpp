@@ -1,0 +1,299 @@
+#include "campaign_cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "circuit/netlist_stats.hpp"
+#include "core/paper_constants.hpp"
+#include "core/paper_encoders.hpp"
+#include "ppv/spread.hpp"
+#include "util/expect.hpp"
+#include "util/table.hpp"
+
+namespace sfqecc::cli {
+namespace {
+
+const char* g_program = "campaign_runner";
+
+/// Resolves --schemes descriptors against the catalog: parse errors get a
+/// caret into the flag argument, resolution errors (unknown family, bad
+/// parameters) the catalog's message.
+std::vector<core::Scheme> resolve_schemes(const std::string& arg,
+                                          const std::vector<std::string>& descriptors,
+                                          const std::vector<std::size_t>& offsets,
+                                          const circuit::CellLibrary& library) {
+  const core::SchemeCatalog& catalog = core::SchemeCatalog::builtin();
+  std::vector<core::Scheme> schemes;
+  for (std::size_t i = 0; i < descriptors.size(); ++i) {
+    core::DescriptorParseError error;
+    const auto desc = core::parse_scheme_descriptor(descriptors[i], &error);
+    if (!desc) {
+      if (arg.empty())  // internal default list — never malformed
+        fail_at(descriptors[i], error.position, error.message);
+      fail_at(arg, offsets[i] + error.position, error.message);
+    }
+    try {
+      schemes.push_back(catalog.resolve(*desc, library));
+    } catch (const ContractViolation& e) {
+      if (arg.empty()) throw;
+      fail_at(arg, offsets[i], e.what());
+    }
+    for (std::size_t j = 0; j + 1 < schemes.size(); ++j)
+      if (schemes[j].name == schemes.back().name)
+        fail_at(arg.empty() ? descriptors[i] : arg, arg.empty() ? 0 : offsets[i],
+                "duplicate scheme '" + schemes.back().name +
+                    "' (reports and checkpoints key on the scheme name)");
+  }
+  return schemes;
+}
+
+}  // namespace
+
+void set_program(const char* name) { g_program = name; }
+
+void fail_at(const std::string& arg, std::size_t offset, const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n  %s\n  %*s^\n", g_program, message.c_str(),
+               arg.c_str(), static_cast<int>(offset), "");
+  std::exit(2);
+}
+
+std::vector<Token> split_tokens(const std::string& arg, std::size_t value_offset,
+                                const std::string& value) {
+  if (value.empty()) fail_at(arg, value_offset, "empty value");
+  std::vector<Token> tokens;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = value.find(',', start);
+    const std::size_t end = comma == std::string::npos ? value.size() : comma;
+    if (end == start) fail_at(arg, value_offset + start, "empty list entry");
+    tokens.push_back(Token{value.substr(start, end - start), value_offset + start});
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return tokens;
+}
+
+std::vector<double> parse_doubles(const std::string& arg, std::size_t value_offset,
+                                  const std::string& value) {
+  std::vector<double> values;
+  for (const Token& token : split_tokens(arg, value_offset, value)) {
+    char* end = nullptr;
+    const double parsed = std::strtod(token.text.c_str(), &end);
+    if (end == token.text.c_str() || *end != '\0')
+      fail_at(arg, token.offset + static_cast<std::size_t>(end - token.text.c_str()),
+              "expected a number");
+    values.push_back(parsed);
+  }
+  return values;
+}
+
+std::size_t parse_size(const std::string& arg, std::size_t value_offset,
+                       const std::string& value) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  // strtoull accepts a sign ("-1" wraps to ULLONG_MAX); require a digit.
+  if (value.empty() || value[0] < '0' || value[0] > '9' || *end != '\0')
+    fail_at(arg,
+            value_offset + (end > value.c_str()
+                                ? static_cast<std::size_t>(end - value.c_str())
+                                : 0),
+            "expected a non-negative integer");
+  return static_cast<std::size_t>(parsed);
+}
+
+bool match_flag(const char* arg, const char* name, std::string& value,
+                std::size_t& value_offset) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  value = arg + len + 1;
+  value_offset = len + 1;
+  return true;
+}
+
+CampaignFlags::CampaignFlags() {
+  spec.chips = 100;
+  // Axis defaults are the Fig. 5 setup: +/-20 % spread, 0.04 mV receiver
+  // noise (~0 BER alone), 0.8 ps thermal jitter at 4.2 K.
+  spreads_pct_ = {core::paper::kFig5Spread * 100.0};
+  noises_ = {0.04};
+  attenuations_ = {1.0};
+  clocks_ = {200.0};
+  jitters_ = {0.8};
+  arq_tokens_ = {{"off", 0}};
+  arq_arg_ = "off";
+}
+
+bool CampaignFlags::consume(const char* argv_i) {
+  std::string value;
+  std::size_t at = 0;
+  const std::string arg = argv_i;
+  if (match_flag(argv_i, "--chips", value, at)) {
+    spec.chips = parse_size(arg, at, value);
+  } else if (match_flag(argv_i, "--messages", value, at)) {
+    spec.messages_per_chip = parse_size(arg, at, value);
+  } else if (match_flag(argv_i, "--seed", value, at)) {
+    spec.seed = parse_size(arg, at, value);
+  } else if (match_flag(argv_i, "--shard", value, at)) {
+    shard_chips = parse_size(arg, at, value);
+  } else if (match_flag(argv_i, "--schemes", value, at)) {
+    schemes_arg_ = arg;
+    scheme_descriptors_.clear();
+    scheme_offsets_.clear();
+    // Commas separate descriptors AND descriptor parameters; descriptors
+    // start with a letter, parameters with a digit, so a digit-leading
+    // fragment continues the previous descriptor ("hamming:7,4").
+    for (const Token& token : split_tokens(arg, at, value)) {
+      if (!scheme_descriptors_.empty() && token.text[0] >= '0' &&
+          token.text[0] <= '9') {
+        scheme_descriptors_.back() += ',' + token.text;
+        continue;
+      }
+      scheme_descriptors_.push_back(token.text);
+      scheme_offsets_.push_back(token.offset);
+    }
+  } else if (std::strcmp(argv_i, "--list-schemes") == 0) {
+    want_list_schemes = true;
+  } else if (match_flag(argv_i, "--spreads", value, at)) {
+    spreads_pct_ = parse_doubles(arg, at, value);
+  } else if (match_flag(argv_i, "--spread-dist", value, at)) {
+    if (value == "uniform") {
+      spread_dist_ = 0;
+    } else if (value == "gaussian") {
+      spread_dist_ = 1;
+    } else {
+      fail_at(arg, at, "expected uniform or gaussian");
+    }
+  } else if (match_flag(argv_i, "--noise", value, at)) {
+    noises_ = parse_doubles(arg, at, value);
+  } else if (match_flag(argv_i, "--attenuation", value, at)) {
+    attenuations_ = parse_doubles(arg, at, value);
+  } else if (match_flag(argv_i, "--clock", value, at)) {
+    clocks_ = parse_doubles(arg, at, value);
+  } else if (match_flag(argv_i, "--jitter", value, at)) {
+    jitters_ = parse_doubles(arg, at, value);
+  } else if (match_flag(argv_i, "--arq", value, at)) {
+    arq_arg_ = arg;
+    arq_tokens_ = split_tokens(arg, at, value);
+  } else if (std::strcmp(argv_i, "--count-flagged") == 0) {
+    spec.count_flagged_as_error = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void CampaignFlags::finalize(const circuit::CellLibrary& library) {
+  const ppv::SpreadDistribution dist = spread_dist_ == 0
+                                           ? ppv::SpreadDistribution::kUniform
+                                           : ppv::SpreadDistribution::kGaussian;
+  spec.spreads.clear();
+  for (double pct : spreads_pct_) spec.spreads.push_back({pct / 100.0, dist});
+  spec.channels.clear();
+  for (double noise : noises_)
+    for (double atten : attenuations_) {
+      link::ChannelModel ch;
+      ch.noise_sigma_mv = noise;
+      ch.attenuation = atten;
+      spec.channels.push_back(ch);
+    }
+  spec.timings.clear();
+  for (double clock : clocks_) {
+    engine::LinkTiming timing;
+    timing.clock_period_ps = clock;
+    timing.input_phase_ps = clock / 2.0;
+    spec.timings.push_back(timing);
+  }
+  spec.faults.clear();
+  for (double jitter : jitters_) spec.faults.push_back({jitter});
+  spec.arq_modes.clear();
+  for (const Token& mode : arq_tokens_) {
+    if (mode.text == "off") {
+      spec.arq_modes.push_back({false, 1});
+    } else {
+      char* end = nullptr;
+      const unsigned long long attempts = std::strtoull(mode.text.c_str(), &end, 10);
+      if (mode.text[0] < '0' || mode.text[0] > '9' || *end != '\0' || attempts == 0)
+        fail_at(arq_arg_, mode.offset, "expected 'off' or a positive attempt count");
+      spec.arq_modes.push_back({true, static_cast<std::size_t>(attempts)});
+    }
+  }
+
+  std::vector<std::string> descriptors = scheme_descriptors_;
+  std::vector<std::size_t> offsets = scheme_offsets_;
+  if (descriptors.empty()) {
+    descriptors = core::paper_descriptors();
+    if (want_list_schemes) {  // showcase: the paper schemes plus one of each family
+      descriptors.push_back("hsiao:8,4");
+      descriptors.push_back("bch:15,7");
+      descriptors.push_back("code3832");
+    }
+    offsets.assign(descriptors.size(), 0);
+  }
+  schemes_ = resolve_schemes(schemes_arg_, descriptors, offsets, library);
+}
+
+int CampaignFlags::list_schemes(const circuit::CellLibrary& library) const {
+  util::TextTable table({"descriptor", "scheme", "(n,k,d)", "rate", "decoder", "XOR",
+                         "DFF", "SPL", "SFQ-DC", "JJs", "depth"});
+  for (const core::Scheme& scheme : schemes_) {
+    std::string nkd = "-", rate = "-", decoder = "-";
+    if (scheme.has_code()) {
+      nkd = "(" + std::to_string(scheme.code->n()) + "," +
+            std::to_string(scheme.code->k()) + "," +
+            std::to_string(scheme.code->dmin()) + ")";
+      rate = util::fixed(scheme.code->rate(), 3);
+    }
+    if (scheme.decoder) decoder = scheme.decoder->name();
+    const circuit::NetlistStats stats = circuit::compute_stats(
+        scheme.encoder->netlist, library, scheme.encoder->clock_input);
+    table.add_row({scheme.descriptor, scheme.name, nkd, rate, decoder,
+                   std::to_string(stats.count(circuit::CellType::kXor)),
+                   std::to_string(stats.count(circuit::CellType::kDff)),
+                   std::to_string(stats.count(circuit::CellType::kSplitter)),
+                   std::to_string(stats.count(circuit::CellType::kSfqToDc)),
+                   std::to_string(stats.jj_count),
+                   std::to_string(scheme.encoder->logic_depth)});
+  }
+  std::cout << table.to_string();
+  std::printf("\nfamilies (descriptor grammar family[:params][/decoder][@synthesis]):\n");
+  for (const core::SchemeCatalog::FamilyInfo& family :
+       core::SchemeCatalog::builtin().families()) {
+    std::string decoders;
+    for (const std::string& tag : family.decoders) {
+      if (!decoders.empty()) decoders += ",";
+      decoders += tag;
+    }
+    std::printf("  %-10s %s — %s%s%s\n", family.family.c_str(),
+                family.params_help.c_str(), family.summary.c_str(),
+                decoders.empty() ? "" : "; decoders: ",
+                decoders.c_str());
+  }
+  std::printf("  synthesis: @paar (default), @paar-unbounded, @tree, @chain\n");
+  return 0;
+}
+
+const char* campaign_flags_help() {
+  return
+      "Campaign definition (identical flags => identical campaign; the fabric\n"
+      "fingerprint check enforces coordinator/worker agreement):\n"
+      "  --chips=N              fabricated chips per cell        (default 100)\n"
+      "  --messages=N           messages per chip                (default 100)\n"
+      "  --seed=N               campaign seed                    (default 20250831)\n"
+      "  --shard=N              chips per work unit              (default 32)\n"
+      "  --schemes=a,b,..       scheme descriptors from the catalog (default: the\n"
+      "                         four paper schemes none,rm:1,3,hamming:7,4,\n"
+      "                         hamming:8,4x)\n"
+      "  --list-schemes         print the resolved schemes and exit\n"
+      "  --spreads=a,b,..       spread fractions in percent      (default 20)\n"
+      "  --spread-dist=D        uniform | gaussian               (default uniform)\n"
+      "  --noise=a,b,..         channel noise sigma in mV        (default 0.04)\n"
+      "  --attenuation=a,b,..   channel attenuation factors      (default 1)\n"
+      "  --clock=a,b,..         clock periods in ps              (default 200)\n"
+      "  --jitter=a,b,..        sim jitter sigma in ps           (default 0.8)\n"
+      "  --arq=a,b,..           ARQ modes: off or max attempts   (default off)\n"
+      "  --count-flagged        count flagged frames as errors\n";
+}
+
+}  // namespace sfqecc::cli

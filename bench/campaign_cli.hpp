@@ -1,0 +1,101 @@
+// Shared CLI layer of the campaign endpoints (campaign_runner and
+// campaign_coordinator).
+//
+// The distributed fabric has no config-shipping channel: coordinator and
+// workers each reconstruct the campaign from their own command lines, and the
+// manifest fingerprint check is what catches a disagreement. Parsing the
+// campaign-defining flags through this one translation unit makes agreement
+// the default — give both endpoints the same flags and they expand the same
+// cells, schemes and work units by construction.
+//
+// Also home to the caret-diagnostic helpers (fail_at and friends) every
+// campaign endpoint uses for malformed flag values.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/cell_library.hpp"
+#include "core/scheme_catalog.hpp"
+#include "engine/campaign_spec.hpp"
+
+namespace sfqecc::cli {
+
+/// Program name used in diagnostics (default "campaign_runner"); drivers set
+/// it first thing in main.
+void set_program(const char* name);
+
+/// Prints "<program>: <message>", the offending argument and a caret under
+/// byte `offset` of the argument, then exits 2.
+[[noreturn]] void fail_at(const std::string& arg, std::size_t offset,
+                          const std::string& message);
+
+/// One comma-separated token of a flag value; `offset` is its byte position
+/// within the whole argument (for caret messages).
+struct Token {
+  std::string text;
+  std::size_t offset;
+};
+
+/// Splits `--flag=a,b,c` into tokens, rejecting an empty value and empty
+/// tokens ("a,,b", trailing/leading commas) with a caret.
+std::vector<Token> split_tokens(const std::string& arg, std::size_t value_offset,
+                                const std::string& value);
+
+std::vector<double> parse_doubles(const std::string& arg, std::size_t value_offset,
+                                  const std::string& value);
+
+std::size_t parse_size(const std::string& arg, std::size_t value_offset,
+                       const std::string& value);
+
+bool match_flag(const char* arg, const char* name, std::string& value,
+                std::size_t& value_offset);
+
+/// The campaign-defining flag set — everything that feeds the campaign
+/// fingerprint (workload scalars, sweep axes, schemes, shard size) plus
+/// scheme listing. Drivers call consume() for each argv entry (first, before
+/// their own flags) and finalize() once after the loop.
+class CampaignFlags {
+ public:
+  CampaignFlags();
+
+  /// Returns true when `arg` was one of the campaign flags (consumed).
+  /// Malformed values exit 2 with a caret.
+  bool consume(const char* arg);
+
+  /// Assembles the sweep axes into spec and resolves the schemes against the
+  /// catalog (the four paper schemes when --schemes was absent).
+  void finalize(const circuit::CellLibrary& library);
+
+  engine::CampaignSpec spec;       ///< valid after finalize()
+  std::size_t shard_chips = 32;    ///< --shard (campaign_fingerprint input)
+  bool want_list_schemes = false;  ///< --list-schemes
+
+  /// Resolved schemes; valid after finalize(). Owned here — the engine
+  /// borrows views for the run's duration.
+  const std::vector<core::Scheme>& schemes() const { return schemes_; }
+  std::vector<engine::CampaignCell> cells() const {
+    return engine::expand_cells(spec);
+  }
+
+  /// --list-schemes output: descriptor, (n,k,d), rate, decoder and the
+  /// Table-II-style circuit inventory, plus the catalog family help.
+  int list_schemes(const circuit::CellLibrary& library) const;
+
+ private:
+  std::string schemes_arg_;  // full --schemes argument, for carets
+  std::vector<std::string> scheme_descriptors_;
+  std::vector<std::size_t> scheme_offsets_;
+  int spread_dist_ = 0;  // 0 uniform, 1 gaussian
+  std::vector<double> spreads_pct_, noises_, attenuations_, clocks_, jitters_;
+  std::vector<Token> arq_tokens_;
+  std::string arq_arg_;
+  std::vector<core::Scheme> schemes_;
+};
+
+/// The campaign-flag section of the usage text, shared verbatim by both
+/// endpoints' --help.
+const char* campaign_flags_help();
+
+}  // namespace sfqecc::cli

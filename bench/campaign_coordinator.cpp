@@ -1,0 +1,241 @@
+// Distributed-campaign coordinator CLI: expands a campaign, fans it out over
+// a spool directory for `campaign_runner --worker` processes, merges their
+// checkpoint shards and emits reports byte-identical to a single-machine
+// `campaign_runner` run with the same campaign flags (see README
+// "Distributed campaigns" and src/fabric/).
+//
+// Usage: campaign_coordinator --spool=DIR [flags]
+//
+// The campaign-defining flags (--chips --messages --seed --shard --schemes
+// --spreads --spread-dist --noise --attenuation --clock --jitter --arq
+// --count-flagged) are the ones campaign_runner takes — and every worker
+// must be launched with the SAME campaign flags: there is no config-shipping
+// channel, the manifest's campaign fingerprint is what catches disagreement
+// (a mismatched worker exits 2 without claiming anything).
+//
+// Coordinator flags:
+//   --spool=DIR            spool directory (created; shards from a previous
+//                          interrupted run of the same campaign are
+//                          pre-merged and only the missing units re-leased)
+//   --lease-units=N        units per lease — distribution granularity, no
+//                          effect on any report byte          (default 8)
+//   --poll-ms=N            supervision poll interval          (default 100)
+//   --lease-timeout-ms=N   a claim whose worker heartbeat is older than this
+//                          is presumed dead; its lease is republished for
+//                          surviving workers                  (default 2000)
+//   --idle-timeout-ms=N    exit 4 when the spool makes no progress for this
+//                          long (no workers?); 0 waits forever (default 0)
+//   --retries=N            retries for the final shard merge   (default 2)
+//   --merged-checkpoint=P  also write the merged units as one canonical
+//                          checkpoint file, loadable by campaign_runner
+//                          --checkpoint
+//   --json=PATH --csv=PATH reports (byte-identical to single-process)
+//   --on-io-error=P        warn | fail for report writes      (default warn)
+//   --inject-fault=SPEC    deterministic fault injection; the merge site
+//                          fires here, worker sites need the workers' own
+//                          --inject-fault flags
+//
+// Exit codes: 0 success; 1 report write failed under warn policy; 2 usage
+// error / ContractViolation; 3 one or more units were quarantined by every
+// worker that tried them (listed like campaign_runner quarantines; re-run
+// the coordinator on the same spool to retry exactly those units); 4 spool
+// I/O failure or idle timeout.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "campaign_cli.hpp"
+#include "fabric/coordinator.hpp"
+#include "fabric/spool.hpp"
+#include "sfqecc.hpp"
+
+using namespace sfqecc;
+
+namespace {
+
+void print_help() {
+  std::printf(
+      "Usage: campaign_coordinator --spool=DIR [flags]\n\n"
+      "Fans the campaign out to `campaign_runner --worker --spool=DIR`\n"
+      "processes (launch them with the SAME campaign flags) and merges their\n"
+      "results byte-identically to a single-process campaign_runner run.\n\n"
+      "%s\n"
+      "Coordination:\n"
+      "  --spool=DIR            spool directory shared with workers (required)\n"
+      "  --lease-units=N        units per lease                  (default 8)\n"
+      "  --poll-ms=N            supervision poll interval        (default 100)\n"
+      "  --lease-timeout-ms=N   heartbeat age presumed dead      (default 2000)\n"
+      "  --idle-timeout-ms=N    give up after this much spool silence; 0 =\n"
+      "                         forever                          (default 0)\n"
+      "  --retries=N            final-merge retries              (default 2)\n"
+      "  --merged-checkpoint=P  write the canonical merged checkpoint\n"
+      "  --json=PATH --csv=PATH write reports\n"
+      "  --on-io-error=P        warn | fail for report writes   (default warn)\n"
+      "  --inject-fault=SPEC    site:unit[:attempt], repeatable\n\n"
+      "Exit codes: 0 ok; 1 report write failed (warn policy); 2 usage/contract\n"
+      "error; 3 quarantined units; 4 spool I/O failure or idle timeout.\n",
+      cli::campaign_flags_help());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::set_program("campaign_coordinator");
+  cli::CampaignFlags campaign;
+  fabric::CoordinatorOptions options;
+  engine::FaultInjector injector;
+  engine::IoErrorPolicy report_policy = engine::IoErrorPolicy::kWarn;
+  std::string spool_dir, json_path, csv_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    std::size_t at = 0;
+    const std::string arg = argv[i];
+    if (campaign.consume(argv[i])) {
+      continue;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      print_help();
+      return 0;
+    } else if (cli::match_flag(argv[i], "--spool", value, at)) {
+      spool_dir = value;
+    } else if (cli::match_flag(argv[i], "--lease-units", value, at)) {
+      options.lease_units = cli::parse_size(arg, at, value);
+      if (options.lease_units == 0) cli::fail_at(arg, at, "expected at least 1");
+    } else if (cli::match_flag(argv[i], "--poll-ms", value, at)) {
+      options.poll_interval =
+          std::chrono::milliseconds(cli::parse_size(arg, at, value));
+    } else if (cli::match_flag(argv[i], "--lease-timeout-ms", value, at)) {
+      options.lease_timeout =
+          std::chrono::milliseconds(cli::parse_size(arg, at, value));
+    } else if (cli::match_flag(argv[i], "--idle-timeout-ms", value, at)) {
+      options.idle_timeout =
+          std::chrono::milliseconds(cli::parse_size(arg, at, value));
+    } else if (cli::match_flag(argv[i], "--retries", value, at)) {
+      options.merge_attempts = cli::parse_size(arg, at, value) + 1;
+    } else if (cli::match_flag(argv[i], "--merged-checkpoint", value, at)) {
+      options.merged_checkpoint_path = value;
+    } else if (cli::match_flag(argv[i], "--json", value, at)) {
+      json_path = value;
+    } else if (cli::match_flag(argv[i], "--csv", value, at)) {
+      csv_path = value;
+    } else if (cli::match_flag(argv[i], "--on-io-error", value, at)) {
+      if (value == "warn") {
+        report_policy = engine::IoErrorPolicy::kWarn;
+      } else if (value == "fail") {
+        report_policy = engine::IoErrorPolicy::kFail;
+      } else {
+        cli::fail_at(arg, at, "expected warn or fail");
+      }
+    } else if (cli::match_flag(argv[i], "--inject-fault", value, at)) {
+      engine::InjectionParseError error;
+      const auto spec = engine::parse_injection_spec(value, &error);
+      if (!spec) cli::fail_at(arg, at + error.position, error.message);
+      injector.arm(*spec);
+    } else {
+      std::fprintf(stderr,
+                   "campaign_coordinator: unknown flag '%s' (--help for usage)\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+
+  const auto& library = circuit::coldflux_library();
+  campaign.finalize(library);
+  if (campaign.want_list_schemes) return campaign.list_schemes(library);
+  if (spool_dir.empty()) {
+    std::fprintf(stderr, "campaign_coordinator: --spool=DIR is required "
+                         "(--help for usage)\n");
+    return 2;
+  }
+  options.shard_chips = campaign.shard_chips;
+  if (injector.armed()) options.fault_injector = &injector;
+
+  const engine::CampaignSpec& spec = campaign.spec;
+  const std::vector<engine::CampaignCell> cells = campaign.cells();
+  const std::vector<link::SchemeSpec> schemes =
+      core::scheme_specs(campaign.schemes());
+  std::printf("campaign: %zu cell(s) x %zu scheme(s), %zu chips x %zu messages "
+              "-> spool %s\n\n",
+              cells.size(), schemes.size(), spec.chips, spec.messages_per_chip,
+              spool_dir.c_str());
+
+  const fabric::SpoolPaths spool{spool_dir};
+  fabric::CoordinatorOutcome outcome;
+  try {
+    outcome = fabric::run_coordinator(spool, spec, cells, schemes, options);
+  } catch (const ContractViolation& e) {
+    std::fprintf(stderr, "campaign_coordinator: %s\n", e.what());
+    return 2;
+  } catch (const engine::IoError& e) {
+    std::fprintf(stderr, "campaign_coordinator: %s\n", e.what());
+    return 4;
+  }
+  const engine::CampaignResult& result = outcome.result;
+
+  // ---- console summary (same shape as campaign_runner's) -------------------
+  util::TextTable table({"cell", "scenario", "scheme", "chips", "P(N=0)", "mean N",
+                         "mean flagged", "frames/chip", "channel BER"});
+  for (const engine::CellResult& cell : result.cells)
+    for (const engine::SchemeCellResult& scheme : cell.schemes) {
+      const bool ran = scheme.chips_completed > 0;
+      table.add_row({std::to_string(cell.cell.index), cell.cell.label, scheme.scheme,
+                     std::to_string(scheme.chips_completed),
+                     ran ? util::percent(scheme.p_zero, 1) : "-",
+                     ran ? util::fixed(scheme.mean_errors, 2) : "-",
+                     ran ? util::fixed(scheme.mean_flagged, 2) : "-",
+                     ran ? util::fixed(scheme.mean_frames, 1) : "-",
+                     ran ? util::scientific(scheme.channel_ber, 2) : "-"});
+    }
+  std::cout << table.to_string();
+  std::printf("\nunits: %zu total, %zu executed by workers, %zu resumed from "
+              "existing shards%s\n",
+              result.units_total, result.units_executed, result.units_resumed,
+              result.complete() ? "" : "  [INCOMPLETE — re-run to continue]");
+  std::printf("fabric: %zu lease(s) published, %zu reclaimed from dead workers, "
+              "%zu shard(s) merged, %zu worker(s) seen\n",
+              outcome.leases_published, outcome.leases_reclaimed,
+              outcome.shards_merged, outcome.workers_seen);
+  if (!result.failures.empty()) {
+    std::printf("quarantined: %zu unit(s) failed on every worker that tried "
+                "them; their chips are excluded above and will be retried on "
+                "a coordinator re-run\n",
+                result.failures.size());
+    for (const engine::UnitFailureInfo& failure : result.failures)
+      std::printf("  unit %zu (cell %zu, scheme %zu, chips [%zu,%zu)): %s\n",
+                  failure.unit_index, failure.unit.cell, failure.unit.scheme,
+                  failure.unit.chip_lo, failure.unit.chip_hi,
+                  failure.error.c_str());
+  }
+  if (injector.armed())
+    std::printf("fault injection: %llu injection(s) fired\n",
+                static_cast<unsigned long long>(injector.fired()));
+
+  // Same atomic report path (and ordinals) as campaign_runner — byte-identical
+  // files are the whole point of the fabric.
+  engine::ReportIo report_io;
+  report_io.policy = report_policy;
+  report_io.attempts = options.merge_attempts;
+  report_io.injector = injector.armed() ? &injector : nullptr;
+  bool ok = true;
+  try {
+    if (!json_path.empty()) {
+      report_io.ordinal = 0;
+      ok &= engine::write_text_file_atomic(json_path,
+                                           engine::campaign_json(spec, result),
+                                           report_io);
+    }
+    if (!csv_path.empty()) {
+      report_io.ordinal = 1;
+      ok &= engine::write_text_file_atomic(csv_path, engine::campaign_csv(result),
+                                           report_io);
+    }
+  } catch (const engine::IoError& e) {
+    std::fprintf(stderr, "campaign_coordinator: %s\n", e.what());
+    return 4;
+  }
+  if (!result.failures.empty()) return 3;
+  return ok ? 0 : 1;
+}

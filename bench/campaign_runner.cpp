@@ -1,28 +1,22 @@
 // Declarative campaign runner CLI: cartesian scenario sweeps over the full
 // link stack (scheme x spread x channel noise x link timing x jitter x ARQ)
-// executed by the sharded work-stealing engine, with checkpoint/resume and
-// JSON/CSV reports.
+// executed by the sharded work-stealing engine, with checkpoint/resume,
+// JSON/CSV reports — and a --worker mode that turns this binary into a
+// distributed-fabric worker executing spool leases for a
+// campaign_coordinator (see README "Distributed campaigns").
 //
-// Usage: campaign_runner [flags]
-//   --chips=N              fabricated chips per cell        (default 100)
-//   --messages=N           messages per chip                (default 100)
-//   --seed=N               campaign seed                    (default 20250831)
-//   --threads=N            worker threads, 0 = hardware     (default 0)
-//   --shard=N              chips per work unit              (default 32)
-//   --schemes=a,b,..       scheme descriptors from the catalog (default: the
-//                          four paper schemes none,rm:1,3,hamming:7,4,
-//                          hamming:8,4x — legacy tags rm13,h74,h84 still work)
-//   --list-schemes         print the resolved schemes — descriptor, (n,k,d),
-//                          rate, decoder, Table-II-style cell counts — and
-//                          exit; with no --schemes lists a catalog showcase
-//   --spreads=a,b,..       spread fractions in percent      (default 20)
-//   --spread-dist=D        uniform | gaussian               (default uniform)
-//   --noise=a,b,..         channel noise sigma in mV        (default 0.04)
-//   --attenuation=a,b,..   channel attenuation factors      (default 1)
-//   --clock=a,b,..         clock periods in ps              (default 200)
-//   --jitter=a,b,..        sim jitter sigma in ps           (default 0.8)
-//   --arq=a,b,..           ARQ modes: off or max attempts   (default off)
-//   --count-flagged        count flagged frames as errors
+// Usage: campaign_runner [flags]            run a campaign in this process
+//        campaign_runner --worker [flags]   serve a coordinator's spool
+//
+// Campaign definition flags (shared with campaign_coordinator — identical
+// flags define the identical campaign, enforced by the fabric's manifest
+// fingerprint): --chips --messages --seed --shard --schemes --list-schemes
+// --spreads --spread-dist --noise --attenuation --clock --jitter --arq
+// --count-flagged. See --help or bench/campaign_cli.cpp.
+//
+// Single-process execution flags:
+//   --threads=N            worker threads; 0 auto-detects the machine's
+//                          hardware concurrency               (default 0)
 //   --checkpoint=PATH      checkpoint file (resume if present)
 //   --max-units=N          execute at most N units this run (incremental mode)
 //   --json=PATH            write JSON report
@@ -41,347 +35,224 @@
 //   --inject-fault=SPEC    deterministic fault injection, repeatable.
 //                          SPEC = site:unit[:attempt]; sites fabricate,
 //                          simulate, cache-insert, checkpoint-write,
-//                          report-write; unit/attempt take '*' as wildcard
-//                          (attempt defaults to 0). See engine/
-//                          fault_injection.hpp for the full grammar.
+//                          report-write, lease-claim, shard-write, merge;
+//                          unit/attempt take '*' as wildcard (attempt
+//                          defaults to 0). See engine/fault_injection.hpp.
+//
+// Worker-mode flags (with --worker; campaign + execution flags also apply,
+// except --checkpoint/--max-units/--json/--csv/--cache-stats/--fail-fast,
+// which are single-process-only):
+//   --spool=DIR            spool directory shared with the coordinator
+//                          (required)
+//   --worker-id=ID         stable worker identity — names the shard, claim
+//                          and heartbeat files; a restarted worker with the
+//                          same id resumes its shard (default <host>-<pid>)
+//   --poll-ms=N            spool poll interval                (default 100)
+//   --idle-timeout-ms=N    exit 4 when the spool makes no progress for this
+//                          long; 0 waits forever             (default 60000)
 //
 // Exit codes: 0 success; 1 report write failed under --on-io-error=warn, or
-// --fail-fast abort; 2 usage error / ContractViolation; 3 one or more units
-// exhausted their retries and were quarantined (resume from --checkpoint to
-// retry exactly those units); 4 I/O failure under --on-io-error=fail.
-//
-// Scheme descriptors follow core/scheme_catalog.hpp:
-//   family[:params][/decoder][@synthesis], e.g. hsiao:8,4  bch:15,7
-//   rm:1,3/majority  hamming:7,4@tree  — see --list-schemes for the catalog.
+// --fail-fast abort; 2 usage error / ContractViolation (including a worker
+// whose flags fingerprint a different campaign than the manifest); 3 one or
+// more units exhausted their retries and were quarantined (single-process:
+// resume from --checkpoint to retry exactly those units; worker: the units
+// are marked in the spool's failed/ directory for the coordinator); 4 I/O
+// failure under --on-io-error=fail, or a worker/spool I/O failure or idle
+// timeout.
 //
 // Malformed flag values exit 2 with a caret pointing at the offending
 // character. The default single-cell campaign at --chips=1000 is exactly the
 // paper's Fig. 5 experiment (and bit-identical to the fig5_ppv_cdf driver).
-// Sweeps with several cells per spread (channel/timing/jitter/ARQ axes)
-// fabricate each chip once and reuse it across those cells via the artifact
-// cache; --no-artifact-cache re-fabricates per cell, which must not change
-// any report byte.
+#include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "campaign_cli.hpp"
+#include "fabric/spool.hpp"
+#include "fabric/worker.hpp"
 #include "sfqecc.hpp"
 
 using namespace sfqecc;
 
 namespace {
 
-/// Prints "campaign_runner: <message>", the offending argument and a caret
-/// under byte `offset` of the argument, then exits 2.
-[[noreturn]] void fail_at(const std::string& arg, std::size_t offset,
-                          const std::string& message) {
-  std::fprintf(stderr, "campaign_runner: %s\n  %s\n  %*s^\n", message.c_str(),
-               arg.c_str(), static_cast<int>(offset), "");
-  std::exit(2);
+void print_help() {
+  std::printf(
+      "Usage: campaign_runner [flags]           run a campaign in this process\n"
+      "       campaign_runner --worker [flags]  serve a coordinator's spool\n\n"
+      "%s\n"
+      "Single-process execution:\n"
+      "  --threads=N            worker threads; 0 auto-detects the machine's\n"
+      "                         hardware concurrency            (default 0)\n"
+      "  --checkpoint=PATH      checkpoint file (resume if present)\n"
+      "  --max-units=N          execute at most N units this run\n"
+      "  --json=PATH --csv=PATH write reports\n"
+      "  --no-artifact-cache / --cache-mb=N / --cache-stats=PATH\n"
+      "  --retries=N            retries per failed work unit     (default 2)\n"
+      "  --fail-fast            abort on the first unit failure\n"
+      "  --on-io-error=P        warn | fail                      (default warn)\n"
+      "  --inject-fault=SPEC    site:unit[:attempt], repeatable\n\n"
+      "Worker mode (--worker):\n"
+      "  --spool=DIR            spool shared with campaign_coordinator (required)\n"
+      "  --worker-id=ID         stable identity (shard/claim/heartbeat files)\n"
+      "  --poll-ms=N            spool poll interval              (default 100)\n"
+      "  --idle-timeout-ms=N    give up after this much spool silence; 0 =\n"
+      "                         forever                          (default 60000)\n\n"
+      "Exit codes: 0 ok; 1 report write failed (warn policy) or --fail-fast\n"
+      "abort; 2 usage/contract error; 3 quarantined units; 4 I/O failure.\n",
+      cli::campaign_flags_help());
 }
 
-/// One comma-separated token of a flag value; `offset` is its byte position
-/// within the whole argument (for caret messages).
-struct Token {
-  std::string text;
-  std::size_t offset;
+/// Flags that only make sense for a single-process run; rejected under
+/// --worker so a misconfigured fleet fails loudly instead of silently writing
+/// per-worker reports nobody merges.
+struct SingleProcessFlags {
+  std::string checkpoint_path, json_path, csv_path, cache_stats_path;
+  std::size_t max_units = static_cast<std::size_t>(-1);
+  bool max_units_set = false;
+  bool fail_fast = false;
 };
 
-/// Splits `--flag=a,b,c` into tokens, rejecting an empty value and empty
-/// tokens ("a,,b", trailing/leading commas) with a caret.
-std::vector<Token> split_tokens(const std::string& arg, std::size_t value_offset,
-                                const std::string& value) {
-  if (value.empty()) fail_at(arg, value_offset, "empty value");
-  std::vector<Token> tokens;
-  std::size_t start = 0;
-  for (;;) {
-    const std::size_t comma = value.find(',', start);
-    const std::size_t end = comma == std::string::npos ? value.size() : comma;
-    if (end == start) fail_at(arg, value_offset + start, "empty list entry");
-    tokens.push_back(Token{value.substr(start, end - start), value_offset + start});
-    if (comma == std::string::npos) break;
-    start = comma + 1;
+int run_worker_mode(const cli::CampaignFlags& campaign, const std::string& spool_dir,
+                    fabric::WorkerOptions options) {
+  if (spool_dir.empty()) {
+    std::fprintf(stderr, "campaign_runner: --worker requires --spool=DIR\n");
+    return 2;
   }
-  return tokens;
-}
-
-std::vector<double> parse_doubles(const std::string& arg, std::size_t value_offset,
-                                  const std::string& value) {
-  std::vector<double> values;
-  for (const Token& token : split_tokens(arg, value_offset, value)) {
-    char* end = nullptr;
-    const double parsed = std::strtod(token.text.c_str(), &end);
-    if (end == token.text.c_str() || *end != '\0')
-      fail_at(arg, token.offset + static_cast<std::size_t>(end - token.text.c_str()),
-              "expected a number");
-    values.push_back(parsed);
+  const fabric::SpoolPaths spool{spool_dir};
+  fabric::WorkerOutcome outcome;
+  try {
+    outcome = fabric::run_worker(spool, campaign.spec, campaign.cells(),
+                                 core::scheme_specs(campaign.schemes()),
+                                 circuit::coldflux_library(), options);
+  } catch (const ContractViolation& e) {
+    std::fprintf(stderr, "campaign_runner: %s\n", e.what());
+    return 2;
+  } catch (const engine::IoError& e) {
+    std::fprintf(stderr, "campaign_runner: %s\n", e.what());
+    return 4;
   }
-  return values;
-}
-
-std::size_t parse_size(const std::string& arg, std::size_t value_offset,
-                       const std::string& value) {
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
-  // strtoull accepts a sign ("-1" wraps to ULLONG_MAX); require a digit.
-  if (value.empty() || value[0] < '0' || value[0] > '9' || *end != '\0')
-    fail_at(arg,
-            value_offset + (end > value.c_str()
-                                ? static_cast<std::size_t>(end - value.c_str())
-                                : 0),
-            "expected a non-negative integer");
-  return static_cast<std::size_t>(parsed);
-}
-
-bool match_flag(const char* arg, const char* name, std::string& value,
-                std::size_t& value_offset) {
-  const std::size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
-  value = arg + len + 1;
-  value_offset = len + 1;
-  return true;
-}
-
-/// Resolves --schemes descriptors against the catalog: parse errors get a
-/// caret into the flag argument, resolution errors (unknown family, bad
-/// parameters) the catalog's message.
-std::vector<core::Scheme> resolve_schemes(const std::string& arg,
-                                          const std::vector<std::string>& descriptors,
-                                          const std::vector<std::size_t>& offsets,
-                                          const circuit::CellLibrary& library) {
-  const core::SchemeCatalog& catalog = core::SchemeCatalog::builtin();
-  std::vector<core::Scheme> schemes;
-  for (std::size_t i = 0; i < descriptors.size(); ++i) {
-    core::DescriptorParseError error;
-    const auto desc = core::parse_scheme_descriptor(descriptors[i], &error);
-    if (!desc) {
-      if (arg.empty())  // internal default list — never malformed
-        fail_at(descriptors[i], error.position, error.message);
-      fail_at(arg, offsets[i] + error.position, error.message);
-    }
-    try {
-      schemes.push_back(catalog.resolve(*desc, library));
-    } catch (const ContractViolation& e) {
-      if (arg.empty()) throw;
-      fail_at(arg, offsets[i], e.what());
-    }
-    for (std::size_t j = 0; j + 1 < schemes.size(); ++j)
-      if (schemes[j].name == schemes.back().name)
-        fail_at(arg.empty() ? descriptors[i] : arg, arg.empty() ? 0 : offsets[i],
-                "duplicate scheme '" + schemes.back().name +
-                    "' (reports and checkpoints key on the scheme name)");
-  }
-  return schemes;
-}
-
-/// --list-schemes: the catalog view of the selected schemes — code
-/// parameters plus the Table-II-style synthesized circuit inventory.
-int list_schemes(const std::vector<core::Scheme>& schemes,
-                 const circuit::CellLibrary& library) {
-  util::TextTable table({"descriptor", "scheme", "(n,k,d)", "rate", "decoder", "XOR",
-                         "DFF", "SPL", "SFQ-DC", "JJs", "depth"});
-  for (const core::Scheme& scheme : schemes) {
-    std::string nkd = "-", rate = "-", decoder = "-";
-    if (scheme.has_code()) {
-      nkd = "(" + std::to_string(scheme.code->n()) + "," +
-            std::to_string(scheme.code->k()) + "," +
-            std::to_string(scheme.code->dmin()) + ")";
-      rate = util::fixed(scheme.code->rate(), 3);
-    }
-    if (scheme.decoder) decoder = scheme.decoder->name();
-    const circuit::NetlistStats stats = circuit::compute_stats(
-        scheme.encoder->netlist, library, scheme.encoder->clock_input);
-    table.add_row({scheme.descriptor, scheme.name, nkd, rate, decoder,
-                   std::to_string(stats.count(circuit::CellType::kXor)),
-                   std::to_string(stats.count(circuit::CellType::kDff)),
-                   std::to_string(stats.count(circuit::CellType::kSplitter)),
-                   std::to_string(stats.count(circuit::CellType::kSfqToDc)),
-                   std::to_string(stats.jj_count),
-                   std::to_string(scheme.encoder->logic_depth)});
-  }
-  std::cout << table.to_string();
-  std::printf("\nfamilies (descriptor grammar family[:params][/decoder][@synthesis]):\n");
-  for (const core::SchemeCatalog::FamilyInfo& family :
-       core::SchemeCatalog::builtin().families()) {
-    std::string decoders;
-    for (const std::string& tag : family.decoders) {
-      if (!decoders.empty()) decoders += ",";
-      decoders += tag;
-    }
-    std::printf("  %-10s %s — %s%s%s\n", family.family.c_str(),
-                family.params_help.c_str(), family.summary.c_str(),
-                decoders.empty() ? "" : "; decoders: ",
-                decoders.c_str());
-  }
-  std::printf("  synthesis: @paar (default), @paar-unbounded, @tree, @chain\n");
-  return 0;
+  std::printf("worker %s: %zu lease(s) claimed, %zu unit(s) executed, "
+              "%zu quarantined\n",
+              options.worker_id.empty() ? fabric::default_worker_id().c_str()
+                                        : options.worker_id.c_str(),
+              outcome.leases_claimed, outcome.units_executed,
+              outcome.units_quarantined);
+  return outcome.units_quarantined > 0 ? 3 : 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  engine::CampaignSpec spec;
-  spec.chips = 100;
-
+  cli::set_program("campaign_runner");
+  cli::CampaignFlags campaign;
   engine::RunnerOptions options;
   engine::FaultInjector injector;
-  std::string json_path, csv_path, cache_stats_path;
-  std::string schemes_arg;              // full --schemes argument, for carets
-  std::vector<std::string> scheme_descriptors;
-  std::vector<std::size_t> scheme_offsets;
-  bool want_list_schemes = false;
-  ppv::SpreadDistribution dist = ppv::SpreadDistribution::kUniform;
-  // Axis defaults are the Fig. 5 setup: +/-20 % spread, 0.04 mV receiver
-  // noise (~0 BER alone), 0.8 ps thermal jitter at 4.2 K.
-  std::vector<double> spreads_pct{core::paper::kFig5Spread * 100.0};
-  std::vector<double> noises{0.04}, attenuations{1.0}, clocks{200.0}, jitters{0.8};
-  std::vector<Token> arq_tokens{{"off", 0}};
-  std::string arq_arg = "off";
+  SingleProcessFlags single;
+  bool worker_mode = false;
+  std::string spool_dir;
+  fabric::WorkerOptions worker;
+  worker.idle_timeout = std::chrono::milliseconds(60000);
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
     std::size_t at = 0;
     const std::string arg = argv[i];
-    if (match_flag(argv[i], "--chips", value, at)) {
-      spec.chips = parse_size(arg, at, value);
-    } else if (match_flag(argv[i], "--messages", value, at)) {
-      spec.messages_per_chip = parse_size(arg, at, value);
-    } else if (match_flag(argv[i], "--seed", value, at)) {
-      spec.seed = parse_size(arg, at, value);
-    } else if (match_flag(argv[i], "--threads", value, at)) {
-      options.threads = parse_size(arg, at, value);
-    } else if (match_flag(argv[i], "--shard", value, at)) {
-      options.shard_chips = parse_size(arg, at, value);
-    } else if (match_flag(argv[i], "--schemes", value, at)) {
-      schemes_arg = arg;
-      scheme_descriptors.clear();
-      scheme_offsets.clear();
-      // Commas separate descriptors AND descriptor parameters; descriptors
-      // start with a letter, parameters with a digit, so a digit-leading
-      // fragment continues the previous descriptor ("hamming:7,4").
-      for (const Token& token : split_tokens(arg, at, value)) {
-        if (!scheme_descriptors.empty() && token.text[0] >= '0' &&
-            token.text[0] <= '9') {
-          scheme_descriptors.back() += ',' + token.text;
-          continue;
-        }
-        scheme_descriptors.push_back(token.text);
-        scheme_offsets.push_back(token.offset);
-      }
-    } else if (std::strcmp(argv[i], "--list-schemes") == 0) {
-      want_list_schemes = true;
-    } else if (match_flag(argv[i], "--spreads", value, at)) {
-      spreads_pct = parse_doubles(arg, at, value);
-    } else if (match_flag(argv[i], "--spread-dist", value, at)) {
-      if (value == "uniform") {
-        dist = ppv::SpreadDistribution::kUniform;
-      } else if (value == "gaussian") {
-        dist = ppv::SpreadDistribution::kGaussian;
-      } else {
-        fail_at(arg, at, "expected uniform or gaussian");
-      }
-    } else if (match_flag(argv[i], "--noise", value, at)) {
-      noises = parse_doubles(arg, at, value);
-    } else if (match_flag(argv[i], "--attenuation", value, at)) {
-      attenuations = parse_doubles(arg, at, value);
-    } else if (match_flag(argv[i], "--clock", value, at)) {
-      clocks = parse_doubles(arg, at, value);
-    } else if (match_flag(argv[i], "--jitter", value, at)) {
-      jitters = parse_doubles(arg, at, value);
-    } else if (match_flag(argv[i], "--arq", value, at)) {
-      arq_arg = arg;
-      arq_tokens = split_tokens(arg, at, value);
-    } else if (std::strcmp(argv[i], "--count-flagged") == 0) {
-      spec.count_flagged_as_error = true;
-    } else if (match_flag(argv[i], "--checkpoint", value, at)) {
-      options.checkpoint_path = value;
-    } else if (match_flag(argv[i], "--max-units", value, at)) {
-      options.max_units = parse_size(arg, at, value);
-    } else if (match_flag(argv[i], "--json", value, at)) {
-      json_path = value;
-    } else if (match_flag(argv[i], "--csv", value, at)) {
-      csv_path = value;
+    if (campaign.consume(argv[i])) {
+      continue;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      print_help();
+      return 0;
+    } else if (std::strcmp(argv[i], "--worker") == 0) {
+      worker_mode = true;
+    } else if (cli::match_flag(argv[i], "--spool", value, at)) {
+      spool_dir = value;
+    } else if (cli::match_flag(argv[i], "--worker-id", value, at)) {
+      worker.worker_id = value;
+    } else if (cli::match_flag(argv[i], "--poll-ms", value, at)) {
+      worker.poll_interval =
+          std::chrono::milliseconds(cli::parse_size(arg, at, value));
+    } else if (cli::match_flag(argv[i], "--idle-timeout-ms", value, at)) {
+      worker.idle_timeout =
+          std::chrono::milliseconds(cli::parse_size(arg, at, value));
+    } else if (cli::match_flag(argv[i], "--threads", value, at)) {
+      options.threads = cli::parse_size(arg, at, value);
+    } else if (cli::match_flag(argv[i], "--checkpoint", value, at)) {
+      single.checkpoint_path = value;
+    } else if (cli::match_flag(argv[i], "--max-units", value, at)) {
+      single.max_units = cli::parse_size(arg, at, value);
+      single.max_units_set = true;
+    } else if (cli::match_flag(argv[i], "--json", value, at)) {
+      single.json_path = value;
+    } else if (cli::match_flag(argv[i], "--csv", value, at)) {
+      single.csv_path = value;
     } else if (std::strcmp(argv[i], "--no-artifact-cache") == 0) {
       options.artifact_cache_bytes = 0;
-    } else if (match_flag(argv[i], "--cache-mb", value, at)) {
-      options.artifact_cache_bytes = parse_size(arg, at, value) << 20;
-    } else if (match_flag(argv[i], "--cache-stats", value, at)) {
-      cache_stats_path = value;
-    } else if (match_flag(argv[i], "--retries", value, at)) {
-      options.unit_attempts = parse_size(arg, at, value) + 1;
+    } else if (cli::match_flag(argv[i], "--cache-mb", value, at)) {
+      options.artifact_cache_bytes = cli::parse_size(arg, at, value) << 20;
+    } else if (cli::match_flag(argv[i], "--cache-stats", value, at)) {
+      single.cache_stats_path = value;
+    } else if (cli::match_flag(argv[i], "--retries", value, at)) {
+      options.unit_attempts = cli::parse_size(arg, at, value) + 1;
     } else if (std::strcmp(argv[i], "--fail-fast") == 0) {
-      options.fail_fast = true;
-    } else if (match_flag(argv[i], "--on-io-error", value, at)) {
+      single.fail_fast = true;
+    } else if (cli::match_flag(argv[i], "--on-io-error", value, at)) {
       if (value == "warn") {
         options.io_error_policy = engine::IoErrorPolicy::kWarn;
       } else if (value == "fail") {
         options.io_error_policy = engine::IoErrorPolicy::kFail;
       } else {
-        fail_at(arg, at, "expected warn or fail");
+        cli::fail_at(arg, at, "expected warn or fail");
       }
-    } else if (match_flag(argv[i], "--inject-fault", value, at)) {
+    } else if (cli::match_flag(argv[i], "--inject-fault", value, at)) {
       engine::InjectionParseError error;
       const auto spec = engine::parse_injection_spec(value, &error);
-      if (!spec) fail_at(arg, at + error.position, error.message);
+      if (!spec) cli::fail_at(arg, at + error.position, error.message);
       injector.arm(*spec);
     } else {
-      std::fprintf(stderr, "campaign_runner: unknown flag '%s' (see header comment)\n",
+      std::fprintf(stderr,
+                   "campaign_runner: unknown flag '%s' (--help for usage)\n",
                    argv[i]);
       return 2;
     }
   }
 
-  // ---- assemble the axes ----------------------------------------------------
-  spec.spreads.clear();
-  for (double pct : spreads_pct) spec.spreads.push_back({pct / 100.0, dist});
-  spec.channels.clear();
-  for (double noise : noises)
-    for (double atten : attenuations) {
-      link::ChannelModel ch;
-      ch.noise_sigma_mv = noise;
-      ch.attenuation = atten;
-      spec.channels.push_back(ch);
-    }
-  spec.timings.clear();
-  for (double clock : clocks) {
-    engine::LinkTiming timing;
-    timing.clock_period_ps = clock;
-    timing.input_phase_ps = clock / 2.0;
-    spec.timings.push_back(timing);
-  }
-  spec.faults.clear();
-  for (double jitter : jitters) spec.faults.push_back({jitter});
-  spec.arq_modes.clear();
-  for (const Token& mode : arq_tokens) {
-    if (mode.text == "off") {
-      spec.arq_modes.push_back({false, 1});
-    } else {
-      char* end = nullptr;
-      const unsigned long long attempts = std::strtoull(mode.text.c_str(), &end, 10);
-      if (mode.text[0] < '0' || mode.text[0] > '9' || *end != '\0' || attempts == 0)
-        fail_at(arq_arg, mode.offset, "expected 'off' or a positive attempt count");
-      spec.arq_modes.push_back({true, static_cast<std::size_t>(attempts)});
-    }
-  }
-
-  // ---- resolve schemes from the catalog -------------------------------------
   const auto& library = circuit::coldflux_library();
-  if (scheme_descriptors.empty()) {
-    scheme_descriptors = core::paper_descriptors();
-    if (want_list_schemes) {  // showcase: the paper schemes plus one of each family
-      scheme_descriptors.push_back("hsiao:8,4");
-      scheme_descriptors.push_back("bch:15,7");
-      scheme_descriptors.push_back("code3832");
-    }
-    scheme_offsets.assign(scheme_descriptors.size(), 0);
-  }
-  const std::vector<core::Scheme> schemes =
-      resolve_schemes(schemes_arg, scheme_descriptors, scheme_offsets, library);
+  campaign.finalize(library);
+  if (campaign.want_list_schemes) return campaign.list_schemes(library);
+  options.shard_chips = campaign.shard_chips;
 
-  if (want_list_schemes) return list_schemes(schemes, library);
+  if (worker_mode) {
+    if (!single.checkpoint_path.empty() || !single.json_path.empty() ||
+        !single.csv_path.empty() || !single.cache_stats_path.empty() ||
+        single.max_units_set || single.fail_fast) {
+      std::fprintf(stderr,
+                   "campaign_runner: --checkpoint/--max-units/--json/--csv/"
+                   "--cache-stats/--fail-fast are single-process flags, not "
+                   "valid with --worker (the coordinator merges and reports)\n");
+      return 2;
+    }
+    worker.threads = options.threads;
+    worker.shard_chips = campaign.shard_chips;
+    worker.artifact_cache_bytes = options.artifact_cache_bytes;
+    worker.unit_attempts = options.unit_attempts;
+    if (injector.armed()) worker.fault_injector = &injector;
+    return run_worker_mode(campaign, spool_dir, worker);
+  }
+  if (!spool_dir.empty() || !worker.worker_id.empty()) {
+    std::fprintf(stderr,
+                 "campaign_runner: --spool/--worker-id require --worker\n");
+    return 2;
+  }
+
+  const engine::CampaignSpec& spec = campaign.spec;
+  const std::vector<core::Scheme>& schemes = campaign.schemes();
+  options.checkpoint_path = single.checkpoint_path;
+  options.max_units = single.max_units;
+  options.fail_fast = single.fail_fast;
 
   const std::size_t cell_count = spec.spreads.size() * spec.channels.size() *
                                  spec.timings.size() * spec.faults.size() *
@@ -469,20 +340,20 @@ int main(int argc, char** argv) {
   report_io.injector = injector.armed() ? &injector : nullptr;
   bool ok = true;
   try {
-    if (!json_path.empty()) {
+    if (!single.json_path.empty()) {
       report_io.ordinal = 0;
-      ok &= engine::write_text_file_atomic(json_path,
+      ok &= engine::write_text_file_atomic(single.json_path,
                                            engine::campaign_json(spec, result),
                                            report_io);
     }
-    if (!csv_path.empty()) {
+    if (!single.csv_path.empty()) {
       report_io.ordinal = 1;
-      ok &= engine::write_text_file_atomic(csv_path, engine::campaign_csv(result),
-                                           report_io);
+      ok &= engine::write_text_file_atomic(single.csv_path,
+                                           engine::campaign_csv(result), report_io);
     }
-    if (!cache_stats_path.empty()) {
+    if (!single.cache_stats_path.empty()) {
       report_io.ordinal = 2;
-      ok &= engine::write_text_file_atomic(cache_stats_path,
+      ok &= engine::write_text_file_atomic(single.cache_stats_path,
                                            engine::cache_stats_json(cache),
                                            report_io);
     }

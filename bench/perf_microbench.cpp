@@ -192,6 +192,33 @@ BENCHMARK(BM_CampaignCellCached);
 void BM_CampaignCellUncached(benchmark::State& state) { campaign_cell::run(state, 0); }
 BENCHMARK(BM_CampaignCellUncached);
 
+void BM_CampaignFramesVsThreads(benchmark::State& state) {
+  // Scheduler scaling: the campaign_cell sweep at 1/2/4 worker threads,
+  // reported as link frames per second so the threads axis reads directly as
+  // throughput (the distributed fabric stacks machines on top of this same
+  // per-process scaling). On a single-core runner the 2/4-thread rates
+  // simply flatten — the point of the record is catching regressions in the
+  // work-stealing scheduler's overhead, not proving linear speedup.
+  const core::PaperScheme scheme = core::make_scheme(core::SchemeId::kHamming84, lib());
+  const std::vector<link::SchemeSpec> schemes{
+      {scheme.name, scheme.encoder.get(), scheme.code.get(), scheme.decoder.get()}};
+  const engine::CampaignSpec s = campaign_cell::spec();
+  engine::RunnerOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  options.shard_chips = 4;  // enough units to feed every thread
+  std::size_t frames = 0;
+  for (auto _ : state) {
+    const engine::CampaignResult result = engine::run_campaign(s, schemes, lib(), options);
+    benchmark::DoNotOptimize(result);
+    for (const engine::CellResult& cell : result.cells)
+      for (const engine::SchemeCellResult& sc : cell.schemes)
+        frames += static_cast<std::size_t>(sc.mean_frames * sc.chips_completed);
+  }
+  state.counters["frames_per_s"] =
+      benchmark::Counter(static_cast<double>(frames), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CampaignFramesVsThreads)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_MonteCarloChip(benchmark::State& state) {
   // One full Fig. 5 chip: PPV sample + 100 messages through the H84 link.
   const core::PaperScheme scheme = core::make_scheme(core::SchemeId::kHamming84, lib());

@@ -1,93 +1,15 @@
 #include "engine/campaign.hpp"
 
-#include <atomic>
-#include <map>
 #include <memory>
-#include <unordered_map>
 #include <utility>
 
 #include "engine/checkpoint.hpp"
-#include "engine/kernel.hpp"
 #include "engine/scheduler.hpp"
-#include "engine/scheme_artifacts.hpp"
+#include "engine/tally_board.hpp"
+#include "engine/unit_executor.hpp"
 #include "util/expect.hpp"
-#include "util/stats.hpp"
 
 namespace sfqecc::engine {
-namespace {
-
-/// Raw per-chip tally arrays for one (cell, scheme) pair; work units write
-/// disjoint [chip_lo, chip_hi) slices, so no synchronization is needed.
-struct Tally {
-  std::vector<std::size_t> errors, flagged, frames, channel_bit_errors;
-  std::vector<char> done;  ///< chips actually executed (partial runs)
-
-  explicit Tally(std::size_t chips)
-      : errors(chips, 0), flagged(chips, 0), frames(chips, 0),
-        channel_bit_errors(chips, 0), done(chips, 0) {}
-};
-
-/// Per-worker scratch: one DataLink slot per scheme, rebuilt when the cell's
-/// link config differs from the cached one. Spread/ARQ-only sweeps (equal
-/// configs) build each scheme's simulator once per worker; channel/timing
-/// sweeps rebuild at cell boundaries, which is shard-granular and cheap
-/// (the link leases the scheme's shared SimTables, so a rebuild allocates
-/// only mutable simulator state — the netlist is never re-flattened), while
-/// memory stays bounded at one simulator per scheme per worker no matter how
-/// many cells the sweep expands to. Reuse never affects results — the kernel
-/// reinstalls chip state and reseeds all noise streams per chip.
-struct WorkerState {
-  struct SchemeSlot {
-    link::DataLinkConfig config;
-    std::unique_ptr<link::DataLink> link;
-  };
-  std::vector<SchemeSlot> slots;  ///< indexed by scheme
-  ppv::ChipSample sample;
-
-  link::DataLink& link_for(const CampaignCell& cell, std::size_t scheme_index,
-                           const link::SchemeSpec& scheme,
-                           const SchemeArtifacts& artifacts) {
-    if (slots.size() <= scheme_index) slots.resize(scheme_index + 1);
-    SchemeSlot& slot = slots[scheme_index];
-    if (!slot.link || !(slot.config == cell.link)) {
-      slot.link = std::make_unique<link::DataLink>(*scheme.encoder, artifacts.tables,
-                                                   scheme.reference, scheme.decoder,
-                                                   cell.link);
-      slot.config = cell.link;
-    }
-    return *slot.link;
-  }
-};
-
-/// Statistics cover only executed chips (result.chip_done), so a partial run
-/// reports honest numbers over what actually ran instead of zero-filled
-/// perfection.
-void finalize(SchemeCellResult& result, std::size_t codeword_bits) {
-  const std::vector<char>& done = result.chip_done;
-  std::vector<std::size_t> completed_errors;
-  completed_errors.reserve(done.size());
-  util::Accumulator err_acc, flag_acc, frame_acc;
-  std::size_t bit_errors = 0, frames = 0;
-  for (std::size_t chip = 0; chip < done.size(); ++chip) {
-    if (!done[chip]) continue;
-    completed_errors.push_back(result.errors_per_chip[chip]);
-    err_acc.add(static_cast<double>(result.errors_per_chip[chip]));
-    flag_acc.add(static_cast<double>(result.flagged_per_chip[chip]));
-    frame_acc.add(static_cast<double>(result.frames_per_chip[chip]));
-    frames += result.frames_per_chip[chip];
-    bit_errors += result.channel_bit_errors_per_chip[chip];
-  }
-  result.chips_completed = completed_errors.size();
-  result.cdf = util::EmpiricalCdf(completed_errors);
-  result.p_zero = result.cdf.at(0);
-  result.mean_errors = err_acc.mean();
-  result.mean_flagged = flag_acc.mean();
-  result.mean_frames = frame_acc.mean();
-  const std::size_t bits = frames * codeword_bits;
-  result.channel_ber = bits > 0 ? static_cast<double>(bit_errors) / bits : 0.0;
-}
-
-}  // namespace
 
 CampaignResult run_cells(const CampaignSpec& spec, const std::vector<CampaignCell>& cells,
                          const std::vector<link::SchemeSpec>& schemes,
@@ -96,26 +18,14 @@ CampaignResult run_cells(const CampaignSpec& spec, const std::vector<CampaignCel
   for (const link::SchemeSpec& scheme : schemes)
     expects(scheme.encoder != nullptr, "campaign scheme without encoder");
 
-  CampaignResult result;
-  result.cells.reserve(cells.size());
-  for (const CampaignCell& cell : cells) {
-    CellResult cell_result;
-    cell_result.cell = cell;
-    cell_result.schemes.resize(schemes.size());
-    for (std::size_t s = 0; s < schemes.size(); ++s)
-      cell_result.schemes[s].scheme = schemes[s].name;
-    result.cells.push_back(std::move(cell_result));
-  }
+  CampaignResult result = make_campaign_result_skeleton(cells, schemes);
 
   const std::vector<WorkUnit> units =
       make_work_units(cells.size(), schemes.size(), spec.chips, options.shard_chips);
   result.units_total = units.size();
   if (units.empty()) return result;  // empty sweep / no schemes / chips == 0
 
-  std::vector<std::vector<Tally>> tallies;  // [cell][scheme]
-  tallies.reserve(cells.size());
-  for (std::size_t c = 0; c < cells.size(); ++c)
-    tallies.emplace_back(schemes.size(), Tally(spec.chips));
+  TallyBoard board(cells.size(), schemes.size(), spec.chips);
 
   // ---- checkpoint: load prior progress, mark completed units ---------------
   std::vector<char> done(units.size(), 0);
@@ -126,39 +36,17 @@ CampaignResult run_cells(const CampaignSpec& spec, const std::vector<CampaignCel
     const std::uint64_t fingerprint =
         campaign_fingerprint(spec, cells, scheme_names, options.shard_chips);
 
-    std::unordered_map<std::uint64_t, std::size_t> unit_index;
-    auto unit_key = [&](const WorkUnit& u) {
-      return (static_cast<std::uint64_t>(u.cell) * schemes.size() + u.scheme) *
-                 (spec.chips + 1) +
-             u.chip_lo;
-    };
-    for (std::size_t i = 0; i < units.size(); ++i) unit_index[unit_key(units[i])] = i;
-
     CheckpointData data;
     const bool existed = load_checkpoint(options.checkpoint_path, data);
     if (existed) {
       expects(data.fingerprint == fingerprint,
               "checkpoint belongs to a different campaign");
+      const UnitIndexMap index(units, cells.size(), schemes.size(), spec.chips);
       for (const UnitResult& unit : data.units) {
-        // Range-check before hashing: out-of-range fields from a corrupted
-        // or hand-edited record could alias another unit's key and silently
-        // fill the wrong tally.
-        if (unit.unit.cell >= cells.size() || unit.unit.scheme >= schemes.size() ||
-            unit.unit.chip_lo >= spec.chips)
-          continue;
-        auto it = unit_index.find(unit_key(unit.unit));
-        if (it == unit_index.end() || done[it->second]) continue;
-        const WorkUnit& u = units[it->second];
-        if (unit.unit.chip_hi != u.chip_hi) continue;
-        Tally& tally = tallies[u.cell][u.scheme];
-        for (std::size_t i = 0; i < unit.errors.size(); ++i) {
-          tally.errors[u.chip_lo + i] = unit.errors[i];
-          tally.flagged[u.chip_lo + i] = unit.flagged[i];
-          tally.frames[u.chip_lo + i] = unit.frames[i];
-          tally.channel_bit_errors[u.chip_lo + i] = unit.channel_bit_errors[i];
-          tally.done[u.chip_lo + i] = 1;
-        }
-        done[it->second] = 1;
+        const std::size_t i = index.find(unit.unit);
+        if (i == UnitIndexMap::npos || done[i]) continue;
+        board.scatter(unit);
+        done[i] = 1;
         ++result.units_resumed;
       }
     }
@@ -173,46 +61,27 @@ CampaignResult run_cells(const CampaignSpec& spec, const std::vector<CampaignCel
     if (!done[i]) pending.push_back(i);
 
   if (!pending.empty() && options.max_units > 0) {
-    // ---- stage 0: shared immutable per-scheme artifacts --------------------
-    const std::vector<SchemeArtifacts> artifacts =
-        build_scheme_artifacts(schemes, library);
-
-    // ---- fabrication-artifact cache ---------------------------------------
-    // Cells fabricate identical chips exactly when they agree on (seed,
-    // spread): the kPpv substream depends on nothing else. Only cells whose
-    // (seed, spread fingerprint) pair recurs can ever hit, so single-cell
-    // runs (run_monte_carlo) and pure spread sweeps bypass the cache
-    // entirely — no lookups, no resident copies, the exact pre-cache path.
-    std::vector<std::uint64_t> cell_spread_fp(cells.size(), 0);
-    std::vector<char> cell_cached(cells.size(), 0);
-    std::unique_ptr<ArtifactCache> cache;
-    if (options.artifact_cache_bytes > 0) {
-      std::map<std::pair<std::uint64_t, std::uint64_t>, std::size_t> population;
-      for (std::size_t c = 0; c < cells.size(); ++c) {
-        cell_spread_fp[c] = spread_fingerprint(cells[c].spread);
-        ++population[{cells[c].seed, cell_spread_fp[c]}];
-      }
-      for (std::size_t c = 0; c < cells.size(); ++c)
-        cell_cached[c] = population[{cells[c].seed, cell_spread_fp[c]}] > 1 ? 1 : 0;
-      for (char cached : cell_cached)
-        if (cached) {
-          cache = std::make_unique<ArtifactCache>(options.artifact_cache_bytes);
-          break;
-        }
-    }
-
     SchedulerOptions sched;
     sched.threads = options.threads;
     sched.max_units = options.max_units;
     sched.unit_attempts = options.unit_attempts;
     sched.fail_fast = options.fail_fast;
-    std::vector<WorkerState> workers(resolved_thread_count(sched, pending.size()));
 
+    // The executor is built lazily — only when units actually run — so a
+    // fully-resumed campaign skips stage 0 (netlist flattening, SimTables)
+    // entirely, exactly like the pre-refactor engine did.
+    UnitExecutorOptions exec_options;
+    exec_options.workers = resolved_thread_count(sched, pending.size());
+    exec_options.shard_chips = options.shard_chips;
+    exec_options.artifact_cache_bytes = options.artifact_cache_bytes;
+    exec_options.fault_injector = options.fault_injector;
+    UnitExecutor executor(spec, cells, schemes, library, exec_options);
+
+    // Per-worker result scratch: execute() fully overwrites it, the board
+    // scatter copies it out, so one buffer per worker amortizes to zero
+    // allocations once the vectors reach shard size.
+    std::vector<UnitResult> scratch(exec_options.workers);
     const FaultInjector* injector = options.fault_injector;
-    // Injected cache-insert failures bypass the cache object, so their count
-    // is merged into the cache stats after the run (atomic: chips of one
-    // unit increment concurrently with other units').
-    std::atomic<std::uint64_t> injected_insert_failures{0};
 
     const ScheduleOutcome outcome = run_units(
         pending.size(),
@@ -221,91 +90,22 @@ CampaignResult run_cells(const CampaignSpec& spec, const std::vector<CampaignCel
           // the pending subset, so a fault schedule replays identically
           // across resumes with different completed prefixes.
           const std::size_t unit_index = pending[pending_index];
-          const WorkUnit& unit = units[unit_index];
-          const CampaignCell& cell = cells[unit.cell];
-          const link::SchemeSpec& scheme = schemes[unit.scheme];
-          WorkerState& worker = workers[worker_index];
-          // Reusing the worker's DataLink across attempts is safe for the
-          // same reason reusing it across units is: simulate_chip reinstalls
-          // the chip and reseeds every noise stream per chip, so no state
-          // from an abandoned attempt can leak into the retry.
-          link::DataLink& dlink =
-              worker.link_for(cell, unit.scheme, scheme, artifacts[unit.scheme]);
-          Tally& tally = tallies[unit.cell][unit.scheme];
-
-          ChipTask task;
-          task.scheme = &scheme;
-          task.library = &library;
-          task.spread = cell.spread;
-          task.seed = cell.seed;
-          task.scheme_index = unit.scheme;
-          task.chips = spec.chips;
-          task.messages = spec.messages_per_chip;
-          task.count_flagged_as_error = spec.count_flagged_as_error;
-          task.arq = cell.arq;
-
-          // The fabricate/simulate checks throw InjectedFault on a matching
-          // (site, unit, attempt) at the stage boundary of the first chip
-          // that reaches it — so a simulate fault fires after fabrication
-          // (and any cache insert) already happened, exercising retry over
-          // partially completed work. A failed attempt may leave some chips
-          // of the slice already tallied — harmless, because a successful
-          // retry rewrites every chip (deterministically identical values)
-          // and quarantine clears the whole slice below.
-          for (std::size_t chip = unit.chip_lo; chip < unit.chip_hi; ++chip) {
-            task.chip = chip;
-            if (injector) injector->check(FaultSite::kFabricate, unit_index, attempt);
-            if (cache && cell_cached[unit.cell]) {
-              const ArtifactKey key{artifacts[unit.scheme].fingerprint,
-                                    cell_spread_fp[unit.cell], cell.seed,
-                                    task.stream()};
-              if (!cache->lookup(key, worker.sample)) {
-                fabricate_chip(task, worker.sample);
-                // Graceful degradation: a failed insert (injected here, or a
-                // real allocation failure inside the cache) keeps the chip
-                // out of the cache but never out of the unit — the sample in
-                // hand is used as-is and peers re-fabricate on their misses.
-                if (injector &&
-                    injector->fire(FaultSite::kCacheInsert, unit_index, attempt)) {
-                  injected_insert_failures.fetch_add(1, std::memory_order_relaxed);
-                } else {
-                  cache->insert(key, worker.sample);
-                }
-              }
-            } else {
-              fabricate_chip(task, worker.sample);
-            }
-            if (injector) injector->check(FaultSite::kSimulate, unit_index, attempt);
-            const ChipCounts counts = simulate_chip(dlink, task, worker.sample);
-            tally.errors[chip] = counts.errors;
-            tally.flagged[chip] = counts.flagged;
-            tally.frames[chip] = counts.frames;
-            tally.channel_bit_errors[chip] = counts.channel_bit_errors;
-            tally.done[chip] = 1;
-          }
+          UnitResult& record = scratch[worker_index];
+          executor.execute(unit_index, worker_index, attempt, record);
+          // Record before scatter: if the checkpoint append fails under
+          // IoErrorPolicy::kFail the thrown IoError makes this attempt fail
+          // before the board sees the unit, so a unit that ultimately
+          // quarantines is absent from BOTH the checkpoint and the
+          // statistics (an injected failure exercises the same path; the
+          // loader tolerates the duplicate record a successful retry
+          // appends — first wins).
           if (writer) {
-            UnitResult record;
-            record.unit = unit;
-            const std::size_t count = unit.chip_hi - unit.chip_lo;
-            record.errors.assign(tally.errors.begin() + unit.chip_lo,
-                                 tally.errors.begin() + unit.chip_lo + count);
-            record.flagged.assign(tally.flagged.begin() + unit.chip_lo,
-                                  tally.flagged.begin() + unit.chip_lo + count);
-            record.frames.assign(tally.frames.begin() + unit.chip_lo,
-                                 tally.frames.begin() + unit.chip_lo + count);
-            record.channel_bit_errors.assign(
-                tally.channel_bit_errors.begin() + unit.chip_lo,
-                tally.channel_bit_errors.begin() + unit.chip_lo + count);
-            // An injected checkpoint-write failure surfaces through the
-            // writer's real policy path (warn-and-count or thrown IoError);
-            // under kFail the throw makes this attempt fail, so the unit is
-            // re-simulated and re-recorded — the loader tolerates the
-            // resulting duplicate record (first wins).
             const bool inject_ckpt =
-                injector && injector->fire(FaultSite::kCheckpointWrite, unit_index,
-                                           attempt);
+                injector &&
+                injector->fire(FaultSite::kCheckpointWrite, unit_index, attempt);
             writer->record(record, inject_ckpt);
           }
+          board.scatter(record);
         },
         sched);
 
@@ -316,41 +116,14 @@ CampaignResult run_cells(const CampaignSpec& spec, const std::vector<CampaignCel
     result.units_executed = outcome.executed;
     for (const UnitFailure& failure : outcome.failures) {
       const std::size_t unit_index = pending[failure.unit];
-      const WorkUnit& unit = units[unit_index];
-      // Quarantine: wipe the unit's tally slice so chips a failed attempt
-      // already simulated never leak into the statistics — the published
-      // numbers cover exactly the units that completed, and the checkpoint
-      // (which never saw this unit) agrees.
-      Tally& tally = tallies[unit.cell][unit.scheme];
-      for (std::size_t chip = unit.chip_lo; chip < unit.chip_hi; ++chip) {
-        tally.errors[chip] = 0;
-        tally.flagged[chip] = 0;
-        tally.frames[chip] = 0;
-        tally.channel_bit_errors[chip] = 0;
-        tally.done[chip] = 0;
-      }
       result.failures.push_back(
-          UnitFailureInfo{unit_index, unit, failure.attempts, failure.error});
+          UnitFailureInfo{unit_index, units[unit_index], failure.attempts, failure.error});
     }
-    if (cache) result.artifact_cache = cache->stats();
-    result.artifact_cache.insert_failures +=
-        injected_insert_failures.load(std::memory_order_relaxed);
+    result.artifact_cache = executor.cache_stats();
   }
   if (writer) result.checkpoint_io_errors = writer->io_errors();
 
-  // ---- finalize -------------------------------------------------------------
-  for (std::size_t c = 0; c < cells.size(); ++c) {
-    for (std::size_t s = 0; s < schemes.size(); ++s) {
-      SchemeCellResult& scheme_result = result.cells[c].schemes[s];
-      Tally& tally = tallies[c][s];
-      scheme_result.errors_per_chip = std::move(tally.errors);
-      scheme_result.flagged_per_chip = std::move(tally.flagged);
-      scheme_result.frames_per_chip = std::move(tally.frames);
-      scheme_result.channel_bit_errors_per_chip = std::move(tally.channel_bit_errors);
-      scheme_result.chip_done = std::move(tally.done);
-      finalize(scheme_result, schemes[s].encoder->codeword_outputs.size());
-    }
-  }
+  board.finalize_into(result, schemes);
   return result;
 }
 

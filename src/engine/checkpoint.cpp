@@ -1,5 +1,6 @@
 #include "engine/checkpoint.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -30,9 +31,17 @@ std::string errno_detail() {
   return errno != 0 ? std::string(": ") + std::strerror(errno) : std::string();
 }
 
-}  // namespace
+std::string hex_fingerprint(std::uint64_t fingerprint) {
+  std::ostringstream out;
+  out << std::hex << fingerprint;
+  return out.str();
+}
 
-bool load_checkpoint(const std::string& path, CheckpointData& data) {
+/// Shared body of load_checkpoint and merge_checkpoint_shards. When
+/// `header_line` is non-null it receives the raw first line (for caret
+/// diagnostics over the fingerprint field).
+bool parse_checkpoint(const std::string& path, CheckpointData& data,
+                      std::string* header_line) {
   std::ifstream in(path);
   if (!in) return false;
 
@@ -52,6 +61,7 @@ bool load_checkpoint(const std::string& path, CheckpointData& data) {
     expects(magic == kMagic && version == kVersion && !header.fail(),
             "checkpoint: unrecognized header");
   }
+  if (header_line) *header_line = line;
 
   data.units.clear();
   while (std::getline(in, line)) {
@@ -90,6 +100,78 @@ bool load_checkpoint(const std::string& path, CheckpointData& data) {
   if (in.bad())
     throw IoError("checkpoint: read error on " + path + errno_detail());
   return true;
+}
+
+}  // namespace
+
+bool load_checkpoint(const std::string& path, CheckpointData& data) {
+  return parse_checkpoint(path, data, nullptr);
+}
+
+std::size_t merge_checkpoint_shards(const std::vector<std::string>& paths,
+                                    std::uint64_t expected_fingerprint,
+                                    CheckpointData& data) {
+  data.fingerprint = expected_fingerprint;
+  data.units.clear();
+  // First-wins dedup across shards AND within one shard, keyed by the full
+  // record identity (a reclaimed lease re-executed by a second worker, or a
+  // retried append, persists the same unit more than once).
+  std::unordered_map<std::string, char> seen;
+  for (const std::string& path : paths) {
+    CheckpointData shard;
+    std::string header_line;
+    if (!parse_checkpoint(path, shard, &header_line)) continue;
+    if (shard.fingerprint != expected_fingerprint) {
+      // Caret under the fingerprint field (the header's last token), in the
+      // style of the CLI diagnostics: the operator sees exactly which shard
+      // carries which campaign instead of a silent cross-campaign merge.
+      const std::size_t column = header_line.rfind(' ') + 1;
+      throw ContractViolation(
+          "checkpoint shard " + path +
+          " belongs to a different campaign (expected fingerprint " +
+          hex_fingerprint(expected_fingerprint) + ")\n  " + header_line + "\n  " +
+          std::string(column, ' ') + "^");
+    }
+    for (UnitResult& unit : shard.units) {
+      std::string key = std::to_string(unit.unit.cell) + ' ' +
+                        std::to_string(unit.unit.scheme) + ' ' +
+                        std::to_string(unit.unit.chip_lo) + ' ' +
+                        std::to_string(unit.unit.chip_hi);
+      if (!seen.emplace(std::move(key), 1).second) continue;
+      data.units.push_back(std::move(unit));
+    }
+  }
+  // Worker append interleaving is a scheduling accident; canonical order is
+  // the deterministic contract downstream consumers (merged-checkpoint
+  // emission, tests) rely on.
+  std::sort(data.units.begin(), data.units.end(),
+            [](const UnitResult& a, const UnitResult& b) {
+              if (a.unit.cell != b.unit.cell) return a.unit.cell < b.unit.cell;
+              if (a.unit.scheme != b.unit.scheme) return a.unit.scheme < b.unit.scheme;
+              return a.unit.chip_lo < b.unit.chip_lo;
+            });
+  return data.units.size();
+}
+
+UnitIndexMap::UnitIndexMap(const std::vector<WorkUnit>& units, std::size_t cells,
+                           std::size_t schemes, std::size_t chips)
+    : units_(&units), cells_(cells), schemes_(schemes), chips_(chips) {
+  index_.reserve(units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    const WorkUnit& u = units[i];
+    index_.emplace((u.cell * schemes_ + u.scheme) * (chips_ + 1) + u.chip_lo, i);
+  }
+}
+
+std::size_t UnitIndexMap::find(const WorkUnit& unit) const {
+  // Range-check before hashing: out-of-range fields from a corrupted record
+  // could alias another unit's key.
+  if (unit.cell >= cells_ || unit.scheme >= schemes_ || unit.chip_lo >= chips_)
+    return npos;
+  const auto it =
+      index_.find((unit.cell * schemes_ + unit.scheme) * (chips_ + 1) + unit.chip_lo);
+  if (it == index_.end()) return npos;
+  return (*units_)[it->second].chip_hi == unit.chip_hi ? it->second : npos;
 }
 
 CheckpointWriter::CheckpointWriter(const std::string& path, std::uint64_t fingerprint,

@@ -4,7 +4,10 @@
 // checkpoint file; a resumed run loads the file, pre-fills the matching
 // result slices and only executes the remaining units. Because every unit is
 // deterministic, an interrupted-and-resumed campaign produces byte-identical
-// reports to an uninterrupted one.
+// reports to an uninterrupted one. The same format is the distributed
+// fabric's result transport: each fabric worker appends its units to a
+// per-worker checkpoint SHARD, and the coordinator merges the shards
+// (merge_checkpoint_shards) back into one canonical unit-result set.
 //
 // Format (line-oriented, whitespace-separated):
 //   sfqecc-campaign-checkpoint 1 <fingerprint-hex>
@@ -32,6 +35,7 @@
 #include <fstream>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/campaign_spec.hpp"
@@ -61,6 +65,48 @@ struct CheckpointData {
 /// and engine::IoError when the underlying stream reports a read error
 /// (badbit), so a flaky disk surfaces instead of silently resuming less.
 bool load_checkpoint(const std::string& path, CheckpointData& data);
+
+/// Merges checkpoint shard files — per-worker unit-result logs, as written by
+/// the distributed fabric (fabric/worker.hpp) — into one deduplicated
+/// CheckpointData. Shards are read in the given order; duplicate records for
+/// one unit keep the first occurrence (the load_checkpoint semantics — a
+/// reclaimed lease can legitimately be executed by two workers, and
+/// determinism makes their records byte-identical). Missing/empty shard files
+/// are skipped (a worker that never claimed a lease has nothing to merge);
+/// torn trailing records are dropped exactly like load_checkpoint does. A
+/// shard whose header fingerprint differs from `expected_fingerprint` is
+/// rejected with a ContractViolation carrying a caret diagnostic under the
+/// offending fingerprint — shards from different campaigns must never be
+/// silently mixed. The merged units are sorted by (cell, scheme, chip_lo) so
+/// the result is deterministic regardless of worker append interleaving.
+/// Returns the number of distinct units merged.
+std::size_t merge_checkpoint_shards(const std::vector<std::string>& paths,
+                                    std::uint64_t expected_fingerprint,
+                                    CheckpointData& data);
+
+/// Maps checkpoint/shard records back to positions in the deterministic
+/// work-unit list (engine/campaign_spec.hpp make_work_units order),
+/// validating the record's full identity — out-of-range fields from a
+/// corrupted or hand-edited record could otherwise alias another unit's key
+/// and silently fill the wrong tally. Shared by the campaign runner's
+/// checkpoint resume and the fabric coordinator's shard merge: the unit
+/// numbering it recovers is the spool protocol's wire contract.
+class UnitIndexMap {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  UnitIndexMap(const std::vector<WorkUnit>& units, std::size_t cells,
+               std::size_t schemes, std::size_t chips);
+
+  /// Returns the position of `unit` in the unit list, or npos when no unit
+  /// matches all four of its fields.
+  std::size_t find(const WorkUnit& unit) const;
+
+ private:
+  const std::vector<WorkUnit>* units_;
+  std::size_t cells_, schemes_, chips_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+};
 
 /// Checkpoint writer, safe for concurrent workers. On a fresh run it
 /// truncates the file (clearing any kill-truncated header debris) and writes

@@ -6,7 +6,8 @@ namespace sfqecc::engine {
 namespace {
 
 constexpr const char* kSiteNames[kFaultSiteCount] = {
-    "fabricate", "simulate", "cache-insert", "checkpoint-write", "report-write"};
+    "fabricate",    "simulate",    "cache-insert", "checkpoint-write",
+    "report-write", "lease-claim", "shard-write",  "merge"};
 
 /// Parses a unit/attempt field: digits or the '*' wildcard. Returns false on
 /// anything else (including an empty field or trailing junk).
@@ -58,7 +59,7 @@ std::optional<InjectionSpec> parse_injection_spec(const std::string& text,
     return fail(error,
                 "unknown fault site '" + site_name +
                     "' (fabricate, simulate, cache-insert, checkpoint-write, "
-                    "report-write)",
+                    "report-write, lease-claim, shard-write, merge)",
                 0);
   spec.site = *site;
 

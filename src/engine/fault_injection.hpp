@@ -12,6 +12,13 @@
 //                      the unit falls back to uncached re-fabrication)
 //   checkpoint-write   a CheckpointWriter::record append
 //   report-write       a report file write (JSON/CSV/cache-stats)
+//   lease-claim        a fabric worker's lease-claim rename (simulated lost
+//                      race; the worker skips the lease — fabric/worker.hpp)
+//   shard-write        a fabric worker's checkpoint-shard append (the unit
+//                      attempt fails and retries — an unrecorded result is an
+//                      unfinished unit in the spool protocol)
+//   merge              the fabric coordinator's final shard merge (retried;
+//                      fabric/coordinator.hpp)
 //
 // firing deterministically by the coordinate (site, unit index, attempt):
 // matching is a pure function of those three values, so an injected failure
@@ -19,12 +26,16 @@
 // pattern. Unit indices address the campaign's deterministic work-unit list
 // (engine/campaign_spec.hpp make_work_units order) — stable across resumes —
 // except at the report-write site, where "unit" is the ordinal of the file
-// in write order (campaign_runner: 0 = JSON, 1 = CSV, 2 = cache stats).
+// in write order (campaign_runner: 0 = JSON, 1 = CSV, 2 = cache stats), at
+// lease-claim, where it is the lease index (the first unit index of the
+// lease's range), and at merge, where it is the shard's ordinal in the
+// coordinator's sorted shard-path order.
 //
 // CLI grammar (campaign_runner --inject-fault=SPEC, repeatable):
 //   SPEC    := site ':' unit [':' attempt]
 //   site    := fabricate | simulate | cache-insert | checkpoint-write
-//            | report-write        (artifact-cache-insert aliases cache-insert)
+//            | report-write | lease-claim | shard-write | merge
+//            (artifact-cache-insert aliases cache-insert)
 //   unit    := integer | '*'       (every unit)
 //   attempt := integer | '*'       (every attempt; default 0 = first attempt)
 // e.g. --inject-fault='fabricate:*' fails every unit's first fabrication
@@ -50,9 +61,12 @@ enum class FaultSite : std::uint8_t {
   kCacheInsert,
   kCheckpointWrite,
   kReportWrite,
+  kLeaseClaim,
+  kShardWrite,
+  kMerge,
 };
 
-inline constexpr std::size_t kFaultSiteCount = 5;
+inline constexpr std::size_t kFaultSiteCount = 8;
 
 /// Canonical site name as used by the CLI grammar ("fabricate", ...).
 const char* fault_site_name(FaultSite site) noexcept;

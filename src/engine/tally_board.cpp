@@ -1,0 +1,102 @@
+#include "engine/tally_board.hpp"
+
+#include <utility>
+
+#include "util/expect.hpp"
+#include "util/stats.hpp"
+
+namespace sfqecc::engine {
+namespace {
+
+/// Statistics cover only executed chips (result.chip_done), so a partial run
+/// reports honest numbers over what actually ran instead of zero-filled
+/// perfection.
+void finalize(SchemeCellResult& result, std::size_t codeword_bits) {
+  const std::vector<char>& done = result.chip_done;
+  std::vector<std::size_t> completed_errors;
+  completed_errors.reserve(done.size());
+  util::Accumulator err_acc, flag_acc, frame_acc;
+  std::size_t bit_errors = 0, frames = 0;
+  for (std::size_t chip = 0; chip < done.size(); ++chip) {
+    if (!done[chip]) continue;
+    completed_errors.push_back(result.errors_per_chip[chip]);
+    err_acc.add(static_cast<double>(result.errors_per_chip[chip]));
+    flag_acc.add(static_cast<double>(result.flagged_per_chip[chip]));
+    frame_acc.add(static_cast<double>(result.frames_per_chip[chip]));
+    frames += result.frames_per_chip[chip];
+    bit_errors += result.channel_bit_errors_per_chip[chip];
+  }
+  result.chips_completed = completed_errors.size();
+  result.cdf = util::EmpiricalCdf(completed_errors);
+  result.p_zero = result.cdf.at(0);
+  result.mean_errors = err_acc.mean();
+  result.mean_flagged = flag_acc.mean();
+  result.mean_frames = frame_acc.mean();
+  const std::size_t bits = frames * codeword_bits;
+  result.channel_ber = bits > 0 ? static_cast<double>(bit_errors) / bits : 0.0;
+}
+
+}  // namespace
+
+CampaignResult make_campaign_result_skeleton(
+    const std::vector<CampaignCell>& cells,
+    const std::vector<link::SchemeSpec>& schemes) {
+  CampaignResult result;
+  result.cells.reserve(cells.size());
+  for (const CampaignCell& cell : cells) {
+    CellResult cell_result;
+    cell_result.cell = cell;
+    cell_result.schemes.resize(schemes.size());
+    for (std::size_t s = 0; s < schemes.size(); ++s)
+      cell_result.schemes[s].scheme = schemes[s].name;
+    result.cells.push_back(std::move(cell_result));
+  }
+  return result;
+}
+
+TallyBoard::TallyBoard(std::size_t cells, std::size_t schemes, std::size_t chips)
+    : chips_(chips) {
+  tallies_.reserve(cells);
+  for (std::size_t c = 0; c < cells; ++c)
+    tallies_.emplace_back(schemes, Tally(chips));
+}
+
+void TallyBoard::scatter(const UnitResult& result) {
+  const WorkUnit& unit = result.unit;
+  expects(unit.cell < tallies_.size() && unit.scheme < tallies_[unit.cell].size() &&
+              unit.chip_lo < unit.chip_hi && unit.chip_hi <= chips_,
+          "tally board: unit outside the grid");
+  const std::size_t count = unit.chip_hi - unit.chip_lo;
+  expects(result.errors.size() == count && result.flagged.size() == count &&
+              result.frames.size() == count &&
+              result.channel_bit_errors.size() == count,
+          "tally board: unit result with mismatched counts");
+  Tally& tally = tallies_[unit.cell][unit.scheme];
+  for (std::size_t i = 0; i < count; ++i) {
+    tally.errors[unit.chip_lo + i] = result.errors[i];
+    tally.flagged[unit.chip_lo + i] = result.flagged[i];
+    tally.frames[unit.chip_lo + i] = result.frames[i];
+    tally.channel_bit_errors[unit.chip_lo + i] = result.channel_bit_errors[i];
+    tally.done[unit.chip_lo + i] = 1;
+  }
+}
+
+void TallyBoard::finalize_into(CampaignResult& result,
+                               const std::vector<link::SchemeSpec>& schemes) {
+  expects(result.cells.size() == tallies_.size(),
+          "tally board: result skeleton does not match the grid");
+  for (std::size_t c = 0; c < tallies_.size(); ++c) {
+    for (std::size_t s = 0; s < tallies_[c].size(); ++s) {
+      SchemeCellResult& scheme_result = result.cells[c].schemes[s];
+      Tally& tally = tallies_[c][s];
+      scheme_result.errors_per_chip = std::move(tally.errors);
+      scheme_result.flagged_per_chip = std::move(tally.flagged);
+      scheme_result.frames_per_chip = std::move(tally.frames);
+      scheme_result.channel_bit_errors_per_chip = std::move(tally.channel_bit_errors);
+      scheme_result.chip_done = std::move(tally.done);
+      finalize(scheme_result, schemes[s].encoder->codeword_outputs.size());
+    }
+  }
+}
+
+}  // namespace sfqecc::engine

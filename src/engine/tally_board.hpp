@@ -1,0 +1,66 @@
+// Shared tally assembly of the campaign engine.
+//
+// A TallyBoard turns a stream of UnitResults — from the in-process scheduler,
+// a checkpoint resume, or the distributed fabric's merged shards — into the
+// finalized per-(cell, scheme) statistics of a CampaignResult. It is the
+// second half of the byte-identity guarantee: because every consumer funnels
+// unit results through this one accumulation + finalize path, a report's
+// bytes depend only on WHICH units completed, never on who executed them,
+// in what order, or over how many processes.
+//
+// Statistics cover only chips whose units actually completed (chip_done), so
+// partial runs (max_units, interruption, quarantined units) report honest
+// numbers over what ran instead of zero-filled perfection.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "engine/campaign.hpp"
+#include "engine/checkpoint.hpp"
+#include "link/scheme_spec.hpp"
+
+namespace sfqecc::engine {
+
+/// Builds the result skeleton every campaign entry point starts from: one
+/// CellResult per cell, scheme names filled, statistics empty until a
+/// TallyBoard finalizes into it.
+CampaignResult make_campaign_result_skeleton(
+    const std::vector<CampaignCell>& cells,
+    const std::vector<link::SchemeSpec>& schemes);
+
+/// Per-chip tally grid over (cell, scheme, chip). Work units scatter into
+/// disjoint [chip_lo, chip_hi) slices, so concurrent scatter calls for
+/// distinct units need no synchronization; scattering the same unit twice is
+/// idempotent (determinism makes both copies byte-identical).
+class TallyBoard {
+ public:
+  TallyBoard(std::size_t cells, std::size_t schemes, std::size_t chips);
+
+  /// Copies one completed unit's per-chip counts into its slice and marks
+  /// those chips done. The unit must lie inside the grid and carry exactly
+  /// chip_hi - chip_lo counts per section (callers validate records from
+  /// disk with UnitIndexMap first; this only asserts).
+  void scatter(const UnitResult& result);
+
+  /// Moves the tallies into result.cells and computes the final statistics
+  /// (CDF, P(N=0), means, channel BER) over completed chips. The board is
+  /// consumed: call at most once, after all scattering is done.
+  void finalize_into(CampaignResult& result,
+                     const std::vector<link::SchemeSpec>& schemes);
+
+ private:
+  struct Tally {
+    std::vector<std::size_t> errors, flagged, frames, channel_bit_errors;
+    std::vector<char> done;  ///< chips actually executed (partial runs)
+
+    explicit Tally(std::size_t chips)
+        : errors(chips, 0), flagged(chips, 0), frames(chips, 0),
+          channel_bit_errors(chips, 0), done(chips, 0) {}
+  };
+
+  std::size_t chips_;
+  std::vector<std::vector<Tally>> tallies_;  // [cell][scheme]
+};
+
+}  // namespace sfqecc::engine

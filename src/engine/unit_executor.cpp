@@ -1,0 +1,175 @@
+#include "engine/unit_executor.hpp"
+
+#include <map>
+#include <utility>
+
+#include "engine/kernel.hpp"
+#include "util/expect.hpp"
+
+namespace sfqecc::engine {
+
+/// Per-worker scratch: one DataLink slot per scheme, rebuilt when the cell's
+/// link config differs from the cached one. Spread/ARQ-only sweeps (equal
+/// configs) build each scheme's simulator once per worker; channel/timing
+/// sweeps rebuild at cell boundaries, which is shard-granular and cheap
+/// (the link leases the scheme's shared SimTables, so a rebuild allocates
+/// only mutable simulator state — the netlist is never re-flattened), while
+/// memory stays bounded at one simulator per scheme per worker no matter how
+/// many cells the sweep expands to. Reuse never affects results — the kernel
+/// reinstalls chip state and reseeds all noise streams per chip.
+struct UnitExecutor::WorkerState {
+  struct SchemeSlot {
+    link::DataLinkConfig config;
+    std::unique_ptr<link::DataLink> link;
+  };
+  std::vector<SchemeSlot> slots;  ///< indexed by scheme
+  ppv::ChipSample sample;
+
+  link::DataLink& link_for(const CampaignCell& cell, std::size_t scheme_index,
+                           const link::SchemeSpec& scheme,
+                           const SchemeArtifacts& artifacts) {
+    if (slots.size() <= scheme_index) slots.resize(scheme_index + 1);
+    SchemeSlot& slot = slots[scheme_index];
+    if (!slot.link || !(slot.config == cell.link)) {
+      slot.link = std::make_unique<link::DataLink>(*scheme.encoder, artifacts.tables,
+                                                   scheme.reference, scheme.decoder,
+                                                   cell.link);
+      slot.config = cell.link;
+    }
+    return *slot.link;
+  }
+};
+
+UnitExecutor::UnitExecutor(const CampaignSpec& spec,
+                           const std::vector<CampaignCell>& cells,
+                           const std::vector<link::SchemeSpec>& schemes,
+                           const circuit::CellLibrary& library,
+                           const UnitExecutorOptions& options)
+    : spec_(spec),
+      cells_(cells),
+      schemes_(schemes),
+      library_(library),
+      injector_(options.fault_injector) {
+  for (const link::SchemeSpec& scheme : schemes)
+    expects(scheme.encoder != nullptr, "campaign scheme without encoder");
+
+  units_ = make_work_units(cells.size(), schemes.size(), spec.chips,
+                           options.shard_chips);
+  {
+    std::vector<std::string> scheme_names;
+    scheme_names.reserve(schemes.size());
+    for (const link::SchemeSpec& scheme : schemes) scheme_names.push_back(scheme.name);
+    fingerprint_ = campaign_fingerprint(spec, cells, scheme_names, options.shard_chips);
+  }
+  if (units_.empty()) return;  // empty sweep / no schemes / chips == 0
+
+  // ---- stage 0: shared immutable per-scheme artifacts ----------------------
+  artifacts_ = build_scheme_artifacts(schemes, library);
+
+  // ---- fabrication-artifact cache ------------------------------------------
+  // Cells fabricate identical chips exactly when they agree on (seed,
+  // spread): the kPpv substream depends on nothing else. Only cells whose
+  // (seed, spread fingerprint) pair recurs can ever hit, so single-cell runs
+  // (run_monte_carlo) and pure spread sweeps bypass the cache entirely — no
+  // lookups, no resident copies, the exact pre-cache path.
+  cell_spread_fp_.assign(cells.size(), 0);
+  cell_cached_.assign(cells.size(), 0);
+  if (options.artifact_cache_bytes > 0) {
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::size_t> population;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      cell_spread_fp_[c] = spread_fingerprint(cells[c].spread);
+      ++population[{cells[c].seed, cell_spread_fp_[c]}];
+    }
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      cell_cached_[c] = population[{cells[c].seed, cell_spread_fp_[c]}] > 1 ? 1 : 0;
+    for (char cached : cell_cached_)
+      if (cached) {
+        cache_ = std::make_unique<ArtifactCache>(options.artifact_cache_bytes);
+        break;
+      }
+  }
+
+  workers_.resize(std::max<std::size_t>(1, options.workers));
+}
+
+UnitExecutor::~UnitExecutor() = default;
+
+void UnitExecutor::execute(std::size_t unit_index, std::size_t worker_index,
+                           std::size_t attempt, UnitResult& out) {
+  expects(unit_index < units_.size(), "unit executor: unit index out of range");
+  expects(worker_index < workers_.size(), "unit executor: worker index out of range");
+  const WorkUnit& unit = units_[unit_index];
+  const CampaignCell& cell = cells_[unit.cell];
+  const link::SchemeSpec& scheme = schemes_[unit.scheme];
+  WorkerState& worker = workers_[worker_index];
+  // Reusing the worker's DataLink across attempts is safe for the same
+  // reason reusing it across units is: simulate_chip reinstalls the chip and
+  // reseeds every noise stream per chip, so no state from an abandoned
+  // attempt can leak into the retry.
+  link::DataLink& dlink =
+      worker.link_for(cell, unit.scheme, scheme, artifacts_[unit.scheme]);
+
+  const std::size_t count = unit.chip_hi - unit.chip_lo;
+  out.unit = unit;
+  out.errors.assign(count, 0);
+  out.flagged.assign(count, 0);
+  out.frames.assign(count, 0);
+  out.channel_bit_errors.assign(count, 0);
+
+  ChipTask task;
+  task.scheme = &scheme;
+  task.library = &library_;
+  task.spread = cell.spread;
+  task.seed = cell.seed;
+  task.scheme_index = unit.scheme;
+  task.chips = spec_.chips;
+  task.messages = spec_.messages_per_chip;
+  task.count_flagged_as_error = spec_.count_flagged_as_error;
+  task.arq = cell.arq;
+
+  // The fabricate/simulate checks throw InjectedFault on a matching
+  // (site, unit, attempt) at the stage boundary of the first chip that
+  // reaches it — so a simulate fault fires after fabrication (and any cache
+  // insert) already happened, exercising retry over partially completed
+  // work. A failed attempt leaves `out` partially filled; that is fine
+  // because callers only consume `out` on success and a successful retry
+  // overwrites every chip with deterministically identical values.
+  for (std::size_t chip = unit.chip_lo; chip < unit.chip_hi; ++chip) {
+    task.chip = chip;
+    if (injector_) injector_->check(FaultSite::kFabricate, unit_index, attempt);
+    if (cache_ && cell_cached_[unit.cell]) {
+      const ArtifactKey key{artifacts_[unit.scheme].fingerprint,
+                            cell_spread_fp_[unit.cell], cell.seed, task.stream()};
+      if (!cache_->lookup(key, worker.sample)) {
+        fabricate_chip(task, worker.sample);
+        // Graceful degradation: a failed insert (injected here, or a real
+        // allocation failure inside the cache) keeps the chip out of the
+        // cache but never out of the unit — the sample in hand is used as-is
+        // and peers re-fabricate on their misses.
+        if (injector_ && injector_->fire(FaultSite::kCacheInsert, unit_index, attempt)) {
+          injected_insert_failures_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          cache_->insert(key, worker.sample);
+        }
+      }
+    } else {
+      fabricate_chip(task, worker.sample);
+    }
+    if (injector_) injector_->check(FaultSite::kSimulate, unit_index, attempt);
+    const ChipCounts counts = simulate_chip(dlink, task, worker.sample);
+    const std::size_t slot = chip - unit.chip_lo;
+    out.errors[slot] = counts.errors;
+    out.flagged[slot] = counts.flagged;
+    out.frames[slot] = counts.frames;
+    out.channel_bit_errors[slot] = counts.channel_bit_errors;
+  }
+}
+
+ArtifactCacheStats UnitExecutor::cache_stats() const {
+  ArtifactCacheStats stats;
+  if (cache_) stats = cache_->stats();
+  stats.insert_failures += injected_insert_failures_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace sfqecc::engine

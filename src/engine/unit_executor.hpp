@@ -1,0 +1,104 @@
+// Shared per-unit execution core of the campaign engine.
+//
+// UnitExecutor owns everything the staged fabricate→simulate pipeline needs
+// to run any work unit of one campaign — the deterministic unit list, the
+// shared per-scheme artifacts (stage 0), the fabrication-artifact cache with
+// its population gating, and per-worker scratch state — behind a single
+// execute() call that turns a unit index into a UnitResult. It exists so
+// that the in-process scheduler (engine/campaign.cpp run_cells) and the
+// distributed fabric worker (fabric/worker.hpp) run bit-identical units from
+// one definition: the unit numbering exposed by units() is the spool
+// protocol's wire contract, and a unit's bytes never depend on which process
+// (or machine) executed it.
+//
+// Fault-injection sites kFabricate / kSimulate / kCacheInsert fire inside
+// execute() at the same stage boundaries they always did; the caller supplies
+// the (unit index, attempt) coordinate, so schedules replay identically under
+// the in-process retry ladder and under the fabric's lease reclaim.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "circuit/cell_library.hpp"
+#include "engine/artifact_cache.hpp"
+#include "engine/campaign_spec.hpp"
+#include "engine/checkpoint.hpp"
+#include "engine/fault_injection.hpp"
+#include "engine/scheme_artifacts.hpp"
+#include "link/datalink.hpp"
+#include "link/scheme_spec.hpp"
+#include "ppv/chip.hpp"
+
+namespace sfqecc::engine {
+
+struct UnitExecutorOptions {
+  /// Worker-state slots: execute()'s worker_index must stay below this.
+  std::size_t workers = 1;
+  /// Chips per work unit (campaign_fingerprint input — must match the
+  /// coordinator's in a fabric run).
+  std::size_t shard_chips = 32;
+  /// Byte budget of the fabrication-artifact cache; 0 disables it. Never
+  /// affects results, only speed (engine/artifact_cache.hpp key rules).
+  std::size_t artifact_cache_bytes = 256ull << 20;
+  /// Optional deterministic fault injection; borrowed, may be null.
+  const FaultInjector* fault_injector = nullptr;
+};
+
+class UnitExecutor {
+ public:
+  /// Borrows cells/schemes/library for its lifetime; builds the per-scheme
+  /// SimTables once (stage 0) and derives the deterministic unit list from
+  /// (cells, schemes, spec.chips, shard_chips).
+  UnitExecutor(const CampaignSpec& spec, const std::vector<CampaignCell>& cells,
+               const std::vector<link::SchemeSpec>& schemes,
+               const circuit::CellLibrary& library,
+               const UnitExecutorOptions& options);
+  ~UnitExecutor();
+
+  UnitExecutor(const UnitExecutor&) = delete;
+  UnitExecutor& operator=(const UnitExecutor&) = delete;
+
+  /// The campaign's deterministic work-unit list (make_work_units order).
+  const std::vector<WorkUnit>& units() const noexcept { return units_; }
+
+  /// FNV-1a fingerprint of the campaign (engine/campaign_spec.hpp) — the
+  /// value checkpoint files and fabric manifests/shards carry.
+  std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+
+  /// Runs every chip of units()[unit_index] and fills `out` with the unit's
+  /// per-chip tallies (fully overwritten; `out`'s capacity is reused).
+  /// Throws on failure — including injected faults at the fabricate /
+  /// simulate boundaries — leaving `out` unspecified; a retry with the same
+  /// coordinates produces the exact bytes the failed attempt would have.
+  /// Thread-safe across distinct worker_index values (< options.workers).
+  void execute(std::size_t unit_index, std::size_t worker_index, std::size_t attempt,
+               UnitResult& out);
+
+  /// Artifact-cache counters so far, including injected insert failures
+  /// (diagnostics only — scheduling-dependent, kept out of reports).
+  ArtifactCacheStats cache_stats() const;
+
+ private:
+  struct WorkerState;
+
+  const CampaignSpec& spec_;
+  const std::vector<CampaignCell>& cells_;
+  const std::vector<link::SchemeSpec>& schemes_;
+  const circuit::CellLibrary& library_;
+  const FaultInjector* injector_;
+
+  std::vector<WorkUnit> units_;
+  std::uint64_t fingerprint_ = 0;
+  std::vector<SchemeArtifacts> artifacts_;
+  std::vector<std::uint64_t> cell_spread_fp_;
+  std::vector<char> cell_cached_;
+  std::unique_ptr<ArtifactCache> cache_;
+  std::vector<WorkerState> workers_;
+  std::atomic<std::uint64_t> injected_insert_failures_{0};
+};
+
+}  // namespace sfqecc::engine

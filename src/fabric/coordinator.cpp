@@ -1,0 +1,222 @@
+#include "fabric/coordinator.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+#include "engine/checkpoint.hpp"
+#include "engine/tally_board.hpp"
+#include "util/expect.hpp"
+
+namespace sfqecc::fabric {
+namespace {
+
+/// Everything the coordinator can observe changing on the spool; the idle
+/// timeout fires only when this stays frozen (heartbeats alone are not
+/// progress — a worker that pings but never claims is not moving the
+/// campaign).
+struct SpoolSignature {
+  std::size_t done = 0;
+  std::vector<std::string> leases;
+  std::vector<std::pair<std::string, std::string>> claims;
+
+  bool operator==(const SpoolSignature& other) const {
+    return done == other.done && leases == other.leases && claims == other.claims;
+  }
+};
+
+SpoolSignature observe(const SpoolPaths& spool) {
+  SpoolSignature sig;
+  sig.done = count_done(spool);
+  sig.leases = list_leases(spool);
+  for (const ClaimInfo& claim : list_claims(spool))
+    sig.claims.emplace_back(claim.lease, claim.worker);
+  std::sort(sig.claims.begin(), sig.claims.end());
+  return sig;
+}
+
+}  // namespace
+
+CoordinatorOutcome run_coordinator(const SpoolPaths& spool,
+                                   const engine::CampaignSpec& spec,
+                                   const std::vector<engine::CampaignCell>& cells,
+                                   const std::vector<link::SchemeSpec>& schemes,
+                                   const CoordinatorOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  for (const link::SchemeSpec& scheme : schemes)
+    expects(scheme.encoder != nullptr, "campaign scheme without encoder");
+  expects(options.lease_units > 0, "fabric coordinator: lease_units must be >= 1");
+
+  std::vector<std::string> scheme_names;
+  scheme_names.reserve(schemes.size());
+  for (const link::SchemeSpec& scheme : schemes) scheme_names.push_back(scheme.name);
+  const std::uint64_t fingerprint =
+      engine::campaign_fingerprint(spec, cells, scheme_names, options.shard_chips);
+  const std::vector<engine::WorkUnit> units = engine::make_work_units(
+      cells.size(), schemes.size(), spec.chips, options.shard_chips);
+
+  CoordinatorOutcome outcome;
+  outcome.result = engine::make_campaign_result_skeleton(cells, schemes);
+  outcome.result.units_total = units.size();
+  if (units.empty()) return outcome;
+
+  const engine::UnitIndexMap index(units, cells.size(), schemes.size(), spec.chips);
+  engine::TallyBoard board(cells.size(), schemes.size(), spec.chips);
+
+  // ---- spool setup: wipe run state, keep shards (they ARE the resume) ------
+  create_spool_layout(spool);
+  clear_campaign_state(spool);
+
+  // ---- resume: pre-merge existing shards, lease only what is missing -------
+  // (A mismatched pre-existing shard throws here — launching a different
+  // campaign over a spool holding another campaign's results must be loud.)
+  std::vector<char> merged(units.size(), 0);
+  std::size_t resumed = 0;
+  {
+    engine::CheckpointData prior;
+    engine::merge_checkpoint_shards(list_shards(spool), fingerprint, prior);
+    for (const engine::UnitResult& unit : prior.units) {
+      const std::size_t i = index.find(unit.unit);
+      if (i == engine::UnitIndexMap::npos || merged[i]) continue;
+      merged[i] = 1;
+      ++resumed;
+    }
+  }
+  outcome.result.units_resumed = resumed;
+
+  // ---- publish leases, THEN the manifest ------------------------------------
+  // Order matters: the manifest is the workers' "open for business" signal,
+  // so by the time any worker reads it, every lease is already claimable —
+  // a worker can never observe an open campaign with a half-published queue.
+  {
+    Lease lease;
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      if (merged[i]) continue;
+      if (lease.units.empty()) lease.name = std::to_string(i);
+      lease.units.push_back(i);
+      if (lease.units.size() >= options.lease_units) {
+        publish_lease(spool, lease);
+        ++outcome.leases_published;
+        lease.units.clear();
+      }
+    }
+    if (!lease.units.empty()) {
+      publish_lease(spool, lease);
+      ++outcome.leases_published;
+    }
+  }
+  Manifest manifest;
+  manifest.fingerprint = fingerprint;
+  manifest.units = units.size();
+  manifest.leases = outcome.leases_published;
+  manifest.lease_units = options.lease_units;
+  write_manifest(spool, manifest);
+
+  // ---- supervise: wait for done markers, republish stale claims ------------
+  if (outcome.leases_published > 0) {
+    SpoolSignature last_seen = observe(spool);
+    Clock::time_point last_progress = Clock::now();
+    for (;;) {
+      if (count_done(spool) >= outcome.leases_published) break;
+
+      for (const ClaimInfo& claim : list_claims(spool)) {
+        if (is_lease_done(spool, claim.lease)) {
+          // Finished lease whose worker died between the done marker and the
+          // claim release: nothing to re-run, just retire the claim.
+          remove_claim(spool, claim);
+          continue;
+        }
+        const std::optional<std::chrono::milliseconds> age =
+            heartbeat_age(spool, claim.worker);
+        if (!age || *age > options.lease_timeout) {
+          // Dead (or never-started) worker: hand the lease back. The corpse
+          // may still append duplicate records later — first-wins dedup and
+          // determinism make that harmless.
+          if (reclaim_lease(spool, claim)) ++outcome.leases_reclaimed;
+        }
+      }
+
+      const SpoolSignature now_seen = observe(spool);
+      if (!(now_seen == last_seen)) {
+        last_seen = now_seen;
+        last_progress = Clock::now();
+      } else if (options.idle_timeout.count() > 0 &&
+                 Clock::now() - last_progress > options.idle_timeout) {
+        throw engine::IoError(
+            "fabric coordinator: no spool progress for " +
+            std::to_string(options.idle_timeout.count()) +
+            " ms (" + std::to_string(count_done(spool)) + "/" +
+            std::to_string(outcome.leases_published) +
+            " leases done — are any workers running?)");
+      }
+      std::this_thread::sleep_for(options.poll_interval);
+    }
+  }
+
+  // ---- final merge (kMerge retry ladder, shard ordinal coordinates) --------
+  const std::vector<std::string> shards = list_shards(spool);
+  engine::CheckpointData data;
+  const engine::FaultInjector* injector = options.fault_injector;
+  const std::size_t merge_attempts = std::max<std::size_t>(1, options.merge_attempts);
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      if (injector)
+        for (std::size_t ordinal = 0; ordinal < shards.size(); ++ordinal)
+          injector->check(engine::FaultSite::kMerge, ordinal, attempt);
+      engine::merge_checkpoint_shards(shards, fingerprint, data);
+      break;
+    } catch (const engine::InjectedFault&) {
+      if (attempt + 1 >= merge_attempts) throw;
+    }
+  }
+  outcome.shards_merged = shards.size();
+
+  std::fill(merged.begin(), merged.end(), 0);
+  std::size_t merged_count = 0;
+  for (const engine::UnitResult& unit : data.units) {
+    const std::size_t i = index.find(unit.unit);
+    if (i == engine::UnitIndexMap::npos || merged[i]) continue;
+    board.scatter(unit);
+    merged[i] = 1;
+    ++merged_count;
+  }
+  outcome.result.units_executed = merged_count - resumed;
+
+  // Quarantine flow: a failed/ marker counts only while no shard carries the
+  // unit — success (a reclaimed or retried execution that finished) always
+  // supersedes an earlier failure. One failure per unit (first marker in
+  // (unit, worker) order), mirroring the in-process quarantine list.
+  for (const FailedUnit& failure : list_failed(spool)) {
+    if (failure.unit >= units.size() || merged[failure.unit]) continue;
+    if (!outcome.result.failures.empty() &&
+        outcome.result.failures.back().unit_index == failure.unit)
+      continue;
+    outcome.result.failures.push_back(engine::UnitFailureInfo{
+        failure.unit, units[failure.unit], failure.attempts,
+        failure.error + " (worker " + failure.worker + ")"});
+  }
+
+  // ---- optional canonical merged checkpoint --------------------------------
+  // Unit-list order: deterministic, loadable by the single-process runner's
+  // --checkpoint for inspection or a later in-process resume.
+  if (!options.merged_checkpoint_path.empty()) {
+    std::vector<const engine::UnitResult*> by_index(units.size(), nullptr);
+    for (const engine::UnitResult& unit : data.units) {
+      const std::size_t i = index.find(unit.unit);
+      if (i != engine::UnitIndexMap::npos && !by_index[i]) by_index[i] = &unit;
+    }
+    engine::CheckpointWriter writer(options.merged_checkpoint_path, fingerprint,
+                                    /*existing_header=*/false,
+                                    engine::IoErrorPolicy::kFail);
+    for (const engine::UnitResult* unit : by_index)
+      if (unit) writer.record(*unit);
+  }
+
+  mark_complete(spool);
+  outcome.workers_seen = list_heartbeats(spool).size();
+  board.finalize_into(outcome.result, schemes);
+  return outcome;
+}
+
+}  // namespace sfqecc::fabric

@@ -1,0 +1,90 @@
+// Fabric coordinator: fans a campaign out over spool workers and merges the
+// result byte-identically to a single-machine run.
+//
+// The coordinator never executes a unit. It expands the campaign, publishes
+// every pending unit as lease files, writes the manifest (the signal workers
+// poll for), then supervises: stale claims — a worker whose heartbeat went
+// quiet, typically SIGKILLed mid-lease — are reclaimed back into leases/ for
+// the surviving workers, until every lease carries a done marker. It then
+// merges the per-worker checkpoint shards (first-wins dedup; canonical
+// (cell, scheme, chip) order), scatters the merged units through the same
+// TallyBoard the in-process engine uses, and returns a CampaignResult whose
+// reports are byte-identical to `run_campaign` on one machine — the fabric
+// moves WHERE units run, never WHAT they produce.
+//
+// Failure semantics mirror the in-process engine:
+//   - a unit quarantined by a worker (failed/ marker) with no successful
+//     record in any shard lands in CampaignResult::failures — success
+//     supersedes a stale failure marker, because a reclaimed lease may have
+//     failed on one worker and completed on another;
+//   - a coordinator re-run on the same spool pre-merges the existing shards
+//     and leases only the remaining units (the distributed analogue of
+//     checkpoint resume), counting them in units_resumed;
+//   - the merge itself retries under the kMerge fault site, shard ordinal =
+//     position in the sorted shard list.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "engine/campaign.hpp"
+#include "engine/campaign_spec.hpp"
+#include "engine/fault_injection.hpp"
+#include "fabric/spool.hpp"
+#include "link/scheme_spec.hpp"
+
+namespace sfqecc::fabric {
+
+struct CoordinatorOptions {
+  /// Units per lease: the fabric's work-distribution granularity. Small
+  /// values spread load and shrink the re-run window after a worker death;
+  /// large values cut spool traffic. Unit boundaries (shard_chips) are
+  /// unaffected — lease size never changes a single byte of any report.
+  std::size_t lease_units = 8;
+  /// Chips per work unit — a campaign_fingerprint input, so coordinator and
+  /// workers must agree on it.
+  std::size_t shard_chips = 32;
+  std::chrono::milliseconds poll_interval{100};
+  /// A claim whose worker heartbeat is older than this (or missing) is
+  /// considered dead and its lease republished. Must comfortably exceed a
+  /// worker's per-unit runtime, since busy workers heartbeat between units.
+  std::chrono::milliseconds lease_timeout{2000};
+  /// Give up when the spool makes no progress — no new done markers, no
+  /// claim movement — for this long. 0 = wait forever. This is the guard
+  /// against a campaign with no (surviving) workers at all.
+  std::chrono::milliseconds idle_timeout{0};
+  /// Attempts for the final shard merge (the kMerge fault site retries
+  /// in-place, like any unit retry ladder).
+  std::size_t merge_attempts = 3;
+  /// When non-empty, the merged units are also written here as one canonical
+  /// checkpoint file (unit-list order) — loadable by `campaign_runner
+  /// --checkpoint` for inspection or a later single-process resume.
+  std::string merged_checkpoint_path;
+  /// Deterministic fault injection: kMerge fires here; kLeaseClaim /
+  /// kShardWrite and the kernel sites fire in the workers (which run in
+  /// other processes — give them their own --inject flags).
+  const engine::FaultInjector* fault_injector = nullptr;
+};
+
+struct CoordinatorOutcome {
+  engine::CampaignResult result;
+  std::size_t leases_published = 0;
+  std::size_t leases_reclaimed = 0;  ///< stale-claim republishes
+  std::size_t shards_merged = 0;     ///< shard files read by the final merge
+  std::size_t workers_seen = 0;      ///< distinct worker ids that heartbeat
+};
+
+/// Runs a campaign over `spool`. Blocks until every lease is done (workers
+/// may join at any time after the manifest appears), throws IoError on idle
+/// timeout. The returned CampaignResult is byte-equivalent to running
+/// engine::run_cells over the same campaign in one process — including
+/// failures, which appear exactly like in-process quarantined units.
+CoordinatorOutcome run_coordinator(const SpoolPaths& spool,
+                                   const engine::CampaignSpec& spec,
+                                   const std::vector<engine::CampaignCell>& cells,
+                                   const std::vector<link::SchemeSpec>& schemes,
+                                   const CoordinatorOptions& options);
+
+}  // namespace sfqecc::fabric

@@ -1,0 +1,308 @@
+#include "fabric/spool.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "engine/fault_injection.hpp"
+#include "util/expect.hpp"
+
+namespace sfqecc::fabric {
+namespace fs = std::filesystem;
+namespace {
+
+constexpr const char* kManifestMagic = "sfqecc-campaign-manifest";
+constexpr const char* kLeaseMagic = "sfqecc-campaign-lease";
+constexpr int kVersion = 1;
+
+/// Publishes `content` at `target` atomically: write + flush a uniquely named
+/// sibling, then rename over the target. Readers see the old file or the new
+/// one, never a prefix; concurrent publishers of the SAME target (idempotent
+/// markers) both succeed and leave one complete copy.
+void atomic_publish(const fs::path& target, const std::string& content) {
+  static std::atomic<std::uint64_t> counter{0};
+  const fs::path tmp =
+      target.parent_path() /
+      (".tmp-" + std::to_string(::getpid()) + "-" +
+       std::to_string(counter.fetch_add(1, std::memory_order_relaxed)) + "-" +
+       target.filename().string());
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << content;
+    out.flush();
+    if (!out.good()) {
+      std::error_code discard;
+      fs::remove(tmp, discard);
+      throw engine::IoError("spool: cannot write " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    std::error_code discard;
+    fs::remove(tmp, discard);
+    throw engine::IoError("spool: cannot publish " + target.string() + ": " +
+                          ec.message());
+  }
+}
+
+/// Numeric-first name ordering: lease names are decimal unit indices, and
+/// "10" must sort after "9", not before "2".
+bool name_less(const std::string& a, const std::string& b) {
+  if (a.size() != b.size() && a.find_first_not_of("0123456789") == std::string::npos &&
+      b.find_first_not_of("0123456789") == std::string::npos)
+    return a.size() < b.size();
+  return a < b;
+}
+
+std::vector<fs::path> list_directory(const fs::path& dir) {
+  std::vector<fs::path> entries;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (!name.empty() && name[0] == '.') continue;  // in-flight tmp files
+    entries.push_back(it->path());
+  }
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+}  // namespace
+
+void create_spool_layout(const SpoolPaths& spool) {
+  std::error_code ec;
+  for (const fs::path& dir :
+       {spool.root, spool.leases(), spool.claims(), spool.done(), spool.shards(),
+        spool.heartbeats(), spool.failed()}) {
+    fs::create_directories(dir, ec);
+    if (ec)
+      throw engine::IoError("spool: cannot create " + dir.string() + ": " +
+                            ec.message());
+  }
+}
+
+void clear_campaign_state(const SpoolPaths& spool) {
+  std::error_code ec;
+  for (const fs::path& dir : {spool.leases(), spool.claims(), spool.done(),
+                              spool.heartbeats(), spool.failed()}) {
+    fs::remove_all(dir, ec);
+    fs::create_directories(dir, ec);
+    if (ec)
+      throw engine::IoError("spool: cannot reset " + dir.string() + ": " +
+                            ec.message());
+  }
+  fs::remove(spool.manifest(), ec);
+  fs::remove(spool.complete(), ec);
+}
+
+void write_manifest(const SpoolPaths& spool, const Manifest& manifest) {
+  std::ostringstream out;
+  out << kManifestMagic << ' ' << kVersion << '\n'
+      << "fingerprint " << std::hex << manifest.fingerprint << std::dec << '\n'
+      << "units " << manifest.units << '\n'
+      << "leases " << manifest.leases << '\n'
+      << "lease-units " << manifest.lease_units << '\n';
+  atomic_publish(spool.manifest(), out.str());
+}
+
+bool read_manifest(const SpoolPaths& spool, Manifest& manifest) {
+  std::ifstream in(spool.manifest());
+  if (!in) return false;
+  std::string magic, key;
+  int version = 0;
+  in >> magic >> version;
+  expects(magic == kManifestMagic && version == kVersion && !in.fail(),
+          "spool: unrecognized manifest header");
+  manifest = Manifest{};
+  while (in >> key) {
+    if (key == "fingerprint")
+      in >> std::hex >> manifest.fingerprint >> std::dec;
+    else if (key == "units")
+      in >> manifest.units;
+    else if (key == "leases")
+      in >> manifest.leases;
+    else if (key == "lease-units")
+      in >> manifest.lease_units;
+    else
+      break;  // unknown trailing key: forward-compatible, ignore the rest
+    if (in.fail())
+      throw ContractViolation("spool: malformed manifest field '" + key + "'");
+  }
+  return true;
+}
+
+void publish_lease(const SpoolPaths& spool, const Lease& lease) {
+  expects(!lease.name.empty() && !lease.units.empty(),
+          "spool: cannot publish an empty lease");
+  std::ostringstream out;
+  out << kLeaseMagic << ' ' << kVersion << "\nunits";
+  for (std::size_t unit : lease.units) out << ' ' << unit;
+  out << " end\n";
+  atomic_publish(spool.leases() / (lease.name + ".lease"), out.str());
+}
+
+std::vector<std::string> list_leases(const SpoolPaths& spool) {
+  std::vector<std::string> names;
+  for (const fs::path& path : list_directory(spool.leases()))
+    if (path.extension() == ".lease") names.push_back(path.stem().string());
+  std::sort(names.begin(), names.end(), name_less);
+  return names;
+}
+
+bool claim_lease(const SpoolPaths& spool, const std::string& name,
+                 const std::string& worker_id, Lease& out) {
+  expects(worker_id.find('/') == std::string::npos &&
+              worker_id.find('.') == std::string::npos && !worker_id.empty(),
+          "spool: worker id must be non-empty without '/' or '.'");
+  const fs::path source = spool.leases() / (name + ".lease");
+  const fs::path target = spool.claims() / (name + "." + worker_id);
+  std::error_code ec;
+  fs::rename(source, target, ec);
+  if (ec) return false;  // another worker won the race (or the lease vanished)
+
+  std::ifstream in(target);
+  std::string magic, key;
+  int version = 0;
+  in >> magic >> version >> key;
+  if (!(magic == kLeaseMagic && version == kVersion && key == "units" && !in.fail()))
+    throw ContractViolation("spool: unrecognized lease file " + target.string());
+  out.name = name;
+  out.units.clear();
+  std::string field;
+  while (in >> field && field != "end") {
+    char* end = nullptr;
+    const unsigned long long unit = std::strtoull(field.c_str(), &end, 10);
+    if (end == field.c_str() || *end != '\0')
+      throw ContractViolation("spool: malformed unit index in lease " +
+                              target.string());
+    out.units.push_back(static_cast<std::size_t>(unit));
+  }
+  if (field != "end" || out.units.empty())
+    throw ContractViolation("spool: truncated lease file " + target.string());
+  return true;
+}
+
+std::vector<ClaimInfo> list_claims(const SpoolPaths& spool) {
+  std::vector<ClaimInfo> claims;
+  for (const fs::path& path : list_directory(spool.claims())) {
+    const std::string name = path.filename().string();
+    const std::size_t dot = name.find('.');
+    if (dot == std::string::npos || dot == 0 || dot + 1 >= name.size()) continue;
+    claims.push_back(ClaimInfo{name.substr(0, dot), name.substr(dot + 1)});
+  }
+  return claims;
+}
+
+bool reclaim_lease(const SpoolPaths& spool, const ClaimInfo& claim) {
+  const fs::path source = spool.claims() / (claim.lease + "." + claim.worker);
+  const fs::path target = spool.leases() / (claim.lease + ".lease");
+  std::error_code ec;
+  fs::rename(source, target, ec);
+  return !ec;
+}
+
+void remove_claim(const SpoolPaths& spool, const ClaimInfo& claim) {
+  std::error_code ec;
+  fs::remove(spool.claims() / (claim.lease + "." + claim.worker), ec);
+}
+
+void mark_lease_done(const SpoolPaths& spool, const std::string& name) {
+  atomic_publish(spool.done() / (name + ".done"), "done\n");
+}
+
+bool is_lease_done(const SpoolPaths& spool, const std::string& name) {
+  std::error_code ec;
+  return fs::exists(spool.done() / (name + ".done"), ec);
+}
+
+std::size_t count_done(const SpoolPaths& spool) {
+  std::size_t count = 0;
+  for (const fs::path& path : list_directory(spool.done()))
+    if (path.extension() == ".done") ++count;
+  return count;
+}
+
+void touch_heartbeat(const SpoolPaths& spool, const std::string& worker_id) {
+  atomic_publish(spool.heartbeats() / worker_id, "alive\n");
+}
+
+std::optional<std::chrono::milliseconds> heartbeat_age(const SpoolPaths& spool,
+                                                       const std::string& worker_id) {
+  std::error_code ec;
+  const fs::file_time_type stamp =
+      fs::last_write_time(spool.heartbeats() / worker_id, ec);
+  if (ec) return std::nullopt;
+  const auto age = fs::file_time_type::clock::now() - stamp;
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+      age < fs::file_time_type::duration::zero() ? fs::file_time_type::duration::zero()
+                                                 : age);
+}
+
+std::vector<std::string> list_heartbeats(const SpoolPaths& spool) {
+  std::vector<std::string> workers;
+  for (const fs::path& path : list_directory(spool.heartbeats()))
+    workers.push_back(path.filename().string());
+  return workers;
+}
+
+void mark_unit_failed(const SpoolPaths& spool, std::size_t unit,
+                      const std::string& worker_id, std::size_t attempts,
+                      const std::string& error) {
+  std::ostringstream out;
+  out << "attempts " << attempts << '\n' << error << '\n';
+  atomic_publish(spool.failed() / (std::to_string(unit) + "." + worker_id),
+                 out.str());
+}
+
+std::vector<FailedUnit> list_failed(const SpoolPaths& spool) {
+  std::vector<FailedUnit> failed;
+  for (const fs::path& path : list_directory(spool.failed())) {
+    const std::string name = path.filename().string();
+    const std::size_t dot = name.find('.');
+    if (dot == std::string::npos || dot == 0) continue;
+    FailedUnit entry;
+    char* end = nullptr;
+    const std::string unit_text = name.substr(0, dot);
+    entry.unit = static_cast<std::size_t>(std::strtoull(unit_text.c_str(), &end, 10));
+    if (*end != '\0') continue;
+    entry.worker = name.substr(dot + 1);
+    std::ifstream in(path);
+    std::string key;
+    in >> key >> entry.attempts;
+    in.ignore(1, '\n');
+    std::getline(in, entry.error);
+    failed.push_back(std::move(entry));
+  }
+  std::sort(failed.begin(), failed.end(), [](const FailedUnit& a, const FailedUnit& b) {
+    return a.unit != b.unit ? a.unit < b.unit : a.worker < b.worker;
+  });
+  return failed;
+}
+
+std::filesystem::path shard_path(const SpoolPaths& spool,
+                                 const std::string& worker_id) {
+  return spool.shards() / (worker_id + ".ckpt");
+}
+
+std::vector<std::string> list_shards(const SpoolPaths& spool) {
+  std::vector<std::string> shards;
+  for (const fs::path& path : list_directory(spool.shards()))
+    if (path.extension() == ".ckpt") shards.push_back(path.string());
+  return shards;
+}
+
+void mark_complete(const SpoolPaths& spool) {
+  atomic_publish(spool.complete(), "complete\n");
+}
+
+bool is_complete(const SpoolPaths& spool) {
+  std::error_code ec;
+  return fs::exists(spool.complete(), ec);
+}
+
+}  // namespace sfqecc::fabric

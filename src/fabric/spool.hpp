@@ -1,0 +1,177 @@
+// Spool-directory protocol of the distributed campaign fabric.
+//
+// A fabric campaign runs over one shared directory (local disk for
+// multi-process runs, NFS/shared storage for multi-machine ones). The
+// coordinator (fabric/coordinator.hpp) expands the campaign, publishes the
+// pending work as LEASE files, and writes the MANIFEST — the "open for
+// business" signal workers poll for. Workers (fabric/worker.hpp) claim
+// leases, execute their units through the shared engine kernel, and append
+// results to per-worker checkpoint SHARDS; the coordinator merges the shards
+// back into the canonical unit-result set and emits reports byte-identical
+// to a single-process run.
+//
+// Layout under the spool root:
+//
+//   manifest             protocol header + campaign fingerprint + unit/lease
+//                        counts (written last at startup, read-only after)
+//   leases/<N>.lease     unclaimed lease: the unit indices of one work batch,
+//                        N = first unit index (decimal)
+//   claims/<N>.<worker>  claimed lease (the SAME file, renamed — claiming is
+//                        one atomic POSIX rename, so exactly one worker wins)
+//   done/<N>.done        lease N fully processed (every unit recorded to a
+//                        shard or marked failed)
+//   shards/<worker>.ckpt per-worker result log in the checkpoint format
+//                        (engine/checkpoint.hpp) — the fabric's result
+//                        transport
+//   heartbeats/<worker>  liveness marker, re-touched by the worker; the
+//                        coordinator reclaims claims whose worker's heartbeat
+//                        goes stale (crash/SIGKILL recovery)
+//   failed/<unit>.<worker> quarantine marker: that unit exhausted its retry
+//                        budget on that worker (attempt count + error text)
+//   complete             terminal marker: the coordinator merged the shards;
+//                        workers exit when they see it
+//
+// Every file is published with write-to-temp + rename, so readers never see
+// a torn manifest, lease, or marker. A lease lives in exactly one of leases/
+// or claims/ at any instant; done/failed markers are idempotent (a reclaimed
+// lease finished by two workers writes the marker twice — same name, same
+// meaning, and the shard merge's first-wins dedup makes the duplicate unit
+// records harmless because determinism makes them byte-identical).
+//
+// Relaunch ordering: a coordinator re-run on a used spool clears the
+// previous run's state (keeping shards/) before opening the new campaign.
+// Until that clear happens, the spool legitimately still describes the
+// COMPLETED previous run — a worker launched concurrently may observe its
+// complete marker and exit cleanly having claimed nothing. That observation
+// is correct, not a protocol violation; to re-use a completed spool, start
+// the coordinator before the workers (or call clear_campaign_state first).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sfqecc::fabric {
+
+/// Path arithmetic over one spool root. Cheap value type; the directories
+/// themselves are created by create_spool_layout.
+struct SpoolPaths {
+  std::filesystem::path root;
+
+  std::filesystem::path manifest() const { return root / "manifest"; }
+  std::filesystem::path leases() const { return root / "leases"; }
+  std::filesystem::path claims() const { return root / "claims"; }
+  std::filesystem::path done() const { return root / "done"; }
+  std::filesystem::path shards() const { return root / "shards"; }
+  std::filesystem::path heartbeats() const { return root / "heartbeats"; }
+  std::filesystem::path failed() const { return root / "failed"; }
+  std::filesystem::path complete() const { return root / "complete"; }
+};
+
+/// The campaign identity workers validate before touching any lease: a
+/// worker whose own CLI flags fingerprint differently is configured for a
+/// different campaign and must refuse (the distributed analogue of the
+/// checkpoint fingerprint check).
+struct Manifest {
+  std::uint64_t fingerprint = 0;  ///< engine::campaign_fingerprint
+  std::size_t units = 0;          ///< total work units in the campaign
+  std::size_t leases = 0;         ///< leases published this coordinator run
+  std::size_t lease_units = 0;    ///< max units per lease (informational)
+};
+
+/// One claimable batch of work: explicit unit indices into the campaign's
+/// deterministic work-unit list (engine/campaign_spec.hpp make_work_units
+/// order — the spool protocol's wire contract). Explicit indices, not a
+/// range, so a resumed campaign can lease around already-merged holes.
+struct Lease {
+  std::string name;                ///< file stem: first unit index, decimal
+  std::vector<std::size_t> units;  ///< ascending unit indices
+};
+
+/// A claimed lease as seen by the coordinator's staleness scan.
+struct ClaimInfo {
+  std::string lease;   ///< lease name (file stem before the first '.')
+  std::string worker;  ///< claiming worker's id
+};
+
+/// A quarantine marker: `unit` exhausted its retry budget on `worker`.
+struct FailedUnit {
+  std::size_t unit = 0;
+  std::string worker;
+  std::size_t attempts = 0;
+  std::string error;
+};
+
+/// Creates the spool root and every subdirectory (idempotent).
+void create_spool_layout(const SpoolPaths& spool);
+
+/// Removes campaign-run state — leases, claims, done/failed markers,
+/// heartbeats, the manifest and the complete marker — while PRESERVING
+/// shards/ (the results a resumed coordinator pre-merges). Called by the
+/// coordinator before publishing a fresh lease set.
+void clear_campaign_state(const SpoolPaths& spool);
+
+void write_manifest(const SpoolPaths& spool, const Manifest& manifest);
+/// False when the manifest does not exist yet (coordinator still setting
+/// up); throws ContractViolation on a malformed one.
+bool read_manifest(const SpoolPaths& spool, Manifest& manifest);
+
+void publish_lease(const SpoolPaths& spool, const Lease& lease);
+/// Unclaimed lease names, sorted numerically (first-unit order).
+std::vector<std::string> list_leases(const SpoolPaths& spool);
+
+/// Atomically claims lease `name` for `worker_id` (rename into claims/) and
+/// parses its unit list into `out`. Returns false when another worker won
+/// the rename race. `worker_id` must be claim-name safe (no '/' or '.').
+bool claim_lease(const SpoolPaths& spool, const std::string& name,
+                 const std::string& worker_id, Lease& out);
+std::vector<ClaimInfo> list_claims(const SpoolPaths& spool);
+/// Moves a (stale) claim back to leases/ so another worker can take it.
+/// Returns false when the claim no longer exists (its worker finished or a
+/// concurrent scan already reclaimed it).
+bool reclaim_lease(const SpoolPaths& spool, const ClaimInfo& claim);
+/// Deletes a claim file outright: workers release their claims once the done
+/// marker is up, and the coordinator discards stale claims whose lease is
+/// already done (reclaiming those would re-run finished work).
+void remove_claim(const SpoolPaths& spool, const ClaimInfo& claim);
+
+void mark_lease_done(const SpoolPaths& spool, const std::string& name);
+bool is_lease_done(const SpoolPaths& spool, const std::string& name);
+std::size_t count_done(const SpoolPaths& spool);
+
+/// (Re)writes the worker's liveness marker. Workers touch it before their
+/// first claim attempt and after every unit, so a live worker's heartbeat
+/// age stays far below any sane lease timeout.
+void touch_heartbeat(const SpoolPaths& spool, const std::string& worker_id);
+/// Age of the worker's heartbeat, or nullopt when it never heartbeat (a
+/// claim without a heartbeat is from a worker that died pre-claim or a
+/// previous campaign run — the coordinator treats it as stale).
+std::optional<std::chrono::milliseconds> heartbeat_age(
+    const SpoolPaths& spool, const std::string& worker_id);
+
+/// Worker ids that have ever heartbeat on this spool (campaign-run scoped:
+/// clear_campaign_state resets it).
+std::vector<std::string> list_heartbeats(const SpoolPaths& spool);
+
+void mark_unit_failed(const SpoolPaths& spool, std::size_t unit,
+                      const std::string& worker_id, std::size_t attempts,
+                      const std::string& error);
+/// All quarantine markers, sorted by (unit, worker). The coordinator
+/// subtracts units that a later (reclaimed) execution merged successfully —
+/// success supersedes failure.
+std::vector<FailedUnit> list_failed(const SpoolPaths& spool);
+
+std::filesystem::path shard_path(const SpoolPaths& spool,
+                                 const std::string& worker_id);
+/// All shard files, sorted by path — the canonical merge order (and the
+/// shard-ordinal coordinate of the kMerge fault site).
+std::vector<std::string> list_shards(const SpoolPaths& spool);
+
+void mark_complete(const SpoolPaths& spool);
+bool is_complete(const SpoolPaths& spool);
+
+}  // namespace sfqecc::fabric

@@ -1,0 +1,222 @@
+#include "fabric/worker.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "engine/checkpoint.hpp"
+#include "engine/scheduler.hpp"
+#include "engine/unit_executor.hpp"
+#include "util/expect.hpp"
+
+namespace sfqecc::fabric {
+namespace {
+
+std::string hex_fingerprint(std::uint64_t fingerprint) {
+  std::ostringstream out;
+  out << std::hex << fingerprint;
+  return out.str();
+}
+
+}  // namespace
+
+std::string default_worker_id() {
+  char host[256] = {0};
+  if (::gethostname(host, sizeof(host) - 1) != 0) host[0] = '\0';
+  std::string id = (host[0] ? std::string(host) : std::string("worker")) + "-" +
+                   std::to_string(::getpid());
+  for (char& c : id)
+    if (c == '/' || c == '.') c = '-';
+  return id;
+}
+
+WorkerOutcome run_worker(const SpoolPaths& spool, const engine::CampaignSpec& spec,
+                         const std::vector<engine::CampaignCell>& cells,
+                         const std::vector<link::SchemeSpec>& schemes,
+                         const circuit::CellLibrary& library,
+                         const WorkerOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  const std::string worker_id =
+      options.worker_id.empty() ? default_worker_id() : options.worker_id;
+
+  engine::SchedulerOptions sched;
+  sched.threads = options.threads;
+  sched.unit_attempts = options.unit_attempts;
+  sched.fail_fast = false;
+
+  engine::UnitExecutorOptions exec_options;
+  exec_options.shard_chips = options.shard_chips;
+  exec_options.artifact_cache_bytes = options.artifact_cache_bytes;
+  exec_options.fault_injector = options.fault_injector;
+  // Sized for the largest batch this worker will ever run at once; batches
+  // are capped at `threads` units below, so this is also the scratch bound.
+  const std::size_t threads =
+      engine::resolved_thread_count(sched, static_cast<std::size_t>(-1));
+  exec_options.workers = threads;
+
+  engine::UnitExecutor executor(spec, cells, schemes, library, exec_options);
+  const std::vector<engine::WorkUnit>& units = executor.units();
+
+  WorkerOutcome outcome;
+  create_spool_layout(spool);
+
+  // ---- wait for the manifest (the coordinator's "open for business") ------
+  Manifest manifest;
+  Clock::time_point last_progress = Clock::now();
+  while (!read_manifest(spool, manifest)) {
+    if (is_complete(spool)) return outcome;
+    if (options.idle_timeout.count() > 0 &&
+        Clock::now() - last_progress > options.idle_timeout)
+      throw engine::IoError("fabric worker " + worker_id +
+                            ": timed out waiting for a manifest in " +
+                            spool.root.string());
+    std::this_thread::sleep_for(options.poll_interval);
+  }
+  if (manifest.fingerprint != executor.fingerprint())
+    throw ContractViolation(
+        "fabric worker " + worker_id + ": manifest fingerprint " +
+        hex_fingerprint(manifest.fingerprint) +
+        " does not match this worker's campaign configuration (" +
+        hex_fingerprint(executor.fingerprint()) +
+        ") — coordinator and worker must agree on every campaign flag");
+  expects(manifest.units == units.size(),
+          "fabric worker: manifest unit count disagrees with the expanded campaign");
+
+  // ---- shard: this worker's append-only result log ------------------------
+  // A restarted worker with the same id resumes its shard: units it already
+  // recorded are skipped, everything else appends after the existing records.
+  // IoErrorPolicy::kFail is deliberate and NOT configurable — under kWarn a
+  // lost append would leave the unit unrecorded forever while its lease is
+  // marked done, and the coordinator would wait on a unit nobody will
+  // deliver. Failing the attempt instead routes the unit into the
+  // retry/quarantine ladder, whose failed/ marker the coordinator DOES see.
+  const engine::UnitIndexMap index(units, cells.size(), schemes.size(), spec.chips);
+  std::vector<char> recorded(units.size(), 0);
+  engine::CheckpointData prior;
+  const bool shard_existed =
+      engine::load_checkpoint(shard_path(spool, worker_id).string(), prior);
+  if (shard_existed) {
+    expects(prior.fingerprint == executor.fingerprint(),
+            "fabric worker: existing shard belongs to a different campaign");
+    for (const engine::UnitResult& unit : prior.units) {
+      const std::size_t i = index.find(unit.unit);
+      if (i != engine::UnitIndexMap::npos) recorded[i] = 1;
+    }
+  }
+  engine::CheckpointWriter writer(shard_path(spool, worker_id).string(),
+                                  executor.fingerprint(), shard_existed,
+                                  engine::IoErrorPolicy::kFail);
+
+  const engine::FaultInjector* injector = options.fault_injector;
+  std::vector<engine::UnitResult> scratch(threads);
+  std::map<std::string, std::size_t> claim_attempts;
+  std::size_t last_done = static_cast<std::size_t>(-1);
+  last_progress = Clock::now();
+
+  for (;;) {
+    if (is_complete(spool)) break;
+    // Heartbeat BEFORE claiming, so a claim always has a live heartbeat
+    // behind it — the coordinator treats a claim without one as stale.
+    touch_heartbeat(spool, worker_id);
+
+    // ---- claim a batch: enough leases to feed every thread ----------------
+    std::vector<Lease> batch;
+    std::size_t batch_units = 0;
+    for (const std::string& name : list_leases(spool)) {
+      // kLeaseClaim: deterministically skip this claim attempt (simulating a
+      // lost claim race / a crash between listing and renaming). The lease
+      // stays claimable, by this worker on a later pass or by any other.
+      const std::size_t lease_index =
+          static_cast<std::size_t>(std::strtoull(name.c_str(), nullptr, 10));
+      const std::size_t claim_attempt = claim_attempts[name]++;
+      if (injector &&
+          injector->fire(engine::FaultSite::kLeaseClaim, lease_index, claim_attempt))
+        continue;
+      Lease lease;
+      if (!claim_lease(spool, name, worker_id, lease)) continue;
+      batch_units += lease.units.size();
+      batch.push_back(std::move(lease));
+      if (batch_units >= threads) break;
+    }
+
+    if (batch.empty()) {
+      // Nothing claimable. The campaign is over exactly when every published
+      // lease carries a done marker (claims held by dead workers keep the
+      // count short until the coordinator reclaims them, so we keep polling
+      // rather than exit and strand the campaign one worker short).
+      const std::size_t done = count_done(spool);
+      if (manifest.leases > 0 && done >= manifest.leases) break;
+      if (done != last_done) {
+        last_done = done;
+        last_progress = Clock::now();
+      }
+      if (options.idle_timeout.count() > 0 &&
+          Clock::now() - last_progress > options.idle_timeout)
+        throw engine::IoError("fabric worker " + worker_id +
+                              ": no spool progress for " +
+                              std::to_string(options.idle_timeout.count()) + " ms");
+      std::this_thread::sleep_for(options.poll_interval);
+      continue;
+    }
+    last_progress = Clock::now();
+    outcome.leases_claimed += batch.size();
+
+    // ---- run the batch through the shared kernel --------------------------
+    std::vector<std::size_t> todo;
+    todo.reserve(batch_units);
+    for (const Lease& lease : batch)
+      for (std::size_t unit : lease.units) {
+        expects(unit < units.size(),
+                "fabric worker: lease references a unit outside the campaign");
+        if (!recorded[unit]) todo.push_back(unit);
+      }
+
+    std::atomic<std::size_t> executed{0};
+    const engine::ScheduleOutcome run = engine::run_units(
+        todo.size(),
+        [&](std::size_t todo_index, std::size_t worker_index, std::size_t attempt) {
+          const std::size_t unit_index = todo[todo_index];
+          engine::UnitResult& record = scratch[worker_index];
+          executor.execute(unit_index, worker_index, attempt, record);
+          // kShardWrite: the bytes are written, only the failure handling is
+          // simulated — the kFail writer throws, this attempt fails, and the
+          // retry appends a duplicate record (first-wins on merge).
+          const bool inject =
+              injector &&
+              injector->fire(engine::FaultSite::kShardWrite, unit_index, attempt);
+          writer.record(record, inject);
+          executed.fetch_add(1, std::memory_order_relaxed);
+          touch_heartbeat(spool, worker_id);
+        },
+        sched);
+    if (run.first_error) std::rethrow_exception(run.first_error);
+
+    for (std::size_t i = 0; i < todo.size(); ++i) recorded[todo[i]] = 1;
+    outcome.units_executed += executed.load(std::memory_order_relaxed);
+    for (const engine::UnitFailure& failure : run.failures) {
+      recorded[todo[failure.unit]] = 0;  // quarantined, not recorded
+      mark_unit_failed(spool, todo[failure.unit], worker_id, failure.attempts,
+                       failure.error);
+      ++outcome.units_quarantined;
+    }
+
+    // Done markers last: a kill anywhere above leaves the claim in place and
+    // the coordinator's staleness scan republishes the lease. Only once the
+    // marker is durably up is the claim released (a claim outliving its done
+    // marker is harmless — the coordinator discards, never reclaims, those).
+    for (const Lease& lease : batch) {
+      mark_lease_done(spool, lease.name);
+      remove_claim(spool, ClaimInfo{lease.name, worker_id});
+    }
+  }
+
+  outcome.artifact_cache = executor.cache_stats();
+  return outcome;
+}
+
+}  // namespace sfqecc::fabric

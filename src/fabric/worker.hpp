@@ -1,0 +1,83 @@
+// Fabric worker: claims spool leases and executes their units.
+//
+// A worker is stateless beyond its shard file: it recomputes the campaign —
+// cells, schemes, work units, fingerprint — from its own configuration,
+// validates that fingerprint against the coordinator's manifest (refusing to
+// run someone else's campaign), then loops: claim a batch of leases, run the
+// units through the shared engine kernel (engine/unit_executor.hpp), append
+// each result to its checkpoint shard, mark the leases done. Results are
+// deterministic, so WHICH worker runs a unit never matters — only that some
+// worker records it.
+//
+// Crash safety: the shard is appended-and-flushed per unit (the checkpoint
+// writer under IoErrorPolicy::kFail — a result that cannot be recorded is an
+// unfinished unit, so the failure flows into the per-unit retry/quarantine
+// ladder instead of being warned away), and the done marker is written only
+// after every unit of the lease is recorded or quarantined. A worker killed
+// mid-lease leaves a claim with a stale heartbeat; the coordinator reclaims
+// it, another worker re-runs the lease, and first-wins shard dedup discards
+// whatever duplicate prefix the dead worker had recorded.
+//
+// A unit that exhausts its retry budget is marked in failed/ (with attempt
+// count and error) and its lease still completes — one poisoned unit
+// quarantines, it does not wedge the campaign.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/cell_library.hpp"
+#include "engine/artifact_cache.hpp"
+#include "engine/campaign_spec.hpp"
+#include "engine/fault_injection.hpp"
+#include "fabric/spool.hpp"
+#include "link/scheme_spec.hpp"
+
+namespace sfqecc::fabric {
+
+struct WorkerOptions {
+  /// Claim-name-safe id (no '/' or '.'); also names the shard and heartbeat
+  /// files, so a restarted worker with the SAME id resumes its own shard.
+  /// Empty = "<hostname>-<pid>".
+  std::string worker_id;
+  std::size_t threads = 0;       ///< 0 = hardware concurrency
+  std::size_t shard_chips = 32;  ///< must match the coordinator (fingerprint input)
+  std::size_t artifact_cache_bytes = 256ull << 20;
+  std::size_t unit_attempts = 3;
+  /// How often the idle worker re-polls the spool (and how often a busy one
+  /// refreshes its heartbeat between units at minimum).
+  std::chrono::milliseconds poll_interval{100};
+  /// Give up when the spool makes no observable progress for this long —
+  /// manifest absent, or nothing claimable while the done count stalls. 0
+  /// waits forever (the coordinator's complete marker is the normal exit).
+  std::chrono::milliseconds idle_timeout{0};
+  /// Deterministic fault injection (engine/fault_injection.hpp): kLeaseClaim
+  /// skips a claim attempt, kShardWrite fails a shard append, and the
+  /// executor sites fire inside the kernel. Borrowed, may be null.
+  const engine::FaultInjector* fault_injector = nullptr;
+};
+
+struct WorkerOutcome {
+  std::size_t leases_claimed = 0;
+  std::size_t units_executed = 0;     ///< recorded to the shard this run
+  std::size_t units_quarantined = 0;  ///< marked in failed/ this run
+  engine::ArtifactCacheStats artifact_cache;
+};
+
+/// Returns the default worker id, "<hostname>-<pid>" with claim-unsafe
+/// characters replaced by '-'.
+std::string default_worker_id();
+
+/// Runs the worker loop against `spool` until the campaign completes (the
+/// complete marker, or every published lease done), throwing IoError on idle
+/// timeout and ContractViolation when the manifest's fingerprint or unit
+/// count disagrees with this worker's configuration.
+WorkerOutcome run_worker(const SpoolPaths& spool, const engine::CampaignSpec& spec,
+                         const std::vector<engine::CampaignCell>& cells,
+                         const std::vector<link::SchemeSpec>& schemes,
+                         const circuit::CellLibrary& library,
+                         const WorkerOptions& options);
+
+}  // namespace sfqecc::fabric

@@ -15,8 +15,10 @@
 //   ppv/      spread, margin_model, chip, calibration
 //   link/     channel, datalink, scheme_spec, monte_carlo
 //   engine/   campaign_spec, scheduler, kernel, artifact_cache,
-//             scheme_artifacts, checkpoint, campaign, report,
-//             fault_injection
+//             scheme_artifacts, checkpoint, unit_executor, tally_board,
+//             campaign, report, fault_injection
+//   fabric/   spool, worker, coordinator — distributed campaign execution
+//             over a shared spool directory
 //   core/     scheme_catalog, paper_encoders, paper_constants
 //   util/     rng, stats, cdf, table, ascii_plot, expect
 #pragma once
@@ -55,6 +57,11 @@
 #include "engine/report.hpp"
 #include "engine/scheduler.hpp"
 #include "engine/scheme_artifacts.hpp"
+#include "engine/tally_board.hpp"
+#include "engine/unit_executor.hpp"
+#include "fabric/coordinator.hpp"
+#include "fabric/spool.hpp"
+#include "fabric/worker.hpp"
 #include "link/arq.hpp"
 #include "link/channel.hpp"
 #include "link/datalink.hpp"

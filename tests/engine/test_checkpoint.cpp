@@ -145,5 +145,108 @@ TEST(CheckpointRobustness, UnwritablePathSurfacesInsteadOfExitingZero) {
       ContractViolation);
 }
 
+// ---------------------------------------------------------- shard merging --
+
+UnitResult grid_unit(std::size_t cell, std::size_t scheme, std::size_t chip_lo,
+                     std::size_t chip_hi, std::size_t errors) {
+  UnitResult unit = sample_unit(chip_lo, chip_hi);
+  unit.unit.cell = cell;
+  unit.unit.scheme = scheme;
+  unit.errors.assign(chip_hi - chip_lo, errors);
+  return unit;
+}
+
+TEST(CheckpointMerge, MergesSortsAndDedupsFirstWins) {
+  // Two workers recorded overlapping units (a reclaimed lease executed
+  // twice); the merge keeps the first shard's record and emits canonical
+  // (cell, scheme, chip_lo) order regardless of append interleaving.
+  TempFile a("shard_a.ckpt"), b("shard_b.ckpt");
+  {
+    CheckpointWriter writer(a.path, 11, false);
+    writer.record(grid_unit(1, 0, 0, 2, /*errors=*/7));
+    writer.record(grid_unit(0, 1, 2, 4, /*errors=*/1));
+  }
+  {
+    CheckpointWriter writer(b.path, 11, false);
+    writer.record(grid_unit(0, 0, 0, 2, /*errors=*/2));
+    writer.record(grid_unit(1, 0, 0, 2, /*errors=*/9));  // duplicate, loses
+  }
+  CheckpointData data;
+  EXPECT_EQ(merge_checkpoint_shards({a.path, b.path}, 11, data), 3u);
+  EXPECT_EQ(data.fingerprint, 11u);
+  ASSERT_EQ(data.units.size(), 3u);
+  EXPECT_EQ(data.units[0].unit.cell, 0u);
+  EXPECT_EQ(data.units[0].unit.scheme, 0u);
+  EXPECT_EQ(data.units[1].unit.scheme, 1u);
+  EXPECT_EQ(data.units[2].unit.cell, 1u);
+  EXPECT_EQ(data.units[2].errors[0], 7u) << "first shard in path order must win";
+}
+
+TEST(CheckpointMerge, SkipsMissingAndEmptyShards) {
+  // A worker that never claimed a lease leaves no shard (or an empty file a
+  // kill left behind); neither is an error, there is just nothing to merge.
+  TempFile real("shard_real.ckpt"), empty("shard_empty.ckpt");
+  {
+    CheckpointWriter writer(real.path, 4, false);
+    writer.record(grid_unit(0, 0, 0, 2, 1));
+  }
+  { std::ofstream touch(empty.path); }
+  CheckpointData data;
+  EXPECT_EQ(merge_checkpoint_shards(
+                {std::string(::testing::TempDir()) + "no_such_shard.ckpt",
+                 empty.path, real.path},
+                4, data),
+            1u);
+  EXPECT_EQ(data.units.size(), 1u);
+}
+
+TEST(CheckpointMerge, DropsTornTrailingRecordPerShard) {
+  // A SIGKILLed worker tears its last append; only that record is lost, the
+  // shard's intact prefix and every other shard still merge.
+  TempFile a("shard_torn_a.ckpt"), b("shard_torn_b.ckpt");
+  {
+    CheckpointWriter writer(a.path, 6, false);
+    writer.record(grid_unit(0, 0, 0, 2, 1));
+  }
+  {
+    std::ofstream append(a.path, std::ios::app);
+    append << "unit 0 1 0 2 e 1 1 f 0";  // cut mid-record, no end sentinel
+  }
+  {
+    CheckpointWriter writer(b.path, 6, false);
+    writer.record(grid_unit(0, 1, 0, 2, 3));
+  }
+  CheckpointData data;
+  EXPECT_EQ(merge_checkpoint_shards({a.path, b.path}, 6, data), 2u);
+  ASSERT_EQ(data.units.size(), 2u);
+  EXPECT_EQ(data.units[1].errors[0], 3u) << "torn record must not mask shard b's";
+}
+
+TEST(CheckpointMerge, ForeignFingerprintRejectedWithCaret) {
+  // Shards from a different campaign must never silently mix into this one;
+  // the diagnostic points a caret at the offending fingerprint so the
+  // operator sees WHICH hex digits disagree.
+  TempFile ours("shard_ours.ckpt"), foreign("shard_foreign.ckpt");
+  {
+    CheckpointWriter writer(ours.path, 0xabc, false);
+    writer.record(grid_unit(0, 0, 0, 2, 1));
+  }
+  {
+    CheckpointWriter writer(foreign.path, 0xdef, false);
+    writer.record(grid_unit(0, 1, 0, 2, 1));
+  }
+  CheckpointData data;
+  try {
+    merge_checkpoint_shards({ours.path, foreign.path}, 0xabc, data);
+    FAIL() << "foreign shard must be rejected";
+  } catch (const ContractViolation& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find(foreign.path), std::string::npos) << message;
+    EXPECT_NE(message.find("def"), std::string::npos) << message;
+    EXPECT_NE(message.find("abc"), std::string::npos) << message;
+    EXPECT_NE(message.find('^'), std::string::npos) << message;
+  }
+}
+
 }  // namespace
 }  // namespace sfqecc::engine

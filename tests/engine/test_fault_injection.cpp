@@ -23,7 +23,8 @@ namespace {
 TEST(InjectionSpecTest, SiteNamesRoundTrip) {
   for (FaultSite site : {FaultSite::kFabricate, FaultSite::kSimulate,
                          FaultSite::kCacheInsert, FaultSite::kCheckpointWrite,
-                         FaultSite::kReportWrite}) {
+                         FaultSite::kReportWrite, FaultSite::kLeaseClaim,
+                         FaultSite::kShardWrite, FaultSite::kMerge}) {
     const auto parsed = parse_fault_site(fault_site_name(site));
     ASSERT_TRUE(parsed.has_value()) << fault_site_name(site);
     EXPECT_EQ(*parsed, site);

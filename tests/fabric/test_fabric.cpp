@@ -1,0 +1,381 @@
+// Distributed-fabric end-to-end tests: a coordinator plus in-process worker
+// threads over a temp spool, byte-compared against the single-process engine.
+// The fabric's whole contract is "moves WHERE units run, never WHAT they
+// produce" — so every test here reduces to report equality with
+// engine::run_campaign, including under stale-claim reclaim, torn-shard
+// resume, quarantine, and injected merge faults (mirroring the in-process
+// resilience suite in test_fault_injection.cpp).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/paper_encoders.hpp"
+#include "engine/campaign.hpp"
+#include "engine/checkpoint.hpp"
+#include "engine/fault_injection.hpp"
+#include "engine/report.hpp"
+#include "fabric/coordinator.hpp"
+#include "fabric/spool.hpp"
+#include "fabric/worker.hpp"
+#include "util/expect.hpp"
+
+namespace sfqecc::fabric {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+class FabricTest : public ::testing::Test {
+ protected:
+  FabricTest() {
+    // Two schemes keep the simulation budget small while still exercising
+    // the scheme-interleaved unit order.
+    for (std::size_t i = 0; i < 2; ++i) {
+      const core::PaperScheme& s = paper_schemes_[i];
+      schemes_.push_back(
+          link::SchemeSpec{s.name, s.encoder.get(), s.code.get(), s.decoder.get()});
+    }
+  }
+
+  engine::CampaignSpec small_spec() const {
+    engine::CampaignSpec spec;
+    spec.chips = 10;
+    spec.messages_per_chip = 4;
+    spec.seed = 777;
+    spec.spreads = {{0.25, ppv::SpreadDistribution::kUniform}};
+    return spec;
+  }
+
+  /// Scoped spool rooted in the test temp dir; removed on destruction.
+  struct TempSpool {
+    SpoolPaths spool;
+    explicit TempSpool(const std::string& name)
+        : spool{fs::path(::testing::TempDir()) / name} {
+      fs::remove_all(spool.root);
+    }
+    ~TempSpool() { fs::remove_all(spool.root); }
+    const SpoolPaths& operator*() const { return spool; }
+  };
+
+  /// Fast-polling worker options (the tests should finish in milliseconds,
+  /// not default poll intervals), with a generous idle timeout as a hang
+  /// backstop — a healthy run never gets near it.
+  WorkerOptions worker_options(const std::string& id) const {
+    WorkerOptions options;
+    options.worker_id = id;
+    options.threads = 1;
+    options.poll_interval = 2ms;
+    options.idle_timeout = 30000ms;
+    return options;
+  }
+
+  CoordinatorOptions coordinator_options() const {
+    CoordinatorOptions options;
+    options.poll_interval = 2ms;
+    options.idle_timeout = 30000ms;
+    return options;
+  }
+
+  /// Runs the coordinator on this thread and `worker_count` workers on their
+  /// own threads, returning the coordinator outcome. Worker exceptions fail
+  /// the test; worker outcomes land in `worker_outcomes_`.
+  CoordinatorOutcome run_fabric(const SpoolPaths& spool,
+                                const engine::CampaignSpec& spec,
+                                CoordinatorOptions coordinator,
+                                std::size_t worker_count,
+                                const engine::FaultInjector* worker_injector = nullptr) {
+    const std::vector<engine::CampaignCell> cells = engine::expand_cells(spec);
+    worker_outcomes_.assign(worker_count, WorkerOutcome{});
+    std::vector<std::string> worker_errors(worker_count);
+    std::vector<std::thread> threads;
+    for (std::size_t w = 0; w < worker_count; ++w)
+      threads.emplace_back([&, w] {
+        WorkerOptions options = worker_options("w" + std::to_string(w));
+        options.shard_chips = coordinator.shard_chips;
+        options.fault_injector = worker_injector;
+        try {
+          worker_outcomes_[w] = run_worker(spool, spec, cells, schemes_, lib_, options);
+        } catch (const std::exception& e) {
+          worker_errors[w] = e.what();
+        }
+      });
+    CoordinatorOutcome outcome;
+    std::string coordinator_error;
+    try {
+      outcome = run_coordinator(spool, spec, cells, schemes_, coordinator);
+    } catch (const std::exception& e) {
+      coordinator_error = e.what();
+      mark_complete(spool);  // release the workers before rethrowing
+    }
+    for (std::thread& thread : threads) thread.join();
+    for (std::size_t w = 0; w < worker_count; ++w)
+      EXPECT_TRUE(worker_errors[w].empty()) << "worker " << w << ": "
+                                            << worker_errors[w];
+    if (!coordinator_error.empty()) throw engine::IoError(coordinator_error);
+    return outcome;
+  }
+
+  /// The reports a single-process run of `spec` produces (the fabric's
+  /// byte-identity reference).
+  std::pair<std::string, std::string> single_process_reports(
+      const engine::CampaignSpec& spec,
+      const engine::RunnerOptions& options = {}) const {
+    const engine::CampaignResult result =
+        engine::run_campaign(spec, schemes_, lib_, options);
+    return {engine::campaign_json(spec, result), engine::campaign_csv(result)};
+  }
+
+  const circuit::CellLibrary& lib_ = circuit::coldflux_library();
+  std::vector<core::PaperScheme> paper_schemes_ = core::make_all_schemes(lib_);
+  std::vector<link::SchemeSpec> schemes_;
+  std::vector<WorkerOutcome> worker_outcomes_;
+};
+
+// -------------------------------------------------------------- determinism --
+
+TEST_F(FabricTest, ThreeWorkersByteIdenticalAcrossShardAndLeaseSizes) {
+  // The tentpole guarantee: any worker fleet, any shard size, any lease
+  // granularity — the merged reports match a single-machine run to the byte.
+  const engine::CampaignSpec spec = small_spec();
+  const auto [json, csv] = single_process_reports(spec);
+  for (std::size_t shard_chips : {std::size_t{1}, std::size_t{3}, std::size_t{7}})
+    for (std::size_t lease_units : {std::size_t{1}, std::size_t{3}}) {
+      SCOPED_TRACE("shard=" + std::to_string(shard_chips) +
+                   " lease=" + std::to_string(lease_units));
+      TempSpool temp("fabric_det_" + std::to_string(shard_chips) + "_" +
+                     std::to_string(lease_units));
+      CoordinatorOptions coordinator = coordinator_options();
+      coordinator.shard_chips = shard_chips;
+      coordinator.lease_units = lease_units;
+      const CoordinatorOutcome outcome = run_fabric(*temp, spec, coordinator, 3);
+
+      EXPECT_TRUE(outcome.result.complete());
+      EXPECT_TRUE(outcome.result.failures.empty());
+      EXPECT_EQ(outcome.result.units_executed, outcome.result.units_total);
+      EXPECT_EQ(engine::campaign_json(spec, outcome.result), json);
+      EXPECT_EQ(engine::campaign_csv(outcome.result), csv);
+      EXPECT_TRUE(is_complete(*temp));
+    }
+}
+
+TEST_F(FabricTest, StaleClaimIsReclaimedAndReportStaysIdentical) {
+  // A worker that claims a lease and dies (no heartbeat, ever) must not
+  // wedge the campaign: the coordinator republishes its lease and a live
+  // worker picks it up — the corpse never executed anything, so the report
+  // is untouched.
+  const engine::CampaignSpec spec = small_spec();
+  const auto [json, csv] = single_process_reports(spec);
+  TempSpool temp("fabric_stale");
+  CoordinatorOptions coordinator = coordinator_options();
+  coordinator.lease_timeout = 50ms;
+
+  const std::vector<engine::CampaignCell> cells = engine::expand_cells(spec);
+  std::thread corpse([&] {
+    // Wait for the coordinator to open the campaign, then grab the first
+    // lease under an id that will never heartbeat.
+    Manifest manifest;
+    while (!read_manifest(*temp, manifest)) std::this_thread::sleep_for(1ms);
+    for (;;) {
+      const std::vector<std::string> names = list_leases(*temp);
+      if (!names.empty()) {
+        Lease lease;
+        if (claim_lease(*temp, names.front(), "corpse", lease)) break;
+      } else if (is_complete(*temp)) {
+        break;  // lost every race to the live workers — nothing left to steal
+      }
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+  const CoordinatorOutcome outcome = run_fabric(*temp, spec, coordinator, 2);
+  corpse.join();
+
+  EXPECT_TRUE(outcome.result.complete());
+  EXPECT_EQ(engine::campaign_json(spec, outcome.result), json);
+  EXPECT_EQ(engine::campaign_csv(outcome.result), csv);
+}
+
+TEST_F(FabricTest, TornShardResumesWithOnlyMissingUnitsReexecuted) {
+  // A worker SIGKILLed mid-append leaves a shard ending in a torn record. A
+  // coordinator relaunch must treat every intact record as done (the
+  // distributed analogue of checkpoint resume), re-lease only the rest, and
+  // still produce the byte-identical report.
+  const engine::CampaignSpec spec = small_spec();
+  const auto [json, csv] = single_process_reports(spec);
+  TempSpool temp("fabric_torn");
+  CoordinatorOptions coordinator = coordinator_options();
+  coordinator.shard_chips = 2;  // 10 units, so the shard has lines to tear
+
+  const CoordinatorOutcome first = run_fabric(*temp, spec, coordinator, 1);
+  ASSERT_TRUE(first.result.complete());
+  const std::size_t total = first.result.units_total;
+
+  // Keep the header and the first two records, then a torn third — exactly
+  // what a kill during the third append leaves behind.
+  const std::string shard = shard_path(*temp, "w0").string();
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(shard);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_GT(lines.size(), 4u);
+  {
+    std::ofstream out(shard, std::ios::trunc);
+    out << lines[0] << '\n' << lines[1] << '\n' << lines[2] << '\n'
+        << lines[3].substr(0, lines[3].size() / 2);
+  }
+
+  // Relaunch order matters on a completed spool: drop the previous run's
+  // complete marker before workers start (the coordinator-first launch order
+  // the protocol documents), or a fresh worker may correctly observe the OLD
+  // campaign as complete and exit before claiming anything.
+  clear_campaign_state(*temp);
+  const CoordinatorOutcome resumed = run_fabric(*temp, spec, coordinator, 1);
+  EXPECT_TRUE(resumed.result.complete());
+  EXPECT_EQ(resumed.result.units_resumed, 2u);
+  EXPECT_EQ(resumed.result.units_executed, total - 2u);
+  EXPECT_EQ(engine::campaign_json(spec, resumed.result), json);
+  EXPECT_EQ(engine::campaign_csv(resumed.result), csv);
+}
+
+// ------------------------------------------------- failure & fault injection --
+
+TEST_F(FabricTest, QuarantinedUnitMatchesInProcessFailureSemantics) {
+  // A unit that fails every attempt on the worker lands in failed/ and flows
+  // into CampaignResult::failures exactly like an in-process quarantine —
+  // same excluded chips, so the (incomplete) reports still match an
+  // in-process run under the identical injected fault.
+  const engine::CampaignSpec spec = small_spec();
+  // shard_chips must match between reference and fabric: the injected unit
+  // index is a position in the shared work-unit list.
+  engine::FaultInjector inject_simulate;
+  inject_simulate.arm(*engine::parse_injection_spec("simulate:3:*"));
+  engine::RunnerOptions reference_options;
+  reference_options.shard_chips = 2;
+  reference_options.fault_injector = &inject_simulate;
+  const auto [json, csv] = single_process_reports(spec, reference_options);
+
+  TempSpool temp("fabric_quarantine");
+  CoordinatorOptions coordinator = coordinator_options();
+  coordinator.shard_chips = 2;
+  engine::FaultInjector worker_injector;
+  worker_injector.arm(*engine::parse_injection_spec("simulate:3:*"));
+  const CoordinatorOutcome outcome =
+      run_fabric(*temp, spec, coordinator, 2, &worker_injector);
+
+  ASSERT_EQ(outcome.result.failures.size(), 1u);
+  EXPECT_EQ(outcome.result.failures[0].unit_index, 3u);
+  EXPECT_NE(outcome.result.failures[0].error.find("(worker "), std::string::npos)
+      << outcome.result.failures[0].error;
+  EXPECT_FALSE(outcome.result.complete());
+  EXPECT_EQ(engine::campaign_json(spec, outcome.result), json);
+  EXPECT_EQ(engine::campaign_csv(outcome.result), csv);
+
+  // A clean relaunch on the same spool retries exactly the quarantined unit
+  // and completes the campaign — now matching the fault-free report.
+  const auto [clean_json, clean_csv] = single_process_reports(spec);
+  clear_campaign_state(*temp);  // coordinator-first relaunch order (see above)
+  const CoordinatorOutcome retried = run_fabric(*temp, spec, coordinator, 1);
+  EXPECT_TRUE(retried.result.complete());
+  EXPECT_TRUE(retried.result.failures.empty());
+  EXPECT_EQ(retried.result.units_executed, 1u);
+  EXPECT_EQ(engine::campaign_json(spec, retried.result), clean_json);
+  EXPECT_EQ(engine::campaign_csv(retried.result), clean_csv);
+}
+
+TEST_F(FabricTest, SkippedLeaseClaimsOnlyDelayTheCampaign) {
+  // kLeaseClaim models a lost claim race / crash between list and rename:
+  // the first consideration of every lease is skipped, a later pass claims
+  // it, and nothing about the result changes.
+  const engine::CampaignSpec spec = small_spec();
+  const auto [json, csv] = single_process_reports(spec);
+  TempSpool temp("fabric_leaseclaim");
+  engine::FaultInjector worker_injector;
+  worker_injector.arm(*engine::parse_injection_spec("lease-claim:*:0"));
+  const CoordinatorOutcome outcome = run_fabric(
+      *temp, spec, coordinator_options(), 1, &worker_injector);
+  EXPECT_GT(worker_injector.fired(), 0u);
+  EXPECT_TRUE(outcome.result.complete());
+  EXPECT_EQ(engine::campaign_json(spec, outcome.result), json);
+}
+
+TEST_F(FabricTest, InjectedShardWriteFailureRetriesToTheSameBytes) {
+  // The shard writer runs under IoErrorPolicy::kFail, so an injected append
+  // failure re-runs the unit; the retry appends a duplicate record and
+  // first-wins dedup keeps the result byte-identical.
+  const engine::CampaignSpec spec = small_spec();
+  const auto [json, csv] = single_process_reports(spec);
+  TempSpool temp("fabric_shardwrite");
+  CoordinatorOptions coordinator = coordinator_options();
+  coordinator.shard_chips = 2;
+  engine::FaultInjector worker_injector;
+  worker_injector.arm(*engine::parse_injection_spec("shard-write:2:0"));
+  const CoordinatorOutcome outcome =
+      run_fabric(*temp, spec, coordinator, 1, &worker_injector);
+  EXPECT_EQ(worker_injector.fired(), 1u);
+  EXPECT_TRUE(outcome.result.complete());
+  EXPECT_TRUE(outcome.result.failures.empty());
+  EXPECT_EQ(engine::campaign_json(spec, outcome.result), json);
+  EXPECT_EQ(engine::campaign_csv(outcome.result), csv);
+}
+
+TEST_F(FabricTest, MergeFaultRetriesInPlaceAndExhaustionThrows) {
+  // First run the campaign to completion so a coordinator relaunch has
+  // nothing to lease — isolating the final-merge retry ladder.
+  const engine::CampaignSpec spec = small_spec();
+  const auto [json, csv] = single_process_reports(spec);
+  TempSpool temp("fabric_merge");
+  ASSERT_TRUE(run_fabric(*temp, spec, coordinator_options(), 1).result.complete());
+  const std::vector<engine::CampaignCell> cells = engine::expand_cells(spec);
+
+  engine::FaultInjector once;
+  once.arm(*engine::parse_injection_spec("merge:*:0"));
+  CoordinatorOptions retrying = coordinator_options();
+  retrying.fault_injector = &once;
+  const CoordinatorOutcome outcome =
+      run_coordinator(*temp, spec, cells, schemes_, retrying);
+  EXPECT_GT(once.fired(), 0u);
+  EXPECT_TRUE(outcome.result.complete());
+  EXPECT_EQ(outcome.result.units_resumed, outcome.result.units_total);
+  EXPECT_EQ(engine::campaign_json(spec, outcome.result), json);
+
+  engine::FaultInjector always;
+  always.arm(*engine::parse_injection_spec("merge:*:*"));
+  CoordinatorOptions exhausted = coordinator_options();
+  exhausted.fault_injector = &always;
+  exhausted.merge_attempts = 2;
+  EXPECT_THROW(run_coordinator(*temp, spec, cells, schemes_, exhausted),
+               engine::InjectedFault);
+}
+
+TEST_F(FabricTest, MismatchedWorkerConfigurationRefusesToRun) {
+  // A worker launched with different campaign flags fingerprints a different
+  // campaign and must refuse loudly instead of corrupting the spool.
+  const engine::CampaignSpec spec = small_spec();
+  TempSpool temp("fabric_mismatch");
+  const std::vector<engine::CampaignCell> cells = engine::expand_cells(spec);
+
+  std::thread coordinator_thread([&] {
+    CoordinatorOptions coordinator = coordinator_options();
+    run_coordinator(*temp, spec, cells, schemes_, coordinator);
+  });
+  engine::CampaignSpec reseeded = spec;
+  reseeded.seed ^= 1;
+  WorkerOptions options = worker_options("imposter");
+  EXPECT_THROW(run_worker(*temp, reseeded, engine::expand_cells(reseeded), schemes_,
+                          lib_, options),
+               ContractViolation);
+  // A correctly configured worker still completes the campaign.
+  WorkerOptions good = worker_options("good");
+  run_worker(*temp, spec, cells, schemes_, lib_, good);
+  coordinator_thread.join();
+  EXPECT_TRUE(is_complete(*temp));
+}
+
+}  // namespace
+}  // namespace sfqecc::fabric

@@ -1,0 +1,197 @@
+// Spool protocol tests: the filesystem primitives under the distributed
+// campaign fabric — atomic publication, the claim-by-rename race, stale-claim
+// reclaim, done/failed markers and numeric lease ordering. The end-to-end
+// coordinator/worker behaviour lives in test_fabric.cpp.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "engine/fault_injection.hpp"
+#include "fabric/spool.hpp"
+#include "util/expect.hpp"
+
+namespace sfqecc::fabric {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Scoped spool rooted in the test temp dir; removed on destruction.
+struct TempSpool {
+  SpoolPaths spool;
+  explicit TempSpool(const char* name)
+      : spool{fs::path(::testing::TempDir()) / name} {
+    fs::remove_all(spool.root);
+  }
+  ~TempSpool() { fs::remove_all(spool.root); }
+  const SpoolPaths& operator*() const { return spool; }
+};
+
+TEST(SpoolLayout, CreateIsIdempotentAndClearKeepsShards) {
+  TempSpool temp("spool_layout");
+  create_spool_layout(*temp);
+  create_spool_layout(*temp);  // second call must be a no-op, not an error
+  for (const fs::path& dir :
+       {temp.spool.leases(), temp.spool.claims(), temp.spool.done(),
+        temp.spool.shards(), temp.spool.heartbeats(), temp.spool.failed()})
+    EXPECT_TRUE(fs::is_directory(dir)) << dir;
+
+  // Shards are the campaign's results — a relaunch clears run state (leases,
+  // claims, markers) but must never delete recorded work.
+  { std::ofstream shard(shard_path(*temp, "w1")); }
+  publish_lease(*temp, Lease{"0", {0, 1}});
+  mark_lease_done(*temp, "0");
+  mark_complete(*temp);
+  clear_campaign_state(*temp);
+  EXPECT_TRUE(fs::exists(shard_path(*temp, "w1")));
+  EXPECT_TRUE(list_leases(*temp).empty());
+  EXPECT_EQ(count_done(*temp), 0u);
+  EXPECT_FALSE(is_complete(*temp));
+}
+
+TEST(SpoolManifest, RoundTripsAndSignalsAbsence) {
+  TempSpool temp("spool_manifest");
+  create_spool_layout(*temp);
+  Manifest read_back;
+  EXPECT_FALSE(read_manifest(*temp, read_back)) << "no manifest yet";
+
+  Manifest manifest;
+  manifest.fingerprint = 0xdeadbeefcafeull;
+  manifest.units = 42;
+  manifest.leases = 6;
+  manifest.lease_units = 8;
+  write_manifest(*temp, manifest);
+  ASSERT_TRUE(read_manifest(*temp, read_back));
+  EXPECT_EQ(read_back.fingerprint, manifest.fingerprint);
+  EXPECT_EQ(read_back.units, 42u);
+  EXPECT_EQ(read_back.leases, 6u);
+  EXPECT_EQ(read_back.lease_units, 8u);
+}
+
+TEST(SpoolManifest, ForeignFileIsLoudNotMisread) {
+  TempSpool temp("spool_manifest_foreign");
+  create_spool_layout(*temp);
+  { std::ofstream out(temp.spool.manifest()); out << "not a manifest at all\n"; }
+  Manifest manifest;
+  EXPECT_THROW(read_manifest(*temp, manifest), ContractViolation);
+}
+
+TEST(SpoolLease, PublishClaimRoundTripsUnitList) {
+  TempSpool temp("spool_lease");
+  create_spool_layout(*temp);
+  publish_lease(*temp, Lease{"12", {12, 13, 17}});
+  ASSERT_EQ(list_leases(*temp), std::vector<std::string>{"12"});
+
+  Lease claimed;
+  ASSERT_TRUE(claim_lease(*temp, "12", "w1", claimed));
+  EXPECT_EQ(claimed.name, "12");
+  EXPECT_EQ(claimed.units, (std::vector<std::size_t>{12, 13, 17}));
+  EXPECT_TRUE(list_leases(*temp).empty()) << "claim moves the lease file";
+  const std::vector<ClaimInfo> claims = list_claims(*temp);
+  ASSERT_EQ(claims.size(), 1u);
+  EXPECT_EQ(claims[0].lease, "12");
+  EXPECT_EQ(claims[0].worker, "w1");
+}
+
+TEST(SpoolLease, SecondClaimantLosesTheRace) {
+  // Claiming is one atomic rename: exactly one worker can win, the loser
+  // gets `false` (not an exception) and moves on to the next lease.
+  TempSpool temp("spool_lease_race");
+  create_spool_layout(*temp);
+  publish_lease(*temp, Lease{"0", {0}});
+  Lease first, second;
+  EXPECT_TRUE(claim_lease(*temp, "0", "w1", first));
+  EXPECT_FALSE(claim_lease(*temp, "0", "w2", second));
+}
+
+TEST(SpoolLease, ReclaimRepublishesAndRemoveRetires) {
+  TempSpool temp("spool_lease_reclaim");
+  create_spool_layout(*temp);
+  publish_lease(*temp, Lease{"0", {0, 1}});
+  Lease claimed;
+  ASSERT_TRUE(claim_lease(*temp, "0", "dead", claimed));
+
+  // Reclaim puts the identical lease back; a new worker claims the same units.
+  ASSERT_TRUE(reclaim_lease(*temp, ClaimInfo{"0", "dead"}));
+  EXPECT_TRUE(list_claims(*temp).empty());
+  Lease again;
+  ASSERT_TRUE(claim_lease(*temp, "0", "alive", again));
+  EXPECT_EQ(again.units, claimed.units);
+
+  // remove_claim retires a finished worker's claim without republishing.
+  remove_claim(*temp, ClaimInfo{"0", "alive"});
+  EXPECT_TRUE(list_claims(*temp).empty());
+  EXPECT_TRUE(list_leases(*temp).empty());
+}
+
+TEST(SpoolLease, NumericNamesSortNumerically) {
+  // Lease names are decimal unit indices; "10" must come after "9" so
+  // workers scan the queue in campaign order.
+  TempSpool temp("spool_lease_order");
+  create_spool_layout(*temp);
+  for (const char* name : {"10", "2", "0", "9"})
+    publish_lease(*temp, Lease{name, {std::size_t(1)}});
+  EXPECT_EQ(list_leases(*temp),
+            (std::vector<std::string>{"0", "2", "9", "10"}));
+}
+
+TEST(SpoolLease, RejectsClaimUnsafeWorkerIds)
+{
+  // '.' separates lease from worker in claim names and '/' would escape the
+  // directory — both must be rejected before they corrupt the namespace.
+  TempSpool temp("spool_lease_ids");
+  create_spool_layout(*temp);
+  publish_lease(*temp, Lease{"0", {0}});
+  Lease out;
+  EXPECT_THROW(claim_lease(*temp, "0", "a.b", out), ContractViolation);
+  EXPECT_THROW(claim_lease(*temp, "0", "a/b", out), ContractViolation);
+  EXPECT_THROW(claim_lease(*temp, "0", "", out), ContractViolation);
+}
+
+TEST(SpoolMarkers, DoneHeartbeatFailedAndComplete) {
+  TempSpool temp("spool_markers");
+  create_spool_layout(*temp);
+
+  EXPECT_FALSE(is_lease_done(*temp, "0"));
+  mark_lease_done(*temp, "0");
+  mark_lease_done(*temp, "0");  // idempotent (a reclaimed lease can finish twice)
+  mark_lease_done(*temp, "8");
+  EXPECT_TRUE(is_lease_done(*temp, "0"));
+  EXPECT_EQ(count_done(*temp), 2u);
+
+  EXPECT_FALSE(heartbeat_age(*temp, "w1").has_value()) << "no heartbeat yet";
+  touch_heartbeat(*temp, "w1");
+  const auto age = heartbeat_age(*temp, "w1");
+  ASSERT_TRUE(age.has_value());
+  EXPECT_GE(age->count(), 0);
+  EXPECT_LT(age->count(), 60000) << "freshly touched heartbeat reads as recent";
+  EXPECT_EQ(list_heartbeats(*temp), std::vector<std::string>{"w1"});
+
+  mark_unit_failed(*temp, 7, "w1", 3, "simulate blew up");
+  const std::vector<FailedUnit> failed = list_failed(*temp);
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0].unit, 7u);
+  EXPECT_EQ(failed[0].worker, "w1");
+  EXPECT_EQ(failed[0].attempts, 3u);
+  EXPECT_EQ(failed[0].error, "simulate blew up");
+
+  EXPECT_FALSE(is_complete(*temp));
+  mark_complete(*temp);
+  EXPECT_TRUE(is_complete(*temp));
+}
+
+TEST(SpoolMarkers, InFlightTempFilesAreInvisible) {
+  // Publication is write-tmp-then-rename; a reader listing a directory while
+  // a publish is in flight must never see the half-written temp file.
+  TempSpool temp("spool_tmpfiles");
+  create_spool_layout(*temp);
+  { std::ofstream out(temp.spool.leases() / ".tmp-123-0-5.lease"); out << "x"; }
+  { std::ofstream out(temp.spool.shards() / ".tmp-123-1-w1.ckpt"); out << "x"; }
+  EXPECT_TRUE(list_leases(*temp).empty());
+  EXPECT_TRUE(list_shards(*temp).empty());
+}
+
+}  // namespace
+}  // namespace sfqecc::fabric

@@ -199,7 +199,7 @@ DecodeResult RmFhtDecoder::decode(const BitVec& received) const {
   // Bipolar map 0 -> +1, 1 -> -1, then the fast Hadamard transform; F_a is the
   // correlation of the received word with the linear form <a, j>. Short codes
   // (every paper code) use a stack buffer so decoding never allocates.
-  int stack_f[64];
+  int stack_f[64] = {};
   std::vector<int> heap_f;
   int* f = stack_f;
   if (n > 64) {

@@ -446,6 +446,7 @@ SchemeCatalog SchemeCatalog::with_builtins() {
        .params_help = "[k]  pass-through bit count (default 4)",
        .default_params = {4},
        .default_decoder = "",
+       .extended_default_decoder = "",
        .decoders = {},
        .summary = "the paper's reference link: k uncoded channels",
        .example = "none"},
@@ -455,6 +456,7 @@ SchemeCatalog SchemeCatalog::with_builtins() {
        .params_help = "r,m  order and log2 length (RM(1,3) is the paper's)",
        .default_params = {},
        .default_decoder = "ml",
+       .extended_default_decoder = "",
        .decoders = {"ml", "ml-flag", "majority", "soft", "syndrome"},
        .summary = "Reed-Muller RM(r,m), FHT maximum-likelihood decoding",
        .example = "rm:1,3"},
@@ -474,6 +476,7 @@ SchemeCatalog SchemeCatalog::with_builtins() {
        .params_help = "n,k  odd-weight-column SEC-DED (minimal XOR terms)",
        .default_params = {},
        .default_decoder = "secded",
+       .extended_default_decoder = "",
        .decoders = {"secded", "syndrome", "detect"},
        .summary = "Hsiao SEC-DED, the memory-interface industry standard",
        .example = "hsiao:8,4"},
@@ -483,6 +486,7 @@ SchemeCatalog SchemeCatalog::with_builtins() {
        .params_help = "n,k  narrow-sense binary BCH, n = 2^m - 1",
        .default_params = {},
        .default_decoder = "bm",
+       .extended_default_decoder = "",
        .decoders = {"bm", "syndrome", "detect"},
        .summary = "BCH codes, Berlekamp-Massey + Chien decoding",
        .example = "bch:15,7"},
@@ -492,6 +496,7 @@ SchemeCatalog SchemeCatalog::with_builtins() {
        .params_help = "(none)  the fixed (38,32) SEC code of Peng et al. [14]",
        .default_params = {},
        .default_decoder = "syndrome",
+       .extended_default_decoder = "",
        .decoders = {"syndrome", "detect"},
        .summary = "the prior-art SFQ ECC baseline the paper compares against",
        .example = "code3832"},

@@ -161,7 +161,9 @@ TEST(Bch, TripleErrorNotSilentlyAccepted) {
     while (positions.size() < 3) positions.insert(rng.below(15));
     for (std::size_t p : positions) rx.flip(p);
     const DecodeResult r = bch.decode(rx);
-    if (r.status == DecodeStatus::kCorrected) EXPECT_TRUE(lc.is_codeword(r.codeword));
+    if (r.status == DecodeStatus::kCorrected) {
+      EXPECT_TRUE(lc.is_codeword(r.codeword));
+    }
   }
 }
 

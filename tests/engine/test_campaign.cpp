@@ -284,8 +284,9 @@ TEST_F(CampaignTest, ArqRetransmitsFlaggedFrames) {
     EXPECT_EQ(plain.frames_per_chip[chip], spec.messages_per_chip);
     EXPECT_GE(arq.frames_per_chip[chip], spec.messages_per_chip);
     EXPECT_LE(arq.frames_per_chip[chip], spec.messages_per_chip * 4);
-    if (plain.flagged_per_chip[chip] > 0)
+    if (plain.flagged_per_chip[chip] > 0) {
       EXPECT_GT(arq.frames_per_chip[chip], spec.messages_per_chip) << "chip " << chip;
+    }
   }
   EXPECT_GT(arq.mean_frames, plain.mean_frames);
 }
@@ -425,7 +426,9 @@ TEST_F(CampaignTest, PartialRunReportsHonestPerCellCompleteness) {
     for (const SchemeCellResult& scheme : cell.schemes) {
       EXPECT_LE(scheme.chips_completed, spec.chips);
       EXPECT_EQ(scheme.cdf.sample_count(), scheme.chips_completed);
-      if (scheme.chips_completed == 0) EXPECT_DOUBLE_EQ(scheme.p_zero, 0.0);
+      if (scheme.chips_completed == 0) {
+        EXPECT_DOUBLE_EQ(scheme.p_zero, 0.0);
+      }
       if (scheme.chips_completed == spec.chips) ++fully_covered_pairs;
       chips_covered += scheme.chips_completed;
     }

@@ -1,0 +1,163 @@
+// High-contention regression tests for the engine's shared mutable state:
+// the work-stealing scheduler's deques, the artifact cache's LRU index and
+// the tally board's disjoint-slice scatter. The plain-build assertions prove
+// exactly-once / last-writer semantics; the real target is the TSan CI job,
+// which runs these same tests with every access instrumented — a lock
+// dropped from any of these components becomes a hard failure there even
+// when the unsynchronized code happens to produce the right answer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/paper_encoders.hpp"
+#include "engine/artifact_cache.hpp"
+#include "engine/scheduler.hpp"
+#include "engine/tally_board.hpp"
+
+namespace sfqecc::engine {
+namespace {
+
+TEST(ConcurrencyStress, SchedulerTinyUnitsMaximizeStealContention) {
+  // Thousands of near-instant units force workers to live on each other's
+  // deques: every pop races a steal. Exactly-once execution must hold.
+  const std::size_t units = 4096;
+  std::vector<std::atomic<int>> executed(units);
+  SchedulerOptions options;
+  options.threads = 8;
+  const std::size_t count = run_work_stealing(
+      units, [&](std::size_t unit, std::size_t) { executed[unit].fetch_add(1); },
+      options);
+  EXPECT_EQ(count, units);
+  for (std::size_t u = 0; u < units; ++u)
+    ASSERT_EQ(executed[u].load(), 1) << "unit " << u;
+}
+
+TEST(ConcurrencyStress, SchedulerRetriesUnderContention) {
+  // Every unit fails its first attempt, so the in-place retry path runs
+  // concurrently with popping and stealing on all eight workers.
+  const std::size_t units = 512;
+  std::vector<std::atomic<int>> attempts(units);
+  SchedulerOptions options;
+  options.threads = 8;
+  options.unit_attempts = 2;
+  options.fail_fast = false;
+  const ScheduleOutcome outcome = run_units(
+      units,
+      [&](std::size_t unit, std::size_t, std::size_t) {
+        if (attempts[unit].fetch_add(1) == 0) throw std::runtime_error("first");
+      },
+      options);
+  EXPECT_EQ(outcome.executed, units);
+  EXPECT_TRUE(outcome.failures.empty());
+  for (std::size_t u = 0; u < units; ++u)
+    ASSERT_EQ(attempts[u].load(), 2) << "unit " << u;
+}
+
+TEST(ConcurrencyStress, ArtifactCacheHammeredFromEightThreads) {
+  // Shared key space smaller than the thread count's working set, budget
+  // tight enough to keep eviction running: lookups, racing duplicate
+  // inserts and LRU reshuffling all interleave. First-copy-wins means any
+  // hit must observe the complete original payload.
+  ArtifactCache cache(8 * 1024);
+  const std::size_t threads = 8, rounds = 400, keys = 24;
+  std::atomic<int> torn_reads(0);
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      ppv::ChipSample scratch;
+      for (std::size_t r = 0; r < rounds; ++r) {
+        const std::uint64_t k = (t + r) % keys;
+        ArtifactKey key{.scheme_fingerprint = k, .spread_fingerprint = ~k,
+                        .seed = 7, .chip_stream = k * k};
+        if (cache.lookup(key, scratch)) {
+          // Payload is keyed: every byte must match what the first
+          // inserter stored, regardless of which thread that was.
+          if (scratch.health_ratios.size() != k + 1 ||
+              scratch.health_ratios[0] != static_cast<double>(k))
+            torn_reads.fetch_add(1);
+        } else {
+          ppv::ChipSample chip;
+          chip.health_ratios.assign(k + 1, static_cast<double>(k));
+          chip.faults.assign(k + 1, {});
+          cache.insert(key, chip);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+  EXPECT_EQ(torn_reads.load(), 0);
+  const ArtifactCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, threads * rounds);
+  EXPECT_LE(stats.bytes, 8u * 1024u);
+}
+
+TEST(ConcurrencyStress, TallyBoardConcurrentScatterMatchesSerial) {
+  // Disjoint-slice scatter is advertised as lock-free-safe for distinct
+  // units; drive all units from 8 threads and check the grid equals a
+  // serial scatter of the same results.
+  const std::size_t cells = 4, schemes = 3, chips = 32, span = 4;
+  std::vector<UnitResult> results;
+  for (std::size_t cell = 0; cell < cells; ++cell)
+    for (std::size_t scheme = 0; scheme < schemes; ++scheme)
+      for (std::size_t lo = 0; lo < chips; lo += span) {
+        UnitResult r;
+        r.unit = {cell, scheme, lo, lo + span};
+        for (std::size_t chip = lo; chip < lo + span; ++chip) {
+          r.errors.push_back(cell + chip);
+          r.flagged.push_back(scheme);
+          r.frames.push_back(6);
+          r.channel_bit_errors.push_back(chip % 3);
+        }
+        results.push_back(std::move(r));
+      }
+
+  // finalize_into derives channel BER from the encoder's codeword width, so
+  // the scheme specs must be real ones.
+  const circuit::CellLibrary& lib = circuit::coldflux_library();
+  const std::vector<core::PaperScheme> paper = core::make_all_schemes(lib);
+  ASSERT_GE(paper.size(), schemes);
+  std::vector<link::SchemeSpec> scheme_specs;
+  for (std::size_t s = 0; s < schemes; ++s)
+    scheme_specs.push_back(link::SchemeSpec{paper[s].name, paper[s].encoder.get(),
+                                            paper[s].code.get(),
+                                            paper[s].decoder.get()});
+  auto tally = [&](bool concurrent) {
+    TallyBoard board(cells, schemes, chips);
+    if (concurrent) {
+      std::atomic<std::size_t> next(0);
+      std::vector<std::thread> pool;
+      for (std::size_t t = 0; t < 8; ++t)
+        pool.emplace_back([&] {
+          for (std::size_t i; (i = next.fetch_add(1)) < results.size();)
+            board.scatter(results[i]);
+        });
+      for (std::thread& worker : pool) worker.join();
+    } else {
+      for (const UnitResult& r : results) board.scatter(r);
+    }
+    CampaignResult result = make_campaign_result_skeleton(
+        std::vector<CampaignCell>(cells), scheme_specs);
+    board.finalize_into(result, scheme_specs);
+    return result;
+  };
+
+  const CampaignResult serial = tally(false);
+  const CampaignResult parallel = tally(true);
+  ASSERT_EQ(parallel.cells.size(), serial.cells.size());
+  for (std::size_t c = 0; c < cells; ++c)
+    for (std::size_t s = 0; s < schemes; ++s) {
+      const SchemeCellResult& a = parallel.cells[c].schemes[s];
+      const SchemeCellResult& b = serial.cells[c].schemes[s];
+      EXPECT_EQ(a.errors_per_chip, b.errors_per_chip) << c << "/" << s;
+      EXPECT_EQ(a.p_zero, b.p_zero) << c << "/" << s;
+      EXPECT_EQ(a.mean_errors, b.mean_errors) << c << "/" << s;
+      EXPECT_EQ(a.chips_completed, b.chips_completed) << c << "/" << s;
+    }
+}
+
+}  // namespace
+}  // namespace sfqecc::engine

@@ -70,7 +70,9 @@ TEST_P(RandomCodePipeline, PulseSimMatchesEncodingMap) {
                                             built.clock_input);
   const std::size_t clocked = built.netlist.count_cells(circuit::CellType::kXor) +
                               built.netlist.count_cells(circuit::CellType::kDff);
-  if (clocked > 0) EXPECT_EQ(stats.clock_splitters, clocked - 1);
+  if (clocked > 0) {
+    EXPECT_EQ(stats.clock_splitters, clocked - 1);
+  }
 
   // Functional equivalence, every message, at pulse level.
   for (std::uint64_t m = 0; m < (1ULL << k); ++m) {

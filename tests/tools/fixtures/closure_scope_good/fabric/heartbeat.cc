@@ -1,0 +1,10 @@
+// known-good: steady_clock in the fabric (NOT reachable from the
+// reporters) is fine — heartbeat timing never enters report bytes.
+#include <chrono>
+
+long long now_ms() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}

@@ -1,0 +1,13 @@
+#include "engine/campaign_spec.hpp"
+
+static void mix(std::uint64_t& h, std::uint64_t v) { h = h * 1099511628211ULL ^ v; }
+
+std::uint64_t campaign_fingerprint(const CampaignSpec& spec) {
+  std::uint64_t h = 14695981039346656037ULL;
+  mix(h, spec.chips);
+  mix(h, spec.seed);
+  for (const FaultSpec& fault : spec.faults) {
+    mix(h, static_cast<std::uint64_t>(fault.jitter_sigma_ps * 1e6));
+  }
+  return h;
+}

@@ -1,0 +1,18 @@
+// known-bad: the FaultSpec axis grew a field (flux_trap_rate) that
+// campaign_fingerprint never mixes in.
+#pragma once
+#include <cstdint>
+#include <vector>
+
+struct FaultSpec {
+  double jitter_sigma_ps = 0.0;
+  double flux_trap_rate = 0.0;
+};
+
+struct CampaignSpec {
+  unsigned long chips = 1000;
+  std::uint64_t seed = 1;
+  std::vector<FaultSpec> faults{FaultSpec{}};
+};
+
+std::uint64_t campaign_fingerprint(const CampaignSpec& spec);

@@ -1,0 +1,7 @@
+#include <fstream>
+#include <string>
+
+void save(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+}

@@ -1,0 +1,3 @@
+#pragma once
+#include <string>
+void save(const std::string& path, const std::string& text);

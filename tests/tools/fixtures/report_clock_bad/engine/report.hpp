@@ -1,0 +1,5 @@
+// Closure seed: pulls in the stamp helper, which breaks report-clock.
+#pragma once
+#include "engine/stamp.hpp"
+
+std::string render_report();

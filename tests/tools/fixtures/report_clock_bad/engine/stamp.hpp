@@ -1,0 +1,9 @@
+#pragma once
+#include <chrono>
+#include <string>
+
+inline std::string stamp() {
+  const auto now = std::chrono::system_clock::now();
+  (void)now;
+  return "stamped";
+}

@@ -1,0 +1,6 @@
+#pragma once
+#include <cstdlib>
+
+inline const char* checkpoint_dir() {
+  return std::getenv("CKPT_DIR");
+}

@@ -1,0 +1,7 @@
+#pragma once
+#include <locale>
+#include <sstream>
+
+inline void localize(std::ostringstream& out) {
+  out.imbue(std::locale(""));
+}

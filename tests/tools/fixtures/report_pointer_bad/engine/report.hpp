@@ -1,0 +1,6 @@
+#pragma once
+#include <cstdio>
+
+inline void dump(const void* p, char* buf, unsigned long n) {
+  std::snprintf(buf, n, "cell at %p", p);
+}

@@ -1,0 +1,7 @@
+#pragma once
+#include <sstream>
+#include <thread>
+
+inline void tag(std::ostringstream& out) {
+  out << std::this_thread::get_id();
+}

@@ -1,0 +1,7 @@
+// known-bad: a raw engine outside util/rng.* / engine/kernel.*.
+#include <random>
+
+int draw() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen());
+}

@@ -1,0 +1,12 @@
+// known-good: near-miss identifiers, and banned names in comments/strings
+// (std::mt19937, rand(), random_device) must not trigger.
+#include <string>
+
+struct Operand {
+  int operand_count = 0;
+  int my_rand_values = 0;  // "rand" only as a substring
+};
+
+const char* describe() { return "uses mt19937 internally via util::Rng"; }
+
+int branded(const Operand& op) { return op.operand_count + op.my_rand_values; }

@@ -1,0 +1,9 @@
+// known-good by suppression: both trailing and line-above directives.
+#include <random>
+
+int seeded_draw() {
+  std::mt19937 gen(42);  // detlint:allow(rng-domain)
+  // detlint:allow(rng-domain) -- reviewed: fixture exercising the directive
+  std::mt19937_64 wide(7);
+  return static_cast<int>(gen() + wide());
+}

@@ -1,0 +1,7 @@
+#include "engine/report.hpp"
+
+std::string Report::render() const {
+  std::string out;
+  for (const auto& entry : totals) out += entry.first;
+  return out;
+}

@@ -1,0 +1,8 @@
+#pragma once
+#include <string>
+#include <unordered_map>
+
+struct Report {
+  std::unordered_map<std::string, int> totals;
+  std::string render() const;
+};

@@ -1,0 +1,168 @@
+// Tests for tools/detlint: one fixture corpus case per rule, plus the
+// suppression directive, caret positions, closure scoping, and — the gate
+// the whole PR exists for — the real tree linting clean.
+//
+// Fixtures live in tests/tools/fixtures/<case>/ as miniature source trees;
+// DETLINT_FIXTURE_DIR and SFQECC_SOURCE_ROOT are injected by CMake.
+#include "detlint/detlint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace {
+
+using detlint::Diagnostic;
+
+std::vector<Diagnostic> lint_fixture(const std::string& name) {
+  std::string error;
+  const std::vector<Diagnostic> findings =
+      detlint::lint_paths({std::string(DETLINT_FIXTURE_DIR) + "/" + name}, &error);
+  EXPECT_EQ(error, "") << "fixture " << name;
+  return findings;
+}
+
+bool has_rule(const std::vector<Diagnostic>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Diagnostic& d) { return d.rule == rule; });
+}
+
+std::vector<std::string> rules_of(const std::vector<Diagnostic>& findings) {
+  std::vector<std::string> rules;
+  for (const Diagnostic& d : findings) rules.push_back(d.rule);
+  return rules;
+}
+
+TEST(Detlint, RngOutsideDomainIsFlagged) {
+  const auto findings = lint_fixture("rng_bad");
+  ASSERT_EQ(findings.size(), 1u) << detlint::format(findings.empty()
+                                                        ? Diagnostic{}
+                                                        : findings[0]);
+  EXPECT_EQ(findings[0].rule, "rng-domain");
+  // std::mt19937 gen(42); — the identifier, not the std:: qualifier.
+  EXPECT_EQ(findings[0].line, 5u);
+  EXPECT_NE(findings[0].message.find("mt19937"), std::string::npos);
+}
+
+TEST(Detlint, RngNearMissesAndCommentsAreClean) {
+  EXPECT_TRUE(lint_fixture("rng_good").empty());
+}
+
+TEST(Detlint, WallClockReachableFromReportHeaderIsFlagged) {
+  // The violation is in engine/stamp.hpp, reached only through the include
+  // closure of the seed engine/report.hpp — this is the reachability test.
+  const auto findings = lint_fixture("report_clock_bad");
+  ASSERT_TRUE(has_rule(findings, "report-clock"));
+  const auto it = std::find_if(findings.begin(), findings.end(),
+                               [](const Diagnostic& d) { return d.rule == "report-clock"; });
+  EXPECT_NE(it->file.find("stamp.hpp"), std::string::npos);
+}
+
+TEST(Detlint, GetenvReachableFromCheckpointIsFlagged) {
+  EXPECT_TRUE(has_rule(lint_fixture("report_env_bad"), "report-env"));
+}
+
+TEST(Detlint, LocaleReachableFromReportIsFlagged) {
+  EXPECT_TRUE(has_rule(lint_fixture("report_locale_bad"), "report-locale"));
+}
+
+TEST(Detlint, ThreadIdReachableFromReportIsFlagged) {
+  EXPECT_TRUE(has_rule(lint_fixture("report_thread_id_bad"), "report-thread-id"));
+}
+
+TEST(Detlint, PointerFormatReachableFromReportIsFlagged) {
+  const auto findings = lint_fixture("report_pointer_bad");
+  ASSERT_TRUE(has_rule(findings, "report-pointer-format"));
+}
+
+TEST(Detlint, UnorderedIterationFeedingReportIsFlagged) {
+  const auto findings = lint_fixture("unordered_bad");
+  ASSERT_TRUE(has_rule(findings, "unordered-output-order"))
+      << "rules: " << ::testing::PrintToString(rules_of(findings));
+  const auto it =
+      std::find_if(findings.begin(), findings.end(), [](const Diagnostic& d) {
+        return d.rule == "unordered-output-order";
+      });
+  // for (const auto& entry : totals) — flagged at the range expression.
+  EXPECT_NE(it->file.find("report.cc"), std::string::npos);
+  EXPECT_NE(it->message.find("totals"), std::string::npos);
+}
+
+TEST(Detlint, RawOfstreamInReportPathIsFlagged) {
+  EXPECT_TRUE(has_rule(lint_fixture("raw_stream_bad"), "raw-report-stream"));
+}
+
+TEST(Detlint, MissingFingerprintAxisFieldIsFlagged) {
+  const auto findings = lint_fixture("fingerprint_bad");
+  ASSERT_TRUE(has_rule(findings, "fingerprint-axis"));
+  const auto it = std::find_if(findings.begin(), findings.end(),
+                               [](const Diagnostic& d) { return d.rule == "fingerprint-axis"; });
+  EXPECT_NE(it->message.find("flux_trap_rate"), std::string::npos);
+  // Anchored at the axis declaration in the spec header.
+  EXPECT_NE(it->file.find("campaign_spec.hpp"), std::string::npos);
+}
+
+TEST(Detlint, CompleteFingerprintIsClean) {
+  EXPECT_TRUE(lint_fixture("fingerprint_good").empty());
+}
+
+TEST(Detlint, SuppressionDirectiveSilencesBothPlacements) {
+  // Two violations, one suppressed by a trailing comment and one by a
+  // directive on the line above — both must be silent.
+  EXPECT_TRUE(lint_fixture("suppression").empty());
+}
+
+TEST(Detlint, ClockOutsideReportClosureIsClean) {
+  // steady_clock in fabric/ (heartbeats) is legitimate: the fabric is not
+  // reachable from the reporters, so the closure must not swallow it.
+  EXPECT_TRUE(lint_fixture("closure_scope_good").empty());
+}
+
+TEST(Detlint, CaretPositionIsExact) {
+  const auto findings = lint_fixture("rng_bad");
+  ASSERT_EQ(findings.size(), 1u);
+  // "  std::mt19937 gen(42);" — mt19937 starts at column 8 (1-based).
+  EXPECT_EQ(findings[0].col, 8u);
+  const std::string rendered = detlint::format(findings[0]);
+  // The caret line must point at the 'm' of mt19937: 4 indent spaces (the
+  // renderer's) + 7 alignment spaces + '^'.
+  EXPECT_NE(rendered.find("\n    " + std::string(7, ' ') + "^\n"), std::string::npos)
+      << rendered;
+}
+
+TEST(Detlint, RuleTableCoversEveryFixtureRule) {
+  std::vector<std::string> names;
+  for (const detlint::RuleInfo& rule : detlint::rules()) names.push_back(rule.name);
+  for (const char* expected :
+       {"rng-domain", "report-clock", "report-env", "report-locale",
+        "report-thread-id", "report-pointer-format", "unordered-output-order",
+        "raw-report-stream", "fingerprint-axis"})
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+}
+
+TEST(Detlint, RealTreeIsClean) {
+  // The in-suite twin of the detlint.tree ctest gate: src/, bench/ and
+  // examples/ must lint clean (reviewed exceptions carry detlint:allow).
+  std::string error;
+  const std::string root = SFQECC_SOURCE_ROOT;
+  const auto findings = detlint::lint_paths(
+      {root + "/src", root + "/bench", root + "/examples"}, &error);
+  EXPECT_EQ(error, "");
+  std::string rendered;
+  for (const Diagnostic& d : findings) rendered += detlint::format(d);
+  EXPECT_TRUE(findings.empty()) << rendered;
+}
+
+TEST(Detlint, UnreadablePathReportsError) {
+  std::string error;
+  const auto findings =
+      detlint::lint_paths({std::string(DETLINT_FIXTURE_DIR) + "/does-not-exist"},
+                          &error);
+  EXPECT_TRUE(findings.empty());
+  EXPECT_NE(error.find("does-not-exist"), std::string::npos);
+}
+
+}  // namespace

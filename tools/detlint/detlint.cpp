@@ -1,0 +1,954 @@
+#include "detlint/detlint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace detlint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------- rule table
+
+const char* kRngDomain = "rng-domain";
+const char* kReportClock = "report-clock";
+const char* kReportEnv = "report-env";
+const char* kReportLocale = "report-locale";
+const char* kReportThreadId = "report-thread-id";
+const char* kReportPointerFormat = "report-pointer-format";
+const char* kUnorderedOutputOrder = "unordered-output-order";
+const char* kRawReportStream = "raw-report-stream";
+const char* kFingerprintAxis = "fingerprint-axis";
+
+// Seeds of the "reachable from the reporters / checkpoint writers" closure.
+const char* kClosureSeeds[] = {"engine/report.hpp", "engine/checkpoint.hpp"};
+
+// Files where raw random sources are the point (the RNG domain layer).
+const char* kRngAllowedStems[] = {"util/rng", "engine/kernel"};
+
+// The axis-coverage cross-check's two source files.
+const char* kSpecHeader = "engine/campaign_spec.hpp";
+const char* kSpecSource = "engine/campaign_spec.cpp";
+
+// ------------------------------------------------------------------- lexing
+
+struct Token {
+  std::string text;
+  std::size_t pos = 0;  ///< byte offset into the file content
+};
+
+struct StringSpan {
+  std::size_t pos = 0;  ///< offset of the literal's first content byte
+  std::string text;     ///< literal content (escapes left as written)
+};
+
+struct SourceFile {
+  std::string path;      ///< normalized with forward slashes
+  std::string content;   ///< raw bytes
+  std::string scrubbed;  ///< comments and literal contents blanked
+  std::vector<std::size_t> line_start;
+  std::vector<Token> tokens;
+  std::vector<StringSpan> strings;
+  std::vector<std::string> includes;  ///< quoted includes, as written
+  /// line (1-based) -> rules suppressed on that line by detlint:allow.
+  std::map<std::size_t, std::set<std::string>> allowed;
+  bool in_closure = false;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::size_t line_of(const SourceFile& file, std::size_t pos) {
+  const auto it = std::upper_bound(file.line_start.begin(), file.line_start.end(), pos);
+  return static_cast<std::size_t>(it - file.line_start.begin());
+}
+
+std::size_t col_of(const SourceFile& file, std::size_t pos) {
+  const std::size_t line = line_of(file, pos);
+  return pos - file.line_start[line - 1] + 1;
+}
+
+std::string line_text(const SourceFile& file, std::size_t line) {
+  if (line == 0 || line > file.line_start.size()) return "";
+  const std::size_t begin = file.line_start[line - 1];
+  std::size_t end = file.content.find('\n', begin);
+  if (end == std::string::npos) end = file.content.size();
+  return file.content.substr(begin, end - begin);
+}
+
+/// Registers the rules of one `detlint:allow(a, b)` directive found in a
+/// comment ending on `end_line`: they cover that line and the next one.
+void harvest_allows(SourceFile& file, const std::string& comment,
+                    std::size_t end_line) {
+  std::size_t at = 0;
+  while ((at = comment.find("detlint:allow(", at)) != std::string::npos) {
+    at += 14;
+    const std::size_t close = comment.find(')', at);
+    if (close == std::string::npos) return;
+    std::stringstream list(comment.substr(at, close - at));
+    std::string rule;
+    while (std::getline(list, rule, ',')) {
+      const std::size_t first = rule.find_first_not_of(" \t");
+      const std::size_t last = rule.find_last_not_of(" \t");
+      if (first == std::string::npos) continue;
+      const std::string name = rule.substr(first, last - first + 1);
+      file.allowed[end_line].insert(name);
+      file.allowed[end_line + 1].insert(name);
+    }
+    at = close;
+  }
+}
+
+/// One pass over the raw content: blanks comments and string/char literal
+/// contents into `scrubbed` (newlines preserved so offsets and line numbers
+/// stay valid), records string spans for the %p scan, and harvests
+/// suppression directives from comment text.
+void scrub(SourceFile& file) {
+  const std::string& src = file.content;
+  std::string out(src);
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  auto blank = [&](std::size_t at) {
+    if (out[at] != '\n') out[at] = ' ';
+  };
+  while (i < n) {
+    const char c = src[i];
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t begin = i;
+      while (i < n && src[i] != '\n') blank(i++);
+      harvest_allows(file, src.substr(begin, i - begin), line_of(file, i ? i - 1 : 0));
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t begin = i;
+      blank(i++);
+      blank(i++);
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) blank(i++);
+      if (i + 1 < n) {
+        blank(i++);
+        blank(i++);
+      } else if (i < n) {
+        blank(i++);
+      }
+      harvest_allows(file, src.substr(begin, i - begin), line_of(file, i ? i - 1 : 0));
+      continue;
+    }
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"' &&
+        (i == 0 || !ident_char(src[i - 1]))) {
+      // Raw string literal: R"delim( ... )delim".
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim += src[j++];
+      if (j < n) {
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t body = j + 1;
+        std::size_t end = src.find(closer, body);
+        if (end == std::string::npos) end = n;
+        file.strings.push_back({body, src.substr(body, end - body)});
+        i += 2;  // keep R" visible? No: blank the whole literal.
+        i = i - 2;
+        const std::size_t stop = std::min(n, end + closer.size());
+        while (i < stop) blank(i++);
+        continue;
+      }
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const std::size_t body = i + 1;
+      blank(i++);
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) blank(i++);
+        blank(i++);
+      }
+      if (quote == '"') file.strings.push_back({body, src.substr(body, i - body)});
+      if (i < n) blank(i++);
+      continue;
+    }
+    ++i;
+  }
+  file.scrubbed = std::move(out);
+}
+
+void index_lines(SourceFile& file) {
+  file.line_start.push_back(0);
+  for (std::size_t i = 0; i < file.content.size(); ++i)
+    if (file.content[i] == '\n') file.line_start.push_back(i + 1);
+}
+
+void tokenize(SourceFile& file) {
+  const std::string& s = file.scrubbed;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    if (ident_start(s[i])) {
+      const std::size_t begin = i;
+      while (i < s.size() && ident_char(s[i])) ++i;
+      file.tokens.push_back({s.substr(begin, i - begin), begin});
+    } else {
+      ++i;
+    }
+  }
+}
+
+void parse_includes(SourceFile& file) {
+  std::size_t pos = 0;
+  while (pos < file.content.size()) {
+    std::size_t end = file.content.find('\n', pos);
+    if (end == std::string::npos) end = file.content.size();
+    std::size_t i = pos;
+    const std::string& s = file.content;
+    auto skip_ws = [&] {
+      while (i < end && (s[i] == ' ' || s[i] == '\t')) ++i;
+    };
+    skip_ws();
+    if (i < end && s[i] == '#') {
+      ++i;
+      skip_ws();
+      if (s.compare(i, 7, "include") == 0) {
+        i += 7;
+        skip_ws();
+        if (i < end && s[i] == '"') {
+          const std::size_t close = s.find('"', i + 1);
+          if (close != std::string::npos && close < end)
+            file.includes.push_back(s.substr(i + 1, close - i - 1));
+        }
+      }
+    }
+    pos = end + 1;
+  }
+}
+
+// ------------------------------------------------------------------ helpers
+
+std::string normalize(const std::string& path) {
+  std::string out = path;
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+/// True when `path` ends with "/suffix" or equals it.
+bool path_ends_with(const std::string& path, const std::string& suffix) {
+  if (path.size() == suffix.size()) return path == suffix;
+  return path.size() > suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0 &&
+         path[path.size() - suffix.size() - 1] == '/';
+}
+
+/// Path with its extension removed ("src/util/rng.hpp" -> "src/util/rng").
+std::string stem_path(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  const std::size_t slash = path.rfind('/');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return path;
+  return path.substr(0, dot);
+}
+
+bool skip_ws_backward(const std::string& s, std::size_t& i) {
+  while (i > 0 && std::isspace(static_cast<unsigned char>(s[i - 1]))) --i;
+  return i > 0;
+}
+
+bool skip_ws_forward(const std::string& s, std::size_t& i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i < s.size();
+}
+
+/// True when the identifier starting at `pos` is qualified as std::<name>
+/// (or std::chrono::<name>), directly or through the chrono namespace.
+bool std_qualified(const SourceFile& file, std::size_t pos) {
+  const std::string& s = file.scrubbed;
+  std::size_t i = pos;
+  if (!skip_ws_backward(s, i) || i < 2 || s[i - 1] != ':' || s[i - 2] != ':') return false;
+  i -= 2;
+  if (!skip_ws_backward(s, i)) return false;
+  std::size_t end = i;
+  while (i > 0 && ident_char(s[i - 1])) --i;
+  const std::string qualifier = s.substr(i, end - i);
+  if (qualifier == "std") return true;
+  if (qualifier == "chrono") return std_qualified(file, i);
+  return false;
+}
+
+/// True when the identifier at `pos` is a member access (preceded by . or ->).
+bool member_access(const SourceFile& file, std::size_t pos) {
+  const std::string& s = file.scrubbed;
+  std::size_t i = pos;
+  if (!skip_ws_backward(s, i)) return false;
+  if (s[i - 1] == '.') return true;
+  return i >= 2 && s[i - 1] == '>' && s[i - 2] == '-';
+}
+
+struct Finding {
+  const SourceFile* file;
+  std::size_t pos;
+  const char* rule;
+  std::string message;
+};
+
+class Analysis {
+ public:
+  explicit Analysis(std::vector<SourceFile> files) : files_(std::move(files)) {
+    compute_closure();
+    collect_unordered_names();
+  }
+
+  std::vector<Diagnostic> run() {
+    for (SourceFile& file : files_) {
+      check_rng_domain(file);
+      if (file.in_closure) {
+        check_report_identifiers(file);
+        check_pointer_format(file);
+        check_unordered_iteration(file);
+        check_raw_streams(file);
+      }
+    }
+    check_fingerprint_axes();
+    return finish();
+  }
+
+ private:
+  // ---- include closure ----------------------------------------------------
+
+  const SourceFile* resolve_include(const std::string& include) const {
+    for (const SourceFile& file : files_)
+      if (path_ends_with(file.path, include)) return &file;
+    return nullptr;
+  }
+
+  void compute_closure() {
+    std::vector<const SourceFile*> frontier;
+    std::set<std::string> in_closure;
+    for (SourceFile& file : files_)
+      for (const char* seed : kClosureSeeds)
+        if (path_ends_with(file.path, seed) && in_closure.insert(file.path).second)
+          frontier.push_back(&file);
+    while (!frontier.empty()) {
+      const SourceFile* header = frontier.back();
+      frontier.pop_back();
+      for (const std::string& include : header->includes) {
+        const SourceFile* next = resolve_include(include);
+        if (next && in_closure.insert(next->path).second)
+          frontier.push_back(next);
+      }
+    }
+    // A closure header's paired translation unit is where its code lives;
+    // scan it with the same rules (its own includes do not extend the
+    // closure — reachability is over interfaces, not implementation
+    // dependencies).
+    for (SourceFile& file : files_) {
+      if (in_closure.count(file.path)) {
+        file.in_closure = true;
+        continue;
+      }
+      const std::string stem = stem_path(file.path);
+      for (const char* ext : {".hpp", ".h"})
+        if (in_closure.count(stem + ext)) file.in_closure = true;
+    }
+  }
+
+  // ---- diagnostics --------------------------------------------------------
+
+  void report(const SourceFile& file, std::size_t pos, const char* rule,
+              std::string message) {
+    findings_.push_back(Finding{&file, pos, rule, std::move(message)});
+  }
+
+  std::vector<Diagnostic> finish() {
+    std::vector<Diagnostic> out;
+    for (const Finding& f : findings_) {
+      const std::size_t line = line_of(*f.file, f.pos);
+      const auto allowed = f.file->allowed.find(line);
+      if (allowed != f.file->allowed.end() &&
+          (allowed->second.count(f.rule) || allowed->second.count("all")))
+        continue;
+      Diagnostic d;
+      d.file = f.file->path;
+      d.line = line;
+      d.col = col_of(*f.file, f.pos);
+      d.rule = f.rule;
+      d.message = f.message;
+      d.source_line = line_text(*f.file, line);
+      out.push_back(std::move(d));
+    }
+    std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
+      if (a.file != b.file) return a.file < b.file;
+      if (a.line != b.line) return a.line < b.line;
+      if (a.col != b.col) return a.col < b.col;
+      return a.rule < b.rule;
+    });
+    return out;
+  }
+
+  // ---- rng-domain ---------------------------------------------------------
+
+  void check_rng_domain(const SourceFile& file) {
+    const std::string stem = stem_path(file.path);
+    for (const char* allowed : kRngAllowedStems)
+      if (path_ends_with(stem, allowed)) return;
+    static const std::set<std::string> kBanned = {
+        "mt19937",     "mt19937_64", "minstd_rand", "minstd_rand0",
+        "ranlux24",    "ranlux48",   "knuth_b",     "default_random_engine",
+        "random_device", "rand",     "srand",       "rand_r",
+        "drand48",     "lrand48",    "mrand48",     "erand48",
+    };
+    for (const Token& token : file.tokens) {
+      if (!kBanned.count(token.text)) continue;
+      if (member_access(file, token.pos)) continue;  // a member named rand is ours
+      report(file, token.pos, kRngDomain,
+             "'" + token.text +
+                 "' is a random source outside the RNG domain layer; draw "
+                 "through util::Rng substreams (util/rng.hpp) so the "
+                 "(Domain, chip_stream_index) layout stays reproducible");
+    }
+  }
+
+  // ---- report-* identifier bans ------------------------------------------
+
+  void check_report_identifiers(const SourceFile& file) {
+    struct Ban {
+      const char* rule;
+      const char* why;
+      bool std_only;  ///< only when written std:: / std::chrono:: qualified
+    };
+    static const std::map<std::string, Ban> kBans = {
+        {"system_clock", {kReportClock, "wall-clock time", false}},
+        {"steady_clock", {kReportClock, "monotonic time", false}},
+        {"high_resolution_clock", {kReportClock, "clock time", false}},
+        {"file_clock", {kReportClock, "file time", false}},
+        {"utc_clock", {kReportClock, "wall-clock time", false}},
+        {"clock_gettime", {kReportClock, "clock time", false}},
+        {"gettimeofday", {kReportClock, "wall-clock time", false}},
+        {"timespec_get", {kReportClock, "wall-clock time", false}},
+        {"time", {kReportClock, "wall-clock time", true}},
+        {"clock", {kReportClock, "processor time", true}},
+        {"ctime", {kReportClock, "formatted wall-clock time", false}},
+        {"asctime", {kReportClock, "formatted wall-clock time", false}},
+        {"localtime", {kReportClock, "local time", false}},
+        {"localtime_r", {kReportClock, "local time", false}},
+        {"gmtime", {kReportClock, "calendar time", false}},
+        {"gmtime_r", {kReportClock, "calendar time", false}},
+        {"strftime", {kReportClock, "formatted time", false}},
+        {"mktime", {kReportClock, "calendar time", false}},
+        {"getenv", {kReportEnv, "environment state", false}},
+        {"secure_getenv", {kReportEnv, "environment state", false}},
+        {"setenv", {kReportEnv, "environment state", false}},
+        {"putenv", {kReportEnv, "environment state", false}},
+        {"unsetenv", {kReportEnv, "environment state", false}},
+        {"environ", {kReportEnv, "environment state", false}},
+        {"setlocale", {kReportLocale, "host locale", false}},
+        {"localeconv", {kReportLocale, "host locale", false}},
+        {"locale", {kReportLocale, "host locale", true}},
+        {"imbue", {kReportLocale, "stream locale", false}},
+        {"this_thread", {kReportThreadId, "thread identity", false}},
+        {"get_id", {kReportThreadId, "thread identity", false}},
+        {"pthread_self", {kReportThreadId, "thread identity", false}},
+        {"gettid", {kReportThreadId, "thread identity", false}},
+    };
+    for (const Token& token : file.tokens) {
+      const auto it = kBans.find(token.text);
+      if (it == kBans.end()) continue;
+      const Ban& ban = it->second;
+      if (ban.std_only) {
+        if (!std_qualified(file, token.pos)) continue;
+      } else if (member_access(file, token.pos)) {
+        continue;  // obj.get_id() on one of our types is not std thread identity
+      }
+      report(file, token.pos, ban.rule,
+             std::string("'") + token.text + "' injects " + ban.why +
+                 " into code reachable from the reporters/checkpoint "
+                 "writers; report bytes must depend only on the campaign "
+                 "inputs");
+    }
+  }
+
+  // ---- report-pointer-format ---------------------------------------------
+
+  void check_pointer_format(const SourceFile& file) {
+    for (const StringSpan& literal : file.strings) {
+      const std::size_t at = literal.text.find("%p");
+      if (at != std::string::npos)
+        report(file, literal.pos + at, kReportPointerFormat,
+               "\"%p\" formats a pointer value; addresses differ per run "
+               "under ASLR and must never reach report bytes");
+    }
+    for (const Token& token : file.tokens) {
+      if (token.text != "uintptr_t" && token.text != "intptr_t") continue;
+      report(file, token.pos, kReportPointerFormat,
+             "'" + token.text +
+                 "' converts a pointer to an integer in code reachable from "
+                 "the reporters; address-derived values are not stable "
+                 "across runs");
+    }
+  }
+
+  // ---- unordered-output-order --------------------------------------------
+
+  void collect_unordered_names() {
+    static const std::set<std::string> kUnorderedTypes = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    for (const SourceFile& file : files_) {
+      for (std::size_t t = 0; t < file.tokens.size(); ++t) {
+        if (!kUnorderedTypes.count(file.tokens[t].text)) continue;
+        // Skip the template argument list, then take the declared name.
+        const std::string& s = file.scrubbed;
+        std::size_t i = file.tokens[t].pos + file.tokens[t].text.size();
+        if (!skip_ws_forward(s, i) || s[i] != '<') continue;
+        std::size_t depth = 0;
+        while (i < s.size()) {
+          if (s[i] == '<') ++depth;
+          if (s[i] == '>' && --depth == 0) {
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        if (!skip_ws_forward(s, i) || !ident_start(s[i])) continue;
+        const std::size_t begin = i;
+        while (i < s.size() && ident_char(s[i])) ++i;
+        unordered_names_.insert(s.substr(begin, i - begin));
+      }
+    }
+  }
+
+  void check_unordered_iteration(const SourceFile& file) {
+    const std::string& s = file.scrubbed;
+    for (std::size_t t = 0; t < file.tokens.size(); ++t) {
+      const Token& token = file.tokens[t];
+      // Range-for over an unordered container (by declared name or an
+      // inline unordered_* expression).
+      if (token.text == "for") {
+        std::size_t i = token.pos + 3;
+        if (!skip_ws_forward(s, i) || s[i] != '(') continue;
+        std::size_t depth = 0, colon = std::string::npos;
+        const std::size_t open = i;
+        while (i < s.size()) {
+          if (s[i] == '(') ++depth;
+          if (s[i] == ')' && --depth == 0) break;
+          if (s[i] == ':' && depth == 1 &&
+              (i + 1 >= s.size() || s[i + 1] != ':') && (i == 0 || s[i - 1] != ':'))
+            colon = i;
+          ++i;
+        }
+        if (colon == std::string::npos || i >= s.size()) continue;
+        const std::string range = s.substr(colon + 1, i - colon - 1);
+        // Identifiers of the range expression; flag ones declared unordered.
+        std::size_t j = 0;
+        while (j < range.size()) {
+          if (!ident_start(range[j])) {
+            ++j;
+            continue;
+          }
+          const std::size_t begin = j;
+          while (j < range.size() && ident_char(range[j])) ++j;
+          const std::string name = range.substr(begin, j - begin);
+          if (unordered_names_.count(name) ||
+              name.rfind("unordered_", 0) == 0) {
+            report(file, colon + 1 + begin, kUnorderedOutputOrder,
+                   "iterating '" + name +
+                       "' (unordered container) in code reachable from the "
+                       "reporters; bucket order is implementation-defined "
+                       "and would leak into report/checkpoint/fingerprint "
+                       "bytes — use an ordered container or sort first");
+            break;
+          }
+        }
+        (void)open;
+        continue;
+      }
+      // Explicit iterator walk: name.begin() / name.cbegin().
+      if (unordered_names_.count(token.text)) {
+        std::size_t i = token.pos + token.text.size();
+        if (!skip_ws_forward(s, i)) continue;
+        std::size_t after = i;
+        if (s[i] == '.') {
+          after = i + 1;
+        } else if (s[i] == '-' && i + 1 < s.size() && s[i + 1] == '>') {
+          after = i + 2;
+        } else {
+          continue;
+        }
+        if (!skip_ws_forward(s, after)) continue;
+        for (const char* it : {"begin", "cbegin", "rbegin"}) {
+          const std::size_t len = std::string(it).size();
+          if (s.compare(after, len, it) == 0 && after + len < s.size() &&
+              !ident_char(s[after + len])) {
+            report(file, token.pos, kUnorderedOutputOrder,
+                   "iterator over '" + token.text +
+                       "' (unordered container) in code reachable from the "
+                       "reporters; iteration order is implementation-"
+                       "defined — use an ordered container or sort first");
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- raw-report-stream --------------------------------------------------
+
+  void check_raw_streams(const SourceFile& file) {
+    static const std::set<std::string> kBanned = {"ofstream", "fopen", "fwrite",
+                                                  "fprintf"};
+    for (const Token& token : file.tokens) {
+      if (!kBanned.count(token.text)) continue;
+      // fprintf(stderr, ...) is diagnostics, not report bytes.
+      if (token.text == "fprintf") {
+        const std::string& s = file.scrubbed;
+        std::size_t i = token.pos + token.text.size();
+        if (skip_ws_forward(s, i) && s[i] == '(') {
+          ++i;
+          if (skip_ws_forward(s, i) && s.compare(i, 6, "stderr") == 0) continue;
+        }
+      }
+      report(file, token.pos, kRawReportStream,
+             "'" + token.text +
+                 "' writes report/checkpoint bytes through a raw stream; "
+                 "route them through engine::write_text_file_atomic (or the "
+                 "flush-verified CheckpointWriter) so a crash or full disk "
+                 "can never tear the file");
+    }
+  }
+
+  // ---- fingerprint-axis ---------------------------------------------------
+
+  struct Field {
+    std::string name;
+    std::string element;  ///< vector axes: element type name; else empty
+    std::size_t pos = 0;
+  };
+
+  /// Parses the depth-1 data members of `struct <name> { ... }` in `file`.
+  /// Returns false when the struct is not defined there.
+  bool parse_struct_fields(const SourceFile& file, const std::string& name,
+                           std::vector<Field>& fields) const {
+    const std::string& s = file.scrubbed;
+    std::size_t body = std::string::npos;
+    for (std::size_t t = 0; t + 1 < file.tokens.size(); ++t) {
+      if (file.tokens[t].text != "struct" && file.tokens[t].text != "class")
+        continue;
+      if (file.tokens[t + 1].text != name) continue;
+      std::size_t i = file.tokens[t + 1].pos + name.size();
+      if (!skip_ws_forward(s, i)) continue;
+      if (s[i] == '{') {
+        body = i + 1;
+        break;
+      }
+    }
+    if (body == std::string::npos) return false;
+    // Split depth-1 statements on ';'.
+    std::size_t i = body, stmt = body;
+    int braces = 0;
+    while (i < s.size()) {
+      const char c = s[i];
+      if (c == '{') ++braces;
+      if (c == '}') {
+        if (braces == 0) break;
+        --braces;
+      }
+      if (c == ';' && braces == 0) {
+        parse_member(s, stmt, i, fields);
+        stmt = i + 1;
+      }
+      ++i;
+    }
+    return true;
+  }
+
+  /// Parses one member statement [begin, end); appends a Field for plain
+  /// data members, skipping functions (anything with a parameter list).
+  void parse_member(const std::string& s, std::size_t begin, std::size_t end,
+                    std::vector<Field>& fields) const {
+    std::string element;
+    std::size_t init = end;  // start of the initializer, if any
+    int angles = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const char c = s[i];
+      if (c == '<') ++angles;
+      if (c == '>' && angles > 0) --angles;
+      if (angles == 0 && c == '=' &&
+          (i + 1 >= end || s[i + 1] != '=') && (i == begin || s[i - 1] != '=') &&
+          (i == begin || s[i - 1] != '!') && (i == begin || s[i - 1] != '<') &&
+          (i == begin || s[i - 1] != '>')) {
+        init = i;
+        break;
+      }
+      if (angles == 0 && c == '{') {
+        init = i;
+        break;
+      }
+      if (angles == 0 && c == '(') return;  // function declaration
+    }
+    // operator== / operator<=> declarations reach here with their '=' taken
+    // for an initializer; they are not data members.
+    if (s.substr(begin, init - begin).find("operator") != std::string::npos)
+      return;
+    // The member name is the last identifier before the initializer.
+    std::size_t name_begin = std::string::npos, name_end = 0;
+    for (std::size_t i = begin; i < init; ++i) {
+      if (ident_start(s[i]) && (i == begin || !ident_char(s[i - 1]))) {
+        std::size_t j = i;
+        while (j < init && ident_char(s[j])) ++j;
+        name_begin = i;
+        name_end = j;
+        i = j;
+      }
+    }
+    if (name_begin == std::string::npos) return;
+    const std::string name = s.substr(name_begin, name_end - name_begin);
+    if (name == "const" || name == "static" || name == "constexpr") return;
+    // Vector axes: remember the element type's unqualified name.
+    const std::size_t vec = s.substr(begin, init - begin).find("vector<");
+    if (vec != std::string::npos) {
+      std::size_t i = begin + vec + 6, depth = 0, elem_end = end;
+      std::size_t j = i;
+      while (j < init) {
+        if (s[j] == '<') ++depth;
+        if (s[j] == '>' && --depth == 0) {
+          elem_end = j;
+          break;
+        }
+        ++j;
+      }
+      // Element type name: last identifier inside the angle brackets.
+      std::size_t eb = std::string::npos, ee = 0;
+      for (std::size_t k = i + 1; k < elem_end; ++k) {
+        if (ident_start(s[k]) && !ident_char(s[k - 1])) {
+          std::size_t m = k;
+          while (m < elem_end && ident_char(s[m])) ++m;
+          eb = k;
+          ee = m;
+          k = m;
+        }
+      }
+      if (eb != std::string::npos) element = s.substr(eb, ee - eb);
+      // The name we captured above is the element type when the declarator
+      // has no initializer; re-find the name after the closing '>'.
+      std::size_t after = elem_end + 1;
+      if (skip_ws_forward(s, after) && ident_start(s[after]) && after < init) {
+        std::size_t m = after;
+        while (m < init && ident_char(s[m])) ++m;
+        fields.push_back(Field{s.substr(after, m - after), element, after});
+        return;
+      }
+    }
+    fields.push_back(Field{name, element, name_begin});
+  }
+
+  /// Extracts the body of `campaign_fingerprint(...){ ... }` from `file`.
+  bool fingerprint_body(const SourceFile& file, std::string& body) const {
+    const std::string& s = file.scrubbed;
+    for (const Token& token : file.tokens) {
+      if (token.text != "campaign_fingerprint") continue;
+      std::size_t i = token.pos + token.text.size();
+      if (!skip_ws_forward(s, i) || s[i] != '(') continue;
+      std::size_t depth = 0;
+      while (i < s.size()) {
+        if (s[i] == '(') ++depth;
+        if (s[i] == ')' && --depth == 0) {
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      if (!skip_ws_forward(s, i) || s[i] != '{') continue;  // a declaration
+      const std::size_t open = i;
+      std::size_t braces = 0;
+      while (i < s.size()) {
+        if (s[i] == '{') ++braces;
+        if (s[i] == '}' && --braces == 0) break;
+        ++i;
+      }
+      body = s.substr(open, i - open);
+      return true;
+    }
+    return false;
+  }
+
+  bool body_has_identifier(const std::string& body, const std::string& name) const {
+    std::size_t at = 0;
+    while ((at = body.find(name, at)) != std::string::npos) {
+      const bool left_ok = at == 0 || !ident_char(body[at - 1]);
+      const std::size_t end = at + name.size();
+      const bool right_ok = end >= body.size() || !ident_char(body[end]);
+      if (left_ok && right_ok) return true;
+      at = end;
+    }
+    return false;
+  }
+
+  void check_fingerprint_axes() {
+    const SourceFile* header = nullptr;
+    for (const SourceFile& file : files_)
+      if (path_ends_with(file.path, kSpecHeader)) header = &file;
+    if (!header) return;  // campaign_spec not part of this lint run
+
+    std::vector<Field> spec_fields;
+    if (!parse_struct_fields(*header, "CampaignSpec", spec_fields)) {
+      report(*header, 0, kFingerprintAxis,
+             "could not parse struct CampaignSpec; the fingerprint-axis "
+             "cross-check needs its field list");
+      return;
+    }
+
+    std::string body;
+    bool have_body = false;
+    for (const SourceFile& file : files_) {
+      if (!path_ends_with(file.path, kSpecSource) &&
+          !path_ends_with(file.path, kSpecHeader))
+        continue;
+      if (fingerprint_body(file, body)) {
+        have_body = true;
+        break;
+      }
+    }
+    if (!have_body) {
+      report(*header, 0, kFingerprintAxis,
+             "campaign_fingerprint definition not found next to "
+             "CampaignSpec; every axis must be mixed into the fingerprint");
+      return;
+    }
+
+    for (const Field& field : spec_fields) {
+      if (field.element.empty()) {
+        // Workload scalar: the fingerprint must mix spec.<name>.
+        if (!body_has_identifier(body, field.name))
+          report(*header, field.pos, kFingerprintAxis,
+                 "CampaignSpec field '" + field.name +
+                     "' is never mixed into campaign_fingerprint; a resumed "
+                     "checkpoint could silently merge runs that differ in it");
+        continue;
+      }
+      // Sweep axis: every leaf field of the element struct must be mixed in
+      // (through the expanded cells).
+      std::vector<Field> element_fields;
+      bool found = false;
+      for (const SourceFile& file : files_) {
+        if (parse_struct_fields(file, field.element, element_fields)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        report(*header, field.pos, kFingerprintAxis,
+               "axis '" + field.name + "': element struct '" + field.element +
+                   "' is not defined in the linted tree, so fingerprint "
+                   "coverage cannot be verified");
+        continue;
+      }
+      for (const Field& leaf : element_fields) {
+        if (!body_has_identifier(body, leaf.name))
+          report(*header, field.pos, kFingerprintAxis,
+                 "axis '" + field.name + "': field '" + field.element + "::" +
+                     leaf.name +
+                     "' is never mixed into campaign_fingerprint — follow "
+                     "the ROADMAP \"adding a sweep axis\" recipe (apply in "
+                     "expand_cells, mix into campaign_fingerprint, surface "
+                     "in cell_label/reporters)");
+      }
+    }
+  }
+
+  std::vector<SourceFile> files_;
+  std::set<std::string> unordered_names_;
+  std::vector<Finding> findings_;
+};
+
+bool lintable_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {kRngDomain,
+       "random sources (mt19937, rand, random_device, ...) only in "
+       "util/rng.* and engine/kernel.*"},
+      {kReportClock, "no wall/monotonic clock reachable from the reporters"},
+      {kReportEnv, "no environment reads reachable from the reporters"},
+      {kReportLocale, "no locale machinery reachable from the reporters"},
+      {kReportThreadId, "no thread identity reachable from the reporters"},
+      {kReportPointerFormat,
+       "no pointer-value formatting reachable from the reporters"},
+      {kUnorderedOutputOrder,
+       "no unordered_map/unordered_set iteration reachable from the "
+       "reporters"},
+      {kRawReportStream,
+       "no raw ofstream/fopen writes reachable from the reporters; use "
+       "engine::write_text_file_atomic"},
+      {kFingerprintAxis,
+       "every CampaignSpec axis field must be mixed into "
+       "campaign_fingerprint"},
+  };
+  return kRules;
+}
+
+std::vector<Diagnostic> lint_paths(const std::vector<std::string>& paths,
+                                   std::string* error) {
+  std::vector<std::string> inputs;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (auto it = fs::recursive_directory_iterator(path, ec);
+           it != fs::recursive_directory_iterator(); it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file(ec) && lintable_extension(it->path()))
+          inputs.push_back(it->path().string());
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      inputs.push_back(path);
+    } else {
+      if (error) *error = "detlint: cannot read '" + path + "'";
+      return {};
+    }
+  }
+  std::sort(inputs.begin(), inputs.end());
+  inputs.erase(std::unique(inputs.begin(), inputs.end()), inputs.end());
+
+  std::vector<SourceFile> files;
+  files.reserve(inputs.size());
+  for (const std::string& path : inputs) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      if (error) *error = "detlint: cannot read '" + path + "'";
+      return {};
+    }
+    SourceFile file;
+    file.path = normalize(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    file.content = buffer.str();
+    index_lines(file);
+    scrub(file);
+    tokenize(file);
+    parse_includes(file);
+    files.push_back(std::move(file));
+  }
+  return Analysis(std::move(files)).run();
+}
+
+std::string format(const Diagnostic& d) {
+  std::ostringstream out;
+  out << d.file << ":" << d.line << ":" << d.col << ": detlint[" << d.rule
+      << "]: " << d.message << "\n";
+  out << "    " << d.source_line << "\n";
+  out << "    ";
+  // Expand tabs the same way the source line prints so the caret lands on
+  // the offending column.
+  for (std::size_t i = 0; i + 1 < d.col && i < d.source_line.size(); ++i)
+    out << (d.source_line[i] == '\t' ? '\t' : ' ');
+  out << "^\n";
+  return out.str();
+}
+
+}  // namespace detlint

@@ -1,0 +1,91 @@
+// detlint — static checker for this repository's determinism invariants.
+//
+// The campaign engine's central contract is that reports are byte-identical
+// across thread counts, shard sizes, cache settings, worker fleets and
+// crash/resume. The CI smoke runs prove that contract dynamically on one
+// container; detlint enforces the *bug class* statically, at review time:
+//
+//   rng-domain             random sources (mt19937, rand(), random_device,
+//                          ...) are confined to util/rng.* and engine/
+//                          kernel.* — everything else must draw through
+//                          util::Rng substreams so the (Domain,
+//                          chip_stream_index) layout stays load-bearing.
+//   report-clock           no wall/monotonic clock reachable from the
+//                          reporters or checkpoint writers (report bytes
+//                          must not depend on when they were produced).
+//   report-env             no environment reads (getenv & friends) in that
+//                          same reachable set.
+//   report-locale          no locale machinery (setlocale, imbue, ...) —
+//                          number formatting must not vary by host config.
+//   report-thread-id       no thread identity (this_thread, get_id) — bytes
+//                          must not depend on which worker produced them.
+//   report-pointer-format  no pointer-value formatting ("%p", uintptr_t
+//                          casts) — addresses differ per run under ASLR.
+//   unordered-output-order no iteration over unordered_map/unordered_set in
+//                          the reachable set — bucket order is
+//                          implementation-defined and would leak into
+//                          report/checkpoint/fingerprint bytes.
+//   raw-report-stream      no raw ofstream/fopen writes in the reachable
+//                          set — report and checkpoint bytes go through
+//                          engine::write_text_file_atomic (or the
+//                          flush-verified CheckpointWriter), never through
+//                          a bare stream a crash can tear.
+//   fingerprint-axis       every CampaignSpec axis field must be mixed into
+//                          campaign_fingerprint — cross-references
+//                          engine/campaign_spec.{hpp,cpp} and fails when a
+//                          new sweep axis is added without being
+//                          fingerprinted (the ROADMAP "adding a sweep axis"
+//                          recipe, machine-checked).
+//
+// "Reachable from the reporters" is computed over the quoted-include graph:
+// the closure of engine/report.hpp and engine/checkpoint.hpp, plus each
+// closure header's paired .cpp. The analysis is token-based (comments and
+// string literals stripped), so identifiers in comments or strings never
+// trigger findings.
+//
+// Suppression: a comment containing `detlint:allow(<rule>[, <rule>...])`
+// silences those rules on the comment's own line and the line immediately
+// after it (so both trailing comments and a directive line above the code
+// work). Every suppression is a reviewable artifact in the diff.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace detlint {
+
+/// One finding. `line`/`col` are 1-based; `source_line` is the offending
+/// line's text for caret rendering.
+struct Diagnostic {
+  std::string file;
+  std::size_t line = 0;
+  std::size_t col = 0;
+  std::string rule;
+  std::string message;
+  std::string source_line;
+};
+
+struct RuleInfo {
+  const char* name;
+  const char* summary;
+};
+
+/// The rule table, in documentation order.
+const std::vector<RuleInfo>& rules();
+
+/// Lints every .hpp/.h/.cpp/.cc file under the given files/directories as
+/// one analysis unit (the include closure and the fingerprint cross-check
+/// need the whole set at once). Returns findings sorted by
+/// (file, line, col, rule). On an unreadable path, sets *error and returns
+/// an empty list.
+std::vector<Diagnostic> lint_paths(const std::vector<std::string>& paths,
+                                   std::string* error);
+
+/// Renders one finding in the repo's caret-diagnostic style:
+///   file:line:col: detlint[rule]: message
+///       offending source line
+///       ^
+std::string format(const Diagnostic& diagnostic);
+
+}  // namespace detlint

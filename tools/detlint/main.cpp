@@ -1,0 +1,66 @@
+// detlint CLI. Exit codes: 0 clean, 1 findings, 2 usage/IO error — the same
+// convention as the campaign endpoints (0 ok, 2 usage).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "detlint/detlint.hpp"
+
+namespace {
+
+int usage(std::FILE* to) {
+  std::fputs(
+      "usage: detlint [--list-rules] <file-or-directory>...\n"
+      "\n"
+      "Statically checks the determinism invariants of this repository over\n"
+      "the given files (directories recurse into *.hpp *.h *.cpp *.cc).\n"
+      "Typical invocation, from the repository root:\n"
+      "\n"
+      "    detlint src bench examples\n"
+      "\n"
+      "Suppress a finding with a comment on the offending line (or the line\n"
+      "above it):  // detlint:allow(<rule>)\n",
+      to);
+  return to == stdout ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0)
+      return usage(stdout);
+    if (std::strcmp(argv[i], "--list-rules") == 0) {
+      for (const detlint::RuleInfo& rule : detlint::rules())
+        std::printf("%-24s %s\n", rule.name, rule.summary);
+      return 0;
+    }
+    if (argv[i][0] == '-') {
+      std::fprintf(stderr, "detlint: unknown flag '%s'\n", argv[i]);
+      return usage(stderr);
+    }
+    paths.push_back(argv[i]);
+  }
+  if (paths.empty()) return usage(stderr);
+
+  std::string error;
+  const std::vector<detlint::Diagnostic> findings =
+      detlint::lint_paths(paths, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  for (const detlint::Diagnostic& d : findings)
+    std::fputs(detlint::format(d).c_str(), stderr);
+  if (!findings.empty()) {
+    std::fprintf(stderr,
+                 "detlint: %zu finding%s — determinism invariants violated "
+                 "(see tools/detlint/detlint.hpp; suppress a reviewed "
+                 "exception with // detlint:allow(<rule>))\n",
+                 findings.size(), findings.size() == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}

@@ -4,6 +4,13 @@
 //
 // Usage: bench_diff <baseline.json> <fresh.json> [--threshold=PCT]
 //
+// Records carrying user counters in both files compare counter-by-counter
+// as throughputs (higher is better; a drop beyond the threshold is the
+// regression) instead of by cpu_time — for threaded benchmarks, per-thread
+// cpu time is inconsistent across thread counts while frames/sec is the
+// quantity of interest. Records without common counters compare by cpu_time
+// as before (lower is better).
+//
 // Exit status: 0 when no benchmark regressed by more than the threshold
 // (default 10 %), 1 when at least one did, 2 on usage/file errors. Typical
 // perf-PR flow:
@@ -67,18 +74,63 @@ int main(int argc, char** argv) {
                      "new"});
       continue;
     }
-    ++matched;
-    const double before = it->second->cpu_time_ns;
-    const double delta_pct = before > 0.0 ? (now.cpu_time_ns - before) / before * 100.0
-                                          : 0.0;
-    const bool regressed = delta_pct > threshold_pct;
-    if (regressed) ++regressions;
-    table.add_row({now.name, util::fixed(before, 0) + " ns",
-                   util::fixed(now.cpu_time_ns, 0) + " ns",
-                   (delta_pct >= 0 ? "+" : "") + util::fixed(delta_pct, 1) + " %",
-                   regressed        ? "REGRESSION"
-                   : delta_pct < -threshold_pct ? "improved"
-                                                : "ok"});
+    const bench::BenchRecord& base = *it->second;
+
+    // Counter-by-counter throughput comparison when both sides carry a
+    // counter of the same name; cpu_time only when no counter pairs up.
+    bool compared_counters = false;
+    for (const bench::BenchCounter& counter : now.counters) {
+      const bench::BenchCounter* before_counter = nullptr;
+      for (const bench::BenchCounter& c : base.counters)
+        if (c.name == counter.name) {
+          before_counter = &c;
+          break;
+        }
+      const std::string row_name = now.name + " [" + counter.name + "]";
+      if (!before_counter) {
+        table.add_row({row_name, "-", util::fixed(counter.value, 2), "-", "new"});
+        continue;
+      }
+      compared_counters = true;
+      ++matched;
+      const double before = before_counter->value;
+      const double delta_pct =
+          before > 0.0 ? (counter.value - before) / before * 100.0 : 0.0;
+      const bool regressed = delta_pct < -threshold_pct;  // rate: drop is bad
+      if (regressed) ++regressions;
+      table.add_row({row_name, util::fixed(before, 2), util::fixed(counter.value, 2),
+                     (delta_pct >= 0 ? "+" : "") + util::fixed(delta_pct, 1) + " %",
+                     regressed                    ? "REGRESSION"
+                     : delta_pct > threshold_pct ? "improved"
+                                                 : "ok"});
+    }
+    for (const bench::BenchCounter& c : base.counters) {
+      bool still_there = false;
+      for (const bench::BenchCounter& counter : now.counters)
+        if (counter.name == c.name) {
+          still_there = true;
+          break;
+        }
+      if (!still_there)
+        table.add_row({now.name + " [" + c.name + "]", util::fixed(c.value, 2), "-",
+                       "-", "removed"});
+    }
+
+    if (!compared_counters) {
+      ++matched;
+      const double before = base.cpu_time_ns;
+      const double delta_pct = before > 0.0
+                                   ? (now.cpu_time_ns - before) / before * 100.0
+                                   : 0.0;
+      const bool regressed = delta_pct > threshold_pct;
+      if (regressed) ++regressions;
+      table.add_row({now.name, util::fixed(before, 0) + " ns",
+                     util::fixed(now.cpu_time_ns, 0) + " ns",
+                     (delta_pct >= 0 ? "+" : "") + util::fixed(delta_pct, 1) + " %",
+                     regressed        ? "REGRESSION"
+                     : delta_pct < -threshold_pct ? "improved"
+                                                  : "ok"});
+    }
     baseline_by_name.erase(it);
   }
   for (const auto& [name, record] : baseline_by_name)
@@ -86,7 +138,8 @@ int main(int argc, char** argv) {
                    "removed"});
 
   std::cout << table.to_string();
-  std::printf("\n%zu benchmark(s) compared, %zu regression(s) beyond +%.1f %% cpu time\n",
+  std::printf("\n%zu comparison(s) (cpu time or counters), %zu regression(s) beyond "
+              "%.1f %%\n",
               matched, regressions, threshold_pct);
   if (matched == 0) {
     // A vacuous comparison (empty/filtered fresh run) must not pass a gate.

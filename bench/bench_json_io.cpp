@@ -12,9 +12,11 @@ namespace sfqecc::bench {
 namespace {
 
 /// Position just past the '}' closing the record opened at `open`, skipping
-/// braces inside (escaped) string values; std::string::npos when unclosed.
+/// braces inside (escaped) string values and counting nested objects (a
+/// record may hold a "counters" sub-object); std::string::npos when unclosed.
 std::size_t record_end(const std::string& text, std::size_t open) {
   bool in_string = false;
+  std::size_t depth = 1;
   for (std::size_t i = open + 1; i < text.size(); ++i) {
     const char c = text[i];
     if (in_string) {
@@ -25,8 +27,10 @@ std::size_t record_end(const std::string& text, std::size_t open) {
       }
     } else if (c == '"') {
       in_string = true;
+    } else if (c == '{') {
+      ++depth;
     } else if (c == '}') {
-      return i + 1;
+      if (--depth == 0) return i + 1;
     }
   }
   return std::string::npos;
@@ -63,6 +67,35 @@ bool find_value(const std::string& text, const std::string& key, std::string& va
   return !value.empty();
 }
 
+/// Parses the optional "counters" sub-object of one record into `out`.
+/// Returns false only on a malformed object (an absent one is fine).
+bool parse_counters(const std::string& record_text, std::vector<BenchCounter>& out) {
+  const std::size_t key = record_text.find("\"counters\"");
+  if (key == std::string::npos) return true;
+  const std::size_t open = record_text.find('{', key);
+  const std::size_t close = record_text.find('}', open);  // counters never nest
+  if (open == std::string::npos || close == std::string::npos) return false;
+  std::size_t at = open + 1;
+  while (at < close) {
+    const std::size_t quote = record_text.find('"', at);
+    if (quote == std::string::npos || quote > close) break;
+    const std::size_t quote_end = record_text.find('"', quote + 1);
+    const std::size_t colon = record_text.find(':', quote_end);
+    if (quote_end == std::string::npos || colon == std::string::npos || colon > close)
+      return false;
+    std::size_t value_end = colon + 1;
+    while (value_end < close && record_text[value_end] != ',') ++value_end;
+    BenchCounter counter;
+    counter.name = record_text.substr(quote + 1, quote_end - quote - 1);
+    counter.value =
+        std::strtod(record_text.substr(colon + 1, value_end - colon - 1).c_str(),
+                    nullptr);
+    out.push_back(std::move(counter));
+    at = value_end + 1;
+  }
+  return true;
+}
+
 }  // namespace
 
 bool write_bench_json(const std::string& path, const std::vector<BenchRecord>& records) {
@@ -76,7 +109,17 @@ bool write_bench_json(const std::string& path, const std::vector<BenchRecord>& r
     const BenchRecord& r = records[i];
     out << "    {\"name\": \"" << util::json_escape(r.name) << "\", \"real_time_ns\": "
         << r.real_time_ns << ", \"cpu_time_ns\": " << r.cpu_time_ns
-        << ", \"iterations\": " << r.iterations << "}";
+        << ", \"iterations\": " << r.iterations;
+    if (!r.counters.empty()) {
+      out << ", \"counters\": {";
+      for (std::size_t c = 0; c < r.counters.size(); ++c) {
+        out << "\"" << util::json_escape(r.counters[c].name)
+            << "\": " << r.counters[c].value;
+        if (c + 1 < r.counters.size()) out << ", ";
+      }
+      out << "}";
+    }
+    out << "}";
     out << (i + 1 < records.size() ? ",\n" : "\n");
   }
   out << "  ]\n}\n";
@@ -128,6 +171,10 @@ bool load_bench_json(const std::string& path, std::vector<BenchRecord>& records)
     record.real_time_ns = std::strtod(real_ns.c_str(), nullptr);
     record.cpu_time_ns = std::strtod(cpu_ns.c_str(), nullptr);
     record.iterations = std::strtoll(iterations.c_str(), nullptr, 10);
+    if (!parse_counters(record_text, record.counters)) {
+      std::fprintf(stderr, "bench_json_io: %s: malformed counters\n", path.c_str());
+      return false;
+    }
     records.push_back(std::move(record));
   }
   return true;

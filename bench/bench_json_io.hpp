@@ -4,7 +4,12 @@
 //
 // Schema (flat and stable):
 //   { "schema": 1, "benchmarks": [ { "name": ..., "real_time_ns": ...,
-//     "cpu_time_ns": ..., "iterations": ... }, ... ] }
+//     "cpu_time_ns": ..., "iterations": ...,
+//     "counters": {"frames_per_s": ...} }, ... ] }
+// The "counters" object is optional per record and carries user counters
+// (rates already finalized): throughput for threaded benchmarks — where
+// per-thread cpu_time is meaningless and bench_diff compares the counter
+// instead — and derived ratios such as event_vs_sliced.
 #pragma once
 
 #include <cstdint>
@@ -13,12 +18,19 @@
 
 namespace sfqecc::bench {
 
+/// One named user counter (value finalized, e.g. a rate in 1/s).
+struct BenchCounter {
+  std::string name;
+  double value = 0.0;
+};
+
 /// One normalized benchmark measurement (times in nanoseconds).
 struct BenchRecord {
   std::string name;
   double real_time_ns = 0.0;
   double cpu_time_ns = 0.0;
   std::int64_t iterations = 0;
+  std::vector<BenchCounter> counters;  ///< optional, name order as captured
 };
 
 /// Serializes records to `path` in the stable schema above. Returns false

@@ -31,6 +31,11 @@ void JsonRecorder::ReportRuns(const std::vector<Run>& runs) {
     rec.real_time_ns = to_ns(run.GetAdjustedRealTime(), run.time_unit);
     rec.cpu_time_ns = to_ns(run.GetAdjustedCPUTime(), run.time_unit);
     rec.iterations = run.iterations;
+    // User counters arrive rate-finalized (benchmark::Counter::kIsRate is
+    // already divided by elapsed time); UserCounters is an ordered map, so
+    // the capture order is deterministic.
+    for (const auto& [name, counter] : run.counters)
+      rec.counters.push_back(BenchCounter{name, counter.value});
     records_.push_back(std::move(rec));
   }
   benchmark::ConsoleReporter::ReportRuns(runs);

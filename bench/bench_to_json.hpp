@@ -37,6 +37,11 @@ class JsonRecorder : public benchmark::ConsoleReporter {
 
   const std::vector<BenchRecord>& records() const noexcept { return records_; }
 
+  /// Mutable access, for attaching derived counters (e.g. an event-vs-sliced
+  /// throughput ratio computed across two records) after the runs finish and
+  /// before write().
+  std::vector<BenchRecord>& mutable_records() noexcept { return records_; }
+
   /// Serializes the collected records to `out_path`. Returns false (and
   /// prints to stderr) when the file cannot be written.
   bool write() const;

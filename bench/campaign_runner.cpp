@@ -17,6 +17,12 @@
 // Single-process execution flags:
 //   --threads=N            worker threads; 0 auto-detects the machine's
 //                          hardware concurrency               (default 0)
+//   --sim=MODE             event | sliced | auto: exact event simulation for
+//                          every chip, bit-sliced 64-chip batches for every
+//                          gate-eligible chip, or the per-chip observability
+//                          gate (default auto). Speed-only — reports are
+//                          byte-identical in every mode (README "Simulation
+//                          modes")
 //   --checkpoint=PATH      checkpoint file (resume if present)
 //   --max-units=N          execute at most N units this run (incremental mode)
 //   --json=PATH            write JSON report
@@ -87,6 +93,10 @@ void print_help() {
       "Single-process execution:\n"
       "  --threads=N            worker threads; 0 auto-detects the machine's\n"
       "                         hardware concurrency            (default 0)\n"
+      "  --sim=MODE             event | sliced | auto            (default auto)\n"
+      "                         frame evaluation: exact event simulation, bit-\n"
+      "                         sliced 64-chip batches, or per-chip gated auto;\n"
+      "                         speed-only, reports are byte-identical\n"
       "  --checkpoint=PATH      checkpoint file (resume if present)\n"
       "  --max-units=N          execute at most N units this run\n"
       "  --json=PATH --csv=PATH write reports\n"
@@ -180,6 +190,16 @@ int main(int argc, char** argv) {
           std::chrono::milliseconds(cli::parse_size(arg, at, value));
     } else if (cli::match_flag(argv[i], "--threads", value, at)) {
       options.threads = cli::parse_size(arg, at, value);
+    } else if (cli::match_flag(argv[i], "--sim", value, at)) {
+      if (value == "event") {
+        options.sim_mode = engine::SimMode::kEvent;
+      } else if (value == "sliced") {
+        options.sim_mode = engine::SimMode::kSliced;
+      } else if (value == "auto") {
+        options.sim_mode = engine::SimMode::kAuto;
+      } else {
+        cli::fail_at(arg, at, "expected event, sliced or auto");
+      }
     } else if (cli::match_flag(argv[i], "--checkpoint", value, at)) {
       single.checkpoint_path = value;
     } else if (cli::match_flag(argv[i], "--max-units", value, at)) {
@@ -239,6 +259,7 @@ int main(int argc, char** argv) {
     worker.shard_chips = campaign.shard_chips;
     worker.artifact_cache_bytes = options.artifact_cache_bytes;
     worker.unit_attempts = options.unit_attempts;
+    worker.sim_mode = options.sim_mode;
     if (injector.armed()) worker.fault_injector = &injector;
     return run_worker_mode(campaign, spool_dir, worker);
   }

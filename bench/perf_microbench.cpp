@@ -242,6 +242,115 @@ void BM_MonteCarloChip(benchmark::State& state) {
 }
 BENCHMARK(BM_MonteCarloChip);
 
+void BM_BitslicedFrameH84(benchmark::State& state) {
+  // Lane-parallel counterpart of BM_PulseSimFrameH84: identical frame timing
+  // and netlist, but each iteration evaluates 64 frames at once (one per lane
+  // of the bit-sliced simulator). The frames_per_s counter makes the event
+  // and sliced records directly comparable as throughput.
+  const code::LinearCode c = code::paper_hamming84();
+  const circuit::BuiltEncoder built = circuit::build_encoder(c, lib());
+  sim::SlicedSimulator simulator(built.netlist, lib());
+  util::Rng rng(7);
+  std::uint64_t msgs[sim::SlicedSimulator::kMaxLanes];
+  for (auto _ : state) {
+    simulator.reset();
+    for (std::uint64_t& m : msgs) m = rng.below(16);
+    for (std::size_t b = 0; b < 4; ++b) {
+      sim::LaneMask mask = 0;
+      for (std::size_t l = 0; l < sim::SlicedSimulator::kMaxLanes; ++l)
+        if (msgs[l] >> b & 1) mask |= sim::LaneMask{1} << l;
+      if (mask) simulator.inject_pulse(built.message_inputs[b], 100.0, mask);
+    }
+    simulator.inject_clock(built.clock_input, 200.0, 200.0, 400.5, ~sim::LaneMask{0});
+    simulator.run_until(460.0);
+    benchmark::DoNotOptimize(simulator.dc_levels(built.codeword_outputs[0]));
+  }
+  state.counters["frames_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * sim::SlicedSimulator::kMaxLanes,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BitslicedFrameH84);
+
+namespace mc_chip64 {
+
+// Identical 64-chip Fig. 5 workload measured through both stage-2 paths:
+// spread fraction 0 fabricates every chip fully healthy, i.e. gate-eligible
+// for slicing, so Event64 and Sliced transmit byte-identical frames and
+// their throughput ratio is a pure measure of the bit-sliced evaluation win.
+// main() attaches that ratio to the sliced record as `event_vs_sliced`.
+constexpr std::size_t kChips = 64;
+constexpr std::size_t kMessages = 100;
+
+engine::ChipTask task(const link::SchemeSpec& spec) {
+  engine::ChipTask t;
+  t.scheme = &spec;
+  t.library = &lib();
+  t.spread.fraction = 0.0;  // all-healthy: the batchable workload class
+  t.seed = 20250831;
+  t.chips = kChips;
+  t.messages = kMessages;
+  return t;
+}
+
+}  // namespace mc_chip64
+
+void BM_MonteCarloChipEvent64(benchmark::State& state) {
+  const core::PaperScheme scheme = core::make_scheme(core::SchemeId::kHamming84, lib());
+  const link::SchemeSpec spec{scheme.name, scheme.encoder.get(), scheme.code.get(),
+                              scheme.decoder.get()};
+  link::DataLinkConfig config;
+  config.sim.record_pulses = false;
+  link::DataLink dlink(*scheme.encoder, lib(), scheme.code.get(), scheme.decoder.get(),
+                       config);
+  engine::ChipTask task = mc_chip64::task(spec);
+  ppv::ChipSample chip;
+  std::size_t errors = 0;
+  for (auto _ : state) {
+    for (std::size_t c = 0; c < mc_chip64::kChips; ++c) {
+      task.chip = c;
+      engine::fabricate_chip(task, chip);
+      errors += engine::simulate_chip(dlink, task, chip).errors;
+    }
+  }
+  benchmark::DoNotOptimize(errors);
+  state.counters["frames_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * mc_chip64::kChips * mc_chip64::kMessages,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MonteCarloChipEvent64);
+
+void BM_MonteCarloChipSliced(benchmark::State& state) {
+  const core::PaperScheme scheme = core::make_scheme(core::SchemeId::kHamming84, lib());
+  const link::SchemeSpec spec{scheme.name, scheme.encoder.get(), scheme.code.get(),
+                              scheme.decoder.get()};
+  link::DataLinkConfig config;
+  config.sim.record_pulses = false;
+  link::SlicedLink slink(*scheme.encoder, lib(), scheme.code.get(), scheme.decoder.get(),
+                         config);
+  engine::ChipTask task = mc_chip64::task(spec);
+  ppv::ChipSample chip;
+  std::size_t chips[mc_chip64::kChips];
+  for (std::size_t c = 0; c < mc_chip64::kChips; ++c) chips[c] = c;
+  engine::ChipCounts counts[mc_chip64::kChips];
+  std::size_t errors = 0;
+  for (auto _ : state) {
+    // Same fabrication work as Event64 (the sliced path in the executor also
+    // fabricates every chip before batching), so the records differ only in
+    // how stage 2 is evaluated.
+    for (std::size_t c = 0; c < mc_chip64::kChips; ++c) {
+      task.chip = c;
+      engine::fabricate_chip(task, chip);
+    }
+    engine::simulate_chip_batch(slink, task, chips, mc_chip64::kChips, counts);
+    for (const engine::ChipCounts& cc : counts) errors += cc.errors;
+  }
+  benchmark::DoNotOptimize(errors);
+  state.counters["frames_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * mc_chip64::kChips * mc_chip64::kMessages,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MonteCarloChipSliced);
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -261,5 +370,19 @@ int main(int argc, char** argv) {
   sfqecc::bench::JsonRecorder recorder(json_out);
   benchmark::RunSpecifiedBenchmarks(&recorder);
   benchmark::Shutdown();
+  // Attach the event-vs-sliced throughput ratio (same 64-chip workload, two
+  // stage-2 paths) to the sliced record, so the perf trajectory of the
+  // bit-sliced win is diffed like any other counter.
+  {
+    const sfqecc::bench::BenchRecord* event_rec = nullptr;
+    sfqecc::bench::BenchRecord* sliced_rec = nullptr;
+    for (sfqecc::bench::BenchRecord& rec : recorder.mutable_records()) {
+      if (rec.name == "BM_MonteCarloChipEvent64") event_rec = &rec;
+      if (rec.name == "BM_MonteCarloChipSliced") sliced_rec = &rec;
+    }
+    if (event_rec && sliced_rec && sliced_rec->cpu_time_ns > 0.0)
+      sliced_rec->counters.push_back(sfqecc::bench::BenchCounter{
+          "event_vs_sliced", event_rec->cpu_time_ns / sliced_rec->cpu_time_ns});
+  }
   return recorder.write() ? 0 : 1;
 }

@@ -75,6 +75,7 @@ CampaignResult run_cells(const CampaignSpec& spec, const std::vector<CampaignCel
     exec_options.shard_chips = options.shard_chips;
     exec_options.artifact_cache_bytes = options.artifact_cache_bytes;
     exec_options.fault_injector = options.fault_injector;
+    exec_options.sim_mode = options.sim_mode;
     UnitExecutor executor(spec, cells, schemes, library, exec_options);
 
     // Per-worker result scratch: execute() fully overwrites it, the board

@@ -25,6 +25,7 @@
 #include "engine/artifact_cache.hpp"
 #include "engine/campaign_spec.hpp"
 #include "engine/fault_injection.hpp"
+#include "engine/kernel.hpp"
 #include "link/monte_carlo.hpp"
 #include "util/cdf.hpp"
 
@@ -63,6 +64,11 @@ struct RunnerOptions {
   /// run. Unit indices in the injector's coordinates address the campaign's
   /// deterministic work-unit list (make_work_units order).
   const FaultInjector* fault_injector = nullptr;
+  /// Stage-2 evaluation mode (engine::SimMode): event, bit-sliced, or the
+  /// per-chip observability-gated auto default. Speed-only — reports are
+  /// byte-identical in every mode — so it is not a campaign axis and not
+  /// part of the fingerprint.
+  SimMode sim_mode = SimMode::kAuto;
 };
 
 /// Finalized per-(cell, scheme) statistics. The per-chip vectors are always

@@ -1,6 +1,9 @@
 #include "engine/kernel.hpp"
 
+#include <vector>
+
 #include "link/arq.hpp"
+#include "util/expect.hpp"
 #include "util/rng.hpp"
 
 namespace sfqecc::engine {
@@ -53,6 +56,81 @@ ChipCounts simulate_chip(link::DataLink& dlink, const ChipTask& task,
     }
   }
   return counts;
+}
+
+bool chip_sliceable(const ppv::ChipSample& chip, const sim::SimConfig& sim) noexcept {
+  return !sim.record_pulses && sim.jitter_sigma_ps <= 0.0 && chip.fully_healthy();
+}
+
+void simulate_chip_batch(link::SlicedLink& slink, const ChipTask& base,
+                         const std::size_t* chips, std::size_t lanes, ChipCounts* out) {
+  expects(lanes >= 1 && lanes <= link::SlicedLink::kMaxLanes, "lane count out of range");
+  const std::size_t k = base.scheme->encoder->message_inputs.size();
+
+  // One message and one channel RNG per lane, seeded exactly as
+  // simulate_chip seeds them for that lane's chip index.
+  std::vector<util::Rng> msg_rng;
+  std::vector<util::Rng> chan_rng;
+  msg_rng.reserve(lanes);
+  chan_rng.reserve(lanes);
+  ChipTask task = base;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    task.chip = chips[l];
+    const std::uint64_t stream = task.stream();
+    msg_rng.emplace_back(task.seed ^ static_cast<std::uint64_t>(Domain::kMessages),
+                         stream);
+    chan_rng.emplace_back(task.seed ^ static_cast<std::uint64_t>(Domain::kChannel),
+                          stream);
+    out[l] = ChipCounts{};
+  }
+
+  std::vector<code::BitVec> messages(lanes);
+  std::vector<code::BitVec> transmitted(lanes);
+  for (std::size_t m = 0; m < base.messages; ++m) {
+    for (std::size_t l = 0; l < lanes; ++l)
+      messages[l] = code::BitVec::from_u64(k, msg_rng[l].below(std::uint64_t{1} << k));
+    // The circuit half runs once for all lanes; the channel/decode half runs
+    // per lane on its own substream, via the same finish_frame the event
+    // path uses.
+    slink.transmit(messages.data(), lanes, transmitted.data());
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if (!base.arq.enabled) {
+        const link::FrameResult frame = slink.finish(messages[l], transmitted[l],
+                                                     chan_rng[l]);
+        ++out[l].frames;
+        out[l].channel_bit_errors += frame.channel_bit_errors;
+        if (frame.message_error) ++out[l].errors;
+        if (frame.flagged) {
+          ++out[l].flagged;
+          if (base.count_flagged_as_error) ++out[l].errors;
+        }
+      } else {
+        // Stop-and-wait ARQ with the same counting as link::send_with_arq.
+        // A gate-eligible chip transmits deterministically, so every
+        // retransmission of this message would produce the identical word —
+        // re-running only the channel + decode half per attempt is exactly
+        // what the event path recomputes.
+        bool surrendered = true;
+        bool residual_error = false;
+        for (std::size_t attempt = 0; attempt < base.arq.max_attempts; ++attempt) {
+          const link::FrameResult frame = slink.finish(messages[l], transmitted[l],
+                                                       chan_rng[l]);
+          ++out[l].frames;
+          out[l].channel_bit_errors += frame.channel_bit_errors;
+          if (frame.flagged) continue;  // detected-uncorrectable: retransmit
+          surrendered = false;
+          residual_error = frame.message_error;
+          break;
+        }
+        if (surrendered) {
+          ++out[l].flagged;
+          if (base.count_flagged_as_error) ++out[l].errors;
+        } else if (residual_error) {
+          ++out[l].errors;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace sfqecc::engine

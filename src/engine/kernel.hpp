@@ -88,4 +88,35 @@ void fabricate_chip(const ChipTask& task, ppv::ChipSample& chip);
 ChipCounts simulate_chip(link::DataLink& dlink, const ChipTask& task,
                          const ppv::ChipSample& chip);
 
+/// How the executor evaluates stage 2. A speed-only switch: every mode
+/// produces byte-identical reports (enforced by CI's --sim A/B leg), so it
+/// is deliberately NOT part of the campaign fingerprint — like the artifact
+/// cache, it changes how results are computed, never what they are.
+enum class SimMode {
+  kEvent,   ///< exact event simulator for every chip
+  kSliced,  ///< bit-sliced batches for every gate-eligible chip, even alone
+  kAuto,    ///< sliced when a unit yields >= 2 eligible chips, event otherwise
+};
+
+/// The sliced observability gate, per chip: true when nothing about the chip
+/// or the simulator config makes timing observable — every cell fully
+/// healthy, no thermal jitter, no pulse recording. Exactly the condition
+/// under which EventSimulator's static fan-out expansion is unconditionally
+/// valid; such a chip's frame outcomes are a deterministic function of the
+/// message, so 64 of them can share one bit-sliced evaluation.
+bool chip_sliceable(const ppv::ChipSample& chip, const sim::SimConfig& sim) noexcept;
+
+/// Stage 2, bit-sliced: simulates `lanes` (<= 64) gate-eligible chips of one
+/// (cell, scheme) through `slink` at once. `base` carries the task fields
+/// shared by the batch (its `chip` field is ignored); `chips[l]` is lane l's
+/// chip index. Writes lane l's tallies to out[l].
+///
+/// Per-chip RNG substreams are preserved exactly: each lane draws its
+/// messages and channel noise from the same (seed, stream) pairs
+/// simulate_chip would use. The kSimNoise reseed is skipped — a sliceable
+/// chip never draws from the simulator noise stream (no jitter, no faults),
+/// and the domains are disjoint, so the skip is observationally identical.
+void simulate_chip_batch(link::SlicedLink& slink, const ChipTask& base,
+                         const std::size_t* chips, std::size_t lanes, ChipCounts* out);
+
 }  // namespace sfqecc::engine

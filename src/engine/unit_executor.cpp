@@ -1,5 +1,6 @@
 #include "engine/unit_executor.hpp"
 
+#include <algorithm>
 #include <map>
 #include <utility>
 
@@ -21,24 +22,67 @@ struct UnitExecutor::WorkerState {
   struct SchemeSlot {
     link::DataLinkConfig config;
     std::unique_ptr<link::DataLink> link;
+    std::unique_ptr<link::SlicedLink> sliced;
   };
   std::vector<SchemeSlot> slots;  ///< indexed by scheme
   ppv::ChipSample sample;
+  /// Synthetic all-healthy sample for kAuto's lone-chip fallback: a chip is
+  /// only deferred when fully healthy, and install_chip consumes nothing but
+  /// the fault states, so this stands in for the (discarded) real sample.
+  ppv::ChipSample healthy;
+  std::vector<std::size_t> deferred;  ///< gate-eligible chips of the current unit
+
+  SchemeSlot& slot_for(const CampaignCell& cell, std::size_t scheme_index) {
+    if (slots.size() <= scheme_index) slots.resize(scheme_index + 1);
+    SchemeSlot& slot = slots[scheme_index];
+    if (!(slot.config == cell.link)) {
+      // Config changed at a cell boundary: invalidate both evaluators; each
+      // is rebuilt lazily on first use under the new config.
+      slot.link.reset();
+      slot.sliced.reset();
+      slot.config = cell.link;
+    }
+    return slot;
+  }
 
   link::DataLink& link_for(const CampaignCell& cell, std::size_t scheme_index,
                            const link::SchemeSpec& scheme,
                            const SchemeArtifacts& artifacts) {
-    if (slots.size() <= scheme_index) slots.resize(scheme_index + 1);
-    SchemeSlot& slot = slots[scheme_index];
-    if (!slot.link || !(slot.config == cell.link)) {
+    SchemeSlot& slot = slot_for(cell, scheme_index);
+    if (!slot.link)
       slot.link = std::make_unique<link::DataLink>(*scheme.encoder, artifacts.tables,
                                                    scheme.reference, scheme.decoder,
                                                    cell.link);
-      slot.config = cell.link;
-    }
     return *slot.link;
   }
+
+  link::SlicedLink& sliced_for(const CampaignCell& cell, std::size_t scheme_index,
+                               const link::SchemeSpec& scheme,
+                               const SchemeArtifacts& artifacts) {
+    SchemeSlot& slot = slot_for(cell, scheme_index);
+    if (!slot.sliced)
+      slot.sliced = std::make_unique<link::SlicedLink>(
+          *scheme.encoder, artifacts.tables, scheme.reference, scheme.decoder,
+          cell.link);
+    return *slot.sliced;
+  }
+
+  const ppv::ChipSample& healthy_sample(std::size_t cell_count) {
+    if (healthy.faults.size() != cell_count) {
+      healthy.faults.assign(cell_count, sim::CellFault{});
+      healthy.health_ratios.assign(cell_count, 0.0);
+    }
+    return healthy;
+  }
 };
+
+namespace {
+
+/// kAuto falls back to the event path when a unit defers fewer eligible
+/// chips than this: a batch of one has no word-level parallelism to win.
+constexpr std::size_t kAutoSliceMinLanes = 2;
+
+}  // namespace
 
 UnitExecutor::UnitExecutor(const CampaignSpec& spec,
                            const std::vector<CampaignCell>& cells,
@@ -49,7 +93,8 @@ UnitExecutor::UnitExecutor(const CampaignSpec& spec,
       cells_(cells),
       schemes_(schemes),
       library_(library),
-      injector_(options.fault_injector) {
+      injector_(options.fault_injector),
+      sim_mode_(options.sim_mode) {
   for (const link::SchemeSpec& scheme : schemes)
     expects(scheme.encoder != nullptr, "campaign scheme without encoder");
 
@@ -127,6 +172,14 @@ void UnitExecutor::execute(std::size_t unit_index, std::size_t worker_index,
   task.count_flagged_as_error = spec_.count_flagged_as_error;
   task.arq = cell.arq;
 
+  const auto store = [&out, &unit](std::size_t chip, const ChipCounts& counts) {
+    const std::size_t slot = chip - unit.chip_lo;
+    out.errors[slot] = counts.errors;
+    out.flagged[slot] = counts.flagged;
+    out.frames[slot] = counts.frames;
+    out.channel_bit_errors[slot] = counts.channel_bit_errors;
+  };
+
   // The fabricate/simulate checks throw InjectedFault on a matching
   // (site, unit, attempt) at the stage boundary of the first chip that
   // reaches it — so a simulate fault fires after fabrication (and any cache
@@ -134,6 +187,14 @@ void UnitExecutor::execute(std::size_t unit_index, std::size_t worker_index,
   // work. A failed attempt leaves `out` partially filled; that is fine
   // because callers only consume `out` on success and a successful retry
   // overwrites every chip with deterministically identical values.
+  //
+  // Pass 1: fabricate every chip in order (the kPpv draws and cache traffic
+  // are mode-independent); chips passing the sliced observability gate are
+  // deferred for batched evaluation, everything else simulates on the exact
+  // event path immediately. Pass 2 evaluates the deferred chips 64 to a
+  // word. The fill order of `out` differs from the all-event pass, the
+  // bytes do not: each chip's tallies depend only on its own substreams.
+  worker.deferred.clear();
   for (std::size_t chip = unit.chip_lo; chip < unit.chip_hi; ++chip) {
     task.chip = chip;
     if (injector_) injector_->check(FaultSite::kFabricate, unit_index, attempt);
@@ -156,12 +217,36 @@ void UnitExecutor::execute(std::size_t unit_index, std::size_t worker_index,
       fabricate_chip(task, worker.sample);
     }
     if (injector_) injector_->check(FaultSite::kSimulate, unit_index, attempt);
-    const ChipCounts counts = simulate_chip(dlink, task, worker.sample);
-    const std::size_t slot = chip - unit.chip_lo;
-    out.errors[slot] = counts.errors;
-    out.flagged[slot] = counts.flagged;
-    out.frames[slot] = counts.frames;
-    out.channel_bit_errors[slot] = counts.channel_bit_errors;
+    if (sim_mode_ != SimMode::kEvent && chip_sliceable(worker.sample, cell.link.sim)) {
+      worker.deferred.push_back(chip);
+      continue;
+    }
+    store(chip, simulate_chip(dlink, task, worker.sample));
+  }
+
+  if (worker.deferred.empty()) return;
+  if (sim_mode_ == SimMode::kAuto && worker.deferred.size() < kAutoSliceMinLanes) {
+    // A lone eligible chip gains nothing from a one-lane batch: run it on
+    // the event path. Its sample was discarded during classification, but a
+    // deferred chip is by definition fully healthy, so the synthetic
+    // all-healthy sample installs the identical fault state.
+    const ppv::ChipSample& healthy =
+        worker.healthy_sample(scheme.encoder->netlist.cell_count());
+    for (const std::size_t chip : worker.deferred) {
+      task.chip = chip;
+      store(chip, simulate_chip(dlink, task, healthy));
+    }
+    return;
+  }
+  link::SlicedLink& slink =
+      worker.sliced_for(cell, unit.scheme, scheme, artifacts_[unit.scheme]);
+  ChipCounts counts[link::SlicedLink::kMaxLanes];
+  for (std::size_t begin = 0; begin < worker.deferred.size();
+       begin += link::SlicedLink::kMaxLanes) {
+    const std::size_t lanes =
+        std::min(link::SlicedLink::kMaxLanes, worker.deferred.size() - begin);
+    simulate_chip_batch(slink, task, worker.deferred.data() + begin, lanes, counts);
+    for (std::size_t l = 0; l < lanes; ++l) store(worker.deferred[begin + l], counts[l]);
   }
 }
 

@@ -28,6 +28,7 @@
 #include "engine/campaign_spec.hpp"
 #include "engine/checkpoint.hpp"
 #include "engine/fault_injection.hpp"
+#include "engine/kernel.hpp"
 #include "engine/scheme_artifacts.hpp"
 #include "link/datalink.hpp"
 #include "link/scheme_spec.hpp"
@@ -46,6 +47,10 @@ struct UnitExecutorOptions {
   std::size_t artifact_cache_bytes = 256ull << 20;
   /// Optional deterministic fault injection; borrowed, may be null.
   const FaultInjector* fault_injector = nullptr;
+  /// Stage-2 evaluation mode. Speed-only (every mode yields byte-identical
+  /// units, see engine::SimMode), so — like the cache — it is not part of
+  /// the campaign fingerprint and fabric workers may mix modes freely.
+  SimMode sim_mode = SimMode::kAuto;
 };
 
 class UnitExecutor {
@@ -90,6 +95,7 @@ class UnitExecutor {
   const std::vector<link::SchemeSpec>& schemes_;
   const circuit::CellLibrary& library_;
   const FaultInjector* injector_;
+  SimMode sim_mode_ = SimMode::kAuto;
 
   std::vector<WorkUnit> units_;
   std::uint64_t fingerprint_ = 0;

@@ -53,6 +53,7 @@ WorkerOutcome run_worker(const SpoolPaths& spool, const engine::CampaignSpec& sp
   exec_options.shard_chips = options.shard_chips;
   exec_options.artifact_cache_bytes = options.artifact_cache_bytes;
   exec_options.fault_injector = options.fault_injector;
+  exec_options.sim_mode = options.sim_mode;
   // Sized for the largest batch this worker will ever run at once; batches
   // are capped at `threads` units below, so this is also the scratch bound.
   const std::size_t threads =

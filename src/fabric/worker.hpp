@@ -32,6 +32,7 @@
 #include "engine/artifact_cache.hpp"
 #include "engine/campaign_spec.hpp"
 #include "engine/fault_injection.hpp"
+#include "engine/kernel.hpp"
 #include "fabric/spool.hpp"
 #include "link/scheme_spec.hpp"
 
@@ -57,6 +58,10 @@ struct WorkerOptions {
   /// skips a claim attempt, kShardWrite fails a shard append, and the
   /// executor sites fire inside the kernel. Borrowed, may be null.
   const engine::FaultInjector* fault_injector = nullptr;
+  /// Stage-2 evaluation mode (engine::SimMode). Speed-only and byte-
+  /// identical across modes, so it is NOT a fingerprint input: workers of
+  /// one campaign may mix modes and the merged report is unchanged.
+  engine::SimMode sim_mode = engine::SimMode::kAuto;
 };
 
 struct WorkerOutcome {

@@ -8,6 +8,55 @@ namespace sfqecc::link {
 
 using code::BitVec;
 
+namespace {
+
+// The clock-snapshot replay reorders injection (clock before message); that
+// is only order-equivalent when no message pulse shares a timestamp with a
+// clock edge. Enumerate the edges exactly as inject_clock does (accumulated
+// addition, inclusive end) so the check covers the timestamps actually
+// injected. Combinational links (no clock injected) and non-positive periods
+// (inject_clock rejects those later) are trivially usable.
+bool clock_phase_clear_of_edges(const DataLinkConfig& config, std::size_t frame_cycles) {
+  if (frame_cycles == 0 || config.clock_period_ps <= 0.0) return true;
+  const double clock_until =
+      config.clock_period_ps * static_cast<double>(frame_cycles) + 0.5;
+  for (double t = config.clock_period_ps; t <= clock_until; t += config.clock_period_ps)
+    if (config.input_phase_ps == t) return false;
+  return true;
+}
+
+}  // namespace
+
+FrameResult finish_frame(const DataLinkConfig& config, const code::LinearCode* reference,
+                         const code::Decoder* decoder, const BitVec& message,
+                         const BitVec& transmitted, util::Rng& rng) {
+  FrameResult frame;
+  frame.sent_message = message;
+  frame.reference_codeword = reference != nullptr ? reference->encode(message) : message;
+  frame.transmitted_word = transmitted;
+  frame.encoder_bit_errors =
+      (frame.transmitted_word ^ frame.reference_codeword).weight();
+
+  const std::size_t n = transmitted.size();
+  frame.received_word = BitVec(n);
+  for (std::size_t j = 0; j < n; ++j)
+    frame.received_word.set(
+        j, transmit_level(config.channel, frame.transmitted_word.get(j), rng));
+  frame.channel_bit_errors = (frame.received_word ^ frame.transmitted_word).weight();
+
+  if (decoder != nullptr) {
+    const code::DecodeResult decoded = decoder->decode(frame.received_word);
+    frame.delivered_message = decoded.message;
+    frame.flagged = !decoded.accepted();
+    frame.message_error = decoded.accepted() && decoded.message != message;
+  } else {
+    frame.delivered_message = frame.received_word;
+    frame.flagged = false;
+    frame.message_error = frame.received_word != message;
+  }
+  return frame;
+}
+
 DataLink::DataLink(const circuit::BuiltEncoder& encoder, const circuit::CellLibrary& library,
                    const code::LinearCode* reference, const code::Decoder* decoder,
                    const DataLinkConfig& config)
@@ -36,20 +85,7 @@ DataLink::DataLink(const circuit::BuiltEncoder& encoder,
     expects(encoder_.clock_input != circuit::kInvalidId,
             "clocked encoder needs a clock input");
   }
-  // The clock-snapshot replay reorders injection (clock before message);
-  // that is only order-equivalent when no message pulse shares a timestamp
-  // with a clock edge. Enumerate the edges exactly as inject_clock does
-  // (accumulated addition, inclusive end) so the check covers the timestamps
-  // actually injected. Skipped for combinational links (no clock is ever
-  // injected) and non-positive periods (inject_clock rejects those later).
-  clock_snapshot_usable_ = true;
-  if (frame_cycles_ > 0 && config_.clock_period_ps > 0.0) {
-    const double clock_until =
-        config_.clock_period_ps * static_cast<double>(frame_cycles_) + 0.5;
-    for (double t = config_.clock_period_ps; t <= clock_until;
-         t += config_.clock_period_ps)
-      if (config_.input_phase_ps == t) clock_snapshot_usable_ = false;
-  }
+  clock_snapshot_usable_ = clock_phase_clear_of_edges(config_, frame_cycles_);
 }
 
 void DataLink::install_chip(const ppv::ChipSample& chip) {
@@ -65,10 +101,6 @@ FrameResult DataLink::send(const BitVec& message, util::Rng& rng) {
   const std::size_t k = encoder_.message_inputs.size();
   const std::size_t n = encoder_.codeword_outputs.size();
   expects(message.size() == k, "message length mismatch");
-
-  FrameResult frame;
-  frame.sent_message = message;
-  frame.reference_codeword = reference_ != nullptr ? reference_->encode(message) : message;
 
   simulator_.reset();
   const double last_clock =
@@ -101,30 +133,97 @@ FrameResult DataLink::send(const BitVec& message, util::Rng& rng) {
                        config_.settle_margin_ps);
 
   // Sample the DC levels (differential read: reset() cleared the levels, so
-  // the level itself is the frame's bit).
-  frame.transmitted_word = BitVec(n);
+  // the level itself is the frame's bit), then finish the frame — channel
+  // and decode — through the path shared with SlicedLink.
+  BitVec transmitted(n);
   for (std::size_t j = 0; j < n; ++j)
-    frame.transmitted_word.set(j, simulator_.dc_level(encoder_.codeword_outputs[j]));
-  frame.encoder_bit_errors =
-      (frame.transmitted_word ^ frame.reference_codeword).weight();
+    transmitted.set(j, simulator_.dc_level(encoder_.codeword_outputs[j]));
+  return finish_frame(config_, reference_, decoder_, message, transmitted, rng);
+}
 
-  frame.received_word = BitVec(n);
-  for (std::size_t j = 0; j < n; ++j)
-    frame.received_word.set(
-        j, transmit_level(config_.channel, frame.transmitted_word.get(j), rng));
-  frame.channel_bit_errors = (frame.received_word ^ frame.transmitted_word).weight();
+SlicedLink::SlicedLink(const circuit::BuiltEncoder& encoder,
+                       const circuit::CellLibrary& library,
+                       const code::LinearCode* reference, const code::Decoder* decoder,
+                       const DataLinkConfig& config)
+    : SlicedLink(encoder, std::make_shared<sim::SimTables>(encoder.netlist, library),
+                 reference, decoder, config) {}
 
-  if (decoder_ != nullptr) {
-    const code::DecodeResult decoded = decoder_->decode(frame.received_word);
-    frame.delivered_message = decoded.message;
-    frame.flagged = !decoded.accepted();
-    frame.message_error = decoded.accepted() && decoded.message != message;
-  } else {
-    frame.delivered_message = frame.received_word;
-    frame.flagged = false;
-    frame.message_error = frame.received_word != message;
+SlicedLink::SlicedLink(const circuit::BuiltEncoder& encoder,
+                       std::shared_ptr<const sim::SimTables> tables,
+                       const code::LinearCode* reference, const code::Decoder* decoder,
+                       const DataLinkConfig& config)
+    : encoder_(encoder),
+      reference_(reference),
+      decoder_(decoder),
+      config_(config),
+      simulator_(std::move(tables)),
+      frame_cycles_(encoder.logic_depth) {
+  expects(&simulator_.tables()->netlist() == &encoder.netlist,
+          "simulator tables built for a different netlist");
+  expects(!config_.sim.record_pulses && config_.sim.jitter_sigma_ps <= 0.0,
+          "sliced evaluation requires the observability gate: no pulse "
+          "recording, no timing jitter");
+  if (reference_ != nullptr) {
+    expects(reference_->k() == encoder_.message_inputs.size(),
+            "reference code dimension mismatch");
+    expects(reference_->n() == encoder_.codeword_outputs.size(),
+            "reference code length mismatch");
   }
-  return frame;
+  if (frame_cycles_ > 0) {
+    expects(encoder_.clock_input != circuit::kInvalidId,
+            "clocked encoder needs a clock input");
+  }
+  clock_snapshot_usable_ = clock_phase_clear_of_edges(config_, frame_cycles_);
+}
+
+void SlicedLink::transmit(const BitVec* messages, std::size_t lanes, BitVec* transmitted) {
+  const std::size_t k = encoder_.message_inputs.size();
+  const std::size_t n = encoder_.codeword_outputs.size();
+  expects(lanes >= 1 && lanes <= kMaxLanes, "lane count out of range");
+  for (std::size_t l = 0; l < lanes; ++l)
+    expects(messages[l].size() == k, "message length mismatch");
+  const sim::LaneMask active = lanes == kMaxLanes
+                                   ? ~sim::LaneMask{0}
+                                   : (sim::LaneMask{1} << lanes) - 1;
+
+  simulator_.reset();
+  const double last_clock =
+      config_.clock_period_ps * static_cast<double>(frame_cycles_);
+  // Same injection discipline as DataLink::send: clock first (replayed from
+  // a snapshot when the message phase is clear of clock edges), then one
+  // pulse per message bit position carrying the mask of lanes whose message
+  // sets that bit.
+  if (frame_cycles_ > 0 && clock_snapshot_usable_) {
+    if (clock_snapshot_mask_ == active) {
+      simulator_.restore_queue(clock_snapshot_);
+    } else {
+      simulator_.inject_clock(encoder_.clock_input, config_.clock_period_ps,
+                              config_.clock_period_ps, last_clock + 0.5, active);
+      simulator_.snapshot_queue(clock_snapshot_);
+      clock_snapshot_mask_ = active;
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    sim::LaneMask bit_mask = 0;
+    for (std::size_t l = 0; l < lanes; ++l)
+      if (messages[l].get(i)) bit_mask |= sim::LaneMask{1} << l;
+    if (bit_mask != 0)
+      simulator_.inject_pulse(encoder_.message_inputs[i], config_.input_phase_ps,
+                              bit_mask);
+  }
+  if (frame_cycles_ > 0 && !clock_snapshot_usable_) {
+    simulator_.inject_clock(encoder_.clock_input, config_.clock_period_ps,
+                            config_.clock_period_ps, last_clock + 0.5, active);
+  }
+  simulator_.run_until(std::max(last_clock, config_.input_phase_ps) +
+                       config_.settle_margin_ps);
+
+  for (std::size_t l = 0; l < lanes; ++l) transmitted[l] = BitVec(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const sim::LaneMask levels = simulator_.dc_levels(encoder_.codeword_outputs[j]);
+    for (std::size_t l = 0; l < lanes; ++l)
+      transmitted[l].set(j, ((levels >> l) & 1) != 0);
+  }
 }
 
 }  // namespace sfqecc::link

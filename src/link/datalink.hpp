@@ -17,6 +17,7 @@
 #include "code/decoder.hpp"
 #include "link/channel.hpp"
 #include "ppv/chip.hpp"
+#include "sim/bitsliced_eval.hpp"
 #include "sim/event_sim.hpp"
 
 namespace sfqecc::link {
@@ -45,6 +46,16 @@ struct FrameResult {
   std::size_t channel_bit_errors = 0;  ///< received_word vs transmitted_word
   std::size_t encoder_bit_errors = 0;  ///< transmitted_word vs reference_codeword
 };
+
+/// The channel + decode half of one frame, shared by DataLink::send and the
+/// bit-sliced SlicedLink: given the word the circuit transmitted, fills in
+/// everything downstream of it (reference codeword, channel draws, decode
+/// outcome). Factored so both paths perform the identical per-bit
+/// transmit_level draw sequence and decode logic — the byte-identity of the
+/// sliced mode's reports rests on this being one function, not two copies.
+FrameResult finish_frame(const DataLinkConfig& config, const code::LinearCode* reference,
+                         const code::Decoder* decoder, const code::BitVec& message,
+                         const code::BitVec& transmitted, util::Rng& rng);
 
 /// A live data link instance: owns the circuit simulator; the decoder and
 /// reference code are borrowed and must outlive the link.
@@ -93,6 +104,61 @@ class DataLink {
   // replayed, instead of re-injected, on each send.
   sim::EventSimulator::QueueSnapshot clock_snapshot_;
   bool clock_snapshot_valid_ = false;
+  bool clock_snapshot_usable_ = false;  ///< message phase clear of clock edges
+};
+
+/// Bit-sliced data link: evaluates the *circuit* half of one frame for up to
+/// 64 fully healthy chips at once (sim::SlicedSimulator), then finishes each
+/// lane's frame — channel draws and decode — per chip with that chip's own
+/// channel RNG via finish_frame. Valid only under the sliced observability
+/// gate (no faults in any lane, jitter off, recording off; see
+/// engine::chip_sliceable); the constructor rejects configs that enable
+/// jitter or pulse recording.
+class SlicedLink {
+ public:
+  static constexpr std::size_t kMaxLanes = sim::SlicedSimulator::kMaxLanes;
+
+  SlicedLink(const circuit::BuiltEncoder& encoder, const circuit::CellLibrary& library,
+             const code::LinearCode* reference, const code::Decoder* decoder,
+             const DataLinkConfig& config);
+
+  /// Same link over pre-built simulator tables (see the DataLink overload).
+  SlicedLink(const circuit::BuiltEncoder& encoder,
+             std::shared_ptr<const sim::SimTables> tables,
+             const code::LinearCode* reference, const code::Decoder* decoder,
+             const DataLinkConfig& config);
+
+  /// Simulates one frame position for `lanes` chips at once: messages[l]
+  /// drives lane l, transmitted[l] receives lane l's sampled DC word.
+  /// Timing, injection schedule and settle window are identical to
+  /// DataLink::send; each output word is bit-identical to what a healthy
+  /// chip's DataLink would transmit for messages[l].
+  void transmit(const code::BitVec* messages, std::size_t lanes,
+                code::BitVec* transmitted);
+
+  /// Channel + decode half for one lane's frame (the chip's own `rng` keeps
+  /// the per-chip channel substream exactly as the event path draws it).
+  FrameResult finish(const code::BitVec& message, const code::BitVec& transmitted,
+                     util::Rng& rng) const {
+    return finish_frame(config_, reference_, decoder_, message, transmitted, rng);
+  }
+
+  std::size_t frame_cycles() const noexcept { return frame_cycles_; }
+  const circuit::BuiltEncoder& encoder() const noexcept { return encoder_; }
+
+ private:
+  const circuit::BuiltEncoder& encoder_;
+  const code::LinearCode* reference_;
+  const code::Decoder* decoder_;
+  DataLinkConfig config_;
+  sim::SlicedSimulator simulator_;
+  std::size_t frame_cycles_;
+  // Clock-train snapshot, keyed by the lane mask it was taken for: batches
+  // of fewer than 64 lanes inject a narrower clock mask, so the snapshot is
+  // retaken whenever the active mask changes (healthy chips have no fault
+  // state, so unlike DataLink no per-chip invalidation is needed).
+  sim::SlicedSimulator::QueueSnapshot clock_snapshot_;
+  sim::LaneMask clock_snapshot_mask_ = 0;
   bool clock_snapshot_usable_ = false;  ///< message phase clear of clock edges
 };
 

@@ -72,6 +72,7 @@
 #include "ppv/margin_model.hpp"
 #include "ppv/spread.hpp"
 #include "sim/behavioral_eval.hpp"
+#include "sim/bitsliced_eval.hpp"
 #include "sim/cell_behavior.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/waveform.hpp"

@@ -1,0 +1,251 @@
+#include "sim/bitsliced_eval.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace sfqecc::sim {
+
+using circuit::CellId;
+using circuit::CellType;
+using circuit::kInvalidId;
+using circuit::NetId;
+
+SlicedSimulator::SlicedSimulator(const circuit::Netlist& netlist,
+                                 const circuit::CellLibrary& library)
+    : SlicedSimulator(std::make_shared<SimTables>(netlist, library)) {}
+
+SlicedSimulator::SlicedSimulator(std::shared_ptr<const SimTables> tables)
+    : tables_(std::move(tables)), lane_state_(tables_->netlist_.cell_count()) {}
+
+void SlicedSimulator::schedule(double time, std::uint32_t net, LaneMask mask) {
+  // Every cell is healthy in every lane, so the fan-out expansion is valid
+  // unconditionally — the per-instance gating of the scalar schedule()
+  // collapses to "expansion present?". Emission credits are skipped (no
+  // counters exist here); the terminal arrival times are the identical
+  // double sums the scalar path computes.
+  const SimTables& t = *tables_;
+  const std::uint32_t idx = t.expansion_of_net_[net];
+  if (idx != SimTables::kNoExpansion) {
+    const SimTables::Expansion& e = t.expansions_[idx];
+    for (std::uint32_t i = e.terminals_begin; i < e.terminals_end; ++i)
+      push_event(time + t.terminal_pool_[i].offset_ps, SimTables::kDirectFlag | i, mask);
+    return;
+  }
+  push_event(time, net, mask);
+}
+
+void SlicedSimulator::push_event(double time, std::uint32_t target, LaneMask mask) {
+  // Same backward-scanning calendar insert as EventSimulator::push_event.
+  std::size_t i = bucket_end_;
+  while (i > bucket_front_ && bucket_time_[i - 1] > time) --i;
+  if (i == bucket_front_ || bucket_time_[i - 1] != time) {
+    const auto slot = static_cast<std::uint32_t>(bucket_end_);
+    if (bucket_pool_.size() <= slot) {
+      bucket_pool_.emplace_back();
+      bucket_head_.push_back(0);
+    }
+    if (bucket_time_.size() < bucket_pool_.size()) {
+      bucket_time_.resize(bucket_pool_.size());
+      bucket_slot_.resize(bucket_pool_.size());
+    }
+    for (std::size_t j = bucket_end_; j > i; --j) {
+      bucket_time_[j] = bucket_time_[j - 1];
+      bucket_slot_[j] = bucket_slot_[j - 1];
+    }
+    bucket_time_[i] = time;
+    bucket_slot_[i] = slot;
+    ++bucket_end_;
+    bucket_pool_[slot].push_back(Event{target, mask});
+    return;
+  }
+  bucket_pool_[bucket_slot_[i - 1]].push_back(Event{target, mask});
+}
+
+void SlicedSimulator::inject_pulse(NetId net, double time_ps, LaneMask mask) {
+  expects(net < tables_->netlist_.net_count(), "unknown net");
+  expects(time_ps >= now_ps_, "cannot schedule in the past");
+  expects(mask != 0, "pulse must target at least one lane");
+  schedule(time_ps, static_cast<std::uint32_t>(net), mask);
+}
+
+void SlicedSimulator::inject_clock(NetId clock_net, double period_ps, double phase_ps,
+                                   double until_ps, LaneMask mask) {
+  expects(period_ps > 0.0, "clock period must be positive");
+  for (double t = phase_ps; t <= until_ps; t += period_ps)
+    inject_pulse(clock_net, t, mask);
+}
+
+void SlicedSimulator::run_until(double until_ps) {
+  while (bucket_front_ != bucket_end_) {
+    const double time = bucket_time_[bucket_front_];
+    if (time > until_ps) break;
+    const std::uint32_t slot = bucket_slot_[bucket_front_];
+    if (bucket_head_[slot] == bucket_pool_[slot].size()) {
+      bucket_pool_[slot].clear();
+      bucket_head_[slot] = 0;
+      ++bucket_front_;
+      continue;
+    }
+    // Drain the whole same-timestamp bucket in one pass. Deliveries may
+    // append to this very bucket (zero-delay scheduling lands at `time`) and
+    // may open later buckets, which can grow/reallocate bucket_pool_ — so
+    // the FIFO is re-indexed on every iteration instead of caching a
+    // reference, and the size is re-read so appended events are picked up.
+    now_ps_ = std::max(now_ps_, time);
+    while (bucket_head_[slot] < bucket_pool_[slot].size()) {
+      const std::uint32_t at = bucket_head_[slot]++;
+      const Event ev = bucket_pool_[slot][at];
+      ++events_processed_;
+      deliver(ev.target, time, ev.mask);
+    }
+  }
+  now_ps_ = std::max(now_ps_, until_ps);
+}
+
+void SlicedSimulator::reset() {
+  for (std::size_t slot = 0; slot < bucket_end_; ++slot) {
+    bucket_pool_[slot].clear();
+    bucket_head_[slot] = 0;
+  }
+  bucket_front_ = bucket_end_ = 0;
+  now_ps_ = 0.0;
+  for (LaneState& s : lane_state_) s = LaneState{};
+}
+
+void SlicedSimulator::snapshot_queue(QueueSnapshot& out) const {
+  out.times.clear();
+  out.offsets.clear();
+  out.targets.clear();
+  out.masks.clear();
+  out.offsets.push_back(0);
+  for (std::size_t b = bucket_front_; b < bucket_end_; ++b) {
+    const std::uint32_t slot = bucket_slot_[b];
+    const std::vector<Event>& fifo = bucket_pool_[slot];
+    const std::uint32_t head = bucket_head_[slot];
+    if (head == fifo.size()) continue;  // drained
+    out.times.push_back(bucket_time_[b]);
+    for (std::size_t i = head; i < fifo.size(); ++i) {
+      out.targets.push_back(fifo[i].target);
+      out.masks.push_back(fifo[i].mask);
+    }
+    out.offsets.push_back(static_cast<std::uint32_t>(out.targets.size()));
+  }
+}
+
+void SlicedSimulator::restore_queue(const QueueSnapshot& snapshot) {
+  expects(bucket_front_ == bucket_end_, "restore_queue requires an empty queue");
+  const std::size_t count = snapshot.times.size();
+  while (bucket_pool_.size() < count) {
+    bucket_pool_.emplace_back();
+    bucket_head_.push_back(0);
+  }
+  if (bucket_time_.size() < bucket_pool_.size()) {
+    bucket_time_.resize(bucket_pool_.size());
+    bucket_slot_.resize(bucket_pool_.size());
+  }
+  bucket_front_ = 0;
+  bucket_end_ = count;
+  for (std::size_t i = 0; i < count; ++i) {
+    bucket_time_[i] = snapshot.times[i];
+    bucket_slot_[i] = static_cast<std::uint32_t>(i);
+    bucket_head_[i] = 0;
+    bucket_pool_[i].clear();
+    for (std::uint32_t j = snapshot.offsets[i]; j < snapshot.offsets[i + 1]; ++j)
+      bucket_pool_[i].push_back(Event{snapshot.targets[j], snapshot.masks[j]});
+  }
+}
+
+LaneMask SlicedSimulator::dc_levels(NetId converter_output) const {
+  expects(converter_output < tables_->converter_cell_.size(), "unknown net");
+  const CellId cell = tables_->converter_cell_[converter_output];
+  expects(cell != kInvalidId, "net is not an SFQ-to-DC output");
+  return lane_state_[cell].dc_level;
+}
+
+void SlicedSimulator::deliver(std::uint32_t target, double time, LaneMask mask) {
+  const SimTables& t = *tables_;
+  if (target & SimTables::kDirectFlag) {
+    const SimTables::Terminal& term =
+        t.terminal_pool_[target & ~SimTables::kDirectFlag];
+    if (term.port == SimTables::kClockSinkPort)
+      on_clock(term.cell, time, mask);
+    else
+      on_pulse(term.cell, term.port, time, mask);
+    return;
+  }
+  const std::uint32_t begin = t.sink_offset_[target];
+  const std::uint32_t end = t.sink_offset_[target + 1];
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const SimTables::CompactSink sink = t.sinks_[i];
+    if (sink.port == SimTables::kClockSinkPort)
+      on_clock(sink.cell, time, mask);
+    else
+      on_pulse(sink.cell, sink.port, time, mask);
+  }
+}
+
+void SlicedSimulator::on_pulse(std::uint32_t cell, std::uint32_t port, double time,
+                               LaneMask mask) {
+  LaneState& state = lane_state_[cell];
+  const SimTables::CompactCell& compact = tables_->cells_[cell];
+  const double delay = compact.delay_ps;
+
+  switch (compact.type) {
+    case CellType::kXor:
+    case CellType::kAnd:
+    case CellType::kOr:
+      // Store the arm in the pulsed lanes; the clock evaluates and resets.
+      (port == 0 ? state.arm_a : state.arm_b) |= mask;
+      return;
+    case CellType::kNot:
+    case CellType::kDff:
+      state.arm_a |= mask;
+      return;
+    case CellType::kSplitter: {
+      const double when = std::max(time + delay, now_ps_);
+      schedule(when, compact.out0, mask);
+      schedule(when, compact.out1, mask);
+      return;
+    }
+    case CellType::kJtl:
+    case CellType::kMerger:
+    case CellType::kDcToSfq:
+      schedule(std::max(time + delay, now_ps_), compact.out0, mask);
+      return;
+    case CellType::kTff: {
+      // Divide-by-two per lane: emit in the lanes whose arm was already set.
+      const LaneMask emit_mask = state.arm_a & mask;
+      state.arm_a ^= mask;
+      if (emit_mask) schedule(std::max(time + delay, now_ps_), compact.out0, emit_mask);
+      return;
+    }
+    case CellType::kSfqToDc:
+      // Toggling output driver (no fault handling: all lanes healthy).
+      state.dc_level ^= mask;
+      return;
+  }
+}
+
+void SlicedSimulator::on_clock(std::uint32_t cell, double time, LaneMask mask) {
+  LaneState& state = lane_state_[cell];
+  const SimTables::CompactCell& compact = tables_->cells_[cell];
+
+  LaneMask fire = 0;
+  switch (compact.type) {
+    case CellType::kXor: fire = state.arm_a ^ state.arm_b; break;
+    case CellType::kAnd: fire = state.arm_a & state.arm_b; break;
+    case CellType::kOr: fire = state.arm_a | state.arm_b; break;
+    case CellType::kNot: fire = ~state.arm_a; break;
+    case CellType::kDff: fire = state.arm_a; break;
+    default:
+      throw ContractViolation("clock pulse delivered to unclocked cell");
+  }
+  fire &= mask;
+  state.arm_a &= ~mask;
+  state.arm_b &= ~mask;
+
+  if (fire) schedule(std::max(time + compact.delay_ps, now_ps_), compact.out0, fire);
+}
+
+}  // namespace sfqecc::sim

@@ -1,0 +1,142 @@
+// Bit-sliced frame evaluation: the same frame position across up to 64
+// Monte-Carlo chips packed into one 64-bit lane word (ROADMAP item 3).
+//
+// A Monte-Carlo campaign evaluates the *same netlist* for thousands of
+// fabricated chips. For the chips where timing is not observable — every
+// cell fully healthy, thermal jitter off, pulse recording off: exactly the
+// observability gate the static fan-out expansion uses in event_sim.hpp —
+// the event simulator's behaviour degenerates to deterministic GF(2) logic
+// on a fixed event schedule. The schedule depends only on the netlist, so
+// 64 such chips share every event and differ only in which lanes carry a
+// pulse. SlicedSimulator exploits that: events carry a (target, lane mask)
+// pair, cell state is one lane word per arm, and each delivery evaluates
+// the cell for all lanes in one instruction instead of one event per chip.
+//
+// Equivalence contract (proved chip-by-chip by tests/sim/test_bitsliced_eval
+// and end-to-end by the campaign byte-identity tests): the sliced event
+// schedule is the lane-wise union of the per-chip scalar schedules. Within
+// a timestamp the FIFO order of any single lane's effective deliveries is
+// exactly the scalar simulator's order, deliveries whose mask excludes a
+// lane are no-ops for that lane, and every scheduled time is the identical
+// double-precision expression the scalar path computes (time + delay,
+// time + expansion offset, max(time, now)). Hence per-lane DC output words
+// are bit-identical to 64 independent EventSimulator runs.
+//
+// Restrictions (enforced by the caller, see engine::chip_sliceable):
+//  * every cell healthy in every lane — no fault state exists here at all;
+//  * jitter off and recording off — there is no RNG and no waveform log;
+//  * the static fan-out expansion is therefore unconditionally valid and is
+//    always taken. Emission counters are not maintained (they are a
+//    diagnostics/credit concept of the scalar path; no sliced output reads
+//    them).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "sim/event_sim.hpp"
+
+namespace sfqecc::sim {
+
+/// One bit per chip lane; lane l of every word belongs to chip l of the
+/// current batch.
+using LaneMask = std::uint64_t;
+
+/// Lane-parallel mirror of EventSimulator for fully healthy, jitter-free,
+/// recording-free chips. Shares the immutable SimTables of the scalar
+/// simulator; only the lane-word state is per instance.
+class SlicedSimulator {
+ public:
+  static constexpr std::size_t kMaxLanes = 64;
+
+  /// Convenience constructor: builds private tables for this instance.
+  SlicedSimulator(const circuit::Netlist& netlist, const circuit::CellLibrary& library);
+
+  /// Shares pre-built tables with any number of scalar or sliced simulators.
+  explicit SlicedSimulator(std::shared_ptr<const SimTables> tables);
+
+  /// Schedules a pulse on `net` at `time_ps` in the lanes of `mask`.
+  void inject_pulse(circuit::NetId net, double time_ps, LaneMask mask);
+
+  /// Injects a clock train into the lanes of `mask`: pulses at phase,
+  /// phase+period, ... up to `until_ps` (same edge enumeration as the
+  /// scalar inject_clock).
+  void inject_clock(circuit::NetId clock_net, double period_ps, double phase_ps,
+                    double until_ps, LaneMask mask);
+
+  /// Processes all events up to and including `until_ps`.
+  void run_until(double until_ps);
+
+  /// Clears lane state and pending events. Allocation-free after warm-up.
+  void reset();
+
+  /// Compact copy of the pending-event queue, lane masks included. Unlike
+  /// the scalar QueueSnapshot there are no emission credits to capture —
+  /// the sliced path does not maintain emission counters.
+  struct QueueSnapshot {
+    std::vector<double> times;           ///< distinct timestamps, ascending
+    std::vector<std::uint32_t> offsets;  ///< CSR into targets/masks, size times+1
+    std::vector<std::uint32_t> targets;  ///< event targets in FIFO order
+    std::vector<LaneMask> masks;         ///< lane mask per event, parallel to targets
+  };
+
+  /// Captures the pending events into `out` (reusing its capacity).
+  void snapshot_queue(QueueSnapshot& out) const;
+
+  /// Replaces the pending events with a snapshot taken on a simulator that
+  /// shares this one's tables. Only valid while the queue is empty (right
+  /// after reset()).
+  void restore_queue(const QueueSnapshot& snapshot);
+
+  /// Current DC levels of an SFQ-to-DC converter's output net, one bit per
+  /// lane.
+  LaneMask dc_levels(circuit::NetId converter_output) const;
+
+  double now() const noexcept { return now_ps_; }
+  std::size_t events_processed() const noexcept { return events_processed_; }
+
+  /// The shared tables; lease these to stand up further instances cheaply.
+  const std::shared_ptr<const SimTables>& tables() const noexcept { return tables_; }
+
+ private:
+  /// Lane-word cell state: bit l is the scalar CellState field of lane l.
+  struct LaneState {
+    LaneMask arm_a = 0;
+    LaneMask arm_b = 0;
+    LaneMask dc_level = 0;
+  };
+
+  struct Event {
+    std::uint32_t target = 0;
+    LaneMask mask = 0;
+  };
+
+  std::shared_ptr<const SimTables> tables_;
+
+  // Calendar event queue, structurally identical to EventSimulator's (see
+  // the discussion there): per-timestamp FIFO buckets in a sorted time
+  // index, pop order (time ascending, insertion order within a timestamp).
+  std::vector<double> bucket_time_;
+  std::vector<std::uint32_t> bucket_slot_;
+  std::vector<std::vector<Event>> bucket_pool_;
+  std::vector<std::uint32_t> bucket_head_;
+  std::size_t bucket_front_ = 0;
+  std::size_t bucket_end_ = 0;
+  double now_ps_ = 0.0;
+  std::size_t events_processed_ = 0;
+
+  std::vector<LaneState> lane_state_;
+
+  /// Queues a pulse on `net` through the fan-out expansion (always valid
+  /// here — every cell is healthy by contract).
+  void schedule(double time, std::uint32_t net, LaneMask mask);
+
+  void push_event(double time, std::uint32_t target, LaneMask mask);
+  void deliver(std::uint32_t target, double time, LaneMask mask);
+  void on_pulse(std::uint32_t cell, std::uint32_t port, double time, LaneMask mask);
+  void on_clock(std::uint32_t cell, double time, LaneMask mask);
+};
+
+}  // namespace sfqecc::sim

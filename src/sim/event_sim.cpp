@@ -226,19 +226,28 @@ void EventSimulator::run_until(double until_ps) {
     const double time = bucket_time_[bucket_front_];
     if (time > until_ps) break;
     const std::uint32_t slot = bucket_slot_[bucket_front_];
-    std::vector<std::uint32_t>& fifo = bucket_pool_[slot];
-    std::uint32_t& head = bucket_head_[slot];
-    if (head == fifo.size()) {
+    if (bucket_head_[slot] == bucket_pool_[slot].size()) {
       // Bucket drained; recycle its storage and advance.
-      fifo.clear();
-      head = 0;
+      bucket_pool_[slot].clear();
+      bucket_head_[slot] = 0;
       ++bucket_front_;
       continue;
     }
-    const std::uint32_t target = fifo[head++];
+    // Drain the whole same-timestamp bucket in one pass instead of
+    // re-walking the time index per event: all arrivals of one clock edge
+    // (the dominant bucket in SFQ frames) dispatch back to back. Deliveries
+    // may append to this very bucket (emissions clamp to now_ps_ == time)
+    // and may open later buckets, which can grow/reallocate bucket_pool_ —
+    // so the FIFO is re-indexed every iteration instead of caching a
+    // reference, and its size is re-read so appended events are picked up.
+    // Pop order is unchanged: nothing can be pushed before `time`.
     now_ps_ = std::max(now_ps_, time);
-    ++events_processed_;
-    deliver(target, time);
+    while (bucket_head_[slot] < bucket_pool_[slot].size()) {
+      const std::uint32_t at = bucket_head_[slot]++;
+      const std::uint32_t target = bucket_pool_[slot][at];
+      ++events_processed_;
+      deliver(target, time);
+    }
   }
   now_ps_ = std::max(now_ps_, until_ps);
 }

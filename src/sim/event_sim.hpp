@@ -78,6 +78,7 @@ class SimTables {
 
  private:
   friend class EventSimulator;
+  friend class SlicedSimulator;  // lane-parallel mirror, sim/bitsliced_eval.hpp
 
   /// A (cell, port) endpoint in the flattened sink lists; kClockSinkPort
   /// marks the clock input of a clocked cell.

@@ -1,0 +1,148 @@
+// Simulation-mode tests: the chip_sliceable observability gate, and the
+// byte-identity of campaign reports across --sim modes, thread counts and
+// shard sizes (the property the CI --sim A/B leg enforces on the built
+// binaries).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/paper_encoders.hpp"
+#include "engine/campaign.hpp"
+#include "engine/kernel.hpp"
+#include "engine/report.hpp"
+
+namespace sfqecc::engine {
+namespace {
+
+// ------------------------------------------------------ observability gate --
+
+ppv::ChipSample healthy_chip(std::size_t cells = 8) {
+  ppv::ChipSample chip;
+  chip.health_ratios.assign(cells, 0.0);
+  chip.faults.assign(cells, sim::CellFault{});
+  return chip;
+}
+
+sim::SimConfig quiet_sim() {
+  sim::SimConfig c;
+  c.jitter_sigma_ps = 0.0;
+  c.record_pulses = false;
+  return c;
+}
+
+TEST(ChipSliceable, HealthyQuietChipIsEligible) {
+  EXPECT_TRUE(chip_sliceable(healthy_chip(), quiet_sim()));
+}
+
+TEST(ChipSliceable, PulseRecordingDisqualifies) {
+  sim::SimConfig c = quiet_sim();
+  c.record_pulses = true;
+  EXPECT_FALSE(chip_sliceable(healthy_chip(), c));
+}
+
+TEST(ChipSliceable, AnyJitterDisqualifies) {
+  sim::SimConfig c = quiet_sim();
+  c.jitter_sigma_ps = 0.8;
+  EXPECT_FALSE(chip_sliceable(healthy_chip(), c));
+  c.jitter_sigma_ps = 1e-12;  // the gate is exact, not thresholded
+  EXPECT_FALSE(chip_sliceable(healthy_chip(), c));
+}
+
+TEST(ChipSliceable, AnyFaultyCellDisqualifies) {
+  for (const sim::FaultMode mode :
+       {sim::FaultMode::kFlaky, sim::FaultMode::kDead, sim::FaultMode::kSputter}) {
+    ppv::ChipSample chip = healthy_chip();
+    chip.faults[3].mode = mode;
+    EXPECT_FALSE(chip_sliceable(chip, quiet_sim()));
+  }
+  // Even a flaky cell with error probability zero straddles the gate: the
+  // scalar path draws from the noise RNG for it, the sliced path has no RNG.
+  ppv::ChipSample chip = healthy_chip();
+  chip.faults[0].mode = sim::FaultMode::kFlaky;
+  chip.faults[0].error_prob = 0.0;
+  EXPECT_FALSE(chip_sliceable(chip, quiet_sim()));
+}
+
+// ------------------------------------------------- campaign byte-identity --
+
+class SimModesCampaignTest : public ::testing::Test {
+ protected:
+  SimModesCampaignTest() {
+    for (const core::SchemeId id : {core::SchemeId::kHamming84, core::SchemeId::kRm13}) {
+      schemes_owned_.push_back(core::make_scheme(id, lib_));
+      const core::PaperScheme& s = schemes_owned_.back();
+      schemes_.push_back(
+          link::SchemeSpec{s.name, s.encoder.get(), s.code.get(), s.decoder.get()});
+    }
+  }
+
+  /// A sweep that straddles the gate on every axis: spread 0 fabricates only
+  /// sliceable chips (maximal batches), spread 0.30 a healthy/faulty mix
+  /// (lane classification per chip), and the jitter axis makes whole cells
+  /// ineligible. ARQ on/off covers both tally loops.
+  CampaignSpec spec() const {
+    CampaignSpec s;
+    s.chips = 10;
+    s.messages_per_chip = 6;
+    s.seed = 4242;
+    s.spreads = {{0.0, ppv::SpreadDistribution::kUniform},
+                 {0.30, ppv::SpreadDistribution::kUniform}};
+    s.faults = {FaultSpec{0.0}, FaultSpec{0.8}};
+    s.arq_modes = {{false, 1}, {true, 3}};
+    return s;
+  }
+
+  std::string report(SimMode mode, std::size_t threads, std::size_t shard) const {
+    RunnerOptions options;
+    options.sim_mode = mode;
+    options.threads = threads;
+    options.shard_chips = shard;
+    const CampaignSpec s = spec();
+    return campaign_json(s, run_campaign(s, schemes_, lib_, options));
+  }
+
+  const circuit::CellLibrary& lib_ = circuit::coldflux_library();
+  std::vector<core::PaperScheme> schemes_owned_;
+  std::vector<link::SchemeSpec> schemes_;
+};
+
+TEST_F(SimModesCampaignTest, ReportsByteIdenticalAcrossModesThreadsShards) {
+  const std::string reference = report(SimMode::kEvent, 1, 4);
+  const struct {
+    SimMode mode;
+    std::size_t threads, shard;
+  } variants[] = {
+      {SimMode::kSliced, 1, 4},   // forced slicing, same partition
+      {SimMode::kSliced, 2, 3},   // sliced batches race across workers
+      {SimMode::kAuto, 1, 4},     // the default mode
+      {SimMode::kAuto, 1, 3},     // 10 = 3+3+3+1: last shard falls back to event
+      {SimMode::kAuto, 8, 2},     // many threads, 2-lane batches
+      {SimMode::kAuto, 2, 100},   // one shard spans the whole cell
+      {SimMode::kEvent, 8, 3},    // control: event path itself is invariant
+  };
+  for (const auto& v : variants)
+    EXPECT_EQ(report(v.mode, v.threads, v.shard), reference)
+        << "mode=" << static_cast<int>(v.mode) << " threads=" << v.threads
+        << " shard=" << v.shard;
+}
+
+TEST_F(SimModesCampaignTest, SingleChipUnitsMatchEverywhere) {
+  // chips=1 makes every unit a 1-chip batch: kSliced runs 1-lane slices,
+  // kAuto falls back to the event path — all three must agree anyway.
+  RunnerOptions options;
+  options.threads = 1;
+  options.shard_chips = 4;
+  CampaignSpec s = spec();
+  s.chips = 1;
+  std::vector<std::string> reports;
+  for (const SimMode mode : {SimMode::kEvent, SimMode::kSliced, SimMode::kAuto}) {
+    options.sim_mode = mode;
+    reports.push_back(campaign_json(s, run_campaign(s, schemes_, lib_, options)));
+  }
+  EXPECT_EQ(reports[1], reports[0]);
+  EXPECT_EQ(reports[2], reports[0]);
+}
+
+}  // namespace
+}  // namespace sfqecc::engine

@@ -1,0 +1,249 @@
+// Lane-equivalence tests for the bit-sliced simulator: every observable of a
+// SlicedSimulator / SlicedLink lane must be bit-identical to an independent
+// scalar EventSimulator / DataLink run fed that lane's stimulus. No cell
+// semantics are asserted directly — the scalar path is the oracle, so these
+// tests hold under any future (mirrored) semantics change.
+#include "sim/bitsliced_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "circuit/encoder_builder.hpp"
+#include "code/hamming.hpp"
+#include "core/paper_encoders.hpp"
+#include "link/datalink.hpp"
+#include "sim/event_sim.hpp"
+#include "util/expect.hpp"
+
+namespace sfqecc::sim {
+namespace {
+
+using circuit::CellId;
+using circuit::CellLibrary;
+using circuit::CellType;
+using circuit::coldflux_library;
+using circuit::Netlist;
+using circuit::NetId;
+
+SimConfig quiet() {
+  SimConfig c;
+  c.jitter_sigma_ps = 0.0;
+  c.record_pulses = false;
+  return c;
+}
+
+// A small netlist crossing every stateful cell class: clocked XOR and DFF,
+// unclocked TFF, merger, and two DC converters observing separate paths.
+//
+//   a, b --XOR(clk)--> x --TFF--> t --split--> SfqToDc --> out1
+//   b --DFF(clk)--> f --+
+//   t (other split leg) -+-merge-> m --SfqToDc--> out2
+struct MixedNetlist {
+  Netlist nl{"mixed"};
+  NetId a, b, clk, out1, out2;
+
+  MixedNetlist() {
+    a = nl.add_primary_input("a");
+    b = nl.add_primary_input("b");
+    clk = nl.add_primary_input("clk");
+    const CellId x = nl.add_cell(CellType::kXor, "x", {a, b}, {"xo"});
+    nl.connect_clock(x, clk);
+    const NetId xo = nl.cell(x).outputs[0];
+    const CellId t = nl.add_cell(CellType::kTff, "t", {xo}, {"to"});
+    const NetId to = nl.cell(t).outputs[0];
+    const CellId f = nl.add_cell(CellType::kDff, "f", {b}, {"fo"});
+    nl.connect_clock(f, clk);
+    const NetId fo = nl.cell(f).outputs[0];
+    const CellId s = nl.add_cell(CellType::kSplitter, "s", {to}, {"s1", "s2"});
+    const NetId s1 = nl.cell(s).outputs[0];
+    const NetId s2 = nl.cell(s).outputs[1];
+    const CellId m = nl.add_cell(CellType::kMerger, "m", {s2, fo}, {"mo"});
+    const NetId mo = nl.cell(m).outputs[0];
+    const CellId d1 = nl.add_cell(CellType::kSfqToDc, "d1", {s1}, {"out1"});
+    out1 = nl.cell(d1).outputs[0];
+    const CellId d2 = nl.add_cell(CellType::kSfqToDc, "d2", {mo}, {"out2"});
+    out2 = nl.cell(d2).outputs[0];
+  }
+};
+
+TEST(BitslicedEval, MixedNetlistMatchesScalarPerLane) {
+  MixedNetlist t;
+  constexpr std::size_t kLanes = 8;
+  // Lane l's stimulus is encoded in its index bits: a@10 iff bit0, b@12 iff
+  // bit1, a second b@30 iff bit2 — eight distinct pulse histories.
+  LaneMask mask_a = 0, mask_b = 0, mask_b2 = 0;
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    if (l & 1) mask_a |= LaneMask{1} << l;
+    if (l & 2) mask_b |= LaneMask{1} << l;
+    if (l & 4) mask_b2 |= LaneMask{1} << l;
+  }
+  const LaneMask all = (LaneMask{1} << kLanes) - 1;
+
+  SlicedSimulator sliced(t.nl, coldflux_library());
+  if (mask_a) sliced.inject_pulse(t.a, 10.0, mask_a);
+  if (mask_b) sliced.inject_pulse(t.b, 12.0, mask_b);
+  if (mask_b2) sliced.inject_pulse(t.b, 30.0, mask_b2);
+  sliced.inject_clock(t.clk, 50.0, 50.0, 120.0, all);
+  sliced.run_until(300.0);
+
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    EventSimulator scalar(t.nl, coldflux_library(), quiet());
+    if (l & 1) scalar.inject_pulse(t.a, 10.0);
+    if (l & 2) scalar.inject_pulse(t.b, 12.0);
+    if (l & 4) scalar.inject_pulse(t.b, 30.0);
+    scalar.inject_clock(t.clk, 50.0, 50.0, 120.0);
+    scalar.run_until(300.0);
+    EXPECT_EQ((sliced.dc_levels(t.out1) >> l) & 1, scalar.dc_level(t.out1) ? 1u : 0u)
+        << "out1 lane " << l;
+    EXPECT_EQ((sliced.dc_levels(t.out2) >> l) & 1, scalar.dc_level(t.out2) ? 1u : 0u)
+        << "out2 lane " << l;
+  }
+}
+
+TEST(BitslicedEval, ZeroMaskLanesAreNoOps) {
+  // A pulse whose mask excludes a lane must leave that lane's state exactly
+  // as if the pulse were never injected.
+  MixedNetlist t;
+  SlicedSimulator sliced(t.nl, coldflux_library());
+  sliced.inject_pulse(t.a, 10.0, LaneMask{1} << 3);  // lane 3 only
+  sliced.inject_clock(t.clk, 50.0, 50.0, 120.0, ~LaneMask{0});
+  sliced.run_until(300.0);
+
+  EventSimulator untouched(t.nl, coldflux_library(), quiet());
+  untouched.inject_clock(t.clk, 50.0, 50.0, 120.0);
+  untouched.run_until(300.0);
+  for (std::size_t l = 0; l < 64; ++l) {
+    if (l == 3) continue;
+    EXPECT_EQ((sliced.dc_levels(t.out1) >> l) & 1, untouched.dc_level(t.out1) ? 1u : 0u);
+    EXPECT_EQ((sliced.dc_levels(t.out2) >> l) & 1, untouched.dc_level(t.out2) ? 1u : 0u);
+  }
+}
+
+TEST(BitslicedEval, SnapshotReplayMatchesDirectRun) {
+  // Clock train captured once and replayed via restore_queue — the SlicedLink
+  // fast path — must produce the same DC words as injecting it directly.
+  const code::LinearCode c = code::paper_hamming84();
+  const circuit::BuiltEncoder built = circuit::build_encoder(c, coldflux_library());
+  const double until = 200.0 * (built.logic_depth + 1);
+  const LaneMask all = ~LaneMask{0};
+
+  SlicedSimulator replayed(built.netlist, coldflux_library());
+  SlicedSimulator::QueueSnapshot snapshot;
+  replayed.inject_clock(built.clock_input, 200.0, 200.0, until, all);
+  replayed.snapshot_queue(snapshot);
+  replayed.reset();
+  replayed.restore_queue(snapshot);
+  SlicedSimulator direct(replayed.tables());
+  direct.inject_clock(built.clock_input, 200.0, 200.0, until, all);
+
+  for (SlicedSimulator* sim : {&replayed, &direct}) {
+    for (std::size_t b = 0; b < built.message_inputs.size(); ++b)
+      sim->inject_pulse(built.message_inputs[b],
+                        100.0, LaneMask{0x9e3779b97f4a7c15ull} << b | 1u);
+    sim->run_until(until + 100.0);
+  }
+  for (const NetId out : built.codeword_outputs)
+    EXPECT_EQ(replayed.dc_levels(out), direct.dc_levels(out));
+}
+
+class SlicedLinkTest : public ::testing::Test {
+ protected:
+  SlicedLinkTest()
+      : scheme_(core::make_scheme(core::SchemeId::kHamming84, coldflux_library())) {
+    config_.sim.record_pulses = false;
+    config_.sim.jitter_sigma_ps = 0.0;
+  }
+
+  link::DataLink event_link() const {
+    return link::DataLink(*scheme_.encoder, coldflux_library(), scheme_.code.get(),
+                          scheme_.decoder.get(), config_);
+  }
+  link::SlicedLink sliced_link() const {
+    return link::SlicedLink(*scheme_.encoder, coldflux_library(), scheme_.code.get(),
+                            scheme_.decoder.get(), config_);
+  }
+
+  core::PaperScheme scheme_;
+  link::DataLinkConfig config_;
+};
+
+TEST_F(SlicedLinkTest, AllSixteenMessagesAcrossLanes) {
+  // Every H84 message in its own lane of one transmit() vs sixteen scalar
+  // sends: the circuit half must agree word-for-word.
+  link::DataLink dlink = event_link();
+  link::SlicedLink slink = sliced_link();
+  std::vector<code::BitVec> messages(16), transmitted(16);
+  for (std::size_t m = 0; m < 16; ++m)
+    messages[m] = code::BitVec::from_u64(4, m);
+  slink.transmit(messages.data(), 16, transmitted.data());
+
+  util::Rng rng(99);  // channel only; transmitted_word is pre-channel
+  for (std::size_t m = 0; m < 16; ++m)
+    EXPECT_EQ(transmitted[m], dlink.send(messages[m], rng).transmitted_word)
+        << "message " << m;
+}
+
+TEST_F(SlicedLinkTest, PartialLaneCountsReuseOneLink) {
+  // Batches of 63, 5 and 1 lanes through the same SlicedLink: exercises the
+  // clock-snapshot retake on every active-mask change.
+  link::DataLink dlink = event_link();
+  link::SlicedLink slink = sliced_link();
+  util::Rng msg_rng(7);
+  for (const std::size_t lanes : {std::size_t{63}, std::size_t{5}, std::size_t{1}}) {
+    std::vector<code::BitVec> messages(lanes), transmitted(lanes);
+    for (std::size_t l = 0; l < lanes; ++l)
+      messages[l] = code::BitVec::from_u64(4, msg_rng.below(16));
+    slink.transmit(messages.data(), lanes, transmitted.data());
+    util::Rng rng(99);
+    for (std::size_t l = 0; l < lanes; ++l)
+      EXPECT_EQ(transmitted[l], dlink.send(messages[l], rng).transmitted_word)
+          << "lanes=" << lanes << " lane " << l;
+  }
+}
+
+TEST_F(SlicedLinkTest, FinishMatchesSendUnderChannelNoise) {
+  // transmit + finish with the chip's own RNG must reproduce the event
+  // path's FrameResult field-for-field, channel draws included.
+  config_.channel.noise_sigma_mv = 0.2;
+  link::DataLink dlink = event_link();
+  link::SlicedLink slink = sliced_link();
+  std::vector<code::BitVec> messages(32), transmitted(32);
+  util::Rng msg_rng(11);
+  for (std::size_t l = 0; l < 32; ++l)
+    messages[l] = code::BitVec::from_u64(4, msg_rng.below(16));
+  slink.transmit(messages.data(), 32, transmitted.data());
+
+  util::Rng event_rng(424242), sliced_rng(424242);
+  for (std::size_t l = 0; l < 32; ++l) {
+    const link::FrameResult ev = dlink.send(messages[l], event_rng);
+    const link::FrameResult sl = slink.finish(messages[l], transmitted[l], sliced_rng);
+    EXPECT_EQ(sl.sent_message, ev.sent_message);
+    EXPECT_EQ(sl.reference_codeword, ev.reference_codeword);
+    EXPECT_EQ(sl.transmitted_word, ev.transmitted_word);
+    EXPECT_EQ(sl.received_word, ev.received_word);
+    EXPECT_EQ(sl.delivered_message, ev.delivered_message);
+    EXPECT_EQ(sl.flagged, ev.flagged);
+    EXPECT_EQ(sl.message_error, ev.message_error);
+    EXPECT_EQ(sl.channel_bit_errors, ev.channel_bit_errors);
+    EXPECT_EQ(sl.encoder_bit_errors, ev.encoder_bit_errors);
+  }
+}
+
+TEST_F(SlicedLinkTest, RejectsObservableTimingConfigs) {
+  // The constructor enforces the observability gate: jitter or recording
+  // make timing observable, which the sliced path cannot represent.
+  link::DataLinkConfig jittery = config_;
+  jittery.sim.jitter_sigma_ps = 0.8;
+  EXPECT_THROW(link::SlicedLink(*scheme_.encoder, coldflux_library(),
+                                scheme_.code.get(), scheme_.decoder.get(), jittery),
+               ContractViolation);
+  link::DataLinkConfig recording = config_;
+  recording.sim.record_pulses = true;
+  EXPECT_THROW(link::SlicedLink(*scheme_.encoder, coldflux_library(),
+                                scheme_.code.get(), scheme_.decoder.get(), recording),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace sfqecc::sim

@@ -17,9 +17,8 @@ namespace {
 
 const char* g_program = "campaign_runner";
 
-/// Resolves --schemes descriptors against the catalog: parse errors get a
-/// caret into the flag argument, resolution errors (unknown family, bad
-/// parameters) the catalog's message.
+}  // namespace
+
 std::vector<core::Scheme> resolve_schemes(const std::string& arg,
                                           const std::vector<std::string>& descriptors,
                                           const std::vector<std::size_t>& offsets,
@@ -48,8 +47,6 @@ std::vector<core::Scheme> resolve_schemes(const std::string& arg,
   }
   return schemes;
 }
-
-}  // namespace
 
 void set_program(const char* name) { g_program = name; }
 

@@ -52,6 +52,15 @@ std::size_t parse_size(const std::string& arg, std::size_t value_offset,
 bool match_flag(const char* arg, const char* name, std::string& value,
                 std::size_t& value_offset);
 
+/// Resolves --schemes descriptors against the builtin catalog (shared by the
+/// campaign and serving endpoints): parse errors get a caret into the flag
+/// argument `arg` at the descriptor's `offsets` entry, resolution errors the
+/// catalog's message. Pass an empty `arg` for an internal default list.
+std::vector<core::Scheme> resolve_schemes(const std::string& arg,
+                                          const std::vector<std::string>& descriptors,
+                                          const std::vector<std::size_t>& offsets,
+                                          const circuit::CellLibrary& library);
+
 /// The campaign-defining flag set — everything that feeds the campaign
 /// fingerprint (workload scalars, sweep axes, schemes, shard size) plus
 /// scheme listing. Drivers call consume() for each argv entry (first, before

@@ -351,6 +351,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cache.entries),
                 static_cast<double>(cache.bytes) / (1 << 20));
   }
+  // Console-only diagnostics (wall times are machine-dependent; the
+  // byte-stable reports never carry them).
+  if (result.unit_wall_ns.count() > 0) {
+    const util::LatencyHistogram& wall = result.unit_wall_ns;
+    std::printf("unit wall time: %llu unit(s), mean %.2f ms, p50 %.2f ms, "
+                "p99 %.2f ms, max %.2f ms\n",
+                static_cast<unsigned long long>(wall.count()), wall.mean() / 1e6,
+                static_cast<double>(wall.quantile(0.50)) / 1e6,
+                static_cast<double>(wall.quantile(0.99)) / 1e6,
+                static_cast<double>(wall.max()) / 1e6);
+  }
 
   // Reports are written atomically with the same bounded retry as work
   // units; an injected report-write fault on attempt 0 must therefore not

@@ -1,0 +1,200 @@
+// link_loadgen — open/closed-loop load generator for the link server.
+//
+// Drives a serve::LinkServer with synthetic traffic and prints the serving
+// telemetry. Two loops:
+//
+//   --mode=closed (default): --clients threads each submit one request and
+//   wait for its completion before the next — classic closed-loop, measures
+//   latency under a fixed concurrency level. Offered load adapts to service
+//   rate, so nothing is ever shed.
+//
+//   --mode=open: one thread submits on a fixed schedule (--rate requests/s)
+//   regardless of completions — open-loop, the regime where back-pressure is
+//   visible. Pair with --admission=reject to measure shed load, or the
+//   default blocking admission to measure how far latency degrades.
+//
+// Requests are drawn from the same deterministic trace synthesis as
+// link_server --synth, so the workload (not its timing) is reproducible.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve_cli.hpp"
+#include "core/paper_encoders.hpp"
+#include "engine/report.hpp"
+#include "serve/telemetry.hpp"
+#include "util/expect.hpp"
+
+namespace sfqecc {
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: link_loadgen [flags]\n%s"
+               "  --mode=open|closed / --clients=N / --rate=RPS\n"
+               "  --requests=N / --trace-seed=N / --telemetry=PATH\n",
+               cli::ServeFlags::help());
+  return 2;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Closed loop: each client owns a contiguous share of the trace and keeps
+// exactly one request in flight.
+void run_closed(serve::LinkServer& server,
+                const std::vector<serve::TraceRequest>& trace,
+                std::size_t clients) {
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  const std::size_t share = (trace.size() + clients - 1) / clients;
+  for (std::size_t client = 0; client < clients; ++client) {
+    const std::size_t begin = client * share;
+    const std::size_t end = std::min(trace.size(), begin + share);
+    if (begin >= end) break;
+    pool.emplace_back([&server, &trace, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) {
+        serve::Completion completion;
+        const bool admitted = server.submit(
+            {trace[i].scheme, trace[i].chip, trace[i].message}, &completion);
+        expects(admitted, "closed-loop submit rejected (blocking admission)");
+        completion.wait();
+      }
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+}
+
+// Open loop: paced submission from one thread; completions are only awaited
+// at the end. Under --admission=reject a full queue drops the request (the
+// server counts it), which is the measurement.
+void run_open(serve::LinkServer& server,
+              const std::vector<serve::TraceRequest>& trace, double rate_rps) {
+  std::vector<std::unique_ptr<serve::Completion>> inflight;
+  inflight.reserve(trace.size());
+  const double period_ns = 1e9 / rate_rps;
+  const std::uint64_t start = now_ns();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const std::uint64_t due =
+        start + static_cast<std::uint64_t>(period_ns * static_cast<double>(i));
+    while (now_ns() < due) std::this_thread::yield();
+    auto completion = std::make_unique<serve::Completion>();
+    if (server.submit({trace[i].scheme, trace[i].chip, trace[i].message},
+                      completion.get()))
+      inflight.push_back(std::move(completion));
+  }
+  for (const auto& completion : inflight) completion->wait();
+}
+
+int run(int argc, char** argv) {
+  cli::set_program("link_loadgen");
+  cli::ServeFlags serve_flags;
+  bool open_loop = false;
+  std::size_t clients = 4;
+  double rate_rps = 2000.0;
+  std::size_t requests = 2000;
+  std::size_t trace_seed = 1;
+  std::string telemetry_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    std::size_t at = 0;
+    const std::string arg = argv[i];
+    if (serve_flags.consume(argv[i])) {
+    } else if (cli::match_flag(argv[i], "--mode", value, at)) {
+      if (value == "open")
+        open_loop = true;
+      else if (value == "closed")
+        open_loop = false;
+      else
+        cli::fail_at(arg, at, "--mode takes open or closed");
+    } else if (cli::match_flag(argv[i], "--clients", value, at)) {
+      clients = cli::parse_size(arg, at, value);
+      if (clients == 0) cli::fail_at(arg, at, "need at least one client");
+    } else if (cli::match_flag(argv[i], "--rate", value, at)) {
+      const std::vector<double> values = cli::parse_doubles(arg, at, value);
+      if (values.size() != 1 || values[0] <= 0.0)
+        cli::fail_at(arg, at, "--rate takes one positive value");
+      rate_rps = values[0];
+    } else if (cli::match_flag(argv[i], "--requests", value, at)) {
+      requests = cli::parse_size(arg, at, value);
+    } else if (cli::match_flag(argv[i], "--trace-seed", value, at)) {
+      trace_seed = cli::parse_size(arg, at, value);
+    } else if (cli::match_flag(argv[i], "--telemetry", value, at)) {
+      telemetry_path = value;
+    } else {
+      return usage();
+    }
+  }
+
+  const circuit::CellLibrary& library = circuit::coldflux_library();
+  std::vector<core::Scheme> schemes = serve_flags.schemes(library);
+  serve::LinkServerConfig config = serve_flags.config();
+  // The loadgen measures the serving window, not construction: start the
+  // workers explicitly once the trace is ready.
+  config.start_workers = false;
+
+  const std::vector<serve::TraceRequest> trace = serve::synthesize_trace(
+      requests, schemes.size(), config.chips_per_scheme, trace_seed);
+
+  serve::LinkServer server(std::move(schemes), library, config);
+  server.start();
+  if (open_loop)
+    run_open(server, trace, rate_rps);
+  else
+    run_closed(server, trace, clients);
+  server.shutdown();
+
+  const serve::ServerTelemetry telemetry = server.telemetry();
+  std::uint64_t served = 0;
+  for (const serve::SchemeTelemetry& scheme : telemetry.schemes)
+    served += scheme.requests();
+  if (open_loop)
+    std::printf("open loop: %.0f rps offered, ", rate_rps);
+  else
+    std::printf("closed loop: %zu client(s), ", clients);
+  std::printf("%llu/%zu served, %llu rejected, %.3f s wall (%.0f rps)\n",
+              static_cast<unsigned long long>(served), trace.size(),
+              static_cast<unsigned long long>(telemetry.queue.rejected),
+              telemetry.wall_seconds,
+              telemetry.wall_seconds > 0.0
+                  ? static_cast<double>(served) / telemetry.wall_seconds
+                  : 0.0);
+  for (const serve::SchemeTelemetry& scheme : telemetry.schemes)
+    std::printf(
+        "  %-14s %7llu req (%llu sliced, %llu event)  p50 %8llu ns  "
+        "p99 %8llu ns  p999 %8llu ns\n",
+        scheme.scheme.c_str(), static_cast<unsigned long long>(scheme.requests()),
+        static_cast<unsigned long long>(scheme.sliced_requests),
+        static_cast<unsigned long long>(scheme.event_requests),
+        static_cast<unsigned long long>(scheme.latency_ns.quantile(0.50)),
+        static_cast<unsigned long long>(scheme.latency_ns.quantile(0.99)),
+        static_cast<unsigned long long>(scheme.latency_ns.quantile(0.999)));
+  std::printf(
+      "  queue: depth high-water %llu / %llu, %llu blocked submit(s)\n",
+      static_cast<unsigned long long>(telemetry.queue.max_depth),
+      static_cast<unsigned long long>(telemetry.queue.capacity),
+      static_cast<unsigned long long>(telemetry.queue.blocked));
+  std::printf("  batches: %llu sliced (width p50 %llu, max %llu)\n",
+              static_cast<unsigned long long>(telemetry.batch.batches),
+              static_cast<unsigned long long>(telemetry.batch.width.quantile(0.5)),
+              static_cast<unsigned long long>(telemetry.batch.width.max()));
+
+  bool ok = true;
+  if (!telemetry_path.empty())
+    ok &= engine::write_text_file(telemetry_path,
+                                  serve::telemetry_json(telemetry));
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sfqecc
+
+int main(int argc, char** argv) { return sfqecc::run(argc, argv); }

@@ -1,0 +1,144 @@
+// link_server — online serving endpoint with deterministic replay.
+//
+// Stands up a serve::LinkServer over resolved schemes, runs a fixed request
+// trace through it (or synthesizes one), and writes the byte-comparable
+// outcome record plus the telemetry JSON. The replay contract this binary
+// exists to demonstrate: --serial executes the trace one request at a time
+// on the exact DataLink event path, and its --outcomes file is cmp-identical
+// to a served run of the same trace at ANY --workers count — batching,
+// coalescing and queue order change latency, never bytes. CI's serving
+// smoke drives exactly that comparison.
+//
+// Usage:
+//   link_server [server flags] [trace flags]
+//
+// Trace flags:
+//   --synth=N              synthesize N requests            (default 256)
+//   --trace-seed=N         seed of the synthesized trace    (default 1)
+//   --trace=PATH           read the trace from PATH instead
+//   --save-trace=PATH      write the trace actually used
+//   --serial               serial oracle instead of the server
+//   --outcomes=PATH        write the byte-comparable outcome record
+//   --telemetry=PATH       write the telemetry JSON (server mode only)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve_cli.hpp"
+#include "core/paper_encoders.hpp"
+#include "engine/report.hpp"
+#include "serve/telemetry.hpp"
+#include "util/expect.hpp"
+
+namespace sfqecc {
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: link_server [flags]\n%s"
+               "  --synth=N / --trace-seed=N / --trace=PATH / --save-trace=PATH\n"
+               "  --serial / --outcomes=PATH / --telemetry=PATH\n",
+               cli::ServeFlags::help());
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  expects(in.good(), "cannot open trace file");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int run(int argc, char** argv) {
+  cli::set_program("link_server");
+  cli::ServeFlags serve_flags;
+  std::size_t synth = 256;
+  std::size_t trace_seed = 1;
+  std::string trace_path, save_trace_path, outcomes_path, telemetry_path;
+  bool serial = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    std::size_t at = 0;
+    const std::string arg = argv[i];
+    if (serve_flags.consume(argv[i])) {
+    } else if (cli::match_flag(argv[i], "--synth", value, at)) {
+      synth = cli::parse_size(arg, at, value);
+    } else if (cli::match_flag(argv[i], "--trace-seed", value, at)) {
+      trace_seed = cli::parse_size(arg, at, value);
+    } else if (cli::match_flag(argv[i], "--trace", value, at)) {
+      trace_path = value;
+    } else if (cli::match_flag(argv[i], "--save-trace", value, at)) {
+      save_trace_path = value;
+    } else if (std::strcmp(argv[i], "--serial") == 0) {
+      serial = true;
+    } else if (cli::match_flag(argv[i], "--outcomes", value, at)) {
+      outcomes_path = value;
+    } else if (cli::match_flag(argv[i], "--telemetry", value, at)) {
+      telemetry_path = value;
+    } else {
+      return usage();
+    }
+  }
+
+  const circuit::CellLibrary& library = circuit::coldflux_library();
+  std::vector<core::Scheme> schemes = serve_flags.schemes(library);
+  const serve::LinkServerConfig& config = serve_flags.config();
+
+  const std::vector<serve::TraceRequest> trace =
+      trace_path.empty()
+          ? serve::synthesize_trace(synth, schemes.size(),
+                                    config.chips_per_scheme, trace_seed)
+          : serve::parse_trace(read_file(trace_path));
+  for (const serve::TraceRequest& request : trace) {
+    expects(request.scheme < schemes.size(), "trace scheme out of range");
+    expects(request.chip < config.chips_per_scheme, "trace chip out of range");
+  }
+  bool ok = true;
+  if (!save_trace_path.empty())
+    ok &= engine::write_text_file(save_trace_path, serve::trace_text(trace));
+
+  std::vector<serve::Response> responses;
+  if (serial) {
+    responses = serve::run_trace_serial(schemes, library, config, trace);
+    std::printf("serial: %zu request(s), %zu scheme(s)\n", trace.size(),
+                schemes.size());
+  } else {
+    serve::LinkServer server(std::move(schemes), library, config);
+    responses = serve::run_trace_served(server, trace);
+    server.shutdown();
+    const serve::ServerTelemetry telemetry = server.telemetry();
+    std::printf("served: %zu request(s), %zu worker(s), %.3f s wall\n",
+                trace.size(), telemetry.workers, telemetry.wall_seconds);
+    for (const serve::SchemeTelemetry& scheme : telemetry.schemes)
+      std::printf(
+          "  %-14s %7llu req (%llu sliced, %llu event)  p50 %8llu ns  "
+          "p99 %8llu ns  p999 %8llu ns\n",
+          scheme.scheme.c_str(), static_cast<unsigned long long>(scheme.requests()),
+          static_cast<unsigned long long>(scheme.sliced_requests),
+          static_cast<unsigned long long>(scheme.event_requests),
+          static_cast<unsigned long long>(scheme.latency_ns.quantile(0.50)),
+          static_cast<unsigned long long>(scheme.latency_ns.quantile(0.99)),
+          static_cast<unsigned long long>(scheme.latency_ns.quantile(0.999)));
+    std::printf("  batches: %llu sliced (width p50 %llu, max %llu)\n",
+                static_cast<unsigned long long>(telemetry.batch.batches),
+                static_cast<unsigned long long>(telemetry.batch.width.quantile(0.5)),
+                static_cast<unsigned long long>(telemetry.batch.width.max()));
+    if (!telemetry_path.empty())
+      ok &= engine::write_text_file(telemetry_path,
+                                    serve::telemetry_json(telemetry));
+  }
+  if (!outcomes_path.empty())
+    ok &= engine::write_text_file(outcomes_path,
+                                  serve::outcomes_text(trace, responses));
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sfqecc
+
+int main(int argc, char** argv) { return sfqecc::run(argc, argv); }

@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "bench_to_json.hpp"
@@ -351,6 +352,106 @@ void BM_MonteCarloChipSliced(benchmark::State& state) {
 }
 BENCHMARK(BM_MonteCarloChipSliced);
 
+void BM_MpmcRingThroughput(benchmark::State& state, bool lock_free) {
+  // Push+pop round-trips through the server's queue under real contention
+  // (every benchmark thread is both producer and consumer). The ring and the
+  // mutex+cv fallback run the identical loop, so their two records keep the
+  // lock-free advantage a measured number.
+  static std::unique_ptr<serve::ServeQueue<std::uint64_t>> queue;
+  if (state.thread_index() == 0)
+    queue = std::make_unique<serve::ServeQueue<std::uint64_t>>(1024, lock_free);
+  for (auto _ : state) {
+    while (!queue->try_push(static_cast<std::uint64_t>(state.thread_index()))) {
+    }
+    std::uint64_t out;
+    while (!queue->try_pop(out)) {
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) queue.reset();
+}
+BENCHMARK_CAPTURE(BM_MpmcRingThroughput, ring, true)->Threads(4)->UseRealTime();
+BENCHMARK_CAPTURE(BM_MpmcRingThroughput, mutex, false)->Threads(4)->UseRealTime();
+
+namespace served {
+
+std::vector<core::Scheme> schemes() {
+  std::vector<core::Scheme> out;
+  out.push_back(core::SchemeCatalog::builtin().resolve("hamming:7,4", lib()));
+  return out;
+}
+
+}  // namespace served
+
+void BM_ServedFrameLatency(benchmark::State& state) {
+  // One request's full round trip through the online server: submit, queue,
+  // worker wake-up, frame, completion release. BM_DirectFrameLatency is the
+  // same frame without the serving machinery; the gap between the two
+  // records is the serving overhead per request.
+  serve::LinkServerConfig config;
+  serve::LinkServer server(served::schemes(), lib(), config);
+  util::Rng rng(11);
+  for (auto _ : state) {
+    serve::Completion completion;
+    const bool admitted = server.submit({0, 0, rng.next_u64()}, &completion);
+    completion.wait();
+    benchmark::DoNotOptimize(admitted);
+  }
+  server.shutdown();
+}
+BENCHMARK(BM_ServedFrameLatency)->UseRealTime();
+
+void BM_DirectFrameLatency(benchmark::State& state) {
+  // Direct-call baseline of BM_ServedFrameLatency: identical scheme, link
+  // config and per-request substream discipline, no queue or worker between
+  // the caller and the frame.
+  const std::vector<core::Scheme> schemes = served::schemes();
+  const link::SchemeSpec spec = schemes[0].spec();
+  const serve::LinkServerConfig config;
+  link::DataLink dlink(*spec.encoder, lib(), spec.reference, spec.decoder,
+                       config.link);
+  util::Rng rng(11);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    dlink.reseed_noise(util::substream_seed(config.seed ^ serve::kServeNoiseDomain, id));
+    util::Rng chan(config.seed ^ serve::kServeChannelDomain, id);
+    const code::BitVec m = code::BitVec::from_u64(4, rng.next_u64() & 0xF);
+    benchmark::DoNotOptimize(dlink.send(m, chan));
+    ++id;
+  }
+}
+BENCHMARK(BM_DirectFrameLatency);
+
+void served_trace(benchmark::State& state, bool coalesce) {
+  // The same 1024-request single-scheme trace served with lane coalescing on
+  // vs off (every chip is gate-eligible at zero spread). The records differ
+  // only in how the worker executes its backlog — per-request DataLink
+  // frames vs up-to-64-lane SlicedLink batches — so their ratio is the
+  // coalesced-batch speedup of the serving path; main() attaches it to the
+  // coalesced record as `serve_coalesce_speedup`.
+  constexpr std::size_t kRequests = 1024;
+  serve::LinkServerConfig config;
+  config.coalesce = coalesce;
+  config.start_workers = false;  // first trace runs as one coalesced backlog
+  config.queue_capacity = kRequests;
+  serve::LinkServer server(served::schemes(), lib(), config);
+  const std::vector<serve::TraceRequest> trace =
+      serve::synthesize_trace(kRequests, 1, config.chips_per_scheme, 1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(serve::run_trace_served(server, trace));
+  server.shutdown();
+  state.counters["frames_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kRequests,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_ServedTraceCoalesced(benchmark::State& state) { served_trace(state, true); }
+BENCHMARK(BM_ServedTraceCoalesced)->UseRealTime();
+
+void BM_ServedTraceEvent(benchmark::State& state) { served_trace(state, false); }
+BENCHMARK(BM_ServedTraceEvent)->UseRealTime();
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -383,6 +484,22 @@ int main(int argc, char** argv) {
     if (event_rec && sliced_rec && sliced_rec->cpu_time_ns > 0.0)
       sliced_rec->counters.push_back(sfqecc::bench::BenchCounter{
           "event_vs_sliced", event_rec->cpu_time_ns / sliced_rec->cpu_time_ns});
+  }
+  // Same pattern for the serving path: the coalesced-batch speedup (event
+  // path vs sliced batches over the identical served trace) rides on the
+  // coalesced record, real time because the work happens on the worker
+  // thread.
+  {
+    const sfqecc::bench::BenchRecord* event_rec = nullptr;
+    sfqecc::bench::BenchRecord* coalesced_rec = nullptr;
+    for (sfqecc::bench::BenchRecord& rec : recorder.mutable_records()) {
+      if (rec.name.rfind("BM_ServedTraceEvent", 0) == 0) event_rec = &rec;
+      if (rec.name.rfind("BM_ServedTraceCoalesced", 0) == 0) coalesced_rec = &rec;
+    }
+    if (event_rec && coalesced_rec && coalesced_rec->real_time_ns > 0.0)
+      coalesced_rec->counters.push_back(sfqecc::bench::BenchCounter{
+          "serve_coalesce_speedup",
+          event_rec->real_time_ns / coalesced_rec->real_time_ns});
   }
   return recorder.write() ? 0 : 1;
 }

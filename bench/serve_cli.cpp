@@ -1,0 +1,89 @@
+#include "serve_cli.hpp"
+
+#include <cstring>
+
+namespace sfqecc::cli {
+
+bool ServeFlags::consume(const char* argv_i) {
+  std::string value;
+  std::size_t at = 0;
+  const std::string arg = argv_i;
+  if (match_flag(argv_i, "--schemes", value, at)) {
+    schemes_arg_ = arg;
+    scheme_descriptors_.clear();
+    scheme_offsets_.clear();
+    for (const Token& token : split_tokens(arg, at, value)) {
+      // Descriptor parameters are comma-separated too ("hamming:7,4"): a
+      // token starting with a digit continues the previous descriptor —
+      // the same grammar CampaignFlags::consume accepts.
+      if (!scheme_descriptors_.empty() && token.text[0] >= '0' &&
+          token.text[0] <= '9') {
+        scheme_descriptors_.back() += ',' + token.text;
+        continue;
+      }
+      scheme_descriptors_.push_back(token.text);
+      scheme_offsets_.push_back(token.offset);
+    }
+  } else if (match_flag(argv_i, "--chips", value, at)) {
+    config_.chips_per_scheme = parse_size(arg, at, value);
+    if (config_.chips_per_scheme == 0) fail_at(arg, at, "need at least one chip");
+  } else if (match_flag(argv_i, "--spread", value, at)) {
+    const std::vector<double> values = parse_doubles(arg, at, value);
+    if (values.size() != 1) fail_at(arg, at, "--spread takes one value");
+    config_.spread.fraction = values[0] / 100.0;  // percent, like --spreads
+  } else if (match_flag(argv_i, "--seed", value, at)) {
+    config_.seed = parse_size(arg, at, value);
+  } else if (match_flag(argv_i, "--noise", value, at)) {
+    const std::vector<double> values = parse_doubles(arg, at, value);
+    if (values.size() != 1) fail_at(arg, at, "--noise takes one value");
+    config_.link.channel.noise_sigma_mv = values[0];
+  } else if (match_flag(argv_i, "--jitter", value, at)) {
+    const std::vector<double> values = parse_doubles(arg, at, value);
+    if (values.size() != 1) fail_at(arg, at, "--jitter takes one value");
+    config_.link.sim.jitter_sigma_ps = values[0];
+  } else if (match_flag(argv_i, "--workers", value, at)) {
+    config_.workers = parse_size(arg, at, value);
+    if (config_.workers == 0) fail_at(arg, at, "need at least one worker");
+  } else if (match_flag(argv_i, "--queue", value, at)) {
+    config_.queue_capacity = parse_size(arg, at, value);
+    if (config_.queue_capacity == 0) fail_at(arg, at, "queue capacity must be >= 1");
+  } else if (std::strcmp(argv_i, "--mutex-queue") == 0) {
+    config_.lock_free_queue = false;
+  } else if (match_flag(argv_i, "--admission", value, at)) {
+    if (value == "block")
+      config_.admission = serve::AdmissionPolicy::kBlock;
+    else if (value == "reject")
+      config_.admission = serve::AdmissionPolicy::kReject;
+    else
+      fail_at(arg, at, "--admission takes block or reject");
+  } else if (std::strcmp(argv_i, "--no-coalesce") == 0) {
+    config_.coalesce = false;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<core::Scheme> ServeFlags::schemes(
+    const circuit::CellLibrary& library) const {
+  if (scheme_descriptors_.empty())
+    return resolve_schemes("", {"hamming:7,4", "rm:1,3"}, {0, 0}, library);
+  return resolve_schemes(schemes_arg_, scheme_descriptors_, scheme_offsets_, library);
+}
+
+const char* ServeFlags::help() {
+  return
+      "  --schemes=A,B          scheme descriptors  (default hamming:7,4,rm:1,3)\n"
+      "  --chips=N              resident chips per scheme            (default 4)\n"
+      "  --spread=PCT           fabrication spread percent           (default 0)\n"
+      "  --seed=N               fabrication + request-substream seed\n"
+      "  --noise=MV             channel noise sigma in mV\n"
+      "  --jitter=PS            simulator jitter sigma (disables coalescing's gate)\n"
+      "  --workers=N            worker threads                       (default 1)\n"
+      "  --queue=N              queue capacity (rounded to power of 2, default 1024)\n"
+      "  --mutex-queue          mutex+cv queue instead of the lock-free ring\n"
+      "  --admission=POLICY     block | reject                   (default block)\n"
+      "  --no-coalesce          serve every request on the event path\n";
+}
+
+}  // namespace sfqecc::cli

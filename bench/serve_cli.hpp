@@ -1,0 +1,44 @@
+// Shared CLI layer of the serving endpoints (link_server and link_loadgen).
+//
+// Both binaries stand up the same serve::LinkServer, so the server-defining
+// flag set — schemes, resident chips, fabrication spread/seed, link noise,
+// queue shape, admission policy, worker count — parses through this one
+// translation unit, exactly as campaign_cli.hpp does for the campaign
+// endpoints: give the server and the load generator the same flags and they
+// build the same server by construction.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "campaign_cli.hpp"
+#include "serve/link_server.hpp"
+
+namespace sfqecc::cli {
+
+/// The server-defining flag set. Drivers call consume() for each argv entry
+/// (before their own flags) and schemes() once after the loop.
+class ServeFlags {
+ public:
+  /// Returns true when `argv_i` was recognized and consumed.
+  bool consume(const char* argv_i);
+
+  /// Resolves the --schemes descriptors (default: the hamming:7,4 + rm:1,3
+  /// pair the serving smoke drives) against the builtin catalog.
+  std::vector<core::Scheme> schemes(const circuit::CellLibrary& library) const;
+
+  const serve::LinkServerConfig& config() const noexcept { return config_; }
+  serve::LinkServerConfig& config() noexcept { return config_; }
+
+  /// Help text block for the shared flags (embedded in each driver's usage).
+  static const char* help();
+
+ private:
+  serve::LinkServerConfig config_;
+  std::vector<std::string> scheme_descriptors_;
+  std::string schemes_arg_;
+  std::vector<std::size_t> scheme_offsets_;
+};
+
+}  // namespace sfqecc::cli

@@ -1,5 +1,6 @@
 #include "engine/campaign.hpp"
 
+#include <chrono>
 #include <memory>
 #include <utility>
 
@@ -82,6 +83,9 @@ CampaignResult run_cells(const CampaignSpec& spec, const std::vector<CampaignCel
     // scatter copies it out, so one buffer per worker amortizes to zero
     // allocations once the vectors reach shard size.
     std::vector<UnitResult> scratch(exec_options.workers);
+    // Per-worker wall-time histograms, merged below. Diagnostics only (see
+    // CampaignResult::unit_wall_ns) — never reaches the byte-stable reports.
+    std::vector<util::LatencyHistogram> unit_wall(exec_options.workers);
     const FaultInjector* injector = options.fault_injector;
 
     const ScheduleOutcome outcome = run_units(
@@ -92,7 +96,16 @@ CampaignResult run_cells(const CampaignSpec& spec, const std::vector<CampaignCel
           // across resumes with different completed prefixes.
           const std::size_t unit_index = pending[pending_index];
           UnitResult& record = scratch[worker_index];
+          // Unit wall time is diagnostic telemetry, not a result input.
+          // detlint:allow(report-clock)
+          const auto unit_start = std::chrono::steady_clock::now();
           executor.execute(unit_index, worker_index, attempt, record);
+          // detlint:allow(report-clock)
+          const auto unit_end = std::chrono::steady_clock::now();
+          unit_wall[worker_index].record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(unit_end -
+                                                                   unit_start)
+                  .count()));
           // Record before scatter: if the checkpoint append fails under
           // IoErrorPolicy::kFail the thrown IoError makes this attempt fail
           // before the board sees the unit, so a unit that ultimately
@@ -121,6 +134,8 @@ CampaignResult run_cells(const CampaignSpec& spec, const std::vector<CampaignCel
           UnitFailureInfo{unit_index, units[unit_index], failure.attempts, failure.error});
     }
     result.artifact_cache = executor.cache_stats();
+    for (const util::LatencyHistogram& histogram : unit_wall)
+      result.unit_wall_ns.merge(histogram);
   }
   if (writer) result.checkpoint_io_errors = writer->io_errors();
 

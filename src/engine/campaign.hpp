@@ -28,6 +28,7 @@
 #include "engine/kernel.hpp"
 #include "link/monte_carlo.hpp"
 #include "util/cdf.hpp"
+#include "util/latency_histogram.hpp"
 
 namespace sfqecc::engine {
 
@@ -124,6 +125,11 @@ struct CampaignResult {
   /// only: hit/miss totals are scheduling-order dependent under concurrent
   /// workers, so reporters keep them out of the byte-stable reports.
   ArtifactCacheStats artifact_cache;
+  /// Wall time per executed unit (nanoseconds), merged across workers.
+  /// Diagnostics only, like the cache stats: wall times are machine- and
+  /// scheduling-dependent by nature, so reporters must keep this out of the
+  /// byte-stable reports (console summaries and side files only).
+  util::LatencyHistogram unit_wall_ns;
   bool complete() const noexcept {
     return units_executed + units_resumed == units_total;
   }

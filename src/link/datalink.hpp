@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <vector>
 
 #include "circuit/encoder_builder.hpp"
 #include "code/decoder.hpp"
@@ -79,6 +80,10 @@ class DataLink {
            const DataLinkConfig& config);
 
   /// Installs a fabricated chip's fault states (clears previous ones).
+  /// Reinstalling the chip whose fault states are already resident is a
+  /// recognized no-op that preserves the clock snapshot — the link server
+  /// reinstalls per request, the campaign kernel per chip, and both see
+  /// identical results either way.
   void install_chip(const ppv::ChipSample& chip);
 
   /// Reseeds the simulator's jitter/fault noise stream; call per chip for
@@ -105,6 +110,10 @@ class DataLink {
   sim::EventSimulator::QueueSnapshot clock_snapshot_;
   bool clock_snapshot_valid_ = false;
   bool clock_snapshot_usable_ = false;  ///< message phase clear of clock edges
+  // Fault states currently installed, kept to recognize a redundant
+  // install_chip (same chip re-installed) without resetting the simulator.
+  std::vector<sim::CellFault> installed_faults_;
+  bool installed_faults_valid_ = false;
 };
 
 /// Bit-sliced data link: evaluates the *circuit* half of one frame for up to

@@ -1,0 +1,472 @@
+#include "serve/link_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "engine/kernel.hpp"
+#include "engine/scheme_artifacts.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace sfqecc::serve {
+namespace {
+
+/// Coalescing pulls at most one slice worth of requests off the queue per
+/// dispatch, and — exactly as engine::unit_executor's kAuto mode — a lone
+/// eligible request runs on the event path: a one-lane batch has no
+/// word-level parallelism to win.
+constexpr std::size_t kMinSliceLanes = 2;
+
+/// Serving wall-clock for latency telemetry and throughput denominators
+/// only; request outcomes never read it (the determinism contract).
+/// detlint:allow(report-clock)
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t mask_message(std::uint64_t message, std::size_t k) {
+  return k >= 64 ? message : message & ((std::uint64_t{1} << k) - 1);
+}
+
+Response response_from(const link::FrameResult& frame) {
+  Response response;
+  response.delivered = frame.delivered_message.to_u64();
+  response.flagged = frame.flagged;
+  response.message_error = frame.message_error;
+  response.channel_bit_errors =
+      static_cast<std::uint32_t>(frame.channel_bit_errors);
+  return response;
+}
+
+}  // namespace
+
+/// Per-worker scratch: one lazily built DataLink/SlicedLink per scheme over
+/// the server's leased SimTables (the server's link config never changes, so
+/// unlike unit_executor there is no per-cell invalidation), the worker's own
+/// telemetry, and reusable batch-grouping buffers.
+struct LinkServer::WorkerState {
+  struct SchemeSlot {
+    std::unique_ptr<link::DataLink> link;
+    std::unique_ptr<link::SlicedLink> sliced;
+  };
+  std::vector<SchemeSlot> slots;  ///< indexed by scheme
+  WorkerTelemetry telemetry;
+
+  std::vector<QueuedRequest> batch;
+  std::vector<std::vector<const QueuedRequest*>> by_scheme;
+  std::vector<std::size_t> touched;  ///< schemes present in the current batch
+  std::vector<const QueuedRequest*> eligible;
+  std::vector<code::BitVec> messages;
+  std::vector<code::BitVec> transmitted;
+};
+
+LinkServer::LinkServer(std::vector<core::Scheme> schemes,
+                       const circuit::CellLibrary& library,
+                       const LinkServerConfig& config)
+    : schemes_(std::move(schemes)), library_(library), config_(config) {
+  expects(!schemes_.empty(), "link server needs at least one scheme");
+  expects(config_.chips_per_scheme >= 1, "link server needs at least one chip");
+  expects(config_.queue_capacity >= 1, "link server queue capacity must be >= 1");
+  for (const core::Scheme& scheme : schemes_)
+    expects(scheme.encoder != nullptr, "link server scheme without encoder");
+
+  specs_ = core::scheme_specs(schemes_);
+  std::vector<engine::SchemeArtifacts> artifacts =
+      engine::build_scheme_artifacts(specs_, library_);
+  tables_.reserve(artifacts.size());
+  for (engine::SchemeArtifacts& a : artifacts) tables_.push_back(std::move(a.tables));
+
+  // Resident chip fabrication: the identical kPpv substream layout the
+  // campaign kernel uses, so a server over (seed, spread, scheme list)
+  // fabricates bit-identical chips to a campaign cell with those settings.
+  chips_.resize(specs_.size());
+  sliceable_.resize(specs_.size());
+  engine::ChipTask task;
+  task.library = &library_;
+  task.spread = config_.spread;
+  task.seed = config_.seed;
+  task.chips = config_.chips_per_scheme;
+  for (std::size_t s = 0; s < specs_.size(); ++s) {
+    task.scheme = &specs_[s];
+    task.scheme_index = s;
+    chips_[s].resize(config_.chips_per_scheme);
+    sliceable_[s].resize(config_.chips_per_scheme);
+    for (std::size_t c = 0; c < config_.chips_per_scheme; ++c) {
+      task.chip = c;
+      engine::fabricate_chip(task, chips_[s][c]);
+      sliceable_[s][c] =
+          engine::chip_sliceable(chips_[s][c], config_.link.sim) ? 1 : 0;
+    }
+  }
+
+  queue_ = std::make_unique<ServeQueue<QueuedRequest>>(config_.queue_capacity,
+                                                       config_.lock_free_queue);
+  const std::size_t workers = std::max<std::size_t>(1, config_.workers);
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    auto state = std::make_unique<WorkerState>();
+    state->slots.resize(specs_.size());
+    state->telemetry.schemes.resize(specs_.size());
+    for (std::size_t s = 0; s < specs_.size(); ++s)
+      state->telemetry.schemes[s].scheme = specs_[s].name;
+    state->by_scheme.resize(specs_.size());
+    workers_.push_back(std::move(state));
+  }
+  start_ns_ = now_ns();
+  if (config_.start_workers) start();
+}
+
+void LinkServer::start() {
+  if (!threads_.empty()) return;
+  start_ns_ = now_ns();  // measure serving from here, not from construction
+  threads_.reserve(workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w)
+    threads_.emplace_back([this, w] { worker_main(w); });
+}
+
+LinkServer::~LinkServer() { shutdown(); }
+
+std::size_t LinkServer::message_bits(std::size_t scheme) const {
+  expects(scheme < specs_.size(), "scheme index out of range");
+  return specs_[scheme].encoder->message_inputs.size();
+}
+
+bool LinkServer::chip_sliceable(std::size_t scheme, std::size_t chip) const {
+  expects(scheme < sliceable_.size() && chip < sliceable_[scheme].size(),
+          "chip index out of range");
+  return sliceable_[scheme][chip] != 0;
+}
+
+bool LinkServer::submit(const Request& request, Completion* completion) {
+  expects(completion != nullptr, "submit without a completion slot");
+  expects(request.scheme < specs_.size(), "request scheme out of range");
+  expects(request.chip < config_.chips_per_scheme, "request chip out of range");
+  if (!accepting_.load(std::memory_order_acquire)) return false;
+
+  QueuedRequest queued;
+  queued.request = request;
+  queued.completion = completion;
+  queued.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  queued.enqueue_ns = now_ns();
+
+  // Count the admission before the push so drain() can never observe a
+  // published-but-uncounted request; a failed admission un-counts itself.
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  bool counted_blocked = false;
+  while (!queue_->try_push(std::move(queued))) {
+    if (config_.admission == AdmissionPolicy::kReject) {
+      accepted_.fetch_sub(1, std::memory_order_relaxed);
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (!counted_blocked) {
+      blocked_.fetch_add(1, std::memory_order_relaxed);
+      counted_blocked = true;
+    }
+    if (!accepting_.load(std::memory_order_acquire)) {
+      accepted_.fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+    std::this_thread::yield();
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const auto depth = static_cast<std::uint64_t>(queue_->approx_size());
+  std::uint64_t seen = max_depth_.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !max_depth_.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void LinkServer::drain() const {
+  while (completed_.load(std::memory_order_acquire) <
+         accepted_.load(std::memory_order_acquire))
+    std::this_thread::yield();
+}
+
+void LinkServer::shutdown() {
+  // Callers must not race submit() against shutdown(): admission is turned
+  // off first, but a submit that passed its accepting_ check concurrently
+  // with this store may still enqueue after the drain below.
+  accepting_.store(false, std::memory_order_release);
+  start();  // a never-started pool must still serve its backlog to drain
+  drain();
+  terminate_.store(true, std::memory_order_release);
+  for (std::thread& thread : threads_)
+    if (thread.joinable()) thread.join();
+  std::uint64_t expected = 0;
+  stop_ns_.compare_exchange_strong(expected, now_ns(), std::memory_order_relaxed);
+}
+
+void LinkServer::worker_main(std::size_t worker_index) {
+  WorkerState& worker = *workers_[worker_index];
+  for (;;) {
+    worker.batch.clear();
+    QueuedRequest queued;
+    if (!queue_->try_pop(queued)) {
+      if (terminate_.load(std::memory_order_acquire)) break;
+      std::this_thread::yield();
+      continue;
+    }
+    worker.batch.push_back(queued);
+    // Opportunistic coalescing: take whatever else is already queued, up to
+    // one full slice. Never waits — an idle queue serves the request alone
+    // rather than trading latency for batch width.
+    if (config_.coalesce) {
+      while (worker.batch.size() < link::SlicedLink::kMaxLanes &&
+             queue_->try_pop(queued))
+        worker.batch.push_back(queued);
+    }
+
+    // Group by scheme, preserving queue order within each scheme.
+    for (const std::size_t s : worker.touched) worker.by_scheme[s].clear();
+    worker.touched.clear();
+    for (const QueuedRequest& q : worker.batch) {
+      if (worker.by_scheme[q.request.scheme].empty())
+        worker.touched.push_back(q.request.scheme);
+      worker.by_scheme[q.request.scheme].push_back(&q);
+    }
+
+    for (const std::size_t s : worker.touched) {
+      // Split the scheme's group: gate-eligible requests coalesce into a
+      // sliced batch (when wide enough to win), the rest replay the exact
+      // event path one by one — the same policy as unit_executor's kAuto.
+      worker.eligible.clear();
+      for (const QueuedRequest* q : worker.by_scheme[s]) {
+        if (config_.coalesce && sliceable_[s][q->request.chip] != 0)
+          worker.eligible.push_back(q);
+        else
+          serve_event(worker, *q);
+      }
+      if (worker.eligible.empty()) continue;
+      if (worker.eligible.size() < kMinSliceLanes) {
+        for (const QueuedRequest* q : worker.eligible) serve_event(worker, *q);
+        continue;
+      }
+      serve_sliced(worker, s, worker.eligible.data(), worker.eligible.size());
+    }
+  }
+}
+
+void LinkServer::serve_event(WorkerState& worker, const QueuedRequest& queued) {
+  const std::size_t s = queued.request.scheme;
+  WorkerState::SchemeSlot& slot = worker.slots[s];
+  if (!slot.link)
+    slot.link = std::make_unique<link::DataLink>(*specs_[s].encoder, tables_[s],
+                                                 specs_[s].reference,
+                                                 specs_[s].decoder, config_.link);
+  // Install + reseed per request: outcomes must be a function of the request
+  // id alone, whatever this worker served before (install_chip skips the
+  // simulator reset when the chip is already resident).
+  slot.link->install_chip(chips_[s][queued.request.chip]);
+  slot.link->reseed_noise(
+      util::substream_seed(config_.seed ^ kServeNoiseDomain, queued.id));
+  util::Rng chan_rng(config_.seed ^ kServeChannelDomain, queued.id);
+  const std::size_t k = specs_[s].encoder->message_inputs.size();
+  const link::FrameResult frame = slot.link->send(
+      code::BitVec::from_u64(k, mask_message(queued.request.message, k)), chan_rng);
+  complete(worker, queued, frame, /*sliced=*/false);
+}
+
+void LinkServer::serve_sliced(WorkerState& worker, std::size_t scheme,
+                              const QueuedRequest* const* queued,
+                              std::size_t lanes) {
+  WorkerState::SchemeSlot& slot = worker.slots[scheme];
+  if (!slot.sliced)
+    slot.sliced = std::make_unique<link::SlicedLink>(
+        *specs_[scheme].encoder, tables_[scheme], specs_[scheme].reference,
+        specs_[scheme].decoder, config_.link);
+  const std::size_t k = specs_[scheme].encoder->message_inputs.size();
+  worker.messages.resize(lanes);
+  worker.transmitted.resize(lanes);
+  for (std::size_t l = 0; l < lanes; ++l)
+    worker.messages[l] =
+        code::BitVec::from_u64(k, mask_message(queued[l]->request.message, k));
+  // Circuit half once for all lanes; channel + decode per lane on the lane's
+  // own id substream — exactly the split simulate_chip_batch uses, so each
+  // lane's frame is bit-identical to its event-path execution.
+  slot.sliced->transmit(worker.messages.data(), lanes, worker.transmitted.data());
+  worker.telemetry.batch.batches += 1;
+  worker.telemetry.batch.width.record(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    util::Rng chan_rng(config_.seed ^ kServeChannelDomain, queued[l]->id);
+    const link::FrameResult frame =
+        slot.sliced->finish(worker.messages[l], worker.transmitted[l], chan_rng);
+    complete(worker, *queued[l], frame, /*sliced=*/true);
+  }
+}
+
+void LinkServer::complete(WorkerState& worker, const QueuedRequest& queued,
+                          const link::FrameResult& frame, bool sliced) {
+  queued.completion->response = response_from(frame);
+  queued.completion->done.store(1, std::memory_order_release);
+  SchemeTelemetry& telemetry = worker.telemetry.schemes[queued.request.scheme];
+  const std::uint64_t end_ns = now_ns();
+  telemetry.latency_ns.record(end_ns > queued.enqueue_ns
+                                  ? end_ns - queued.enqueue_ns
+                                  : 0);
+  if (sliced)
+    ++telemetry.sliced_requests;
+  else
+    ++telemetry.event_requests;
+  completed_.fetch_add(1, std::memory_order_release);
+}
+
+ServerTelemetry LinkServer::telemetry() const {
+  ServerTelemetry merged;
+  merged.workers = workers_.size();
+  merged.schemes.resize(specs_.size());
+  for (std::size_t s = 0; s < specs_.size(); ++s)
+    merged.schemes[s].scheme = specs_[s].name;
+  for (const std::unique_ptr<WorkerState>& worker : workers_) {
+    for (std::size_t s = 0; s < specs_.size(); ++s) {
+      const SchemeTelemetry& from = worker->telemetry.schemes[s];
+      merged.schemes[s].latency_ns.merge(from.latency_ns);
+      merged.schemes[s].sliced_requests += from.sliced_requests;
+      merged.schemes[s].event_requests += from.event_requests;
+    }
+    merged.batch.batches += worker->telemetry.batch.batches;
+    merged.batch.width.merge(worker->telemetry.batch.width);
+  }
+  merged.queue.capacity = queue_->capacity();
+  merged.queue.submitted = submitted_.load(std::memory_order_relaxed);
+  merged.queue.rejected = rejected_.load(std::memory_order_relaxed);
+  merged.queue.blocked = blocked_.load(std::memory_order_relaxed);
+  merged.queue.max_depth = max_depth_.load(std::memory_order_relaxed);
+  const std::uint64_t stop = stop_ns_.load(std::memory_order_relaxed);
+  const std::uint64_t end = stop != 0 ? stop : now_ns();
+  merged.wall_seconds =
+      end > start_ns_ ? static_cast<double>(end - start_ns_) / 1e9 : 0.0;
+  return merged;
+}
+
+// ---- traces & the serial oracle --------------------------------------------
+
+std::vector<TraceRequest> synthesize_trace(std::size_t count, std::size_t schemes,
+                                           std::size_t chips, std::uint64_t seed) {
+  expects(schemes >= 1 && chips >= 1, "trace needs schemes and chips");
+  util::Rng rng(seed, 0);
+  std::vector<TraceRequest> trace(count);
+  for (TraceRequest& request : trace) {
+    request.scheme = static_cast<std::size_t>(rng.below(schemes));
+    request.chip = static_cast<std::size_t>(rng.below(chips));
+    request.message = rng.next_u64();
+  }
+  return trace;
+}
+
+std::string trace_text(const std::vector<TraceRequest>& trace) {
+  std::ostringstream out;
+  out << "sfqecc-trace 1\n" << trace.size() << "\n";
+  for (const TraceRequest& request : trace)
+    out << request.scheme << " " << request.chip << " " << request.message << "\n";
+  return out.str();
+}
+
+std::vector<TraceRequest> parse_trace(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  expects(in.good() && magic == "sfqecc-trace" && version == 1,
+          "not a sfqecc-trace file");
+  std::size_t count = 0;
+  in >> count;
+  expects(!in.fail(), "trace header missing request count");
+  std::vector<TraceRequest> trace(count);
+  for (TraceRequest& request : trace) {
+    in >> request.scheme >> request.chip >> request.message;
+    expects(!in.fail(), "truncated or malformed trace line");
+  }
+  return trace;
+}
+
+std::vector<Response> run_trace_serial(const std::vector<core::Scheme>& schemes,
+                                       const circuit::CellLibrary& library,
+                                       const LinkServerConfig& config,
+                                       const std::vector<TraceRequest>& trace) {
+  const std::vector<link::SchemeSpec> specs = core::scheme_specs(schemes);
+  const std::vector<engine::SchemeArtifacts> artifacts =
+      engine::build_scheme_artifacts(specs, library);
+
+  // Fabricate the identical resident chips the server fabricates.
+  std::vector<std::vector<ppv::ChipSample>> chips(specs.size());
+  engine::ChipTask task;
+  task.library = &library;
+  task.spread = config.spread;
+  task.seed = config.seed;
+  task.chips = config.chips_per_scheme;
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    task.scheme = &specs[s];
+    task.scheme_index = s;
+    chips[s].resize(config.chips_per_scheme);
+    for (std::size_t c = 0; c < config.chips_per_scheme; ++c) {
+      task.chip = c;
+      engine::fabricate_chip(task, chips[s][c]);
+    }
+  }
+
+  std::vector<std::unique_ptr<link::DataLink>> links(specs.size());
+  std::vector<Response> responses;
+  responses.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const TraceRequest& request = trace[i];
+    expects(request.scheme < specs.size(), "trace scheme out of range");
+    expects(request.chip < config.chips_per_scheme, "trace chip out of range");
+    if (!links[request.scheme])
+      links[request.scheme] = std::make_unique<link::DataLink>(
+          *specs[request.scheme].encoder, artifacts[request.scheme].tables,
+          specs[request.scheme].reference, specs[request.scheme].decoder,
+          config.link);
+    link::DataLink& dlink = *links[request.scheme];
+    dlink.install_chip(chips[request.scheme][request.chip]);
+    dlink.reseed_noise(util::substream_seed(config.seed ^ kServeNoiseDomain, i));
+    util::Rng chan_rng(config.seed ^ kServeChannelDomain, i);
+    const std::size_t k = specs[request.scheme].encoder->message_inputs.size();
+    const link::FrameResult frame = dlink.send(
+        code::BitVec::from_u64(k, mask_message(request.message, k)), chan_rng);
+    responses.push_back(response_from(frame));
+  }
+  return responses;
+}
+
+std::vector<Response> run_trace_served(LinkServer& server,
+                                       const std::vector<TraceRequest>& trace) {
+  std::vector<Completion> completions(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    Request request;
+    request.scheme = trace[i].scheme;
+    request.chip = trace[i].chip;
+    request.message = trace[i].message;
+    expects(server.submit(request, &completions[i]),
+            "replay submission rejected (use AdmissionPolicy::kBlock)");
+  }
+  server.start();  // no-op unless the server was built paused (backlog mode)
+  server.drain();
+  std::vector<Response> responses;
+  responses.reserve(trace.size());
+  for (const Completion& completion : completions)
+    responses.push_back(completion.response);
+  return responses;
+}
+
+std::string outcomes_text(const std::vector<TraceRequest>& trace,
+                          const std::vector<Response>& responses) {
+  expects(trace.size() == responses.size(), "trace/response size mismatch");
+  std::ostringstream out;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const TraceRequest& request = trace[i];
+    const Response& response = responses[i];
+    out << i << " " << request.scheme << " " << request.chip << " "
+        << request.message << " " << response.delivered << " "
+        << (response.flagged ? 1 : 0) << " " << (response.message_error ? 1 : 0)
+        << " " << response.channel_bit_errors << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sfqecc::serve

@@ -1,0 +1,244 @@
+// Online link server: sustained-traffic serving over resident schemes.
+//
+// The batch engine answers "what is this scheme's error rate" by streaming
+// millions of Monte-Carlo frames; LinkServer answers "decode this frame,
+// now" for a live request stream, which is the regime the on-line decoding
+// literature (QECOOL, NEO-QEC) argues is the one that matters. The server
+// keeps everything heavy resident — resolved core::Schemes, fabricated
+// chips, leased sim::SimTables — so a request costs one frame, not one
+// setup. Requests enter through a bounded MPMC queue (lock-free ring by
+// default, mutex+cv behind the same interface) and are dispatched on a
+// worker pool that coalesces queued same-scheme, gate-eligible requests
+// into link::SlicedLink batches of up to 64 lanes, falling back per-request
+// to the exact DataLink event path precisely as engine::unit_executor does.
+//
+// Determinism contract: a request's decode outcome is a pure function of
+// (scheme, chip, message, request id) — the channel RNG and the simulator
+// noise reseed are derived from the id's substream, never from worker
+// identity, batch shape or arrival interleaving. Replaying a fixed trace
+// through any worker count therefore produces byte-identical outcomes to
+// serial execution (run_trace_serial below is the oracle); only latency and
+// telemetry vary. Telemetry (serve/telemetry.hpp) is first-class but
+// strictly diagnostic: latency histograms, queue pressure and batch shape
+// never feed back into results.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scheme_catalog.hpp"
+#include "link/datalink.hpp"
+#include "ppv/chip.hpp"
+#include "ppv/spread.hpp"
+#include "serve/mpmc_ring.hpp"
+#include "serve/telemetry.hpp"
+
+namespace sfqecc::serve {
+
+/// Substream domains of the serving path (disjoint from engine::Domain by
+/// value): the per-request channel stream and simulator-noise reseed are
+/// keyed by request id, which is what makes outcomes independent of
+/// batching, worker count and arrival order.
+inline constexpr std::uint64_t kServeChannelDomain = 0x53525643;  // "SRVC"
+inline constexpr std::uint64_t kServeNoiseDomain = 0x5352564e;    // "SRVN"
+
+/// What submit() does when the queue is full.
+enum class AdmissionPolicy {
+  kBlock,   ///< wait (spin/yield) for space; never sheds load
+  kReject,  ///< fail the submit immediately; caller sees back-pressure
+};
+
+struct LinkServerConfig {
+  std::size_t workers = 1;
+  std::size_t queue_capacity = 1024;  ///< rounded up to a power of two
+  bool lock_free_queue = true;        ///< MpmcRing; false = mutex+cv fallback
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  bool coalesce = true;  ///< batch gate-eligible same-scheme requests
+  /// Start the worker pool in the constructor. false = workers start at the
+  /// first start()/shutdown() call, letting callers pre-queue a backlog —
+  /// tests use this to force deterministic coalesced batches, the load
+  /// generator to exclude setup from the measured window.
+  bool start_workers = true;
+  std::size_t chips_per_scheme = 4;   ///< resident fabricated chips per scheme
+  ppv::SpreadSpec spread;             ///< fabrication spread of resident chips
+  std::uint64_t seed = 20250831;      ///< fabrication + per-request substream seed
+  /// Link config of every resident evaluator. Pulse recording defaults off,
+  /// exactly as campaign cell expansion sets it: serving has no waveform
+  /// surface, and recording would disqualify every chip from the sliced
+  /// observability gate.
+  link::DataLinkConfig link = [] {
+    link::DataLinkConfig base;
+    base.sim.record_pulses = false;
+    return base;
+  }();
+};
+
+/// One serving request: send `message` through resident chip `chip` of
+/// resident scheme `scheme`. The message is masked to the scheme's k bits.
+struct Request {
+  std::size_t scheme = 0;
+  std::size_t chip = 0;
+  std::uint64_t message = 0;
+};
+
+/// Decode outcome of one served request. Deliberately value-only (no
+/// path/timing facts): two executions of the same trace must produce
+/// byte-identical Response sequences whatever the batching did.
+struct Response {
+  std::uint64_t delivered = 0;  ///< decoder output bits (masked message domain)
+  bool flagged = false;
+  bool message_error = false;
+  std::uint32_t channel_bit_errors = 0;
+};
+
+/// Client-side completion slot: the worker writes `response`, then releases
+/// `done`. Poll wait() (or done directly) from the submitting thread.
+struct Completion {
+  Response response;
+  std::atomic<std::uint32_t> done{0};
+
+  bool ready() const noexcept { return done.load(std::memory_order_acquire) != 0; }
+  void wait() const noexcept {
+    while (!ready()) std::this_thread::yield();
+  }
+};
+
+class LinkServer {
+ public:
+  /// Takes ownership of the resolved schemes; `library` is borrowed and must
+  /// outlive the server. Fabricates chips_per_scheme chips per scheme
+  /// (engine kPpv substreams over config.seed/spread), builds one shared
+  /// SimTables per scheme, classifies each chip against the sliced
+  /// observability gate, and starts the worker pool.
+  LinkServer(std::vector<core::Scheme> schemes, const circuit::CellLibrary& library,
+             const LinkServerConfig& config);
+
+  /// Drains and joins the workers (shutdown() if not already called).
+  ~LinkServer();
+
+  LinkServer(const LinkServer&) = delete;
+  LinkServer& operator=(const LinkServer&) = delete;
+
+  /// Starts the worker pool (no-op when already running). Only needed after
+  /// constructing with start_workers = false.
+  void start();
+
+  /// Submits one request; `completion` must stay alive until ready(). Returns
+  /// false when the request was not admitted: queue full under kReject, or
+  /// the server is shutting down. The request id (which fixes the RNG
+  /// substreams) is assigned at submission in admission order.
+  bool submit(const Request& request, Completion* completion);
+
+  /// Blocks until every admitted request has completed. The queue keeps
+  /// accepting while draining; call shutdown() for a terminal drain.
+  void drain() const;
+
+  /// Stops admission, drains, and joins the worker pool. Idempotent.
+  void shutdown();
+
+  /// Merged telemetry snapshot. Quiescent-only: call after drain() or
+  /// shutdown() (worker histograms are read unlocked).
+  ServerTelemetry telemetry() const;
+
+  std::size_t scheme_count() const noexcept { return schemes_.size(); }
+  std::size_t chips_per_scheme() const noexcept { return config_.chips_per_scheme; }
+  const std::string& scheme_name(std::size_t scheme) const {
+    return schemes_[scheme].name;
+  }
+  /// Message width k of scheme `scheme` (submitted messages are masked to it).
+  std::size_t message_bits(std::size_t scheme) const;
+  /// Whether resident chip (scheme, chip) passed the sliced observability
+  /// gate at fabrication (diagnostics/tests).
+  bool chip_sliceable(std::size_t scheme, std::size_t chip) const;
+
+ private:
+  struct QueuedRequest {
+    Request request;
+    Completion* completion = nullptr;
+    std::uint64_t id = 0;
+    std::uint64_t enqueue_ns = 0;
+  };
+  struct WorkerState;
+
+  void worker_main(std::size_t worker_index);
+  void serve_event(WorkerState& worker, const QueuedRequest& queued);
+  void serve_sliced(WorkerState& worker, std::size_t scheme,
+                    const QueuedRequest* const* queued, std::size_t lanes);
+  void complete(WorkerState& worker, const QueuedRequest& queued,
+                const link::FrameResult& frame, bool sliced);
+
+  std::vector<core::Scheme> schemes_;
+  const circuit::CellLibrary& library_;
+  LinkServerConfig config_;
+  std::vector<link::SchemeSpec> specs_;              ///< views into schemes_
+  std::vector<std::shared_ptr<const sim::SimTables>> tables_;  ///< per scheme
+  std::vector<std::vector<ppv::ChipSample>> chips_;  ///< [scheme][chip]
+  std::vector<std::vector<char>> sliceable_;         ///< [scheme][chip]
+
+  std::unique_ptr<ServeQueue<QueuedRequest>> queue_;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> terminate_{false};
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> accepted_{0};   ///< admitted into the queue
+  std::atomic<std::uint64_t> completed_{0};  ///< responses published
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> blocked_{0};
+  std::atomic<std::uint64_t> max_depth_{0};
+  std::uint64_t start_ns_ = 0;
+  std::atomic<std::uint64_t> stop_ns_{0};  ///< set once by shutdown()
+};
+
+// ---- fixed request traces & the serial oracle ------------------------------
+//
+// Replay mode: a trace fixes the request sequence, submission order fixes the
+// ids, and the determinism contract above does the rest — outcomes_text over
+// the responses is byte-comparable (cmp) between serial execution and served
+// execution at any worker count.
+
+/// One trace entry. `message` is stored unmasked; consumers mask to k.
+struct TraceRequest {
+  std::size_t scheme = 0;
+  std::size_t chip = 0;
+  std::uint64_t message = 0;
+};
+
+/// Deterministic synthetic trace: `count` requests uniform over
+/// `schemes` x `chips` with full-width random messages, from `seed`.
+std::vector<TraceRequest> synthesize_trace(std::size_t count, std::size_t schemes,
+                                           std::size_t chips, std::uint64_t seed);
+
+/// Text form of a trace ("sfqecc-trace 1" header, one request per line).
+std::string trace_text(const std::vector<TraceRequest>& trace);
+/// Parses trace_text; throws ContractViolation on malformed input.
+std::vector<TraceRequest> parse_trace(const std::string& text);
+
+/// Serial oracle: executes the trace one request at a time on the exact
+/// DataLink event path (no queue, no workers, no slicing) with the identical
+/// per-id substreams the server uses. The byte-identity baseline.
+std::vector<Response> run_trace_serial(const std::vector<core::Scheme>& schemes,
+                                       const circuit::CellLibrary& library,
+                                       const LinkServerConfig& config,
+                                       const std::vector<TraceRequest>& trace);
+
+/// Submits the whole trace in order from this thread (ids = positions),
+/// drains, and returns the responses in trace order. On a paused server
+/// (start_workers = false) the whole trace is queued as a backlog before the
+/// workers start — the queue capacity must hold it.
+std::vector<Response> run_trace_served(LinkServer& server,
+                                       const std::vector<TraceRequest>& trace);
+
+/// One line per request in trace order — the byte-comparable outcome record:
+/// "index scheme chip message delivered flagged message_error channel_bit_errors".
+std::string outcomes_text(const std::vector<TraceRequest>& trace,
+                          const std::vector<Response>& responses);
+
+}  // namespace sfqecc::serve

@@ -1,0 +1,55 @@
+#include "serve/telemetry.hpp"
+
+#include <sstream>
+
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace sfqecc::serve {
+namespace {
+
+using util::roundtrip;
+
+void histogram_fields(std::ostringstream& out, const util::LatencyHistogram& h) {
+  out << "\"count\": " << h.count() << ", \"min\": " << h.min()
+      << ", \"max\": " << h.max() << ", \"mean\": " << roundtrip(h.mean())
+      << ", \"p50\": " << h.quantile(0.50) << ", \"p90\": " << h.quantile(0.90)
+      << ", \"p99\": " << h.quantile(0.99) << ", \"p999\": " << h.quantile(0.999);
+}
+
+}  // namespace
+
+std::string telemetry_json(const ServerTelemetry& telemetry) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": 1,\n  \"kind\": \"serve_telemetry\",\n  \"workers\": "
+      << telemetry.workers
+      << ",\n  \"wall_seconds\": " << roundtrip(telemetry.wall_seconds)
+      << ",\n  \"queue\": {\"capacity\": " << telemetry.queue.capacity
+      << ", \"submitted\": " << telemetry.queue.submitted
+      << ", \"rejected\": " << telemetry.queue.rejected
+      << ", \"blocked\": " << telemetry.queue.blocked
+      << ", \"max_depth\": " << telemetry.queue.max_depth
+      << "},\n  \"batch\": {\"batches\": " << telemetry.batch.batches
+      << ", \"width\": {";
+  histogram_fields(out, telemetry.batch.width);
+  out << "}},\n  \"schemes\": [\n";
+  for (std::size_t i = 0; i < telemetry.schemes.size(); ++i) {
+    const SchemeTelemetry& s = telemetry.schemes[i];
+    const double throughput =
+        telemetry.wall_seconds > 0.0
+            ? static_cast<double>(s.requests()) / telemetry.wall_seconds
+            : 0.0;
+    out << (i ? ",\n" : "") << "    {\"scheme\": \"" << util::json_escape(s.scheme)
+        << "\", \"requests\": " << s.requests()
+        << ", \"sliced_requests\": " << s.sliced_requests
+        << ", \"event_requests\": " << s.event_requests
+        << ", \"throughput_rps\": " << roundtrip(throughput)
+        << ", \"latency_ns\": {";
+    histogram_fields(out, s.latency_ns);
+    out << "}}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace sfqecc::serve

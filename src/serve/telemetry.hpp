@@ -1,0 +1,77 @@
+// First-class serving telemetry: latency distributions, queue pressure and
+// batch shape for a LinkServer.
+//
+// Recording is contention-free by design: every worker thread owns one
+// WorkerTelemetry and records into it with plain (non-atomic) histogram
+// increments; the server folds the per-worker instances into one
+// ServerTelemetry snapshot with util::LatencyHistogram::merge. Queue-side
+// counters (submissions, rejections, blocked admissions, depth high-water)
+// are atomics on the submit path and land in the same snapshot.
+//
+// telemetry_json renders the snapshot as a small stable JSON document
+// (schema 1). It is DELIBERATELY a separate file and schema from the
+// campaign reports: latency quantiles and batch widths are runtime-
+// scheduling facts — they differ run to run by construction — so they must
+// never share bytes with the reports the engine proves byte-identical. The
+// schema is stable in shape (keys, nesting, ordering), not in values.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/latency_histogram.hpp"
+
+namespace sfqecc::serve {
+
+/// Per-scheme serving statistics (one per resident scheme, scheme order).
+struct SchemeTelemetry {
+  std::string scheme;                 ///< display name
+  util::LatencyHistogram latency_ns;  ///< submit -> completion, nanoseconds
+  std::uint64_t sliced_requests = 0;  ///< served inside a coalesced slice
+  std::uint64_t event_requests = 0;   ///< served on the exact event path
+
+  std::uint64_t requests() const noexcept {
+    return sliced_requests + event_requests;
+  }
+};
+
+/// Coalescing shape: how wide the sliced batches actually ran.
+struct BatchTelemetry {
+  std::uint64_t batches = 0;           ///< sliced transmits dispatched
+  util::LatencyHistogram width;        ///< lanes per sliced batch (1..64)
+};
+
+/// Admission-side counters (atomically maintained on the submit path).
+struct QueueTelemetry {
+  std::uint64_t capacity = 0;
+  std::uint64_t submitted = 0;  ///< accepted into the queue
+  std::uint64_t rejected = 0;   ///< refused under AdmissionPolicy::kReject
+  std::uint64_t blocked = 0;    ///< submissions that had to wait (kBlock)
+  std::uint64_t max_depth = 0;  ///< queue-depth high-water mark
+};
+
+/// One merged snapshot of a server's telemetry.
+struct ServerTelemetry {
+  std::vector<SchemeTelemetry> schemes;
+  BatchTelemetry batch;
+  QueueTelemetry queue;
+  std::size_t workers = 0;
+  double wall_seconds = 0.0;  ///< serving wall time (throughput denominator)
+};
+
+/// What one worker thread records locally (merged by the server).
+struct WorkerTelemetry {
+  std::vector<SchemeTelemetry> schemes;  ///< sized to the scheme count
+  BatchTelemetry batch;
+};
+
+/// Renders the stable schema-1 serving-telemetry JSON document:
+/// {"schema":1,"kind":"serve_telemetry","workers":..,"wall_seconds":..,
+///  "queue":{..},"batch":{..},"schemes":[{.."latency_ns":{"p50":..}}..]}.
+/// Quantiles come from LatencyHistogram (p50/p90/p99/p999), throughput is
+/// requests / wall_seconds.
+std::string telemetry_json(const ServerTelemetry& telemetry);
+
+}  // namespace sfqecc::serve

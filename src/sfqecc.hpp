@@ -19,8 +19,10 @@
 //             campaign, report, fault_injection
 //   fabric/   spool, worker, coordinator — distributed campaign execution
 //             over a shared spool directory
+//   serve/    mpmc_ring, link_server, telemetry — online serving of
+//             encode -> transmit -> decode requests with lane coalescing
 //   core/     scheme_catalog, paper_encoders, paper_constants
-//   util/     rng, stats, cdf, table, ascii_plot, expect
+//   util/     rng, stats, cdf, table, ascii_plot, expect, latency_histogram
 #pragma once
 
 #include "circuit/balance.hpp"
@@ -68,6 +70,9 @@
 #include "link/monte_carlo.hpp"
 #include "link/scheme_spec.hpp"
 #include "ppv/calibration.hpp"
+#include "serve/link_server.hpp"
+#include "serve/mpmc_ring.hpp"
+#include "serve/telemetry.hpp"
 #include "ppv/chip.hpp"
 #include "ppv/margin_model.hpp"
 #include "ppv/spread.hpp"
@@ -79,6 +84,7 @@
 #include "util/ascii_plot.hpp"
 #include "util/cdf.hpp"
 #include "util/expect.hpp"
+#include "util/latency_histogram.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"

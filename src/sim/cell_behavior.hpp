@@ -28,6 +28,11 @@ struct CellFault {
   double error_prob = 0.0;  ///< per-operation error probability for kFlaky
 
   bool healthy() const noexcept { return mode == FaultMode::kHealthy; }
+
+  /// Memberwise equality — DataLink::install_chip compares the incoming
+  /// chip's fault states against the installed ones to skip redundant
+  /// simulator resets on the serving hot path.
+  bool operator==(const CellFault&) const = default;
 };
 
 /// Mutable per-cell simulation state.

@@ -1,0 +1,125 @@
+// Constant-memory log-linear latency histogram.
+//
+// The recording surface the serving telemetry and the campaign wall-time
+// summary share: a fixed array of buckets whose widths grow geometrically
+// (one group of kSubBuckets linear buckets per power of two), so a single
+// histogram spans nanoseconds to hours at a bounded ~1/kSubBuckets relative
+// error with zero allocation on the hot path. record() is a handful of bit
+// operations and one increment; merge() is element-wise addition, which is
+// what makes per-worker histograms cheap — each worker records into its own
+// instance contention-free and the owner folds them together at snapshot
+// time.
+//
+// Quantiles are deterministic: quantile(q) returns the inclusive upper bound
+// of the bucket holding the q-th sample (by cumulative count, exact min/max
+// clamped), so two histograms with equal bucket counts report byte-identical
+// quantiles regardless of the arrival order of the samples. Values are plain
+// std::uint64_t — the unit (ns, µs, frames) is the caller's convention.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace sfqecc::util {
+
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per power-of-two group: 32 ⇒ worst-case relative
+  /// error of a reported quantile ≈ 1/32 ≈ 3 %.
+  static constexpr std::size_t kSubBucketBits = 5;
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBucketBits;
+  /// Values below kSubBuckets get one bucket each (exact); each further
+  /// power-of-two group re-uses kSubBuckets linear buckets. 64-bit values
+  /// need (64 - kSubBucketBits) groups after the exact range.
+  static constexpr std::size_t kGroups = 64 - kSubBucketBits;
+  static constexpr std::size_t kBuckets = (kGroups + 1) * kSubBuckets;
+
+  /// Bucket index of `value`; total order, stable across processes.
+  static constexpr std::size_t bucket_index(std::uint64_t value) noexcept {
+    if (value < kSubBuckets) return static_cast<std::size_t>(value);
+    const int top = std::bit_width(value) - 1;  // >= kSubBucketBits
+    const int shift = top - static_cast<int>(kSubBucketBits);
+    const auto sub = static_cast<std::size_t>((value >> shift) & (kSubBuckets - 1));
+    return (static_cast<std::size_t>(top) - kSubBucketBits + 1) * kSubBuckets + sub;
+  }
+
+  /// Inclusive upper bound of bucket `index` (the value quantile() reports).
+  static constexpr std::uint64_t bucket_upper_bound(std::size_t index) noexcept {
+    if (index < kSubBuckets) return static_cast<std::uint64_t>(index);
+    const std::size_t group = index / kSubBuckets;  // >= 1
+    const std::size_t sub = index % kSubBuckets;
+    const int shift = static_cast<int>(group) - 1;
+    const std::uint64_t base = (std::uint64_t{kSubBuckets} + sub) << shift;
+    const std::uint64_t width = std::uint64_t{1} << shift;
+    return base + (width - 1);
+  }
+
+  /// Records one sample. Allocation-free; not thread-safe — give each
+  /// recording thread its own histogram and merge().
+  void record(std::uint64_t value) noexcept {
+    ++counts_[bucket_index(value)];
+    ++count_;
+    sum_ += value;
+    min_ = count_ == 1 ? value : std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+
+  /// Folds `other` into this histogram (element-wise; commutative and
+  /// associative, so any merge tree over per-worker histograms yields the
+  /// same result).
+  void merge(const LatencyHistogram& other) noexcept {
+    if (other.count_ == 0) return;
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  void reset() noexcept { *this = LatencyHistogram{}; }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Value at quantile q in [0, 1]: the upper bound of the bucket containing
+  /// the ceil(q * count)-th sample, clamped to the exact [min, max] range.
+  /// 0 when empty. Monotone in q by construction (a cumulative walk), so
+  /// quantile(.5) <= quantile(.99) <= quantile(.999) always holds.
+  std::uint64_t quantile(double q) const noexcept {
+    if (count_ == 0) return 0;
+    if (q <= 0.0) return min();
+    if (q >= 1.0) return max_;
+    const auto rank = static_cast<std::uint64_t>(
+        std::min(static_cast<double>(count_ - 1),
+                 q * static_cast<double>(count_)));  // 0-based target rank
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen > rank)
+        return std::clamp(bucket_upper_bound(i), min_, max_);
+    }
+    return max_;  // unreachable: counts_ sums to count_
+  }
+
+  /// Raw bucket counts (telemetry serialization / tests).
+  const std::array<std::uint64_t, kBuckets>& buckets() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace sfqecc::util

@@ -1,0 +1,306 @@
+// Link-server tests: byte-identity of served decode outcomes against serial
+// DataLink execution (the determinism contract replay mode rests on),
+// heterogeneous batch coalescing — mixed schemes interleaved in one queue,
+// partial (<64 lane) slices, gate-ineligible requests falling back to the
+// event path — plus admission, drain and telemetry invariants.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/scheme_catalog.hpp"
+#include "serve/link_server.hpp"
+#include "serve/telemetry.hpp"
+#include "util/expect.hpp"
+
+namespace sfqecc::serve {
+namespace {
+
+const circuit::CellLibrary& lib() { return circuit::coldflux_library(); }
+
+std::vector<core::Scheme> two_schemes() {
+  std::vector<core::Scheme> schemes;
+  schemes.push_back(core::SchemeCatalog::builtin().resolve("hamming:7,4", lib()));
+  schemes.push_back(core::SchemeCatalog::builtin().resolve("rm:1,3", lib()));
+  return schemes;
+}
+
+/// Spread 0.20 at seed 777 fabricates a mix of fully healthy (gate-eligible)
+/// and faulty (event-path-only) chips for both schemes, so one trace
+/// exercises slicing, fallback and their interleaving at once.
+LinkServerConfig mixed_config() {
+  LinkServerConfig config;
+  config.chips_per_scheme = 6;
+  config.spread = {0.20, ppv::SpreadDistribution::kUniform};
+  config.seed = 777;
+  return config;
+}
+
+std::string served_outcomes(const LinkServerConfig& config,
+                            const std::vector<TraceRequest>& trace) {
+  LinkServer server(two_schemes(), lib(), config);
+  const std::vector<Response> responses = run_trace_served(server, trace);
+  server.shutdown();
+  return outcomes_text(trace, responses);
+}
+
+// --------------------------------------------------- replay byte-identity --
+
+TEST(LinkServerReplay, ServedMatchesSerialAtWorkerCounts) {
+  const LinkServerConfig config = mixed_config();
+  const std::vector<TraceRequest> trace =
+      synthesize_trace(300, 2, config.chips_per_scheme, 99);
+  const std::string serial = outcomes_text(
+      trace, run_trace_serial(two_schemes(), lib(), config, trace));
+
+  // The acceptance worker counts, plus the coalescing and queue axes: every
+  // execution shape must reproduce the serial oracle byte for byte.
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    for (const bool coalesce : {true, false}) {
+      LinkServerConfig variant = config;
+      variant.workers = workers;
+      variant.coalesce = coalesce;
+      EXPECT_EQ(served_outcomes(variant, trace), serial)
+          << "workers=" << workers << " coalesce=" << coalesce;
+    }
+  }
+  LinkServerConfig mutex_variant = config;
+  mutex_variant.workers = 4;
+  mutex_variant.lock_free_queue = false;
+  EXPECT_EQ(served_outcomes(mutex_variant, trace), serial) << "mutex+cv queue";
+}
+
+TEST(LinkServerReplay, GateIneligibleConfigServesEverythingOnEventPath) {
+  // Jitter makes every chip fail the observability gate: the server must
+  // fall back to the event path wholesale and still match serial execution.
+  LinkServerConfig config = mixed_config();
+  config.link.sim.jitter_sigma_ps = 1.0;
+  config.workers = 4;
+  const std::vector<TraceRequest> trace =
+      synthesize_trace(80, 2, config.chips_per_scheme, 5);
+  const std::string serial = outcomes_text(
+      trace, run_trace_serial(two_schemes(), lib(), config, trace));
+
+  LinkServer server(two_schemes(), lib(), config);
+  for (std::size_t s = 0; s < server.scheme_count(); ++s)
+    for (std::size_t c = 0; c < server.chips_per_scheme(); ++c)
+      EXPECT_FALSE(server.chip_sliceable(s, c));
+  const std::vector<Response> responses = run_trace_served(server, trace);
+  server.shutdown();
+  EXPECT_EQ(outcomes_text(trace, responses), serial);
+
+  const ServerTelemetry telemetry = server.telemetry();
+  for (const SchemeTelemetry& scheme : telemetry.schemes)
+    EXPECT_EQ(scheme.sliced_requests, 0u);
+  EXPECT_EQ(telemetry.batch.batches, 0u);
+}
+
+// ------------------------------------------------ deterministic coalescing --
+
+/// Pre-queues a backlog on a paused single-worker server, then starts it:
+/// the first dispatch sees the whole backlog, making batch shape (not just
+/// outcomes) deterministic.
+TEST(LinkServerCoalescing, BacklogCoalescesMixedSchemesIntoPartialSlices) {
+  LinkServerConfig config;
+  config.chips_per_scheme = 4;
+  config.spread = {0.0, ppv::SpreadDistribution::kUniform};  // all chips healthy
+  config.workers = 1;
+  config.start_workers = false;
+  config.seed = 31;
+
+  // 10 hamming + 7 rm requests interleaved in one queue (alternating, then a
+  // hamming tail). All chips are gate-eligible, so the single dispatch must
+  // produce exactly one sliced batch per scheme, each a partial (< 64 lane)
+  // slice.
+  std::vector<TraceRequest> trace;
+  for (std::size_t i = 0; i < 17; ++i)
+    trace.push_back({i < 14 ? i % 2 : 0, i % 4, 0x9e3779b97f4a7c15ULL * i});
+
+  const std::string serial = outcomes_text(
+      trace, run_trace_serial(two_schemes(), lib(), config, trace));
+
+  LinkServer server(two_schemes(), lib(), config);
+  ASSERT_TRUE(server.chip_sliceable(0, 0));
+  const std::vector<Response> responses = run_trace_served(server, trace);
+  server.shutdown();
+  EXPECT_EQ(outcomes_text(trace, responses), serial);
+
+  const ServerTelemetry telemetry = server.telemetry();
+  EXPECT_EQ(telemetry.batch.batches, 2u) << "one partial slice per scheme";
+  EXPECT_EQ(telemetry.batch.width.min(), 7u);
+  EXPECT_EQ(telemetry.batch.width.max(), 10u);
+  EXPECT_EQ(telemetry.schemes[0].sliced_requests, 10u);
+  EXPECT_EQ(telemetry.schemes[1].sliced_requests, 7u);
+  EXPECT_EQ(telemetry.schemes[0].event_requests, 0u);
+  EXPECT_EQ(telemetry.schemes[1].event_requests, 0u);
+}
+
+TEST(LinkServerCoalescing, LoneEligibleRequestTakesEventPath) {
+  // A batch of one has no word-level parallelism to win: exactly like
+  // unit_executor's kAuto mode, a lone gate-eligible request runs on the
+  // event path instead of a 1-lane slice.
+  LinkServerConfig config;
+  config.chips_per_scheme = 2;
+  config.spread = {0.0, ppv::SpreadDistribution::kUniform};
+  config.workers = 1;
+  config.start_workers = false;
+  LinkServer server(two_schemes(), lib(), config);
+
+  Completion completion;
+  ASSERT_TRUE(server.submit({0, 0, 0x5555}, &completion));
+  server.start();
+  server.drain();
+  ASSERT_TRUE(completion.ready());
+  server.shutdown();
+
+  const ServerTelemetry telemetry = server.telemetry();
+  EXPECT_EQ(telemetry.batch.batches, 0u);
+  EXPECT_EQ(telemetry.schemes[0].sliced_requests, 0u);
+  EXPECT_EQ(telemetry.schemes[0].event_requests, 1u);
+}
+
+TEST(LinkServerCoalescing, MixedEligibilityBacklogSplitsExactly) {
+  // Spread 0.20 at seed 777 fabricates both healthy and faulty chips; route
+  // requests at known-sliceable and known-ineligible chips of one scheme and
+  // check the split is exact: eligible ones in one slice, the rest on the
+  // event path, outcomes byte-identical to serial either way.
+  LinkServerConfig config = mixed_config();
+  config.workers = 1;
+  config.start_workers = false;
+
+  LinkServer probe(two_schemes(), lib(), config);
+  std::vector<std::size_t> sliceable_chips, event_chips;
+  for (std::size_t c = 0; c < config.chips_per_scheme; ++c)
+    (probe.chip_sliceable(0, c) ? sliceable_chips : event_chips).push_back(c);
+  probe.shutdown();
+  ASSERT_GE(sliceable_chips.size(), 2u)
+      << "seed 777 / spread 0.20 should fabricate >= 2 healthy chips";
+  ASSERT_GE(event_chips.size(), 1u)
+      << "seed 777 / spread 0.20 should fabricate >= 1 faulty chip";
+
+  std::vector<TraceRequest> trace;
+  for (std::size_t i = 0; i < 12; ++i) {
+    const auto& pool = i % 3 == 2 ? event_chips : sliceable_chips;
+    trace.push_back({0, pool[i % pool.size()], 0xabcdef12345 + i});
+  }
+  const std::string serial = outcomes_text(
+      trace, run_trace_serial(two_schemes(), lib(), config, trace));
+
+  LinkServer server(two_schemes(), lib(), config);
+  const std::vector<Response> responses = run_trace_served(server, trace);
+  server.shutdown();
+  EXPECT_EQ(outcomes_text(trace, responses), serial);
+
+  const ServerTelemetry telemetry = server.telemetry();
+  EXPECT_EQ(telemetry.batch.batches, 1u);
+  EXPECT_EQ(telemetry.schemes[0].sliced_requests, 8u);
+  EXPECT_EQ(telemetry.schemes[0].event_requests, 4u);
+}
+
+// ------------------------------------------------------- admission & drain --
+
+TEST(LinkServerAdmission, BlockingAdmissionNeverSheds) {
+  LinkServerConfig config;
+  config.chips_per_scheme = 2;
+  config.queue_capacity = 2;  // far smaller than the request count
+  config.workers = 2;
+  config.admission = AdmissionPolicy::kBlock;
+  const std::vector<TraceRequest> trace = synthesize_trace(100, 2, 2, 3);
+
+  LinkServer server(two_schemes(), lib(), config);
+  const std::vector<Response> responses = run_trace_served(server, trace);
+  server.shutdown();
+  EXPECT_EQ(responses.size(), trace.size());
+
+  const ServerTelemetry telemetry = server.telemetry();
+  EXPECT_EQ(telemetry.queue.submitted, trace.size());
+  EXPECT_EQ(telemetry.queue.rejected, 0u);
+  EXPECT_LE(telemetry.queue.max_depth, telemetry.queue.capacity);
+  std::uint64_t served = 0;
+  for (const SchemeTelemetry& scheme : telemetry.schemes) served += scheme.requests();
+  EXPECT_EQ(served, trace.size());
+}
+
+TEST(LinkServerAdmission, RejectPolicyRefusesWhenFull) {
+  // A paused server cannot drain, so filling the queue forces deterministic
+  // rejections: capacity admissions succeed, every further submit fails.
+  LinkServerConfig config;
+  config.chips_per_scheme = 2;
+  config.queue_capacity = 4;
+  config.admission = AdmissionPolicy::kReject;
+  config.start_workers = false;
+  LinkServer server(two_schemes(), lib(), config);
+
+  std::vector<Completion> completions(8);
+  std::size_t admitted = 0;
+  for (std::size_t i = 0; i < completions.size(); ++i)
+    if (server.submit({0, 0, i}, &completions[i])) ++admitted;
+  EXPECT_EQ(admitted, 4u);
+
+  server.shutdown();  // serves the admitted backlog, then stops
+  for (std::size_t i = 0; i < admitted; ++i) EXPECT_TRUE(completions[i].ready());
+
+  const ServerTelemetry telemetry = server.telemetry();
+  EXPECT_EQ(telemetry.queue.submitted, 4u);
+  EXPECT_EQ(telemetry.queue.rejected, 4u);
+
+  // After shutdown nothing is admitted, under either policy.
+  Completion late;
+  EXPECT_FALSE(server.submit({0, 0, 1}, &late));
+}
+
+// ----------------------------------------------------------------- telemetry --
+
+TEST(LinkServerTelemetry, InvariantsAndStableJson) {
+  LinkServerConfig config = mixed_config();
+  config.workers = 2;
+  const std::vector<TraceRequest> trace =
+      synthesize_trace(120, 2, config.chips_per_scheme, 21);
+  LinkServer server(two_schemes(), lib(), config);
+  run_trace_served(server, trace);
+  server.shutdown();
+
+  const ServerTelemetry telemetry = server.telemetry();
+  EXPECT_EQ(telemetry.workers, 2u);
+  EXPECT_GT(telemetry.wall_seconds, 0.0);
+  for (const SchemeTelemetry& scheme : telemetry.schemes) {
+    EXPECT_EQ(scheme.latency_ns.count(), scheme.requests());
+    EXPECT_LE(scheme.latency_ns.quantile(0.50), scheme.latency_ns.quantile(0.99));
+    EXPECT_LE(scheme.latency_ns.quantile(0.99), scheme.latency_ns.quantile(0.999));
+  }
+  EXPECT_LE(telemetry.batch.width.max(), 64u);
+
+  const std::string json = telemetry_json(telemetry);
+  for (const char* key :
+       {"\"schema\": 1", "\"kind\": \"serve_telemetry\"", "\"workers\": 2",
+        "\"queue\": {", "\"batch\": {", "\"schemes\": [", "\"Hamming(7,4)\"",
+        "\"RM(1,3)\"", "\"p50\":", "\"p999\":", "\"throughput_rps\":"})
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+}
+
+// -------------------------------------------------------------------- traces --
+
+TEST(LinkServerTrace, TextRoundTripsAndRejectsGarbage) {
+  const std::vector<TraceRequest> trace = synthesize_trace(25, 3, 5, 17);
+  const std::vector<TraceRequest> parsed = parse_trace(trace_text(trace));
+  ASSERT_EQ(parsed.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(parsed[i].scheme, trace[i].scheme);
+    EXPECT_EQ(parsed[i].chip, trace[i].chip);
+    EXPECT_EQ(parsed[i].message, trace[i].message);
+  }
+  EXPECT_THROW(parse_trace("not a trace"), ContractViolation);
+  EXPECT_THROW(parse_trace("sfqecc-trace 1\n5\n0 0 1\n"), ContractViolation);
+}
+
+TEST(LinkServerTrace, SynthesisIsDeterministic) {
+  const std::vector<TraceRequest> a = synthesize_trace(50, 2, 4, 123);
+  const std::vector<TraceRequest> b = synthesize_trace(50, 2, 4, 123);
+  const std::vector<TraceRequest> c = synthesize_trace(50, 2, 4, 124);
+  EXPECT_EQ(trace_text(a), trace_text(b));
+  EXPECT_NE(trace_text(a), trace_text(c));
+}
+
+}  // namespace
+}  // namespace sfqecc::serve

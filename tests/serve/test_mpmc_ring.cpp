@@ -1,0 +1,145 @@
+// Tests for the bounded MPMC queues behind the link server: ring-buffer
+// semantics (bounded, no loss, no duplication) and per-producer FIFO under
+// real contention, for both the lock-free ring and the mutex fallback.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "serve/mpmc_ring.hpp"
+
+namespace sfqecc::serve {
+namespace {
+
+TEST(RingCapacity, RoundsUpToPowerOfTwo) {
+  EXPECT_EQ(ring_capacity(0), 2u);
+  EXPECT_EQ(ring_capacity(1), 2u);
+  EXPECT_EQ(ring_capacity(2), 2u);
+  EXPECT_EQ(ring_capacity(3), 4u);
+  EXPECT_EQ(ring_capacity(1000), 1024u);
+  EXPECT_EQ(ring_capacity(1024), 1024u);
+}
+
+template <typename Queue>
+void single_thread_semantics() {
+  Queue queue(4);
+  EXPECT_EQ(queue.capacity(), 4u);
+  int out = -1;
+  EXPECT_FALSE(queue.try_pop(out)) << "empty queue must report empty";
+
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.try_push(int{i}));
+  EXPECT_FALSE(queue.try_push(99)) << "full queue must report full";
+  EXPECT_EQ(queue.approx_size(), 4u);
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(queue.try_pop(out));
+    EXPECT_EQ(out, i) << "single-threaded use is strictly FIFO";
+  }
+  EXPECT_FALSE(queue.try_pop(out));
+
+  // Wrap around the ring several times.
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(queue.try_push(int{round}));
+    ASSERT_TRUE(queue.try_pop(out));
+    EXPECT_EQ(out, round);
+  }
+}
+
+TEST(MpmcRing, SingleThreadSemantics) { single_thread_semantics<MpmcRing<int>>(); }
+TEST(MutexQueue, SingleThreadSemantics) { single_thread_semantics<MutexQueue<int>>(); }
+
+TEST(ServeQueue, SwitchesImplementations) {
+  for (const bool lock_free : {true, false}) {
+    ServeQueue<int> queue(8, lock_free);
+    EXPECT_EQ(queue.capacity(), 8u);
+    EXPECT_TRUE(queue.try_push(7));
+    int out = 0;
+    ASSERT_TRUE(queue.try_pop(out));
+    EXPECT_EQ(out, 7);
+    EXPECT_FALSE(queue.try_pop(out));
+  }
+}
+
+/// Each item encodes (producer, sequence); consumers verify that no item is
+/// lost or duplicated and that each producer's items arrive in order.
+template <typename Queue>
+void contended_no_loss_no_duplication() {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kConsumers = 4;
+  constexpr std::uint64_t kPerProducer = 20000;
+  Queue queue(64);
+
+  std::atomic<std::uint64_t> consumed{0};
+  std::vector<std::vector<std::uint64_t>> last_seq(
+      kConsumers, std::vector<std::uint64_t>(kProducers, 0));
+  std::vector<std::vector<std::uint64_t>> counts(
+      kConsumers, std::vector<std::uint64_t>(kProducers, 0));
+
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&queue, p] {
+      for (std::uint64_t seq = 1; seq <= kPerProducer; ++seq) {
+        std::uint64_t item = (static_cast<std::uint64_t>(p) << 32) | seq;
+        while (!queue.try_push(std::move(item))) std::this_thread::yield();
+      }
+    });
+  }
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&, c] {
+      std::uint64_t item = 0;
+      while (consumed.load(std::memory_order_relaxed) < kProducers * kPerProducer) {
+        if (!queue.try_pop(item)) {
+          std::this_thread::yield();
+          continue;
+        }
+        consumed.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t p = static_cast<std::size_t>(item >> 32);
+        const std::uint64_t seq = item & 0xffffffffu;
+        ASSERT_LT(p, kProducers);
+        // Per-producer FIFO: the sequences one consumer sees from a given
+        // producer are strictly increasing.
+        ASSERT_GT(seq, last_seq[c][p]) << "producer " << p << " reordered";
+        last_seq[c][p] = seq;
+        ++counts[c][p];
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    std::uint64_t total = 0;
+    for (std::size_t c = 0; c < kConsumers; ++c) total += counts[c][p];
+    EXPECT_EQ(total, kPerProducer) << "producer " << p << " lost or duplicated items";
+  }
+}
+
+TEST(MpmcRing, ContendedNoLossNoDuplication) {
+  contended_no_loss_no_duplication<MpmcRing<std::uint64_t>>();
+}
+TEST(MutexQueue, ContendedNoLossNoDuplication) {
+  contended_no_loss_no_duplication<MutexQueue<std::uint64_t>>();
+}
+
+TEST(MpmcRing, NeverExceedsCapacity) {
+  MpmcRing<int> ring(8);
+  std::atomic<bool> stop{false};
+  std::thread producer([&] {
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ring.try_push(i++);
+      EXPECT_LE(ring.approx_size(), ring.capacity());
+    }
+  });
+  int out = 0;
+  for (int i = 0; i < 50000; ++i) {
+    ring.try_pop(out);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  producer.join();
+}
+
+}  // namespace
+}  // namespace sfqecc::serve

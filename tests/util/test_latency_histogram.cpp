@@ -1,0 +1,138 @@
+// Tests for the constant-memory log-linear latency histogram.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/latency_histogram.hpp"
+#include "util/rng.hpp"
+
+namespace sfqecc::util {
+namespace {
+
+TEST(LatencyHistogram, EmptyReportsZeros) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  // Values below kSubBuckets get a bucket each, so quantiles are exact.
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) h.record(v);
+  EXPECT_EQ(h.count(), LatencyHistogram::kSubBuckets);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), LatencyHistogram::kSubBuckets - 1);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(1.0), LatencyHistogram::kSubBuckets - 1);
+  EXPECT_EQ(h.quantile(0.5), LatencyHistogram::kSubBuckets / 2);
+}
+
+TEST(LatencyHistogram, BucketIndexIsMonotone) {
+  std::size_t last = 0;
+  for (std::uint64_t v = 0; v < 100000; ++v) {
+    const std::size_t index = LatencyHistogram::bucket_index(v);
+    EXPECT_GE(index, last) << "value " << v;
+    EXPECT_LE(v, LatencyHistogram::bucket_upper_bound(index)) << "value " << v;
+    last = index;
+  }
+}
+
+TEST(LatencyHistogram, UpperBoundIsTightAcrossMagnitudes) {
+  // Every value lands in a bucket whose inclusive upper bound is >= the
+  // value and within one sub-bucket width (bounded relative error).
+  for (std::uint64_t v : std::vector<std::uint64_t>{
+           1, 31, 32, 33, 63, 64, 100, 1000, 123456, 1ull << 20, (1ull << 20) + 7,
+           1ull << 40, std::numeric_limits<std::uint64_t>::max()}) {
+    const std::size_t index = LatencyHistogram::bucket_index(v);
+    const std::uint64_t upper = LatencyHistogram::bucket_upper_bound(index);
+    ASSERT_GE(upper, v);
+    if (v >= LatencyHistogram::kSubBuckets) {
+      // Relative error bound: bucket width / value <= 2 / kSubBuckets.
+      EXPECT_LE(static_cast<double>(upper - v),
+                2.0 * static_cast<double>(v) /
+                    static_cast<double>(LatencyHistogram::kSubBuckets));
+    } else {
+      EXPECT_EQ(upper, v);
+    }
+  }
+}
+
+TEST(LatencyHistogram, QuantilesAreMonotoneAndClamped) {
+  LatencyHistogram h;
+  Rng rng(7, 0);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.below(1u << 20);
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  std::uint64_t previous = 0;
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const std::uint64_t estimate = h.quantile(q);
+    EXPECT_GE(estimate, previous) << "q=" << q;
+    EXPECT_GE(estimate, h.min());
+    EXPECT_LE(estimate, h.max());
+    previous = estimate;
+  }
+  // The estimate brackets the exact order statistic within bucket error.
+  const std::uint64_t exact_p50 = values[values.size() / 2];
+  const std::uint64_t estimate_p50 = h.quantile(0.5);
+  EXPECT_GE(estimate_p50, exact_p50 - exact_p50 / 16);
+  EXPECT_LE(estimate_p50, exact_p50 + exact_p50 / 8 + 1);
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
+  LatencyHistogram combined, a, b;
+  Rng rng(11, 1);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.next_u64() >> (i % 50);
+    combined.record(v);
+    (i % 3 == 0 ? a : b).record(v);
+  }
+  LatencyHistogram merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), combined.count());
+  EXPECT_EQ(merged.sum(), combined.sum());
+  EXPECT_EQ(merged.min(), combined.min());
+  EXPECT_EQ(merged.max(), combined.max());
+  EXPECT_EQ(merged.buckets(), combined.buckets());
+  for (const double q : {0.5, 0.99, 0.999})
+    EXPECT_EQ(merged.quantile(q), combined.quantile(q));
+}
+
+TEST(LatencyHistogram, MergeWithEmptyIsIdentity) {
+  LatencyHistogram h;
+  h.record(42);
+  h.record(7);
+  LatencyHistogram before = h;
+  h.merge(LatencyHistogram{});
+  EXPECT_EQ(h.count(), before.count());
+  EXPECT_EQ(h.min(), before.min());
+  EXPECT_EQ(h.max(), before.max());
+
+  LatencyHistogram empty;
+  empty.merge(h);
+  EXPECT_EQ(empty.count(), h.count());
+  EXPECT_EQ(empty.min(), h.min());
+  EXPECT_EQ(empty.max(), h.max());
+  EXPECT_EQ(empty.buckets(), h.buckets());
+}
+
+TEST(LatencyHistogram, ResetClears) {
+  LatencyHistogram h;
+  h.record(1000);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+}  // namespace
+}  // namespace sfqecc::util
